@@ -1,0 +1,44 @@
+/// @file assertion_probe_impl.hpp
+/// @brief The assertion-level ablation probe: a loop of rooted gathers whose
+/// cost depends on the compile-time assertion level (communication-level
+/// builds additionally verify root consistency with an allgather per call).
+#pragma once
+
+#include <algorithm>
+#include <mutex>
+#include <vector>
+
+#include "kamping/kamping.hpp"
+#include "xmpi/xmpi.hpp"
+
+struct ProbeResult {
+    double seconds = 0.0;
+    double messages_per_call = 0.0;
+};
+
+inline ProbeResult run_assertion_probe(int p, int iterations) {
+    ProbeResult result;
+    std::mutex result_mutex;
+    xmpi::World::run(
+        p,
+        [&] {
+            kamping::Communicator comm;
+            std::vector<int> const mine{comm.rank()};
+            comm.barrier();
+            xmpi::profile::reset_mine();
+            double const start = XMPI_Wtime();
+            for (int i = 0; i < iterations; ++i) {
+                auto gathered = comm.gather(kamping::send_buf(mine), kamping::root(0));
+                (void)gathered;
+            }
+            double const elapsed = XMPI_Wtime() - start;
+            auto const messages =
+                static_cast<double>(xmpi::profile::my_snapshot().messages_sent);
+            std::lock_guard lock(result_mutex);
+            result.seconds = std::max(result.seconds, elapsed);
+            result.messages_per_call =
+                std::max(result.messages_per_call, messages / iterations);
+        },
+        xmpi::NetworkModel{30e-6, 0.15e-9});
+    return result;
+}

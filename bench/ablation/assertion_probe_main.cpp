@@ -1,0 +1,22 @@
+/// @file assertion_probe_main.cpp
+/// @brief Probe executable for the assertion-level ablation: compiled once
+/// per assertion level (separate binaries — template instantiations would
+/// be merged by the linker inside a single one). Prints the slowest rank's
+/// wall time for a loop of rooted collectives, plus the per-call message
+/// count of the calling rank, so the cost of the cross-rank root check is
+/// visible both in time and in traffic.
+#include <cstdio>
+#include <cstdlib>
+
+#include "assertion_probe_impl.hpp"
+
+int main(int argc, char** argv) {
+    int const p = argc > 1 ? std::atoi(argv[1]) : 16;
+    int const iterations = argc > 2 ? std::atoi(argv[2]) : 100;
+    auto const result = run_assertion_probe(p, iterations);
+    std::printf(
+        "level=%s p=%d iterations=%d time=%.4f messages_per_call=%.1f\n",
+        KASSERT_ENABLED(kassert::assertion_level::communication) ? "communication" : "normal",
+        p, iterations, result.seconds, result.messages_per_call);
+    return 0;
+}

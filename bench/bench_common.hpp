@@ -1,0 +1,119 @@
+/// @file bench_common.hpp
+/// @brief Shared utilities of the benchmark harnesses: network-model
+/// configuration, timed world runs, and paper-style table printing.
+///
+/// All scaling benchmarks run under the xmpi alpha/beta network model
+/// (default: alpha = 30 us, beta = 0.15 ns/B, emulating a fast
+/// interconnect's cost structure), because without per-message costs the
+/// latency-avoiding algorithms of the paper would have nothing to avoid.
+/// Absolute times are emulation artifacts; orderings and crossovers are the
+/// reproduced result (see EXPERIMENTS.md).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "xmpi/xmpi.hpp"
+
+namespace bench {
+
+/// @brief Command-line configuration shared by the scaling harnesses.
+struct Options {
+    double alpha = 30e-6;    ///< per-message start-up cost [s]
+    double beta = 0.15e-9;   ///< per-byte cost [s]
+    int repetitions = 3;     ///< timed repetitions (median reported)
+    int max_p = 32;          ///< largest world size in sweeps
+    bool quick = false;      ///< reduce sizes for smoke runs
+
+    static Options parse(int argc, char** argv) {
+        Options options;
+        for (int i = 1; i < argc; ++i) {
+            auto const matches = [&](char const* flag) {
+                return std::strncmp(argv[i], flag, std::strlen(flag)) == 0;
+            };
+            auto const value = [&] { return std::strchr(argv[i], '=') + 1; };
+            if (matches("--alpha=")) {
+                options.alpha = std::atof(value());
+            } else if (matches("--beta=")) {
+                options.beta = std::atof(value());
+            } else if (matches("--reps=")) {
+                options.repetitions = std::atoi(value());
+            } else if (matches("--max-p=")) {
+                options.max_p = std::atoi(value());
+            } else if (matches("--quick")) {
+                options.quick = true;
+            }
+        }
+        return options;
+    }
+
+    [[nodiscard]] xmpi::NetworkModel model() const {
+        return xmpi::NetworkModel{alpha, beta};
+    }
+};
+
+/// @brief Runs @c body in a world of size p under the model and returns the
+/// wall time of the slowest rank (the paper's "total time"), in seconds.
+/// A warm-up run precedes @c repetitions timed ones; the minimum is
+/// reported (standard practice for emulated-latency measurements).
+inline double timed_world_run(
+    int p, xmpi::NetworkModel const& model, int repetitions,
+    std::function<void(int)> const& body) {
+    double best = 1e300;
+    for (int repetition = 0; repetition < repetitions + 1; ++repetition) {
+        double slowest = 0.0;
+        std::mutex slowest_mutex;
+        xmpi::World::run_ranked(
+            p,
+            [&](int rank) {
+                XMPI_Barrier(XMPI_COMM_WORLD);
+                double const start = XMPI_Wtime();
+                body(rank);
+                double const elapsed = XMPI_Wtime() - start;
+                std::lock_guard lock(slowest_mutex);
+                slowest = std::max(slowest, elapsed);
+            },
+            model);
+        if (repetition > 0) { // skip the warm-up
+            best = std::min(best, slowest);
+        }
+    }
+    return best;
+}
+
+/// @brief Prints one table row: label column + fixed-width value columns.
+inline void print_row(std::string const& label, std::vector<std::string> const& cells) {
+    std::printf("%-24s", label.c_str());
+    for (auto const& cell: cells) {
+        std::printf(" %12s", cell.c_str());
+    }
+    std::printf("\n");
+}
+
+inline std::string format_seconds(double seconds) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.4f", seconds);
+    return buffer;
+}
+
+inline std::string format_count(std::uint64_t count) {
+    return std::to_string(count);
+}
+
+/// @brief World sizes 1, 2, 4, ... up to max_p.
+inline std::vector<int> power_of_two_sweep(int max_p) {
+    std::vector<int> sweep;
+    for (int p = 1; p <= max_p; p *= 2) {
+        sweep.push_back(p);
+    }
+    return sweep;
+}
+
+} // namespace bench

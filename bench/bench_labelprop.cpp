@@ -1,0 +1,98 @@
+/// @file bench_labelprop.cpp
+/// @brief Section IV-B (graph partitioning): the dKaMinPar label-propagation
+/// component in three implementations. Paper result: all three have the
+/// same running time; the differences are lines of code (106 custom layer /
+/// 127 KaMPIng / 154 plain MPI, reported here for our marked regions).
+#include <cstring>
+#include <fstream>
+
+#include "apps/graphgen.hpp"
+#include "apps/labelprop.hpp"
+#include "bench_common.hpp"
+
+namespace {
+
+int count_marked_region(std::string const& path, std::string const& name) {
+    std::ifstream file(path);
+    std::string line;
+    bool active = false;
+    int count = 0;
+    while (std::getline(file, line)) {
+        if (line.find("LOC-BEGIN(" + name + ")") != std::string::npos) {
+            active = true;
+            continue;
+        }
+        if (line.find("LOC-END(" + name + ")") != std::string::npos) {
+            active = false;
+            continue;
+        }
+        if (!active) {
+            continue;
+        }
+        auto const first = line.find_first_not_of(" \t");
+        if (first == std::string::npos || line.compare(first, 2, "//") == 0) {
+            continue;
+        }
+        ++count;
+    }
+    return count;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    auto const options = bench::Options::parse(argc, argv);
+    apps::VertexId const vertices_per_rank = options.quick ? 64 : 256;
+
+    apps::labelprop::Variant const variants[] = {
+        apps::labelprop::Variant::mpi,
+        apps::labelprop::Variant::custom_layer,
+        apps::labelprop::Variant::kamping,
+    };
+
+    std::printf(
+        "Section IV-B: size-constrained label propagation, %llu vertices/rank, RGG-2D\n",
+        static_cast<unsigned long long>(vertices_per_rank));
+    auto sweep = bench::power_of_two_sweep(options.max_p);
+    if (sweep.size() > 3) {
+        sweep.erase(sweep.begin(), sweep.end() - 3);
+    }
+    std::vector<std::string> header;
+    for (int p: sweep) {
+        header.push_back("p=" + std::to_string(p));
+    }
+    header.push_back("LoC");
+    bench::print_row("total time (s)", header);
+
+    std::string const source =
+        KAMPING_REPRO_SOURCE_DIR "/src/apps/src/labelprop.cpp";
+    char const* const loc_names[] = {"mpi", "custom", "kamping"};
+
+    for (std::size_t variant_index = 0; variant_index < 3; ++variant_index) {
+        auto const variant = variants[variant_index];
+        std::vector<std::string> cells;
+        for (int p: sweep) {
+            apps::VertexId const n = vertices_per_rank * static_cast<apps::VertexId>(p);
+            auto const edges =
+                apps::rgg2d_edges(n, apps::rgg2d_radius_for_degree(n, 8.0), 321);
+            std::vector<apps::DistributedGraph> fragments;
+            for (int rank = 0; rank < p; ++rank) {
+                fragments.push_back(apps::fragment_from_edges(n, edges, rank, p));
+            }
+            double const seconds = bench::timed_world_run(
+                p, options.model(), options.repetitions, [&](int rank) {
+                    auto const result = apps::labelprop::label_propagation(
+                        fragments[static_cast<std::size_t>(rank)], 32, 15, variant,
+                        XMPI_COMM_WORLD);
+                    (void)result;
+                });
+            cells.push_back(bench::format_seconds(seconds));
+        }
+        cells.push_back(std::to_string(count_marked_region(source, loc_names[variant_index])));
+        bench::print_row(to_string(variant), cells);
+    }
+    std::printf(
+        "\npaper shape: same running time for all variants; LoC: custom layer < kamping < "
+        "plain MPI\n");
+    return 0;
+}

@@ -1,0 +1,104 @@
+/// @file bench_type_construction.cpp
+/// @brief Section III-D4: sensible defaults for type construction. Compares
+/// communicating an alignment-gapped struct as (a) KaMPIng's default
+/// contiguous-bytes type, (b) a gap-skipping MPI struct type, and (c)
+/// explicit serialization. The paper's "preliminary experiments": the
+/// contiguous default wins; serialization has non-negligible overhead —
+/// which is why it stays opt-in.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "kamping/kamping.hpp"
+#include "xmpi/xmpi.hpp"
+
+namespace {
+
+/// @brief A struct with alignment gaps (1 + 7 pad + 8 + 4 + 4 pad).
+struct Gapped {
+    char tag;
+    double value;
+    int id;
+};
+static_assert(sizeof(Gapped) == 24);
+
+/// @brief Same layout, but mapped to a gap-skipping MPI struct type.
+struct GappedStructMapped {
+    char tag;
+    double value;
+    int id;
+};
+
+} // namespace
+
+template <>
+struct kamping::mpi_type_traits<GappedStructMapped>
+    : kamping::struct_type<GappedStructMapped> {};
+
+namespace {
+
+constexpr int kWorldSize = 2;
+constexpr int kCallsPerIteration = 16;
+
+template <typename Body>
+void run_world_benchmark(benchmark::State& state, Body&& body) {
+    for (auto _: state) {
+        xmpi::World::run(kWorldSize, [&] {
+            for (int call = 0; call < kCallsPerIteration; ++call) {
+                body();
+            }
+        });
+    }
+    state.SetItemsProcessed(state.iterations() * kCallsPerIteration);
+}
+
+void BM_contiguous_bytes_default(benchmark::State& state) {
+    std::size_t const count = static_cast<std::size_t>(state.range(0));
+    run_world_benchmark(state, [&] {
+        kamping::Communicator comm;
+        std::vector<Gapped> const mine(
+            count, Gapped{'x', 1.5, comm.rank()});
+        auto all = comm.allgatherv(kamping::send_buf(mine));
+        benchmark::DoNotOptimize(all.data());
+    });
+    state.SetBytesProcessed(
+        state.iterations() * kCallsPerIteration * kWorldSize
+        * static_cast<std::int64_t>(count * sizeof(Gapped)));
+}
+
+void BM_struct_type_skipping_gaps(benchmark::State& state) {
+    std::size_t const count = static_cast<std::size_t>(state.range(0));
+    run_world_benchmark(state, [&] {
+        kamping::Communicator comm;
+        std::vector<GappedStructMapped> const mine(
+            count, GappedStructMapped{'x', 1.5, comm.rank()});
+        auto all = comm.allgatherv(kamping::send_buf(mine));
+        benchmark::DoNotOptimize(all.data());
+    });
+}
+
+void BM_serialization(benchmark::State& state) {
+    std::size_t const count = static_cast<std::size_t>(state.range(0));
+    run_world_benchmark(state, [&] {
+        kamping::Communicator comm;
+        // Element-wise tuple representation (what generic serialization of
+        // such a struct costs).
+        std::vector<std::tuple<char, double, int>> mine(
+            count, std::make_tuple('x', 1.5, comm.rank()));
+        if (comm.rank() == 0) {
+            comm.send(kamping::send_buf(kamping::as_serialized(mine)), kamping::destination(1));
+        } else {
+            auto received = comm.recv(kamping::recv_buf(
+                kamping::as_deserializable<std::vector<std::tuple<char, double, int>>>()));
+            benchmark::DoNotOptimize(received.data());
+        }
+    });
+}
+
+BENCHMARK(BM_contiguous_bytes_default)->Arg(64)->Arg(4096)->Arg(65536);
+BENCHMARK(BM_struct_type_skipping_gaps)->Arg(64)->Arg(4096)->Arg(65536);
+BENCHMARK(BM_serialization)->Arg(64)->Arg(4096)->Arg(65536);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+/// @file fault_tolerance.cpp
+/// @brief Domain example: surviving a process failure with the ULFM plugin
+/// (the paper's Fig. 12) — a fault-tolerant iterative computation that
+/// loses a rank mid-run, shrinks, and finishes on the survivors.
+///
+/// Beyond Fig. 12's revoke + shrink, the example shows the other essential
+/// ingredient of ULFM recovery: a failure can interrupt the survivors at
+/// *different* iterations (some had already finished the collective that
+/// broke for others), so after shrinking they agree on the oldest
+/// incomplete iteration and roll back to its checkpointed state.
+#include <cstdio>
+#include <vector>
+
+#include "kamping/plugin/plugins.hpp"
+#include "xmpi/xmpi.hpp"
+
+using namespace kamping;
+
+int main() {
+    constexpr int kRanks = 6;
+    constexpr int kDoomedRank = 3;
+    constexpr int kIterations = 10;
+
+    xmpi::World::run_ranked(kRanks, [&](int rank) {
+        FullCommunicator comm;
+        // history[i] is the (checkpointed) state at the start of iteration i.
+        std::vector<double> history(kIterations + 1, 0.0);
+        history[0] = 1.0;
+
+        auto const recover = [&](int iteration) {
+            // The paper's Fig. 12, then rollback agreement.
+            if (!comm.is_revoked()) {
+                comm.revoke();
+            }
+            comm = comm.shrink();
+            // Survivors may sit at different iterations: resume from the
+            // oldest incomplete one; its input state is checkpointed.
+            int const resume = comm.allreduce_single(send_buf(iteration), op(ops::min{}));
+            if (comm.rank() == 0) {
+                std::printf(
+                    "  failure handled: %zu survivors roll back to iteration %d\n",
+                    comm.size(), resume);
+            }
+            return resume;
+        };
+
+        int iteration = 0;
+        while (iteration < kIterations) {
+            if (rank == kDoomedRank && iteration == 4) {
+                std::printf("  rank %d fails in iteration %d\n", rank, iteration);
+                xmpi::inject_failure();
+            }
+            try {
+                double const sum = comm.allreduce_single(
+                    send_buf(history[static_cast<std::size_t>(iteration)]),
+                    op(std::plus<>{}));
+                history[static_cast<std::size_t>(iteration) + 1] =
+                    sum / static_cast<double>(comm.size());
+                ++iteration;
+            } catch (MpiFailureDetected const&) {
+                iteration = recover(iteration);
+            } catch (MpiCommRevoked const&) {
+                iteration = recover(iteration);
+            }
+        }
+        if (comm.rank() == 0) {
+            std::printf(
+                "completed %d iterations on %zu surviving ranks (value %.3f)\n", kIterations,
+                comm.size(), history[kIterations]);
+        }
+    });
+    return 0;
+}

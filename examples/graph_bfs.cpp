@@ -1,0 +1,61 @@
+/// @file graph_bfs.cpp
+/// @brief Domain example: distributed BFS (the paper's Fig. 9) on a random
+/// hyperbolic graph, comparing the frontier-exchange strategies of Fig. 10
+/// in one run.
+#include <cstdio>
+
+#include "apps/bfs.hpp"
+#include "apps/graphgen.hpp"
+#include "xmpi/xmpi.hpp"
+
+int main() {
+    constexpr int kRanks = 8;
+    constexpr apps::VertexId kVerticesPerRank = 1 << 8;
+    xmpi::NetworkModel const model{20e-6, 0.15e-9};
+
+    apps::VertexId const n = kVerticesPerRank * kRanks;
+    auto const edges = apps::rhg_edges(n, 0.75, 16.0, 20240708);
+    std::printf(
+        "BFS on a random hyperbolic graph: %llu vertices, %zu edges, %d ranks\n",
+        static_cast<unsigned long long>(n), edges.size(), kRanks);
+
+    apps::BfsExchange const strategies[] = {
+        apps::BfsExchange::mpi_alltoallv,
+        apps::BfsExchange::kamping,
+        apps::BfsExchange::kamping_sparse,
+        apps::BfsExchange::kamping_grid,
+    };
+    for (auto const strategy: strategies) {
+        double slowest = 0.0;
+        apps::VertexId reached = 0;
+        xmpi::World::run_ranked(
+            kRanks,
+            [&](int rank) {
+                auto const graph = apps::fragment_from_edges(n, edges, rank, kRanks);
+                XMPI_Barrier(XMPI_COMM_WORLD);
+                double const start = XMPI_Wtime();
+                auto const distances = apps::bfs(graph, 0, strategy, XMPI_COMM_WORLD);
+                double const elapsed = XMPI_Wtime() - start;
+                std::uint64_t local_reached = 0;
+                for (auto const distance: distances) {
+                    local_reached += distance != apps::kUnreached ? 1 : 0;
+                }
+                std::uint64_t total = 0;
+                double max_elapsed = 0.0;
+                XMPI_Allreduce(
+                    &local_reached, &total, 1, XMPI_UNSIGNED_LONG_LONG, XMPI_SUM,
+                    XMPI_COMM_WORLD);
+                XMPI_Allreduce(
+                    &elapsed, &max_elapsed, 1, XMPI_DOUBLE, XMPI_MAX, XMPI_COMM_WORLD);
+                if (rank == 0) {
+                    slowest = max_elapsed;
+                    reached = total;
+                }
+            },
+            model);
+        std::printf(
+            "  %-22s %.4f s   (%llu vertices reached)\n", apps::to_string(strategy), slowest,
+            static_cast<unsigned long long>(reached));
+    }
+    return 0;
+}

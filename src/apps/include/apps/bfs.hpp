@@ -1,0 +1,39 @@
+/// @file bfs.hpp
+/// @brief Distributed breadth-first search (paper, Fig. 9 / Fig. 10) with
+/// pluggable frontier-exchange strategies.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "apps/graph.hpp"
+#include "xmpi/api.hpp"
+
+namespace apps {
+
+inline constexpr VertexId kUnreached = std::numeric_limits<VertexId>::max();
+
+/// @brief Frontier-exchange strategies compared in the paper's Fig. 10.
+enum class BfsExchange {
+    mpi_alltoallv,        ///< built-in MPI_Alltoallv (plain MPI baseline)
+    mpi_neighbor,         ///< MPI_Neighbor_alltoallv on a static graph topology
+    mpi_neighbor_rebuild, ///< ... rebuilding the topology before every step
+    kamping,              ///< KaMPIng alltoallv (with_flattened)
+    kamping_sparse,       ///< KaMPIng SparseAlltoall plugin (NBX)
+    kamping_grid,         ///< KaMPIng GridCommunicator plugin (2-hop)
+};
+
+[[nodiscard]] char const* to_string(BfsExchange strategy);
+
+/// @brief Distributed BFS from @c source; returns the hop distance of every
+/// local vertex (kUnreached if unreachable). Every strategy computes the
+/// same distances; they differ only in how the frontier is exchanged.
+std::vector<VertexId>
+bfs(DistributedGraph const& graph, VertexId source, BfsExchange strategy, XMPI_Comm comm);
+
+/// @brief Single-process reference BFS over the whole graph (adjacency
+/// gathered from the distributed fragments); used by tests.
+std::vector<VertexId> bfs_reference(
+    std::vector<std::vector<VertexId>> const& global_adjacency, VertexId source);
+
+} // namespace apps

@@ -1,0 +1,214 @@
+/// @file bfs_bindings.hpp
+/// @brief The BFS frontier exchange + completion logic implemented in all
+/// five binding styles (paper, Section IV-B and Table I row 3: only these
+/// parts differ between the implementations; the traversal is shared).
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <numeric>
+#include <unordered_map>
+#include <vector>
+
+#include "apps/bfs.hpp"
+#include "apps/graph.hpp"
+#include "kamping/kamping.hpp"
+#include "mimic/boostmpi.hpp"
+#include "mimic/mpl.hpp"
+#include "mimic/rwth.hpp"
+#include "xmpi/api.hpp"
+
+namespace apps::bfs_bindings {
+
+using FrontierMessages = std::unordered_map<int, std::vector<VertexId>>;
+
+/// @brief Plain MPI exchange: counts, displacements, allreduce — all manual.
+struct MpiExchange {
+    XMPI_Comm comm;
+
+    // LOC-BEGIN(mpi)
+    bool is_empty(bool locally_empty) const {
+        int const mine = locally_empty ? 1 : 0;
+        int all = 0;
+        XMPI_Allreduce(&mine, &all, 1, XMPI_INT, XMPI_LAND, comm);
+        return all != 0;
+    }
+
+    std::vector<VertexId> exchange(FrontierMessages const& messages) const {
+        int p;
+        XMPI_Comm_size(comm, &p);
+        std::vector<int> send_counts(p, 0), send_displs(p), recv_counts(p), recv_displs(p);
+        for (auto const& [dest, payload]: messages) {
+            send_counts[dest] = static_cast<int>(payload.size());
+        }
+        std::exclusive_scan(send_counts.begin(), send_counts.end(), send_displs.begin(), 0);
+        std::vector<VertexId> send_data(send_displs.back() + send_counts.back());
+        for (auto const& [dest, payload]: messages) {
+            std::copy(payload.begin(), payload.end(), send_data.begin() + send_displs[dest]);
+        }
+        XMPI_Alltoall(send_counts.data(), 1, XMPI_INT, recv_counts.data(), 1, XMPI_INT, comm);
+        std::exclusive_scan(recv_counts.begin(), recv_counts.end(), recv_displs.begin(), 0);
+        std::vector<VertexId> recv_data(recv_displs.back() + recv_counts.back());
+        XMPI_Alltoallv(
+            send_data.data(), send_counts.data(), send_displs.data(), XMPI_UNSIGNED_LONG_LONG,
+            recv_data.data(), recv_counts.data(), recv_displs.data(), XMPI_UNSIGNED_LONG_LONG,
+            comm);
+        return recv_data;
+    }
+    // LOC-END(mpi)
+};
+
+/// @brief Boost.MPI-style exchange: nested-vector all_to_all hides the
+/// counts but serializes every message.
+struct BoostExchange {
+    mimic::boostmpi::communicator comm;
+
+    // LOC-BEGIN(boost)
+    bool is_empty(bool locally_empty) const {
+        return mimic::boostmpi::all_reduce(comm, locally_empty ? 1 : 0, std::logical_and<>{})
+               != 0;
+    }
+
+    std::vector<VertexId> exchange(FrontierMessages const& messages) const {
+        std::vector<std::vector<VertexId>> out(static_cast<std::size_t>(comm.size()));
+        for (auto const& [dest, payload]: messages) {
+            out[static_cast<std::size_t>(dest)] = payload;
+        }
+        std::vector<std::vector<VertexId>> in;
+        mimic::boostmpi::all_to_all(comm, out, in);
+        std::vector<VertexId> received;
+        for (auto const& block: in) {
+            received.insert(received.end(), block.begin(), block.end());
+        }
+        return received;
+    }
+    // LOC-END(boost)
+};
+
+/// @brief MPL-style exchange: layouts for both directions.
+struct MplExchange {
+    mimic::mpl::communicator comm;
+
+    // LOC-BEGIN(mpl)
+    bool is_empty(bool locally_empty) const {
+        int all = 0;
+        int const mine = locally_empty ? 1 : 0;
+        comm.allreduce(std::logical_and<>{}, mine, all);
+        return all != 0;
+    }
+
+    std::vector<VertexId> exchange(FrontierMessages const& messages) const {
+        int const p = comm.size();
+        std::vector<int> send_counts(p, 0);
+        for (auto const& [dest, payload]: messages) {
+            send_counts[dest] = static_cast<int>(payload.size());
+        }
+        std::vector<int> recv_counts(p);
+        comm.alltoall(send_counts.data(), recv_counts.data());
+        mimic::mpl::contiguous_layouts<VertexId> send_layouts(p), recv_layouts(p);
+        mimic::mpl::displacements send_displs(p), recv_displs(p);
+        std::ptrdiff_t send_offset = 0, recv_offset = 0;
+        for (int i = 0; i < p; ++i) {
+            send_layouts[i] = mimic::mpl::contiguous_layout<VertexId>(send_counts[i]);
+            send_displs[i] = send_offset;
+            send_offset += send_counts[i];
+            recv_layouts[i] = mimic::mpl::contiguous_layout<VertexId>(recv_counts[i]);
+            recv_displs[i] = recv_offset;
+            recv_offset += recv_counts[i];
+        }
+        std::vector<VertexId> send_data(static_cast<std::size_t>(send_offset));
+        for (auto const& [dest, payload]: messages) {
+            std::copy(payload.begin(), payload.end(), send_data.begin() + send_displs[dest]);
+        }
+        std::vector<VertexId> received(static_cast<std::size_t>(recv_offset));
+        comm.alltoallv(
+            send_data.data(), send_layouts, send_displs, received.data(), recv_layouts,
+            recv_displs);
+        return received;
+    }
+    // LOC-END(mpl)
+};
+
+/// @brief RWTH-style exchange: all_to_all_varying computes the receive side.
+struct RwthExchange {
+    mimic::rwth::communicator comm;
+
+    // LOC-BEGIN(rwth)
+    bool is_empty(bool locally_empty) const {
+        return comm.all_reduce(locally_empty ? 1 : 0, std::logical_and<>{}) != 0;
+    }
+
+    std::vector<VertexId> exchange(FrontierMessages const& messages) const {
+        int const p = comm.size();
+        std::vector<int> send_counts(p, 0), send_displs(p);
+        for (auto const& [dest, payload]: messages) {
+            send_counts[dest] = static_cast<int>(payload.size());
+        }
+        std::exclusive_scan(send_counts.begin(), send_counts.end(), send_displs.begin(), 0);
+        std::vector<VertexId> send_data(send_displs.back() + send_counts.back());
+        for (auto const& [dest, payload]: messages) {
+            std::copy(payload.begin(), payload.end(), send_data.begin() + send_displs[dest]);
+        }
+        std::vector<VertexId> received;
+        std::vector<int> recv_counts;
+        comm.all_to_all_varying(send_data, send_counts, received, recv_counts);
+        return received;
+    }
+    // LOC-END(rwth)
+};
+
+/// @brief KaMPIng exchange — the paper's Fig. 9.
+struct KampingExchange {
+    kamping::Communicator comm;
+
+    // LOC-BEGIN(kamping)
+    bool is_empty(bool locally_empty) const {
+        return comm.allreduce_single(
+            kamping::send_buf(locally_empty), kamping::op(std::logical_and<>{}));
+    }
+
+    std::vector<VertexId> exchange(FrontierMessages const& messages) const {
+        return kamping::with_flattened(messages, comm.size()).call([&](auto... flattened) {
+            return comm.alltoallv(std::move(flattened)...);
+        });
+    }
+    // LOC-END(kamping)
+};
+
+/// @brief The shared traversal, templated on the exchange policy; computes
+/// hop distances like apps::bfs().
+template <typename Exchange>
+std::vector<VertexId>
+bfs_with(Exchange const& exchanger, DistributedGraph const& graph, VertexId source) {
+    std::vector<VertexId> distance(graph.local_vertex_count(), kUnreached);
+    std::vector<VertexId> frontier;
+    if (graph.is_local(source)) {
+        frontier.push_back(source);
+        distance[graph.to_local(source)] = 0;
+    }
+    VertexId level = 0;
+    while (!exchanger.is_empty(frontier.empty())) {
+        FrontierMessages messages;
+        for (VertexId const v: frontier) {
+            auto const [begin, end] = graph.neighbors(graph.to_local(v));
+            for (auto const* it = begin; it != end; ++it) {
+                messages[graph.owner_of(*it)].push_back(*it);
+            }
+        }
+        auto const received = exchanger.exchange(messages);
+        frontier.clear();
+        for (VertexId const v: received) {
+            auto& d = distance[graph.to_local(v)];
+            if (d == kUnreached) {
+                d = level + 1;
+                frontier.push_back(v);
+            }
+        }
+        std::sort(frontier.begin(), frontier.end());
+        frontier.erase(std::unique(frontier.begin(), frontier.end()), frontier.end());
+        ++level;
+    }
+    return distance;
+}
+
+} // namespace apps::bfs_bindings

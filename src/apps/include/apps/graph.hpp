@@ -1,0 +1,64 @@
+/// @file graph.hpp
+/// @brief Distributed graph representation used by the BFS and label
+/// propagation applications (paper, Section IV-B): vertices are
+/// block-distributed over the ranks, each rank stores its vertices'
+/// incident edges as an adjacency array.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace apps {
+
+using VertexId = std::uint64_t;
+
+/// @brief Adjacency-array graph fragment owned by one rank.
+struct DistributedGraph {
+    VertexId global_vertex_count = 0;
+    /// vertex_distribution[r] = first global vertex owned by rank r;
+    /// size p + 1, last entry = global_vertex_count.
+    std::vector<VertexId> vertex_distribution;
+    int rank = 0;
+
+    /// Local adjacency array: neighbors of local vertex v are
+    /// adjacency[offsets[v] .. offsets[v+1]) (global vertex ids).
+    std::vector<std::size_t> offsets{0};
+    std::vector<VertexId> adjacency;
+
+    [[nodiscard]] VertexId first_vertex() const {
+        return vertex_distribution[static_cast<std::size_t>(rank)];
+    }
+    [[nodiscard]] VertexId local_vertex_count() const {
+        return vertex_distribution[static_cast<std::size_t>(rank) + 1] - first_vertex();
+    }
+    [[nodiscard]] bool is_local(VertexId v) const {
+        return v >= first_vertex() && v < first_vertex() + local_vertex_count();
+    }
+    [[nodiscard]] VertexId to_local(VertexId v) const { return v - first_vertex(); }
+
+    /// @brief Rank owning a global vertex (binary search over the blocks).
+    [[nodiscard]] int owner_of(VertexId v) const {
+        int lo = 0;
+        int hi = static_cast<int>(vertex_distribution.size()) - 2;
+        while (lo < hi) {
+            int const mid = (lo + hi + 1) / 2;
+            if (vertex_distribution[static_cast<std::size_t>(mid)] <= v) {
+                lo = mid;
+            } else {
+                hi = mid - 1;
+            }
+        }
+        return lo;
+    }
+
+    /// @brief Neighbor range of a local vertex.
+    [[nodiscard]] std::pair<VertexId const*, VertexId const*> neighbors(VertexId local_v) const {
+        return {
+            adjacency.data() + offsets[static_cast<std::size_t>(local_v)],
+            adjacency.data() + offsets[static_cast<std::size_t>(local_v) + 1]};
+    }
+
+    [[nodiscard]] std::size_t local_edge_count() const { return adjacency.size(); }
+};
+
+} // namespace apps

@@ -1,0 +1,62 @@
+/// @file graphgen.hpp
+/// @brief Distributed generators for the three graph families of the
+/// paper's Fig. 10 (standing in for the KaGen generators):
+///
+///   - GNM (Erdős–Rényi): m uniform random edges — almost no locality
+///     (most edges cross rank boundaries), small diameter;
+///   - RGG-2D (random geometric): points in the unit square connected
+///     within radius r, vertex ids in spatial order — high locality, high
+///     diameter;
+///   - RHG (random hyperbolic): power-law degrees, locality and diameter
+///     between the two, with high-degree hub vertices.
+///
+/// All ranks generate the same global structure deterministically from the
+/// seed (communication-free generation; affordable at laptop scale) and keep
+/// the adjacency of their own vertex block.
+#pragma once
+
+#include <cstdint>
+
+#include "apps/graph.hpp"
+
+namespace apps {
+
+/// @brief Uniform block distribution of n vertices over p ranks.
+std::vector<VertexId> block_distribution(VertexId n, int p);
+
+/// @brief A global undirected edge list (u, v); self-loops are ignored when
+/// building fragments.
+using EdgeList = std::vector<std::pair<VertexId, VertexId>>;
+
+/// @name Edge-list generation (global, deterministic in the seed). The
+/// benchmarks generate once and cut per-rank fragments from the shared list.
+/// @{
+EdgeList gnm_edges(VertexId n, std::uint64_t m, std::uint64_t seed);
+EdgeList rgg2d_edges(VertexId n, double radius, std::uint64_t seed);
+EdgeList rhg_edges(VertexId n, double alpha, double average_degree, std::uint64_t seed);
+/// @}
+
+/// @brief Builds rank @c rank's fragment of the n-vertex graph given the
+/// global edge list.
+DistributedGraph fragment_from_edges(VertexId n, EdgeList const& edges, int rank, int size);
+
+/// @brief Erdős–Rényi G(n, m): exactly m undirected edges drawn uniformly
+/// (with replacement, self-loops skipped).
+DistributedGraph generate_gnm(VertexId n, std::uint64_t m, int rank, int size, std::uint64_t seed);
+
+/// @brief Random geometric graph: n points in the unit square, edges within
+/// Euclidean distance radius. Vertices are numbered in spatial (cell-row)
+/// order, so the block distribution is spatially coherent.
+DistributedGraph generate_rgg2d(VertexId n, double radius, int rank, int size, std::uint64_t seed);
+
+/// @brief Random hyperbolic graph: n points in a hyperbolic disc of radius
+/// R = 2 ln n + C, radial density with power-law exponent 2*alpha + 1,
+/// edges between points at hyperbolic distance < R. Vertices numbered by
+/// angle (partial locality).
+DistributedGraph generate_rhg(
+    VertexId n, double alpha, double average_degree, int rank, int size, std::uint64_t seed);
+
+/// @brief Radius giving an expected average degree for an RGG-2D.
+double rgg2d_radius_for_degree(VertexId n, double average_degree);
+
+} // namespace apps

@@ -1,0 +1,221 @@
+/// @file samplesort.hpp
+/// @brief Textbook distributed sample sort (paper, Section IV-A, Fig. 7/8)
+/// implemented comparably in all five binding styles: plain (X)MPI,
+/// Boost.MPI style, MPL style, RWTH style, and KaMPIng.
+///
+/// Shared parts (sampling, splitter selection, bucketing) are extracted to
+/// functions exactly as the paper does for its LoC comparison; the
+/// `// LOC-BEGIN(name)` / `// LOC-END(name)` markers delimit the code that
+/// differs per binding and is counted by the Table I benchmark.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <random>
+#include <vector>
+
+#include "kamping/kamping.hpp"
+#include "mimic/boostmpi.hpp"
+#include "mimic/mpl.hpp"
+#include "mimic/rwth.hpp"
+#include "xmpi/api.hpp"
+
+namespace apps::samplesort {
+
+/// @brief Oversampling factor of the paper's Fig. 7: 16 log2(p) + 1.
+inline std::size_t num_samples_for(int p) {
+    return 16 * static_cast<std::size_t>(std::log2(static_cast<double>(std::max(2, p)))) + 1;
+}
+
+/// @brief Draws local samples (deterministic per rank for comparability).
+template <typename T>
+std::vector<T> draw_samples(std::vector<T> const& data, std::size_t count, int rank) {
+    std::vector<T> samples(std::min(count, data.size()));
+    std::sample(
+        data.begin(), data.end(), samples.begin(), samples.size(),
+        std::mt19937{static_cast<std::uint32_t>(rank) * 7919u + 13u});
+    return samples;
+}
+
+/// @brief Picks p-1 equidistant splitters from the sorted global samples.
+template <typename T>
+std::vector<T> pick_splitters(std::vector<T> global_samples, int p) {
+    std::sort(global_samples.begin(), global_samples.end());
+    std::vector<T> splitters;
+    splitters.reserve(static_cast<std::size_t>(p) - 1);
+    for (int i = 1; i < p; ++i) {
+        std::size_t const index = std::min(
+            static_cast<std::size_t>(i) * global_samples.size() / static_cast<std::size_t>(p),
+            global_samples.size() - 1);
+        splitters.push_back(global_samples[index]);
+    }
+    return splitters;
+}
+
+/// @brief Buckets the (consumed) local data by splitter.
+template <typename T>
+std::vector<std::vector<T>> build_buckets(std::vector<T>& data, std::vector<T> const& splitters) {
+    std::vector<std::vector<T>> buckets(splitters.size() + 1);
+    for (auto& value: data) {
+        auto const bucket = static_cast<std::size_t>(
+            std::upper_bound(splitters.begin(), splitters.end(), value) - splitters.begin());
+        buckets[bucket].push_back(value);
+    }
+    data.clear();
+    return buckets;
+}
+
+/// @brief Flattens buckets into contiguous data + per-destination counts.
+template <typename T>
+std::pair<std::vector<T>, std::vector<int>> flatten(std::vector<std::vector<T>> const& buckets) {
+    std::vector<T> data;
+    std::vector<int> counts;
+    counts.reserve(buckets.size());
+    for (auto const& bucket: buckets) {
+        data.insert(data.end(), bucket.begin(), bucket.end());
+        counts.push_back(static_cast<int>(bucket.size()));
+    }
+    return {std::move(data), std::move(counts)};
+}
+
+/// @brief Plain MPI implementation: every parameter spelled out by hand.
+template <typename T>
+void sort_mpi(std::vector<T>& data, XMPI_Comm comm) {
+    // LOC-BEGIN(mpi)
+    int p, rank;
+    XMPI_Comm_size(comm, &p);
+    XMPI_Comm_rank(comm, &rank);
+    if (p == 1) { std::sort(data.begin(), data.end()); return; }
+    std::vector<T> lsamples = draw_samples(data, num_samples_for(p), rank);
+    int const scount = static_cast<int>(lsamples.size());
+    std::vector<int> sample_counts(p), sample_displs(p);
+    XMPI_Allgather(&scount, 1, XMPI_INT, sample_counts.data(), 1, XMPI_INT, comm);
+    std::exclusive_scan(sample_counts.begin(), sample_counts.end(), sample_displs.begin(), 0);
+    std::vector<T> gsamples(sample_displs.back() + sample_counts.back());
+    XMPI_Allgatherv(
+        lsamples.data(), scount, kamping::mpi_datatype<T>(), gsamples.data(),
+        sample_counts.data(), sample_displs.data(), kamping::mpi_datatype<T>(), comm);
+    auto buckets = build_buckets(data, pick_splitters(std::move(gsamples), p));
+    auto [send_data, send_counts] = flatten(buckets);
+    std::vector<int> send_displs(p), recv_counts(p), recv_displs(p);
+    std::exclusive_scan(send_counts.begin(), send_counts.end(), send_displs.begin(), 0);
+    XMPI_Alltoall(send_counts.data(), 1, XMPI_INT, recv_counts.data(), 1, XMPI_INT, comm);
+    std::exclusive_scan(recv_counts.begin(), recv_counts.end(), recv_displs.begin(), 0);
+    data.resize(recv_displs.back() + recv_counts.back());
+    XMPI_Alltoallv(
+        send_data.data(), send_counts.data(), send_displs.data(), kamping::mpi_datatype<T>(),
+        data.data(), recv_counts.data(), recv_displs.data(), kamping::mpi_datatype<T>(), comm);
+    std::sort(data.begin(), data.end());
+    // LOC-END(mpi)
+}
+
+/// @brief Boost.MPI-style implementation: nested-vector all_to_all, but
+/// sample counts still exchanged by hand.
+template <typename T>
+void sort_boost(std::vector<T>& data, XMPI_Comm comm_handle) {
+    // LOC-BEGIN(boost)
+    mimic::boostmpi::communicator comm(comm_handle);
+    int const p = comm.size();
+    if (p == 1) { std::sort(data.begin(), data.end()); return; }
+    std::vector<T> lsamples = draw_samples(data, num_samples_for(p), comm.rank());
+    std::vector<int> sample_counts;
+    mimic::boostmpi::all_gather(comm, static_cast<int>(lsamples.size()), sample_counts);
+    std::vector<T> gsamples;
+    mimic::boostmpi::all_gatherv(comm, lsamples, gsamples, sample_counts);
+    auto buckets = build_buckets(data, pick_splitters(std::move(gsamples), p));
+    std::vector<std::vector<T>> incoming;
+    mimic::boostmpi::all_to_all(comm, buckets, incoming);
+    for (auto const& block: incoming) {
+        data.insert(data.end(), block.begin(), block.end());
+    }
+    std::sort(data.begin(), data.end());
+    // LOC-END(boost)
+}
+
+/// @brief MPL-style implementation: layouts everywhere.
+template <typename T>
+void sort_mpl(std::vector<T>& data, XMPI_Comm comm_handle) {
+    // LOC-BEGIN(mpl)
+    mimic::mpl::communicator comm(comm_handle);
+    int const p = comm.size();
+    if (p == 1) { std::sort(data.begin(), data.end()); return; }
+    std::vector<T> lsamples = draw_samples(data, num_samples_for(p), comm.rank());
+    std::vector<int> sample_counts(p);
+    int const my_sample_count = static_cast<int>(lsamples.size());
+    comm.allgather(my_sample_count, sample_counts.data());
+    mimic::mpl::contiguous_layouts<T> sample_layouts(p);
+    mimic::mpl::displacements sample_displs(p);
+    std::ptrdiff_t sample_offset = 0;
+    for (int i = 0; i < p; ++i) {
+        sample_layouts[i] = mimic::mpl::contiguous_layout<T>(sample_counts[i]);
+        sample_displs[i] = sample_offset;
+        sample_offset += sample_counts[i];
+    }
+    std::vector<T> gsamples(static_cast<std::size_t>(sample_offset));
+    comm.allgatherv(
+        lsamples.data(), mimic::mpl::contiguous_layout<T>(my_sample_count), gsamples.data(),
+        sample_layouts, sample_displs);
+    auto buckets = build_buckets(data, pick_splitters(std::move(gsamples), p));
+    auto [send_data, send_counts] = flatten(buckets);
+    std::vector<int> recv_counts(p);
+    comm.alltoall(send_counts.data(), recv_counts.data());
+    mimic::mpl::contiguous_layouts<T> send_layouts(p), recv_layouts(p);
+    mimic::mpl::displacements send_displs(p), recv_displs(p);
+    std::ptrdiff_t send_offset = 0, recv_offset = 0;
+    for (int i = 0; i < p; ++i) {
+        send_layouts[i] = mimic::mpl::contiguous_layout<T>(send_counts[i]);
+        send_displs[i] = send_offset;
+        send_offset += send_counts[i];
+        recv_layouts[i] = mimic::mpl::contiguous_layout<T>(recv_counts[i]);
+        recv_displs[i] = recv_offset;
+        recv_offset += recv_counts[i];
+    }
+    data.resize(static_cast<std::size_t>(recv_offset));
+    comm.alltoallv(
+        send_data.data(), send_layouts, send_displs, data.data(), recv_layouts, recv_displs);
+    std::sort(data.begin(), data.end());
+    // LOC-END(mpl)
+}
+
+/// @brief RWTH-style implementation: count-computing overloads help, but the
+/// sample exchange still needs manual counts.
+template <typename T>
+void sort_rwth(std::vector<T>& data, XMPI_Comm comm_handle) {
+    // LOC-BEGIN(rwth)
+    mimic::rwth::communicator comm(comm_handle);
+    int const p = comm.size();
+    if (p == 1) { std::sort(data.begin(), data.end()); return; }
+    std::vector<T> lsamples = draw_samples(data, num_samples_for(p), comm.rank());
+    std::vector<int> sample_counts;
+    comm.all_gather(static_cast<int>(lsamples.size()), sample_counts);
+    std::vector<int> sample_displs(p);
+    std::exclusive_scan(sample_counts.begin(), sample_counts.end(), sample_displs.begin(), 0);
+    std::vector<T> gsamples;
+    comm.all_gather_varying(lsamples, gsamples, sample_counts, sample_displs);
+    auto buckets = build_buckets(data, pick_splitters(std::move(gsamples), p));
+    auto [send_data, send_counts] = flatten(buckets);
+    std::vector<int> recv_counts;
+    comm.all_to_all_varying(send_data, send_counts, data, recv_counts);
+    std::sort(data.begin(), data.end());
+    // LOC-END(rwth)
+}
+
+/// @brief KaMPIng implementation — the paper's Fig. 7.
+template <typename T>
+void sort_kamping(std::vector<T>& data, XMPI_Comm comm_handle) {
+    // LOC-BEGIN(kamping)
+    kamping::Communicator comm(comm_handle);
+    if (comm.size() == 1) { std::sort(data.begin(), data.end()); return; }
+    std::vector<T> lsamples =
+        draw_samples(data, num_samples_for(comm.size_signed()), comm.rank());
+    auto gsamples = comm.allgatherv(kamping::send_buf(lsamples));
+    auto buckets = build_buckets(data, pick_splitters(std::move(gsamples), comm.size_signed()));
+    auto [send_data, send_count_values] = flatten(buckets);
+    data = comm.alltoallv(
+        kamping::send_buf(std::move(send_data)), kamping::send_counts(send_count_values));
+    std::sort(data.begin(), data.end());
+    // LOC-END(kamping)
+}
+
+} // namespace apps::samplesort

@@ -1,0 +1,196 @@
+/// @file prefix_doubling.hpp
+/// @brief Distributed suffix-array construction by prefix doubling
+/// (Manber–Myers [13], distributed as in Fischer & Kurpicz [27]) — the
+/// paper's Section IV-A "Suffix Array Construction" workload, implemented
+/// with KaMPIng (the paper reports 163 LoC for this variant vs. 426 for
+/// plain MPI).
+///
+/// The text is block-distributed. Each round h doubles the compared prefix:
+///   1. fetch R[i+h] with a shift exchange (pure alltoallv, no requests:
+///      the block distribution makes every transfer computable locally);
+///   2. globally sort the tuples (R[i], R[i+h], i) with the Sorter plugin;
+///   3. re-name: a tuple starts a new group iff it differs from its
+///      predecessor (one boundary exchange), names via prefix sums;
+///   4. ship the new names home; stop once all names are unique.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "kamping/plugin/plugins.hpp"
+
+namespace apps::suffix {
+
+namespace internal {
+
+/// @brief One prefix-doubling tuple: current name, name h positions later,
+/// and the suffix index. Ordered by the name pair.
+struct PdTuple {
+    std::uint64_t name;
+    std::uint64_t next_name;
+    std::uint64_t index;
+
+    friend bool operator<(PdTuple const& a, PdTuple const& b) {
+        return a.name != b.name ? a.name < b.name : a.next_name < b.next_name;
+    }
+    friend bool operator==(PdTuple const& a, PdTuple const& b) {
+        return a.name == b.name && a.next_name == b.next_name;
+    }
+};
+
+/// @brief Exchanges (destination-block) values: element j of the returned
+/// vector is `values[i + h]` for the j-th local index i, or 0 past the end.
+/// Works entirely from the globally known block distribution.
+inline std::vector<std::uint64_t> shift_names(
+    std::vector<std::uint64_t> const& names, std::uint64_t h,
+    std::vector<std::uint64_t> const& distribution, kamping::FullCommunicator const& comm) {
+    using kamping::send_buf;
+    using kamping::send_counts;
+    using kamping::send_displs;
+    int const p = comm.size_signed();
+    std::uint64_t const n = distribution.back();
+    std::uint64_t const first = distribution[static_cast<std::size_t>(comm.rank())];
+    std::uint64_t const last = distribution[static_cast<std::size_t>(comm.rank()) + 1];
+
+    // I own names for [first, last); rank q needs [q_first + h, q_last + h).
+    // Send the overlap of my block with each rank's needed range.
+    std::vector<int> counts(static_cast<std::size_t>(p), 0);
+    std::vector<int> displs(static_cast<std::size_t>(p), 0);
+    for (int q = 0; q < p; ++q) {
+        std::uint64_t const need_lo = distribution[static_cast<std::size_t>(q)] + h;
+        std::uint64_t const need_hi = distribution[static_cast<std::size_t>(q) + 1] + h;
+        std::uint64_t const lo = std::max(first, std::min(need_lo, n));
+        std::uint64_t const hi = std::min(last, std::min(need_hi, n));
+        if (lo < hi) {
+            counts[static_cast<std::size_t>(q)] = static_cast<int>(hi - lo);
+            displs[static_cast<std::size_t>(q)] = static_cast<int>(lo - first);
+        }
+    }
+    auto shifted = comm.alltoallv(
+        send_buf(names), send_counts(counts), send_displs(displs));
+    // Ranks past the end of the text read as 0 (smaller than any name).
+    shifted.resize(last - first, 0);
+    return shifted;
+}
+
+} // namespace internal
+
+/// @brief Distributed prefix doubling with KaMPIng. @c local_text is this
+/// rank's block of the global text; returns this rank's block of the suffix
+/// array (same block distribution).
+inline std::vector<std::uint64_t> suffix_array_prefix_doubling_kamping(
+    std::string const& local_text, XMPI_Comm comm_handle) {
+    using namespace kamping;
+    FullCommunicator comm(comm_handle);
+    int const p = comm.size_signed();
+
+    // Globally known block distribution of the text.
+    auto const local_sizes = comm.allgatherv(
+        send_buf({static_cast<std::uint64_t>(local_text.size())}));
+    std::vector<std::uint64_t> distribution(static_cast<std::size_t>(p) + 1, 0);
+    std::inclusive_scan(local_sizes.begin(), local_sizes.end(), distribution.begin() + 1);
+    std::uint64_t const n = distribution.back();
+    std::uint64_t const first = distribution[static_cast<std::size_t>(comm.rank())];
+
+    // Initial names: character values (+1 to keep 0 as "past the end").
+    std::vector<std::uint64_t> names(local_text.size());
+    for (std::size_t i = 0; i < local_text.size(); ++i) {
+        names[i] = static_cast<unsigned char>(local_text[i]) + 1u;
+    }
+
+    std::vector<internal::PdTuple> tuples;
+    for (std::uint64_t h = 1;; h *= 2) {
+        auto const shifted = internal::shift_names(names, h, distribution, comm);
+        tuples.resize(names.size());
+        for (std::size_t i = 0; i < names.size(); ++i) {
+            tuples[i] = {names[i], shifted[i], first + i};
+        }
+        comm.sort(tuples);
+
+        // Group flags: 1 iff a tuple differs from its predecessor. The
+        // predecessor of my first tuple is the last tuple of the nearest
+        // non-empty rank before me.
+        internal::PdTuple const boundary =
+            tuples.empty() ? internal::PdTuple{0, 0, 0} : tuples.back();
+        // Fixed-size exchanges: plain allgather, no count negotiation.
+        auto const boundary_tuples = comm.allgather(send_buf({boundary}));
+        auto const tuple_counts =
+            comm.allgather(send_buf({static_cast<std::uint64_t>(tuples.size())}));
+        internal::PdTuple predecessor{~0ull, ~0ull, ~0ull};
+        bool have_predecessor = false;
+        for (int r = comm.rank() - 1; r >= 0; --r) {
+            if (tuple_counts[static_cast<std::size_t>(r)] > 0) {
+                predecessor = boundary_tuples[static_cast<std::size_t>(r)];
+                have_predecessor = true;
+                break;
+            }
+        }
+        std::vector<std::uint64_t> flags(tuples.size(), 0);
+        std::uint64_t distinct_locally = 1;
+        for (std::size_t i = 0; i < tuples.size(); ++i) {
+            bool const starts_group =
+                i == 0 ? (!have_predecessor || !(tuples[i] == predecessor))
+                       : !(tuples[i] == tuples[i - 1]);
+            flags[i] = starts_group ? 1 : 0;
+            if (!starts_group) {
+                distinct_locally = 0;
+            }
+        }
+        // Names = global inclusive prefix sum over the flags.
+        std::uint64_t const local_flag_sum =
+            std::accumulate(flags.begin(), flags.end(), std::uint64_t{0});
+        std::uint64_t const preceding_flags = comm.exscan_single(
+            send_buf(local_flag_sum), op(std::plus<>{}), values_on_rank_0(std::uint64_t{0}));
+        std::inclusive_scan(flags.begin(), flags.end(), flags.begin());
+        for (auto& flag: flags) {
+            flag += preceding_flags;
+        }
+
+        bool const all_distinct = comm.allreduce_single(
+            send_buf(distinct_locally == 1), op(std::logical_and<>{}));
+        if (all_distinct || h >= n) {
+            // Done: the suffix array is the index column in sorted order.
+            // Rebalance to the block distribution by *position*.
+            std::uint64_t const my_position_offset = comm.exscan_single(
+                send_buf(static_cast<std::uint64_t>(tuples.size())), op(std::plus<>{}),
+                values_on_rank_0(std::uint64_t{0}));
+            std::vector<int> counts(static_cast<std::size_t>(p), 0);
+            std::vector<std::uint64_t> sa_entries(tuples.size());
+            for (std::size_t i = 0; i < tuples.size(); ++i) {
+                sa_entries[i] = tuples[i].index;
+                std::uint64_t const position = my_position_offset + i;
+                int const owner = static_cast<int>(
+                    std::upper_bound(distribution.begin(), distribution.end(), position)
+                    - distribution.begin() - 1);
+                ++counts[static_cast<std::size_t>(owner)];
+            }
+            return comm.alltoallv(send_buf(std::move(sa_entries)), send_counts(counts));
+        }
+
+        // Ship (index, new name) home to the index's owner.
+        std::vector<int> counts(static_cast<std::size_t>(p), 0);
+        std::vector<internal::PdTuple> outgoing(tuples.size());
+        for (std::size_t i = 0; i < tuples.size(); ++i) {
+            outgoing[i] = {flags[i], 0, tuples[i].index};
+        }
+        std::sort(outgoing.begin(), outgoing.end(), [](auto const& a, auto const& b) {
+            return a.index < b.index;
+        });
+        for (auto const& entry: outgoing) {
+            int const owner = static_cast<int>(
+                std::upper_bound(distribution.begin(), distribution.end(), entry.index)
+                - distribution.begin() - 1);
+            ++counts[static_cast<std::size_t>(owner)];
+        }
+        auto const incoming = comm.alltoallv(
+            send_buf(std::move(outgoing)), send_counts(counts));
+        for (auto const& entry: incoming) {
+            names[entry.index - first] = entry.name;
+        }
+    }
+}
+
+} // namespace apps::suffix

@@ -1,0 +1,277 @@
+/// @file prefix_doubling_mpi.hpp
+/// @brief The same distributed prefix-doubling algorithm as
+/// prefix_doubling.hpp, hand-written against the plain (X)MPI C API — the
+/// paper's 426-LoC comparison point (Section IV-A): every count,
+/// displacement, datatype and sort step spelled out manually.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <numeric>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "apps/suffix/prefix_doubling.hpp" // PdTuple
+#include "xmpi/api.hpp"
+
+namespace apps::suffix {
+namespace internal {
+
+/// @brief Hand-rolled distributed sample sort of PdTuples over plain MPI
+/// (the "1442 LoC of wrapped MPI functionality" the paper's plain-MPI
+/// comparison point drags along, in miniature).
+inline void sort_tuples_mpi(std::vector<PdTuple>& tuples, XMPI_Comm comm) {
+    int p = 0;
+    int rank = -1;
+    XMPI_Comm_size(comm, &p);
+    XMPI_Comm_rank(comm, &rank);
+    if (p == 1) {
+        std::sort(tuples.begin(), tuples.end());
+        return;
+    }
+    XMPI_Datatype tuple_type = XMPI_DATATYPE_NULL;
+    XMPI_Type_contiguous(sizeof(PdTuple), XMPI_BYTE, &tuple_type);
+    XMPI_Type_commit(&tuple_type);
+
+    std::size_t const num_samples =
+        16 * static_cast<std::size_t>(std::log2(static_cast<double>(p))) + 1;
+    std::vector<PdTuple> local_samples(std::min(num_samples, tuples.size()));
+    std::sample(
+        tuples.begin(), tuples.end(), local_samples.begin(), local_samples.size(),
+        std::mt19937{static_cast<std::uint32_t>(rank) * 31u + 7u});
+
+    int const sample_count = static_cast<int>(local_samples.size());
+    std::vector<int> sample_counts(static_cast<std::size_t>(p));
+    XMPI_Allgather(&sample_count, 1, XMPI_INT, sample_counts.data(), 1, XMPI_INT, comm);
+    std::vector<int> sample_displs(static_cast<std::size_t>(p));
+    std::exclusive_scan(sample_counts.begin(), sample_counts.end(), sample_displs.begin(), 0);
+    std::vector<PdTuple> samples(
+        static_cast<std::size_t>(sample_displs.back() + sample_counts.back()));
+    XMPI_Allgatherv(
+        local_samples.data(), sample_count, tuple_type, samples.data(), sample_counts.data(),
+        sample_displs.data(), tuple_type, comm);
+    std::sort(samples.begin(), samples.end());
+
+    std::vector<PdTuple> splitters;
+    for (int i = 1; i < p && !samples.empty(); ++i) {
+        splitters.push_back(samples[std::min(
+            static_cast<std::size_t>(i) * samples.size() / static_cast<std::size_t>(p),
+            samples.size() - 1)]);
+    }
+
+    std::sort(tuples.begin(), tuples.end());
+    std::vector<int> send_counts(static_cast<std::size_t>(p), 0);
+    std::size_t begin = 0;
+    for (int bucket = 0; bucket < p; ++bucket) {
+        std::size_t end = tuples.size();
+        if (bucket < static_cast<int>(splitters.size())) {
+            end = static_cast<std::size_t>(
+                std::upper_bound(
+                    tuples.begin() + static_cast<std::ptrdiff_t>(begin), tuples.end(),
+                    splitters[static_cast<std::size_t>(bucket)])
+                - tuples.begin());
+        }
+        send_counts[static_cast<std::size_t>(bucket)] = static_cast<int>(end - begin);
+        begin = end;
+    }
+    std::vector<int> send_displs(static_cast<std::size_t>(p));
+    std::exclusive_scan(send_counts.begin(), send_counts.end(), send_displs.begin(), 0);
+    std::vector<int> recv_counts(static_cast<std::size_t>(p));
+    XMPI_Alltoall(send_counts.data(), 1, XMPI_INT, recv_counts.data(), 1, XMPI_INT, comm);
+    std::vector<int> recv_displs(static_cast<std::size_t>(p));
+    std::exclusive_scan(recv_counts.begin(), recv_counts.end(), recv_displs.begin(), 0);
+    std::vector<PdTuple> received(
+        static_cast<std::size_t>(recv_displs.back() + recv_counts.back()));
+    XMPI_Alltoallv(
+        tuples.data(), send_counts.data(), send_displs.data(), tuple_type, received.data(),
+        recv_counts.data(), recv_displs.data(), tuple_type, comm);
+    XMPI_Type_free(&tuple_type);
+    std::sort(received.begin(), received.end());
+    tuples = std::move(received);
+}
+
+} // namespace internal
+
+/// @brief Plain-MPI distributed prefix doubling; identical semantics to
+/// suffix_array_prefix_doubling_kamping().
+inline std::vector<std::uint64_t> suffix_array_prefix_doubling_mpi(
+    std::string const& local_text, XMPI_Comm comm) {
+    using internal::PdTuple;
+    int p = 0;
+    int rank = -1;
+    XMPI_Comm_size(comm, &p);
+    XMPI_Comm_rank(comm, &rank);
+
+    // Block distribution, gathered by hand.
+    std::uint64_t const my_size = local_text.size();
+    std::vector<std::uint64_t> sizes(static_cast<std::size_t>(p));
+    XMPI_Allgather(
+        &my_size, 1, XMPI_UNSIGNED_LONG_LONG, sizes.data(), 1, XMPI_UNSIGNED_LONG_LONG, comm);
+    std::vector<std::uint64_t> distribution(static_cast<std::size_t>(p) + 1, 0);
+    std::inclusive_scan(sizes.begin(), sizes.end(), distribution.begin() + 1);
+    std::uint64_t const n = distribution.back();
+    std::uint64_t const first = distribution[static_cast<std::size_t>(rank)];
+    std::uint64_t const last = distribution[static_cast<std::size_t>(rank) + 1];
+
+    std::vector<std::uint64_t> names(local_text.size());
+    for (std::size_t i = 0; i < local_text.size(); ++i) {
+        names[i] = static_cast<unsigned char>(local_text[i]) + 1u;
+    }
+
+    std::vector<PdTuple> tuples;
+    for (std::uint64_t h = 1;; h *= 2) {
+        // Shift exchange for names[i + h], all counts computed by hand.
+        std::vector<int> shift_send_counts(static_cast<std::size_t>(p), 0);
+        std::vector<int> shift_send_displs(static_cast<std::size_t>(p), 0);
+        for (int q = 0; q < p; ++q) {
+            std::uint64_t const need_lo =
+                std::min(distribution[static_cast<std::size_t>(q)] + h, n);
+            std::uint64_t const need_hi =
+                std::min(distribution[static_cast<std::size_t>(q) + 1] + h, n);
+            std::uint64_t const lo = std::max(first, need_lo);
+            std::uint64_t const hi = std::min(last, need_hi);
+            if (lo < hi) {
+                shift_send_counts[static_cast<std::size_t>(q)] = static_cast<int>(hi - lo);
+                shift_send_displs[static_cast<std::size_t>(q)] = static_cast<int>(lo - first);
+            }
+        }
+        std::vector<int> shift_recv_counts(static_cast<std::size_t>(p));
+        XMPI_Alltoall(
+            shift_send_counts.data(), 1, XMPI_INT, shift_recv_counts.data(), 1, XMPI_INT, comm);
+        std::vector<int> shift_recv_displs(static_cast<std::size_t>(p));
+        std::exclusive_scan(
+            shift_recv_counts.begin(), shift_recv_counts.end(), shift_recv_displs.begin(), 0);
+        std::vector<std::uint64_t> shifted(
+            static_cast<std::size_t>(shift_recv_displs.back() + shift_recv_counts.back()));
+        XMPI_Alltoallv(
+            names.data(), shift_send_counts.data(), shift_send_displs.data(),
+            XMPI_UNSIGNED_LONG_LONG, shifted.data(), shift_recv_counts.data(),
+            shift_recv_displs.data(), XMPI_UNSIGNED_LONG_LONG, comm);
+        shifted.resize(last - first, 0);
+
+        tuples.resize(names.size());
+        for (std::size_t i = 0; i < names.size(); ++i) {
+            tuples[i] = {names[i], shifted[i], first + i};
+        }
+        internal::sort_tuples_mpi(tuples, comm);
+
+        // Boundary exchange for the naming pass.
+        XMPI_Datatype tuple_type = XMPI_DATATYPE_NULL;
+        XMPI_Type_contiguous(sizeof(PdTuple), XMPI_BYTE, &tuple_type);
+        XMPI_Type_commit(&tuple_type);
+        PdTuple const boundary = tuples.empty() ? PdTuple{0, 0, 0} : tuples.back();
+        std::vector<PdTuple> boundaries(static_cast<std::size_t>(p));
+        XMPI_Allgather(&boundary, 1, tuple_type, boundaries.data(), 1, tuple_type, comm);
+        std::uint64_t const my_count = tuples.size();
+        std::vector<std::uint64_t> counts_all(static_cast<std::size_t>(p));
+        XMPI_Allgather(
+            &my_count, 1, XMPI_UNSIGNED_LONG_LONG, counts_all.data(), 1,
+            XMPI_UNSIGNED_LONG_LONG, comm);
+        PdTuple predecessor{~0ull, ~0ull, ~0ull};
+        bool have_predecessor = false;
+        for (int r = rank - 1; r >= 0; --r) {
+            if (counts_all[static_cast<std::size_t>(r)] > 0) {
+                predecessor = boundaries[static_cast<std::size_t>(r)];
+                have_predecessor = true;
+                break;
+            }
+        }
+        std::vector<std::uint64_t> flags(tuples.size(), 0);
+        int distinct_locally = 1;
+        for (std::size_t i = 0; i < tuples.size(); ++i) {
+            bool const starts_group =
+                i == 0 ? (!have_predecessor || !(tuples[i] == predecessor))
+                       : !(tuples[i] == tuples[i - 1]);
+            flags[i] = starts_group ? 1 : 0;
+            if (!starts_group) {
+                distinct_locally = 0;
+            }
+        }
+        std::uint64_t const local_flag_sum =
+            std::accumulate(flags.begin(), flags.end(), std::uint64_t{0});
+        std::uint64_t preceding_flags = 0;
+        XMPI_Exscan(
+            &local_flag_sum, &preceding_flags, 1, XMPI_UNSIGNED_LONG_LONG, XMPI_SUM, comm);
+        if (rank == 0) {
+            preceding_flags = 0;
+        }
+        std::inclusive_scan(flags.begin(), flags.end(), flags.begin());
+        for (auto& flag: flags) {
+            flag += preceding_flags;
+        }
+        int all_distinct = 0;
+        XMPI_Allreduce(&distinct_locally, &all_distinct, 1, XMPI_INT, XMPI_LAND, comm);
+
+        if (all_distinct != 0 || h >= n) {
+            std::uint64_t position_offset = 0;
+            XMPI_Exscan(
+                &my_count, &position_offset, 1, XMPI_UNSIGNED_LONG_LONG, XMPI_SUM, comm);
+            if (rank == 0) {
+                position_offset = 0;
+            }
+            std::vector<int> send_counts(static_cast<std::size_t>(p), 0);
+            std::vector<std::uint64_t> sa_entries(tuples.size());
+            for (std::size_t i = 0; i < tuples.size(); ++i) {
+                sa_entries[i] = tuples[i].index;
+                std::uint64_t const position = position_offset + i;
+                int const owner = static_cast<int>(
+                    std::upper_bound(distribution.begin(), distribution.end(), position)
+                    - distribution.begin() - 1);
+                ++send_counts[static_cast<std::size_t>(owner)];
+            }
+            std::vector<int> send_displs(static_cast<std::size_t>(p));
+            std::exclusive_scan(
+                send_counts.begin(), send_counts.end(), send_displs.begin(), 0);
+            std::vector<int> recv_counts(static_cast<std::size_t>(p));
+            XMPI_Alltoall(
+                send_counts.data(), 1, XMPI_INT, recv_counts.data(), 1, XMPI_INT, comm);
+            std::vector<int> recv_displs(static_cast<std::size_t>(p));
+            std::exclusive_scan(
+                recv_counts.begin(), recv_counts.end(), recv_displs.begin(), 0);
+            std::vector<std::uint64_t> sa(
+                static_cast<std::size_t>(recv_displs.back() + recv_counts.back()));
+            XMPI_Alltoallv(
+                sa_entries.data(), send_counts.data(), send_displs.data(),
+                XMPI_UNSIGNED_LONG_LONG, sa.data(), recv_counts.data(), recv_displs.data(),
+                XMPI_UNSIGNED_LONG_LONG, comm);
+            XMPI_Type_free(&tuple_type);
+            return sa;
+        }
+
+        // Ship the new names home.
+        std::vector<PdTuple> outgoing(tuples.size());
+        for (std::size_t i = 0; i < tuples.size(); ++i) {
+            outgoing[i] = {flags[i], 0, tuples[i].index};
+        }
+        std::sort(outgoing.begin(), outgoing.end(), [](auto const& a, auto const& b) {
+            return a.index < b.index;
+        });
+        std::vector<int> send_counts(static_cast<std::size_t>(p), 0);
+        for (auto const& entry: outgoing) {
+            int const owner = static_cast<int>(
+                std::upper_bound(distribution.begin(), distribution.end(), entry.index)
+                - distribution.begin() - 1);
+            ++send_counts[static_cast<std::size_t>(owner)];
+        }
+        std::vector<int> send_displs(static_cast<std::size_t>(p));
+        std::exclusive_scan(send_counts.begin(), send_counts.end(), send_displs.begin(), 0);
+        std::vector<int> recv_counts(static_cast<std::size_t>(p));
+        XMPI_Alltoall(send_counts.data(), 1, XMPI_INT, recv_counts.data(), 1, XMPI_INT, comm);
+        std::vector<int> recv_displs(static_cast<std::size_t>(p));
+        std::exclusive_scan(recv_counts.begin(), recv_counts.end(), recv_displs.begin(), 0);
+        std::vector<PdTuple> incoming(
+            static_cast<std::size_t>(recv_displs.back() + recv_counts.back()));
+        XMPI_Alltoallv(
+            outgoing.data(), send_counts.data(), send_displs.data(), tuple_type,
+            incoming.data(), recv_counts.data(), recv_displs.data(), tuple_type, comm);
+        XMPI_Type_free(&tuple_type);
+        for (auto const& entry: incoming) {
+            names[entry.index - first] = entry.name;
+        }
+    }
+}
+
+} // namespace apps::suffix

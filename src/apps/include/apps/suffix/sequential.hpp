@@ -1,0 +1,169 @@
+/// @file sequential.hpp
+/// @brief Sequential suffix-array construction: a naive comparison sort
+/// (test oracle) and the linear-time DC3 algorithm of Kärkkäinen & Sanders
+/// (the paper's DCX reference [25]).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace apps::suffix {
+
+/// @brief Naive O(n^2 log n) suffix array; the test oracle.
+inline std::vector<std::uint64_t> suffix_array_naive(std::string const& text) {
+    std::vector<std::uint64_t> sa(text.size());
+    for (std::uint64_t i = 0; i < sa.size(); ++i) {
+        sa[i] = i;
+    }
+    std::sort(sa.begin(), sa.end(), [&](std::uint64_t a, std::uint64_t b) {
+        return text.compare(a, std::string::npos, text, b, std::string::npos) < 0;
+    });
+    return sa;
+}
+
+namespace internal {
+
+inline bool leq2(std::uint32_t a1, std::uint32_t a2, std::uint32_t b1, std::uint32_t b2) {
+    return a1 < b1 || (a1 == b1 && a2 <= b2);
+}
+inline bool leq3(
+    std::uint32_t a1, std::uint32_t a2, std::uint32_t a3, std::uint32_t b1, std::uint32_t b2,
+    std::uint32_t b3) {
+    return a1 < b1 || (a1 == b1 && leq2(a2, a3, b2, b3));
+}
+
+/// @brief Stable counting-sort of indices by one key digit.
+inline void radix_pass(
+    std::vector<std::uint32_t> const& in, std::vector<std::uint32_t>& out,
+    std::uint32_t const* keys, std::size_t n, std::uint32_t alphabet_size) {
+    std::vector<std::uint32_t> count(alphabet_size + 1, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+        ++count[keys[in[i]]];
+    }
+    std::uint32_t sum = 0;
+    for (auto& c: count) {
+        std::uint32_t const t = c;
+        c = sum;
+        sum += t;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        out[count[keys[in[i]]]++] = in[i];
+    }
+}
+
+/// @brief DC3 on an integer string t[0..n) over alphabet [1, K]; t must be
+/// padded with t[n] = t[n+1] = t[n+2] = 0.
+inline void
+dc3(std::uint32_t const* t, std::uint32_t* sa, std::size_t n, std::uint32_t alphabet_size) {
+    std::size_t const n0 = (n + 2) / 3;
+    std::size_t const n1 = (n + 1) / 3;
+    std::size_t const n2 = n / 3;
+    std::size_t const n02 = n0 + n2;
+    std::vector<std::uint32_t> s12(n02 + 3, 0);
+    std::vector<std::uint32_t> sa12(n02 + 3, 0);
+    std::vector<std::uint32_t> s0(n0);
+    std::vector<std::uint32_t> sa0(n0);
+
+    // Positions i mod 3 != 0 (n0 - n1 padding position included iff n%3==1).
+    for (std::size_t i = 0, j = 0; i < n + (n0 - n1); ++i) {
+        if (i % 3 != 0) {
+            s12[j++] = static_cast<std::uint32_t>(i);
+        }
+    }
+
+    // Radix sort the mod-1/2 triples.
+    radix_pass(s12, sa12, t + 2, n02, alphabet_size);
+    radix_pass(sa12, s12, t + 1, n02, alphabet_size);
+    radix_pass(s12, sa12, t + 0, n02, alphabet_size);
+
+    // Lexicographic names.
+    std::uint32_t name = 0;
+    std::uint32_t c0 = ~0u, c1 = ~0u, c2 = ~0u;
+    for (std::size_t i = 0; i < n02; ++i) {
+        if (t[sa12[i]] != c0 || t[sa12[i] + 1] != c1 || t[sa12[i] + 2] != c2) {
+            ++name;
+            c0 = t[sa12[i]];
+            c1 = t[sa12[i] + 1];
+            c2 = t[sa12[i] + 2];
+        }
+        if (sa12[i] % 3 == 1) {
+            s12[sa12[i] / 3] = name; // left half
+        } else {
+            s12[sa12[i] / 3 + n0] = name; // right half
+        }
+    }
+
+    if (name < n02) { // names not unique: recurse
+        dc3(s12.data(), sa12.data(), n02, name);
+        for (std::size_t i = 0; i < n02; ++i) {
+            s12[sa12[i]] = static_cast<std::uint32_t>(i) + 1;
+        }
+    } else {
+        for (std::size_t i = 0; i < n02; ++i) {
+            sa12[s12[i] - 1] = static_cast<std::uint32_t>(i);
+        }
+    }
+
+    // Sort the mod-0 suffixes by (t[i], rank of i+1).
+    for (std::size_t i = 0, j = 0; i < n02; ++i) {
+        if (sa12[i] < n0) {
+            s0[j++] = 3 * sa12[i];
+        }
+    }
+    radix_pass(s0, sa0, t, n0, alphabet_size);
+
+    // Merge.
+    auto const get_i = [&](std::size_t k) {
+        return sa12[k] < n0 ? sa12[k] * 3 + 1 : (sa12[k] - n0) * 3 + 2;
+    };
+    std::size_t p = 0;
+    std::size_t k = n0 - n1; // skip the padding suffix
+    for (std::size_t out = 0; out < n; ++out) {
+        std::size_t const i = get_i(k); // current mod-1/2 suffix
+        std::size_t const j = sa0[p];   // current mod-0 suffix
+        bool const take12 =
+            sa12[k] < n0
+                ? leq2(t[i], s12[sa12[k] + n0], t[j], s12[j / 3])
+                : leq3(t[i], t[i + 1], s12[sa12[k] - n0 + 1], t[j], t[j + 1],
+                       s12[j / 3 + n0]);
+        if (take12) {
+            sa[out] = static_cast<std::uint32_t>(i);
+            if (++k == n02) {
+                for (++out; p < n0; ++p, ++out) {
+                    sa[out] = sa0[p];
+                }
+            }
+        } else {
+            sa[out] = static_cast<std::uint32_t>(j);
+            if (++p == n0) {
+                for (++out; k < n02; ++k, ++out) {
+                    sa[out] = static_cast<std::uint32_t>(get_i(k));
+                }
+            }
+        }
+    }
+}
+
+} // namespace internal
+
+/// @brief Linear-time suffix array via DC3 (Kärkkäinen–Sanders).
+inline std::vector<std::uint64_t> suffix_array_dc3(std::string const& text) {
+    std::size_t const n = text.size();
+    if (n == 0) {
+        return {};
+    }
+    if (n == 1) {
+        return {0};
+    }
+    std::vector<std::uint32_t> t(n + 3, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+        t[i] = static_cast<unsigned char>(text[i]) + 1; // keep 0 as sentinel
+    }
+    std::vector<std::uint32_t> sa(n + 3, 0);
+    internal::dc3(t.data(), sa.data(), n, 257);
+    return {sa.begin(), sa.begin() + static_cast<std::ptrdiff_t>(n)};
+}
+
+} // namespace apps::suffix

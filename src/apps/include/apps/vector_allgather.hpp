@@ -1,0 +1,101 @@
+/// @file vector_allgather.hpp
+/// @brief The paper's running example (Fig. 2): allgather a variable-size
+/// vector, implemented in all five binding styles. The marked regions are
+/// what Table I counts.
+#pragma once
+
+#include <numeric>
+#include <vector>
+
+#include "kamping/kamping.hpp"
+#include "mimic/boostmpi.hpp"
+#include "mimic/mpl.hpp"
+#include "mimic/rwth.hpp"
+#include "xmpi/api.hpp"
+
+namespace apps::vector_allgather {
+
+/// @brief Plain MPI: the full boilerplate of the paper's Fig. 2.
+template <typename T>
+std::vector<T> mpi(std::vector<T> const& v, XMPI_Comm comm) {
+    // LOC-BEGIN(mpi)
+    int size, rank;
+    XMPI_Comm_size(comm, &size);
+    XMPI_Comm_rank(comm, &rank);
+    std::vector<int> rc(size), rd(size);
+    rc[rank] = static_cast<int>(v.size());
+    XMPI_Allgather(XMPI_IN_PLACE, 0, XMPI_DATATYPE_NULL, rc.data(), 1, XMPI_INT, comm);
+    std::exclusive_scan(rc.begin(), rc.end(), rd.begin(), 0);
+    int const n_glob = rc.back() + rd.back();
+    std::vector<T> v_glob(n_glob);
+    XMPI_Allgatherv(
+        v.data(), static_cast<int>(v.size()), kamping::mpi_datatype<T>(), v_glob.data(),
+        rc.data(), rd.data(), kamping::mpi_datatype<T>(), comm);
+    return v_glob;
+    // LOC-END(mpi)
+}
+
+/// @brief Boost.MPI style: counts must still be gathered by hand.
+template <typename T>
+std::vector<T> boost(std::vector<T> const& v, XMPI_Comm comm_handle) {
+    // LOC-BEGIN(boost)
+    mimic::boostmpi::communicator comm(comm_handle);
+    std::vector<int> rc;
+    mimic::boostmpi::all_gather(comm, static_cast<int>(v.size()), rc);
+    std::vector<T> v_glob;
+    mimic::boostmpi::all_gatherv(comm, v, v_glob, rc);
+    return v_glob;
+    // LOC-END(boost)
+}
+
+/// @brief RWTH style: the count-free overload only works in place, so the
+/// counts are exchanged manually anyway.
+template <typename T>
+std::vector<T> rwth(std::vector<T> const& v, XMPI_Comm comm_handle) {
+    // LOC-BEGIN(rwth)
+    mimic::rwth::communicator comm(comm_handle);
+    std::vector<int> rc;
+    comm.all_gather(static_cast<int>(v.size()), rc);
+    std::vector<int> rd(rc.size());
+    std::exclusive_scan(rc.begin(), rc.end(), rd.begin(), 0);
+    std::vector<T> v_glob;
+    comm.all_gather_varying(v, v_glob, rc, rd);
+    return v_glob;
+    // LOC-END(rwth)
+}
+
+/// @brief MPL style: layouts make even this simple pattern verbose.
+template <typename T>
+std::vector<T> mpl(std::vector<T> const& v, XMPI_Comm comm_handle) {
+    // LOC-BEGIN(mpl)
+    mimic::mpl::communicator comm(comm_handle);
+    int const p = comm.size();
+    int const my_count = static_cast<int>(v.size());
+    std::vector<int> rc(p);
+    comm.allgather(my_count, rc.data());
+    mimic::mpl::contiguous_layouts<T> recv_layouts(p);
+    mimic::mpl::displacements recv_displs(p);
+    std::ptrdiff_t offset = 0;
+    for (int i = 0; i < p; ++i) {
+        recv_layouts[i] = mimic::mpl::contiguous_layout<T>(rc[i]);
+        recv_displs[i] = offset;
+        offset += rc[i];
+    }
+    std::vector<T> v_glob(static_cast<std::size_t>(offset));
+    comm.allgatherv(
+        v.data(), mimic::mpl::contiguous_layout<T>(my_count), v_glob.data(), recv_layouts,
+        recv_displs);
+    return v_glob;
+    // LOC-END(mpl)
+}
+
+/// @brief KaMPIng: the paper's one-liner (Fig. 1 (1)).
+template <typename T>
+std::vector<T> kamping_(std::vector<T> const& v, XMPI_Comm comm_handle) {
+    kamping::Communicator comm(comm_handle);
+    // LOC-BEGIN(kamping)
+    return comm.allgatherv(kamping::send_buf(v));
+    // LOC-END(kamping)
+}
+
+} // namespace apps::vector_allgather

@@ -1,0 +1,318 @@
+#include "apps/bfs.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+#include <unordered_map>
+
+#include "kamping/plugin/plugins.hpp"
+#include "kamping/utils.hpp"
+
+namespace apps {
+namespace {
+
+using Comm = kamping::FullCommunicator;
+using kamping::op;
+using kamping::send_buf;
+using kamping::send_counts;
+
+/// @brief Expands the local frontier: unvisited neighbours grouped by owner.
+std::unordered_map<int, std::vector<VertexId>> expand_frontier(
+    DistributedGraph const& graph, std::vector<VertexId> const& frontier,
+    std::vector<VertexId>& distance, VertexId level) {
+    std::unordered_map<int, std::vector<VertexId>> next;
+    for (VertexId const v: frontier) {
+        auto const [begin, end] = graph.neighbors(graph.to_local(v));
+        for (auto const* it = begin; it != end; ++it) {
+            VertexId const neighbor = *it;
+            if (graph.is_local(neighbor)) {
+                // Local relaxation happens immediately.
+                auto& d = distance[graph.to_local(neighbor)];
+                if (d == kUnreached) {
+                    d = level + 1;
+                    next[graph.rank].push_back(neighbor);
+                }
+            } else {
+                next[graph.owner_of(neighbor)].push_back(neighbor);
+            }
+        }
+    }
+    return next;
+}
+
+/// @brief Rank-communication topology: owners of any remote neighbour
+/// (send side) and, by symmetry of undirected graphs, the receive side too.
+std::vector<int> communication_partners(DistributedGraph const& graph) {
+    std::vector<int> partners;
+    for (VertexId const neighbor: graph.adjacency) {
+        if (!graph.is_local(neighbor)) {
+            partners.push_back(graph.owner_of(neighbor));
+        }
+    }
+    std::sort(partners.begin(), partners.end());
+    partners.erase(std::unique(partners.begin(), partners.end()), partners.end());
+    return partners;
+}
+
+/// @brief Flattens owner -> vertices into per-partner blocks.
+struct PartnerBuckets {
+    std::vector<VertexId> data;
+    std::vector<int> counts;
+    std::vector<int> displs;
+};
+
+PartnerBuckets bucket_by_partner(
+    std::unordered_map<int, std::vector<VertexId>> const& messages,
+    std::vector<int> const& partners) {
+    PartnerBuckets buckets;
+    buckets.counts.assign(partners.size(), 0);
+    buckets.displs.assign(partners.size(), 0);
+    for (std::size_t i = 0; i < partners.size(); ++i) {
+        auto const it = messages.find(partners[i]);
+        buckets.counts[i] = it == messages.end() ? 0 : static_cast<int>(it->second.size());
+    }
+    std::exclusive_scan(buckets.counts.begin(), buckets.counts.end(), buckets.displs.begin(), 0);
+    buckets.data.resize(
+        partners.empty()
+            ? 0
+            : static_cast<std::size_t>(buckets.displs.back() + buckets.counts.back()));
+    for (std::size_t i = 0; i < partners.size(); ++i) {
+        auto const it = messages.find(partners[i]);
+        if (it != messages.end()) {
+            std::copy(
+                it->second.begin(), it->second.end(),
+                buckets.data.begin() + buckets.displs[i]);
+        }
+    }
+    return buckets;
+}
+
+/// @brief One frontier exchange with the selected strategy; returns the
+/// incoming vertex ids (all owned by this rank).
+class Exchanger {
+public:
+    Exchanger(DistributedGraph const& graph, BfsExchange strategy, XMPI_Comm comm)
+        : graph_(graph),
+          strategy_(strategy),
+          comm_(comm),
+          kamping_comm_(comm) {
+        if (strategy == BfsExchange::mpi_neighbor) {
+            topology_comm_ = build_topology();
+        }
+    }
+
+    ~Exchanger() {
+        if (topology_comm_ != XMPI_COMM_NULL) {
+            XMPI_Comm_free(&topology_comm_);
+        }
+    }
+
+    std::vector<VertexId> exchange(std::unordered_map<int, std::vector<VertexId>> messages) {
+        switch (strategy_) {
+            case BfsExchange::mpi_alltoallv:
+                return exchange_alltoallv(messages);
+            case BfsExchange::mpi_neighbor:
+                return exchange_neighbor(messages, topology_comm_);
+            case BfsExchange::mpi_neighbor_rebuild: {
+                // Dynamic-pattern simulation: rebuild the graph communicator
+                // before every exchange (paper, Section V-A).
+                XMPI_Comm fresh = build_topology();
+                auto received = exchange_neighbor(messages, fresh);
+                XMPI_Comm_free(&fresh);
+                return received;
+            }
+            case BfsExchange::kamping:
+                return kamping::with_flattened(messages, kamping_comm_.size())
+                    .call([&](auto... flattened) {
+                        return kamping_comm_.alltoallv(std::move(flattened)...);
+                    });
+            case BfsExchange::kamping_sparse: {
+                // Deliver local messages directly; only remote destinations
+                // take part in the sparse exchange.
+                std::vector<VertexId> received;
+                if (auto const it = messages.find(kamping_comm_.rank());
+                    it != messages.end()) {
+                    received = std::move(it->second);
+                    messages.erase(it);
+                }
+                kamping_comm_.alltoallv_sparse(
+                    messages, [&](int, std::vector<VertexId> payload) {
+                        received.insert(received.end(), payload.begin(), payload.end());
+                    });
+                return received;
+            }
+            case BfsExchange::kamping_grid: {
+                auto const flattened =
+                    kamping::with_flattened(messages, kamping_comm_.size());
+                return kamping_comm_.alltoallv_grid_flat(flattened.data, flattened.counts);
+            }
+        }
+        return {};
+    }
+
+private:
+    std::vector<VertexId> exchange_alltoallv(
+        std::unordered_map<int, std::vector<VertexId>> const& messages) {
+        int size = 0;
+        XMPI_Comm_size(comm_, &size);
+        std::vector<int> send_count_values(static_cast<std::size_t>(size), 0);
+        std::vector<int> send_displs(static_cast<std::size_t>(size), 0);
+        for (auto const& [dest, payload]: messages) {
+            send_count_values[static_cast<std::size_t>(dest)] =
+                static_cast<int>(payload.size());
+        }
+        std::exclusive_scan(
+            send_count_values.begin(), send_count_values.end(), send_displs.begin(), 0);
+        std::vector<VertexId> send_data(
+            static_cast<std::size_t>(send_displs.back() + send_count_values.back()));
+        for (auto const& [dest, payload]: messages) {
+            std::copy(
+                payload.begin(), payload.end(),
+                send_data.begin() + send_displs[static_cast<std::size_t>(dest)]);
+        }
+        std::vector<int> recv_counts(static_cast<std::size_t>(size));
+        XMPI_Alltoall(
+            send_count_values.data(), 1, XMPI_INT, recv_counts.data(), 1, XMPI_INT, comm_);
+        std::vector<int> recv_displs(static_cast<std::size_t>(size));
+        std::exclusive_scan(recv_counts.begin(), recv_counts.end(), recv_displs.begin(), 0);
+        std::vector<VertexId> recv_data(
+            static_cast<std::size_t>(recv_displs.back() + recv_counts.back()));
+        XMPI_Alltoallv(
+            send_data.data(), send_count_values.data(), send_displs.data(),
+            XMPI_UNSIGNED_LONG_LONG, recv_data.data(), recv_counts.data(), recv_displs.data(),
+            XMPI_UNSIGNED_LONG_LONG, comm_);
+        return recv_data;
+    }
+
+    XMPI_Comm build_topology() {
+        auto const partners = communication_partners(graph_);
+        XMPI_Comm topology = XMPI_COMM_NULL;
+        XMPI_Dist_graph_create_adjacent(
+            comm_, static_cast<int>(partners.size()), partners.data(), nullptr,
+            static_cast<int>(partners.size()), partners.data(), nullptr, 0, &topology);
+        return topology;
+    }
+
+    std::vector<VertexId> exchange_neighbor(
+        std::unordered_map<int, std::vector<VertexId>>& messages, XMPI_Comm topology) {
+        auto const partners = communication_partners(graph_);
+        // Local messages are relaxed in place; neighbours handle the rest.
+        auto const local_it = messages.find(graph_.rank);
+        std::vector<VertexId> received;
+        if (local_it != messages.end()) {
+            received = std::move(local_it->second);
+            messages.erase(local_it);
+        }
+        auto buckets = bucket_by_partner(messages, partners);
+
+        // Exchange counts over the topology, then payloads.
+        std::vector<int> recv_counts(partners.size(), 0);
+        std::vector<int> const ones_displs = [&] {
+            std::vector<int> displs(partners.size());
+            std::iota(displs.begin(), displs.end(), 0);
+            return displs;
+        }();
+        std::vector<int> const one_counts(partners.size(), 1);
+        XMPI_Neighbor_alltoallv(
+            buckets.counts.data(), one_counts.data(), ones_displs.data(), XMPI_INT,
+            recv_counts.data(), one_counts.data(), ones_displs.data(), XMPI_INT, topology);
+        std::vector<int> recv_displs(partners.size(), 0);
+        std::exclusive_scan(recv_counts.begin(), recv_counts.end(), recv_displs.begin(), 0);
+        std::size_t const incoming =
+            partners.empty()
+                ? 0
+                : static_cast<std::size_t>(recv_displs.back() + recv_counts.back());
+        std::vector<VertexId> payload(incoming);
+        XMPI_Neighbor_alltoallv(
+            buckets.data.data(), buckets.counts.data(), buckets.displs.data(),
+            XMPI_UNSIGNED_LONG_LONG, payload.data(), recv_counts.data(), recv_displs.data(),
+            XMPI_UNSIGNED_LONG_LONG, topology);
+        received.insert(received.end(), payload.begin(), payload.end());
+        return received;
+    }
+
+    DistributedGraph const& graph_;
+    BfsExchange strategy_;
+    XMPI_Comm comm_;
+    Comm kamping_comm_;
+    XMPI_Comm topology_comm_ = XMPI_COMM_NULL;
+};
+
+} // namespace
+
+char const* to_string(BfsExchange strategy) {
+    switch (strategy) {
+        case BfsExchange::mpi_alltoallv:
+            return "mpi";
+        case BfsExchange::mpi_neighbor:
+            return "mpi_neighbor";
+        case BfsExchange::mpi_neighbor_rebuild:
+            return "mpi_neighbor_rebuild";
+        case BfsExchange::kamping:
+            return "kamping";
+        case BfsExchange::kamping_sparse:
+            return "kamping_sparse";
+        case BfsExchange::kamping_grid:
+            return "kamping_grid";
+    }
+    return "?";
+}
+
+std::vector<VertexId>
+bfs(DistributedGraph const& graph, VertexId source, BfsExchange strategy, XMPI_Comm comm) {
+    Comm kamping_comm(comm);
+    Exchanger exchanger(graph, strategy, comm);
+
+    std::vector<VertexId> distance(graph.local_vertex_count(), kUnreached);
+    std::vector<VertexId> frontier;
+    if (graph.is_local(source)) {
+        frontier.push_back(source);
+        distance[graph.to_local(source)] = 0;
+    }
+    VertexId level = 0;
+    while (true) {
+        bool const globally_empty = kamping_comm.allreduce_single(
+            send_buf(frontier.empty()), op(std::logical_and<>{}));
+        if (globally_empty) {
+            break;
+        }
+        auto next_messages = expand_frontier(graph, frontier, distance, level);
+        auto const received = exchanger.exchange(std::move(next_messages));
+        frontier.clear();
+        for (VertexId const v: received) {
+            auto& d = distance[graph.to_local(v)];
+            if (d == kUnreached || d == level + 1) {
+                if (d == kUnreached) {
+                    d = level + 1;
+                }
+                frontier.push_back(v);
+            }
+        }
+        // Deduplicate: a vertex may be reached from several sources.
+        std::sort(frontier.begin(), frontier.end());
+        frontier.erase(std::unique(frontier.begin(), frontier.end()), frontier.end());
+        ++level;
+    }
+    return distance;
+}
+
+std::vector<VertexId> bfs_reference(
+    std::vector<std::vector<VertexId>> const& global_adjacency, VertexId source) {
+    std::vector<VertexId> distance(global_adjacency.size(), kUnreached);
+    std::deque<VertexId> queue;
+    distance[source] = 0;
+    queue.push_back(source);
+    while (!queue.empty()) {
+        VertexId const v = queue.front();
+        queue.pop_front();
+        for (VertexId const neighbor: global_adjacency[v]) {
+            if (distance[neighbor] == kUnreached) {
+                distance[neighbor] = distance[v] + 1;
+                queue.push_back(neighbor);
+            }
+        }
+    }
+    return distance;
+}
+
+} // namespace apps

@@ -1,0 +1,326 @@
+#include "apps/labelprop.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+#include "kamping/kamping.hpp"
+
+namespace apps::labelprop {
+namespace {
+
+/// @brief One ghost-label update: (global vertex, new label).
+struct Update {
+    std::uint64_t vertex;
+    Label label;
+};
+
+/// @brief State shared by all variants: per-vertex labels, ghost table,
+/// interface structure, and the (deterministic, synchronous) LP step.
+class LpState {
+public:
+    LpState(DistributedGraph const& graph, std::size_t max_cluster_size)
+        : graph_(graph),
+          max_cluster_size_(max_cluster_size),
+          labels_(graph.local_vertex_count()),
+          cluster_size_of_label_() {
+        VertexId const first = graph_.first_vertex();
+        for (std::size_t v = 0; v < labels_.size(); ++v) {
+            labels_[v] = first + v;
+            cluster_size_of_label_[labels_[v]] = 1;
+        }
+        // Ghost vertices start with their own id as label; interface
+        // vertices know which ranks hold them as ghosts.
+        interested_ranks_.resize(graph_.local_vertex_count());
+        for (VertexId v = 0; v < graph_.local_vertex_count(); ++v) {
+            auto const [begin, end] = graph_.neighbors(v);
+            for (auto const* it = begin; it != end; ++it) {
+                if (!graph_.is_local(*it)) {
+                    ghost_labels_.emplace(*it, *it);
+                    interested_ranks_[v].push_back(graph_.owner_of(*it));
+                }
+            }
+            auto& ranks = interested_ranks_[v];
+            std::sort(ranks.begin(), ranks.end());
+            ranks.erase(std::unique(ranks.begin(), ranks.end()), ranks.end());
+        }
+    }
+
+    /// @brief One synchronous LP pass; returns the updates that must reach
+    /// other ranks (per destination rank).
+    std::unordered_map<int, std::vector<Update>> step(bool& changed_any) {
+        changed_any = false;
+        std::vector<Label> const snapshot = labels_;
+        std::unordered_map<int, std::vector<Update>> outgoing;
+        std::unordered_map<Label, std::size_t> frequency;
+        for (VertexId v = 0; v < graph_.local_vertex_count(); ++v) {
+            frequency.clear();
+            auto const [begin, end] = graph_.neighbors(v);
+            for (auto const* it = begin; it != end; ++it) {
+                Label const neighbor_label = graph_.is_local(*it)
+                                                 ? snapshot[graph_.to_local(*it)]
+                                                 : ghost_labels_.at(*it);
+                ++frequency[neighbor_label];
+            }
+            // Most frequent label, smallest id breaking ties; respect the
+            // size constraint.
+            Label best = snapshot[v];
+            std::size_t best_count = 0;
+            for (auto const& [label, count]: frequency) {
+                if (count > best_count || (count == best_count && label < best)) {
+                    if (label != snapshot[v]
+                        && cluster_size_of(label) >= max_cluster_size_) {
+                        continue;
+                    }
+                    best = label;
+                    best_count = count;
+                }
+            }
+            if (best != snapshot[v]) {
+                move_vertex(v, snapshot[v], best);
+                changed_any = true;
+                for (int rank: interested_ranks_[v]) {
+                    outgoing[rank].push_back(
+                        Update{graph_.first_vertex() + v, best});
+                }
+            }
+        }
+        return outgoing;
+    }
+
+    void apply_ghost_updates(std::vector<Update> const& updates) {
+        for (auto const& update: updates) {
+            ghost_labels_[update.vertex] = update.label;
+        }
+    }
+
+    [[nodiscard]] std::vector<Label> const& labels() const { return labels_; }
+
+private:
+    [[nodiscard]] std::size_t cluster_size_of(Label label) const {
+        auto const it = cluster_size_of_label_.find(label);
+        return it == cluster_size_of_label_.end() ? 0 : it->second;
+    }
+
+    void move_vertex(VertexId v, Label from, Label to) {
+        --cluster_size_of_label_[from];
+        ++cluster_size_of_label_[to];
+        labels_[v] = to;
+    }
+
+    DistributedGraph const& graph_;
+    std::size_t max_cluster_size_;
+    std::vector<Label> labels_;
+    std::unordered_map<std::uint64_t, Label> ghost_labels_;
+    std::vector<std::vector<int>> interested_ranks_;
+    std::unordered_map<Label, std::size_t> cluster_size_of_label_;
+};
+
+// --------------------------------------------------------------------------
+// Variant 1: plain MPI exchange — every count and displacement by hand.
+// --------------------------------------------------------------------------
+// LOC-BEGIN(mpi)
+bool exchange_and_check_mpi(
+    std::unordered_map<int, std::vector<Update>> const& outgoing, LpState& state,
+    bool changed_locally, XMPI_Comm comm) {
+    int p = 0;
+    XMPI_Comm_size(comm, &p);
+    std::vector<int> send_counts(static_cast<std::size_t>(p), 0);
+    std::vector<int> send_displs(static_cast<std::size_t>(p), 0);
+    for (auto const& [dest, updates]: outgoing) {
+        send_counts[static_cast<std::size_t>(dest)] = static_cast<int>(updates.size());
+    }
+    std::exclusive_scan(send_counts.begin(), send_counts.end(), send_displs.begin(), 0);
+    std::vector<Update> send_data(
+        static_cast<std::size_t>(send_displs.back() + send_counts.back()));
+    for (auto const& [dest, updates]: outgoing) {
+        std::copy(
+            updates.begin(), updates.end(),
+            send_data.begin() + send_displs[static_cast<std::size_t>(dest)]);
+    }
+    XMPI_Datatype update_type = XMPI_DATATYPE_NULL;
+    XMPI_Type_contiguous(sizeof(Update), XMPI_BYTE, &update_type);
+    XMPI_Type_commit(&update_type);
+    std::vector<int> recv_counts(static_cast<std::size_t>(p));
+    XMPI_Alltoall(send_counts.data(), 1, XMPI_INT, recv_counts.data(), 1, XMPI_INT, comm);
+    std::vector<int> recv_displs(static_cast<std::size_t>(p));
+    std::exclusive_scan(recv_counts.begin(), recv_counts.end(), recv_displs.begin(), 0);
+    std::vector<Update> received(
+        static_cast<std::size_t>(recv_displs.back() + recv_counts.back()));
+    XMPI_Alltoallv(
+        send_data.data(), send_counts.data(), send_displs.data(), update_type, received.data(),
+        recv_counts.data(), recv_displs.data(), update_type, comm);
+    XMPI_Type_free(&update_type);
+    state.apply_ghost_updates(received);
+    int const mine = changed_locally ? 1 : 0;
+    int any = 0;
+    XMPI_Allreduce(&mine, &any, 1, XMPI_INT, XMPI_LOR, comm);
+    return any != 0;
+}
+// LOC-END(mpi)
+
+// --------------------------------------------------------------------------
+// Variant 2: dKaMinPar-style specialized abstraction layer — a dedicated
+// "ghost update" primitive over static communication partners.
+// --------------------------------------------------------------------------
+class GraphCommLayer {
+public:
+    GraphCommLayer(DistributedGraph const& graph, XMPI_Comm comm) : comm_(comm) {
+        for (VertexId const neighbor: graph.adjacency) {
+            if (!graph.is_local(neighbor)) {
+                partners_.push_back(graph.owner_of(neighbor));
+            }
+        }
+        std::sort(partners_.begin(), partners_.end());
+        partners_.erase(std::unique(partners_.begin(), partners_.end()), partners_.end());
+    }
+
+    /// @brief Ships per-destination updates to the static partners and
+    /// returns the incoming ones (only partners exchange messages).
+    std::vector<Update>
+    update_ghosts(std::unordered_map<int, std::vector<Update>> const& outgoing) const {
+        constexpr int kTag = 411;
+        std::vector<XMPI_Request> size_requests(partners_.size());
+        std::vector<std::uint64_t> incoming_sizes(partners_.size(), 0);
+        for (std::size_t i = 0; i < partners_.size(); ++i) {
+            XMPI_Irecv(
+                &incoming_sizes[i], sizeof(std::uint64_t), XMPI_BYTE, partners_[i], kTag,
+                comm_, &size_requests[i]);
+        }
+        for (int partner: partners_) {
+            auto const it = outgoing.find(partner);
+            std::uint64_t const count = it == outgoing.end() ? 0 : it->second.size();
+            XMPI_Send(&count, sizeof(count), XMPI_BYTE, partner, kTag, comm_);
+        }
+        XMPI_Waitall(
+            static_cast<int>(size_requests.size()), size_requests.data(),
+            XMPI_STATUSES_IGNORE);
+        std::vector<std::vector<Update>> incoming(partners_.size());
+        std::vector<XMPI_Request> payload_requests;
+        for (std::size_t i = 0; i < partners_.size(); ++i) {
+            if (incoming_sizes[i] > 0) {
+                incoming[i].resize(incoming_sizes[i]);
+                XMPI_Request request = XMPI_REQUEST_NULL;
+                XMPI_Irecv(
+                    incoming[i].data(), static_cast<int>(incoming_sizes[i] * sizeof(Update)),
+                    XMPI_BYTE, partners_[i], kTag + 1, comm_, &request);
+                payload_requests.push_back(request);
+            }
+        }
+        for (int partner: partners_) {
+            auto const it = outgoing.find(partner);
+            if (it != outgoing.end() && !it->second.empty()) {
+                XMPI_Send(
+                    it->second.data(), static_cast<int>(it->second.size() * sizeof(Update)),
+                    XMPI_BYTE, partner, kTag + 1, comm_);
+            }
+        }
+        XMPI_Waitall(
+            static_cast<int>(payload_requests.size()), payload_requests.data(),
+            XMPI_STATUSES_IGNORE);
+        std::vector<Update> merged;
+        for (auto const& block: incoming) {
+            merged.insert(merged.end(), block.begin(), block.end());
+        }
+        return merged;
+    }
+
+    [[nodiscard]] bool any_changed(bool changed_locally) const {
+        int const mine = changed_locally ? 1 : 0;
+        int any = 0;
+        XMPI_Allreduce(&mine, &any, 1, XMPI_INT, XMPI_LOR, comm_);
+        return any != 0;
+    }
+
+private:
+    XMPI_Comm comm_;
+    std::vector<int> partners_;
+};
+
+// LOC-BEGIN(custom)
+bool exchange_and_check_custom(
+    GraphCommLayer const& layer, std::unordered_map<int, std::vector<Update>> const& outgoing,
+    LpState& state, bool changed_locally) {
+    state.apply_ghost_updates(layer.update_ghosts(outgoing));
+    return layer.any_changed(changed_locally);
+}
+// LOC-END(custom)
+
+// --------------------------------------------------------------------------
+// Variant 3: KaMPIng.
+// --------------------------------------------------------------------------
+// LOC-BEGIN(kamping)
+bool exchange_and_check_kamping(
+    std::unordered_map<int, std::vector<Update>> const& outgoing, LpState& state,
+    bool changed_locally, kamping::Communicator const& comm) {
+    using namespace kamping;
+    std::unordered_map<int, std::vector<std::uint64_t>> flat_messages;
+    for (auto const& [dest, updates]: outgoing) {
+        auto& slot = flat_messages[dest];
+        for (auto const& update: updates) {
+            slot.push_back(update.vertex);
+            slot.push_back(update.label);
+        }
+    }
+    auto const received = with_flattened(flat_messages, comm.size()).call([&](auto... p) {
+        return comm.alltoallv(std::move(p)...);
+    });
+    std::vector<Update> updates;
+    for (std::size_t i = 0; i + 1 < received.size(); i += 2) {
+        updates.push_back(Update{received[i], received[i + 1]});
+    }
+    state.apply_ghost_updates(updates);
+    return comm.allreduce_single(send_buf(changed_locally), op(std::logical_or<>{}));
+}
+// LOC-END(kamping)
+
+} // namespace
+
+char const* to_string(Variant variant) {
+    switch (variant) {
+        case Variant::mpi:
+            return "mpi";
+        case Variant::custom_layer:
+            return "custom_layer";
+        case Variant::kamping:
+            return "kamping";
+    }
+    return "?";
+}
+
+Result label_propagation(
+    DistributedGraph const& graph, std::size_t max_cluster_size, int max_iterations,
+    Variant variant, XMPI_Comm comm) {
+    LpState state(graph, max_cluster_size);
+    kamping::Communicator kamping_comm(comm);
+    GraphCommLayer const layer(graph, comm);
+
+    Result result;
+    for (int iteration = 0; iteration < max_iterations; ++iteration) {
+        bool changed_locally = false;
+        auto const outgoing = state.step(changed_locally);
+        bool changed_globally = false;
+        switch (variant) {
+            case Variant::mpi:
+                changed_globally =
+                    exchange_and_check_mpi(outgoing, state, changed_locally, comm);
+                break;
+            case Variant::custom_layer:
+                changed_globally =
+                    exchange_and_check_custom(layer, outgoing, state, changed_locally);
+                break;
+            case Variant::kamping:
+                changed_globally =
+                    exchange_and_check_kamping(outgoing, state, changed_locally, kamping_comm);
+                break;
+        }
+        result.iterations = iteration + 1;
+        if (!changed_globally) {
+            break;
+        }
+    }
+    result.labels = state.labels();
+    return result;
+}
+
+} // namespace apps::labelprop

@@ -1,0 +1,228 @@
+#include "apps/raxml.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <random>
+
+#include "kamping/kamping.hpp"
+#include "kaserial/kaserial.hpp"
+
+namespace apps::raxml {
+namespace {
+
+// --------------------------------------------------------------------------
+// The "Before" layer: RAxML-NG-style hand-written serialization over a raw
+// broadcast wrapper (paper, Fig. 11 top).
+// --------------------------------------------------------------------------
+
+/// @brief Minimal hand-rolled binary stream, standing in for RAxML-NG's
+/// BinaryStream (the custom code KaMPIng makes redundant).
+class BinaryStream {
+public:
+    static std::size_t serialize(std::vector<std::byte>& buffer, Model const& model) {
+        buffer.clear();
+        append(buffer, static_cast<std::uint64_t>(model.parameters.size()));
+        for (auto const& [name, value]: model.parameters) {
+            append(buffer, static_cast<std::uint64_t>(name.size()));
+            auto const old_size = buffer.size();
+            buffer.resize(old_size + name.size());
+            std::memcpy(buffer.data() + old_size, name.data(), name.size());
+            append(buffer, value);
+        }
+        append(buffer, model.generation);
+        return buffer.size();
+    }
+
+    BinaryStream(std::byte const* data, std::size_t size) : data_(data), size_(size) {}
+
+    BinaryStream& operator>>(Model& model) {
+        model.parameters.clear();
+        std::uint64_t entries = 0;
+        read(entries);
+        for (std::uint64_t i = 0; i < entries; ++i) {
+            std::uint64_t length = 0;
+            read(length);
+            std::string name(length, '\0');
+            std::memcpy(name.data(), data_ + cursor_, length);
+            cursor_ += length;
+            double value = 0.0;
+            read(value);
+            model.parameters.emplace(std::move(name), value);
+        }
+        read(model.generation);
+        return *this;
+    }
+
+private:
+    template <typename T>
+    static void append(std::vector<std::byte>& buffer, T const& value) {
+        auto const old_size = buffer.size();
+        buffer.resize(old_size + sizeof(T));
+        std::memcpy(buffer.data() + old_size, &value, sizeof(T));
+    }
+    template <typename T>
+    void read(T& value) {
+        std::memcpy(&value, data_ + cursor_, sizeof(T));
+        cursor_ += sizeof(T);
+    }
+
+    std::byte const* data_;
+    std::size_t size_;
+    std::size_t cursor_ = 0;
+};
+
+/// @brief The legacy parallel context: raw wrappers as in RAxML-NG.
+class LegacyContext {
+public:
+    explicit LegacyContext(XMPI_Comm comm) : comm_(comm) {
+        XMPI_Comm_rank(comm_, &rank_);
+        XMPI_Comm_size(comm_, &num_ranks_);
+        parallel_buffer_.reserve(4096);
+    }
+
+    [[nodiscard]] bool master() const { return rank_ == 0; }
+    [[nodiscard]] int rank() const { return rank_; }
+
+    void mpi_broadcast(void* data, std::size_t size) const {
+        XMPI_Bcast(data, static_cast<int>(size), XMPI_BYTE, 0, comm_);
+    }
+
+    /// @brief The paper's Fig. 11 "Before" routine, verbatim structure.
+    void mpi_broadcast_model(Model& model) {
+        if (num_ranks_ > 1) {
+            std::size_t size =
+                master() ? BinaryStream::serialize(parallel_buffer_, model) : 0;
+            mpi_broadcast(&size, sizeof(std::size_t));
+            parallel_buffer_.resize(size);
+            mpi_broadcast(parallel_buffer_.data(), size);
+            if (!master()) {
+                BinaryStream stream(parallel_buffer_.data(), size);
+                stream >> model;
+            }
+        }
+    }
+
+    [[nodiscard]] double allreduce_sum(double value) const {
+        double total = 0.0;
+        XMPI_Allreduce(&value, &total, 1, XMPI_DOUBLE, XMPI_SUM, comm_);
+        return total;
+    }
+
+private:
+    XMPI_Comm comm_;
+    int rank_ = -1;
+    int num_ranks_ = 0;
+    std::vector<std::byte> parallel_buffer_;
+};
+
+/// @brief The KaMPIng parallel context: the paper's Fig. 11 "After".
+class KampingContext {
+public:
+    explicit KampingContext(XMPI_Comm comm) : comm_(comm) {}
+
+    [[nodiscard]] bool master() const { return comm_.rank() == 0; }
+    [[nodiscard]] int rank() const { return comm_.rank(); }
+
+    void mpi_broadcast_model(Model& model) {
+        if (comm_.size() > 1) {
+            comm_.bcast(kamping::send_recv_buf(kamping::as_serialized(model)));
+        }
+    }
+
+    [[nodiscard]] double allreduce_sum(double value) const {
+        return comm_.allreduce_single(kamping::send_buf(value), kamping::op(std::plus<>{}));
+    }
+
+private:
+    kamping::Communicator comm_;
+};
+
+// --------------------------------------------------------------------------
+// The synthetic ML kernel, templated on the context.
+// --------------------------------------------------------------------------
+
+/// @brief Per-site synthetic log-likelihood: a smooth function of the model
+/// parameters with a site-specific optimum, so hill climbing has work to do.
+double site_log_likelihood(double site_signal, Model const& model) {
+    double log_likelihood = 0.0;
+    for (auto const& [name, value]: model.parameters) {
+        double const offset = value - site_signal;
+        log_likelihood -= offset * offset;
+    }
+    return log_likelihood;
+}
+
+template <typename Context>
+SearchResult search(
+    Context& context, std::size_t sites_per_rank, int iterations, std::uint64_t seed,
+    XMPI_Comm comm) {
+    // Synthetic alignment sites, deterministic per rank.
+    int rank = 0;
+    XMPI_Comm_rank(comm, &rank);
+    std::mt19937_64 site_gen(seed + static_cast<std::uint64_t>(rank));
+    std::uniform_real_distribution<double> site_dist(0.0, 1.0);
+    std::vector<double> sites(sites_per_rank);
+    for (auto& site: sites) {
+        site = site_dist(site_gen);
+    }
+
+    Model model;
+    model.parameters = {{"alpha", 0.2}, {"beta", 0.9}, {"brlen", 0.5}};
+
+    auto const evaluate = [&](Model const& candidate) {
+        double local = 0.0;
+        for (double const site: sites) {
+            local += site_log_likelihood(site, candidate);
+        }
+        return context.allreduce_sum(local);
+    };
+
+    // Proposal schedule must be identical on all ranks (same seed).
+    std::mt19937_64 proposal_gen(seed * 31 + 7);
+    std::uniform_real_distribution<double> step_dist(-0.1, 0.1);
+    std::uniform_int_distribution<std::size_t> which_dist(0, model.parameters.size() - 1);
+
+    auto const counters_before = xmpi::profile::my_snapshot();
+    double const start = XMPI_Wtime();
+
+    double best = evaluate(model);
+    for (int iteration = 0; iteration < iterations; ++iteration) {
+        Model candidate = model;
+        auto it = candidate.parameters.begin();
+        std::advance(it, which_dist(proposal_gen));
+        it->second += step_dist(proposal_gen);
+        double const candidate_score = evaluate(candidate);
+        if (candidate_score > best) {
+            best = candidate_score;
+            model = std::move(candidate);
+            ++model.generation;
+        }
+        // Periodic model broadcast, as RAxML-NG does after checkpoints.
+        if (iteration % 16 == 0) {
+            context.mpi_broadcast_model(model);
+        }
+    }
+
+    auto const counters_after = xmpi::profile::my_snapshot();
+    SearchResult result;
+    result.best_model = std::move(model);
+    result.best_log_likelihood = best;
+    result.elapsed_seconds = XMPI_Wtime() - start;
+    result.mpi_calls = counters_after.total_calls() - counters_before.total_calls();
+    return result;
+}
+
+} // namespace
+
+SearchResult run_search(
+    std::size_t sites_per_rank, int iterations, Layer layer, std::uint64_t seed,
+    XMPI_Comm comm) {
+    if (layer == Layer::legacy) {
+        LegacyContext context(comm);
+        return search(context, sites_per_rank, iterations, seed, comm);
+    }
+    KampingContext context(comm);
+    return search(context, sites_per_rank, iterations, seed, comm);
+}
+
+} // namespace apps::raxml

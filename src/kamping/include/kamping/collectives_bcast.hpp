@@ -1,0 +1,184 @@
+/// @file collectives_bcast.hpp
+/// @brief Wrappers for bcast (including serialized broadcast), scatter and
+/// scatterv.
+#pragma once
+
+#include <cstdint>
+
+#include "kamping/collectives_helpers.hpp"
+#include "kamping/serialization.hpp"
+
+namespace kamping::internal {
+
+/// @brief comm.bcast(send_recv_buf(data), [root], [recv_count]).
+///
+/// If the element count is not known on the non-root ranks, KaMPIng first
+/// broadcasts the count so the buffers can be sized — one extra small bcast,
+/// instantiated only when recv_count is absent *and* a resize may happen.
+///
+/// With send_recv_buf(as_serialized(obj)) the root serializes and everyone
+/// else deserializes in place (paper, Fig. 11).
+template <typename... Args>
+auto bcast_impl(XMPI_Comm comm, Args&&... args) {
+    static_assert(
+        has_parameter_v<ParameterType::send_recv_buf, Args...>,
+        "bcast requires a send_recv_buf(...) parameter (the broadcast payload)");
+    KAMPING_CHECK_PARAMETERS(
+        Args, "bcast", ParameterType::send_recv_buf, ParameterType::root,
+        ParameterType::recv_count);
+    int rank = -1;
+    XMPI_Comm_rank(comm, &rank);
+    int const root_rank = get_root(comm, args...);
+
+    auto buffer = std::move(select_parameter<ParameterType::send_recv_buf>(args...));
+    using Buffer = std::remove_cvref_t<decltype(buffer)>;
+
+    if constexpr (serialization_buffer<Buffer>) {
+        // Serialized broadcast: size prologue + payload, then deserialize.
+        std::vector<std::byte> bytes;
+        std::uint64_t payload_size = 0;
+        if (rank == root_rank) {
+            bytes = buffer.serialize();
+            payload_size = bytes.size();
+        }
+        throw_on_error(
+            XMPI_Bcast(&payload_size, sizeof(payload_size), XMPI_BYTE, root_rank, comm),
+            "XMPI_Bcast(serialized size)");
+        if (rank != root_rank) {
+            bytes.resize(payload_size);
+        }
+        throw_on_error(
+            XMPI_Bcast(
+                bytes.data(), static_cast<int>(payload_size), XMPI_BYTE, root_rank, comm),
+            "XMPI_Bcast(serialized payload)");
+        if (rank != root_rank) {
+            buffer.deserialize(bytes);
+        }
+        return;
+    } else {
+        using T = buffer_value_t<Buffer>;
+        std::uint64_t count;
+        if constexpr (has_parameter_v<ParameterType::recv_count, Args...>) {
+            count = static_cast<std::uint64_t>(
+                select_parameter<ParameterType::recv_count>(args...).value);
+        } else {
+            // Count unknown on the receivers: broadcast it first.
+            count = buffer.size();
+            throw_on_error(
+                XMPI_Bcast(&count, sizeof(count), XMPI_BYTE, root_rank, comm),
+                "XMPI_Bcast(count)");
+        }
+        if (rank != root_rank) {
+            buffer.resize_to(static_cast<std::size_t>(count));
+        }
+        throw_on_error(
+            XMPI_Bcast(
+                buffer.data(), static_cast<int>(count), mpi_datatype<T>(), root_rank, comm),
+            "XMPI_Bcast");
+        return make_result(std::move(buffer));
+    }
+}
+
+/// @brief comm.scatter(send_buf(v), [root], [recv_buf], [recv_count]): the
+/// root's send buffer is cut into equal slices; the per-rank count is
+/// broadcast when not provided.
+template <typename... Args>
+auto scatter_impl(XMPI_Comm comm, Args&&... args) {
+    KAMPING_CHECK_PARAMETERS(
+        Args, "scatter", ParameterType::send_buf, ParameterType::recv_buf, ParameterType::root,
+        ParameterType::recv_count);
+    int rank = -1;
+    int size = 0;
+    XMPI_Comm_rank(comm, &rank);
+    XMPI_Comm_size(comm, &size);
+    int const root_rank = get_root(comm, args...);
+
+    static_assert(
+        has_parameter_v<ParameterType::send_buf, Args...>,
+        "scatter requires a send_buf(...) parameter (significant on the root)");
+    auto&& send = select_parameter<ParameterType::send_buf>(args...);
+    using T = buffer_value_t<decltype(send)>;
+
+    int count = 0;
+    if constexpr (has_parameter_v<ParameterType::recv_count, Args...>) {
+        count = select_parameter<ParameterType::recv_count>(args...).value;
+    } else {
+        if (rank == root_rank) {
+            THROWING_KASSERT(
+                send.size() % static_cast<std::size_t>(size) == 0,
+                "scatter send buffer size must be divisible by the communicator size");
+            count = static_cast<int>(send.size()) / size;
+        }
+        throw_on_error(
+            XMPI_Bcast(&count, 1, XMPI_INT, root_rank, comm), "XMPI_Bcast(count)");
+    }
+
+    auto recv = take_parameter_or_default<ParameterType::recv_buf>(
+        default_recv_buf_factory<T>(), args...);
+    recv.resize_to(static_cast<std::size_t>(count));
+    throw_on_error(
+        XMPI_Scatter(
+            send.data(), count, mpi_datatype<T>(), recv.data(), count,
+            mpi_datatype<buffer_value_t<decltype(recv)>>(), root_rank, comm),
+        "XMPI_Scatter");
+    return make_result(std::move(recv));
+}
+
+/// @brief comm.scatterv(send_buf(v), send_counts(sc), [send_displs], [root],
+/// [recv_buf], [recv_count]): the per-rank receive count is scattered from
+/// the root when not provided.
+template <typename... Args>
+auto scatterv_impl(XMPI_Comm comm, Args&&... args) {
+    static_assert(
+        has_parameter_v<ParameterType::send_buf, Args...>,
+        "scatterv requires a send_buf(...) parameter (significant on the root)");
+    KAMPING_CHECK_PARAMETERS(
+        Args, "scatterv", ParameterType::send_buf, ParameterType::send_counts,
+        ParameterType::send_displs, ParameterType::recv_buf, ParameterType::root,
+        ParameterType::recv_count);
+    int rank = -1;
+    int size = 0;
+    XMPI_Comm_rank(comm, &rank);
+    XMPI_Comm_size(comm, &size);
+    int const root_rank = get_root(comm, args...);
+
+    auto&& send = select_parameter<ParameterType::send_buf>(args...);
+    using T = buffer_value_t<decltype(send)>;
+
+    auto counts = take_parameter_or_default<ParameterType::send_counts>(
+        default_counts_factory<ParameterType::send_counts>(), args...);
+    static_assert(
+        has_parameter_v<ParameterType::send_counts, Args...>,
+        "scatterv requires a send_counts(...) parameter (significant on the root)");
+
+    auto displs = take_parameter_or_default<ParameterType::send_displs>(
+        default_counts_factory<ParameterType::send_displs>(), args...);
+    constexpr bool displs_are_input =
+        std::remove_cvref_t<decltype(displs)>::kind == BufferKind::in;
+    if constexpr (!displs_are_input) {
+        if (rank == root_rank) {
+            compute_displacements(counts, displs);
+        }
+    }
+
+    int count = 0;
+    if constexpr (has_parameter_v<ParameterType::recv_count, Args...>) {
+        count = select_parameter<ParameterType::recv_count>(args...).value;
+    } else {
+        throw_on_error(
+            XMPI_Scatter(counts.data(), 1, XMPI_INT, &count, 1, XMPI_INT, root_rank, comm),
+            "XMPI_Scatter(recv_count)");
+    }
+
+    auto recv = take_parameter_or_default<ParameterType::recv_buf>(
+        default_recv_buf_factory<T>(), args...);
+    recv.resize_to(static_cast<std::size_t>(count));
+    throw_on_error(
+        XMPI_Scatterv(
+            send.data(), counts.data(), displs.data(), mpi_datatype<T>(), recv.data(), count,
+            mpi_datatype<buffer_value_t<decltype(recv)>>(), root_rank, comm),
+        "XMPI_Scatterv");
+    return make_result(std::move(recv));
+}
+
+} // namespace kamping::internal

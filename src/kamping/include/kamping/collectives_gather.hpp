@@ -1,0 +1,216 @@
+/// @file collectives_gather.hpp
+/// @brief Wrappers for the gather family: gather, gatherv, allgather,
+/// allgatherv — including the paper's flagship one-liner
+/// `auto v_global = comm.allgatherv(send_buf(v));` (Fig. 1).
+#pragma once
+
+#include "kamping/collectives_helpers.hpp"
+
+namespace kamping::internal {
+
+/// @brief comm.allgatherv(send_buf(v), [recv_buf], [recv_counts[_out]],
+/// [recv_displs[_out]], [send_count]).
+///
+/// Missing receive counts are computed by an allgather of the local send
+/// count; missing displacements by a local exclusive prefix sum — exactly
+/// the boilerplate of the paper's Fig. 2, instantiated only when needed.
+template <typename... Args>
+auto allgatherv_impl(XMPI_Comm comm, Args&&... args) {
+    static_assert(
+        has_parameter_v<ParameterType::send_buf, Args...>,
+        "allgatherv requires a send_buf(...) parameter");
+    KAMPING_CHECK_PARAMETERS(
+        Args, "allgatherv", ParameterType::send_buf, ParameterType::recv_buf,
+        ParameterType::recv_counts, ParameterType::recv_displs, ParameterType::send_count);
+
+    auto&& send = select_parameter<ParameterType::send_buf>(args...);
+    using T = buffer_value_t<decltype(send)>;
+
+    int size = 0;
+    XMPI_Comm_size(comm, &size);
+
+    int send_count = static_cast<int>(send.size());
+    if constexpr (has_parameter_v<ParameterType::send_count, Args...>) {
+        send_count = select_parameter<ParameterType::send_count>(args...).value;
+    }
+
+    // Receive counts: user-provided, or computed via allgather of the send
+    // counts (the code path is compiled only when the parameter is missing
+    // or requested as an out-parameter).
+    auto counts = take_parameter_or_default<ParameterType::recv_counts>(
+        default_counts_factory<ParameterType::recv_counts>(), args...);
+    constexpr bool counts_are_input =
+        std::remove_cvref_t<decltype(counts)>::kind == BufferKind::in;
+    if constexpr (!counts_are_input) {
+        counts.resize_to(static_cast<std::size_t>(size));
+        throw_on_error(
+            XMPI_Allgather(
+                &send_count, 1, XMPI_INT, counts.data(), 1, XMPI_INT, comm),
+            "XMPI_Allgather(recv_counts)");
+    }
+
+    // Displacements: user-provided or exclusive prefix sum.
+    auto displs = take_parameter_or_default<ParameterType::recv_displs>(
+        default_counts_factory<ParameterType::recv_displs>(), args...);
+    constexpr bool displs_are_input =
+        std::remove_cvref_t<decltype(displs)>::kind == BufferKind::in;
+    if constexpr (!displs_are_input) {
+        compute_displacements(counts, displs);
+    }
+
+    auto recv = take_parameter_or_default<ParameterType::recv_buf>(
+        default_recv_buf_factory<T>(), args...);
+    recv.resize_to(total_count(counts, displs));
+
+    throw_on_error(
+        XMPI_Allgatherv(
+            send.data(), send_count, mpi_datatype<T>(), recv.data(), counts.data(),
+            displs.data(), mpi_datatype<buffer_value_t<decltype(recv)>>(), comm),
+        "XMPI_Allgatherv");
+
+    return make_result(std::move(recv), std::move(counts), std::move(displs));
+}
+
+/// @brief comm.allgather(send_buf(v)) or in-place
+/// comm.allgather(send_recv_buf(data)) (paper, Section III-G).
+template <typename... Args>
+auto allgather_impl(XMPI_Comm comm, Args&&... args) {
+    KAMPING_CHECK_PARAMETERS(
+        Args, "allgather", ParameterType::send_buf, ParameterType::send_recv_buf,
+        ParameterType::recv_buf, ParameterType::send_count);
+    int size = 0;
+    XMPI_Comm_size(comm, &size);
+
+    if constexpr (has_parameter_v<ParameterType::send_recv_buf, Args...>) {
+        // In-place: each rank's contribution sits at its slot of the buffer.
+        static_assert(
+            !has_parameter_v<ParameterType::send_buf, Args...>
+                && !has_parameter_v<ParameterType::recv_buf, Args...>,
+            "allgather with send_recv_buf is the in-place variant: passing an additional "
+            "send_buf or recv_buf would be ignored by MPI and is therefore a compile-time "
+            "error in KaMPIng");
+        auto buffer = std::move(select_parameter<ParameterType::send_recv_buf>(args...));
+        using T = buffer_value_t<decltype(buffer)>;
+        THROWING_KASSERT(
+            buffer.size() % static_cast<std::size_t>(size) == 0,
+            "in-place allgather requires the buffer size (" << buffer.size()
+                                                            << ") to be divisible by the "
+                                                               "communicator size");
+        int const count = static_cast<int>(buffer.size()) / size;
+        throw_on_error(
+            XMPI_Allgather(
+                XMPI_IN_PLACE, 0, XMPI_DATATYPE_NULL, buffer.data(), count, mpi_datatype<T>(),
+                comm),
+            "XMPI_Allgather");
+        return make_result(std::move(buffer));
+    } else {
+        static_assert(
+            has_parameter_v<ParameterType::send_buf, Args...>,
+            "allgather requires a send_buf(...) (or send_recv_buf(...)) parameter");
+        auto&& send = select_parameter<ParameterType::send_buf>(args...);
+        using T = buffer_value_t<decltype(send)>;
+        int send_count = static_cast<int>(send.size());
+        if constexpr (has_parameter_v<ParameterType::send_count, Args...>) {
+            send_count = select_parameter<ParameterType::send_count>(args...).value;
+        }
+        auto recv = take_parameter_or_default<ParameterType::recv_buf>(
+            default_recv_buf_factory<T>(), args...);
+        recv.resize_to(static_cast<std::size_t>(send_count) * static_cast<std::size_t>(size));
+        throw_on_error(
+            XMPI_Allgather(
+                send.data(), send_count, mpi_datatype<T>(), recv.data(), send_count,
+                mpi_datatype<buffer_value_t<decltype(recv)>>(), comm),
+            "XMPI_Allgather");
+        return make_result(std::move(recv));
+    }
+}
+
+/// @brief comm.gather(send_buf(v), [root], [recv_buf]): regular gather; the
+/// receive buffer is only meaningful on the root (empty elsewhere).
+template <typename... Args>
+auto gather_impl(XMPI_Comm comm, Args&&... args) {
+    static_assert(
+        has_parameter_v<ParameterType::send_buf, Args...>,
+        "gather requires a send_buf(...) parameter");
+    KAMPING_CHECK_PARAMETERS(
+        Args, "gather", ParameterType::send_buf, ParameterType::recv_buf, ParameterType::root,
+        ParameterType::send_count);
+    auto&& send = select_parameter<ParameterType::send_buf>(args...);
+    using T = buffer_value_t<decltype(send)>;
+    int size = 0;
+    int rank = -1;
+    XMPI_Comm_size(comm, &size);
+    XMPI_Comm_rank(comm, &rank);
+    int const root_rank = get_root(comm, args...);
+    int const send_count = static_cast<int>(send.size());
+
+    auto recv = take_parameter_or_default<ParameterType::recv_buf>(
+        default_recv_buf_factory<T>(), args...);
+    if (rank == root_rank) {
+        recv.resize_to(static_cast<std::size_t>(send_count) * static_cast<std::size_t>(size));
+    }
+    throw_on_error(
+        XMPI_Gather(
+            send.data(), send_count, mpi_datatype<T>(), recv.data(), send_count,
+            mpi_datatype<buffer_value_t<decltype(recv)>>(), root_rank, comm),
+        "XMPI_Gather");
+    return make_result(std::move(recv));
+}
+
+/// @brief comm.gatherv(send_buf(v), [root], [recv_buf], [recv_counts[_out]],
+/// [recv_displs[_out]]): missing counts are gathered from the ranks.
+template <typename... Args>
+auto gatherv_impl(XMPI_Comm comm, Args&&... args) {
+    static_assert(
+        has_parameter_v<ParameterType::send_buf, Args...>,
+        "gatherv requires a send_buf(...) parameter");
+    KAMPING_CHECK_PARAMETERS(
+        Args, "gatherv", ParameterType::send_buf, ParameterType::recv_buf, ParameterType::root,
+        ParameterType::recv_counts, ParameterType::recv_displs, ParameterType::send_count);
+    auto&& send = select_parameter<ParameterType::send_buf>(args...);
+    using T = buffer_value_t<decltype(send)>;
+    int size = 0;
+    int rank = -1;
+    XMPI_Comm_size(comm, &size);
+    XMPI_Comm_rank(comm, &rank);
+    int const root_rank = get_root(comm, args...);
+    int send_count = static_cast<int>(send.size());
+
+    auto counts = take_parameter_or_default<ParameterType::recv_counts>(
+        default_counts_factory<ParameterType::recv_counts>(), args...);
+    constexpr bool counts_are_input =
+        std::remove_cvref_t<decltype(counts)>::kind == BufferKind::in;
+    if constexpr (!counts_are_input) {
+        if (rank == root_rank) {
+            counts.resize_to(static_cast<std::size_t>(size));
+        }
+        throw_on_error(
+            XMPI_Gather(
+                &send_count, 1, XMPI_INT, counts.data(), 1, XMPI_INT, root_rank, comm),
+            "XMPI_Gather(recv_counts)");
+    }
+
+    auto displs = take_parameter_or_default<ParameterType::recv_displs>(
+        default_counts_factory<ParameterType::recv_displs>(), args...);
+    constexpr bool displs_are_input =
+        std::remove_cvref_t<decltype(displs)>::kind == BufferKind::in;
+    if constexpr (!displs_are_input) {
+        if (rank == root_rank) {
+            compute_displacements(counts, displs);
+        }
+    }
+
+    auto recv = take_parameter_or_default<ParameterType::recv_buf>(
+        default_recv_buf_factory<T>(), args...);
+    if (rank == root_rank) {
+        recv.resize_to(total_count(counts, displs));
+    }
+    throw_on_error(
+        XMPI_Gatherv(
+            send.data(), send_count, mpi_datatype<T>(), recv.data(), counts.data(),
+            displs.data(), mpi_datatype<buffer_value_t<decltype(recv)>>(), root_rank, comm),
+        "XMPI_Gatherv");
+    return make_result(std::move(recv), std::move(counts), std::move(displs));
+}
+
+} // namespace kamping::internal

@@ -1,0 +1,100 @@
+/// @file collectives_helpers.hpp
+/// @brief Shared machinery of the collective wrappers: value-type deduction,
+/// displacement computation, default factories.
+#pragma once
+
+#include <numeric>
+#include <vector>
+
+#include "kamping/data_buffer.hpp"
+#include "kamping/error.hpp"
+#include "kamping/mpi_datatype.hpp"
+#include "kamping/named_parameters.hpp"
+#include "kamping/parameter_selection.hpp"
+#include "kamping/result.hpp"
+#include "xmpi/api.hpp"
+
+namespace kamping::internal {
+
+/// @brief The element type a buffer transports.
+template <typename Buffer>
+using buffer_value_t = typename std::remove_cvref_t<Buffer>::value_type;
+
+/// @brief Computes exclusive-prefix-sum displacements from counts into a
+/// displacement buffer (resized per its policy).
+template <typename CountsBuffer, typename DisplsBuffer>
+void compute_displacements(CountsBuffer const& counts, DisplsBuffer& displs) {
+    displs.resize_to(counts.size());
+    std::exclusive_scan(
+        counts.data(), counts.data() + counts.size(), displs.data(), 0);
+}
+
+/// @brief Sum of counts plus final displacement = total element count.
+template <typename CountsBuffer, typename DisplsBuffer>
+std::size_t total_count(CountsBuffer const& counts, DisplsBuffer const& displs) {
+    if (counts.size() == 0) {
+        return 0;
+    }
+    std::size_t const last = counts.size() - 1;
+    return static_cast<std::size_t>(displs.data()[last])
+           + static_cast<std::size_t>(counts.data()[last]);
+}
+
+/// @brief Default factory for *internal* scratch counts/displacements: the
+/// library computes them but the caller did not ask for them back, so they
+/// are not part of the result (request them with recv_counts_out() etc.).
+template <ParameterType Type>
+auto default_counts_factory() {
+    return [] {
+        return DataBuffer<
+            std::vector<int>, Type, BufferKind::out, BufferOwnership::owning,
+            BufferResizePolicy::resize_to_fit, /*InResult=*/false>(std::vector<int>{});
+    };
+}
+
+/// @brief Default factory for a library-allocated receive buffer of T
+/// (a plain bool array for T = bool, since std::vector<bool> is a bitset).
+template <typename T>
+auto default_recv_buf_factory() {
+    return [] {
+        return make_default_out_buffer<ParameterType::recv_buf, default_container_t<T>>();
+    };
+}
+
+/// @brief Communication-level assertion (paper, Section III-G: "assertions
+/// involving additional communication"): every rank of a rooted collective
+/// must pass the same root. Compiled in only at
+/// KASSERT_ASSERTION_LEVEL >= kassert::assertion_level::communication —
+/// otherwise this function is empty and costs nothing.
+inline void assert_consistent_root([[maybe_unused]] XMPI_Comm comm, [[maybe_unused]] int root) {
+    if constexpr (KASSERT_ENABLED(kassert::assertion_level::communication)) {
+        int size = 0;
+        int rank = -1;
+        XMPI_Comm_size(comm, &size);
+        XMPI_Comm_rank(comm, &rank);
+        std::vector<int> roots(static_cast<std::size_t>(size));
+        XMPI_Allgather(&root, 1, XMPI_INT, roots.data(), 1, XMPI_INT, comm);
+        for (int other = 0; other < size; ++other) {
+            KASSERT(
+                roots[static_cast<std::size_t>(other)] == root,
+                "inconsistent root in rooted collective: rank "
+                    << rank << " passed root " << root << " but rank " << other << " passed "
+                    << roots[static_cast<std::size_t>(other)],
+                kassert::assertion_level::communication);
+        }
+    }
+}
+
+/// @brief Root parameter with default 0; validates cross-rank consistency
+/// when communication-level assertions are enabled.
+template <typename... Args>
+int get_root(XMPI_Comm comm, Args&&... args) {
+    int root = 0;
+    if constexpr (has_parameter_v<ParameterType::root, Args...>) {
+        root = select_parameter<ParameterType::root>(args...).value;
+    }
+    assert_consistent_root(comm, root);
+    return root;
+}
+
+} // namespace kamping::internal

@@ -1,0 +1,157 @@
+/// @file collectives_reduce.hpp
+/// @brief Wrappers for reductions and prefix sums: reduce, allreduce,
+/// scan, exscan, plus the _single conveniences.
+#pragma once
+
+#include "kamping/collectives_helpers.hpp"
+
+namespace kamping::internal {
+
+template <typename... Args>
+auto& get_op_parameter(Args&&... args) {
+    static_assert(
+        has_parameter_v<ParameterType::op, Args...>,
+        "reductions require an op(...) parameter, e.g. op(std::plus<>{}) or "
+        "op(lambda, ops::commutative)");
+    return select_parameter<ParameterType::op>(args...);
+}
+
+/// @brief comm.reduce(send_buf(v), op(...), [root], [recv_buf]); the result
+/// is only meaningful on the root (empty container elsewhere).
+template <typename... Args>
+auto reduce_impl(XMPI_Comm comm, Args&&... args) {
+    static_assert(
+        has_parameter_v<ParameterType::send_buf, Args...>,
+        "reduce requires a send_buf(...) parameter");
+    KAMPING_CHECK_PARAMETERS(
+        Args, "reduce", ParameterType::send_buf, ParameterType::recv_buf, ParameterType::op,
+        ParameterType::root);
+    auto&& send = select_parameter<ParameterType::send_buf>(args...);
+    using T = buffer_value_t<decltype(send)>;
+    int rank = -1;
+    XMPI_Comm_rank(comm, &rank);
+    int const root_rank = get_root(comm, args...);
+
+    auto&& operation = get_op_parameter(args...);
+    auto activation = operation.template activate<T>();
+
+    auto recv = take_parameter_or_default<ParameterType::recv_buf>(
+        default_recv_buf_factory<T>(), args...);
+    if (rank == root_rank) {
+        recv.resize_to(send.size());
+    }
+    throw_on_error(
+        XMPI_Reduce(
+            send.data(), recv.data(), static_cast<int>(send.size()), mpi_datatype<T>(),
+            activation.handle(), root_rank, comm),
+        "XMPI_Reduce");
+    return make_result(std::move(recv));
+}
+
+/// @brief comm.allreduce(send_buf(v), op(...), [recv_buf]), or the in-place
+/// variant comm.allreduce(send_recv_buf(v), op(...)) (simplified
+/// MPI_IN_PLACE, paper Section III-G).
+template <typename... Args>
+auto allreduce_impl(XMPI_Comm comm, Args&&... args) {
+    KAMPING_CHECK_PARAMETERS(
+        Args, "allreduce", ParameterType::send_buf, ParameterType::send_recv_buf,
+        ParameterType::recv_buf, ParameterType::op);
+    auto&& operation = get_op_parameter(args...);
+
+    if constexpr (has_parameter_v<ParameterType::send_recv_buf, Args...>) {
+        static_assert(
+            !has_parameter_v<ParameterType::send_buf, Args...>
+                && !has_parameter_v<ParameterType::recv_buf, Args...>,
+            "allreduce with send_recv_buf is the in-place variant: an additional send_buf or "
+            "recv_buf would be ignored by MPI and is therefore a compile-time error in "
+            "KaMPIng");
+        auto buffer = std::move(select_parameter<ParameterType::send_recv_buf>(args...));
+        using T = buffer_value_t<decltype(buffer)>;
+        auto activation = operation.template activate<T>();
+        throw_on_error(
+            XMPI_Allreduce(
+                XMPI_IN_PLACE, buffer.data(), static_cast<int>(buffer.size()),
+                mpi_datatype<T>(), activation.handle(), comm),
+            "XMPI_Allreduce");
+        return make_result(std::move(buffer));
+    } else {
+        static_assert(
+            has_parameter_v<ParameterType::send_buf, Args...>,
+            "allreduce requires a send_buf(...) (or send_recv_buf(...)) parameter");
+        auto&& send = select_parameter<ParameterType::send_buf>(args...);
+        using T = buffer_value_t<decltype(send)>;
+        auto activation = operation.template activate<T>();
+
+        auto recv = take_parameter_or_default<ParameterType::recv_buf>(
+            default_recv_buf_factory<T>(), args...);
+        recv.resize_to(send.size());
+        throw_on_error(
+            XMPI_Allreduce(
+                send.data(), recv.data(), static_cast<int>(send.size()), mpi_datatype<T>(),
+                activation.handle(), comm),
+            "XMPI_Allreduce");
+        return make_result(std::move(recv));
+    }
+}
+
+/// @brief Inclusive prefix reduction over the ranks.
+template <typename... Args>
+auto scan_impl(XMPI_Comm comm, Args&&... args) {
+    static_assert(
+        has_parameter_v<ParameterType::send_buf, Args...>,
+        "scan requires a send_buf(...) parameter");
+    KAMPING_CHECK_PARAMETERS(
+        Args, "scan", ParameterType::send_buf, ParameterType::recv_buf, ParameterType::op);
+    auto&& send = select_parameter<ParameterType::send_buf>(args...);
+    using T = buffer_value_t<decltype(send)>;
+    auto&& operation = get_op_parameter(args...);
+    auto activation = operation.template activate<T>();
+    auto recv = take_parameter_or_default<ParameterType::recv_buf>(
+        default_recv_buf_factory<T>(), args...);
+    recv.resize_to(send.size());
+    throw_on_error(
+        XMPI_Scan(
+            send.data(), recv.data(), static_cast<int>(send.size()), mpi_datatype<T>(),
+            activation.handle(), comm),
+        "XMPI_Scan");
+    return make_result(std::move(recv));
+}
+
+/// @brief Exclusive prefix reduction; rank 0's result is the (optional)
+/// values_on_rank_0 parameter, defaulting to a value-initialized T.
+template <typename... Args>
+auto exscan_impl(XMPI_Comm comm, Args&&... args) {
+    static_assert(
+        has_parameter_v<ParameterType::send_buf, Args...>,
+        "exscan requires a send_buf(...) parameter");
+    KAMPING_CHECK_PARAMETERS(
+        Args, "exscan", ParameterType::send_buf, ParameterType::recv_buf, ParameterType::op,
+        ParameterType::values_on_rank_0);
+    auto&& send = select_parameter<ParameterType::send_buf>(args...);
+    using T = buffer_value_t<decltype(send)>;
+    int rank = -1;
+    XMPI_Comm_rank(comm, &rank);
+    auto&& operation = get_op_parameter(args...);
+    auto activation = operation.template activate<T>();
+    auto recv = take_parameter_or_default<ParameterType::recv_buf>(
+        default_recv_buf_factory<T>(), args...);
+    recv.resize_to(send.size());
+    throw_on_error(
+        XMPI_Exscan(
+            send.data(), recv.data(), static_cast<int>(send.size()), mpi_datatype<T>(),
+            activation.handle(), comm),
+        "XMPI_Exscan");
+    if (rank == 0) {
+        // MPI leaves rank 0's exscan output undefined; KaMPIng defines it.
+        T seed{};
+        if constexpr (has_parameter_v<ParameterType::values_on_rank_0, Args...>) {
+            seed = select_parameter<ParameterType::values_on_rank_0>(args...).value;
+        }
+        for (std::size_t i = 0; i < recv.size(); ++i) {
+            recv.data()[i] = seed;
+        }
+    }
+    return make_result(std::move(recv));
+}
+
+} // namespace kamping::internal

@@ -1,0 +1,326 @@
+/// @file communicator.hpp
+/// @brief The Communicator: KaMPIng's central class, wrapping an MPI
+/// communicator handle with RAII semantics and all communication wrappers.
+///
+/// The class is parameterized on a list of CRTP plugins (paper, Section
+/// III-F): plugins add member functions (or override behaviour by shadowing)
+/// without touching the core, keeping it small while enabling the
+/// general-purpose building blocks of Section V as library extensions:
+///
+///   using MyComm = kamping::BasicCommunicator<
+///       kamping::plugin::SparseAlltoall, kamping::plugin::GridCommunicator>;
+#pragma once
+
+#include <memory>
+#include <utility>
+
+#include "kamping/collectives_alltoall.hpp"
+#include "kamping/collectives_bcast.hpp"
+#include "kamping/collectives_gather.hpp"
+#include "kamping/collectives_helpers.hpp"
+#include "kamping/collectives_reduce.hpp"
+#include "kamping/error.hpp"
+#include "kamping/nonblocking.hpp"
+#include "kamping/p2p.hpp"
+#include "xmpi/api.hpp"
+
+namespace kamping {
+
+namespace internal {
+/// @brief Sentinel for "recv element type not specified".
+struct unspecified_recv_type {
+    using value_type = unspecified_recv_type;
+};
+} // namespace internal
+
+/// @brief The communicator, with communication calls as member functions.
+/// @tparam Plugins CRTP mixins adding functionality (paper, Section III-F).
+template <template <typename> class... Plugins>
+class BasicCommunicator : public Plugins<BasicCommunicator<Plugins...>>... {
+public:
+    /// @brief Wraps an existing (native) communicator handle. KaMPIng is
+    /// fully interoperable with native handles, enabling gradual migration
+    /// of existing code (paper, Section III-F).
+    explicit BasicCommunicator(XMPI_Comm comm, bool owning = false)
+        : comm_(comm),
+          owning_(owning) {
+        XMPI_Comm_rank(comm_, &rank_);
+        XMPI_Comm_size(comm_, &size_);
+    }
+
+    /// @brief Defaults to the world communicator.
+    BasicCommunicator() : BasicCommunicator(XMPI_COMM_WORLD) {}
+
+    ~BasicCommunicator() {
+        if (owning_ && comm_ != XMPI_COMM_NULL) {
+            XMPI_Comm_free(&comm_);
+        }
+    }
+
+    BasicCommunicator(BasicCommunicator&& other) noexcept
+        : comm_(std::exchange(other.comm_, XMPI_COMM_NULL)),
+          owning_(std::exchange(other.owning_, false)),
+          rank_(other.rank_),
+          size_(other.size_) {}
+    BasicCommunicator& operator=(BasicCommunicator&& other) noexcept {
+        if (this != &other) {
+            if (owning_ && comm_ != XMPI_COMM_NULL) {
+                XMPI_Comm_free(&comm_);
+            }
+            comm_ = std::exchange(other.comm_, XMPI_COMM_NULL);
+            owning_ = std::exchange(other.owning_, false);
+            rank_ = other.rank_;
+            size_ = other.size_;
+        }
+        return *this;
+    }
+    BasicCommunicator(BasicCommunicator const&) = delete;
+    BasicCommunicator& operator=(BasicCommunicator const&) = delete;
+
+    /// @name Introspection
+    /// @{
+    [[nodiscard]] int rank() const { return rank_; }
+    [[nodiscard]] std::size_t size() const { return static_cast<std::size_t>(size_); }
+    [[nodiscard]] int size_signed() const { return size_; }
+    [[nodiscard]] bool is_root(int root = 0) const { return rank_ == root; }
+    /// @brief The underlying native handle (interoperability escape hatch).
+    [[nodiscard]] XMPI_Comm mpi_communicator() const { return comm_; }
+    /// @}
+
+    /// @name Communicator management
+    /// @{
+    [[nodiscard]] BasicCommunicator duplicate() const {
+        XMPI_Comm duplicated = XMPI_COMM_NULL;
+        internal::throw_on_error(XMPI_Comm_dup(comm_, &duplicated), "XMPI_Comm_dup");
+        return BasicCommunicator(duplicated, /*owning=*/true);
+    }
+    [[nodiscard]] BasicCommunicator split(int color, int key = 0) const {
+        XMPI_Comm part = XMPI_COMM_NULL;
+        internal::throw_on_error(XMPI_Comm_split(comm_, color, key, &part), "XMPI_Comm_split");
+        return BasicCommunicator(part, /*owning=*/true);
+    }
+    /// @}
+
+    /// @name Collectives
+    /// @{
+    void barrier() const {
+        internal::throw_on_error(XMPI_Barrier(comm_), "XMPI_Barrier");
+    }
+
+    template <typename... Args>
+    auto bcast(Args&&... args) const {
+        return internal::bcast_impl(comm_, std::forward<Args>(args)...);
+    }
+
+    /// @brief Broadcast of a single value; returns the value on every rank.
+    template <typename T>
+    T bcast_single(T value, int root_rank = 0) const {
+        internal::throw_on_error(
+            XMPI_Bcast(&value, 1, mpi_datatype<T>(), root_rank, comm_), "XMPI_Bcast");
+        return value;
+    }
+
+    template <typename... Args>
+    auto gather(Args&&... args) const {
+        return internal::gather_impl(comm_, std::forward<Args>(args)...);
+    }
+    template <typename... Args>
+    auto gatherv(Args&&... args) const {
+        return internal::gatherv_impl(comm_, std::forward<Args>(args)...);
+    }
+    template <typename... Args>
+    auto allgather(Args&&... args) const {
+        return internal::allgather_impl(comm_, std::forward<Args>(args)...);
+    }
+    template <typename... Args>
+    auto allgatherv(Args&&... args) const {
+        return internal::allgatherv_impl(comm_, std::forward<Args>(args)...);
+    }
+    template <typename... Args>
+    auto scatter(Args&&... args) const {
+        return internal::scatter_impl(comm_, std::forward<Args>(args)...);
+    }
+    template <typename... Args>
+    auto scatterv(Args&&... args) const {
+        return internal::scatterv_impl(comm_, std::forward<Args>(args)...);
+    }
+    template <typename... Args>
+    auto alltoall(Args&&... args) const {
+        return internal::alltoall_impl(comm_, std::forward<Args>(args)...);
+    }
+    template <typename... Args>
+    auto alltoallv(Args&&... args) const {
+        return internal::alltoallv_impl(comm_, std::forward<Args>(args)...);
+    }
+    template <typename... Args>
+    auto reduce(Args&&... args) const {
+        return internal::reduce_impl(comm_, std::forward<Args>(args)...);
+    }
+    template <typename... Args>
+    auto allreduce(Args&&... args) const {
+        return internal::allreduce_impl(comm_, std::forward<Args>(args)...);
+    }
+    template <typename... Args>
+    auto scan(Args&&... args) const {
+        return internal::scan_impl(comm_, std::forward<Args>(args)...);
+    }
+    template <typename... Args>
+    auto exscan(Args&&... args) const {
+        return internal::exscan_impl(comm_, std::forward<Args>(args)...);
+    }
+
+    /// @brief Allreduce of a single element, returned by value — e.g. the
+    /// BFS termination check `comm.allreduce_single(send_buf(frontier.empty()),
+    /// op(std::logical_and<>{}))` (paper, Fig. 9).
+    template <typename... Args>
+    auto allreduce_single(Args&&... args) const {
+        auto result = allreduce(std::forward<Args>(args)...);
+        THROWING_KASSERT(
+            result.size() == 1, "allreduce_single requires a single-element send buffer");
+        return result.front();
+    }
+    /// @brief Exclusive prefix sum of a single element.
+    template <typename... Args>
+    auto exscan_single(Args&&... args) const {
+        auto result = exscan(std::forward<Args>(args)...);
+        return result.front();
+    }
+    /// @brief Inclusive prefix sum of a single element.
+    template <typename... Args>
+    auto scan_single(Args&&... args) const {
+        auto result = scan(std::forward<Args>(args)...);
+        return result.front();
+    }
+    /// @}
+
+    /// @name Point-to-point
+    /// @{
+    template <typename... Args>
+    void send(Args&&... args) const {
+        internal::send_impl(comm_, std::forward<Args>(args)...);
+    }
+    template <typename... Args>
+    void ssend(Args&&... args) const {
+        internal::ssend_impl(comm_, std::forward<Args>(args)...);
+    }
+    /// @brief Blocking receive; T is the element type when no recv_buf is
+    /// passed: comm.recv<int>(source(0)).
+    template <typename T = internal::unspecified_recv_type, typename... Args>
+    auto recv(Args&&... args) const {
+        constexpr bool has_buf = internal::has_parameter_v<ParameterType::recv_buf, Args...>;
+        static_assert(
+            has_buf || !std::is_same_v<T, internal::unspecified_recv_type>,
+            "recv cannot deduce the element type: pass recv_buf(...) or call recv<T>(...)");
+        return internal::recv_impl<T>(comm_, std::forward<Args>(args)...);
+    }
+    /// @brief Receive of a single element, returned by value.
+    template <typename T, typename... Args>
+    T recv_single(Args&&... args) const {
+        return internal::recv_impl<T>(comm_, recv_count(1), std::forward<Args>(args)...)
+            .front();
+    }
+    template <typename... Args>
+    auto probe(Args&&... args) const {
+        return internal::probe_impl(comm_, std::forward<Args>(args)...);
+    }
+    template <typename... Args>
+    auto iprobe(Args&&... args) const {
+        return internal::iprobe_impl(comm_, std::forward<Args>(args)...);
+    }
+    /// @}
+
+    /// @name Non-blocking collectives (extending the standard coverage the
+    /// paper names as ongoing work). Same memory-safety model as isend/irecv:
+    /// moved-in buffers live in the returned handle until completion.
+    /// @{
+    /// @brief comm.ibcast(send_recv_buf(data), [root]): the buffer must be
+    /// sized identically on all ranks (no count prologue on the non-blocking
+    /// path).
+    template <typename... Args>
+    auto ibcast(Args&&... args) const {
+        static_assert(
+            internal::has_parameter_v<ParameterType::send_recv_buf, Args...>,
+            "ibcast requires a send_recv_buf(...) parameter");
+        auto buffer = std::move(
+            internal::select_parameter<ParameterType::send_recv_buf>(args...));
+        using Buffer = std::remove_cvref_t<decltype(buffer)>;
+        using T = internal::buffer_value_t<Buffer>;
+        int const root_rank = internal::get_root(comm_, args...);
+        XMPI_Comm const comm = comm_;
+        return NonBlockingResult<Buffer>(
+            [&](Buffer& stored) {
+                XMPI_Request request = XMPI_REQUEST_NULL;
+                internal::throw_on_error(
+                    XMPI_Ibcast(
+                        stored.data(), static_cast<int>(stored.size()), mpi_datatype<T>(),
+                        root_rank, comm, &request),
+                    "XMPI_Ibcast");
+                return request;
+            },
+            std::move(buffer));
+    }
+
+    /// @brief comm.iallreduce(send_recv_buf(data), op(...)): in-place
+    /// non-blocking allreduce; the data is returned on wait().
+    template <typename... Args>
+    auto iallreduce(Args&&... args) const {
+        static_assert(
+            internal::has_parameter_v<ParameterType::send_recv_buf, Args...>,
+            "iallreduce requires a send_recv_buf(...) parameter (in-place)");
+        auto buffer = std::move(
+            internal::select_parameter<ParameterType::send_recv_buf>(args...));
+        using Buffer = std::remove_cvref_t<decltype(buffer)>;
+        using T = internal::buffer_value_t<Buffer>;
+        auto&& operation = internal::get_op_parameter(args...);
+        static_assert(
+            std::remove_cvref_t<decltype(operation)>::is_stateless,
+            "iallreduce supports builtin operations (std::plus<>, ops::max, raw MPI op "
+            "handles, ...) only — a user lambda's state cannot outlive the initiating call");
+        auto activation = operation.template activate<T>();
+        XMPI_Comm const comm = comm_;
+        auto handle = activation.handle();
+        return NonBlockingResult<Buffer>(
+            [&](Buffer& stored) {
+                XMPI_Request request = XMPI_REQUEST_NULL;
+                internal::throw_on_error(
+                    XMPI_Iallreduce(
+                        XMPI_IN_PLACE, stored.data(), static_cast<int>(stored.size()),
+                        mpi_datatype<T>(), handle, comm, &request),
+                    "XMPI_Iallreduce");
+                return request;
+            },
+            std::move(buffer));
+    }
+    /// @}
+
+    /// @name Non-blocking point-to-point (paper, Section III-E)
+    /// @{
+    template <typename... Args>
+    auto isend(Args&&... args) const {
+        return internal::isend_impl(comm_, std::forward<Args>(args)...);
+    }
+    template <typename... Args>
+    auto issend(Args&&... args) const {
+        return internal::issend_impl(comm_, std::forward<Args>(args)...);
+    }
+    template <typename T = internal::unspecified_recv_type, typename... Args>
+    auto irecv(Args&&... args) const {
+        constexpr bool has_buf = internal::has_parameter_v<ParameterType::recv_buf, Args...>;
+        static_assert(
+            has_buf || !std::is_same_v<T, internal::unspecified_recv_type>,
+            "irecv cannot deduce the element type: pass recv_buf(...) or call irecv<T>(...)");
+        return internal::irecv_impl<T>(comm_, std::forward<Args>(args)...);
+    }
+    /// @}
+
+private:
+    XMPI_Comm comm_;
+    bool owning_;
+    int rank_ = -1;
+    int size_ = 0;
+};
+
+/// @brief The default communicator type (no plugins).
+using Communicator = BasicCommunicator<>;
+
+} // namespace kamping

@@ -1,0 +1,217 @@
+/// @file data_buffer.hpp
+/// @brief DataBuffer: the unified wrapper around all user-visible buffers.
+///
+/// Every container or value passed to a KaMPIng call is wrapped in a
+/// DataBuffer that encodes — entirely at compile time — its parameter type,
+/// data-flow direction (in/out/in-out), ownership (moved-in/library-owned vs
+/// referencing the caller's storage), resize policy, and whether it is
+/// returned to the caller in the result object (paper, Section III-H).
+/// Because ownership and modifiability are template parameters, the wrappers
+/// move (never copy) data and dead branches are eliminated at compile time.
+#pragma once
+
+#include <algorithm>
+#include <concepts>
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "kassert/kassert.hpp"
+#include "kamping/parameter_type.hpp"
+
+namespace kamping {
+
+namespace internal {
+
+/// @brief Containers usable as message buffers: contiguous storage with
+/// size() and a value_type (std::vector, std::array, std::span, std::string,
+/// thrust-style device vectors, ...).
+template <typename T>
+concept contiguous_container = requires(std::remove_cvref_t<T>& container) {
+    typename std::remove_cvref_t<T>::value_type;
+    { container.data() };
+    { container.size() } -> std::convertible_to<std::size_t>;
+};
+
+/// @brief Containers that can change their size.
+template <typename T>
+concept resizable_container =
+    contiguous_container<T> && requires(std::remove_cvref_t<T>& container, std::size_t n) {
+        container.resize(n);
+    };
+
+template <typename T>
+constexpr bool is_vector_bool =
+    std::is_same_v<std::remove_cvref_t<T>, std::vector<bool>>;
+
+/// @brief Plain dynamic bool array. std::vector<bool> is a bitset without
+/// contiguous bool storage, so KaMPIng uses this as the default container
+/// for received bools.
+class BoolStorage {
+public:
+    using value_type = bool;
+
+    [[nodiscard]] bool* data() { return storage_.get(); }
+    [[nodiscard]] bool const* data() const { return storage_.get(); }
+    [[nodiscard]] std::size_t size() const { return size_; }
+    [[nodiscard]] bool front() const { return storage_[0]; }
+    [[nodiscard]] bool operator[](std::size_t index) const { return storage_[index]; }
+
+    void resize(std::size_t n) {
+        auto grown = std::make_unique<bool[]>(n);
+        for (std::size_t i = 0; i < std::min(n, size_); ++i) {
+            grown[i] = storage_[i];
+        }
+        storage_ = std::move(grown);
+        size_ = n;
+    }
+
+private:
+    std::unique_ptr<bool[]> storage_;
+    std::size_t size_ = 0;
+};
+
+/// @brief The container type used for library-allocated buffers of T.
+template <typename T>
+using default_container_t = std::conditional_t<std::is_same_v<T, bool>, BoolStorage, std::vector<T>>;
+
+} // namespace internal
+
+/// @brief Compile-time description of a buffer's role; see file comment.
+template <
+    typename Container, ParameterType Type, BufferKind Kind, BufferOwnership Ownership,
+    BufferResizePolicy ResizePolicy, bool InResult>
+class DataBuffer {
+public:
+    static constexpr ParameterType parameter_type = Type;
+    static constexpr BufferKind kind = Kind;
+    static constexpr BufferOwnership ownership = Ownership;
+    static constexpr BufferResizePolicy resize_policy = ResizePolicy;
+    /// True iff this buffer is handed back to the caller in the result.
+    static constexpr bool in_result = InResult;
+    static constexpr bool is_modifiable = Kind != BufferKind::in;
+    static constexpr bool is_owning = Ownership == BufferOwnership::owning;
+
+    using ContainerType = std::remove_cvref_t<Container>;
+    using value_type = typename ContainerType::value_type;
+
+private:
+    /// Owning buffers store the container; referencing buffers a reference.
+    /// Referencing in-buffers reference const.
+    using Storage = std::conditional_t<
+        is_owning, ContainerType,
+        std::conditional_t<is_modifiable, ContainerType&, ContainerType const&>>;
+
+public:
+    explicit DataBuffer(Storage storage)
+        requires(!is_owning)
+        : storage_(storage) {}
+
+    explicit DataBuffer(ContainerType&& storage)
+        requires(is_owning)
+        : storage_(std::move(storage)) {}
+
+    DataBuffer(DataBuffer&&) = default;
+    DataBuffer& operator=(DataBuffer&&) = default;
+    DataBuffer(DataBuffer const&) = delete;
+    DataBuffer& operator=(DataBuffer const&) = delete;
+
+    [[nodiscard]] std::size_t size() const { return storage_.size(); }
+    [[nodiscard]] value_type const* data() const { return std::data(storage_); }
+
+    [[nodiscard]] value_type* data()
+        requires is_modifiable
+    {
+        return std::data(storage_);
+    }
+
+    /// @brief Applies the resize policy for a required size of @c n elements
+    /// (paper, Section III-C). With no_resize, insufficient capacity is a
+    /// usage error caught by an assertion instead of a buffer overrun.
+    void resize_to(std::size_t n)
+        requires is_modifiable
+    {
+        if constexpr (resize_policy == BufferResizePolicy::no_resize) {
+            THROWING_KASSERT(
+                storage_.size() >= n,
+                "buffer with no_resize policy is too small: has "
+                    << storage_.size() << " elements, needs " << n
+                    << " (pass recv_buf<resize_to_fit>(...) to let KaMPIng resize)");
+        } else if constexpr (resize_policy == BufferResizePolicy::grow_only) {
+            if (storage_.size() < n) {
+                resize_storage(n);
+            }
+        } else {
+            if (storage_.size() != n) {
+                resize_storage(n);
+            }
+        }
+    }
+
+    /// @brief Moves the underlying container out (result extraction).
+    [[nodiscard]] ContainerType extract() &&
+        requires is_owning
+    {
+        return std::move(storage_);
+    }
+
+    [[nodiscard]] ContainerType& underlying() { return storage_; }
+    [[nodiscard]] ContainerType const& underlying() const { return storage_; }
+
+private:
+    void resize_storage(std::size_t n) {
+        static_assert(
+            internal::resizable_container<ContainerType>,
+            "this buffer's container cannot be resized (e.g. std::span); pass a resizable "
+            "container or use the no_resize policy with sufficient capacity");
+        storage_.resize(n);
+    }
+
+    Storage storage_;
+};
+
+/// @brief A single in-value parameter (root, tag, destination, ...).
+template <ParameterType Type, typename T>
+struct ValueParameter {
+    static constexpr ParameterType parameter_type = Type;
+    static constexpr BufferKind kind = BufferKind::in;
+    static constexpr bool in_result = false;
+    using value_type = T;
+
+    T value;
+};
+
+/// @brief A single out-value parameter (e.g. recv_count_out()): either
+/// owning (returned via the result object) or referencing (written through).
+template <ParameterType Type, typename T, BufferOwnership Ownership>
+class ValueOutParameter {
+public:
+    static constexpr ParameterType parameter_type = Type;
+    static constexpr BufferKind kind = BufferKind::out;
+    static constexpr BufferOwnership ownership = Ownership;
+    static constexpr bool in_result = Ownership == BufferOwnership::owning;
+    static constexpr bool is_owning = Ownership == BufferOwnership::owning;
+    using value_type = T;
+
+    ValueOutParameter()
+        requires(is_owning)
+        : storage_{} {}
+    explicit ValueOutParameter(T& target)
+        requires(!is_owning)
+        : storage_(target) {}
+
+    void set(T const& value) { storage_ = value; }
+    [[nodiscard]] T extract() &&
+        requires(is_owning)
+    {
+        return storage_;
+    }
+
+private:
+    std::conditional_t<is_owning, T, T&> storage_;
+};
+
+} // namespace kamping

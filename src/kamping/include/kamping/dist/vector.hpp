@@ -1,0 +1,238 @@
+/// @file vector.hpp
+/// @brief DistributedVector — first steps towards the distributed standard
+/// library the paper's conclusion sketches (Section VI: "with distributed
+/// containers, we want to enable lightweight bulk parallel computation
+/// inspired by MapReduce and Thrill, while not locking the programmer into
+/// the walled garden of a particular framework").
+///
+/// A DistributedVector is nothing but a local std::vector plus a
+/// communicator: every bulk operation is implemented directly with KaMPIng
+/// calls, data is always accessible as plain local STL containers, and any
+/// step can drop down to raw MPI — no framework lock-in.
+///
+/// Bulk operations: map, filter, reduce, prefix_sum, sort, rebalance,
+/// exchange_by_key (the MapReduce shuffle; serialized transparently for
+/// heap-backed element types), gather_to_root, global_size.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include "kamping/plugin/plugins.hpp"
+#include "kamping/serialization.hpp"
+#include "kamping/utils.hpp"
+
+namespace kamping::dist {
+
+template <typename T>
+class DistributedVector {
+public:
+    using value_type = T;
+
+    /// @brief Wraps this rank's block of a distributed data set.
+    DistributedVector(XMPI_Comm comm, std::vector<T> local)
+        : comm_(comm),
+          local_(std::move(local)) {}
+
+    /// @brief The canonical generator: [0, n) block-distributed.
+    static DistributedVector iota(XMPI_Comm comm_handle, std::uint64_t n)
+        requires std::is_integral_v<T>
+    {
+        FullCommunicator comm(comm_handle);
+        auto const p = static_cast<std::uint64_t>(comm.size());
+        auto const r = static_cast<std::uint64_t>(comm.rank());
+        std::uint64_t const chunk = n / p;
+        std::uint64_t const remainder = n % p;
+        std::uint64_t const first = r * chunk + std::min(r, remainder);
+        std::uint64_t const count = chunk + (r < remainder ? 1 : 0);
+        std::vector<T> local(count);
+        std::iota(local.begin(), local.end(), static_cast<T>(first));
+        return DistributedVector(comm_handle, std::move(local));
+    }
+
+    /// @name Local access (never hidden behind the framework)
+    /// @{
+    [[nodiscard]] std::vector<T>& local() { return local_; }
+    [[nodiscard]] std::vector<T> const& local() const { return local_; }
+    [[nodiscard]] std::size_t local_size() const { return local_.size(); }
+    [[nodiscard]] XMPI_Comm communicator() const { return comm_; }
+    /// @}
+
+    /// @brief Total element count across all ranks (collective).
+    [[nodiscard]] std::uint64_t global_size() const {
+        FullCommunicator comm(comm_);
+        return comm.allreduce_single(
+            send_buf(static_cast<std::uint64_t>(local_.size())), op(std::plus<>{}));
+    }
+
+    /// @brief Element-wise transform (embarrassingly parallel).
+    template <typename F>
+    [[nodiscard]] auto map(F&& f) const {
+        using U = std::invoke_result_t<F, T const&>;
+        std::vector<U> mapped;
+        mapped.reserve(local_.size());
+        for (auto const& element: local_) {
+            mapped.push_back(f(element));
+        }
+        return DistributedVector<U>(comm_, std::move(mapped));
+    }
+
+    /// @brief Keeps the elements satisfying the predicate.
+    template <typename Pred>
+    [[nodiscard]] DistributedVector filter(Pred&& keep) const {
+        std::vector<T> kept;
+        for (auto const& element: local_) {
+            if (keep(element)) {
+                kept.push_back(element);
+            }
+        }
+        return DistributedVector(comm_, std::move(kept));
+    }
+
+    /// @brief Global reduction: local fold, then an allreduce with the same
+    /// (commutative, associative) operation. Every rank gets the result.
+    template <typename F>
+    [[nodiscard]] T reduce(T identity, F&& combine) const
+        requires std::is_trivially_copyable_v<T>
+    {
+        T folded = identity;
+        for (auto const& element: local_) {
+            folded = combine(folded, element);
+        }
+        FullCommunicator comm(comm_);
+        return comm.allreduce_single(
+            send_buf(folded), op(std::forward<F>(combine), ops::commutative));
+    }
+
+    /// @brief Global exclusive prefix sum over the elements, in distributed
+    /// order (rank-major): element i's result is the sum of all elements
+    /// before it.
+    [[nodiscard]] DistributedVector prefix_sum() const
+        requires std::is_arithmetic_v<T>
+    {
+        FullCommunicator comm(comm_);
+        T const local_total = std::accumulate(local_.begin(), local_.end(), T{});
+        T const preceding = comm.exscan_single(
+            send_buf(local_total), op(std::plus<>{}), values_on_rank_0(T{}));
+        std::vector<T> sums(local_.size());
+        std::exclusive_scan(local_.begin(), local_.end(), sums.begin(), preceding);
+        return DistributedVector(comm_, std::move(sums));
+    }
+
+    /// @brief Globally sorts the data (distributed sample sort); afterwards
+    /// rank i's block precedes rank i+1's.
+    template <typename Compare = std::less<T>>
+    [[nodiscard]] DistributedVector sort(Compare compare = {}) const
+        requires std::is_trivially_copyable_v<T>
+    {
+        FullCommunicator comm(comm_);
+        std::vector<T> data = local_;
+        comm.sort(data, compare);
+        return DistributedVector(comm_, std::move(data));
+    }
+
+    /// @brief Rebalances to an even block distribution (alltoallv along the
+    /// global element order).
+    [[nodiscard]] DistributedVector rebalance() const
+        requires std::is_trivially_copyable_v<T>
+    {
+        FullCommunicator comm(comm_);
+        int const p = comm.size_signed();
+        std::uint64_t const total = global_size();
+        std::uint64_t const my_offset = comm.exscan_single(
+            send_buf(static_cast<std::uint64_t>(local_.size())), op(std::plus<>{}),
+            values_on_rank_0(std::uint64_t{0}));
+        // Target block boundaries.
+        auto const target_first = [&](int rank) {
+            auto const r = static_cast<std::uint64_t>(rank);
+            auto const pp = static_cast<std::uint64_t>(p);
+            return r * (total / pp) + std::min(r, total % pp);
+        };
+        std::vector<int> counts(static_cast<std::size_t>(p), 0);
+        for (std::size_t i = 0; i < local_.size(); ++i) {
+            std::uint64_t const global_index = my_offset + i;
+            int owner = 0;
+            while (owner + 1 < p && target_first(owner + 1) <= global_index) {
+                ++owner;
+            }
+            ++counts[static_cast<std::size_t>(owner)];
+        }
+        auto balanced = comm.alltoallv(send_buf(local_), send_counts(counts));
+        return DistributedVector(comm_, std::move(balanced));
+    }
+
+    /// @brief The MapReduce shuffle: routes every element to the rank
+    /// selected by hash(key(element)) % p, so equal keys meet on one rank.
+    /// Statically typed elements travel directly; heap-backed ones are
+    /// serialized transparently per destination (explicitly implemented on
+    /// top of kaserial — no hidden per-element cost for static types).
+    template <typename KeyFn>
+    [[nodiscard]] DistributedVector exchange_by_key(KeyFn&& key_of) const {
+        FullCommunicator comm(comm_);
+        int const p = comm.size_signed();
+        auto const destination_of = [&](T const& element) {
+            return static_cast<int>(
+                std::hash<std::decay_t<decltype(key_of(element))>>{}(key_of(element))
+                % static_cast<std::size_t>(p));
+        };
+        if constexpr (has_static_type<T>) {
+            std::vector<std::vector<T>> buckets(static_cast<std::size_t>(p));
+            for (auto const& element: local_) {
+                buckets[static_cast<std::size_t>(destination_of(element))].push_back(element);
+            }
+            auto const flattened = with_flattened(buckets, comm.size());
+            auto shuffled = comm.alltoallv(
+                send_buf(flattened.data), send_counts(flattened.counts));
+            return DistributedVector(comm_, std::move(shuffled));
+        } else {
+            // Serialize each destination's bucket into a byte stream.
+            std::vector<std::vector<T>> buckets(static_cast<std::size_t>(p));
+            for (auto const& element: local_) {
+                buckets[static_cast<std::size_t>(destination_of(element))].push_back(element);
+            }
+            std::vector<std::byte> stream;
+            std::vector<int> counts(static_cast<std::size_t>(p), 0);
+            for (int destination = 0; destination < p; ++destination) {
+                auto const bytes =
+                    kaserial::to_bytes(buckets[static_cast<std::size_t>(destination)]);
+                counts[static_cast<std::size_t>(destination)] =
+                    static_cast<int>(bytes.size());
+                stream.insert(stream.end(), bytes.begin(), bytes.end());
+            }
+            auto [received, received_counts] = comm.alltoallv(
+                send_buf(stream), send_counts(counts), recv_counts_out());
+            std::vector<T> shuffled;
+            std::size_t cursor = 0;
+            for (int source = 0; source < p; ++source) {
+                auto const bytes =
+                    static_cast<std::size_t>(received_counts[static_cast<std::size_t>(source)]);
+                if (bytes > 0) {
+                    auto block = kaserial::from_bytes<std::vector<T>>(
+                        {received.data() + cursor, bytes});
+                    shuffled.insert(
+                        shuffled.end(), std::make_move_iterator(block.begin()),
+                        std::make_move_iterator(block.end()));
+                    cursor += bytes;
+                }
+            }
+            return DistributedVector(comm_, std::move(shuffled));
+        }
+    }
+
+    /// @brief Gathers everything on the root (empty elsewhere).
+    [[nodiscard]] std::vector<T> gather_to_root(int root_rank = 0) const
+        requires std::is_trivially_copyable_v<T>
+    {
+        FullCommunicator comm(comm_);
+        return comm.gatherv(send_buf(local_), root(root_rank));
+    }
+
+private:
+    XMPI_Comm comm_;
+    std::vector<T> local_;
+};
+
+} // namespace kamping::dist

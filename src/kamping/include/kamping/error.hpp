@@ -1,0 +1,63 @@
+/// @file error.hpp
+/// @brief KaMPIng error handling: exceptions for failures, assertions for
+/// usage errors (paper, Section III-G).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "xmpi/error.hpp"
+
+namespace kamping {
+
+/// @brief Base class for all exceptions thrown by KaMPIng wrappers when the
+/// underlying MPI call reports a failure.
+class MpiError : public std::runtime_error {
+public:
+    MpiError(int error_code, std::string const& function)
+        : std::runtime_error(
+              function + " failed: " + xmpi::error_string(error_code)),
+          error_code_(error_code) {}
+
+    [[nodiscard]] int error_code() const { return error_code_; }
+
+private:
+    int error_code_;
+};
+
+/// @brief Thrown when a peer process failure is detected (ULFM). Used by the
+/// fault-tolerance plugin to drive recovery via idiomatic C++ exceptions
+/// (paper, Fig. 12).
+class MpiFailureDetected : public MpiError {
+public:
+    explicit MpiFailureDetected(std::string const& function)
+        : MpiError(XMPI_ERR_PROC_FAILED, function) {}
+};
+
+/// @brief Thrown when an operation is attempted on a revoked communicator.
+class MpiCommRevoked : public MpiError {
+public:
+    explicit MpiCommRevoked(std::string const& function)
+        : MpiError(XMPI_ERR_REVOKED, function) {}
+};
+
+namespace internal {
+
+/// @brief Converts a non-success XMPI return code into the matching
+/// exception. The error *handling strategy* is overridable via the plugin
+/// system (see plugin/ulfm.hpp); this is the default strategy.
+inline void throw_on_error(int error_code, char const* function) {
+    if (error_code == XMPI_SUCCESS) {
+        return;
+    }
+    if (error_code == XMPI_ERR_PROC_FAILED) {
+        throw MpiFailureDetected(function);
+    }
+    if (error_code == XMPI_ERR_REVOKED) {
+        throw MpiCommRevoked(function);
+    }
+    throw MpiError(error_code, function);
+}
+
+} // namespace internal
+} // namespace kamping

@@ -1,0 +1,16 @@
+/// @file kamping.hpp
+/// @brief Umbrella header for the KaMPIng bindings: flexible and (near)
+/// zero-overhead C++ bindings for MPI (reproduction of Uhl et al.).
+#pragma once
+
+#include "kamping/communicator.hpp"      // IWYU pragma: export
+#include "kamping/data_buffer.hpp"       // IWYU pragma: export
+#include "kamping/error.hpp"             // IWYU pragma: export
+#include "kamping/mpi_datatype.hpp"      // IWYU pragma: export
+#include "kamping/named_parameters.hpp"  // IWYU pragma: export
+#include "kamping/nonblocking.hpp"       // IWYU pragma: export
+#include "kamping/op.hpp"                // IWYU pragma: export
+#include "kamping/parameter_type.hpp"    // IWYU pragma: export
+#include "kamping/result.hpp"            // IWYU pragma: export
+#include "kamping/serialization.hpp"     // IWYU pragma: export
+#include "kamping/utils.hpp"             // IWYU pragma: export

@@ -1,0 +1,191 @@
+/// @file mpi_datatype.hpp
+/// @brief KaMPIng's flexible type system (paper, Section III-D).
+///
+/// C++ types are mapped to MPI datatypes at compile time:
+///   1. a user specialization of kamping::mpi_type_traits<T> wins;
+///   2. builtin arithmetic types map to the corresponding MPI constants;
+///   3. other trivially copyable types map to a contiguous-bytes type
+///      (usually faster than a gap-skipping struct type, Section III-D4);
+///   4. kamping::struct_type<T> can be used as a trait base to build a
+///      proper MPI struct type from reflection (PFR-equivalent), which
+///      communicates only the significant bytes.
+///
+/// Non-builtin types are committed on first use and registered for cleanup
+/// (construct-on-first-use idiom).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <type_traits>
+
+#include "kaserial/reflect.hpp"
+#include "xmpi/api.hpp"
+
+namespace kamping {
+
+/// @brief Customization point: specialize to provide an explicit MPI type
+/// definition for T (paper, Fig. 4). A specialization must provide
+/// `static XMPI_Datatype data_type()` and may set
+/// `static constexpr bool has_to_be_committed` (default false) if the
+/// returned type is freshly constructed and still needs committing.
+/// The primary template is empty: an empty trait means "use the default
+/// deduction rules".
+template <typename T>
+struct mpi_type_traits {};
+
+namespace internal {
+
+template <typename T>
+concept has_custom_type_trait = requires {
+    { mpi_type_traits<T>::data_type() } -> std::convertible_to<XMPI_Datatype>;
+};
+
+template <typename T>
+concept has_to_be_committed_trait =
+    has_custom_type_trait<T> && requires { mpi_type_traits<T>::has_to_be_committed; };
+
+/// @brief Builtin mapping from C++ arithmetic types to predefined handles.
+template <typename T>
+constexpr bool is_builtin_mpi_type =
+    std::is_same_v<T, char> || std::is_same_v<T, signed char>
+    || std::is_same_v<T, unsigned char> || std::is_same_v<T, short>
+    || std::is_same_v<T, unsigned short> || std::is_same_v<T, int>
+    || std::is_same_v<T, unsigned int> || std::is_same_v<T, long>
+    || std::is_same_v<T, unsigned long> || std::is_same_v<T, long long>
+    || std::is_same_v<T, unsigned long long> || std::is_same_v<T, float>
+    || std::is_same_v<T, double> || std::is_same_v<T, long double>
+    || std::is_same_v<T, bool> || std::is_same_v<T, std::byte>;
+
+template <typename T>
+XMPI_Datatype builtin_mpi_type() {
+    if constexpr (std::is_same_v<T, char>) {
+        return XMPI_CHAR;
+    } else if constexpr (std::is_same_v<T, signed char>) {
+        return XMPI_SIGNED_CHAR;
+    } else if constexpr (std::is_same_v<T, unsigned char>) {
+        return XMPI_UNSIGNED_CHAR;
+    } else if constexpr (std::is_same_v<T, short>) {
+        return XMPI_SHORT;
+    } else if constexpr (std::is_same_v<T, unsigned short>) {
+        return XMPI_UNSIGNED_SHORT;
+    } else if constexpr (std::is_same_v<T, int>) {
+        return XMPI_INT;
+    } else if constexpr (std::is_same_v<T, unsigned int>) {
+        return XMPI_UNSIGNED;
+    } else if constexpr (std::is_same_v<T, long>) {
+        return XMPI_LONG;
+    } else if constexpr (std::is_same_v<T, unsigned long>) {
+        return XMPI_UNSIGNED_LONG;
+    } else if constexpr (std::is_same_v<T, long long>) {
+        return XMPI_LONG_LONG;
+    } else if constexpr (std::is_same_v<T, unsigned long long>) {
+        return XMPI_UNSIGNED_LONG_LONG;
+    } else if constexpr (std::is_same_v<T, float>) {
+        return XMPI_FLOAT;
+    } else if constexpr (std::is_same_v<T, double>) {
+        return XMPI_DOUBLE;
+    } else if constexpr (std::is_same_v<T, long double>) {
+        return XMPI_LONG_DOUBLE;
+    } else if constexpr (std::is_same_v<T, bool>) {
+        return XMPI_CXX_BOOL;
+    } else {
+        return XMPI_BYTE;
+    }
+}
+
+} // namespace internal
+
+/// @brief Trait base that builds a true MPI struct type for a reflectable
+/// aggregate T: one typemap entry per member, alignment gaps excluded from
+/// the communicated data (paper, Fig. 4: `struct_type<MyType>`).
+template <typename T>
+struct struct_type {
+    static constexpr bool has_to_be_committed = true;
+
+    static XMPI_Datatype data_type() {
+        static_assert(
+            kaserial::reflect::reflectable<T>,
+            "kamping::struct_type<T> requires T to be a plain aggregate "
+            "(no base classes; use std::array instead of C arrays)");
+        T probe{};
+        auto const offsets = kaserial::reflect::member_offsets(probe);
+        constexpr std::size_t n = kaserial::reflect::arity<T>;
+        std::array<int, n> blocklengths;
+        blocklengths.fill(1);
+        std::array<XMPI_Datatype, n> types;
+        kaserial::reflect::visit_members(probe, [&](auto&... members) {
+            std::size_t index = 0;
+            ((types[index++] = member_type(members)), ...);
+        });
+        std::array<XMPI_Aint, n> displacements;
+        for (std::size_t i = 0; i < n; ++i) {
+            displacements[i] = offsets[i];
+        }
+        XMPI_Datatype struct_datatype = XMPI_DATATYPE_NULL;
+        XMPI_Type_create_struct(
+            static_cast<int>(n), blocklengths.data(), displacements.data(), types.data(),
+            &struct_datatype);
+        // Resize so arrays of T stride correctly.
+        XMPI_Datatype resized = XMPI_DATATYPE_NULL;
+        XMPI_Type_create_resized(
+            struct_datatype, 0, static_cast<XMPI_Aint>(sizeof(T)), &resized);
+        XMPI_Type_free(&struct_datatype);
+        return resized;
+    }
+
+private:
+    template <typename Member>
+    static XMPI_Datatype member_type(Member&); // forward declared; defined below
+};
+
+/// @brief Returns the (committed) MPI datatype handle for T. The handle for
+/// a given T is constructed exactly once per process (construct-on-first-use)
+/// and reused by every call — no per-call type lookup cost beyond a static
+/// initialization guard.
+template <typename T>
+XMPI_Datatype mpi_datatype() {
+    using Decayed = std::remove_cvref_t<T>;
+    if constexpr (internal::has_custom_type_trait<Decayed>) {
+        static XMPI_Datatype const type = [] {
+            XMPI_Datatype datatype = mpi_type_traits<Decayed>::data_type();
+            if constexpr (internal::has_to_be_committed_trait<Decayed>) {
+                if (mpi_type_traits<Decayed>::has_to_be_committed) {
+                    XMPI_Type_commit(&datatype);
+                }
+            }
+            return datatype;
+        }();
+        return type;
+    } else if constexpr (internal::is_builtin_mpi_type<Decayed>) {
+        return internal::builtin_mpi_type<Decayed>();
+    } else {
+        static_assert(
+            std::is_trivially_copyable_v<Decayed>,
+            "KaMPIng cannot deduce an MPI datatype for this type: it is not a builtin type and "
+            "not trivially copyable. Provide a kamping::mpi_type_traits specialization, or use "
+            "serialization (kamping::as_serialized) for heap-backed types.");
+        // Default for trivially copyable types: a contiguous run of bytes,
+        // including alignment gaps — see Section III-D4 for why this usually
+        // beats a gap-skipping struct type.
+        static XMPI_Datatype const type = [] {
+            XMPI_Datatype datatype = xmpi::Datatype::contiguous_bytes(sizeof(Decayed));
+            XMPI_Type_commit(&datatype);
+            return datatype;
+        }();
+        return type;
+    }
+}
+
+template <typename T>
+template <typename Member>
+XMPI_Datatype struct_type<T>::member_type(Member&) {
+    return mpi_datatype<Member>();
+}
+
+/// @brief True iff KaMPIng can deduce an MPI datatype for T without user help.
+template <typename T>
+concept has_static_type = internal::has_custom_type_trait<std::remove_cvref_t<T>>
+                          || internal::is_builtin_mpi_type<std::remove_cvref_t<T>>
+                          || std::is_trivially_copyable_v<std::remove_cvref_t<T>>;
+
+} // namespace kamping

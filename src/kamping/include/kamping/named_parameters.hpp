@@ -1,0 +1,365 @@
+/// @file named_parameters.hpp
+/// @brief The named-parameter factory functions (paper, Section III-A/B).
+///
+/// Each factory creates a lightweight parameter object encoding its role,
+/// data-flow direction, ownership, and resize policy at compile time:
+///
+///   comm.allgatherv(send_buf(v),
+///                   recv_counts_out<resize_to_fit>(std::move(rc)),
+///                   recv_displs_out());
+///
+/// In-parameters accept lvalues (referencing), rvalues (owning, moved in),
+/// scalars, and initializer lists. Out-parameters come in three flavours:
+/// `_out()` (library allocates, returned by value), `_out(std::move(c))`
+/// (caller's storage reused, returned by value), and `name(c)` with an
+/// lvalue (written in place, not part of the result).
+#pragma once
+
+#include <initializer_list>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "kamping/data_buffer.hpp"
+#include "kamping/op.hpp" // IWYU pragma: export — op() is a named parameter
+#include "kamping/parameter_type.hpp"
+#include "kamping/serialization.hpp"
+
+namespace kamping {
+
+namespace internal {
+
+/// @brief Owning single-element container used when a scalar is passed where
+/// a buffer is expected (e.g. send_buf(42)).
+template <typename T>
+struct SingleElement {
+    using value_type = T;
+    T element;
+
+    [[nodiscard]] T* data() { return &element; }
+    [[nodiscard]] T const* data() const { return &element; }
+    [[nodiscard]] std::size_t size() const { return 1; }
+};
+
+template <
+    ParameterType Type, BufferResizePolicy Policy = BufferResizePolicy::no_resize,
+    typename Container>
+auto make_in_buffer(Container&& container) {
+    using Decayed = std::remove_cvref_t<Container>;
+    if constexpr (contiguous_container<Decayed>) {
+        if constexpr (std::is_lvalue_reference_v<Container>) {
+            return DataBuffer<
+                Decayed, Type, BufferKind::in, BufferOwnership::referencing, Policy, false>(
+                container);
+        } else {
+            return DataBuffer<
+                Decayed, Type, BufferKind::in, BufferOwnership::owning, Policy, false>(
+                std::move(container));
+        }
+    } else {
+        static_assert(
+            !is_vector_bool<Decayed>,
+            "std::vector<bool> is a bitset without contiguous bool storage and cannot be used "
+            "as a message buffer — use std::vector<char> or a plain bool array instead");
+        // Scalar: wrap into an owning single-element container.
+        return DataBuffer<
+            SingleElement<Decayed>, Type, BufferKind::in, BufferOwnership::owning, Policy,
+            false>(SingleElement<Decayed>{std::forward<Container>(container)});
+    }
+}
+
+template <ParameterType Type, BufferResizePolicy Policy, typename Container>
+auto make_out_buffer(Container&& container) {
+    using Decayed = std::remove_cvref_t<Container>;
+    static_assert(
+        contiguous_container<Decayed>,
+        "out-parameters require a contiguous container (std::vector, std::span, ...)");
+    if constexpr (std::is_lvalue_reference_v<Container>) {
+        // Written in place; not part of the result object.
+        return DataBuffer<
+            Decayed, Type, BufferKind::out, BufferOwnership::referencing, Policy, false>(
+            container);
+    } else {
+        // Storage reused, returned by value with the result.
+        return DataBuffer<Decayed, Type, BufferKind::out, BufferOwnership::owning, Policy, true>(
+            std::move(container));
+    }
+}
+
+/// @brief Default out-buffer allocated by the library (always resized).
+template <ParameterType Type, typename Container>
+auto make_default_out_buffer() {
+    return DataBuffer<
+        Container, Type, BufferKind::out, BufferOwnership::owning,
+        BufferResizePolicy::resize_to_fit, true>(Container{});
+}
+
+} // namespace internal
+
+// ---------------------------------------------------------------------------
+// Send buffers
+// ---------------------------------------------------------------------------
+
+/// @brief Named parameter: the data to send. Accepts containers (lvalue =
+/// referenced, rvalue = moved in and kept alive for the operation), scalars,
+/// initializer lists, and as_serialized() wrappers.
+template <typename Data>
+auto send_buf(Data&& data) {
+    return internal::make_in_buffer<ParameterType::send_buf>(std::forward<Data>(data));
+}
+
+template <typename T>
+auto send_buf(std::initializer_list<T> values) {
+    return internal::make_in_buffer<ParameterType::send_buf>(std::vector<T>(values));
+}
+
+/// @brief send_buf for serialized objects (paper, Fig. 5): the object is
+/// packed into a byte buffer owned by the parameter.
+template <typename T, typename OutArchive, typename InArchive>
+auto send_buf(SerializedView<T, OutArchive, InArchive> view) {
+    return internal::make_in_buffer<ParameterType::send_buf>(
+        internal::serialize_object<OutArchive>(*view.object));
+}
+
+/// @brief Named parameter: a send buffer whose ownership is transferred into
+/// the call and *returned to the caller* with the result — the memory-safety
+/// idiom for non-blocking sends (paper, Fig. 6).
+template <typename Container>
+auto send_buf_out(Container&& container) {
+    static_assert(
+        !std::is_lvalue_reference_v<Container>,
+        "send_buf_out transfers ownership: pass the container with std::move()");
+    using Decayed = std::remove_cvref_t<Container>;
+    return DataBuffer<
+        Decayed, ParameterType::send_buf, BufferKind::in, BufferOwnership::owning,
+        BufferResizePolicy::no_resize, /*InResult=*/true>(std::move(container));
+}
+
+/// @brief Named parameter: combined send+receive buffer — KaMPIng's
+/// simplified MPI_IN_PLACE (paper, Section III-G). Lvalue: modified in
+/// place. Rvalue: moved through the call and returned with the result.
+template <typename Data>
+auto send_recv_buf(Data&& data) {
+    using Decayed = std::remove_cvref_t<Data>;
+    static_assert(
+        internal::contiguous_container<Decayed>,
+        "send_recv_buf requires a contiguous container");
+    if constexpr (std::is_lvalue_reference_v<Data>) {
+        return DataBuffer<
+            Decayed, ParameterType::send_recv_buf, BufferKind::in_out,
+            BufferOwnership::referencing, BufferResizePolicy::resize_to_fit, false>(data);
+    } else {
+        return DataBuffer<
+            Decayed, ParameterType::send_recv_buf, BufferKind::in_out, BufferOwnership::owning,
+            BufferResizePolicy::resize_to_fit, true>(std::move(data));
+    }
+}
+
+/// @brief send_recv_buf for serialized transfer, e.g.
+/// bcast(send_recv_buf(as_serialized(obj))) (paper, Fig. 11).
+template <typename T, typename OutArchive, typename InArchive>
+auto send_recv_buf(SerializedView<T, OutArchive, InArchive> view) {
+    return SerializationInOutBuffer<T, OutArchive, InArchive>(view.object);
+}
+
+// ---------------------------------------------------------------------------
+// Receive buffers
+// ---------------------------------------------------------------------------
+
+/// @brief Named parameter: storage for received data, written in place
+/// (caller keeps ownership). Default policy: no_resize — no hidden
+/// allocation in caller-owned storage (paper, Section III-C).
+template <BufferResizePolicy Policy = BufferResizePolicy::no_resize, typename Container>
+auto recv_buf(Container& container) {
+    return internal::make_out_buffer<ParameterType::recv_buf, Policy>(container);
+}
+
+/// @brief Named parameter: storage for received data, moved in; the storage
+/// is reused and returned by value with the result. Default policy:
+/// resize_to_fit (the library owns the container for the call's duration).
+template <BufferResizePolicy Policy = BufferResizePolicy::resize_to_fit, typename Container>
+    requires(!std::is_lvalue_reference_v<Container>)
+auto recv_buf(Container&& container) {
+    return internal::make_out_buffer<ParameterType::recv_buf, Policy>(
+        std::forward<Container>(container));
+}
+
+/// @brief recv_buf requesting deserialization of the received bytes.
+template <typename T, typename InArchive>
+auto recv_buf(DeserializableTag<T, InArchive>) {
+    return DeserializationBuffer<T, InArchive>{};
+}
+
+/// @brief Explicitly requests the receive buffer as an owning out-parameter
+/// with the given container type (alias for omitting recv_buf entirely).
+template <typename Container = std::vector<int>>
+auto recv_buf_out() {
+    return internal::make_default_out_buffer<ParameterType::recv_buf, Container>();
+}
+
+// ---------------------------------------------------------------------------
+// Counts and displacements (v-collectives)
+// ---------------------------------------------------------------------------
+
+/// @brief Named parameter: per-destination send counts, provided by the
+/// caller.
+template <typename Container>
+auto send_counts(Container&& container) {
+    return internal::make_in_buffer<ParameterType::send_counts>(
+        std::forward<Container>(container));
+}
+template <typename T = int>
+auto send_counts(std::initializer_list<T> values) {
+    return internal::make_in_buffer<ParameterType::send_counts>(std::vector<T>(values));
+}
+
+/// @brief Named parameter: ask the library to compute the send counts and
+/// return them (out-parameter protocol as for recv_counts_out).
+template <BufferResizePolicy Policy = BufferResizePolicy::resize_to_fit, typename Container>
+auto send_counts_out(Container&& container) {
+    return internal::make_out_buffer<ParameterType::send_counts, Policy>(
+        std::forward<Container>(container));
+}
+template <typename Container = std::vector<int>>
+auto send_counts_out() {
+    return internal::make_default_out_buffer<ParameterType::send_counts, Container>();
+}
+
+/// @brief Named parameter: per-source receive counts, provided by the caller.
+template <typename Container>
+auto recv_counts(Container&& container) {
+    return internal::make_in_buffer<ParameterType::recv_counts>(
+        std::forward<Container>(container));
+}
+template <typename T = int>
+auto recv_counts(std::initializer_list<T> values) {
+    return internal::make_in_buffer<ParameterType::recv_counts>(std::vector<T>(values));
+}
+
+/// @brief Named parameter: ask the library to compute the receive counts
+/// (extra communication if necessary) and return them (paper, Fig. 1 (4)).
+template <BufferResizePolicy Policy = BufferResizePolicy::resize_to_fit, typename Container>
+auto recv_counts_out(Container&& container) {
+    return internal::make_out_buffer<ParameterType::recv_counts, Policy>(
+        std::forward<Container>(container));
+}
+template <typename Container = std::vector<int>>
+auto recv_counts_out() {
+    return internal::make_default_out_buffer<ParameterType::recv_counts, Container>();
+}
+
+/// @brief Named parameter: per-destination send displacements.
+template <typename Container>
+auto send_displs(Container&& container) {
+    return internal::make_in_buffer<ParameterType::send_displs>(
+        std::forward<Container>(container));
+}
+template <typename T = int>
+auto send_displs(std::initializer_list<T> values) {
+    return internal::make_in_buffer<ParameterType::send_displs>(std::vector<T>(values));
+}
+template <BufferResizePolicy Policy = BufferResizePolicy::resize_to_fit, typename Container>
+auto send_displs_out(Container&& container) {
+    return internal::make_out_buffer<ParameterType::send_displs, Policy>(
+        std::forward<Container>(container));
+}
+template <typename Container = std::vector<int>>
+auto send_displs_out() {
+    return internal::make_default_out_buffer<ParameterType::send_displs, Container>();
+}
+
+/// @brief Named parameter: per-source receive displacements.
+template <typename Container>
+auto recv_displs(Container&& container) {
+    return internal::make_in_buffer<ParameterType::recv_displs>(
+        std::forward<Container>(container));
+}
+template <typename T = int>
+auto recv_displs(std::initializer_list<T> values) {
+    return internal::make_in_buffer<ParameterType::recv_displs>(std::vector<T>(values));
+}
+template <BufferResizePolicy Policy = BufferResizePolicy::resize_to_fit, typename Container>
+auto recv_displs_out(Container&& container) {
+    return internal::make_out_buffer<ParameterType::recv_displs, Policy>(
+        std::forward<Container>(container));
+}
+template <typename Container = std::vector<int>>
+auto recv_displs_out() {
+    return internal::make_default_out_buffer<ParameterType::recv_displs, Container>();
+}
+
+// ---------------------------------------------------------------------------
+// Single-value parameters
+// ---------------------------------------------------------------------------
+
+/// @brief Named parameter: root rank of a rooted collective.
+inline auto root(int rank) {
+    return ValueParameter<ParameterType::root, int>{rank};
+}
+/// @brief Named parameter: destination rank of a point-to-point send.
+inline auto destination(int rank) {
+    return ValueParameter<ParameterType::destination, int>{rank};
+}
+/// @brief Named parameter: source rank of a point-to-point receive.
+inline auto source(int rank) {
+    return ValueParameter<ParameterType::source, int>{rank};
+}
+/// @brief Named parameter: message tag.
+inline auto tag(int value) {
+    return ValueParameter<ParameterType::tag, int>{value};
+}
+/// @brief Named parameter: number of elements to send.
+inline auto send_count(int count) {
+    return ValueParameter<ParameterType::send_count, int>{count};
+}
+/// @brief Named parameter: number of elements to receive.
+inline auto recv_count(int count) {
+    return ValueParameter<ParameterType::recv_count, int>{count};
+}
+/// @brief Named parameter: request the receive count as an out-value.
+inline auto recv_count_out() {
+    return ValueOutParameter<ParameterType::recv_count, int, BufferOwnership::owning>{};
+}
+inline auto recv_count_out(int& target) {
+    return ValueOutParameter<ParameterType::recv_count, int, BufferOwnership::referencing>{
+        target};
+}
+/// @brief Named parameter: seed value contributed on rank 0 in exscan.
+template <typename T>
+auto values_on_rank_0(T value) {
+    return ValueParameter<ParameterType::values_on_rank_0, T>{std::move(value)};
+}
+
+/// @brief Named parameter: request the receive status as an out-value
+/// (owning: part of the result; referencing: written through).
+inline auto status_out() {
+    return ValueOutParameter<ParameterType::status, xmpi::Status, BufferOwnership::owning>{};
+}
+inline auto status_out(xmpi::Status& target) {
+    return ValueOutParameter<ParameterType::status, xmpi::Status, BufferOwnership::referencing>{
+        target};
+}
+
+/// @name Send modes (paper, Section III: KaMPIng wraps MPI's send modes
+/// through the same named-parameter mechanism).
+/// @{
+namespace send_modes {
+struct standard_tag {};
+struct synchronous_tag {};
+inline constexpr standard_tag standard{};
+inline constexpr synchronous_tag synchronous{};
+} // namespace send_modes
+
+/// @brief Named parameter: the send mode, e.g.
+/// comm.send(send_buf(v), destination(1), send_mode(send_modes::synchronous)).
+template <typename Mode>
+auto send_mode(Mode) {
+    static_assert(
+        std::is_same_v<Mode, send_modes::standard_tag>
+            || std::is_same_v<Mode, send_modes::synchronous_tag>,
+        "send_mode expects kamping::send_modes::standard or ::synchronous");
+    return ValueParameter<ParameterType::send_mode, Mode>{Mode{}};
+}
+/// @}
+
+} // namespace kamping

@@ -1,0 +1,213 @@
+/// @file op.hpp
+/// @brief Reduction operation parameters: built-in MPI constants, STL
+/// functors mapped to built-in constants (enabling MPI-side optimization),
+/// and arbitrary lambdas (paper, Section II "reduction via lambda").
+#pragma once
+
+#include <functional>
+#include <type_traits>
+#include <utility>
+
+#include "kamping/parameter_type.hpp"
+#include "xmpi/api.hpp"
+
+namespace kamping {
+
+namespace ops {
+
+/// @brief Commutativity tags for user-provided reduction functions. MPI can
+/// use faster reduction algorithms for commutative operations but cannot
+/// verify commutativity — the user asserts it explicitly.
+struct commutative_tag {};
+struct non_commutative_tag {};
+inline constexpr commutative_tag commutative{};
+inline constexpr non_commutative_tag non_commutative{};
+
+/// @brief Function objects without std:: equivalents.
+struct max {
+    template <typename T>
+    T operator()(T const& lhs, T const& rhs) const {
+        return lhs > rhs ? lhs : rhs;
+    }
+};
+struct min {
+    template <typename T>
+    T operator()(T const& lhs, T const& rhs) const {
+        return lhs < rhs ? lhs : rhs;
+    }
+};
+
+} // namespace ops
+
+namespace internal {
+
+template <typename, template <typename> class>
+struct is_specialization : std::false_type {};
+template <typename T, template <typename> class F>
+struct is_specialization<F<T>, F> : std::true_type {};
+
+/// @brief Maps known functors to built-in MPI operation handles at compile
+/// time; yields nullptr for unknown functors (paper: "mapping STL functors
+/// such as std::plus to the corresponding built-in MPI constant ... which
+/// may enable optimization by the MPI implementation").
+template <typename Fn>
+XMPI_Op builtin_op_handle() {
+    using D = std::remove_cvref_t<Fn>;
+    if constexpr (is_specialization<D, std::plus>::value) {
+        return XMPI_SUM;
+    } else if constexpr (is_specialization<D, std::multiplies>::value) {
+        return XMPI_PROD;
+    } else if constexpr (is_specialization<D, std::logical_and>::value) {
+        return XMPI_LAND;
+    } else if constexpr (is_specialization<D, std::logical_or>::value) {
+        return XMPI_LOR;
+    } else if constexpr (is_specialization<D, std::bit_and>::value) {
+        return XMPI_BAND;
+    } else if constexpr (is_specialization<D, std::bit_or>::value) {
+        return XMPI_BOR;
+    } else if constexpr (is_specialization<D, std::bit_xor>::value) {
+        return XMPI_BXOR;
+    } else if constexpr (std::is_same_v<D, ops::max>) {
+        return XMPI_MAX;
+    } else if constexpr (std::is_same_v<D, ops::min>) {
+        return XMPI_MIN;
+    } else {
+        return nullptr;
+    }
+}
+
+template <typename Fn>
+constexpr bool is_builtin_mappable =
+    is_specialization<std::remove_cvref_t<Fn>, std::plus>::value
+    || is_specialization<std::remove_cvref_t<Fn>, std::multiplies>::value
+    || is_specialization<std::remove_cvref_t<Fn>, std::logical_and>::value
+    || is_specialization<std::remove_cvref_t<Fn>, std::logical_or>::value
+    || is_specialization<std::remove_cvref_t<Fn>, std::bit_and>::value
+    || is_specialization<std::remove_cvref_t<Fn>, std::bit_or>::value
+    || is_specialization<std::remove_cvref_t<Fn>, std::bit_xor>::value
+    || std::is_same_v<std::remove_cvref_t<Fn>, ops::max>
+    || std::is_same_v<std::remove_cvref_t<Fn>, ops::min>;
+
+/// @brief Thread-local slot carrying the active user functor into the
+/// MPI-style trampoline. Valid because xmpi applies reductions in the
+/// calling rank's own thread; nesting is handled by save/restore.
+inline void*& active_user_op_context() {
+    thread_local void* context = nullptr;
+    return context;
+}
+
+/// @brief MPI_User_function-compatible trampoline applying a C++ functor
+/// element-wise: inout[i] = fn(in[i], inout[i]) — `in` is the contribution
+/// of the lower-ranked operand, matching MPI's reduction order.
+template <typename Fn, typename T>
+void user_op_trampoline(void* in, void* inout, int* len, xmpi::Datatype* const*) {
+    auto* fn = static_cast<Fn*>(active_user_op_context());
+    T* lhs = static_cast<T*>(in);
+    T* rhs = static_cast<T*>(inout);
+    for (int i = 0; i < *len; ++i) {
+        rhs[i] = (*fn)(lhs[i], rhs[i]);
+    }
+}
+
+/// @brief RAII activation of an operation for one communication call: yields
+/// the XMPI_Op handle, wires up the trampoline context for user functors,
+/// and releases everything on scope exit.
+class OpActivation {
+public:
+    OpActivation(XMPI_Op handle, bool owned, void* user_context)
+        : handle_(handle),
+          owned_(owned) {
+        if (user_context != nullptr) {
+            previous_context_ = active_user_op_context();
+            active_user_op_context() = user_context;
+            restore_context_ = true;
+        }
+    }
+    ~OpActivation() {
+        if (restore_context_) {
+            active_user_op_context() = previous_context_;
+        }
+        if (owned_) {
+            XMPI_Op_free(&handle_);
+        }
+    }
+    OpActivation(OpActivation const&) = delete;
+    OpActivation& operator=(OpActivation const&) = delete;
+
+    [[nodiscard]] XMPI_Op handle() const { return handle_; }
+
+private:
+    XMPI_Op handle_;
+    bool owned_;
+    bool restore_context_ = false;
+    void* previous_context_ = nullptr;
+};
+
+} // namespace internal
+
+/// @brief The reduction-operation parameter object. @c Commutative reflects
+/// what the user asserted (or what is known for built-in functors).
+template <typename Fn, bool Commutative>
+class OpParameter {
+public:
+    static constexpr ParameterType parameter_type = ParameterType::op;
+    static constexpr BufferKind kind = BufferKind::in;
+    static constexpr bool in_result = false;
+    static constexpr bool commutative = Commutative;
+    using function_type = Fn;
+    /// True iff activate() needs no per-call state (builtin / raw handle) —
+    /// required for operations that outlive the initiating call, e.g.
+    /// non-blocking collectives.
+    static constexpr bool is_stateless =
+        std::is_same_v<std::remove_cvref_t<Fn>, XMPI_Op> || internal::is_builtin_mappable<Fn>;
+
+    explicit OpParameter(Fn fn) : fn_(std::move(fn)) {}
+
+    /// @brief Activates the operation for element type T; keep the returned
+    /// guard alive for the duration of the wrapped MPI call.
+    template <typename T>
+    [[nodiscard]] internal::OpActivation activate() {
+        if constexpr (std::is_same_v<std::remove_cvref_t<Fn>, XMPI_Op>) {
+            return internal::OpActivation(fn_, /*owned=*/false, nullptr);
+        } else if constexpr (internal::is_builtin_mappable<Fn>) {
+            return internal::OpActivation(
+                internal::builtin_op_handle<Fn>(), /*owned=*/false, nullptr);
+        } else {
+            XMPI_Op handle = nullptr;
+            XMPI_Op_create(
+                &internal::user_op_trampoline<std::remove_cvref_t<Fn>, T>,
+                Commutative ? 1 : 0, &handle);
+            return internal::OpActivation(handle, /*owned=*/true, &fn_);
+        }
+    }
+
+private:
+    Fn fn_;
+};
+
+/// @brief Named parameter: the reduction operation. Built-in functors
+/// (std::plus, std::bit_or, kamping::ops::max, ...) and raw MPI op handles
+/// need no commutativity tag; arbitrary lambdas must declare one.
+template <typename Fn>
+auto op(Fn fn) {
+    constexpr bool known =
+        std::is_same_v<std::remove_cvref_t<Fn>, XMPI_Op> || internal::is_builtin_mappable<Fn>;
+    static_assert(
+        known,
+        "KaMPIng cannot infer whether this reduction operation is commutative. Pass a "
+        "commutativity tag: kamping::op(fn, kamping::ops::commutative) or "
+        "kamping::ops::non_commutative.");
+    return OpParameter<Fn, true>(std::move(fn));
+}
+
+template <typename Fn>
+auto op(Fn fn, ops::commutative_tag) {
+    return OpParameter<Fn, true>(std::move(fn));
+}
+
+template <typename Fn>
+auto op(Fn fn, ops::non_commutative_tag) {
+    return OpParameter<Fn, false>(std::move(fn));
+}
+
+} // namespace kamping

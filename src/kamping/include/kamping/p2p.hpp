@@ -1,0 +1,180 @@
+/// @file p2p.hpp
+/// @brief Blocking point-to-point wrappers: send, ssend, recv, probe.
+#pragma once
+
+#include <optional>
+
+#include "kamping/collectives_helpers.hpp"
+#include "kamping/serialization.hpp"
+
+namespace kamping::internal {
+
+template <typename... Args>
+int get_tag(Args&&... args) {
+    if constexpr (has_parameter_v<ParameterType::tag, Args...>) {
+        return select_parameter<ParameterType::tag>(args...).value;
+    } else {
+        return 0;
+    }
+}
+
+/// @brief comm.send(send_buf(v), destination(d), [tag], [send_count]).
+template <typename... Args>
+void send_impl(XMPI_Comm comm, Args&&... args) {
+    static_assert(
+        has_parameter_v<ParameterType::send_buf, Args...>,
+        "send requires a send_buf(...) parameter");
+    static_assert(
+        has_parameter_v<ParameterType::destination, Args...>,
+        "send requires a destination(...) parameter");
+    KAMPING_CHECK_PARAMETERS(
+        Args, "send", ParameterType::send_buf, ParameterType::destination, ParameterType::tag,
+        ParameterType::send_count, ParameterType::send_mode);
+    auto&& send = select_parameter<ParameterType::send_buf>(args...);
+    using T = buffer_value_t<decltype(send)>;
+    int const dest = select_parameter<ParameterType::destination>(args...).value;
+    int count = static_cast<int>(send.size());
+    if constexpr (has_parameter_v<ParameterType::send_count, Args...>) {
+        count = select_parameter<ParameterType::send_count>(args...).value;
+    }
+    // send_mode selects the underlying MPI send flavour at compile time.
+    constexpr bool synchronous = [] {
+        if constexpr (has_parameter_v<ParameterType::send_mode, Args...>) {
+            using Mode = typename std::remove_cvref_t<decltype(select_parameter<
+                                                               ParameterType::send_mode>(
+                std::declval<Args&>()...))>::value_type;
+            return std::is_same_v<Mode, send_modes::synchronous_tag>;
+        } else {
+            return false;
+        }
+    }();
+    if constexpr (synchronous) {
+        throw_on_error(
+            XMPI_Ssend(send.data(), count, mpi_datatype<T>(), dest, get_tag(args...), comm),
+            "XMPI_Ssend");
+    } else {
+        throw_on_error(
+            XMPI_Send(send.data(), count, mpi_datatype<T>(), dest, get_tag(args...), comm),
+            "XMPI_Send");
+    }
+}
+
+/// @brief Synchronous-mode send: completes only once the receive matched.
+template <typename... Args>
+void ssend_impl(XMPI_Comm comm, Args&&... args) {
+    static_assert(
+        has_parameter_v<ParameterType::send_buf, Args...>,
+        "ssend requires a send_buf(...) parameter");
+    static_assert(
+        has_parameter_v<ParameterType::destination, Args...>,
+        "ssend requires a destination(...) parameter");
+    auto&& send = select_parameter<ParameterType::send_buf>(args...);
+    using T = buffer_value_t<decltype(send)>;
+    int const dest = select_parameter<ParameterType::destination>(args...).value;
+    throw_on_error(
+        XMPI_Ssend(
+            send.data(), static_cast<int>(send.size()), mpi_datatype<T>(), dest,
+            get_tag(args...), comm),
+        "XMPI_Ssend");
+}
+
+/// @brief comm.recv<T>([source], [tag], [recv_buf], [recv_count[_out]]).
+///
+/// When the element count is unknown, the message is probed first and the
+/// receive buffer sized to fit — this is also how serialized receives
+/// (recv_buf(as_deserializable<T>())) learn their payload size.
+template <typename T, typename... Args>
+auto recv_impl(XMPI_Comm comm, Args&&... args) {
+    KAMPING_CHECK_PARAMETERS(
+        Args, "recv", ParameterType::recv_buf, ParameterType::source, ParameterType::tag,
+        ParameterType::recv_count, ParameterType::status);
+    int source_rank = XMPI_ANY_SOURCE;
+    if constexpr (has_parameter_v<ParameterType::source, Args...>) {
+        source_rank = select_parameter<ParameterType::source>(args...).value;
+    }
+    int tag_value = XMPI_ANY_TAG;
+    if constexpr (has_parameter_v<ParameterType::tag, Args...>) {
+        tag_value = select_parameter<ParameterType::tag>(args...).value;
+    }
+
+    auto recv = take_parameter_or_default<ParameterType::recv_buf>(
+        default_recv_buf_factory<T>(), args...);
+    using V = buffer_value_t<decltype(recv)>;
+
+    int count = -1;
+    if constexpr (has_parameter_v<ParameterType::recv_count, Args...>) {
+        using CountParam = std::remove_cvref_t<
+            decltype(select_parameter<ParameterType::recv_count>(args...))>;
+        if constexpr (CountParam::kind == BufferKind::in) {
+            count = select_parameter<ParameterType::recv_count>(args...).value;
+        }
+    }
+    if (count < 0) {
+        // Probe to learn the payload size; then receive exactly that
+        // message (matching the probed source/tag, which pins it under
+        // wildcards by the non-overtaking rule).
+        xmpi::Status status;
+        throw_on_error(XMPI_Probe(source_rank, tag_value, comm, &status), "XMPI_Probe");
+        int type_size = 0;
+        XMPI_Type_size(mpi_datatype<V>(), &type_size);
+        count = status.count(static_cast<std::size_t>(type_size));
+        source_rank = status.source;
+        tag_value = status.tag;
+    }
+
+    recv.resize_to(static_cast<std::size_t>(count));
+    xmpi::Status status;
+    throw_on_error(
+        XMPI_Recv(
+            recv.data(), count, mpi_datatype<V>(), source_rank, tag_value, comm, &status),
+        "XMPI_Recv");
+
+    // Optional out-values: the element count and the receive status.
+    auto count_param =
+        take_out_parameter_or_ignore<ParameterType::recv_count, int>(args...);
+    int type_size = 0;
+    XMPI_Type_size(mpi_datatype<V>(), &type_size);
+    count_param.set(status.count(static_cast<std::size_t>(type_size)));
+    auto status_param =
+        take_out_parameter_or_ignore<ParameterType::status, xmpi::Status>(args...);
+    status_param.set(status);
+    return make_result(std::move(recv), std::move(count_param), std::move(status_param));
+}
+
+/// @brief comm.probe([source], [tag]) -> xmpi::Status.
+template <typename... Args>
+xmpi::Status probe_impl(XMPI_Comm comm, Args&&... args) {
+    int source_rank = XMPI_ANY_SOURCE;
+    if constexpr (has_parameter_v<ParameterType::source, Args...>) {
+        source_rank = select_parameter<ParameterType::source>(args...).value;
+    }
+    int tag_value = XMPI_ANY_TAG;
+    if constexpr (has_parameter_v<ParameterType::tag, Args...>) {
+        tag_value = select_parameter<ParameterType::tag>(args...).value;
+    }
+    xmpi::Status status;
+    throw_on_error(XMPI_Probe(source_rank, tag_value, comm, &status), "XMPI_Probe");
+    return status;
+}
+
+/// @brief comm.iprobe([source], [tag]) -> std::optional<xmpi::Status>.
+template <typename... Args>
+std::optional<xmpi::Status> iprobe_impl(XMPI_Comm comm, Args&&... args) {
+    int source_rank = XMPI_ANY_SOURCE;
+    if constexpr (has_parameter_v<ParameterType::source, Args...>) {
+        source_rank = select_parameter<ParameterType::source>(args...).value;
+    }
+    int tag_value = XMPI_ANY_TAG;
+    if constexpr (has_parameter_v<ParameterType::tag, Args...>) {
+        tag_value = select_parameter<ParameterType::tag>(args...).value;
+    }
+    xmpi::Status status;
+    int flag = 0;
+    throw_on_error(XMPI_Iprobe(source_rank, tag_value, comm, &flag, &status), "XMPI_Iprobe");
+    if (flag == 0) {
+        return std::nullopt;
+    }
+    return status;
+}
+
+} // namespace kamping::internal

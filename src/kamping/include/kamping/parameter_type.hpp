@@ -1,0 +1,64 @@
+/// @file parameter_type.hpp
+/// @brief The vocabulary of KaMPIng's named-parameter system.
+///
+/// Every argument to a KaMPIng communication call is a lightweight parameter
+/// object tagged with a ParameterType. The wrappers check for the presence of
+/// each parameter at compile time and instantiate default-computation code
+/// only for the missing ones (paper, Section III-A/B).
+#pragma once
+
+#include <cstdint>
+
+namespace kamping {
+
+/// @brief Identifies what role a parameter object plays in a call.
+enum class ParameterType : std::uint8_t {
+    send_buf,      ///< data to send
+    recv_buf,      ///< storage for received data
+    send_recv_buf, ///< in-place combined buffer (simplified MPI_IN_PLACE)
+    send_counts,   ///< per-destination send counts (v-collectives)
+    recv_counts,   ///< per-source receive counts (v-collectives)
+    send_displs,   ///< per-destination send displacements
+    recv_displs,   ///< per-source receive displacements
+    send_count,    ///< single send count (p2p / regular collectives)
+    recv_count,    ///< single receive count
+    root,          ///< root rank of a rooted collective
+    destination,   ///< destination rank (p2p)
+    source,        ///< source rank (p2p)
+    tag,           ///< message tag (p2p)
+    op,            ///< reduction operation
+    send_mode,     ///< send mode (standard/synchronous)
+    values_on_rank_0, ///< seed value for exscan on rank 0
+    status,        ///< receive status out-parameter
+};
+
+/// @brief How a parameter's data flows between caller and library.
+enum class BufferKind : std::uint8_t {
+    in,     ///< caller provides the data
+    out,    ///< the library computes / receives the data and returns it
+    in_out, ///< caller provides data that the call also modifies (in place)
+};
+
+/// @brief Whether a parameter object owns its container or references the
+/// caller's.
+enum class BufferOwnership : std::uint8_t {
+    owning,      ///< moved-in or library-allocated; returned via the result
+    referencing, ///< caller-owned; written in place, not part of the result
+};
+
+/// @brief Resize policies for (out-)buffers (paper, Section III-C).
+enum class BufferResizePolicy : std::uint8_t {
+    no_resize,     ///< never resize; caller guarantees sufficient capacity
+    grow_only,     ///< resize only if the container is too small
+    resize_to_fit, ///< always resize to exactly the required size
+};
+
+/// @name Resize policy tokens for use as template arguments, mirroring the
+/// paper's spelling: recv_buf<resize_to_fit>(...).
+/// @{
+inline constexpr BufferResizePolicy no_resize = BufferResizePolicy::no_resize;
+inline constexpr BufferResizePolicy grow_only = BufferResizePolicy::grow_only;
+inline constexpr BufferResizePolicy resize_to_fit = BufferResizePolicy::resize_to_fit;
+/// @}
+
+} // namespace kamping

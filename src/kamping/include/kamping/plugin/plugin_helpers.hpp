@@ -1,0 +1,32 @@
+/// @file plugin_helpers.hpp
+/// @brief CRTP base for communicator plugins (paper, Section III-F).
+///
+/// A plugin is a class template over the concrete communicator type that
+/// adds member functions (or shadows core ones to override behaviour). It
+/// reaches the communicator via self():
+///
+///   template <typename Comm>
+///   class MyPlugin : public plugin::PluginBase<Comm, MyPlugin> {
+///       auto my_collective(...) { return this->self().allgatherv(...); }
+///   };
+///
+/// Plugins may also introduce new named parameters: ParameterType values
+/// from plugin_parameter_base upward are reserved for extensions, giving
+/// plugin parameters the full named-parameter flexibility.
+#pragma once
+
+#include "kamping/parameter_type.hpp"
+
+namespace kamping::plugin {
+
+/// @brief First ParameterType value available to plugin-defined parameters.
+inline constexpr std::uint8_t plugin_parameter_base = 128;
+
+template <typename Comm, template <typename> class Plugin>
+class PluginBase {
+protected:
+    [[nodiscard]] Comm& self() { return static_cast<Comm&>(*this); }
+    [[nodiscard]] Comm const& self() const { return static_cast<Comm const&>(*this); }
+};
+
+} // namespace kamping::plugin

@@ -1,0 +1,20 @@
+/// @file plugins.hpp
+/// @brief Umbrella header for the shipped plugins (paper, Section V).
+#pragma once
+
+#include "kamping/communicator.hpp"                // IWYU pragma: export
+#include "kamping/plugin/grid_alltoall.hpp"        // IWYU pragma: export
+#include "kamping/plugin/plugin_helpers.hpp"       // IWYU pragma: export
+#include "kamping/plugin/reproducible_reduce.hpp"  // IWYU pragma: export
+#include "kamping/plugin/sorter.hpp"               // IWYU pragma: export
+#include "kamping/plugin/sparse_alltoall.hpp"      // IWYU pragma: export
+#include "kamping/plugin/ulfm.hpp"                 // IWYU pragma: export
+
+namespace kamping {
+
+/// @brief A communicator with every shipped plugin enabled.
+using FullCommunicator = BasicCommunicator<
+    plugin::SparseAlltoall, plugin::GridCommunicator, plugin::ReproducibleReduce,
+    plugin::Sorter, plugin::UserLevelFailureMitigation>;
+
+} // namespace kamping

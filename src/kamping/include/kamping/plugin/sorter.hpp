@@ -1,0 +1,81 @@
+/// @file sorter.hpp
+/// @brief Sorter plugin: an STL-like distributed sorter (paper, Section V:
+/// "an STL-like distributed sorter" shipped as a library extension).
+///
+/// Implements textbook distributed sample sort (Sanders et al., 2019; the
+/// paper's Fig. 7): sample locally, allgather and pick p-1 global splitters,
+/// bucket, exchange with alltoallv, sort locally. After the call, the
+/// distributed array is globally sorted: every element on rank i <= every
+/// element on rank i+1, each rank's block sorted.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "kamping/named_parameters.hpp"
+#include "kamping/plugin/plugin_helpers.hpp"
+
+namespace kamping::plugin {
+
+template <typename Comm>
+class Sorter : public PluginBase<Comm, Sorter> {
+public:
+    /// @brief Globally sorts the distributed array whose local block is
+    /// @c data (replaced by this rank's sorted output partition).
+    template <typename T, typename Compare = std::less<T>>
+    void sort(std::vector<T>& data, Compare compare = {}) const {
+        auto const& comm = this->self();
+        std::size_t const p = comm.size();
+        if (p == 1) {
+            std::sort(data.begin(), data.end(), compare);
+            return;
+        }
+
+        // Oversampling factor 16 log2(p) + 1 as in the paper's Fig. 7.
+        std::size_t const num_samples =
+            16 * static_cast<std::size_t>(std::log2(static_cast<double>(p))) + 1;
+        std::vector<T> local_samples(std::min(num_samples, data.size()));
+        std::sample(
+            data.begin(), data.end(), local_samples.begin(), local_samples.size(),
+            std::mt19937{std::random_device{}()});
+
+        auto global_samples = comm.allgatherv(send_buf(local_samples));
+        std::sort(global_samples.begin(), global_samples.end(), compare);
+
+        // p-1 equidistant splitters over the gathered samples.
+        std::vector<T> splitters;
+        splitters.reserve(p - 1);
+        for (std::size_t i = 1; i < p; ++i) {
+            if (global_samples.empty()) {
+                break;
+            }
+            std::size_t const index =
+                std::min(i * global_samples.size() / p, global_samples.size() - 1);
+            splitters.push_back(global_samples[index]);
+        }
+
+        // Bucket by splitter, flatten, exchange, sort locally.
+        std::sort(data.begin(), data.end(), compare);
+        std::vector<int> send_count_values(p, 0);
+        std::size_t begin = 0;
+        for (std::size_t bucket = 0; bucket < p; ++bucket) {
+            std::size_t end = data.size();
+            if (bucket < splitters.size()) {
+                end = static_cast<std::size_t>(
+                    std::upper_bound(
+                        data.begin() + static_cast<std::ptrdiff_t>(begin), data.end(),
+                        splitters[bucket], compare)
+                    - data.begin());
+            }
+            send_count_values[bucket] = static_cast<int>(end - begin);
+            begin = end;
+        }
+
+        data = comm.alltoallv(send_buf(std::move(data)), send_counts(send_count_values));
+        std::sort(data.begin(), data.end(), compare);
+    }
+};
+
+} // namespace kamping::plugin

@@ -1,0 +1,153 @@
+/// @file result.hpp
+/// @brief Result objects: returning data by value (paper, Section III-B).
+///
+/// Every KaMPIng call assembles its result from the *owning* out-buffers:
+///   - no owning out-buffer  -> the call returns void;
+///   - exactly one           -> its container is returned directly
+///                              (auto v = comm.allgatherv(send_buf(v)));
+///   - several               -> an MPIResult supporting both structured
+///                              bindings (auto [buf, counts] = ...) and named
+///                              extraction (result.extract_recv_counts()).
+/// Buffers passed by reference are written in place and never appear in the
+/// result. Everything is moved, never copied.
+#pragma once
+
+#include <tuple>
+#include <type_traits>
+#include <utility>
+
+#include "kamping/parameter_type.hpp"
+
+namespace kamping {
+
+namespace internal {
+
+/// @brief One entry of a result object: the extracted value plus the
+/// parameter type it came from (for named extraction).
+template <ParameterType Type, typename Value>
+struct ResultEntry {
+    static constexpr ParameterType parameter_type = Type;
+    using value_type = Value;
+    Value value;
+};
+
+/// @brief Extracts the payload of a buffer into a ResultEntry.
+template <typename Buffer>
+auto make_result_entry(Buffer&& buffer) {
+    using Decayed = std::remove_cvref_t<Buffer>;
+    return ResultEntry<Decayed::parameter_type, decltype(std::move(buffer).extract())>{
+        std::move(buffer).extract()};
+}
+
+} // namespace internal
+
+/// @brief Result of a call with two or more owning out-parameters. Supports
+/// structured bindings in parameter order (receive buffer first) and
+/// extract_<name>() accessors.
+template <typename... Entries>
+class MPIResult {
+public:
+    explicit MPIResult(Entries&&... entries) : entries_(std::move(entries)...) {}
+
+    /// @brief Tuple-style access for structured bindings.
+    template <std::size_t Index>
+    [[nodiscard]] auto get() && {
+        return std::move(std::get<Index>(entries_).value);
+    }
+    template <std::size_t Index>
+    [[nodiscard]] auto& get() & {
+        return std::get<Index>(entries_).value;
+    }
+
+    /// @brief Extracts the entry for the given parameter type by move.
+    template <ParameterType Type>
+    [[nodiscard]] auto extract() {
+        constexpr std::size_t index = index_of<Type>();
+        static_assert(
+            index < sizeof...(Entries),
+            "this result does not contain the requested value — pass the corresponding _out() "
+            "parameter to the call to request it");
+        return std::move(std::get<index>(entries_).value);
+    }
+
+    /// @name Named extraction (paper, Section III-B)
+    /// @{
+    [[nodiscard]] auto extract_recv_buf() {
+        if constexpr (index_of<ParameterType::send_recv_buf>() < sizeof...(Entries)) {
+            return extract<ParameterType::send_recv_buf>();
+        } else {
+            return extract<ParameterType::recv_buf>();
+        }
+    }
+    [[nodiscard]] auto extract_send_buf() { return extract<ParameterType::send_buf>(); }
+    [[nodiscard]] auto extract_recv_counts() { return extract<ParameterType::recv_counts>(); }
+    [[nodiscard]] auto extract_send_counts() { return extract<ParameterType::send_counts>(); }
+    [[nodiscard]] auto extract_recv_displs() { return extract<ParameterType::recv_displs>(); }
+    [[nodiscard]] auto extract_send_displs() { return extract<ParameterType::send_displs>(); }
+    [[nodiscard]] auto extract_recv_count() { return extract<ParameterType::recv_count>(); }
+    /// @}
+
+private:
+    template <ParameterType Type>
+    static constexpr std::size_t index_of() {
+        constexpr ParameterType types[] = {Entries::parameter_type...};
+        for (std::size_t i = 0; i < sizeof...(Entries); ++i) {
+            if (types[i] == Type) {
+                return i;
+            }
+        }
+        return sizeof...(Entries);
+    }
+
+    std::tuple<Entries...> entries_;
+};
+
+namespace internal {
+
+/// @brief Assembles the return value from the call's buffers according to
+/// the 0/1/n rule described in the file comment. Buffers whose in_result is
+/// false are destroyed here (releasing referencing wrappers).
+template <typename... Buffers>
+auto make_result(Buffers&&... buffers) {
+    constexpr std::size_t num_entries =
+        (0 + ... + (std::remove_cvref_t<Buffers>::in_result ? 1 : 0));
+    if constexpr (num_entries == 0) {
+        return; // void
+    } else {
+        // Filter the in_result buffers into a tuple of entries, preserving
+        // order. tuple_cat with empty tuples for the filtered-out ones.
+        auto entries = std::tuple_cat([&] {
+            if constexpr (std::remove_cvref_t<Buffers>::in_result) {
+                return std::make_tuple(make_result_entry(std::move(buffers)));
+            } else {
+                return std::tuple<>{};
+            }
+        }()...);
+        if constexpr (num_entries == 1) {
+            return std::move(std::get<0>(entries).value);
+        } else {
+            return std::apply(
+                [](auto&&... entry) {
+                    return MPIResult<std::remove_cvref_t<decltype(entry)>...>(
+                        std::move(entry)...);
+                },
+                std::move(entries));
+        }
+    }
+}
+
+} // namespace internal
+} // namespace kamping
+
+/// @name Structured-bindings support for MPIResult
+/// @{
+template <typename... Entries>
+struct std::tuple_size<kamping::MPIResult<Entries...>>
+    : std::integral_constant<std::size_t, sizeof...(Entries)> {};
+
+template <std::size_t Index, typename... Entries>
+struct std::tuple_element<Index, kamping::MPIResult<Entries...>> {
+    using type = typename std::tuple_element_t<
+        Index, std::tuple<Entries...>>::value_type;
+};
+/// @}

@@ -1,0 +1,151 @@
+/// @file serialization.hpp
+/// @brief Opt-in, transparent serialization support (paper, Section III-D3).
+///
+/// Heap-backed types (std::string, std::unordered_map, ...) cannot be
+/// described by MPI datatypes. Wrapping them in as_serialized() /
+/// as_deserializable<T>() makes any KaMPIng call pack them through kaserial
+/// before communication — explicitly, because serialization has real costs
+/// that zero-overhead bindings must not hide. The archive types are template
+/// parameters, so binary / text / user-defined formats are all usable.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <span>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "kaserial/kaserial.hpp"
+#include "kamping/parameter_type.hpp"
+
+namespace kamping {
+
+/// @brief Marker produced by as_serialized(): the wrapped object is packed
+/// into a byte buffer when used as a send or send-recv parameter.
+template <
+    typename T, typename OutArchive = kaserial::BinaryOutputArchive,
+    typename InArchive = kaserial::BinaryInputArchive>
+struct SerializedView {
+    T* object;
+};
+
+/// @brief Marker produced by as_deserializable<T>(): the received bytes are
+/// unpacked into a T on result extraction.
+template <typename T, typename InArchive = kaserial::BinaryInputArchive>
+struct DeserializableTag {};
+
+/// @brief Wraps an object for serialized transfer. The object is captured by
+/// reference; it must outlive the communication call.
+template <
+    typename OutArchive = kaserial::BinaryOutputArchive,
+    typename InArchive = kaserial::BinaryInputArchive, typename T>
+auto as_serialized(T& object) {
+    return SerializedView<T, OutArchive, InArchive>{&object};
+}
+
+/// @brief Requests that received bytes be deserialized into a T.
+template <typename T, typename InArchive = kaserial::BinaryInputArchive>
+auto as_deserializable() {
+    return DeserializableTag<T, InArchive>{};
+}
+
+namespace internal {
+
+/// @brief Serializes @c object into a fresh byte vector using OutArchive.
+template <typename OutArchive, typename T>
+std::vector<std::byte> serialize_object(T const& object) {
+    if constexpr (std::is_same_v<OutArchive, kaserial::BinaryOutputArchive>) {
+        return kaserial::to_bytes(object);
+    } else {
+        // Text-style archives produce strings; transport them as bytes.
+        std::string text;
+        OutArchive archive(text);
+        archive(const_cast<T&>(object));
+        std::vector<std::byte> bytes(text.size());
+        std::memcpy(bytes.data(), text.data(), text.size());
+        return bytes;
+    }
+}
+
+/// @brief Deserializes @c bytes into @c object using InArchive.
+template <typename InArchive, typename T>
+void deserialize_object(std::span<std::byte const> bytes, T& object) {
+    if constexpr (std::is_same_v<InArchive, kaserial::BinaryInputArchive>) {
+        InArchive archive(bytes);
+        archive(object);
+    } else {
+        std::string text(reinterpret_cast<char const*>(bytes.data()), bytes.size());
+        InArchive archive(text);
+        archive(object);
+    }
+}
+
+} // namespace internal
+
+/// @brief Out-buffer that receives raw bytes and deserializes them into a T
+/// on extraction. Behaves like an owning byte DataBuffer towards the
+/// transport layer.
+template <typename T, typename InArchive = kaserial::BinaryInputArchive>
+class DeserializationBuffer {
+public:
+    static constexpr ParameterType parameter_type = ParameterType::recv_buf;
+    static constexpr BufferKind kind = BufferKind::out;
+    static constexpr BufferOwnership ownership = BufferOwnership::owning;
+    static constexpr BufferResizePolicy resize_policy = BufferResizePolicy::resize_to_fit;
+    static constexpr bool in_result = true;
+    static constexpr bool is_serialization = true;
+    using value_type = std::byte;
+
+    [[nodiscard]] std::size_t size() const { return bytes_.size(); }
+    [[nodiscard]] std::byte* data() { return bytes_.data(); }
+    [[nodiscard]] std::byte const* data() const { return bytes_.data(); }
+    void resize_to(std::size_t n) { bytes_.resize(n); }
+
+    /// @brief Deserializes the received bytes into the target type.
+    [[nodiscard]] T extract() && {
+        T object{};
+        internal::deserialize_object<InArchive>(bytes_, object);
+        return object;
+    }
+
+private:
+    std::vector<std::byte> bytes_;
+};
+
+/// @brief In-out serialization buffer for send_recv_buf(as_serialized(x)),
+/// e.g. broadcast of a serialized object (paper, Fig. 11): the root
+/// serializes, every other rank deserializes into its object.
+template <
+    typename T, typename OutArchive = kaserial::BinaryOutputArchive,
+    typename InArchive = kaserial::BinaryInputArchive>
+class SerializationInOutBuffer {
+public:
+    static constexpr ParameterType parameter_type = ParameterType::send_recv_buf;
+    static constexpr BufferKind kind = BufferKind::in_out;
+    static constexpr BufferOwnership ownership = BufferOwnership::referencing;
+    static constexpr bool in_result = false;
+    static constexpr bool is_serialization = true;
+    using value_type = std::byte;
+
+    explicit SerializationInOutBuffer(T* object) : object_(object) {}
+
+    [[nodiscard]] std::vector<std::byte> serialize() const {
+        return internal::serialize_object<OutArchive>(*object_);
+    }
+    void deserialize(std::span<std::byte const> bytes) {
+        internal::deserialize_object<InArchive>(bytes, *object_);
+    }
+
+private:
+    T* object_;
+};
+
+namespace internal {
+
+template <typename Buffer>
+concept serialization_buffer = requires { std::remove_cvref_t<Buffer>::is_serialization; };
+
+} // namespace internal
+} // namespace kamping

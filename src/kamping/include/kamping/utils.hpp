@@ -1,0 +1,134 @@
+/// @file utils.hpp
+/// @brief Convenience utilities: with_flattened() for nested message maps
+/// (paper, Fig. 9) and a rank-aggregating Timer for experiments.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "kamping/communicator.hpp"
+#include "kamping/named_parameters.hpp"
+#include "xmpi/api.hpp"
+
+namespace kamping {
+
+/// @brief Result of with_flattened(): contiguous data plus per-destination
+/// send counts, ready to be handed to a v-collective.
+template <typename T>
+class FlattenedBuffers {
+public:
+    std::vector<T> data;
+    std::vector<int> counts;
+
+    /// @brief Invokes @c fn with the flattened buffers as named parameters
+    /// (send_buf, send_counts), e.g.
+    /// `.call([&](auto... p) { return comm.alltoallv(std::move(p)...); })`.
+    template <typename Fn>
+    decltype(auto) call(Fn&& fn) && {
+        return std::forward<Fn>(fn)(send_buf(std::move(data)), send_counts(std::move(counts)));
+    }
+};
+
+namespace internal {
+
+template <typename Nested, typename T>
+FlattenedBuffers<T> flatten_map(Nested const& messages, std::size_t comm_size) {
+    FlattenedBuffers<T> flattened;
+    flattened.counts.assign(comm_size, 0);
+    std::size_t total = 0;
+    for (auto const& [destination, payload]: messages) {
+        flattened.counts[static_cast<std::size_t>(destination)] =
+            static_cast<int>(payload.size());
+        total += payload.size();
+    }
+    flattened.data.reserve(total);
+    // Emit in destination order so data matches the displacements derived
+    // from the counts.
+    for (std::size_t destination = 0; destination < comm_size; ++destination) {
+        if constexpr (requires { messages.find(int(destination)); }) {
+            auto const it = messages.find(static_cast<int>(destination));
+            if (it != messages.end()) {
+                flattened.data.insert(
+                    flattened.data.end(), it->second.begin(), it->second.end());
+            }
+        }
+    }
+    return flattened;
+}
+
+} // namespace internal
+
+/// @brief Flattens a map destination -> message vector into contiguous data
+/// plus send counts (paper, Fig. 9: frontier exchange).
+template <typename T, typename Compare, typename Alloc>
+auto with_flattened(std::map<int, std::vector<T>, Compare, Alloc> const& messages, std::size_t comm_size) {
+    return internal::flatten_map<decltype(messages), T>(messages, comm_size);
+}
+
+template <typename T, typename Hash, typename Eq, typename Alloc>
+auto with_flattened(
+    std::unordered_map<int, std::vector<T>, Hash, Eq, Alloc> const& messages,
+    std::size_t comm_size) {
+    return internal::flatten_map<decltype(messages), T>(messages, comm_size);
+}
+
+/// @brief Flattens a dense per-destination vector-of-vectors.
+template <typename T>
+auto with_flattened(std::vector<std::vector<T>> const& messages, std::size_t comm_size) {
+    FlattenedBuffers<T> flattened;
+    flattened.counts.assign(comm_size, 0);
+    std::size_t total = 0;
+    for (std::size_t destination = 0; destination < messages.size(); ++destination) {
+        flattened.counts[destination] = static_cast<int>(messages[destination].size());
+        total += messages[destination].size();
+    }
+    flattened.data.reserve(total);
+    for (auto const& payload: messages) {
+        flattened.data.insert(flattened.data.end(), payload.begin(), payload.end());
+    }
+    return flattened;
+}
+
+namespace measurements {
+
+/// @brief Accumulating timer with cross-rank aggregation, supporting the
+/// algorithm-engineering workflow the paper describes (measure, refine,
+/// repeat). Time is keyed by name; aggregate() reduces over the ranks.
+class Timer {
+public:
+    void start(std::string const& name) {
+        active_name_ = name;
+        start_time_ = XMPI_Wtime();
+    }
+
+    void stop() {
+        accumulated_[active_name_] += XMPI_Wtime() - start_time_;
+    }
+
+    [[nodiscard]] double local(std::string const& name) const {
+        auto const it = accumulated_.find(name);
+        return it == accumulated_.end() ? 0.0 : it->second;
+    }
+
+    /// @brief Maximum across all ranks (collective over @c comm).
+    [[nodiscard]] double aggregate_max(std::string const& name, XMPI_Comm comm) const {
+        double const mine = local(name);
+        double result = 0.0;
+        XMPI_Allreduce(&mine, &result, 1, XMPI_DOUBLE, XMPI_MAX, comm);
+        return result;
+    }
+
+    void clear() { accumulated_.clear(); }
+
+private:
+    std::unordered_map<std::string, double> accumulated_;
+    std::string active_name_;
+    double start_time_ = 0.0;
+};
+
+} // namespace measurements
+} // namespace kamping

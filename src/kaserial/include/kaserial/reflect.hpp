@@ -1,0 +1,184 @@
+/// @file reflect.hpp
+/// @brief Compile-time aggregate reflection (a minimal Boost.PFR equivalent).
+///
+/// Counts the members of a plain aggregate via aggregate-initializability and
+/// exposes them as references through structured bindings. Used by the
+/// KaMPIng type system to build MPI struct datatypes automatically (paper,
+/// Section III-D1) and by kaserial to serialize plain structs.
+///
+/// Limitations (same spirit as PFR): only aggregates without base classes;
+/// use std::array instead of C arrays (brace elision breaks the arity count).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <type_traits>
+#include <utility>
+
+namespace kaserial::reflect {
+
+namespace internal {
+
+/// @brief Placeholder implicitly convertible to anything (except the
+/// aggregate itself, to avoid counting copy construction as arity 1).
+template <typename Aggregate>
+struct AnyValue {
+    template <typename T>
+        requires(!std::is_same_v<std::remove_cvref_t<T>, Aggregate>)
+    operator T() const; // never defined; used in unevaluated contexts only
+};
+
+template <typename T, std::size_t... Indices>
+constexpr bool initializable_with_seq(std::index_sequence<Indices...>) {
+    return requires { T{(static_cast<void>(Indices), std::declval<AnyValue<T>>())...}; };
+}
+
+template <typename T, std::size_t N>
+constexpr bool initializable_with() {
+    return initializable_with_seq<T>(std::make_index_sequence<N>{});
+}
+
+inline constexpr std::size_t max_arity = 24;
+
+template <typename T, std::size_t N = max_arity>
+constexpr std::size_t arity_impl() {
+    if constexpr (N == 0) {
+        return 0;
+    } else if constexpr (initializable_with<T, N>()) {
+        return N;
+    } else {
+        return arity_impl<T, N - 1>();
+    }
+}
+
+} // namespace internal
+
+/// @brief True iff T is a reflectable aggregate.
+template <typename T>
+concept reflectable = std::is_aggregate_v<std::remove_cvref_t<T>>
+                      && !std::is_array_v<std::remove_cvref_t<T>>;
+
+/// @brief Number of direct members of the aggregate.
+template <reflectable T>
+inline constexpr std::size_t arity = internal::arity_impl<std::remove_cvref_t<T>>();
+
+/// @brief Invokes @c f with references to all members of @c value.
+template <typename T, typename F>
+    requires reflectable<T>
+constexpr decltype(auto) visit_members(T&& value, F&& f) {
+    constexpr std::size_t n = arity<T>;
+    static_assert(n <= internal::max_arity, "aggregate has too many members for reflection");
+    if constexpr (n == 0) {
+        return std::forward<F>(f)();
+    } else if constexpr (n == 1) {
+        auto&& [m1] = value;
+        return std::forward<F>(f)(m1);
+    } else if constexpr (n == 2) {
+        auto&& [m1, m2] = value;
+        return std::forward<F>(f)(m1, m2);
+    } else if constexpr (n == 3) {
+        auto&& [m1, m2, m3] = value;
+        return std::forward<F>(f)(m1, m2, m3);
+    } else if constexpr (n == 4) {
+        auto&& [m1, m2, m3, m4] = value;
+        return std::forward<F>(f)(m1, m2, m3, m4);
+    } else if constexpr (n == 5) {
+        auto&& [m1, m2, m3, m4, m5] = value;
+        return std::forward<F>(f)(m1, m2, m3, m4, m5);
+    } else if constexpr (n == 6) {
+        auto&& [m1, m2, m3, m4, m5, m6] = value;
+        return std::forward<F>(f)(m1, m2, m3, m4, m5, m6);
+    } else if constexpr (n == 7) {
+        auto&& [m1, m2, m3, m4, m5, m6, m7] = value;
+        return std::forward<F>(f)(m1, m2, m3, m4, m5, m6, m7);
+    } else if constexpr (n == 8) {
+        auto&& [m1, m2, m3, m4, m5, m6, m7, m8] = value;
+        return std::forward<F>(f)(m1, m2, m3, m4, m5, m6, m7, m8);
+    } else if constexpr (n == 9) {
+        auto&& [m1, m2, m3, m4, m5, m6, m7, m8, m9] = value;
+        return std::forward<F>(f)(m1, m2, m3, m4, m5, m6, m7, m8, m9);
+    } else if constexpr (n == 10) {
+        auto&& [m1, m2, m3, m4, m5, m6, m7, m8, m9, m10] = value;
+        return std::forward<F>(f)(m1, m2, m3, m4, m5, m6, m7, m8, m9, m10);
+    } else if constexpr (n == 11) {
+        auto&& [m1, m2, m3, m4, m5, m6, m7, m8, m9, m10, m11] = value;
+        return std::forward<F>(f)(m1, m2, m3, m4, m5, m6, m7, m8, m9, m10, m11);
+    } else if constexpr (n == 12) {
+        auto&& [m1, m2, m3, m4, m5, m6, m7, m8, m9, m10, m11, m12] = value;
+        return std::forward<F>(f)(m1, m2, m3, m4, m5, m6, m7, m8, m9, m10, m11, m12);
+    } else if constexpr (n == 13) {
+        auto&& [m1, m2, m3, m4, m5, m6, m7, m8, m9, m10, m11, m12, m13] = value;
+        return std::forward<F>(f)(m1, m2, m3, m4, m5, m6, m7, m8, m9, m10, m11, m12, m13);
+    } else if constexpr (n == 14) {
+        auto&& [m1, m2, m3, m4, m5, m6, m7, m8, m9, m10, m11, m12, m13, m14] = value;
+        return std::forward<F>(f)(m1, m2, m3, m4, m5, m6, m7, m8, m9, m10, m11, m12, m13, m14);
+    } else if constexpr (n == 15) {
+        auto&& [m1, m2, m3, m4, m5, m6, m7, m8, m9, m10, m11, m12, m13, m14, m15] = value;
+        return std::forward<F>(f)(
+            m1, m2, m3, m4, m5, m6, m7, m8, m9, m10, m11, m12, m13, m14, m15);
+    } else if constexpr (n == 16) {
+        auto&& [m1, m2, m3, m4, m5, m6, m7, m8, m9, m10, m11, m12, m13, m14, m15, m16] = value;
+        return std::forward<F>(f)(
+            m1, m2, m3, m4, m5, m6, m7, m8, m9, m10, m11, m12, m13, m14, m15, m16);
+    } else if constexpr (n == 17) {
+        auto&& [m1, m2, m3, m4, m5, m6, m7, m8, m9, m10, m11, m12, m13, m14, m15, m16, m17] =
+            value;
+        return std::forward<F>(f)(
+            m1, m2, m3, m4, m5, m6, m7, m8, m9, m10, m11, m12, m13, m14, m15, m16, m17);
+    } else if constexpr (n == 18) {
+        auto&& [m1, m2, m3, m4, m5, m6, m7, m8, m9, m10, m11, m12, m13, m14, m15, m16, m17,
+                m18] = value;
+        return std::forward<F>(f)(
+            m1, m2, m3, m4, m5, m6, m7, m8, m9, m10, m11, m12, m13, m14, m15, m16, m17, m18);
+    } else if constexpr (n == 19) {
+        auto&& [m1, m2, m3, m4, m5, m6, m7, m8, m9, m10, m11, m12, m13, m14, m15, m16, m17, m18,
+                m19] = value;
+        return std::forward<F>(f)(
+            m1, m2, m3, m4, m5, m6, m7, m8, m9, m10, m11, m12, m13, m14, m15, m16, m17, m18,
+            m19);
+    } else if constexpr (n == 20) {
+        auto&& [m1, m2, m3, m4, m5, m6, m7, m8, m9, m10, m11, m12, m13, m14, m15, m16, m17, m18,
+                m19, m20] = value;
+        return std::forward<F>(f)(
+            m1, m2, m3, m4, m5, m6, m7, m8, m9, m10, m11, m12, m13, m14, m15, m16, m17, m18, m19,
+            m20);
+    } else if constexpr (n == 21) {
+        auto&& [m1, m2, m3, m4, m5, m6, m7, m8, m9, m10, m11, m12, m13, m14, m15, m16, m17, m18,
+                m19, m20, m21] = value;
+        return std::forward<F>(f)(
+            m1, m2, m3, m4, m5, m6, m7, m8, m9, m10, m11, m12, m13, m14, m15, m16, m17, m18, m19,
+            m20, m21);
+    } else if constexpr (n == 22) {
+        auto&& [m1, m2, m3, m4, m5, m6, m7, m8, m9, m10, m11, m12, m13, m14, m15, m16, m17, m18,
+                m19, m20, m21, m22] = value;
+        return std::forward<F>(f)(
+            m1, m2, m3, m4, m5, m6, m7, m8, m9, m10, m11, m12, m13, m14, m15, m16, m17, m18, m19,
+            m20, m21, m22);
+    } else if constexpr (n == 23) {
+        auto&& [m1, m2, m3, m4, m5, m6, m7, m8, m9, m10, m11, m12, m13, m14, m15, m16, m17, m18,
+                m19, m20, m21, m22, m23] = value;
+        return std::forward<F>(f)(
+            m1, m2, m3, m4, m5, m6, m7, m8, m9, m10, m11, m12, m13, m14, m15, m16, m17, m18, m19,
+            m20, m21, m22, m23);
+    } else {
+        auto&& [m1, m2, m3, m4, m5, m6, m7, m8, m9, m10, m11, m12, m13, m14, m15, m16, m17, m18,
+                m19, m20, m21, m22, m23, m24] = value;
+        return std::forward<F>(f)(
+            m1, m2, m3, m4, m5, m6, m7, m8, m9, m10, m11, m12, m13, m14, m15, m16, m17, m18, m19,
+            m20, m21, m22, m23, m24);
+    }
+}
+
+/// @brief Member byte offsets within the aggregate, in declaration order.
+template <reflectable T>
+std::array<std::ptrdiff_t, arity<T>> member_offsets(T const& value) {
+    std::array<std::ptrdiff_t, arity<T>> offsets{};
+    auto const* base = reinterpret_cast<char const*>(&value);
+    visit_members(value, [&](auto const&... members) {
+        std::size_t index = 0;
+        ((offsets[index++] = reinterpret_cast<char const*>(&members) - base), ...);
+    });
+    return offsets;
+}
+
+} // namespace kaserial::reflect

@@ -1,0 +1,130 @@
+/// @file kassert.hpp
+/// @brief Levelled assertion library in the spirit of the KASSERT library used
+/// by KaMPIng.
+///
+/// Assertions are grouped in levels of increasing cost (see
+/// kassert::assertion_level). A level is active iff it is less than or equal
+/// to the compile-time threshold @c KASSERT_ASSERTION_LEVEL (defaults to
+/// kassert::assertion_level::normal). Inactive assertions compile to nothing,
+/// so even assertions that would require communication can be left in the
+/// code and switched on level-by-level for debugging (paper, Section III-G).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace kassert {
+
+/// @brief Assertion levels, ordered by cost of the checks they guard.
+namespace assertion_level {
+/// Checks that are (almost) free, e.g. null checks.
+inline constexpr int light = 10;
+/// Default level: cheap invariant checks, e.g. bounds and size checks.
+inline constexpr int normal = 20;
+/// Expensive local checks, e.g. "the input range is sorted".
+inline constexpr int heavy = 30;
+/// Checks that require additional communication, e.g. "all ranks pass the
+/// same root to this collective".
+inline constexpr int communication = 40;
+} // namespace assertion_level
+
+#ifndef KASSERT_ASSERTION_LEVEL
+#define KASSERT_ASSERTION_LEVEL ::kassert::assertion_level::normal
+#endif
+
+/// @brief Exception thrown by @c THROWING_KASSERT on usage errors.
+class AssertionFailed : public std::runtime_error {
+public:
+    explicit AssertionFailed(std::string const& what) : std::runtime_error(what) {}
+};
+
+/// @brief Handler invoked when a (non-throwing) assertion fails. Replaceable
+/// for testing; the default prints and aborts.
+using FailureHandler = std::function<void(std::string const&)>;
+
+namespace internal {
+inline FailureHandler& failure_handler() {
+    static FailureHandler handler = [](std::string const& message) {
+        std::fputs(message.c_str(), stderr);
+        std::fputc('\n', stderr);
+        std::abort();
+    };
+    return handler;
+}
+
+inline std::string format_failure(
+    char const* expression, std::string const& message, char const* file, int line) {
+    std::ostringstream out;
+    out << file << ':' << line << ": assertion `" << expression << "` failed";
+    if (!message.empty()) {
+        out << ": " << message;
+    }
+    return out.str();
+}
+
+[[noreturn]] inline void
+fail(char const* expression, std::string const& message, char const* file, int line) {
+    failure_handler()(format_failure(expression, message, file, line));
+    // The handler is expected not to return; make sure we never do.
+    std::abort();
+}
+
+[[noreturn]] inline void
+fail_throwing(char const* expression, std::string const& message, char const* file, int line) {
+    throw AssertionFailed(format_failure(expression, message, file, line));
+}
+} // namespace internal
+
+/// @brief Replaces the global failure handler (used by unit tests to observe
+/// assertion failures without aborting). Returns the previous handler.
+inline FailureHandler set_failure_handler(FailureHandler handler) {
+    auto previous = internal::failure_handler();
+    internal::failure_handler() = std::move(handler);
+    return previous;
+}
+
+} // namespace kassert
+
+/// @brief True iff assertions of the given level are compiled in.
+#define KASSERT_ENABLED(level) ((level) <= KASSERT_ASSERTION_LEVEL)
+
+#define KASSERT_IMPL_3(expression, message_expr, level)                                   \
+    do {                                                                                  \
+        if constexpr (KASSERT_ENABLED(level)) {                                           \
+            if (!(expression)) {                                                          \
+                std::ostringstream kassert_message_stream;                                \
+                kassert_message_stream << message_expr;                                   \
+                ::kassert::internal::fail(                                                \
+                    #expression, kassert_message_stream.str(), __FILE__, __LINE__);       \
+            }                                                                             \
+        }                                                                                 \
+    } while (false)
+
+#define KASSERT_IMPL_2(expression, message_expr) \
+    KASSERT_IMPL_3(expression, message_expr, ::kassert::assertion_level::normal)
+
+#define KASSERT_IMPL_1(expression) KASSERT_IMPL_2(expression, "")
+
+#define KASSERT_GET_MACRO(_1, _2, _3, NAME, ...) NAME
+
+/// @brief Levelled assertion: KASSERT(expr), KASSERT(expr, message) or
+/// KASSERT(expr, message, level). The message may use stream syntax:
+/// KASSERT(a == b, "a was " << a).
+#define KASSERT(...) \
+    KASSERT_GET_MACRO(__VA_ARGS__, KASSERT_IMPL_3, KASSERT_IMPL_2, KASSERT_IMPL_1)(__VA_ARGS__)
+
+/// @brief Like KASSERT but throws kassert::AssertionFailed instead of calling
+/// the failure handler. Used for recoverable usage errors. Always enabled.
+#define THROWING_KASSERT(expression, message_expr)                                   \
+    do {                                                                             \
+        if (!(expression)) {                                                         \
+            std::ostringstream kassert_message_stream;                               \
+            kassert_message_stream << message_expr;                                  \
+            ::kassert::internal::fail_throwing(                                      \
+                #expression, kassert_message_stream.str(), __FILE__, __LINE__);      \
+        }                                                                            \
+    } while (false)

@@ -1,0 +1,202 @@
+/// @file mpl.hpp
+/// @brief A re-implementation of the MPL *interface style* over the xmpi
+/// substrate, used as a comparator (paper, Section II).
+///
+/// Characteristic design points reproduced here:
+///   - the layout system: communication is expressed through layout objects
+///     (contiguous_layouts + displacements) rather than raw count arrays,
+///     which is powerful for scientific stencils but verbose for the
+///     irregular patterns of discrete algorithms;
+///   - variable-size collectives are realised by constructing *derived
+///     datatypes with absolute displacements* per peer and calling
+///     MPI_Alltoallw — the design decision that makes MPL's gatherv-family
+///     operations slow and unscalable (paper, Sections II and IV-B, citing
+///     Ghosh et al.): a rooted or ring-friendly operation becomes a dense
+///     p x p exchange with per-call datatype construction;
+///   - no error handling (MPL has none);
+///   - native handles are not exposed.
+#pragma once
+
+#include <numeric>
+#include <vector>
+
+#include "kamping/mpi_datatype.hpp"
+#include "kamping/op.hpp"
+#include "xmpi/api.hpp"
+
+namespace mimic::mpl {
+
+/// @brief A contiguous block layout of T (subset of mpl::contiguous_layout).
+template <typename T>
+class contiguous_layout {
+public:
+    explicit contiguous_layout(int count = 0) : count_(count) {}
+    [[nodiscard]] int size() const { return count_; }
+
+private:
+    int count_;
+};
+
+/// @brief One layout per peer (subset of mpl::contiguous_layouts<T>).
+template <typename T>
+class contiguous_layouts {
+public:
+    explicit contiguous_layouts(int count) : layouts_(static_cast<std::size_t>(count)) {}
+    contiguous_layout<T>& operator[](std::size_t index) { return layouts_[index]; }
+    contiguous_layout<T> const& operator[](std::size_t index) const { return layouts_[index]; }
+    [[nodiscard]] std::size_t size() const { return layouts_.size(); }
+
+private:
+    std::vector<contiguous_layout<T>> layouts_;
+};
+
+/// @brief Per-peer displacements in elements (subset of mpl::displacements).
+class displacements {
+public:
+    explicit displacements(int count) : displs_(static_cast<std::size_t>(count), 0) {}
+    std::ptrdiff_t& operator[](std::size_t index) { return displs_[index]; }
+    std::ptrdiff_t operator[](std::size_t index) const { return displs_[index]; }
+    [[nodiscard]] std::size_t size() const { return displs_.size(); }
+
+private:
+    std::vector<std::ptrdiff_t> displs_;
+};
+
+namespace detail {
+
+/// @brief Builds the per-peer derived datatypes + byte displacements that
+/// MPL passes to MPI_Alltoallw for every v-collective call.
+template <typename T>
+struct alltoallw_arguments {
+    std::vector<int> counts;          // always 1: one derived type per peer
+    std::vector<int> byte_displs;     // absolute displacements are in the type
+    std::vector<XMPI_Datatype> types; // freshly constructed every call
+
+    alltoallw_arguments(contiguous_layouts<T> const& layouts, displacements const& displs)
+        : counts(layouts.size(), 1),
+          byte_displs(layouts.size(), 0),
+          types(layouts.size()) {
+        for (std::size_t i = 0; i < layouts.size(); ++i) {
+            // A contiguous run at an absolute displacement, expressed as a
+            // resized contiguous type (constructed and committed per call —
+            // MPL's per-call datatype cost).
+            XMPI_Datatype block = XMPI_DATATYPE_NULL;
+            XMPI_Type_contiguous(layouts[i].size(), kamping::mpi_datatype<T>(), &block);
+            XMPI_Type_commit(&block);
+            types[i] = block;
+            byte_displs[i] =
+                static_cast<int>(displs[i] * static_cast<std::ptrdiff_t>(sizeof(T)));
+        }
+    }
+
+    ~alltoallw_arguments() {
+        for (auto& type: types) {
+            XMPI_Type_free(&type);
+        }
+    }
+};
+
+} // namespace detail
+
+/// @brief Communicator (subset of mpl::communicator).
+class communicator {
+public:
+    explicit communicator(XMPI_Comm comm) : comm_(comm) {}
+
+    [[nodiscard]] int rank() const {
+        int r = -1;
+        XMPI_Comm_rank(comm_, &r);
+        return r;
+    }
+    [[nodiscard]] int size() const {
+        int s = 0;
+        XMPI_Comm_size(comm_, &s);
+        return s;
+    }
+
+    void barrier() const { XMPI_Barrier(comm_); }
+
+    template <typename T>
+    void send(T const* data, contiguous_layout<T> const& layout, int dest, int tag = 0) const {
+        XMPI_Send(data, layout.size(), kamping::mpi_datatype<T>(), dest, tag, comm_);
+    }
+
+    template <typename T>
+    void recv(T* data, contiguous_layout<T> const& layout, int source, int tag = 0) const {
+        XMPI_Recv(
+            data, layout.size(), kamping::mpi_datatype<T>(), source, tag, comm_,
+            XMPI_STATUS_IGNORE);
+    }
+
+    template <typename T>
+    void bcast(int root, T* data, contiguous_layout<T> const& layout) const {
+        XMPI_Bcast(data, layout.size(), kamping::mpi_datatype<T>(), root, comm_);
+    }
+
+    template <typename T>
+    void allgather(T const& in_value, T* out_values) const {
+        XMPI_Allgather(
+            &in_value, 1, kamping::mpi_datatype<T>(), out_values, 1,
+            kamping::mpi_datatype<T>(), comm_);
+    }
+
+    /// @brief allgatherv through Alltoallw with derived types — MPL's
+    /// documented implementation strategy and the source of its overhead.
+    template <typename T>
+    void allgatherv(
+        T const* send_data, contiguous_layout<T> const& send_layout, T* recv_data,
+        contiguous_layouts<T> const& recv_layouts, displacements const& recv_displs) const {
+        int const p = size();
+        // Send side: every peer receives my full block (at displacement 0).
+        contiguous_layouts<T> send_layouts(p);
+        displacements send_displacements(p);
+        for (int i = 0; i < p; ++i) {
+            send_layouts[static_cast<std::size_t>(i)] = send_layout;
+        }
+        detail::alltoallw_arguments<T> send_args(send_layouts, send_displacements);
+        detail::alltoallw_arguments<T> recv_args(recv_layouts, recv_displs);
+        XMPI_Alltoallw(
+            send_data, send_args.counts.data(), send_args.byte_displs.data(),
+            send_args.types.data(), recv_data, recv_args.counts.data(),
+            recv_args.byte_displs.data(), recv_args.types.data(), comm_);
+    }
+
+    /// @brief alltoallv, likewise through Alltoallw.
+    template <typename T>
+    void alltoallv(
+        T const* send_data, contiguous_layouts<T> const& send_layouts,
+        displacements const& send_displs, T* recv_data,
+        contiguous_layouts<T> const& recv_layouts, displacements const& recv_displs) const {
+        detail::alltoallw_arguments<T> send_args(send_layouts, send_displs);
+        detail::alltoallw_arguments<T> recv_args(recv_layouts, recv_displs);
+        XMPI_Alltoallw(
+            send_data, send_args.counts.data(), send_args.byte_displs.data(),
+            send_args.types.data(), recv_data, recv_args.counts.data(),
+            recv_args.byte_displs.data(), recv_args.types.data(), comm_);
+    }
+
+    /// @brief alltoall of one element per peer.
+    template <typename T>
+    void alltoall(T const* send_data, T* recv_data) const {
+        XMPI_Alltoall(
+            send_data, 1, kamping::mpi_datatype<T>(), recv_data, 1, kamping::mpi_datatype<T>(),
+            comm_);
+    }
+
+    template <typename T, typename Op>
+    void allreduce(Op, T const& in_value, T& out_value) const {
+        XMPI_Allreduce(
+            &in_value, &out_value, 1, kamping::mpi_datatype<T>(),
+            kamping::internal::builtin_op_handle<Op>(), comm_);
+    }
+
+private:
+    XMPI_Comm comm_;
+};
+
+/// @brief The world communicator accessor (mpl::environment::comm_world()).
+inline communicator comm_world() {
+    return communicator(XMPI_COMM_WORLD);
+}
+
+} // namespace mimic::mpl

@@ -1,0 +1,296 @@
+/// @file api.hpp
+/// @brief The flat XMPI_* function API — a faithful subset of the MPI C API.
+///
+/// This is the interface every binding layer in this repository (KaMPIng,
+/// the Boost.MPI/MPL/RWTH mimics) and all "plain MPI" baseline code targets.
+/// Signatures, argument order, and semantics mirror the MPI standard; names
+/// carry an X prefix to make explicit that the transport is the in-process
+/// xmpi substrate rather than a real MPI library.
+///
+/// All functions return an XMPI error class (XMPI_SUCCESS on success) and
+/// never throw (except for usage outside a running world).
+#pragma once
+
+#include <cstddef>
+
+#include "xmpi/comm.hpp"
+#include "xmpi/datatype.hpp"
+#include "xmpi/error.hpp"
+#include "xmpi/op.hpp"
+#include "xmpi/request.hpp"
+#include "xmpi/status.hpp"
+#include "xmpi/world.hpp"
+
+/// @name Handle types
+/// @{
+using XMPI_Comm     = xmpi::Comm*;
+using XMPI_Datatype = xmpi::Datatype*;
+using XMPI_Group    = xmpi::Group*;
+using XMPI_Op       = xmpi::Op const*;
+using XMPI_Request  = xmpi::Request*;
+using XMPI_Status   = xmpi::Status;
+using XMPI_Aint     = std::ptrdiff_t;
+/// @}
+
+/// @name Null handles and special addresses
+/// @{
+inline constexpr XMPI_Comm XMPI_COMM_NULL         = nullptr;
+inline constexpr XMPI_Request XMPI_REQUEST_NULL   = nullptr;
+inline constexpr XMPI_Datatype XMPI_DATATYPE_NULL = nullptr;
+inline constexpr XMPI_Group XMPI_GROUP_NULL       = nullptr;
+inline XMPI_Status* const XMPI_STATUS_IGNORE      = nullptr;
+inline XMPI_Status* const XMPI_STATUSES_IGNORE    = nullptr;
+inline void* const XMPI_IN_PLACE = xmpi::IN_PLACE;
+/// @}
+
+/// @name Wildcards
+/// @{
+inline constexpr int XMPI_ANY_SOURCE = xmpi::ANY_SOURCE;
+inline constexpr int XMPI_ANY_TAG    = xmpi::ANY_TAG;
+inline constexpr int XMPI_PROC_NULL  = xmpi::PROC_NULL;
+inline constexpr int XMPI_UNDEFINED  = xmpi::UNDEFINED;
+/// @}
+
+/// @name Predefined datatypes
+/// @{
+XMPI_Datatype XMPI_BYTE_();
+#define XMPI_BYTE (::XMPI_BYTE_())
+XMPI_Datatype XMPI_CHAR_();
+#define XMPI_CHAR (::XMPI_CHAR_())
+XMPI_Datatype XMPI_SIGNED_CHAR_();
+#define XMPI_SIGNED_CHAR (::XMPI_SIGNED_CHAR_())
+XMPI_Datatype XMPI_UNSIGNED_CHAR_();
+#define XMPI_UNSIGNED_CHAR (::XMPI_UNSIGNED_CHAR_())
+XMPI_Datatype XMPI_SHORT_();
+#define XMPI_SHORT (::XMPI_SHORT_())
+XMPI_Datatype XMPI_UNSIGNED_SHORT_();
+#define XMPI_UNSIGNED_SHORT (::XMPI_UNSIGNED_SHORT_())
+XMPI_Datatype XMPI_INT_();
+#define XMPI_INT (::XMPI_INT_())
+XMPI_Datatype XMPI_UNSIGNED_();
+#define XMPI_UNSIGNED (::XMPI_UNSIGNED_())
+XMPI_Datatype XMPI_LONG_();
+#define XMPI_LONG (::XMPI_LONG_())
+XMPI_Datatype XMPI_UNSIGNED_LONG_();
+#define XMPI_UNSIGNED_LONG (::XMPI_UNSIGNED_LONG_())
+XMPI_Datatype XMPI_LONG_LONG_();
+#define XMPI_LONG_LONG (::XMPI_LONG_LONG_())
+XMPI_Datatype XMPI_UNSIGNED_LONG_LONG_();
+#define XMPI_UNSIGNED_LONG_LONG (::XMPI_UNSIGNED_LONG_LONG_())
+XMPI_Datatype XMPI_FLOAT_();
+#define XMPI_FLOAT (::XMPI_FLOAT_())
+XMPI_Datatype XMPI_DOUBLE_();
+#define XMPI_DOUBLE (::XMPI_DOUBLE_())
+XMPI_Datatype XMPI_LONG_DOUBLE_();
+#define XMPI_LONG_DOUBLE (::XMPI_LONG_DOUBLE_())
+XMPI_Datatype XMPI_CXX_BOOL_();
+#define XMPI_CXX_BOOL (::XMPI_CXX_BOOL_())
+/// @}
+
+/// @name Predefined reduction operations
+/// @{
+XMPI_Op XMPI_SUM_();
+#define XMPI_SUM (::XMPI_SUM_())
+XMPI_Op XMPI_PROD_();
+#define XMPI_PROD (::XMPI_PROD_())
+XMPI_Op XMPI_MIN_();
+#define XMPI_MIN (::XMPI_MIN_())
+XMPI_Op XMPI_MAX_();
+#define XMPI_MAX (::XMPI_MAX_())
+XMPI_Op XMPI_LAND_();
+#define XMPI_LAND (::XMPI_LAND_())
+XMPI_Op XMPI_LOR_();
+#define XMPI_LOR (::XMPI_LOR_())
+XMPI_Op XMPI_LXOR_();
+#define XMPI_LXOR (::XMPI_LXOR_())
+XMPI_Op XMPI_BAND_();
+#define XMPI_BAND (::XMPI_BAND_())
+XMPI_Op XMPI_BOR_();
+#define XMPI_BOR (::XMPI_BOR_())
+XMPI_Op XMPI_BXOR_();
+#define XMPI_BXOR (::XMPI_BXOR_())
+inline constexpr XMPI_Op XMPI_OP_NULL = nullptr;
+/// @}
+
+/// @name Environment
+/// @{
+int XMPI_Comm_size(XMPI_Comm comm, int* size);
+int XMPI_Comm_rank(XMPI_Comm comm, int* rank);
+double XMPI_Wtime();
+int XMPI_Abort(XMPI_Comm comm, int errorcode);
+int XMPI_Error_string(int errorcode, char* string, int* resultlen);
+/// @}
+
+/// @name Point-to-point
+/// @{
+int XMPI_Send(
+    void const* buf, int count, XMPI_Datatype datatype, int dest, int tag, XMPI_Comm comm);
+int XMPI_Ssend(
+    void const* buf, int count, XMPI_Datatype datatype, int dest, int tag, XMPI_Comm comm);
+int XMPI_Isend(
+    void const* buf, int count, XMPI_Datatype datatype, int dest, int tag, XMPI_Comm comm,
+    XMPI_Request* request);
+int XMPI_Issend(
+    void const* buf, int count, XMPI_Datatype datatype, int dest, int tag, XMPI_Comm comm,
+    XMPI_Request* request);
+int XMPI_Recv(
+    void* buf, int count, XMPI_Datatype datatype, int source, int tag, XMPI_Comm comm,
+    XMPI_Status* status);
+int XMPI_Irecv(
+    void* buf, int count, XMPI_Datatype datatype, int source, int tag, XMPI_Comm comm,
+    XMPI_Request* request);
+int XMPI_Sendrecv(
+    void const* sendbuf, int sendcount, XMPI_Datatype sendtype, int dest, int sendtag,
+    void* recvbuf, int recvcount, XMPI_Datatype recvtype, int source, int recvtag, XMPI_Comm comm,
+    XMPI_Status* status);
+int XMPI_Probe(int source, int tag, XMPI_Comm comm, XMPI_Status* status);
+int XMPI_Iprobe(int source, int tag, XMPI_Comm comm, int* flag, XMPI_Status* status);
+int XMPI_Get_count(XMPI_Status const* status, XMPI_Datatype datatype, int* count);
+/// @}
+
+/// @name Request completion
+/// @{
+int XMPI_Wait(XMPI_Request* request, XMPI_Status* status);
+int XMPI_Test(XMPI_Request* request, int* flag, XMPI_Status* status);
+int XMPI_Waitall(int count, XMPI_Request* requests, XMPI_Status* statuses);
+int XMPI_Testall(int count, XMPI_Request* requests, int* flag, XMPI_Status* statuses);
+int XMPI_Waitany(int count, XMPI_Request* requests, int* index, XMPI_Status* status);
+int XMPI_Waitsome(
+    int incount, XMPI_Request* requests, int* outcount, int* indices, XMPI_Status* statuses);
+int XMPI_Cancel(XMPI_Request* request);
+int XMPI_Request_free(XMPI_Request* request);
+/// @}
+
+/// @name Collectives
+/// @{
+int XMPI_Barrier(XMPI_Comm comm);
+int XMPI_Ibarrier(XMPI_Comm comm, XMPI_Request* request);
+int XMPI_Bcast(void* buffer, int count, XMPI_Datatype datatype, int root, XMPI_Comm comm);
+int XMPI_Gather(
+    void const* sendbuf, int sendcount, XMPI_Datatype sendtype, void* recvbuf, int recvcount,
+    XMPI_Datatype recvtype, int root, XMPI_Comm comm);
+int XMPI_Gatherv(
+    void const* sendbuf, int sendcount, XMPI_Datatype sendtype, void* recvbuf,
+    int const* recvcounts, int const* displs, XMPI_Datatype recvtype, int root, XMPI_Comm comm);
+int XMPI_Scatter(
+    void const* sendbuf, int sendcount, XMPI_Datatype sendtype, void* recvbuf, int recvcount,
+    XMPI_Datatype recvtype, int root, XMPI_Comm comm);
+int XMPI_Scatterv(
+    void const* sendbuf, int const* sendcounts, int const* displs, XMPI_Datatype sendtype,
+    void* recvbuf, int recvcount, XMPI_Datatype recvtype, int root, XMPI_Comm comm);
+int XMPI_Allgather(
+    void const* sendbuf, int sendcount, XMPI_Datatype sendtype, void* recvbuf, int recvcount,
+    XMPI_Datatype recvtype, XMPI_Comm comm);
+int XMPI_Allgatherv(
+    void const* sendbuf, int sendcount, XMPI_Datatype sendtype, void* recvbuf,
+    int const* recvcounts, int const* displs, XMPI_Datatype recvtype, XMPI_Comm comm);
+int XMPI_Alltoall(
+    void const* sendbuf, int sendcount, XMPI_Datatype sendtype, void* recvbuf, int recvcount,
+    XMPI_Datatype recvtype, XMPI_Comm comm);
+int XMPI_Alltoallv(
+    void const* sendbuf, int const* sendcounts, int const* sdispls, XMPI_Datatype sendtype,
+    void* recvbuf, int const* recvcounts, int const* rdispls, XMPI_Datatype recvtype,
+    XMPI_Comm comm);
+int XMPI_Alltoallw(
+    void const* sendbuf, int const* sendcounts, int const* sdispls,
+    XMPI_Datatype const* sendtypes, void* recvbuf, int const* recvcounts, int const* rdispls,
+    XMPI_Datatype const* recvtypes, XMPI_Comm comm);
+/// @name Non-blocking collectives. They must be initiated in the same order
+/// on all ranks (MPI semantics); several may be in flight per communicator.
+/// Buffers must stay valid and untouched until completion.
+/// @{
+int XMPI_Ibcast(
+    void* buffer, int count, XMPI_Datatype datatype, int root, XMPI_Comm comm,
+    XMPI_Request* request);
+int XMPI_Iallreduce(
+    void const* sendbuf, void* recvbuf, int count, XMPI_Datatype datatype, XMPI_Op op,
+    XMPI_Comm comm, XMPI_Request* request);
+int XMPI_Ialltoallv(
+    void const* sendbuf, int const* sendcounts, int const* sdispls, XMPI_Datatype sendtype,
+    void* recvbuf, int const* recvcounts, int const* rdispls, XMPI_Datatype recvtype,
+    XMPI_Comm comm, XMPI_Request* request);
+/// @}
+
+int XMPI_Reduce(
+    void const* sendbuf, void* recvbuf, int count, XMPI_Datatype datatype, XMPI_Op op, int root,
+    XMPI_Comm comm);
+int XMPI_Allreduce(
+    void const* sendbuf, void* recvbuf, int count, XMPI_Datatype datatype, XMPI_Op op,
+    XMPI_Comm comm);
+int XMPI_Reduce_scatter_block(
+    void const* sendbuf, void* recvbuf, int recvcount, XMPI_Datatype datatype, XMPI_Op op,
+    XMPI_Comm comm);
+int XMPI_Scan(
+    void const* sendbuf, void* recvbuf, int count, XMPI_Datatype datatype, XMPI_Op op,
+    XMPI_Comm comm);
+int XMPI_Exscan(
+    void const* sendbuf, void* recvbuf, int count, XMPI_Datatype datatype, XMPI_Op op,
+    XMPI_Comm comm);
+/// @}
+
+/// @name Datatype construction
+/// @{
+int XMPI_Type_contiguous(int count, XMPI_Datatype oldtype, XMPI_Datatype* newtype);
+int XMPI_Type_vector(
+    int count, int blocklength, int stride, XMPI_Datatype oldtype, XMPI_Datatype* newtype);
+int XMPI_Type_indexed(
+    int count, int const* blocklengths, int const* displacements, XMPI_Datatype oldtype,
+    XMPI_Datatype* newtype);
+int XMPI_Type_create_struct(
+    int count, int const* blocklengths, XMPI_Aint const* displacements,
+    XMPI_Datatype const* types, XMPI_Datatype* newtype);
+int XMPI_Type_create_resized(
+    XMPI_Datatype oldtype, XMPI_Aint lb, XMPI_Aint extent, XMPI_Datatype* newtype);
+int XMPI_Type_commit(XMPI_Datatype* datatype);
+int XMPI_Type_free(XMPI_Datatype* datatype);
+int XMPI_Type_size(XMPI_Datatype datatype, int* size);
+int XMPI_Type_get_extent(XMPI_Datatype datatype, XMPI_Aint* lb, XMPI_Aint* extent);
+/// @}
+
+/// @name Reduction operations
+/// @{
+int XMPI_Op_create(xmpi::UserFunction function, int commute, XMPI_Op* op);
+int XMPI_Op_free(XMPI_Op* op);
+/// @}
+
+/// @name Groups and communicator management
+/// @{
+int XMPI_Comm_group(XMPI_Comm comm, XMPI_Group* group);
+int XMPI_Group_size(XMPI_Group group, int* size);
+int XMPI_Group_rank(XMPI_Group group, int* rank);
+int XMPI_Group_incl(XMPI_Group group, int n, int const* ranks, XMPI_Group* newgroup);
+int XMPI_Group_excl(XMPI_Group group, int n, int const* ranks, XMPI_Group* newgroup);
+int XMPI_Group_union(XMPI_Group group1, XMPI_Group group2, XMPI_Group* newgroup);
+int XMPI_Group_intersection(XMPI_Group group1, XMPI_Group group2, XMPI_Group* newgroup);
+int XMPI_Group_difference(XMPI_Group group1, XMPI_Group group2, XMPI_Group* newgroup);
+int XMPI_Group_translate_ranks(
+    XMPI_Group group1, int n, int const* ranks1, XMPI_Group group2, int* ranks2);
+int XMPI_Group_free(XMPI_Group* group);
+int XMPI_Comm_dup(XMPI_Comm comm, XMPI_Comm* newcomm);
+int XMPI_Comm_split(XMPI_Comm comm, int color, int key, XMPI_Comm* newcomm);
+int XMPI_Comm_create(XMPI_Comm comm, XMPI_Group group, XMPI_Comm* newcomm);
+int XMPI_Comm_free(XMPI_Comm* comm);
+/// @}
+
+/// @name Sparse graph topologies and neighborhood collectives
+/// @{
+int XMPI_Dist_graph_create_adjacent(
+    XMPI_Comm comm_old, int indegree, int const* sources, int const* sourceweights, int outdegree,
+    int const* destinations, int const* destweights, int reorder, XMPI_Comm* comm_dist_graph);
+int XMPI_Dist_graph_neighbors_count(XMPI_Comm comm, int* indegree, int* outdegree, int* weighted);
+int XMPI_Neighbor_alltoall(
+    void const* sendbuf, int sendcount, XMPI_Datatype sendtype, void* recvbuf, int recvcount,
+    XMPI_Datatype recvtype, XMPI_Comm comm);
+int XMPI_Neighbor_alltoallv(
+    void const* sendbuf, int const* sendcounts, int const* sdispls, XMPI_Datatype sendtype,
+    void* recvbuf, int const* recvcounts, int const* rdispls, XMPI_Datatype recvtype,
+    XMPI_Comm comm);
+/// @}
+
+/// @name User-level failure mitigation (ULFM, MPI 5.0 proposal)
+/// @{
+int XMPI_Comm_revoke(XMPI_Comm comm);
+int XMPI_Comm_is_revoked(XMPI_Comm comm, int* flag);
+int XMPI_Comm_shrink(XMPI_Comm comm, XMPI_Comm* newcomm);
+int XMPI_Comm_agree(XMPI_Comm comm, int* flag);
+/// @}

@@ -1,0 +1,53 @@
+/// @file error.hpp
+/// @brief Error codes and exceptions of the xmpi substrate.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+/// @name XMPI error classes (mirroring the MPI error classes we support)
+/// @{
+inline constexpr int XMPI_SUCCESS         = 0;
+inline constexpr int XMPI_ERR_BUFFER      = 1;
+inline constexpr int XMPI_ERR_COUNT       = 2;
+inline constexpr int XMPI_ERR_TYPE        = 3;
+inline constexpr int XMPI_ERR_TAG         = 4;
+inline constexpr int XMPI_ERR_COMM        = 5;
+inline constexpr int XMPI_ERR_RANK        = 6;
+inline constexpr int XMPI_ERR_REQUEST     = 7;
+inline constexpr int XMPI_ERR_ROOT        = 8;
+inline constexpr int XMPI_ERR_GROUP       = 9;
+inline constexpr int XMPI_ERR_OP          = 10;
+inline constexpr int XMPI_ERR_TOPOLOGY    = 11;
+inline constexpr int XMPI_ERR_TRUNCATE    = 12;
+inline constexpr int XMPI_ERR_INTERN      = 13;
+inline constexpr int XMPI_ERR_PENDING     = 14;
+/// ULFM: a process taking part in the operation has failed.
+inline constexpr int XMPI_ERR_PROC_FAILED = 15;
+/// ULFM: the communicator has been revoked.
+inline constexpr int XMPI_ERR_REVOKED     = 16;
+inline constexpr int XMPI_ERR_ARG         = 17;
+inline constexpr int XMPI_ERR_OTHER       = 18;
+/// @}
+
+namespace xmpi {
+
+/// @brief Returns a human-readable description of an XMPI error code.
+char const* error_string(int error_code);
+
+/// @brief Internal exception used to unwind a rank's stack when a failure is
+/// injected into it (ULFM testing). Caught by the World runtime; user code
+/// should not catch it.
+struct RankKilled {
+    int rank;
+};
+
+/// @brief Exception thrown by the World runtime on invalid usage that cannot
+/// be reported via an error code (e.g. calling XMPI functions outside a
+/// running world).
+class UsageError : public std::logic_error {
+public:
+    explicit UsageError(std::string const& what) : std::logic_error(what) {}
+};
+
+} // namespace xmpi

@@ -1,0 +1,148 @@
+/// @file mailbox.hpp
+/// @brief Per-rank message store implementing MPI matching semantics.
+///
+/// Each rank owns one Mailbox. A message is matched by (context id, source
+/// rank, tag); receives may use the ANY_SOURCE / ANY_TAG wildcards. Matching
+/// respects MPI's non-overtaking guarantee: posted receives are scanned in
+/// posting order and unexpected messages in arrival order, so two messages
+/// from the same (source, context) with the same tag are received in send
+/// order.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "xmpi/status.hpp"
+
+namespace xmpi {
+
+class Comm;
+class Datatype;
+
+namespace detail {
+
+/// @brief Message envelope used for matching.
+struct Envelope {
+    int context;   ///< communicator context id (pt2pt or collective space)
+    int source;    ///< sender's rank within the communicator
+    int tag;
+
+    /// @brief True iff a receive pattern (which may contain wildcards in
+    /// @c source / @c tag) matches a concrete message envelope.
+    [[nodiscard]] bool matches(Envelope const& message) const {
+        return context == message.context
+               && (source == ANY_SOURCE || source == message.source)
+               && (tag == ANY_TAG || tag == message.tag);
+    }
+};
+
+/// @brief Completion handle for synchronous-mode sends: set when the message
+/// has been matched by a receive.
+struct SyncHandle {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool matched = false;
+
+    void signal() {
+        {
+            std::lock_guard lock(mutex);
+            matched = true;
+        }
+        cv.notify_all();
+    }
+};
+
+/// @brief An in-flight message: envelope plus packed payload. xmpi uses
+/// eager buffered delivery, so the payload is always an owned copy.
+struct Message {
+    Envelope env;
+    std::vector<std::byte> payload;
+    std::shared_ptr<SyncHandle> sync; ///< non-null for synchronous-mode sends
+};
+
+/// @brief A posted (pending) receive. Completion is guarded by the owning
+/// mailbox's mutex and signalled via its condition variable.
+struct RecvTicket {
+    Envelope pattern;
+    void* buffer = nullptr;
+    Datatype const* type = nullptr;
+    std::size_t count = 0;
+    Comm const* comm = nullptr; ///< for failure / revocation checks
+
+    bool complete = false;
+    Status status;
+};
+
+/// @brief Per-rank mailbox: unexpected-message queue plus posted-receive list.
+class Mailbox {
+public:
+    /// @brief Delivers a message: matches it against posted receives (in
+    /// posting order) or enqueues it as unexpected.
+    void deliver(Message message);
+
+    /// @brief Tries to match a receive against the unexpected queue. On match
+    /// the message is consumed into @c ticket (complete = true). Otherwise
+    /// the ticket is posted. Returns true iff matched immediately.
+    bool post_or_match(std::shared_ptr<RecvTicket> const& ticket);
+
+    /// @brief Blocks until the ticket completes or @c aborted() returns true.
+    /// Returns false iff aborted before completion (the ticket is withdrawn).
+    template <typename AbortPredicate>
+    bool await(std::shared_ptr<RecvTicket> const& ticket, AbortPredicate&& aborted) {
+        std::unique_lock lock(mutex_);
+        cv_.wait(lock, [&] { return ticket->complete || aborted(); });
+        if (!ticket->complete) {
+            posted_.remove(ticket);
+            return false;
+        }
+        return true;
+    }
+
+    /// @brief Non-blocking completion check used by request test.
+    bool is_complete(std::shared_ptr<RecvTicket> const& ticket);
+
+    /// @brief Withdraws a posted, uncompleted ticket (receive cancellation).
+    /// Returns true iff the ticket was still pending and has been removed.
+    bool cancel(std::shared_ptr<RecvTicket> const& ticket);
+
+    /// @brief Probes for a matching unexpected message without consuming it.
+    /// Fills @c status on success.
+    bool probe(Envelope const& pattern, Status& status);
+
+    /// @brief Blocking probe; @c aborted as in await().
+    template <typename AbortPredicate>
+    bool probe_blocking(Envelope const& pattern, Status& status, AbortPredicate&& aborted) {
+        std::unique_lock lock(mutex_);
+        while (true) {
+            if (find_unexpected_locked(pattern, status)) {
+                return true;
+            }
+            if (aborted()) {
+                return false;
+            }
+            cv_.wait(lock);
+        }
+    }
+
+    /// @brief Wakes all threads blocked on this mailbox (failure/revocation).
+    void wake() { cv_.notify_all(); }
+
+private:
+    friend struct MailboxTestAccess;
+
+    bool find_unexpected_locked(Envelope const& pattern, Status& status);
+    static void complete_ticket_locked(RecvTicket& ticket, Message&& message);
+
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::deque<Message> unexpected_;
+    std::list<std::shared_ptr<RecvTicket>> posted_;
+};
+
+} // namespace detail
+} // namespace xmpi

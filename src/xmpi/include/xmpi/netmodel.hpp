@@ -1,0 +1,48 @@
+/// @file netmodel.hpp
+/// @brief The alpha/beta network cost model of the xmpi substrate.
+///
+/// xmpi runs all ranks as threads of one process, so raw message transfer is
+/// a memcpy and the cost structure of a cluster interconnect (per-message
+/// start-up latency, per-byte bandwidth cost) is absent. For experiments whose
+/// *shape* depends on that cost structure (e.g. the grid/sparse all-to-all
+/// comparison of the paper's Fig. 10), a World can be configured with an
+/// alpha/beta model: each message injection additionally costs
+/// `alpha + bytes * beta` seconds, realised by sleeping in the sending thread.
+/// Sleeping threads do not occupy the CPU, so ranks pay the cost concurrently,
+/// exactly like network injection overhead on a real machine.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <thread>
+
+namespace xmpi {
+
+/// @brief Per-message cost model: alpha seconds start-up + beta seconds/byte.
+struct NetworkModel {
+    /// Message start-up latency in seconds (software + injection overhead).
+    double alpha = 0.0;
+    /// Per-byte cost in seconds (inverse bandwidth).
+    double beta = 0.0;
+
+    /// @brief True iff the model induces any delay at all.
+    [[nodiscard]] bool enabled() const {
+        return alpha > 0.0 || beta > 0.0;
+    }
+
+    /// @brief Cost of one message of the given size, in seconds.
+    [[nodiscard]] double message_cost(std::size_t bytes) const {
+        return alpha + static_cast<double>(bytes) * beta;
+    }
+
+    /// @brief Charges the cost of one message to the calling thread.
+    void charge(std::size_t bytes) const {
+        if (!enabled()) {
+            return;
+        }
+        auto const delay = std::chrono::duration<double>(message_cost(bytes));
+        std::this_thread::sleep_for(delay);
+    }
+};
+
+} // namespace xmpi

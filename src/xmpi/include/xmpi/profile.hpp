@@ -1,0 +1,111 @@
+/// @file profile.hpp
+/// @brief PMPI-style call and traffic counters.
+///
+/// Every XMPI entry point increments a per-rank counter, and the transport
+/// layer counts messages and payload bytes. The paper (Section III-H) uses
+/// MPI's profiling interface to assert that the bindings issue *only* the
+/// expected MPI calls when computing default parameters; our tests do the
+/// same through this module. Benchmarks additionally use the message counters
+/// to verify communication-volume claims (e.g. grid all-to-all sends
+/// O(sqrt(p)) messages per rank) independent of timing noise.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace xmpi::profile {
+
+/// @brief Identifiers for the profiled XMPI entry points.
+enum class Call : int {
+    send,
+    ssend,
+    isend,
+    issend,
+    recv,
+    irecv,
+    sendrecv,
+    probe,
+    iprobe,
+    barrier,
+    ibarrier,
+    bcast,
+    ibcast,
+    iallreduce,
+    ialltoallv,
+    gather,
+    gatherv,
+    scatter,
+    scatterv,
+    allgather,
+    allgatherv,
+    alltoall,
+    alltoallv,
+    alltoallw,
+    reduce,
+    allreduce,
+    reduce_scatter_block,
+    scan,
+    exscan,
+    neighbor_alltoall,
+    neighbor_alltoallv,
+    dist_graph_create_adjacent,
+    comm_dup,
+    comm_split,
+    comm_create,
+    comm_shrink,
+    comm_agree,
+    count_ ///< number of entries; keep last
+};
+
+inline constexpr std::size_t num_calls = static_cast<std::size_t>(Call::count_);
+
+/// @brief Counters of one rank. Atomics allow cross-thread snapshots.
+struct RankCounters {
+    std::array<std::atomic<std::uint64_t>, num_calls> calls{};
+    std::atomic<std::uint64_t> messages_sent{0};
+    std::atomic<std::uint64_t> bytes_sent{0};
+
+    void reset() {
+        for (auto& counter: calls) {
+            counter.store(0, std::memory_order_relaxed);
+        }
+        messages_sent.store(0, std::memory_order_relaxed);
+        bytes_sent.store(0, std::memory_order_relaxed);
+    }
+};
+
+/// @brief Plain (non-atomic) snapshot of one rank's counters.
+struct Snapshot {
+    std::array<std::uint64_t, num_calls> calls{};
+    std::uint64_t messages_sent = 0;
+    std::uint64_t bytes_sent = 0;
+
+    [[nodiscard]] std::uint64_t operator[](Call call) const {
+        return calls[static_cast<std::size_t>(call)];
+    }
+    /// @brief Sum over all call counters.
+    [[nodiscard]] std::uint64_t total_calls() const {
+        std::uint64_t sum = 0;
+        for (auto value: calls) {
+            sum += value;
+        }
+        return sum;
+    }
+};
+
+/// @name Current-world convenience accessors (see World for the storage)
+/// @{
+/// @brief Snapshot of the calling rank's counters in the current world.
+Snapshot my_snapshot();
+/// @brief Snapshot of a given world rank's counters in the current world.
+Snapshot snapshot_of(int world_rank);
+/// @brief Resets the calling rank's counters.
+void reset_mine();
+/// @brief Resets all ranks' counters in the current world (not synchronised;
+/// call from one rank while others are quiescent, e.g. around a barrier).
+void reset_all();
+/// @}
+
+} // namespace xmpi::profile

@@ -1,0 +1,139 @@
+/// @file request.hpp
+/// @brief Request objects for non-blocking operations.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+
+#include "xmpi/status.hpp"
+
+namespace xmpi {
+
+class Comm;
+
+namespace detail {
+struct RecvTicket;
+struct SyncHandle;
+class Mailbox;
+} // namespace detail
+
+/// @brief A non-blocking operation handle. Concrete subclasses implement the
+/// completion semantics of the operation kind.
+class Request {
+public:
+    virtual ~Request() = default;
+
+    /// @brief Non-blocking completion check; fills @c status when complete.
+    /// Idempotent once complete.
+    virtual bool test(Status& status) = 0;
+
+    /// @brief Blocks until complete; fills @c status.
+    virtual void wait(Status& status) = 0;
+
+    /// @brief Attempts to cancel the operation. Only pending receives are
+    /// cancellable; returns true iff cancellation succeeded.
+    virtual bool cancel() { return false; }
+
+protected:
+    Request() = default;
+    Request(Request const&) = delete;
+    Request& operator=(Request const&) = delete;
+};
+
+namespace detail {
+
+/// @brief Request for an operation that completed at initiation (eager
+/// buffered sends).
+class CompletedRequest final : public Request {
+public:
+    explicit CompletedRequest(Status status) : status_(status) {}
+    bool test(Status& status) override {
+        status = status_;
+        return true;
+    }
+    void wait(Status& status) override { status = status_; }
+
+private:
+    Status status_;
+};
+
+/// @brief Request completing when a SyncHandle fires (synchronous-mode sends).
+class SyncRequest final : public Request {
+public:
+    SyncRequest(std::shared_ptr<SyncHandle> handle, Comm const* comm)
+        : handle_(std::move(handle)),
+          comm_(comm) {}
+    bool test(Status& status) override;
+    void wait(Status& status) override;
+
+private:
+    std::shared_ptr<SyncHandle> handle_;
+    Comm const* comm_;
+};
+
+/// @brief Request wrapping a posted receive.
+class RecvRequest final : public Request {
+public:
+    RecvRequest(std::shared_ptr<RecvTicket> ticket, Mailbox* mailbox)
+        : ticket_(std::move(ticket)),
+          mailbox_(mailbox) {}
+    bool test(Status& status) override;
+    void wait(Status& status) override;
+    bool cancel() override;
+
+private:
+    /// @brief If the peer failed / comm was revoked, completes the request
+    /// with the corresponding error status. Returns true iff so.
+    bool check_failed(Status& status);
+
+    std::shared_ptr<RecvTicket> ticket_;
+    Mailbox* mailbox_;
+};
+
+/// @brief Request backing a non-blocking collective: the collective
+/// algorithm runs in a helper thread on a dedicated matching channel
+/// (Comm::nbc_context + per-initiation sequence tag). The request must be
+/// completed with wait/test before destruction (as MPI requires); the
+/// destructor joins the helper.
+class ThreadRequest final : public Request {
+public:
+    /// @brief Starts @c body() (returning an XMPI error code) on a helper
+    /// thread.
+    template <typename Body>
+    explicit ThreadRequest(Body&& body) {
+        worker_ = std::thread([this, run = std::forward<Body>(body)]() mutable {
+            error_.store(run(), std::memory_order_relaxed);
+            done_.store(true, std::memory_order_release);
+        });
+    }
+    ~ThreadRequest() override {
+        if (worker_.joinable()) {
+            worker_.join();
+        }
+    }
+
+    bool test(Status& status) override;
+    void wait(Status& status) override;
+
+private:
+    std::thread worker_;
+    std::atomic<bool> done_{false};
+    std::atomic<int> error_{0};
+};
+
+/// @brief Request for a non-blocking barrier round (see Comm::ibarrier).
+class IbarrierRequest final : public Request {
+public:
+    IbarrierRequest(Comm* comm, std::uint64_t round) : comm_(comm), round_(round) {}
+    bool test(Status& status) override;
+    void wait(Status& status) override;
+
+private:
+    Comm* comm_;
+    std::uint64_t round_;
+};
+
+} // namespace detail
+} // namespace xmpi

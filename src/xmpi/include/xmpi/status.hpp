@@ -1,0 +1,42 @@
+/// @file status.hpp
+/// @brief Receive status and the reserved rank/tag constants.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace xmpi {
+
+/// @brief Special buffer address marking an in-place operation (MPI_IN_PLACE).
+inline void* const IN_PLACE = reinterpret_cast<void*>(static_cast<std::intptr_t>(-1));
+
+/// @name Wildcards and reserved ranks (mirroring MPI)
+/// @{
+inline constexpr int ANY_SOURCE = -1;
+inline constexpr int ANY_TAG    = -1;
+inline constexpr int PROC_NULL  = -2;
+inline constexpr int ROOT_NULL  = -3;
+inline constexpr int UNDEFINED  = -32766;
+/// @}
+
+/// @brief Status of a completed receive (or probe). Mirrors MPI_Status.
+struct Status {
+    int source = UNDEFINED;       ///< rank of the sender within the communicator
+    int tag = UNDEFINED;          ///< tag of the matched message
+    int error = 0;                ///< XMPI error code
+    std::size_t bytes = 0;        ///< payload size in (packed) bytes
+
+    /// @brief Number of elements of @c type_size bytes in the payload
+    /// (MPI_Get_count); returns UNDEFINED if not divisible.
+    [[nodiscard]] int count(std::size_t type_size) const {
+        if (type_size == 0) {
+            return 0;
+        }
+        if (bytes % type_size != 0) {
+            return UNDEFINED;
+        }
+        return static_cast<int>(bytes / type_size);
+    }
+};
+
+} // namespace xmpi

@@ -1,0 +1,131 @@
+/// @file world.hpp
+/// @brief The xmpi runtime: a "world" of ranks realised as threads.
+///
+/// A World plays the role of an MPI job: it owns the rank mailboxes, the
+/// world communicator, context-id allocation, the network model, failure
+/// state (for ULFM testing) and the profiling counters. `World::run(p, fn)`
+/// spawns p threads, each of which becomes one rank; a thread-local rank
+/// context makes XMPI_COMM_WORLD and the calling rank resolvable from
+/// anywhere, so application code looks exactly like MPI code.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "xmpi/comm.hpp"
+#include "xmpi/error.hpp"
+#include "xmpi/mailbox.hpp"
+#include "xmpi/netmodel.hpp"
+#include "xmpi/profile.hpp"
+
+namespace xmpi {
+
+class World {
+public:
+    /// @brief Creates a world of @c size ranks. Threads are attached via
+    /// attach_current_thread(); prefer the run() convenience wrapper.
+    explicit World(int size, NetworkModel model = {});
+    ~World();
+
+    World(World const&) = delete;
+    World& operator=(World const&) = delete;
+
+    /// @brief Spawns @c size rank threads, runs @c rank_main on each, joins.
+    /// If a rank throws, the remaining ranks observe it as a process failure
+    /// (preventing deadlock) and the first exception is rethrown after join.
+    static void run(int size, std::function<void()> rank_main, NetworkModel model = {});
+
+    /// @brief As run(), but the main function receives the rank id.
+    static void run_ranked(int size, std::function<void(int)> rank_main, NetworkModel model = {});
+
+    [[nodiscard]] int size() const { return size_; }
+    [[nodiscard]] Comm* world_comm() { return world_comm_; }
+    [[nodiscard]] NetworkModel const& network_model() const { return model_; }
+    void set_network_model(NetworkModel model) { model_ = model; }
+
+    [[nodiscard]] detail::Mailbox& mailbox(int world_rank) { return *mailboxes_[world_rank]; }
+    [[nodiscard]] profile::RankCounters& counters(int world_rank) {
+        return *counters_[world_rank];
+    }
+
+    /// @brief Allocates a fresh context id (unique within this world).
+    int allocate_context() { return next_context_.fetch_add(1, std::memory_order_relaxed); }
+
+    /// @name Failure state (ULFM)
+    /// @{
+    [[nodiscard]] bool is_failed(int world_rank) const {
+        return failed_flags_[static_cast<std::size_t>(world_rank)].load(std::memory_order_acquire);
+    }
+    [[nodiscard]] bool any_failed() const {
+        return num_failed_.load(std::memory_order_acquire) > 0;
+    }
+    /// @brief Marks the calling rank failed, wakes every blocked thread, and
+    /// unwinds the rank's stack via RankKilled.
+    [[noreturn]] void kill_current_rank();
+    /// @brief Marks a rank failed without unwinding (used when a rank thread
+    /// exits via an exception).
+    void mark_failed(int world_rank);
+    /// @brief Wakes all threads blocked in any mailbox or sync structure.
+    void wake_all();
+    /// @}
+
+    /// @name Thread attachment
+    /// @{
+    void attach_current_thread(int world_rank);
+    void detach_current_thread();
+    /// @}
+
+private:
+    int size_;
+    NetworkModel model_;
+    std::vector<std::unique_ptr<detail::Mailbox>> mailboxes_;
+    std::vector<std::unique_ptr<profile::RankCounters>> counters_;
+    std::unique_ptr<std::atomic<bool>[]> failed_flags_;
+    std::atomic<int> num_failed_{0};
+    std::atomic<int> next_context_{0};
+    Comm* world_comm_ = nullptr;
+    std::vector<Comm*> registered_comms_; // for wake_all on ibarrier/ft syncs
+    std::mutex registered_comms_mutex_;
+
+    friend class Comm;
+    void register_comm(Comm* comm);
+    void unregister_comm(Comm* comm);
+};
+
+namespace detail {
+
+/// @brief Thread-local binding of the current thread to (world, rank).
+struct RankContext {
+    World* world = nullptr;
+    int world_rank = UNDEFINED;
+};
+
+/// @brief The calling thread's rank context; world == nullptr outside run().
+RankContext& current_context();
+
+/// @brief The calling thread's world; throws UsageError if not attached.
+World& current_world();
+
+/// @brief The calling thread's world rank; throws UsageError if not attached.
+int current_world_rank();
+
+/// @brief The world communicator handle of the calling thread's world.
+Comm* current_world_comm();
+
+} // namespace detail
+
+/// @brief ULFM test hook: the calling rank fails "hard" — every operation
+/// involving it will report XMPI_ERR_PROC_FAILED from now on.
+[[noreturn]] void inject_failure();
+
+/// @brief Wall-clock seconds from a monotonic clock (XMPI_Wtime).
+double wtime();
+
+} // namespace xmpi
+
+/// @brief The world communicator of the calling rank's world, resolved via
+/// thread-local context so code reads exactly like MPI code.
+#define XMPI_COMM_WORLD (::xmpi::detail::current_world_comm())

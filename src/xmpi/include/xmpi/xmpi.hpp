@@ -1,0 +1,16 @@
+/// @file xmpi.hpp
+/// @brief Umbrella header for the xmpi substrate: a from-scratch, in-process
+/// MPI implementation (ranks are threads) with an alpha/beta network cost
+/// model, ULFM-style fault injection, and PMPI-style profiling.
+#pragma once
+
+#include "xmpi/api.hpp"       // IWYU pragma: export
+#include "xmpi/comm.hpp"      // IWYU pragma: export
+#include "xmpi/datatype.hpp"  // IWYU pragma: export
+#include "xmpi/error.hpp"     // IWYU pragma: export
+#include "xmpi/netmodel.hpp"  // IWYU pragma: export
+#include "xmpi/op.hpp"        // IWYU pragma: export
+#include "xmpi/profile.hpp"   // IWYU pragma: export
+#include "xmpi/request.hpp"   // IWYU pragma: export
+#include "xmpi/status.hpp"    // IWYU pragma: export
+#include "xmpi/world.hpp"     // IWYU pragma: export

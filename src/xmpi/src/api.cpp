@@ -1,0 +1,857 @@
+/// @file api.cpp
+/// @brief The flat XMPI_* entry points: argument validation, profiling
+/// counters, and dispatch into the internal implementation.
+#include "xmpi/api.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "coll.hpp"
+#include "transport.hpp"
+
+namespace {
+
+using xmpi::BuiltinOp;
+using xmpi::BuiltinType;
+
+void count_call(xmpi::profile::Call call) {
+    auto& context = xmpi::detail::current_context();
+    if (context.world != nullptr) {
+        context.world->counters(context.world_rank)
+            .calls[static_cast<std::size_t>(call)]
+            .fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+} // namespace
+
+/// @name Predefined handles
+/// @{
+XMPI_Datatype XMPI_BYTE_() {
+    return xmpi::predefined_type(BuiltinType::byte_);
+}
+XMPI_Datatype XMPI_CHAR_() {
+    return xmpi::predefined_type(BuiltinType::char_);
+}
+XMPI_Datatype XMPI_SIGNED_CHAR_() {
+    return xmpi::predefined_type(BuiltinType::signed_char);
+}
+XMPI_Datatype XMPI_UNSIGNED_CHAR_() {
+    return xmpi::predefined_type(BuiltinType::unsigned_char);
+}
+XMPI_Datatype XMPI_SHORT_() {
+    return xmpi::predefined_type(BuiltinType::short_);
+}
+XMPI_Datatype XMPI_UNSIGNED_SHORT_() {
+    return xmpi::predefined_type(BuiltinType::unsigned_short);
+}
+XMPI_Datatype XMPI_INT_() {
+    return xmpi::predefined_type(BuiltinType::int_);
+}
+XMPI_Datatype XMPI_UNSIGNED_() {
+    return xmpi::predefined_type(BuiltinType::unsigned_int);
+}
+XMPI_Datatype XMPI_LONG_() {
+    return xmpi::predefined_type(BuiltinType::long_);
+}
+XMPI_Datatype XMPI_UNSIGNED_LONG_() {
+    return xmpi::predefined_type(BuiltinType::unsigned_long);
+}
+XMPI_Datatype XMPI_LONG_LONG_() {
+    return xmpi::predefined_type(BuiltinType::long_long);
+}
+XMPI_Datatype XMPI_UNSIGNED_LONG_LONG_() {
+    return xmpi::predefined_type(BuiltinType::unsigned_long_long);
+}
+XMPI_Datatype XMPI_FLOAT_() {
+    return xmpi::predefined_type(BuiltinType::float_);
+}
+XMPI_Datatype XMPI_DOUBLE_() {
+    return xmpi::predefined_type(BuiltinType::double_);
+}
+XMPI_Datatype XMPI_LONG_DOUBLE_() {
+    return xmpi::predefined_type(BuiltinType::long_double);
+}
+XMPI_Datatype XMPI_CXX_BOOL_() {
+    return xmpi::predefined_type(BuiltinType::bool_);
+}
+XMPI_Op XMPI_SUM_() {
+    return xmpi::predefined_op(BuiltinOp::sum);
+}
+XMPI_Op XMPI_PROD_() {
+    return xmpi::predefined_op(BuiltinOp::prod);
+}
+XMPI_Op XMPI_MIN_() {
+    return xmpi::predefined_op(BuiltinOp::min);
+}
+XMPI_Op XMPI_MAX_() {
+    return xmpi::predefined_op(BuiltinOp::max);
+}
+XMPI_Op XMPI_LAND_() {
+    return xmpi::predefined_op(BuiltinOp::land);
+}
+XMPI_Op XMPI_LOR_() {
+    return xmpi::predefined_op(BuiltinOp::lor);
+}
+XMPI_Op XMPI_LXOR_() {
+    return xmpi::predefined_op(BuiltinOp::lxor);
+}
+XMPI_Op XMPI_BAND_() {
+    return xmpi::predefined_op(BuiltinOp::band);
+}
+XMPI_Op XMPI_BOR_() {
+    return xmpi::predefined_op(BuiltinOp::bor);
+}
+XMPI_Op XMPI_BXOR_() {
+    return xmpi::predefined_op(BuiltinOp::bxor);
+}
+/// @}
+
+/// @name Environment
+/// @{
+int XMPI_Comm_size(XMPI_Comm comm, int* size) {
+    *size = comm->size();
+    return XMPI_SUCCESS;
+}
+
+int XMPI_Comm_rank(XMPI_Comm comm, int* rank) {
+    *rank = comm->rank();
+    return XMPI_SUCCESS;
+}
+
+double XMPI_Wtime() {
+    return xmpi::wtime();
+}
+
+int XMPI_Abort(XMPI_Comm, int errorcode) {
+    std::fprintf(stderr, "XMPI_Abort with error code %d\n", errorcode);
+    std::abort();
+}
+
+int XMPI_Error_string(int errorcode, char* string, int* resultlen) {
+    char const* text = xmpi::error_string(errorcode);
+    std::size_t const length = std::strlen(text);
+    std::memcpy(string, text, length + 1);
+    *resultlen = static_cast<int>(length);
+    return XMPI_SUCCESS;
+}
+/// @}
+
+/// @name Point-to-point
+/// @{
+int XMPI_Send(
+    void const* buf, int count, XMPI_Datatype datatype, int dest, int tag, XMPI_Comm comm) {
+    count_call(xmpi::profile::Call::send);
+    return xmpi::detail::transport_send(
+        *comm, dest, tag, comm->pt2pt_context(), buf, static_cast<std::size_t>(count), *datatype);
+}
+
+int XMPI_Ssend(
+    void const* buf, int count, XMPI_Datatype datatype, int dest, int tag, XMPI_Comm comm) {
+    count_call(xmpi::profile::Call::ssend);
+    auto sync = std::make_shared<xmpi::detail::SyncHandle>();
+    if (int const err = xmpi::detail::transport_send(
+            *comm, dest, tag, comm->pt2pt_context(), buf, static_cast<std::size_t>(count),
+            *datatype, sync);
+        err != XMPI_SUCCESS) {
+        return err;
+    }
+    if (dest == XMPI_PROC_NULL) {
+        return XMPI_SUCCESS;
+    }
+    xmpi::detail::SyncRequest request(std::move(sync), comm);
+    xmpi::Status status;
+    request.wait(status);
+    return status.error;
+}
+
+int XMPI_Isend(
+    void const* buf, int count, XMPI_Datatype datatype, int dest, int tag, XMPI_Comm comm,
+    XMPI_Request* request) {
+    count_call(xmpi::profile::Call::isend);
+    int const err = xmpi::detail::transport_send(
+        *comm, dest, tag, comm->pt2pt_context(), buf, static_cast<std::size_t>(count), *datatype);
+    if (err != XMPI_SUCCESS) {
+        return err;
+    }
+    *request = new xmpi::detail::CompletedRequest(
+        xmpi::Status{XMPI_UNDEFINED, XMPI_UNDEFINED, XMPI_SUCCESS, 0});
+    return XMPI_SUCCESS;
+}
+
+int XMPI_Issend(
+    void const* buf, int count, XMPI_Datatype datatype, int dest, int tag, XMPI_Comm comm,
+    XMPI_Request* request) {
+    count_call(xmpi::profile::Call::issend);
+    auto sync = std::make_shared<xmpi::detail::SyncHandle>();
+    int const err = xmpi::detail::transport_send(
+        *comm, dest, tag, comm->pt2pt_context(), buf, static_cast<std::size_t>(count), *datatype,
+        sync);
+    if (err != XMPI_SUCCESS) {
+        return err;
+    }
+    if (dest == XMPI_PROC_NULL) {
+        *request = new xmpi::detail::CompletedRequest(
+            xmpi::Status{XMPI_UNDEFINED, XMPI_UNDEFINED, XMPI_SUCCESS, 0});
+    } else {
+        *request = new xmpi::detail::SyncRequest(std::move(sync), comm);
+    }
+    return XMPI_SUCCESS;
+}
+
+int XMPI_Recv(
+    void* buf, int count, XMPI_Datatype datatype, int source, int tag, XMPI_Comm comm,
+    XMPI_Status* status) {
+    count_call(xmpi::profile::Call::recv);
+    return xmpi::detail::transport_recv(
+        *comm, source, tag, comm->pt2pt_context(), buf, static_cast<std::size_t>(count),
+        *datatype, status);
+}
+
+int XMPI_Irecv(
+    void* buf, int count, XMPI_Datatype datatype, int source, int tag, XMPI_Comm comm,
+    XMPI_Request* request) {
+    count_call(xmpi::profile::Call::irecv);
+    *request = xmpi::detail::transport_irecv(
+        *comm, source, tag, comm->pt2pt_context(), buf, static_cast<std::size_t>(count),
+        *datatype);
+    return XMPI_SUCCESS;
+}
+
+int XMPI_Sendrecv(
+    void const* sendbuf, int sendcount, XMPI_Datatype sendtype, int dest, int sendtag,
+    void* recvbuf, int recvcount, XMPI_Datatype recvtype, int source, int recvtag, XMPI_Comm comm,
+    XMPI_Status* status) {
+    count_call(xmpi::profile::Call::sendrecv);
+    XMPI_Request recv_request = xmpi::detail::transport_irecv(
+        *comm, source, recvtag, comm->pt2pt_context(), recvbuf,
+        static_cast<std::size_t>(recvcount), *recvtype);
+    int const send_err = xmpi::detail::transport_send(
+        *comm, dest, sendtag, comm->pt2pt_context(), sendbuf,
+        static_cast<std::size_t>(sendcount), *sendtype);
+    xmpi::Status recv_status;
+    recv_request->wait(recv_status);
+    delete recv_request;
+    if (status != XMPI_STATUS_IGNORE) {
+        *status = recv_status;
+    }
+    return send_err != XMPI_SUCCESS ? send_err : recv_status.error;
+}
+
+int XMPI_Probe(int source, int tag, XMPI_Comm comm, XMPI_Status* status) {
+    count_call(xmpi::profile::Call::probe);
+    xmpi::detail::Envelope const pattern{comm->pt2pt_context(), source, tag};
+    auto& mailbox = comm->world().mailbox(xmpi::detail::current_world_rank());
+    xmpi::Status probe_status;
+    bool const found = mailbox.probe_blocking(pattern, probe_status, [&] {
+        return xmpi::detail::check_peer(*comm, source) != XMPI_SUCCESS;
+    });
+    if (!found) {
+        return xmpi::detail::check_peer(*comm, source);
+    }
+    if (status != XMPI_STATUS_IGNORE) {
+        *status = probe_status;
+    }
+    return XMPI_SUCCESS;
+}
+
+int XMPI_Iprobe(int source, int tag, XMPI_Comm comm, int* flag, XMPI_Status* status) {
+    count_call(xmpi::profile::Call::iprobe);
+    xmpi::detail::Envelope const pattern{comm->pt2pt_context(), source, tag};
+    auto& mailbox = comm->world().mailbox(xmpi::detail::current_world_rank());
+    xmpi::Status probe_status;
+    *flag = mailbox.probe(pattern, probe_status) ? 1 : 0;
+    if (*flag != 0 && status != XMPI_STATUS_IGNORE) {
+        *status = probe_status;
+    }
+    return XMPI_SUCCESS;
+}
+
+int XMPI_Get_count(XMPI_Status const* status, XMPI_Datatype datatype, int* count) {
+    *count = status->count(datatype->size());
+    return XMPI_SUCCESS;
+}
+/// @}
+
+/// @name Request completion
+/// @{
+int XMPI_Wait(XMPI_Request* request, XMPI_Status* status) {
+    if (*request == XMPI_REQUEST_NULL) {
+        if (status != XMPI_STATUS_IGNORE) {
+            *status = xmpi::Status{XMPI_PROC_NULL, XMPI_ANY_TAG, XMPI_SUCCESS, 0};
+        }
+        return XMPI_SUCCESS;
+    }
+    xmpi::Status wait_status;
+    (*request)->wait(wait_status);
+    delete *request;
+    *request = XMPI_REQUEST_NULL;
+    if (status != XMPI_STATUS_IGNORE) {
+        *status = wait_status;
+    }
+    return wait_status.error;
+}
+
+int XMPI_Test(XMPI_Request* request, int* flag, XMPI_Status* status) {
+    if (*request == XMPI_REQUEST_NULL) {
+        *flag = 1;
+        return XMPI_SUCCESS;
+    }
+    xmpi::Status test_status;
+    if ((*request)->test(test_status)) {
+        *flag = 1;
+        delete *request;
+        *request = XMPI_REQUEST_NULL;
+        if (status != XMPI_STATUS_IGNORE) {
+            *status = test_status;
+        }
+        return test_status.error;
+    }
+    *flag = 0;
+    return XMPI_SUCCESS;
+}
+
+int XMPI_Waitall(int count, XMPI_Request* requests, XMPI_Status* statuses) {
+    int first_error = XMPI_SUCCESS;
+    for (int i = 0; i < count; ++i) {
+        xmpi::Status status;
+        int const err = XMPI_Wait(&requests[i], &status);
+        if (statuses != XMPI_STATUSES_IGNORE) {
+            statuses[i] = status;
+        }
+        if (err != XMPI_SUCCESS && first_error == XMPI_SUCCESS) {
+            first_error = err;
+        }
+    }
+    return first_error;
+}
+
+int XMPI_Testall(int count, XMPI_Request* requests, int* flag, XMPI_Status* statuses) {
+    // First pass: check completion without consuming.
+    for (int i = 0; i < count; ++i) {
+        if (requests[i] == XMPI_REQUEST_NULL) {
+            continue;
+        }
+        xmpi::Status status;
+        if (!requests[i]->test(status)) {
+            *flag = 0;
+            return XMPI_SUCCESS;
+        }
+    }
+    *flag = 1;
+    return XMPI_Waitall(count, requests, statuses);
+}
+
+int XMPI_Waitany(int count, XMPI_Request* requests, int* index, XMPI_Status* status) {
+    bool any_active = false;
+    while (true) {
+        any_active = false;
+        for (int i = 0; i < count; ++i) {
+            if (requests[i] == XMPI_REQUEST_NULL) {
+                continue;
+            }
+            any_active = true;
+            xmpi::Status test_status;
+            if (requests[i]->test(test_status)) {
+                delete requests[i];
+                requests[i] = XMPI_REQUEST_NULL;
+                *index = i;
+                if (status != XMPI_STATUS_IGNORE) {
+                    *status = test_status;
+                }
+                return test_status.error;
+            }
+        }
+        if (!any_active) {
+            *index = XMPI_UNDEFINED;
+            return XMPI_SUCCESS;
+        }
+        std::this_thread::yield();
+    }
+}
+
+int XMPI_Waitsome(
+    int incount, XMPI_Request* requests, int* outcount, int* indices, XMPI_Status* statuses) {
+    *outcount = 0;
+    bool any_active = false;
+    while (true) {
+        any_active = false;
+        for (int i = 0; i < incount; ++i) {
+            if (requests[i] == XMPI_REQUEST_NULL) {
+                continue;
+            }
+            any_active = true;
+            xmpi::Status status;
+            if (requests[i]->test(status)) {
+                delete requests[i];
+                requests[i] = XMPI_REQUEST_NULL;
+                indices[*outcount] = i;
+                if (statuses != XMPI_STATUSES_IGNORE) {
+                    statuses[*outcount] = status;
+                }
+                ++*outcount;
+            }
+        }
+        if (*outcount > 0 || !any_active) {
+            if (!any_active && *outcount == 0) {
+                *outcount = XMPI_UNDEFINED;
+            }
+            return XMPI_SUCCESS;
+        }
+        std::this_thread::yield();
+    }
+}
+
+int XMPI_Cancel(XMPI_Request* request) {
+    if (*request == XMPI_REQUEST_NULL) {
+        return XMPI_ERR_REQUEST;
+    }
+    (*request)->cancel();
+    return XMPI_SUCCESS;
+}
+
+int XMPI_Request_free(XMPI_Request* request) {
+    if (*request == XMPI_REQUEST_NULL) {
+        return XMPI_ERR_REQUEST;
+    }
+    delete *request;
+    *request = XMPI_REQUEST_NULL;
+    return XMPI_SUCCESS;
+}
+/// @}
+
+/// @name Collectives
+/// @{
+int XMPI_Barrier(XMPI_Comm comm) {
+    count_call(xmpi::profile::Call::barrier);
+    return xmpi::detail::coll_barrier(*comm);
+}
+
+int XMPI_Ibarrier(XMPI_Comm comm, XMPI_Request* request) {
+    count_call(xmpi::profile::Call::ibarrier);
+    *request = xmpi::detail::coll_ibarrier(*comm);
+    return XMPI_SUCCESS;
+}
+
+int XMPI_Bcast(void* buffer, int count_, XMPI_Datatype datatype, int root, XMPI_Comm comm) {
+    count_call(xmpi::profile::Call::bcast);
+    return xmpi::detail::coll_bcast(
+        *comm, buffer, static_cast<std::size_t>(count_), *datatype, root);
+}
+
+int XMPI_Gather(
+    void const* sendbuf, int sendcount, XMPI_Datatype sendtype, void* recvbuf, int recvcount,
+    XMPI_Datatype recvtype, int root, XMPI_Comm comm) {
+    count_call(xmpi::profile::Call::gather);
+    return xmpi::detail::coll_gather(
+        *comm, sendbuf, static_cast<std::size_t>(sendcount),
+        sendbuf == XMPI_IN_PLACE ? *recvtype : *sendtype, recvbuf,
+        static_cast<std::size_t>(recvcount), *recvtype, root);
+}
+
+int XMPI_Gatherv(
+    void const* sendbuf, int sendcount, XMPI_Datatype sendtype, void* recvbuf,
+    int const* recvcounts, int const* displs, XMPI_Datatype recvtype, int root, XMPI_Comm comm) {
+    count_call(xmpi::profile::Call::gatherv);
+    return xmpi::detail::coll_gatherv(
+        *comm, sendbuf, static_cast<std::size_t>(sendcount),
+        sendbuf == XMPI_IN_PLACE ? *recvtype : *sendtype, recvbuf, recvcounts, displs, *recvtype,
+        root);
+}
+
+int XMPI_Scatter(
+    void const* sendbuf, int sendcount, XMPI_Datatype sendtype, void* recvbuf, int recvcount,
+    XMPI_Datatype recvtype, int root, XMPI_Comm comm) {
+    count_call(xmpi::profile::Call::scatter);
+    return xmpi::detail::coll_scatter(
+        *comm, sendbuf, static_cast<std::size_t>(sendcount), *sendtype, recvbuf,
+        static_cast<std::size_t>(recvcount), recvbuf == XMPI_IN_PLACE ? *sendtype : *recvtype,
+        root);
+}
+
+int XMPI_Scatterv(
+    void const* sendbuf, int const* sendcounts, int const* displs, XMPI_Datatype sendtype,
+    void* recvbuf, int recvcount, XMPI_Datatype recvtype, int root, XMPI_Comm comm) {
+    count_call(xmpi::profile::Call::scatterv);
+    return xmpi::detail::coll_scatterv(
+        *comm, sendbuf, sendcounts, displs, *sendtype, recvbuf,
+        static_cast<std::size_t>(recvcount), recvbuf == XMPI_IN_PLACE ? *sendtype : *recvtype,
+        root);
+}
+
+int XMPI_Allgather(
+    void const* sendbuf, int sendcount, XMPI_Datatype sendtype, void* recvbuf, int recvcount,
+    XMPI_Datatype recvtype, XMPI_Comm comm) {
+    count_call(xmpi::profile::Call::allgather);
+    return xmpi::detail::coll_allgather(
+        *comm, sendbuf, static_cast<std::size_t>(sendcount),
+        sendbuf == XMPI_IN_PLACE ? *recvtype : *sendtype, recvbuf,
+        static_cast<std::size_t>(recvcount), *recvtype);
+}
+
+int XMPI_Allgatherv(
+    void const* sendbuf, int sendcount, XMPI_Datatype sendtype, void* recvbuf,
+    int const* recvcounts, int const* displs, XMPI_Datatype recvtype, XMPI_Comm comm) {
+    count_call(xmpi::profile::Call::allgatherv);
+    return xmpi::detail::coll_allgatherv(
+        *comm, sendbuf, static_cast<std::size_t>(sendcount),
+        sendbuf == XMPI_IN_PLACE ? *recvtype : *sendtype, recvbuf, recvcounts, displs, *recvtype);
+}
+
+int XMPI_Alltoall(
+    void const* sendbuf, int sendcount, XMPI_Datatype sendtype, void* recvbuf, int recvcount,
+    XMPI_Datatype recvtype, XMPI_Comm comm) {
+    count_call(xmpi::profile::Call::alltoall);
+    return xmpi::detail::coll_alltoall(
+        *comm, sendbuf, static_cast<std::size_t>(sendcount),
+        sendbuf == XMPI_IN_PLACE ? *recvtype : *sendtype, recvbuf,
+        static_cast<std::size_t>(recvcount), *recvtype);
+}
+
+int XMPI_Alltoallv(
+    void const* sendbuf, int const* sendcounts, int const* sdispls, XMPI_Datatype sendtype,
+    void* recvbuf, int const* recvcounts, int const* rdispls, XMPI_Datatype recvtype,
+    XMPI_Comm comm) {
+    count_call(xmpi::profile::Call::alltoallv);
+    return xmpi::detail::coll_alltoallv(
+        *comm, sendbuf, sendcounts, sdispls, sendbuf == XMPI_IN_PLACE ? *recvtype : *sendtype,
+        recvbuf, recvcounts, rdispls, *recvtype);
+}
+
+int XMPI_Alltoallw(
+    void const* sendbuf, int const* sendcounts, int const* sdispls,
+    XMPI_Datatype const* sendtypes, void* recvbuf, int const* recvcounts, int const* rdispls,
+    XMPI_Datatype const* recvtypes, XMPI_Comm comm) {
+    count_call(xmpi::profile::Call::alltoallw);
+    return xmpi::detail::coll_alltoallw(
+        *comm, sendbuf, sendcounts, sdispls,
+        reinterpret_cast<xmpi::Datatype const* const*>(sendtypes), recvbuf, recvcounts, rdispls,
+        reinterpret_cast<xmpi::Datatype const* const*>(recvtypes));
+}
+
+int XMPI_Ibcast(
+    void* buffer, int count_, XMPI_Datatype datatype, int root, XMPI_Comm comm,
+    XMPI_Request* request) {
+    count_call(xmpi::profile::Call::ibcast);
+    xmpi::detail::CollChannel const channel{comm->nbc_context(), comm->next_nbc_sequence()};
+    // The helper thread acts on behalf of the initiating rank: it inherits
+    // the rank context so matching and profiling attribute correctly.
+    auto const context = xmpi::detail::current_context();
+    *request = new xmpi::detail::ThreadRequest([=] {
+        xmpi::detail::current_context() = context;
+        int const err = xmpi::detail::coll_bcast_on(
+            *comm, channel, buffer, static_cast<std::size_t>(count_), *datatype, root);
+        xmpi::detail::current_context() = {};
+        return err;
+    });
+    return XMPI_SUCCESS;
+}
+
+int XMPI_Iallreduce(
+    void const* sendbuf, void* recvbuf, int count_, XMPI_Datatype datatype, XMPI_Op op,
+    XMPI_Comm comm, XMPI_Request* request) {
+    count_call(xmpi::profile::Call::iallreduce);
+    xmpi::detail::CollChannel const channel{comm->nbc_context(), comm->next_nbc_sequence()};
+    auto const context = xmpi::detail::current_context();
+    *request = new xmpi::detail::ThreadRequest([=] {
+        xmpi::detail::current_context() = context;
+        int const err = xmpi::detail::coll_allreduce_on(
+            *comm, channel, sendbuf, recvbuf, static_cast<std::size_t>(count_), *datatype, *op);
+        xmpi::detail::current_context() = {};
+        return err;
+    });
+    return XMPI_SUCCESS;
+}
+
+int XMPI_Ialltoallv(
+    void const* sendbuf, int const* sendcounts, int const* sdispls, XMPI_Datatype sendtype,
+    void* recvbuf, int const* recvcounts, int const* rdispls, XMPI_Datatype recvtype,
+    XMPI_Comm comm, XMPI_Request* request) {
+    count_call(xmpi::profile::Call::ialltoallv);
+    xmpi::detail::CollChannel const channel{comm->nbc_context(), comm->next_nbc_sequence()};
+    auto const context = xmpi::detail::current_context();
+    *request = new xmpi::detail::ThreadRequest([=] {
+        xmpi::detail::current_context() = context;
+        int const err = xmpi::detail::coll_alltoallv_on(
+            *comm, channel, sendbuf, sendcounts, sdispls, *sendtype, recvbuf, recvcounts,
+            rdispls, *recvtype);
+        xmpi::detail::current_context() = {};
+        return err;
+    });
+    return XMPI_SUCCESS;
+}
+
+int XMPI_Reduce(
+    void const* sendbuf, void* recvbuf, int count_, XMPI_Datatype datatype, XMPI_Op op, int root,
+    XMPI_Comm comm) {
+    count_call(xmpi::profile::Call::reduce);
+    return xmpi::detail::coll_reduce(
+        *comm, sendbuf, recvbuf, static_cast<std::size_t>(count_), *datatype, *op, root);
+}
+
+int XMPI_Allreduce(
+    void const* sendbuf, void* recvbuf, int count_, XMPI_Datatype datatype, XMPI_Op op,
+    XMPI_Comm comm) {
+    count_call(xmpi::profile::Call::allreduce);
+    return xmpi::detail::coll_allreduce(
+        *comm, sendbuf, recvbuf, static_cast<std::size_t>(count_), *datatype, *op);
+}
+
+int XMPI_Reduce_scatter_block(
+    void const* sendbuf, void* recvbuf, int recvcount, XMPI_Datatype datatype, XMPI_Op op,
+    XMPI_Comm comm) {
+    count_call(xmpi::profile::Call::reduce_scatter_block);
+    return xmpi::detail::coll_reduce_scatter_block(
+        *comm, sendbuf, recvbuf, static_cast<std::size_t>(recvcount), *datatype, *op);
+}
+
+int XMPI_Scan(
+    void const* sendbuf, void* recvbuf, int count_, XMPI_Datatype datatype, XMPI_Op op,
+    XMPI_Comm comm) {
+    count_call(xmpi::profile::Call::scan);
+    return xmpi::detail::coll_scan(
+        *comm, sendbuf, recvbuf, static_cast<std::size_t>(count_), *datatype, *op, false);
+}
+
+int XMPI_Exscan(
+    void const* sendbuf, void* recvbuf, int count_, XMPI_Datatype datatype, XMPI_Op op,
+    XMPI_Comm comm) {
+    count_call(xmpi::profile::Call::exscan);
+    return xmpi::detail::coll_scan(
+        *comm, sendbuf, recvbuf, static_cast<std::size_t>(count_), *datatype, *op, true);
+}
+/// @}
+
+/// @name Datatypes
+/// @{
+int XMPI_Type_contiguous(int count_, XMPI_Datatype oldtype, XMPI_Datatype* newtype) {
+    *newtype = xmpi::Datatype::contiguous(count_, *oldtype);
+    return XMPI_SUCCESS;
+}
+
+int XMPI_Type_vector(
+    int count_, int blocklength, int stride, XMPI_Datatype oldtype, XMPI_Datatype* newtype) {
+    *newtype = xmpi::Datatype::vector(count_, blocklength, stride, *oldtype);
+    return XMPI_SUCCESS;
+}
+
+int XMPI_Type_indexed(
+    int count_, int const* blocklengths, int const* displacements, XMPI_Datatype oldtype,
+    XMPI_Datatype* newtype) {
+    *newtype = xmpi::Datatype::indexed(count_, blocklengths, displacements, *oldtype);
+    return XMPI_SUCCESS;
+}
+
+int XMPI_Type_create_struct(
+    int count_, int const* blocklengths, XMPI_Aint const* displacements,
+    XMPI_Datatype const* types, XMPI_Datatype* newtype) {
+    *newtype = xmpi::Datatype::create_struct(
+        count_, blocklengths, displacements, const_cast<xmpi::Datatype* const*>(types));
+    return XMPI_SUCCESS;
+}
+
+int XMPI_Type_create_resized(
+    XMPI_Datatype oldtype, XMPI_Aint lb, XMPI_Aint extent, XMPI_Datatype* newtype) {
+    *newtype = xmpi::Datatype::create_resized(*oldtype, lb, extent);
+    return XMPI_SUCCESS;
+}
+
+int XMPI_Type_commit(XMPI_Datatype* datatype) {
+    (*datatype)->commit();
+    return XMPI_SUCCESS;
+}
+
+int XMPI_Type_free(XMPI_Datatype* datatype) {
+    (*datatype)->release();
+    *datatype = XMPI_DATATYPE_NULL;
+    return XMPI_SUCCESS;
+}
+
+int XMPI_Type_size(XMPI_Datatype datatype, int* size) {
+    *size = static_cast<int>(datatype->size());
+    return XMPI_SUCCESS;
+}
+
+int XMPI_Type_get_extent(XMPI_Datatype datatype, XMPI_Aint* lb, XMPI_Aint* extent) {
+    *lb = datatype->lower_bound();
+    *extent = datatype->extent();
+    return XMPI_SUCCESS;
+}
+/// @}
+
+/// @name Ops
+/// @{
+int XMPI_Op_create(xmpi::UserFunction function, int commute, XMPI_Op* op) {
+    *op = new xmpi::Op(function, commute != 0);
+    return XMPI_SUCCESS;
+}
+
+int XMPI_Op_free(XMPI_Op* op) {
+    if ((*op)->is_builtin()) {
+        return XMPI_ERR_OP;
+    }
+    delete *op;
+    *op = XMPI_OP_NULL;
+    return XMPI_SUCCESS;
+}
+/// @}
+
+/// @name Groups and communicators
+/// @{
+int XMPI_Comm_group(XMPI_Comm comm, XMPI_Group* group) {
+    *group = new xmpi::Group(comm->members());
+    return XMPI_SUCCESS;
+}
+
+int XMPI_Group_size(XMPI_Group group, int* size) {
+    *size = group->size();
+    return XMPI_SUCCESS;
+}
+
+int XMPI_Group_rank(XMPI_Group group, int* rank) {
+    *rank = group->rank_of(xmpi::detail::current_world_rank());
+    return XMPI_SUCCESS;
+}
+
+int XMPI_Group_incl(XMPI_Group group, int n, int const* ranks, XMPI_Group* newgroup) {
+    *newgroup = group->incl(std::vector<int>(ranks, ranks + n));
+    return XMPI_SUCCESS;
+}
+
+int XMPI_Group_excl(XMPI_Group group, int n, int const* ranks, XMPI_Group* newgroup) {
+    *newgroup = group->excl(std::vector<int>(ranks, ranks + n));
+    return XMPI_SUCCESS;
+}
+
+int XMPI_Group_union(XMPI_Group group1, XMPI_Group group2, XMPI_Group* newgroup) {
+    *newgroup = group1->union_with(*group2);
+    return XMPI_SUCCESS;
+}
+
+int XMPI_Group_intersection(XMPI_Group group1, XMPI_Group group2, XMPI_Group* newgroup) {
+    *newgroup = group1->intersection_with(*group2);
+    return XMPI_SUCCESS;
+}
+
+int XMPI_Group_difference(XMPI_Group group1, XMPI_Group group2, XMPI_Group* newgroup) {
+    *newgroup = group1->difference_with(*group2);
+    return XMPI_SUCCESS;
+}
+
+int XMPI_Group_translate_ranks(
+    XMPI_Group group1, int n, int const* ranks1, XMPI_Group group2, int* ranks2) {
+    for (int i = 0; i < n; ++i) {
+        ranks2[i] = group2->rank_of(group1->world_ranks()[static_cast<std::size_t>(ranks1[i])]);
+    }
+    return XMPI_SUCCESS;
+}
+
+int XMPI_Group_free(XMPI_Group* group) {
+    (*group)->release();
+    *group = XMPI_GROUP_NULL;
+    return XMPI_SUCCESS;
+}
+
+int XMPI_Comm_dup(XMPI_Comm comm, XMPI_Comm* newcomm) {
+    count_call(xmpi::profile::Call::comm_dup);
+    return xmpi::detail::comm_dup(*comm, newcomm);
+}
+
+int XMPI_Comm_split(XMPI_Comm comm, int color, int key, XMPI_Comm* newcomm) {
+    count_call(xmpi::profile::Call::comm_split);
+    return xmpi::detail::comm_split(*comm, color, key, newcomm);
+}
+
+int XMPI_Comm_create(XMPI_Comm comm, XMPI_Group group, XMPI_Comm* newcomm) {
+    count_call(xmpi::profile::Call::comm_create);
+    return xmpi::detail::comm_create(*comm, *group, newcomm);
+}
+
+int XMPI_Comm_free(XMPI_Comm* comm) {
+    if (*comm == XMPI_COMM_NULL || *comm == (*comm)->world().world_comm()) {
+        return XMPI_ERR_COMM;
+    }
+    (*comm)->release();
+    *comm = XMPI_COMM_NULL;
+    return XMPI_SUCCESS;
+}
+/// @}
+
+/// @name Topologies
+/// @{
+int XMPI_Dist_graph_create_adjacent(
+    XMPI_Comm comm_old, int indegree, int const* sources, int const* /*sourceweights*/,
+    int outdegree, int const* destinations, int const* /*destweights*/, int /*reorder*/,
+    XMPI_Comm* comm_dist_graph) {
+    count_call(xmpi::profile::Call::dist_graph_create_adjacent);
+    return xmpi::detail::dist_graph_create_adjacent(
+        *comm_old, indegree, sources, outdegree, destinations, comm_dist_graph);
+}
+
+int XMPI_Dist_graph_neighbors_count(XMPI_Comm comm, int* indegree, int* outdegree, int* weighted) {
+    if (!comm->has_topology()) {
+        return XMPI_ERR_TOPOLOGY;
+    }
+    *indegree = static_cast<int>(comm->topology().sources.size());
+    *outdegree = static_cast<int>(comm->topology().destinations.size());
+    *weighted = 0;
+    return XMPI_SUCCESS;
+}
+
+int XMPI_Neighbor_alltoall(
+    void const* sendbuf, int sendcount, XMPI_Datatype sendtype, void* recvbuf, int recvcount,
+    XMPI_Datatype recvtype, XMPI_Comm comm) {
+    count_call(xmpi::profile::Call::neighbor_alltoall);
+    if (!comm->has_topology()) {
+        return XMPI_ERR_TOPOLOGY;
+    }
+    auto const& topology = comm->topology();
+    std::vector<int> sendcounts(topology.destinations.size(), sendcount);
+    std::vector<int> recvcounts(topology.sources.size(), recvcount);
+    std::vector<int> sdispls(topology.destinations.size());
+    std::vector<int> rdispls(topology.sources.size());
+    for (std::size_t i = 0; i < sdispls.size(); ++i) {
+        sdispls[i] = static_cast<int>(i) * sendcount;
+    }
+    for (std::size_t i = 0; i < rdispls.size(); ++i) {
+        rdispls[i] = static_cast<int>(i) * recvcount;
+    }
+    return xmpi::detail::coll_neighbor_alltoallv(
+        *comm, sendbuf, sendcounts.data(), sdispls.data(), *sendtype, recvbuf, recvcounts.data(),
+        rdispls.data(), *recvtype);
+}
+
+int XMPI_Neighbor_alltoallv(
+    void const* sendbuf, int const* sendcounts, int const* sdispls, XMPI_Datatype sendtype,
+    void* recvbuf, int const* recvcounts, int const* rdispls, XMPI_Datatype recvtype,
+    XMPI_Comm comm) {
+    count_call(xmpi::profile::Call::neighbor_alltoallv);
+    return xmpi::detail::coll_neighbor_alltoallv(
+        *comm, sendbuf, sendcounts, sdispls, *sendtype, recvbuf, recvcounts, rdispls, *recvtype);
+}
+/// @}
+
+/// @name ULFM
+/// @{
+int XMPI_Comm_revoke(XMPI_Comm comm) {
+    return xmpi::detail::ulfm_revoke(*comm);
+}
+
+int XMPI_Comm_is_revoked(XMPI_Comm comm, int* flag) {
+    *flag = comm->revoked() ? 1 : 0;
+    return XMPI_SUCCESS;
+}
+
+int XMPI_Comm_shrink(XMPI_Comm comm, XMPI_Comm* newcomm) {
+    count_call(xmpi::profile::Call::comm_shrink);
+    return xmpi::detail::ulfm_shrink(*comm, newcomm);
+}
+
+int XMPI_Comm_agree(XMPI_Comm comm, int* flag) {
+    count_call(xmpi::profile::Call::comm_agree);
+    return xmpi::detail::ulfm_agree(*comm, flag);
+}
+/// @}

@@ -1,0 +1,125 @@
+/// @file coll.hpp
+/// @brief Internal declarations of the collective algorithm implementations.
+///
+/// All collectives are implemented on top of the internal point-to-point
+/// transport (collective context) with the textbook algorithms also used by
+/// production MPI implementations, so the alpha/beta network model induces a
+/// realistic cost structure (e.g. binomial bcast costs ~log2(p) * alpha).
+#pragma once
+
+#include <cstddef>
+
+#include "xmpi/comm.hpp"
+#include "xmpi/datatype.hpp"
+#include "xmpi/op.hpp"
+#include "xmpi/request.hpp"
+
+namespace xmpi::detail {
+
+/// @brief Internal tag space for collective-context messages; one tag per
+/// collective kind keeps back-to-back different collectives unambiguous
+/// (same-kind back-to-back is safe by the non-overtaking guarantee).
+namespace coll_tag {
+inline constexpr int barrier          = 1;
+inline constexpr int bcast            = 2;
+inline constexpr int gather           = 3;
+inline constexpr int scatter          = 4;
+inline constexpr int allgather        = 5;
+inline constexpr int alltoall         = 6;
+inline constexpr int reduce           = 7;
+inline constexpr int scan             = 8;
+inline constexpr int neighbor         = 9;
+inline constexpr int topo_create      = 10;
+inline constexpr int comm_create      = 11;
+inline constexpr int reduce_scatter   = 12;
+} // namespace coll_tag
+
+/// @brief Matching channel of one collective instance: blocking
+/// collectives use (collective context, per-kind tag); non-blocking ones
+/// (nbc context, per-initiation sequence tag) so several can be in flight.
+struct CollChannel {
+    int context;
+    int tag;
+};
+
+int coll_barrier(Comm& comm);
+Request* coll_ibarrier(Comm& comm);
+int coll_bcast(Comm& comm, void* buffer, std::size_t count, Datatype const& type, int root);
+int coll_bcast_on(
+    Comm& comm, CollChannel channel, void* buffer, std::size_t count, Datatype const& type,
+    int root);
+int coll_reduce_on(
+    Comm& comm, CollChannel channel, void const* sendbuf, void* recvbuf, std::size_t count,
+    Datatype const& type, Op const& op, int root);
+int coll_allreduce_on(
+    Comm& comm, CollChannel channel, void const* sendbuf, void* recvbuf, std::size_t count,
+    Datatype const& type, Op const& op);
+int coll_alltoallv_on(
+    Comm& comm, CollChannel channel, void const* sendbuf, int const* sendcounts,
+    int const* sdispls, Datatype const& sendtype, void* recvbuf, int const* recvcounts,
+    int const* rdispls, Datatype const& recvtype);
+int coll_gather(
+    Comm& comm, void const* sendbuf, std::size_t sendcount, Datatype const& sendtype,
+    void* recvbuf, std::size_t recvcount, Datatype const& recvtype, int root);
+int coll_gatherv(
+    Comm& comm, void const* sendbuf, std::size_t sendcount, Datatype const& sendtype,
+    void* recvbuf, int const* recvcounts, int const* displs, Datatype const& recvtype, int root);
+int coll_scatter(
+    Comm& comm, void const* sendbuf, std::size_t sendcount, Datatype const& sendtype,
+    void* recvbuf, std::size_t recvcount, Datatype const& recvtype, int root);
+int coll_scatterv(
+    Comm& comm, void const* sendbuf, int const* sendcounts, int const* displs,
+    Datatype const& sendtype, void* recvbuf, std::size_t recvcount, Datatype const& recvtype,
+    int root);
+int coll_allgather(
+    Comm& comm, void const* sendbuf, std::size_t sendcount, Datatype const& sendtype,
+    void* recvbuf, std::size_t recvcount, Datatype const& recvtype);
+int coll_allgatherv(
+    Comm& comm, void const* sendbuf, std::size_t sendcount, Datatype const& sendtype,
+    void* recvbuf, int const* recvcounts, int const* displs, Datatype const& recvtype);
+int coll_alltoall(
+    Comm& comm, void const* sendbuf, std::size_t sendcount, Datatype const& sendtype,
+    void* recvbuf, std::size_t recvcount, Datatype const& recvtype);
+int coll_alltoallv(
+    Comm& comm, void const* sendbuf, int const* sendcounts, int const* sdispls,
+    Datatype const& sendtype, void* recvbuf, int const* recvcounts, int const* rdispls,
+    Datatype const& recvtype);
+int coll_alltoallw(
+    Comm& comm, void const* sendbuf, int const* sendcounts, int const* sdispls,
+    Datatype const* const* sendtypes, void* recvbuf, int const* recvcounts, int const* rdispls,
+    Datatype const* const* recvtypes);
+int coll_reduce(
+    Comm& comm, void const* sendbuf, void* recvbuf, std::size_t count, Datatype const& type,
+    Op const& op, int root);
+int coll_allreduce(
+    Comm& comm, void const* sendbuf, void* recvbuf, std::size_t count, Datatype const& type,
+    Op const& op);
+int coll_reduce_scatter_block(
+    Comm& comm, void const* sendbuf, void* recvbuf, std::size_t recvcount, Datatype const& type,
+    Op const& op);
+int coll_scan(
+    Comm& comm, void const* sendbuf, void* recvbuf, std::size_t count, Datatype const& type,
+    Op const& op, bool exclusive);
+int coll_neighbor_alltoallv(
+    Comm& comm, void const* sendbuf, int const* sendcounts, int const* sdispls,
+    Datatype const& sendtype, void* recvbuf, int const* recvcounts, int const* rdispls,
+    Datatype const& recvtype);
+
+/// @name Communicator management (collective over the parent communicator)
+/// @{
+int comm_dup(Comm& comm, Comm** newcomm);
+int comm_split(Comm& comm, int color, int key, Comm** newcomm);
+int comm_create(Comm& comm, Group const& group, Comm** newcomm);
+int dist_graph_create_adjacent(
+    Comm& comm, int indegree, int const* sources, int outdegree, int const* destinations,
+    Comm** newcomm);
+/// @}
+
+/// @name ULFM
+/// @{
+int ulfm_revoke(Comm& comm);
+int ulfm_shrink(Comm& comm, Comm** newcomm);
+int ulfm_agree(Comm& comm, int* flag);
+/// @}
+
+} // namespace xmpi::detail

@@ -1,0 +1,219 @@
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "coll.hpp"
+#include "transport.hpp"
+
+namespace xmpi::detail {
+namespace {
+
+std::byte* displaced(void* base, std::ptrdiff_t elements, Datatype const& type) {
+    return static_cast<std::byte*>(base) + elements * type.extent();
+}
+
+std::byte const* displaced(void const* base, std::ptrdiff_t elements, Datatype const& type) {
+    return static_cast<std::byte const*>(base) + elements * type.extent();
+}
+
+void local_copy(
+    void const* src, std::size_t scount, Datatype const& stype, void* dst, std::size_t rcount,
+    Datatype const& rtype) {
+    std::vector<std::byte> packed(stype.packed_size(scount));
+    stype.pack(src, scount, packed.data());
+    std::size_t const elements =
+        rtype.size() == 0 ? 0 : std::min(packed.size(), rtype.packed_size(rcount)) / rtype.size();
+    rtype.unpack(packed.data(), elements, dst);
+}
+
+} // namespace
+
+int coll_alltoall(
+    Comm& comm, void const* sendbuf, std::size_t sendcount, Datatype const& sendtype,
+    void* recvbuf, std::size_t recvcount, Datatype const& recvtype) {
+    if (int const err = check_collective(comm); err != XMPI_SUCCESS) {
+        return err;
+    }
+    int const p = comm.size();
+    int const r = comm.rank();
+
+    // In-place: stage the current receive buffer as send data.
+    std::vector<std::byte> staged;
+    void const* effective_sendbuf = sendbuf;
+    Datatype const* effective_sendtype = &sendtype;
+    std::size_t effective_sendcount = sendcount;
+    if (sendbuf == IN_PLACE) {
+        staged.resize(static_cast<std::size_t>(p) * recvcount * static_cast<std::size_t>(recvtype.extent()));
+        std::memcpy(staged.data(), recvbuf, staged.size());
+        effective_sendbuf = staged.data();
+        effective_sendtype = &recvtype;
+        effective_sendcount = recvcount;
+    }
+
+    local_copy(
+        displaced(effective_sendbuf, r * static_cast<std::ptrdiff_t>(effective_sendcount), *effective_sendtype),
+        effective_sendcount, *effective_sendtype,
+        displaced(recvbuf, r * static_cast<std::ptrdiff_t>(recvcount), recvtype), recvcount,
+        recvtype);
+
+    // Pairwise exchange: p-1 rounds, round i pairs rank r with r+i / r-i.
+    for (int i = 1; i < p; ++i) {
+        int const to = (r + i) % p;
+        int const from = (r - i + p) % p;
+        if (int const err = coll_sendrecv(
+                comm, to, coll_tag::alltoall,
+                displaced(effective_sendbuf, to * static_cast<std::ptrdiff_t>(effective_sendcount), *effective_sendtype),
+                effective_sendcount, *effective_sendtype, from, coll_tag::alltoall,
+                displaced(recvbuf, from * static_cast<std::ptrdiff_t>(recvcount), recvtype),
+                recvcount, recvtype);
+            err != XMPI_SUCCESS) {
+            return err;
+        }
+    }
+    return XMPI_SUCCESS;
+}
+
+int coll_alltoallv_on(
+    Comm& comm, CollChannel channel, void const* sendbuf, int const* sendcounts,
+    int const* sdispls, Datatype const& sendtype, void* recvbuf, int const* recvcounts,
+    int const* rdispls, Datatype const& recvtype) {
+    if (int const err = check_collective(comm); err != XMPI_SUCCESS) {
+        return err;
+    }
+    int const p = comm.size();
+    int const r = comm.rank();
+
+    std::vector<std::byte> staged;
+    void const* effective_sendbuf = sendbuf;
+    Datatype const* effective_sendtype = &sendtype;
+    int const* effective_sendcounts = sendcounts;
+    int const* effective_sdispls = sdispls;
+    if (sendbuf == IN_PLACE) {
+        // MPI: send counts/displacements/type are taken from the receive side.
+        std::ptrdiff_t max_end = 0;
+        for (int i = 0; i < p; ++i) {
+            max_end = std::max(
+                max_end, static_cast<std::ptrdiff_t>(rdispls[i]) + recvcounts[i]);
+        }
+        staged.resize(static_cast<std::size_t>(max_end) * static_cast<std::size_t>(recvtype.extent()));
+        std::memcpy(staged.data(), recvbuf, staged.size());
+        effective_sendbuf = staged.data();
+        effective_sendtype = &recvtype;
+        effective_sendcounts = recvcounts;
+        effective_sdispls = rdispls;
+    }
+
+    local_copy(
+        displaced(effective_sendbuf, effective_sdispls[r], *effective_sendtype),
+        static_cast<std::size_t>(effective_sendcounts[r]), *effective_sendtype,
+        displaced(recvbuf, rdispls[r], recvtype), static_cast<std::size_t>(recvcounts[r]),
+        recvtype);
+
+    for (int i = 1; i < p; ++i) {
+        int const to = (r + i) % p;
+        int const from = (r - i + p) % p;
+        if (int const err = transport_send(
+                comm, to, channel.tag, channel.context,
+                displaced(effective_sendbuf, effective_sdispls[to], *effective_sendtype),
+                static_cast<std::size_t>(effective_sendcounts[to]), *effective_sendtype);
+            err != XMPI_SUCCESS) {
+            return err;
+        }
+        if (int const err = transport_recv(
+                comm, from, channel.tag, channel.context,
+                displaced(recvbuf, rdispls[from], recvtype),
+                static_cast<std::size_t>(recvcounts[from]), recvtype, nullptr);
+            err != XMPI_SUCCESS) {
+            return err;
+        }
+    }
+    return XMPI_SUCCESS;
+}
+
+int coll_alltoallv(
+    Comm& comm, void const* sendbuf, int const* sendcounts, int const* sdispls,
+    Datatype const& sendtype, void* recvbuf, int const* recvcounts, int const* rdispls,
+    Datatype const& recvtype) {
+    return coll_alltoallv_on(
+        comm, CollChannel{comm.collective_context(), coll_tag::alltoall}, sendbuf, sendcounts,
+        sdispls, sendtype, recvbuf, recvcounts, rdispls, recvtype);
+}
+
+int coll_alltoallw(
+    Comm& comm, void const* sendbuf, int const* sendcounts, int const* sdispls,
+    Datatype const* const* sendtypes, void* recvbuf, int const* recvcounts, int const* rdispls,
+    Datatype const* const* recvtypes) {
+    if (int const err = check_collective(comm); err != XMPI_SUCCESS) {
+        return err;
+    }
+    int const p = comm.size();
+    int const r = comm.rank();
+
+    // Alltoallw displacements are in *bytes* (MPI semantics).
+    auto const send_slice = [&](int i) {
+        return static_cast<std::byte const*>(sendbuf) + sdispls[i];
+    };
+    auto const recv_slice = [&](int i) { return static_cast<std::byte*>(recvbuf) + rdispls[i]; };
+
+    local_copy(
+        send_slice(r), static_cast<std::size_t>(sendcounts[r]), *sendtypes[r], recv_slice(r),
+        static_cast<std::size_t>(recvcounts[r]), *recvtypes[r]);
+
+    for (int i = 1; i < p; ++i) {
+        int const to = (r + i) % p;
+        int const from = (r - i + p) % p;
+        if (int const err = coll_sendrecv(
+                comm, to, coll_tag::alltoall, send_slice(to),
+                static_cast<std::size_t>(sendcounts[to]), *sendtypes[to], from, coll_tag::alltoall,
+                recv_slice(from), static_cast<std::size_t>(recvcounts[from]), *recvtypes[from]);
+            err != XMPI_SUCCESS) {
+            return err;
+        }
+    }
+    return XMPI_SUCCESS;
+}
+
+int coll_neighbor_alltoallv(
+    Comm& comm, void const* sendbuf, int const* sendcounts, int const* sdispls,
+    Datatype const& sendtype, void* recvbuf, int const* recvcounts, int const* rdispls,
+    Datatype const& recvtype) {
+    if (int const err = check_collective(comm); err != XMPI_SUCCESS) {
+        return err;
+    }
+    if (!comm.has_topology()) {
+        return XMPI_ERR_TOPOLOGY;
+    }
+    auto const& topology = comm.topology();
+
+    // Post all receives first, then inject the sends (eager, complete
+    // locally), then wait. Cost: outdegree messages per rank.
+    std::vector<Request*> requests;
+    requests.reserve(topology.sources.size());
+    for (std::size_t j = 0; j < topology.sources.size(); ++j) {
+        requests.push_back(transport_irecv(
+            comm, topology.sources[j], coll_tag::neighbor, comm.collective_context(),
+            static_cast<std::byte*>(recvbuf) + rdispls[j] * recvtype.extent(),
+            static_cast<std::size_t>(recvcounts[j]), recvtype));
+    }
+    int first_error = XMPI_SUCCESS;
+    for (std::size_t j = 0; j < topology.destinations.size(); ++j) {
+        int const err = coll_send(
+            comm, topology.destinations[j], coll_tag::neighbor,
+            static_cast<std::byte const*>(sendbuf) + sdispls[j] * sendtype.extent(),
+            static_cast<std::size_t>(sendcounts[j]), sendtype);
+        if (err != XMPI_SUCCESS && first_error == XMPI_SUCCESS) {
+            first_error = err;
+        }
+    }
+    for (auto* request: requests) {
+        Status status;
+        request->wait(status);
+        if (status.error != XMPI_SUCCESS && first_error == XMPI_SUCCESS) {
+            first_error = status.error;
+        }
+        delete request;
+    }
+    return first_error;
+}
+
+} // namespace xmpi::detail

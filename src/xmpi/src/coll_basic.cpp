@@ -1,0 +1,109 @@
+#include <cstring>
+#include <vector>
+
+#include "coll.hpp"
+#include "transport.hpp"
+
+namespace xmpi::detail {
+
+int coll_barrier(Comm& comm) {
+    if (int const err = check_collective(comm); err != XMPI_SUCCESS) {
+        return err;
+    }
+    int const p = comm.size();
+    int const r = comm.rank();
+    // Dissemination barrier: ceil(log2 p) rounds.
+    for (int k = 1; k < p; k <<= 1) {
+        int const to = (r + k) % p;
+        int const from = (r - k + p) % p;
+        if (int const err = coll_send(comm, to, coll_tag::barrier, nullptr, 0, *predefined_type(BuiltinType::byte_));
+            err != XMPI_SUCCESS) {
+            return err;
+        }
+        if (int const err =
+                coll_recv(comm, from, coll_tag::barrier, nullptr, 0, *predefined_type(BuiltinType::byte_));
+            err != XMPI_SUCCESS) {
+            return err;
+        }
+    }
+    return XMPI_SUCCESS;
+}
+
+Request* coll_ibarrier(Comm& comm) {
+    auto& sync = comm.ibarrier_sync();
+    int const me = comm.rank();
+    std::uint64_t my_round;
+    {
+        std::lock_guard lock(sync.mutex);
+        my_round = sync.next_round_of_rank[static_cast<std::size_t>(me)]++;
+        int& arrived = sync.arrivals[my_round];
+        ++arrived;
+        if (arrived == comm.size()) {
+            sync.arrivals.erase(my_round);
+            sync.completed_rounds = my_round + 1;
+            sync.cv.notify_all();
+        }
+    }
+    // Model the latency of a dissemination barrier: the shared-counter
+    // implementation is otherwise free, which would make NBX look too good.
+    auto const& model = comm.world().network_model();
+    if (model.enabled()) {
+        int rounds = 0;
+        for (int k = 1; k < comm.size(); k <<= 1) {
+            ++rounds;
+        }
+        for (int i = 0; i < rounds; ++i) {
+            comm.world().network_model().charge(0);
+        }
+    }
+    return new IbarrierRequest(&comm, my_round);
+}
+
+int coll_bcast_on(
+    Comm& comm, CollChannel channel, void* buffer, std::size_t count, Datatype const& type,
+    int root) {
+    if (int const err = check_collective(comm); err != XMPI_SUCCESS) {
+        return err;
+    }
+    int const p = comm.size();
+    int const r = comm.rank();
+    auto const vrank = (r - root + p) % p;
+    auto const real = [&](int vr) { return (vr + root) % p; };
+
+    // Binomial tree: receive from parent, then forward to children.
+    int mask = 1;
+    while (mask < p) {
+        if (vrank & mask) {
+            int const parent = vrank - mask;
+            if (int const err = transport_recv(
+                    comm, real(parent), channel.tag, channel.context, buffer, count, type,
+                    nullptr);
+                err != XMPI_SUCCESS) {
+                return err;
+            }
+            break;
+        }
+        mask <<= 1;
+    }
+    mask >>= 1;
+    while (mask > 0) {
+        if (vrank + mask < p) {
+            int const child = vrank + mask;
+            if (int const err = transport_send(
+                    comm, real(child), channel.tag, channel.context, buffer, count, type);
+                err != XMPI_SUCCESS) {
+                return err;
+            }
+        }
+        mask >>= 1;
+    }
+    return XMPI_SUCCESS;
+}
+
+int coll_bcast(Comm& comm, void* buffer, std::size_t count, Datatype const& type, int root) {
+    return coll_bcast_on(
+        comm, CollChannel{comm.collective_context(), coll_tag::bcast}, buffer, count, type,
+        root);
+}
+
+} // namespace xmpi::detail

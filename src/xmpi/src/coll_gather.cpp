@@ -1,0 +1,223 @@
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "coll.hpp"
+#include "transport.hpp"
+
+namespace xmpi::detail {
+namespace {
+
+/// @brief Local datatype conversion: packs (src, scount, stype) and unpacks
+/// into (dst, up to rcount elements of rtype). Used for the self-copy of
+/// rooted collectives.
+void local_copy(
+    void const* src, std::size_t scount, Datatype const& stype, void* dst, std::size_t rcount,
+    Datatype const& rtype) {
+    std::vector<std::byte> packed(stype.packed_size(scount));
+    stype.pack(src, scount, packed.data());
+    std::size_t const elements =
+        rtype.size() == 0 ? 0 : std::min(packed.size(), rtype.packed_size(rcount)) / rtype.size();
+    rtype.unpack(packed.data(), elements, dst);
+}
+
+std::byte* displaced(void* base, std::ptrdiff_t elements, Datatype const& type) {
+    return static_cast<std::byte*>(base) + elements * type.extent();
+}
+
+std::byte const* displaced(void const* base, std::ptrdiff_t elements, Datatype const& type) {
+    return static_cast<std::byte const*>(base) + elements * type.extent();
+}
+
+} // namespace
+
+int coll_gather(
+    Comm& comm, void const* sendbuf, std::size_t sendcount, Datatype const& sendtype,
+    void* recvbuf, std::size_t recvcount, Datatype const& recvtype, int root) {
+    if (int const err = check_collective(comm); err != XMPI_SUCCESS) {
+        return err;
+    }
+    int const p = comm.size();
+    int const r = comm.rank();
+    if (r != root) {
+        return coll_send(comm, root, coll_tag::gather, sendbuf, sendcount, sendtype);
+    }
+    if (sendbuf != IN_PLACE) {
+        local_copy(
+            sendbuf, sendcount, sendtype, displaced(recvbuf, r * static_cast<std::ptrdiff_t>(recvcount), recvtype),
+            recvcount, recvtype);
+    }
+    for (int i = 0; i < p; ++i) {
+        if (i == root) {
+            continue;
+        }
+        if (int const err = coll_recv(
+                comm, i, coll_tag::gather,
+                displaced(recvbuf, i * static_cast<std::ptrdiff_t>(recvcount), recvtype),
+                recvcount, recvtype);
+            err != XMPI_SUCCESS) {
+            return err;
+        }
+    }
+    return XMPI_SUCCESS;
+}
+
+int coll_gatherv(
+    Comm& comm, void const* sendbuf, std::size_t sendcount, Datatype const& sendtype,
+    void* recvbuf, int const* recvcounts, int const* displs, Datatype const& recvtype, int root) {
+    if (int const err = check_collective(comm); err != XMPI_SUCCESS) {
+        return err;
+    }
+    int const p = comm.size();
+    int const r = comm.rank();
+    if (r != root) {
+        return coll_send(comm, root, coll_tag::gather, sendbuf, sendcount, sendtype);
+    }
+    if (sendbuf != IN_PLACE) {
+        local_copy(
+            sendbuf, sendcount, sendtype, displaced(recvbuf, displs[r], recvtype),
+            static_cast<std::size_t>(recvcounts[r]), recvtype);
+    }
+    for (int i = 0; i < p; ++i) {
+        if (i == root) {
+            continue;
+        }
+        if (int const err = coll_recv(
+                comm, i, coll_tag::gather, displaced(recvbuf, displs[i], recvtype),
+                static_cast<std::size_t>(recvcounts[i]), recvtype);
+            err != XMPI_SUCCESS) {
+            return err;
+        }
+    }
+    return XMPI_SUCCESS;
+}
+
+int coll_scatter(
+    Comm& comm, void const* sendbuf, std::size_t sendcount, Datatype const& sendtype,
+    void* recvbuf, std::size_t recvcount, Datatype const& recvtype, int root) {
+    if (int const err = check_collective(comm); err != XMPI_SUCCESS) {
+        return err;
+    }
+    int const p = comm.size();
+    int const r = comm.rank();
+    if (r != root) {
+        return coll_recv(comm, root, coll_tag::scatter, recvbuf, recvcount, recvtype);
+    }
+    for (int i = 0; i < p; ++i) {
+        if (i == root) {
+            continue;
+        }
+        if (int const err = coll_send(
+                comm, i, coll_tag::scatter,
+                displaced(sendbuf, i * static_cast<std::ptrdiff_t>(sendcount), sendtype),
+                sendcount, sendtype);
+            err != XMPI_SUCCESS) {
+            return err;
+        }
+    }
+    if (recvbuf != IN_PLACE) {
+        local_copy(
+            displaced(sendbuf, r * static_cast<std::ptrdiff_t>(sendcount), sendtype), sendcount,
+            sendtype, recvbuf, recvcount, recvtype);
+    }
+    return XMPI_SUCCESS;
+}
+
+int coll_scatterv(
+    Comm& comm, void const* sendbuf, int const* sendcounts, int const* displs,
+    Datatype const& sendtype, void* recvbuf, std::size_t recvcount, Datatype const& recvtype,
+    int root) {
+    if (int const err = check_collective(comm); err != XMPI_SUCCESS) {
+        return err;
+    }
+    int const p = comm.size();
+    int const r = comm.rank();
+    if (r != root) {
+        return coll_recv(comm, root, coll_tag::scatter, recvbuf, recvcount, recvtype);
+    }
+    for (int i = 0; i < p; ++i) {
+        if (i == root) {
+            continue;
+        }
+        if (int const err = coll_send(
+                comm, i, coll_tag::scatter, displaced(sendbuf, displs[i], sendtype),
+                static_cast<std::size_t>(sendcounts[i]), sendtype);
+            err != XMPI_SUCCESS) {
+            return err;
+        }
+    }
+    if (recvbuf != IN_PLACE) {
+        local_copy(
+            displaced(sendbuf, displs[r], sendtype), static_cast<std::size_t>(sendcounts[r]),
+            sendtype, recvbuf, recvcount, recvtype);
+    }
+    return XMPI_SUCCESS;
+}
+
+int coll_allgather(
+    Comm& comm, void const* sendbuf, std::size_t sendcount, Datatype const& sendtype,
+    void* recvbuf, std::size_t recvcount, Datatype const& recvtype) {
+    if (int const err = check_collective(comm); err != XMPI_SUCCESS) {
+        return err;
+    }
+    int const p = comm.size();
+    int const r = comm.rank();
+    if (sendbuf != IN_PLACE) {
+        local_copy(
+            sendbuf, sendcount, sendtype,
+            displaced(recvbuf, r * static_cast<std::ptrdiff_t>(recvcount), recvtype), recvcount,
+            recvtype);
+    }
+    // Ring allgather: p-1 rounds, each rank forwards the block it received in
+    // the previous round. (Production MPIs switch to recursive doubling for
+    // small messages; the ring keeps the algorithm uniform and its cost is
+    // the classic (p-1)(alpha + n*beta).)
+    int const next = (r + 1) % p;
+    int const prev = (r - 1 + p) % p;
+    for (int s = 0; s < p - 1; ++s) {
+        int const send_block = (r - s + p) % p;
+        int const recv_block = (r - s - 1 + p) % p;
+        if (int const err = coll_sendrecv(
+                comm, next, coll_tag::allgather,
+                displaced(recvbuf, send_block * static_cast<std::ptrdiff_t>(recvcount), recvtype),
+                recvcount, recvtype, prev, coll_tag::allgather,
+                displaced(recvbuf, recv_block * static_cast<std::ptrdiff_t>(recvcount), recvtype),
+                recvcount, recvtype);
+            err != XMPI_SUCCESS) {
+            return err;
+        }
+    }
+    return XMPI_SUCCESS;
+}
+
+int coll_allgatherv(
+    Comm& comm, void const* sendbuf, std::size_t sendcount, Datatype const& sendtype,
+    void* recvbuf, int const* recvcounts, int const* displs, Datatype const& recvtype) {
+    if (int const err = check_collective(comm); err != XMPI_SUCCESS) {
+        return err;
+    }
+    int const p = comm.size();
+    int const r = comm.rank();
+    if (sendbuf != IN_PLACE) {
+        local_copy(
+            sendbuf, sendcount, sendtype, displaced(recvbuf, displs[r], recvtype),
+            static_cast<std::size_t>(recvcounts[r]), recvtype);
+    }
+    int const next = (r + 1) % p;
+    int const prev = (r - 1 + p) % p;
+    for (int s = 0; s < p - 1; ++s) {
+        int const send_block = (r - s + p) % p;
+        int const recv_block = (r - s - 1 + p) % p;
+        if (int const err = coll_sendrecv(
+                comm, next, coll_tag::allgather, displaced(recvbuf, displs[send_block], recvtype),
+                static_cast<std::size_t>(recvcounts[send_block]), recvtype, prev,
+                coll_tag::allgather, displaced(recvbuf, displs[recv_block], recvtype),
+                static_cast<std::size_t>(recvcounts[recv_block]), recvtype);
+            err != XMPI_SUCCESS) {
+            return err;
+        }
+    }
+    return XMPI_SUCCESS;
+}
+
+} // namespace xmpi::detail

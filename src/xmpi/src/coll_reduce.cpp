@@ -1,0 +1,224 @@
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "coll.hpp"
+#include "transport.hpp"
+
+namespace xmpi::detail {
+namespace {
+
+/// @brief Scratch buffer holding `count` elements in user layout (extent-
+/// strided), so reduction operations can be applied directly.
+struct ElementBuffer {
+    ElementBuffer(std::size_t count, Datatype const& type)
+        : storage(count * static_cast<std::size_t>(type.extent())) {}
+
+    [[nodiscard]] void* data() { return storage.data(); }
+    [[nodiscard]] void const* data() const { return storage.data(); }
+
+    std::vector<std::byte> storage;
+};
+
+/// @brief Linear (rank-ordered) reduce used for non-commutative operations:
+/// the root folds contributions strictly in rank order.
+int reduce_linear(
+    Comm& comm, CollChannel channel, void const* contribution, void* recvbuf, std::size_t count,
+    Datatype const& type, Op const& op, int root) {
+    int const p = comm.size();
+    int const r = comm.rank();
+    if (r != root) {
+        return transport_send(
+            comm, root, channel.tag, channel.context, contribution, count, type);
+    }
+    ElementBuffer accumulator(count, type);
+    ElementBuffer incoming(count, type);
+    // acc = buf_0; then acc = acc (op) buf_i for i = 1..p-1. Op::apply
+    // computes inout = in (op) inout, so fold with in = acc into incoming and
+    // swap.
+    auto const load = [&](int source, void* dst) -> int {
+        if (source == root) {
+            std::memcpy(dst, contribution, count * static_cast<std::size_t>(type.extent()));
+            return XMPI_SUCCESS;
+        }
+        return transport_recv(comm, source, channel.tag, channel.context, dst, count, type, nullptr);
+    };
+    if (int const err = load(0, accumulator.data()); err != XMPI_SUCCESS) {
+        return err;
+    }
+    for (int i = 1; i < p; ++i) {
+        if (int const err = load(i, incoming.data()); err != XMPI_SUCCESS) {
+            return err;
+        }
+        op.apply(accumulator.data(), incoming.data(), count, type);
+        std::swap(accumulator.storage, incoming.storage);
+    }
+    std::memcpy(recvbuf, accumulator.data(), count * static_cast<std::size_t>(type.extent()));
+    return XMPI_SUCCESS;
+}
+
+/// @brief Binomial-tree reduce for commutative operations.
+int reduce_binomial(
+    Comm& comm, CollChannel channel, void const* contribution, void* recvbuf, std::size_t count,
+    Datatype const& type, Op const& op, int root) {
+    int const p = comm.size();
+    int const r = comm.rank();
+    int const vrank = (r - root + p) % p;
+    auto const real = [&](int vr) { return (vr + root) % p; };
+
+    ElementBuffer accumulator(count, type);
+    ElementBuffer incoming(count, type);
+    std::memcpy(
+        accumulator.data(), contribution, count * static_cast<std::size_t>(type.extent()));
+
+    int mask = 1;
+    while (mask < p) {
+        if (vrank & mask) {
+            int const parent = vrank - mask;
+            if (int const err = transport_send(
+                    comm, real(parent), channel.tag, channel.context, accumulator.data(), count,
+                    type);
+                err != XMPI_SUCCESS) {
+                return err;
+            }
+            return XMPI_SUCCESS; // inner nodes are done after sending up
+        }
+        int const child = vrank + mask;
+        if (child < p) {
+            if (int const err = transport_recv(
+                    comm, real(child), channel.tag, channel.context, incoming.data(), count,
+                    type, nullptr);
+                err != XMPI_SUCCESS) {
+                return err;
+            }
+            // accumulator covers ranks [vrank, vrank+mask), the child covers
+            // [child, child+mask): fold acc (op) child into `incoming`, swap.
+            op.apply(accumulator.data(), incoming.data(), count, type);
+            std::swap(accumulator.storage, incoming.storage);
+        }
+        mask <<= 1;
+    }
+    std::memcpy(recvbuf, accumulator.data(), count * static_cast<std::size_t>(type.extent()));
+    return XMPI_SUCCESS;
+}
+
+} // namespace
+
+int coll_reduce_on(
+    Comm& comm, CollChannel channel, void const* sendbuf, void* recvbuf, std::size_t count,
+    Datatype const& type, Op const& op, int root) {
+    if (int const err = check_collective(comm); err != XMPI_SUCCESS) {
+        return err;
+    }
+    void const* contribution = sendbuf == IN_PLACE ? recvbuf : sendbuf;
+    if (op.commutative()) {
+        return reduce_binomial(comm, channel, contribution, recvbuf, count, type, op, root);
+    }
+    return reduce_linear(comm, channel, contribution, recvbuf, count, type, op, root);
+}
+
+int coll_reduce(
+    Comm& comm, void const* sendbuf, void* recvbuf, std::size_t count, Datatype const& type,
+    Op const& op, int root) {
+    return coll_reduce_on(
+        comm, CollChannel{comm.collective_context(), coll_tag::reduce}, sendbuf, recvbuf, count,
+        type, op, root);
+}
+
+int coll_allreduce_on(
+    Comm& comm, CollChannel channel, void const* sendbuf, void* recvbuf, std::size_t count,
+    Datatype const& type, Op const& op) {
+    // Reduce to rank 0, then broadcast: guarantees every rank observes the
+    // bit-identical result (required e.g. for floating-point termination
+    // checks used in the applications).
+    if (int const err = coll_reduce_on(comm, channel, sendbuf, recvbuf, count, type, op, 0);
+        err != XMPI_SUCCESS) {
+        return err;
+    }
+    return coll_bcast_on(comm, channel, recvbuf, count, type, 0);
+}
+
+int coll_allreduce(
+    Comm& comm, void const* sendbuf, void* recvbuf, std::size_t count, Datatype const& type,
+    Op const& op) {
+    return coll_allreduce_on(
+        comm, CollChannel{comm.collective_context(), coll_tag::reduce}, sendbuf, recvbuf, count,
+        type, op);
+}
+
+int coll_reduce_scatter_block(
+    Comm& comm, void const* sendbuf, void* recvbuf, std::size_t recvcount, Datatype const& type,
+    Op const& op) {
+    if (int const err = check_collective(comm); err != XMPI_SUCCESS) {
+        return err;
+    }
+    int const p = comm.size();
+    int const r = comm.rank();
+    std::size_t const total = recvcount * static_cast<std::size_t>(p);
+    // Reduce the full vector to rank 0, then scatter blocks.
+    ElementBuffer reduced(r == 0 ? total : 0, type);
+    if (int const err = coll_reduce(
+            comm, sendbuf, r == 0 ? reduced.data() : nullptr, total, type, op, 0);
+        err != XMPI_SUCCESS) {
+        return err;
+    }
+    return coll_scatter(comm, reduced.data(), recvcount, type, recvbuf, recvcount, type, 0);
+}
+
+int coll_scan(
+    Comm& comm, void const* sendbuf, void* recvbuf, std::size_t count, Datatype const& type,
+    Op const& op, bool exclusive) {
+    if (int const err = check_collective(comm); err != XMPI_SUCCESS) {
+        return err;
+    }
+    int const p = comm.size();
+    int const r = comm.rank();
+    void const* contribution = sendbuf == IN_PLACE ? recvbuf : sendbuf;
+    std::size_t const bytes = count * static_cast<std::size_t>(type.extent());
+
+    // Recursive doubling (Hillis–Steele), ceil(log2 p) rounds. After round
+    // k, `inclusive` covers ranks [max(0, r - 2^(k+1) + 1), r] and
+    // `exclusive_prefix` the same range without r itself. Receiving the
+    // partner's inclusive value prepends an earlier range, so the fold order
+    // is rank order — correct for non-commutative operations too.
+    ElementBuffer inclusive(count, type);
+    ElementBuffer exclusive_prefix(count, type);
+    ElementBuffer incoming(count, type);
+    std::memcpy(inclusive.data(), contribution, bytes);
+    bool have_prefix = false;
+    for (int k = 1; k < p; k <<= 1) {
+        if (r + k < p) {
+            if (int const err =
+                    coll_send(comm, r + k, coll_tag::scan, inclusive.data(), count, type);
+                err != XMPI_SUCCESS) {
+                return err;
+            }
+        }
+        if (r - k >= 0) {
+            if (int const err =
+                    coll_recv(comm, r - k, coll_tag::scan, incoming.data(), count, type);
+                err != XMPI_SUCCESS) {
+                return err;
+            }
+            // inclusive = incoming (op) inclusive; same for the prefix.
+            op.apply(incoming.data(), inclusive.data(), count, type);
+            if (have_prefix) {
+                op.apply(incoming.data(), exclusive_prefix.data(), count, type);
+            } else {
+                std::memcpy(exclusive_prefix.data(), incoming.data(), bytes);
+                have_prefix = true;
+            }
+        }
+    }
+    if (exclusive) {
+        // Exscan: rank 0's recvbuf is undefined (left untouched).
+        if (have_prefix) {
+            std::memcpy(recvbuf, exclusive_prefix.data(), bytes);
+        }
+    } else {
+        std::memcpy(recvbuf, inclusive.data(), bytes);
+    }
+    return XMPI_SUCCESS;
+}
+
+} // namespace xmpi::detail

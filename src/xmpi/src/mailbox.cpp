@@ -1,0 +1,92 @@
+#include "xmpi/mailbox.hpp"
+
+#include "xmpi/datatype.hpp"
+#include "xmpi/error.hpp"
+
+namespace xmpi::detail {
+
+void Mailbox::complete_ticket_locked(RecvTicket& ticket, Message&& message) {
+    ticket.status.source = message.env.source;
+    ticket.status.tag = message.env.tag;
+    ticket.status.bytes = message.payload.size();
+    ticket.status.error = XMPI_SUCCESS;
+
+    std::size_t const capacity_bytes = ticket.type->packed_size(ticket.count);
+    if (message.payload.size() > capacity_bytes) {
+        ticket.status.error = XMPI_ERR_TRUNCATE;
+        // Deliver the truncated prefix, like common MPI implementations do.
+        std::size_t const whole_elements = capacity_bytes / ticket.type->size();
+        ticket.type->unpack(message.payload.data(), whole_elements, ticket.buffer);
+    } else {
+        std::size_t const elements =
+            ticket.type->size() == 0 ? 0 : message.payload.size() / ticket.type->size();
+        ticket.type->unpack(message.payload.data(), elements, ticket.buffer);
+    }
+    if (message.sync) {
+        message.sync->signal();
+    }
+    ticket.complete = true;
+}
+
+void Mailbox::deliver(Message message) {
+    {
+        std::lock_guard lock(mutex_);
+        for (auto it = posted_.begin(); it != posted_.end(); ++it) {
+            if ((*it)->pattern.matches(message.env)) {
+                complete_ticket_locked(**it, std::move(message));
+                posted_.erase(it);
+                cv_.notify_all();
+                return;
+            }
+        }
+        unexpected_.push_back(std::move(message));
+    }
+    cv_.notify_all();
+}
+
+bool Mailbox::post_or_match(std::shared_ptr<RecvTicket> const& ticket) {
+    std::lock_guard lock(mutex_);
+    for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
+        if (ticket->pattern.matches(it->env)) {
+            complete_ticket_locked(*ticket, std::move(*it));
+            unexpected_.erase(it);
+            return true;
+        }
+    }
+    posted_.push_back(ticket);
+    return false;
+}
+
+bool Mailbox::is_complete(std::shared_ptr<RecvTicket> const& ticket) {
+    std::lock_guard lock(mutex_);
+    return ticket->complete;
+}
+
+bool Mailbox::cancel(std::shared_ptr<RecvTicket> const& ticket) {
+    std::lock_guard lock(mutex_);
+    if (ticket->complete) {
+        return false;
+    }
+    auto const erased = std::erase(posted_, ticket);
+    return erased > 0;
+}
+
+bool Mailbox::find_unexpected_locked(Envelope const& pattern, Status& status) {
+    for (auto const& message: unexpected_) {
+        if (pattern.matches(message.env)) {
+            status.source = message.env.source;
+            status.tag = message.env.tag;
+            status.bytes = message.payload.size();
+            status.error = XMPI_SUCCESS;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool Mailbox::probe(Envelope const& pattern, Status& status) {
+    std::lock_guard lock(mutex_);
+    return find_unexpected_locked(pattern, status);
+}
+
+} // namespace xmpi::detail

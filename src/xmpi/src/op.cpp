@@ -1,0 +1,178 @@
+#include "xmpi/op.hpp"
+
+#include <cstring>
+
+#include "kassert/kassert.hpp"
+#include "xmpi/datatype.hpp"
+
+namespace xmpi {
+namespace {
+
+template <typename T>
+void combine_typed(BuiltinOp op, T const* in, T* inout, std::size_t n) {
+    switch (op) {
+        case BuiltinOp::sum:
+            for (std::size_t i = 0; i < n; ++i) {
+                inout[i] = static_cast<T>(in[i] + inout[i]);
+            }
+            break;
+        case BuiltinOp::prod:
+            for (std::size_t i = 0; i < n; ++i) {
+                inout[i] = static_cast<T>(in[i] * inout[i]);
+            }
+            break;
+        case BuiltinOp::min:
+            for (std::size_t i = 0; i < n; ++i) {
+                inout[i] = in[i] < inout[i] ? in[i] : inout[i];
+            }
+            break;
+        case BuiltinOp::max:
+            for (std::size_t i = 0; i < n; ++i) {
+                inout[i] = in[i] > inout[i] ? in[i] : inout[i];
+            }
+            break;
+        case BuiltinOp::land:
+            for (std::size_t i = 0; i < n; ++i) {
+                inout[i] = static_cast<T>(in[i] && inout[i]);
+            }
+            break;
+        case BuiltinOp::lor:
+            for (std::size_t i = 0; i < n; ++i) {
+                inout[i] = static_cast<T>(in[i] || inout[i]);
+            }
+            break;
+        case BuiltinOp::lxor:
+            for (std::size_t i = 0; i < n; ++i) {
+                inout[i] = static_cast<T>(!in[i] != !inout[i]);
+            }
+            break;
+        default:
+            KASSERT(false, "bitwise op dispatched to non-integral combine");
+    }
+}
+
+template <typename T>
+void combine_bitwise(BuiltinOp op, T const* in, T* inout, std::size_t n) {
+    switch (op) {
+        case BuiltinOp::band:
+            for (std::size_t i = 0; i < n; ++i) {
+                inout[i] = static_cast<T>(in[i] & inout[i]);
+            }
+            break;
+        case BuiltinOp::bor:
+            for (std::size_t i = 0; i < n; ++i) {
+                inout[i] = static_cast<T>(in[i] | inout[i]);
+            }
+            break;
+        case BuiltinOp::bxor:
+            for (std::size_t i = 0; i < n; ++i) {
+                inout[i] = static_cast<T>(in[i] ^ inout[i]);
+            }
+            break;
+        default:
+            combine_typed(op, in, inout, n);
+    }
+}
+
+/// @brief Applies a builtin op to one run of @c n elements of kind @c elem.
+void combine_run(BuiltinOp op, BuiltinType elem, void const* in, void* inout, std::size_t n) {
+    switch (elem) {
+        case BuiltinType::byte_:
+        case BuiltinType::char_:
+            combine_bitwise(op, static_cast<char const*>(in), static_cast<char*>(inout), n);
+            break;
+        case BuiltinType::signed_char:
+            combine_bitwise(
+                op, static_cast<signed char const*>(in), static_cast<signed char*>(inout), n);
+            break;
+        case BuiltinType::unsigned_char:
+            combine_bitwise(
+                op, static_cast<unsigned char const*>(in), static_cast<unsigned char*>(inout), n);
+            break;
+        case BuiltinType::short_:
+            combine_bitwise(op, static_cast<short const*>(in), static_cast<short*>(inout), n);
+            break;
+        case BuiltinType::unsigned_short:
+            combine_bitwise(
+                op, static_cast<unsigned short const*>(in), static_cast<unsigned short*>(inout),
+                n);
+            break;
+        case BuiltinType::int_:
+            combine_bitwise(op, static_cast<int const*>(in), static_cast<int*>(inout), n);
+            break;
+        case BuiltinType::unsigned_int:
+            combine_bitwise(
+                op, static_cast<unsigned const*>(in), static_cast<unsigned*>(inout), n);
+            break;
+        case BuiltinType::long_:
+            combine_bitwise(op, static_cast<long const*>(in), static_cast<long*>(inout), n);
+            break;
+        case BuiltinType::unsigned_long:
+            combine_bitwise(
+                op, static_cast<unsigned long const*>(in), static_cast<unsigned long*>(inout), n);
+            break;
+        case BuiltinType::long_long:
+            combine_bitwise(
+                op, static_cast<long long const*>(in), static_cast<long long*>(inout), n);
+            break;
+        case BuiltinType::unsigned_long_long:
+            combine_bitwise(
+                op, static_cast<unsigned long long const*>(in),
+                static_cast<unsigned long long*>(inout), n);
+            break;
+        case BuiltinType::float_:
+            combine_typed(op, static_cast<float const*>(in), static_cast<float*>(inout), n);
+            break;
+        case BuiltinType::double_:
+            combine_typed(op, static_cast<double const*>(in), static_cast<double*>(inout), n);
+            break;
+        case BuiltinType::long_double:
+            combine_typed(
+                op, static_cast<long double const*>(in), static_cast<long double*>(inout), n);
+            break;
+        case BuiltinType::bool_:
+            combine_typed(op, static_cast<bool const*>(in), static_cast<bool*>(inout), n);
+            break;
+    }
+}
+
+} // namespace
+
+void Op::apply(void const* in, void* inout, std::size_t count, Datatype const& datatype) const {
+    if (!is_builtin()) {
+        int len = static_cast<int>(count);
+        Datatype* type_handle = const_cast<Datatype*>(&datatype);
+        function_(const_cast<void*>(in), inout, &len, &type_handle);
+        return;
+    }
+    auto const* in_element = static_cast<std::byte const*>(in);
+    auto* inout_element = static_cast<std::byte*>(inout);
+    for (std::size_t i = 0; i < count; ++i) {
+        for (auto const& block: datatype.typemap()) {
+            combine_run(
+                builtin_, block.elem, in_element + block.offset, inout_element + block.offset,
+                block.count);
+        }
+        in_element += datatype.extent();
+        inout_element += datatype.extent();
+    }
+}
+
+Op const* predefined_op(BuiltinOp op) {
+    static Op const* const ops[] = {
+        nullptr,
+        new Op(BuiltinOp::sum),
+        new Op(BuiltinOp::prod),
+        new Op(BuiltinOp::min),
+        new Op(BuiltinOp::max),
+        new Op(BuiltinOp::land),
+        new Op(BuiltinOp::lor),
+        new Op(BuiltinOp::lxor),
+        new Op(BuiltinOp::band),
+        new Op(BuiltinOp::bor),
+        new Op(BuiltinOp::bxor),
+    };
+    return ops[static_cast<std::size_t>(op)];
+}
+
+} // namespace xmpi

@@ -1,0 +1,42 @@
+#include "xmpi/profile.hpp"
+
+#include "xmpi/world.hpp"
+
+namespace xmpi::profile {
+namespace {
+
+Snapshot snapshot_counters(RankCounters const& counters) {
+    Snapshot snapshot;
+    for (std::size_t i = 0; i < num_calls; ++i) {
+        snapshot.calls[i] = counters.calls[i].load(std::memory_order_relaxed);
+    }
+    snapshot.messages_sent = counters.messages_sent.load(std::memory_order_relaxed);
+    snapshot.bytes_sent = counters.bytes_sent.load(std::memory_order_relaxed);
+    return snapshot;
+}
+
+} // namespace
+
+Snapshot my_snapshot() {
+    auto& world = detail::current_world();
+    return snapshot_counters(world.counters(detail::current_world_rank()));
+}
+
+Snapshot snapshot_of(int world_rank) {
+    auto& world = detail::current_world();
+    return snapshot_counters(world.counters(world_rank));
+}
+
+void reset_mine() {
+    auto& world = detail::current_world();
+    world.counters(detail::current_world_rank()).reset();
+}
+
+void reset_all() {
+    auto& world = detail::current_world();
+    for (int rank = 0; rank < world.size(); ++rank) {
+        world.counters(rank).reset();
+    }
+}
+
+} // namespace xmpi::profile

@@ -1,0 +1,146 @@
+#include "xmpi/request.hpp"
+
+#include <chrono>
+
+#include "xmpi/comm.hpp"
+#include "xmpi/error.hpp"
+#include "xmpi/mailbox.hpp"
+#include "xmpi/world.hpp"
+
+namespace xmpi::detail {
+
+bool SyncRequest::test(Status& status) {
+    std::lock_guard lock(handle_->mutex);
+    if (handle_->matched) {
+        status = Status{UNDEFINED, UNDEFINED, XMPI_SUCCESS, 0};
+        return true;
+    }
+    if (comm_ != nullptr && (comm_->revoked() || comm_->any_member_failed())) {
+        status = Status{
+            UNDEFINED, UNDEFINED, comm_->revoked() ? XMPI_ERR_REVOKED : XMPI_ERR_PROC_FAILED, 0};
+        return true;
+    }
+    return false;
+}
+
+void SyncRequest::wait(Status& status) {
+    std::unique_lock lock(handle_->mutex);
+    // Poll with a short timeout: failure/revocation wake-ups are broadcast to
+    // mailboxes and comm sync structures but not to individual send handles.
+    while (!(handle_->matched
+             || (comm_ != nullptr && (comm_->revoked() || comm_->any_member_failed())))) {
+        handle_->cv.wait_for(lock, std::chrono::milliseconds(1));
+    }
+    if (handle_->matched) {
+        status = Status{UNDEFINED, UNDEFINED, XMPI_SUCCESS, 0};
+    } else {
+        status = Status{
+            UNDEFINED, UNDEFINED, comm_->revoked() ? XMPI_ERR_REVOKED : XMPI_ERR_PROC_FAILED, 0};
+    }
+}
+
+bool RecvRequest::test(Status& status) {
+    if (mailbox_->is_complete(ticket_)) {
+        status = ticket_->status;
+        return true;
+    }
+    if (check_failed(status)) {
+        return true;
+    }
+    return false;
+}
+
+bool RecvRequest::check_failed(Status& status) {
+    Comm const& comm = *ticket_->comm;
+    bool const aborted =
+        comm.revoked()
+        || (ticket_->pattern.source == ANY_SOURCE
+                ? comm.any_member_failed()
+                : comm.world().is_failed(comm.world_rank_of(ticket_->pattern.source)));
+    if (!aborted) {
+        return false;
+    }
+    if (!mailbox_->cancel(ticket_)) {
+        // Completed concurrently after all; report the real status.
+        status = ticket_->status;
+        return true;
+    }
+    status = Status{
+        UNDEFINED, UNDEFINED, comm.revoked() ? XMPI_ERR_REVOKED : XMPI_ERR_PROC_FAILED, 0};
+    ticket_->status = status;
+    ticket_->complete = true;
+    return true;
+}
+
+void RecvRequest::wait(Status& status) {
+    auto const aborted = [&] {
+        Comm const& comm = *ticket_->comm;
+        if (comm.revoked()) {
+            return true;
+        }
+        if (ticket_->pattern.source == ANY_SOURCE) {
+            return comm.any_member_failed();
+        }
+        return comm.world().is_failed(comm.world_rank_of(ticket_->pattern.source));
+    };
+    if (mailbox_->await(ticket_, aborted)) {
+        status = ticket_->status;
+        return;
+    }
+    Comm const& comm = *ticket_->comm;
+    status = Status{
+        UNDEFINED, UNDEFINED, comm.revoked() ? XMPI_ERR_REVOKED : XMPI_ERR_PROC_FAILED, 0};
+}
+
+bool RecvRequest::cancel() {
+    return mailbox_->cancel(ticket_);
+}
+
+bool ThreadRequest::test(Status& status) {
+    if (!done_.load(std::memory_order_acquire)) {
+        return false;
+    }
+    if (worker_.joinable()) {
+        worker_.join();
+    }
+    status = Status{UNDEFINED, UNDEFINED, error_.load(std::memory_order_relaxed), 0};
+    return true;
+}
+
+void ThreadRequest::wait(Status& status) {
+    if (worker_.joinable()) {
+        worker_.join();
+    }
+    status = Status{UNDEFINED, UNDEFINED, error_.load(std::memory_order_relaxed), 0};
+}
+
+bool IbarrierRequest::test(Status& status) {
+    auto& sync = comm_->ibarrier_sync();
+    std::lock_guard lock(sync.mutex);
+    if (sync.completed_rounds > round_) {
+        status = Status{UNDEFINED, UNDEFINED, XMPI_SUCCESS, 0};
+        return true;
+    }
+    if (comm_->revoked() || comm_->any_member_failed()) {
+        status = Status{
+            UNDEFINED, UNDEFINED, comm_->revoked() ? XMPI_ERR_REVOKED : XMPI_ERR_PROC_FAILED, 0};
+        return true;
+    }
+    return false;
+}
+
+void IbarrierRequest::wait(Status& status) {
+    auto& sync = comm_->ibarrier_sync();
+    std::unique_lock lock(sync.mutex);
+    sync.cv.wait(lock, [&] {
+        return sync.completed_rounds > round_ || comm_->revoked() || comm_->any_member_failed();
+    });
+    if (sync.completed_rounds > round_) {
+        status = Status{UNDEFINED, UNDEFINED, XMPI_SUCCESS, 0};
+    } else {
+        status = Status{
+            UNDEFINED, UNDEFINED, comm_->revoked() ? XMPI_ERR_REVOKED : XMPI_ERR_PROC_FAILED, 0};
+    }
+}
+
+} // namespace xmpi::detail

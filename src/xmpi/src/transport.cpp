@@ -1,0 +1,145 @@
+#include "transport.hpp"
+
+namespace xmpi::detail {
+
+int check_peer(Comm const& comm, int peer) {
+    if (comm.revoked()) {
+        return XMPI_ERR_REVOKED;
+    }
+    if (peer == ANY_SOURCE) {
+        return comm.any_member_failed() ? XMPI_ERR_PROC_FAILED : XMPI_SUCCESS;
+    }
+    if (comm.world().is_failed(comm.world_rank_of(peer))) {
+        return XMPI_ERR_PROC_FAILED;
+    }
+    return XMPI_SUCCESS;
+}
+
+int transport_send(
+    Comm& comm, int dest, int tag, int context, void const* buf, std::size_t count,
+    Datatype const& type, std::shared_ptr<SyncHandle> sync) {
+    if (dest == PROC_NULL) {
+        return XMPI_SUCCESS;
+    }
+    if (dest < 0 || dest >= comm.size()) {
+        return XMPI_ERR_RANK;
+    }
+    if (int const err = check_peer(comm, dest); err != XMPI_SUCCESS) {
+        return err;
+    }
+
+    Message message;
+    message.env = Envelope{context, comm.rank(), tag};
+    message.payload.resize(type.packed_size(count));
+    type.pack(buf, count, message.payload.data());
+    message.sync = std::move(sync);
+
+    World& world = comm.world();
+    auto& counters = world.counters(current_world_rank());
+    counters.messages_sent.fetch_add(1, std::memory_order_relaxed);
+    counters.bytes_sent.fetch_add(message.payload.size(), std::memory_order_relaxed);
+
+    world.network_model().charge(message.payload.size());
+    world.mailbox(comm.world_rank_of(dest)).deliver(std::move(message));
+    return XMPI_SUCCESS;
+}
+
+namespace {
+
+/// @brief Abort predicate for a waiting receive: stop if the communicator is
+/// revoked or the (potential) sender has failed.
+struct RecvAbort {
+    Comm const* comm;
+    int source;
+
+    bool operator()() const {
+        return check_peer(*comm, source) != XMPI_SUCCESS;
+    }
+};
+
+} // namespace
+
+int transport_recv(
+    Comm& comm, int source, int tag, int context, void* buf, std::size_t count,
+    Datatype const& type, Status* status) {
+    if (source == PROC_NULL) {
+        if (status != nullptr) {
+            *status = Status{PROC_NULL, ANY_TAG, XMPI_SUCCESS, 0};
+        }
+        return XMPI_SUCCESS;
+    }
+    if (source != ANY_SOURCE && (source < 0 || source >= comm.size())) {
+        return XMPI_ERR_RANK;
+    }
+
+    auto ticket = std::make_shared<RecvTicket>();
+    ticket->pattern = Envelope{context, source, tag};
+    ticket->buffer = buf;
+    ticket->type = &type;
+    ticket->count = count;
+    ticket->comm = &comm;
+
+    Mailbox& mailbox = comm.world().mailbox(current_world_rank());
+    if (!mailbox.post_or_match(ticket)) {
+        if (!mailbox.await(ticket, RecvAbort{&comm, source})) {
+            return check_peer(comm, source);
+        }
+    }
+    if (status != nullptr) {
+        *status = ticket->status;
+    }
+    return ticket->status.error;
+}
+
+Request* transport_irecv(
+    Comm& comm, int source, int tag, int context, void* buf, std::size_t count,
+    Datatype const& type) {
+    if (source == PROC_NULL) {
+        return new CompletedRequest(Status{PROC_NULL, ANY_TAG, XMPI_SUCCESS, 0});
+    }
+    auto ticket = std::make_shared<RecvTicket>();
+    ticket->pattern = Envelope{context, source, tag};
+    ticket->buffer = buf;
+    ticket->type = &type;
+    ticket->count = count;
+    ticket->comm = &comm;
+
+    Mailbox& mailbox = comm.world().mailbox(current_world_rank());
+    mailbox.post_or_match(ticket);
+    return new RecvRequest(std::move(ticket), &mailbox);
+}
+
+int coll_send(
+    Comm& comm, int dest, int tag, void const* buf, std::size_t count, Datatype const& type) {
+    return transport_send(comm, dest, tag, comm.collective_context(), buf, count, type);
+}
+
+int coll_recv(
+    Comm& comm, int source, int tag, void* buf, std::size_t count, Datatype const& type,
+    Status* status) {
+    return transport_recv(comm, source, tag, comm.collective_context(), buf, count, type, status);
+}
+
+int coll_sendrecv(
+    Comm& comm, int dest, int send_tag, void const* sendbuf, std::size_t sendcount,
+    Datatype const& sendtype, int source, int recv_tag, void* recvbuf, std::size_t recvcount,
+    Datatype const& recvtype) {
+    // Eager sends complete locally, so send-then-recv cannot deadlock.
+    if (int const err = coll_send(comm, dest, send_tag, sendbuf, sendcount, sendtype);
+        err != XMPI_SUCCESS) {
+        return err;
+    }
+    return coll_recv(comm, source, recv_tag, recvbuf, recvcount, recvtype);
+}
+
+int check_collective(Comm const& comm) {
+    if (comm.revoked()) {
+        return XMPI_ERR_REVOKED;
+    }
+    if (comm.any_member_failed()) {
+        return XMPI_ERR_PROC_FAILED;
+    }
+    return XMPI_SUCCESS;
+}
+
+} // namespace xmpi::detail

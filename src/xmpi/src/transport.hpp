@@ -1,0 +1,58 @@
+/// @file transport.hpp
+/// @brief Internal transport helpers shared by the p2p API and the
+/// collective algorithms. Not installed; xmpi-internal only.
+#pragma once
+
+#include <memory>
+
+#include "xmpi/comm.hpp"
+#include "xmpi/datatype.hpp"
+#include "xmpi/error.hpp"
+#include "xmpi/mailbox.hpp"
+#include "xmpi/request.hpp"
+#include "xmpi/status.hpp"
+#include "xmpi/world.hpp"
+
+namespace xmpi::detail {
+
+/// @brief Result of a pre-flight check on a peer: XMPI_SUCCESS, or the error
+/// class to report (revoked communicator / failed peer).
+int check_peer(Comm const& comm, int peer_comm_rank_or_any);
+
+/// @brief Packs and delivers one message into the destination's mailbox.
+/// Charges the network model and the profiling byte counters. @c context
+/// selects the matching space (pt2pt or collective).
+int transport_send(
+    Comm& comm, int dest, int tag, int context, void const* buf, std::size_t count,
+    Datatype const& type, std::shared_ptr<SyncHandle> sync = nullptr);
+
+/// @brief Blocking receive; aborts with an error code if the communicator is
+/// revoked or a relevant peer fails while waiting.
+int transport_recv(
+    Comm& comm, int source, int tag, int context, void* buf, std::size_t count,
+    Datatype const& type, Status* status);
+
+/// @brief Posts a non-blocking receive and returns its request.
+Request* transport_irecv(
+    Comm& comm, int source, int tag, int context, void* buf, std::size_t count,
+    Datatype const& type);
+
+/// @name Collective-context convenience wrappers (used by coll_*.cpp)
+/// @{
+int coll_send(
+    Comm& comm, int dest, int tag, void const* buf, std::size_t count, Datatype const& type);
+int coll_recv(
+    Comm& comm, int source, int tag, void* buf, std::size_t count, Datatype const& type,
+    Status* status = nullptr);
+/// @brief Simultaneous send+recv in the collective context (avoids deadlock
+/// in pairwise exchange rounds by posting the receive first).
+int coll_sendrecv(
+    Comm& comm, int dest, int send_tag, void const* sendbuf, std::size_t sendcount,
+    Datatype const& sendtype, int source, int recv_tag, void* recvbuf, std::size_t recvcount,
+    Datatype const& recvtype);
+/// @}
+
+/// @brief Entry check shared by all collectives: revoked / failed members.
+int check_collective(Comm const& comm);
+
+} // namespace xmpi::detail

@@ -1,0 +1,90 @@
+/// @file ulfm.cpp
+/// @brief User-level failure mitigation: revoke, shrink, agree.
+///
+/// Shrink and agree must complete among the *surviving* members even when the
+/// communicator is revoked or members have failed, so they are implemented as
+/// a shared-memory rendezvous on the communicator's FtSync structure rather
+/// than over the regular transport (which reports errors for failed peers).
+#include <mutex>
+
+#include "coll.hpp"
+#include "transport.hpp"
+
+namespace xmpi::detail {
+namespace {
+
+/// @brief Number of currently surviving members of the communicator.
+int alive_count(Comm const& comm) {
+    return static_cast<int>(comm.surviving_members().size());
+}
+
+/// @brief Rendezvous among the surviving members: everyone contributes via
+/// @c contribute (called under the lock), the first rank to observe
+/// completion produces the round result via @c produce, and everyone
+/// consumes it. The round resets after the last consumer leaves.
+template <typename Contribute, typename Produce>
+void* ft_rendezvous(Comm& comm, Contribute&& contribute, Produce&& produce) {
+    auto& ft = comm.ft_sync();
+    std::unique_lock lock(ft.mutex);
+    // Let a previous round drain before joining a new one.
+    ft.cv.wait(lock, [&] { return ft.pending_consumers == 0; });
+    contribute(ft);
+    ++ft.arrived;
+    ft.cv.notify_all();
+    // Failures wake this wait via World::wake_all(), so alive_count() is
+    // re-evaluated whenever the failure state changes.
+    ft.cv.wait(lock, [&] { return ft.result != nullptr || ft.arrived >= alive_count(comm); });
+    if (ft.result == nullptr) {
+        ft.result = produce(ft);
+        ft.pending_consumers = ft.arrived;
+        ft.cv.notify_all();
+    }
+    void* const result = ft.result;
+    if (--ft.pending_consumers == 0) {
+        ft.result = nullptr;
+        ft.arrived = 0;
+        ft.agree_accumulator = ~0;
+        ft.cv.notify_all();
+    }
+    return result;
+}
+
+} // namespace
+
+int ulfm_revoke(Comm& comm) {
+    comm.mark_revoked();
+    comm.world().wake_all();
+    return XMPI_SUCCESS;
+}
+
+int ulfm_shrink(Comm& comm, Comm** newcomm) {
+    void* const result = ft_rendezvous(
+        comm, [](FtSync&) {},
+        [&](FtSync&) -> void* {
+            auto survivors = comm.surviving_members();
+            auto* shrunken = new Comm(&comm.world(), std::move(survivors));
+            // One handle reference per surviving member.
+            for (int i = 1; i < shrunken->size(); ++i) {
+                shrunken->retain();
+            }
+            return shrunken;
+        });
+    *newcomm = static_cast<Comm*>(result);
+    return XMPI_SUCCESS;
+}
+
+int ulfm_agree(Comm& comm, int* flag) {
+    // The agreed value is the bitwise AND over the survivors' flags; the
+    // accumulator lives in FtSync and resets with the round. The result
+    // pointer must be non-null to mark completion, so bias the value by one.
+    void* const result = ft_rendezvous(
+        comm, [&](FtSync& ft) { ft.agree_accumulator &= *flag; },
+        [](FtSync& ft) -> void* {
+            return reinterpret_cast<void*>(
+                static_cast<std::intptr_t>(ft.agree_accumulator) + 1);
+        });
+    *flag = static_cast<int>(reinterpret_cast<std::intptr_t>(result) - 1);
+    return XMPI_SUCCESS;
+}
+
+} // namespace xmpi::detail

@@ -1,0 +1,206 @@
+#include "xmpi/world.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <thread>
+
+#include "kassert/kassert.hpp"
+
+namespace xmpi {
+
+World::World(int size, NetworkModel model) : size_(size), model_(model) {
+    KASSERT(size > 0, "a world needs at least one rank");
+    mailboxes_.reserve(static_cast<std::size_t>(size));
+    counters_.reserve(static_cast<std::size_t>(size));
+    for (int rank = 0; rank < size; ++rank) {
+        mailboxes_.push_back(std::make_unique<detail::Mailbox>());
+        counters_.push_back(std::make_unique<profile::RankCounters>());
+    }
+    failed_flags_ = std::make_unique<std::atomic<bool>[]>(static_cast<std::size_t>(size));
+    for (int rank = 0; rank < size; ++rank) {
+        failed_flags_[static_cast<std::size_t>(rank)].store(false, std::memory_order_relaxed);
+    }
+    std::vector<int> members(static_cast<std::size_t>(size));
+    for (int rank = 0; rank < size; ++rank) {
+        members[static_cast<std::size_t>(rank)] = rank;
+    }
+    world_comm_ = new Comm(this, std::move(members));
+}
+
+World::~World() {
+    world_comm_->release();
+}
+
+void World::register_comm(Comm* comm) {
+    std::lock_guard lock(registered_comms_mutex_);
+    registered_comms_.push_back(comm);
+}
+
+void World::unregister_comm(Comm* comm) {
+    std::lock_guard lock(registered_comms_mutex_);
+    std::erase(registered_comms_, comm);
+}
+
+void World::mark_failed(int world_rank) {
+    bool expected = false;
+    if (failed_flags_[static_cast<std::size_t>(world_rank)].compare_exchange_strong(
+            expected, true, std::memory_order_acq_rel)) {
+        num_failed_.fetch_add(1, std::memory_order_release);
+    }
+    wake_all();
+}
+
+void World::wake_all() {
+    for (auto& mailbox: mailboxes_) {
+        mailbox->wake();
+    }
+    std::lock_guard lock(registered_comms_mutex_);
+    for (auto* comm: registered_comms_) {
+        comm->ibarrier_sync().cv.notify_all();
+        comm->ft_sync().cv.notify_all();
+    }
+}
+
+void World::kill_current_rank() {
+    int const rank = detail::current_world_rank();
+    mark_failed(rank);
+    throw RankKilled{rank};
+}
+
+void World::attach_current_thread(int world_rank) {
+    auto& context = detail::current_context();
+    KASSERT(context.world == nullptr, "thread already attached to a world");
+    context.world = this;
+    context.world_rank = world_rank;
+}
+
+void World::detach_current_thread() {
+    auto& context = detail::current_context();
+    context.world = nullptr;
+    context.world_rank = UNDEFINED;
+}
+
+void World::run(int size, std::function<void()> rank_main, NetworkModel model) {
+    run_ranked(size, [&](int) { rank_main(); }, std::move(model));
+}
+
+void World::run_ranked(int size, std::function<void(int)> rank_main, NetworkModel model) {
+    World world(size, model);
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(size));
+    std::exception_ptr first_exception;
+    std::mutex exception_mutex;
+
+    for (int rank = 0; rank < size; ++rank) {
+        threads.emplace_back([&, rank] {
+            world.attach_current_thread(rank);
+            try {
+                rank_main(rank);
+            } catch (RankKilled const&) {
+                // Injected failure: the rank is already marked failed.
+            } catch (...) {
+                // A rank died with an exception: record it and mark the rank
+                // failed so the surviving ranks error out instead of
+                // deadlocking on it.
+                {
+                    std::lock_guard lock(exception_mutex);
+                    if (!first_exception) {
+                        first_exception = std::current_exception();
+                    }
+                }
+                world.mark_failed(rank);
+            }
+            world.detach_current_thread();
+        });
+    }
+    for (auto& thread: threads) {
+        thread.join();
+    }
+    if (first_exception) {
+        std::rethrow_exception(first_exception);
+    }
+}
+
+namespace detail {
+
+RankContext& current_context() {
+    thread_local RankContext context;
+    return context;
+}
+
+World& current_world() {
+    auto& context = current_context();
+    if (context.world == nullptr) {
+        throw UsageError("XMPI called outside a running world (no rank context)");
+    }
+    return *context.world;
+}
+
+int current_world_rank() {
+    auto& context = current_context();
+    if (context.world == nullptr) {
+        throw UsageError("XMPI called outside a running world (no rank context)");
+    }
+    return context.world_rank;
+}
+
+Comm* current_world_comm() {
+    return current_world().world_comm();
+}
+
+} // namespace detail
+
+void inject_failure() {
+    detail::current_world().kill_current_rank();
+}
+
+double wtime() {
+    auto const now = std::chrono::steady_clock::now().time_since_epoch();
+    return std::chrono::duration<double>(now).count();
+}
+
+char const* error_string(int error_code) {
+    switch (error_code) {
+        case XMPI_SUCCESS:
+            return "success";
+        case XMPI_ERR_BUFFER:
+            return "invalid buffer";
+        case XMPI_ERR_COUNT:
+            return "invalid count";
+        case XMPI_ERR_TYPE:
+            return "invalid datatype";
+        case XMPI_ERR_TAG:
+            return "invalid tag";
+        case XMPI_ERR_COMM:
+            return "invalid communicator";
+        case XMPI_ERR_RANK:
+            return "invalid rank";
+        case XMPI_ERR_REQUEST:
+            return "invalid request";
+        case XMPI_ERR_ROOT:
+            return "invalid root";
+        case XMPI_ERR_GROUP:
+            return "invalid group";
+        case XMPI_ERR_OP:
+            return "invalid reduction operation";
+        case XMPI_ERR_TOPOLOGY:
+            return "invalid topology";
+        case XMPI_ERR_TRUNCATE:
+            return "message truncated on receive";
+        case XMPI_ERR_INTERN:
+            return "internal error";
+        case XMPI_ERR_PENDING:
+            return "operation pending";
+        case XMPI_ERR_PROC_FAILED:
+            return "a peer process has failed";
+        case XMPI_ERR_REVOKED:
+            return "communicator has been revoked";
+        case XMPI_ERR_ARG:
+            return "invalid argument";
+        default:
+            return "unknown error";
+    }
+}
+
+} // namespace xmpi

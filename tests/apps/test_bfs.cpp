@@ -1,0 +1,137 @@
+/// @file test_bfs.cpp
+/// @brief Distributed BFS: every exchange strategy and every binding style
+/// must produce the reference distances on every graph family.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "apps/bfs.hpp"
+#include "apps/bfs_bindings.hpp"
+#include "apps/graphgen.hpp"
+#include "xmpi/xmpi.hpp"
+
+namespace {
+
+using namespace apps;
+using xmpi::World;
+
+enum class Family { gnm, rgg, rhg };
+
+DistributedGraph make_graph(Family family, int rank, int size) {
+    constexpr VertexId n = 256;
+    switch (family) {
+        case Family::gnm:
+            return generate_gnm(n, 4 * n, rank, size, 42);
+        case Family::rgg:
+            return generate_rgg2d(n, rgg2d_radius_for_degree(n, 8.0), rank, size, 42);
+        case Family::rhg:
+            return generate_rhg(n, 0.75, 8.0, rank, size, 42);
+    }
+    return {};
+}
+
+std::vector<VertexId> reference_distances(Family family) {
+    std::vector<VertexId> distances;
+    World::run(1, [&] {
+        auto const graph = make_graph(family, 0, 1);
+        std::vector<std::vector<VertexId>> adjacency(graph.global_vertex_count);
+        for (VertexId v = 0; v < graph.local_vertex_count(); ++v) {
+            auto const [begin, end] = graph.neighbors(v);
+            adjacency[v].assign(begin, end);
+        }
+        distances = bfs_reference(adjacency, 0);
+    });
+    return distances;
+}
+
+class BfsStrategies
+    : public ::testing::TestWithParam<std::tuple<Family, BfsExchange, int>> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BfsStrategies,
+    ::testing::Combine(
+        ::testing::Values(Family::gnm, Family::rgg, Family::rhg),
+        ::testing::Values(
+            BfsExchange::mpi_alltoallv, BfsExchange::mpi_neighbor,
+            BfsExchange::mpi_neighbor_rebuild, BfsExchange::kamping,
+            BfsExchange::kamping_sparse, BfsExchange::kamping_grid),
+        ::testing::Values(1, 3, 4)),
+    [](auto const& info) {
+        Family const family = std::get<0>(info.param);
+        std::string name =
+            family == Family::gnm ? "gnm" : family == Family::rgg ? "rgg" : "rhg";
+        name += std::string("_") + to_string(std::get<1>(info.param)) + "_p"
+                + std::to_string(std::get<2>(info.param));
+        return name;
+    });
+
+TEST_P(BfsStrategies, MatchesReference) {
+    auto const [family, strategy, p] = GetParam();
+    auto const reference = reference_distances(family);
+    World::run_ranked(p, [&](int rank) {
+        auto const graph = make_graph(family, rank, p);
+        auto const distances = bfs(graph, 0, strategy, XMPI_COMM_WORLD);
+        ASSERT_EQ(distances.size(), graph.local_vertex_count());
+        for (VertexId v = 0; v < graph.local_vertex_count(); ++v) {
+            EXPECT_EQ(distances[v], reference[graph.first_vertex() + v])
+                << "vertex " << graph.first_vertex() + v;
+        }
+    });
+}
+
+class BfsBindings : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    WorldSizes, BfsBindings, ::testing::Values(1, 2, 4),
+    [](auto const& info) { return "p" + std::to_string(info.param); });
+
+TEST_P(BfsBindings, AllFiveBindingStylesAgree) {
+    int const p = GetParam();
+    auto const reference = reference_distances(Family::gnm);
+    World::run_ranked(p, [&](int rank) {
+        auto const graph = make_graph(Family::gnm, rank, p);
+        auto const check = [&](std::vector<VertexId> const& distances) {
+            for (VertexId v = 0; v < graph.local_vertex_count(); ++v) {
+                ASSERT_EQ(distances[v], reference[graph.first_vertex() + v]);
+            }
+        };
+        check(bfs_bindings::bfs_with(
+            bfs_bindings::MpiExchange{XMPI_COMM_WORLD}, graph, 0));
+        check(bfs_bindings::bfs_with(
+            bfs_bindings::BoostExchange{mimic::boostmpi::communicator{}}, graph, 0));
+        check(bfs_bindings::bfs_with(
+            bfs_bindings::MplExchange{mimic::mpl::comm_world()}, graph, 0));
+        check(bfs_bindings::bfs_with(
+            bfs_bindings::RwthExchange{mimic::rwth::communicator{}}, graph, 0));
+        check(bfs_bindings::bfs_with(
+            bfs_bindings::KampingExchange{kamping::Communicator{}}, graph, 0));
+    });
+}
+
+TEST(Bfs, UnreachableVerticesStayUnreached) {
+    // Two disconnected cliques; BFS from clique A never reaches clique B.
+    World::run_ranked(2, [&](int rank) {
+        DistributedGraph graph;
+        graph.global_vertex_count = 4;
+        graph.vertex_distribution = block_distribution(4, 2);
+        graph.rank = rank;
+        // Edges: 0-1 and 2-3 only.
+        if (rank == 0) {
+            graph.offsets = {0, 1, 2};
+            graph.adjacency = {1, 0};
+        } else {
+            graph.offsets = {0, 1, 2};
+            graph.adjacency = {3, 2};
+        }
+        auto const distances = bfs(graph, 0, BfsExchange::kamping, XMPI_COMM_WORLD);
+        if (rank == 0) {
+            EXPECT_EQ(distances[0], 0u);
+            EXPECT_EQ(distances[1], 1u);
+        } else {
+            EXPECT_EQ(distances[0], kUnreached);
+            EXPECT_EQ(distances[1], kUnreached);
+        }
+    });
+}
+
+} // namespace

@@ -1,0 +1,138 @@
+/// @file test_graphgen.cpp
+/// @brief Graph generator properties: symmetry, determinism, family
+/// characteristics (locality, degree distribution).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "apps/graphgen.hpp"
+#include "xmpi/xmpi.hpp"
+
+namespace {
+
+using namespace apps;
+using xmpi::World;
+
+/// @brief Gathers the distributed fragments into a global adjacency list.
+std::vector<std::vector<VertexId>> gather_global(DistributedGraph const& graph) {
+    // Single-world tests call this with size == 1 fragments.
+    std::vector<std::vector<VertexId>> adjacency(graph.global_vertex_count);
+    for (VertexId v = 0; v < graph.local_vertex_count(); ++v) {
+        auto const [begin, end] = graph.neighbors(v);
+        adjacency[graph.first_vertex() + v].assign(begin, end);
+    }
+    return adjacency;
+}
+
+TEST(GraphGen, BlockDistributionCoversAllVertices) {
+    auto const distribution = block_distribution(10, 3);
+    EXPECT_EQ(distribution, (std::vector<VertexId>{0, 4, 7, 10}));
+    auto const even = block_distribution(8, 4);
+    EXPECT_EQ(even, (std::vector<VertexId>{0, 2, 4, 6, 8}));
+}
+
+TEST(GraphGen, OwnerOfIsConsistentWithDistribution) {
+    DistributedGraph graph;
+    graph.global_vertex_count = 10;
+    graph.vertex_distribution = block_distribution(10, 3);
+    graph.rank = 1;
+    EXPECT_EQ(graph.owner_of(0), 0);
+    EXPECT_EQ(graph.owner_of(3), 0);
+    EXPECT_EQ(graph.owner_of(4), 1);
+    EXPECT_EQ(graph.owner_of(6), 1);
+    EXPECT_EQ(graph.owner_of(7), 2);
+    EXPECT_EQ(graph.owner_of(9), 2);
+    EXPECT_TRUE(graph.is_local(4));
+    EXPECT_FALSE(graph.is_local(7));
+}
+
+TEST(GraphGen, GnmIsSymmetricAcrossFragments) {
+    // Generate the same graph on 1 rank and on 4 ranks: fragments must
+    // reassemble to the identical global graph, and edges must be symmetric.
+    std::vector<std::vector<VertexId>> reference;
+    World::run(1, [&] {
+        auto const graph = generate_gnm(64, 256, 0, 1, 123);
+        reference = gather_global(graph);
+    });
+    // Symmetry.
+    for (VertexId u = 0; u < reference.size(); ++u) {
+        for (VertexId v: reference[u]) {
+            auto const& back = reference[v];
+            EXPECT_NE(std::find(back.begin(), back.end(), u), back.end())
+                << "edge " << u << "->" << v << " missing reverse";
+        }
+    }
+    World::run_ranked(4, [&](int rank) {
+        auto const graph = generate_gnm(64, 256, rank, 4, 123);
+        for (VertexId v = 0; v < graph.local_vertex_count(); ++v) {
+            auto const [begin, end] = graph.neighbors(v);
+            std::vector<VertexId> const mine(begin, end);
+            EXPECT_EQ(mine, reference[graph.first_vertex() + v]);
+        }
+    });
+}
+
+TEST(GraphGen, RggHasHighLocalityUnderBlockDistribution) {
+    World::run_ranked(4, [](int rank) {
+        auto const graph =
+            generate_rgg2d(512, rgg2d_radius_for_degree(512, 8.0), rank, 4, 99);
+        std::size_t local_edges = 0;
+        for (VertexId const neighbor: graph.adjacency) {
+            if (graph.is_local(neighbor)) {
+                ++local_edges;
+            }
+        }
+        if (graph.local_edge_count() > 0) {
+            double const locality =
+                static_cast<double>(local_edges)
+                / static_cast<double>(graph.local_edge_count());
+            EXPECT_GT(locality, 0.5) << "RGG-2D with spatial numbering must be local";
+        }
+    });
+}
+
+TEST(GraphGen, GnmHasLowLocality) {
+    World::run_ranked(4, [](int rank) {
+        auto const graph = generate_gnm(512, 2048, rank, 4, 99);
+        std::size_t local_edges = 0;
+        for (VertexId const neighbor: graph.adjacency) {
+            if (graph.is_local(neighbor)) {
+                ++local_edges;
+            }
+        }
+        if (graph.local_edge_count() > 0) {
+            double const locality =
+                static_cast<double>(local_edges)
+                / static_cast<double>(graph.local_edge_count());
+            EXPECT_LT(locality, 0.5) << "uniform random edges mostly cross rank borders";
+        }
+    });
+}
+
+TEST(GraphGen, RhgHasSkewedDegreeDistribution) {
+    World::run(1, [] {
+        auto const graph = generate_rhg(512, 0.75, 8.0, 0, 1, 7);
+        std::vector<std::size_t> degrees(graph.local_vertex_count());
+        for (VertexId v = 0; v < graph.local_vertex_count(); ++v) {
+            degrees[v] = graph.offsets[v + 1] - graph.offsets[v];
+        }
+        auto const max_degree = *std::max_element(degrees.begin(), degrees.end());
+        double const mean = static_cast<double>(graph.local_edge_count())
+                            / static_cast<double>(graph.local_vertex_count());
+        EXPECT_GT(static_cast<double>(max_degree), 4.0 * mean)
+            << "power-law graphs have hub vertices far above the mean degree";
+    });
+}
+
+TEST(GraphGen, GeneratorsAreDeterministicInSeed) {
+    World::run(1, [] {
+        auto const first = generate_gnm(128, 512, 0, 1, 5);
+        auto const second = generate_gnm(128, 512, 0, 1, 5);
+        EXPECT_EQ(first.adjacency, second.adjacency);
+        auto const different = generate_gnm(128, 512, 0, 1, 6);
+        EXPECT_NE(first.adjacency, different.adjacency);
+    });
+}
+
+} // namespace

@@ -1,0 +1,132 @@
+/// @file test_labelprop_raxml.cpp
+/// @brief Label propagation: the three implementation variants must produce
+/// identical clusterings. RAxML kernel: both abstraction layers must produce
+/// bit-identical search results.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_map>
+
+#include "apps/graphgen.hpp"
+#include "apps/labelprop.hpp"
+#include "apps/raxml.hpp"
+#include "xmpi/xmpi.hpp"
+
+namespace {
+
+using namespace apps;
+using xmpi::World;
+
+class LabelPropVariants : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    WorldSizes, LabelPropVariants, ::testing::Values(1, 2, 4),
+    [](auto const& info) { return "p" + std::to_string(info.param); });
+
+TEST_P(LabelPropVariants, AllVariantsProduceIdenticalLabellings) {
+    int const p = GetParam();
+    World::run_ranked(p, [&](int rank) {
+        auto const graph =
+            generate_rgg2d(256, rgg2d_radius_for_degree(256, 8.0), rank, p, 31);
+        auto const mpi_result = labelprop::label_propagation(
+            graph, 32, 20, labelprop::Variant::mpi, XMPI_COMM_WORLD);
+        auto const custom_result = labelprop::label_propagation(
+            graph, 32, 20, labelprop::Variant::custom_layer, XMPI_COMM_WORLD);
+        auto const kamping_result = labelprop::label_propagation(
+            graph, 32, 20, labelprop::Variant::kamping, XMPI_COMM_WORLD);
+        EXPECT_EQ(mpi_result.labels, custom_result.labels);
+        EXPECT_EQ(mpi_result.labels, kamping_result.labels);
+        EXPECT_EQ(mpi_result.iterations, kamping_result.iterations);
+    });
+}
+
+TEST(LabelProp, ClustersCoarsenTheGraph) {
+    World::run_ranked(2, [](int rank) {
+        auto const graph =
+            generate_rgg2d(256, rgg2d_radius_for_degree(256, 8.0), rank, 2, 31);
+        auto const result = labelprop::label_propagation(
+            graph, 32, 20, labelprop::Variant::kamping, XMPI_COMM_WORLD);
+        // Fewer distinct labels than vertices: LP merged something.
+        std::set<labelprop::Label> const distinct(
+            result.labels.begin(), result.labels.end());
+        EXPECT_LT(distinct.size(), result.labels.size());
+    });
+}
+
+TEST(LabelProp, SizeConstraintIsRespectedLocally) {
+    World::run(1, [] {
+        auto const graph =
+            generate_rgg2d(256, rgg2d_radius_for_degree(256, 12.0), 0, 1, 31);
+        constexpr std::size_t kMaxSize = 8;
+        auto const result = labelprop::label_propagation(
+            graph, kMaxSize, 30, labelprop::Variant::kamping, XMPI_COMM_WORLD);
+        std::unordered_map<labelprop::Label, std::size_t> sizes;
+        for (auto const label: result.labels) {
+            ++sizes[label];
+        }
+        for (auto const& [label, size]: sizes) {
+            // A cluster can exceed the cap by at most the vertices that
+            // joined in the same synchronous round; it must stay bounded.
+            EXPECT_LE(size, 2 * kMaxSize) << "label " << label;
+        }
+    });
+}
+
+class RaxmlLayers : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    WorldSizes, RaxmlLayers, ::testing::Values(1, 2, 4),
+    [](auto const& info) { return "p" + std::to_string(info.param); });
+
+TEST_P(RaxmlLayers, LegacyAndKampingLayersAgreeBitwise) {
+    int const p = GetParam();
+    raxml::SearchResult legacy;
+    raxml::SearchResult with_kamping;
+    World::run_ranked(p, [&](int rank) {
+        auto const result =
+            raxml::run_search(200, 64, raxml::Layer::legacy, 123, XMPI_COMM_WORLD);
+        if (rank == 0) {
+            legacy = result;
+        }
+    });
+    World::run_ranked(p, [&](int rank) {
+        auto const result =
+            raxml::run_search(200, 64, raxml::Layer::kamping, 123, XMPI_COMM_WORLD);
+        if (rank == 0) {
+            with_kamping = result;
+        }
+    });
+    EXPECT_EQ(legacy.best_model, with_kamping.best_model);
+    EXPECT_EQ(legacy.best_log_likelihood, with_kamping.best_log_likelihood);
+}
+
+TEST(Raxml, SearchImprovesTheLikelihood) {
+    World::run(2, [] {
+        auto const result =
+            raxml::run_search(100, 128, raxml::Layer::kamping, 9, XMPI_COMM_WORLD);
+        raxml::Model initial;
+        initial.parameters = {{"alpha", 0.2}, {"beta", 0.9}, {"brlen", 0.5}};
+        EXPECT_GT(result.best_model.generation, 0u) << "at least one accepted move";
+        EXPECT_NE(result.best_model.parameters, initial.parameters);
+    });
+}
+
+TEST(Raxml, BothLayersIssueSimilarCallCounts) {
+    // The layer swap must not change the communication volume order of
+    // magnitude (paper: no measurable overhead, same call pattern).
+    World::run_ranked(2, [](int rank) {
+        auto const legacy =
+            raxml::run_search(50, 64, raxml::Layer::legacy, 5, XMPI_COMM_WORLD);
+        auto const with_kamping =
+            raxml::run_search(50, 64, raxml::Layer::kamping, 5, XMPI_COMM_WORLD);
+        if (rank == 0) {
+            EXPECT_GT(legacy.mpi_calls, 0u);
+            EXPECT_GT(with_kamping.mpi_calls, 0u);
+            EXPECT_LT(
+                static_cast<double>(with_kamping.mpi_calls),
+                2.0 * static_cast<double>(legacy.mpi_calls));
+        }
+    });
+}
+
+} // namespace

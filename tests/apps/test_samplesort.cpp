@@ -1,0 +1,116 @@
+/// @file test_samplesort.cpp
+/// @brief Sample sort in all five binding styles: correctness (globally
+/// sorted, no elements lost) over several world sizes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "apps/samplesort.hpp"
+#include "xmpi/xmpi.hpp"
+
+namespace {
+
+using xmpi::World;
+
+using SortFunction = void (*)(std::vector<std::uint64_t>&, XMPI_Comm);
+
+struct Variant {
+    char const* name;
+    SortFunction sort;
+};
+
+Variant const kVariants[] = {
+    {"mpi", &apps::samplesort::sort_mpi<std::uint64_t>},
+    {"boost", &apps::samplesort::sort_boost<std::uint64_t>},
+    {"mpl", &apps::samplesort::sort_mpl<std::uint64_t>},
+    {"rwth", &apps::samplesort::sort_rwth<std::uint64_t>},
+    {"kamping", &apps::samplesort::sort_kamping<std::uint64_t>},
+};
+
+class SampleSort : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SampleSort,
+    ::testing::Combine(::testing::Range(0, 5), ::testing::Values(1, 2, 4, 7)),
+    [](auto const& info) {
+        return std::string(kVariants[std::get<0>(info.param)].name) + "_p"
+               + std::to_string(std::get<1>(info.param));
+    });
+
+TEST_P(SampleSort, SortsGloballyWithoutLosingElements) {
+    auto const [variant_index, p] = GetParam();
+    auto const& variant = kVariants[variant_index];
+    World::run_ranked(p, [&](int rank) {
+        std::mt19937_64 gen(static_cast<std::uint64_t>(rank) * 977 + 3);
+        std::uniform_int_distribution<std::uint64_t> dist(0, 1u << 20);
+        std::vector<std::uint64_t> data(400);
+        for (auto& value: data) {
+            value = dist(gen);
+        }
+        std::uint64_t checksum = 0;
+        for (auto const value: data) {
+            checksum ^= value * 0x9e3779b97f4a7c15ull;
+        }
+
+        variant.sort(data, XMPI_COMM_WORLD);
+
+        EXPECT_TRUE(std::is_sorted(data.begin(), data.end()));
+        // Global order across ranks.
+        std::uint64_t const my_max =
+            data.empty() ? 0 : data.back();
+        std::uint64_t global_running_max = 0;
+        XMPI_Exscan(
+            &my_max, &global_running_max, 1, XMPI_UNSIGNED_LONG_LONG, XMPI_MAX,
+            XMPI_COMM_WORLD);
+        if (rank > 0 && !data.empty()) {
+            EXPECT_GE(data.front(), global_running_max);
+        }
+        // No elements lost or duplicated (XOR checksum is order-independent).
+        std::uint64_t local_checksum = 0;
+        for (auto const value: data) {
+            local_checksum ^= value * 0x9e3779b97f4a7c15ull;
+        }
+        std::uint64_t total_before = 0;
+        std::uint64_t total_after = 0;
+        XMPI_Allreduce(
+            &checksum, &total_before, 1, XMPI_UNSIGNED_LONG_LONG, XMPI_BXOR, XMPI_COMM_WORLD);
+        XMPI_Allreduce(
+            &local_checksum, &total_after, 1, XMPI_UNSIGNED_LONG_LONG, XMPI_BXOR,
+            XMPI_COMM_WORLD);
+        EXPECT_EQ(total_before, total_after);
+    });
+}
+
+TEST(SampleSortEdge, EmptyInputOnSomeRanks) {
+    World::run_ranked(3, [](int rank) {
+        std::vector<std::uint64_t> data;
+        if (rank == 1) {
+            data = {5, 3, 1, 4};
+        }
+        apps::samplesort::sort_kamping(data, XMPI_COMM_WORLD);
+        EXPECT_TRUE(std::is_sorted(data.begin(), data.end()));
+        std::uint64_t const count = data.size();
+        std::uint64_t total = 0;
+        XMPI_Allreduce(
+            &count, &total, 1, XMPI_UNSIGNED_LONG_LONG, XMPI_SUM, XMPI_COMM_WORLD);
+        EXPECT_EQ(total, 4u);
+    });
+}
+
+TEST(SampleSortEdge, AllEqualKeys) {
+    World::run(4, [] {
+        std::vector<std::uint64_t> data(100, 7);
+        apps::samplesort::sort_kamping(data, XMPI_COMM_WORLD);
+        std::uint64_t const count = data.size();
+        std::uint64_t total = 0;
+        XMPI_Allreduce(
+            &count, &total, 1, XMPI_UNSIGNED_LONG_LONG, XMPI_SUM, XMPI_COMM_WORLD);
+        EXPECT_EQ(total, 400u);
+        for (auto const value: data) {
+            EXPECT_EQ(value, 7u);
+        }
+    });
+}
+
+} // namespace

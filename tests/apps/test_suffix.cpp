@@ -1,0 +1,168 @@
+/// @file test_suffix.cpp
+/// @brief Suffix-array construction: DC3 against the naive oracle, and both
+/// distributed prefix-doubling implementations against DC3.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+
+#include "apps/graphgen.hpp"
+#include "apps/suffix/prefix_doubling.hpp"
+#include "apps/suffix/prefix_doubling_mpi.hpp"
+#include "apps/suffix/sequential.hpp"
+#include "xmpi/xmpi.hpp"
+
+namespace {
+
+using xmpi::World;
+
+std::string random_text(std::size_t length, unsigned alphabet, std::uint64_t seed) {
+    std::mt19937_64 gen(seed);
+    std::uniform_int_distribution<int> dist('a', 'a' + static_cast<int>(alphabet) - 1);
+    std::string text(length, ' ');
+    for (auto& c: text) {
+        c = static_cast<char>(dist(gen));
+    }
+    return text;
+}
+
+TEST(SuffixSequential, Dc3MatchesNaiveOnSmallInputs) {
+    for (auto const* text: {"banana", "mississippi", "aaaaaa", "abcabcabc", "zyxwv", "ab"}) {
+        EXPECT_EQ(
+            apps::suffix::suffix_array_dc3(text), apps::suffix::suffix_array_naive(text))
+            << "text: " << text;
+    }
+}
+
+TEST(SuffixSequential, Dc3MatchesNaiveOnRandomInputs) {
+    for (std::uint64_t seed = 0; seed < 8; ++seed) {
+        auto const text = random_text(200 + seed * 37, 2 + seed % 4, seed);
+        EXPECT_EQ(
+            apps::suffix::suffix_array_dc3(text), apps::suffix::suffix_array_naive(text));
+    }
+}
+
+TEST(SuffixSequential, EdgeCases) {
+    EXPECT_TRUE(apps::suffix::suffix_array_dc3("").empty());
+    EXPECT_EQ(apps::suffix::suffix_array_dc3("x"), (std::vector<std::uint64_t>{0}));
+    EXPECT_EQ(apps::suffix::suffix_array_dc3("aa"), (std::vector<std::uint64_t>{1, 0}));
+}
+
+class DistributedSuffix : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    WorldSizes, DistributedSuffix, ::testing::Values(1, 2, 3, 4, 7),
+    [](auto const& info) { return "p" + std::to_string(info.param); });
+
+void expect_distributed_sa_matches(
+    int p, std::string const& text,
+    std::vector<std::uint64_t> (*construct)(std::string const&, XMPI_Comm)) {
+    auto const expected = apps::suffix::suffix_array_dc3(text);
+    auto const distribution =
+        apps::block_distribution(static_cast<apps::VertexId>(text.size()), p);
+    World::run_ranked(p, [&](int rank) {
+        std::string const local_text = text.substr(
+            static_cast<std::size_t>(distribution[static_cast<std::size_t>(rank)]),
+            static_cast<std::size_t>(
+                distribution[static_cast<std::size_t>(rank) + 1]
+                - distribution[static_cast<std::size_t>(rank)]));
+        auto const local_sa = construct(local_text, XMPI_COMM_WORLD);
+        ASSERT_EQ(local_sa.size(), local_text.size());
+        for (std::size_t i = 0; i < local_sa.size(); ++i) {
+            EXPECT_EQ(
+                local_sa[i],
+                expected[static_cast<std::size_t>(distribution[static_cast<std::size_t>(rank)]) + i]);
+        }
+    });
+}
+
+TEST_P(DistributedSuffix, KampingPrefixDoublingMatchesDc3) {
+    auto const text = random_text(500, 4, 11);
+    expect_distributed_sa_matches(
+        GetParam(), text, &apps::suffix::suffix_array_prefix_doubling_kamping);
+}
+
+TEST_P(DistributedSuffix, MpiPrefixDoublingMatchesDc3) {
+    auto const text = random_text(500, 4, 11);
+    expect_distributed_sa_matches(
+        GetParam(), text, &apps::suffix::suffix_array_prefix_doubling_mpi);
+}
+
+TEST_P(DistributedSuffix, RepetitiveTextNeedsManyDoublingRounds) {
+    // Highly repetitive text exercises the doubling until large h.
+    std::string text;
+    for (int i = 0; i < 40; ++i) {
+        text += "abab";
+    }
+    text += "b";
+    expect_distributed_sa_matches(
+        GetParam(), text, &apps::suffix::suffix_array_prefix_doubling_kamping);
+}
+
+TEST(DistributedSuffixEdge, BinaryAlphabet) {
+    auto const text = random_text(300, 2, 5);
+    expect_distributed_sa_matches(
+        3, text, &apps::suffix::suffix_array_prefix_doubling_kamping);
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Distributed DC3 (the paper's DCX workload).
+// ---------------------------------------------------------------------------
+#include "apps/suffix/dc3_distributed.hpp"
+
+namespace {
+
+TEST_P(DistributedSuffix, Dc3DistributedMatchesSequentialDc3) {
+    auto const text = random_text(600, 4, 17);
+    expect_distributed_sa_matches(
+        GetParam(), text, &apps::suffix::suffix_array_dc3_distributed);
+}
+
+TEST_P(DistributedSuffix, Dc3DistributedOnRepetitiveText) {
+    // Repetitive text forces the recursion path (non-unique triple names).
+    std::string text;
+    for (int i = 0; i < 60; ++i) {
+        text += "abcabc";
+    }
+    text += "ca";
+    expect_distributed_sa_matches(
+        GetParam(), text, &apps::suffix::suffix_array_dc3_distributed);
+}
+
+TEST_P(DistributedSuffix, Dc3DistributedBinaryAlphabet) {
+    auto const text = random_text(350, 2, 23);
+    expect_distributed_sa_matches(
+        GetParam(), text, &apps::suffix::suffix_array_dc3_distributed);
+}
+
+TEST(DistributedSuffixEdge, Dc3DistributedTinyInputs) {
+    for (auto const* text: {"", "x", "ab", "aba", "banana"}) {
+        int const p = 3;
+        auto const expected = apps::suffix::suffix_array_naive(text);
+        auto const distribution =
+            apps::block_distribution(static_cast<apps::VertexId>(std::string(text).size()), p);
+        std::string const full(text);
+        World::run_ranked(p, [&](int rank) {
+            std::string const local = full.substr(
+                static_cast<std::size_t>(distribution[static_cast<std::size_t>(rank)]),
+                static_cast<std::size_t>(
+                    distribution[static_cast<std::size_t>(rank) + 1]
+                    - distribution[static_cast<std::size_t>(rank)]));
+            auto const sa =
+                apps::suffix::suffix_array_dc3_distributed(local, XMPI_COMM_WORLD);
+            ASSERT_EQ(sa.size(), local.size());
+            for (std::size_t i = 0; i < sa.size(); ++i) {
+                EXPECT_EQ(
+                    sa[i],
+                    expected[static_cast<std::size_t>(
+                                 distribution[static_cast<std::size_t>(rank)])
+                             + i])
+                    << "text '" << full << "'";
+            }
+        });
+    }
+}
+
+} // namespace

@@ -1,0 +1,37 @@
+# Negative-compile check: compiles SOURCE and asserts that compilation FAILS
+# and that the compiler output contains the human-readable message declared
+# in the source's `// EXPECT-ERROR: <substring>` line (paper, Section III-G:
+# "compile-time assertions fail early and provide helpful human-readable
+# error messages").
+#
+# Invoked by ctest as:
+#   cmake -DSOURCE=<file> -DINCLUDES=<;-list> -P check_compile_failure.cmake
+
+file(READ "${SOURCE}" source_text)
+string(REGEX MATCH "// EXPECT-ERROR: ([^\n]*)" _ "${source_text}")
+set(expected_message "${CMAKE_MATCH_1}")
+if(expected_message STREQUAL "")
+  message(FATAL_ERROR "${SOURCE} has no EXPECT-ERROR line")
+endif()
+
+set(include_flags "")
+foreach(dir IN LISTS INCLUDES)
+  list(APPEND include_flags "-I${dir}")
+endforeach()
+
+execute_process(
+  COMMAND ${COMPILER} -std=c++20 -fsyntax-only ${include_flags} ${SOURCE}
+  RESULT_VARIABLE exit_code
+  OUTPUT_VARIABLE output
+  ERROR_VARIABLE output)
+
+if(exit_code EQUAL 0)
+  message(FATAL_ERROR "${SOURCE} compiled but must NOT compile")
+endif()
+string(FIND "${output}" "${expected_message}" position)
+if(position EQUAL -1)
+  message(FATAL_ERROR
+    "${SOURCE} failed to compile (good), but the diagnostic does not contain "
+    "the expected human-readable message '${expected_message}'. Output:\n${output}")
+endif()
+message(STATUS "OK: readable diagnostic found: '${expected_message}'")

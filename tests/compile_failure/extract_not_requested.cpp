@@ -1,0 +1,9 @@
+// EXPECT-ERROR: does not contain the requested value
+#include "kamping/kamping.hpp"
+int main() {
+    kamping::Communicator comm;
+    std::vector<int> v{1};
+    auto result = comm.allgatherv(kamping::send_buf(v), kamping::recv_counts_out());
+    // recv_displs were never requested: readable compile error.
+    auto displs = result.extract_recv_displs();
+}

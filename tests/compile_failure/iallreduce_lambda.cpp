@@ -1,0 +1,10 @@
+// EXPECT-ERROR: cannot outlive the initiating call
+#include "kamping/kamping.hpp"
+int main() {
+    kamping::Communicator comm;
+    std::vector<int> v{1};
+    // A stateful lambda op cannot back a non-blocking collective.
+    auto pending = comm.iallreduce(
+        kamping::send_recv_buf(std::move(v)),
+        kamping::op([](int a, int b) { return a + b; }, kamping::ops::commutative));
+}

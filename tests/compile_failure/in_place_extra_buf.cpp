@@ -1,0 +1,10 @@
+// EXPECT-ERROR: in-place variant
+#include "kamping/kamping.hpp"
+int main() {
+    kamping::Communicator comm;
+    std::vector<int> data(4);
+    std::vector<int> extra(4);
+    // Passing send_buf next to send_recv_buf would be ignored by the
+    // in-place MPI call: compile-time error (paper, Section III-G).
+    comm.allgather(kamping::send_recv_buf(data), kamping::send_buf(extra));
+}

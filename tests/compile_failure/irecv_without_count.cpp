@@ -1,0 +1,6 @@
+// EXPECT-ERROR: irecv needs to know the message size
+#include "kamping/kamping.hpp"
+int main() {
+    kamping::Communicator comm;
+    auto pending = comm.irecv<int>(kamping::source(0));
+}

@@ -1,0 +1,8 @@
+// EXPECT-ERROR: commutative
+#include "kamping/kamping.hpp"
+int main() {
+    kamping::Communicator comm;
+    // A lambda op without a commutativity tag cannot be used.
+    auto result =
+        comm.allreduce_single(kamping::send_buf(1), kamping::op([](int a, int b) { return a + b; }));
+}

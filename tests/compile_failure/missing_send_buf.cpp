@@ -1,0 +1,6 @@
+// EXPECT-ERROR: allgatherv requires a send_buf
+#include "kamping/kamping.hpp"
+int main() {
+    kamping::Communicator comm;
+    auto result = comm.allgatherv(kamping::recv_counts_out());
+}

@@ -1,0 +1,10 @@
+// EXPECT-ERROR: not a builtin type and not trivially copyable
+#include <string>
+#include <vector>
+#include "kamping/kamping.hpp"
+int main() {
+    kamping::Communicator comm;
+    std::vector<std::string> words{"no", "static", "type"};
+    // Heap-backed types need as_serialized(): no implicit serialization.
+    auto result = comm.allgatherv(kamping::send_buf(words));
+}

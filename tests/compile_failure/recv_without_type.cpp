@@ -1,0 +1,6 @@
+// EXPECT-ERROR: recv cannot deduce the element type
+#include "kamping/kamping.hpp"
+int main() {
+    kamping::Communicator comm;
+    auto data = comm.recv(kamping::source(0));
+}

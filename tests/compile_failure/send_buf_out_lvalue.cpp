@@ -1,0 +1,8 @@
+// EXPECT-ERROR: transfers ownership
+#include "kamping/kamping.hpp"
+int main() {
+    kamping::Communicator comm;
+    std::vector<int> v{1};
+    // send_buf_out requires std::move: ownership must be explicit.
+    auto pending = comm.isend(kamping::send_buf_out(v), kamping::destination(0));
+}

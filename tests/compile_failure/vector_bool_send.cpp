@@ -1,0 +1,7 @@
+// EXPECT-ERROR: vector<bool>
+#include "kamping/kamping.hpp"
+int main() {
+    kamping::Communicator comm;
+    std::vector<bool> flags{true, false};
+    auto result = comm.allgatherv(kamping::send_buf(flags));
+}

@@ -1,0 +1,9 @@
+// EXPECT-ERROR: named parameter it does not accept
+#include "kamping/kamping.hpp"
+int main() {
+    kamping::Communicator comm;
+    std::vector<int> v{1};
+    // send_counts makes no sense for allgather: caught at compile time
+    // instead of being silently ignored.
+    auto result = comm.allgather(kamping::send_buf(v), kamping::send_counts({1}));
+}

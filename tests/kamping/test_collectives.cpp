@@ -1,0 +1,368 @@
+/// @file test_collectives.cpp
+/// @brief KaMPIng collective wrappers swept over world sizes (parameterized
+/// property checks) and over the named-parameter combinations the paper
+/// highlights.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "kamping/kamping.hpp"
+#include "xmpi/xmpi.hpp"
+
+namespace {
+
+using namespace kamping;
+using xmpi::World;
+
+class KampingCollectives : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    WorldSizes, KampingCollectives, ::testing::Values(1, 2, 3, 4, 7, 8),
+    [](auto const& info) { return "p" + std::to_string(info.param); });
+
+TEST_P(KampingCollectives, AllgathervDefaults) {
+    World::run(GetParam(), [] {
+        Communicator comm;
+        std::vector<int> const v(static_cast<std::size_t>(comm.rank() % 3), comm.rank());
+        auto global = comm.allgatherv(send_buf(v));
+        std::size_t expected = 0;
+        for (int r = 0; r < comm.size_signed(); ++r) {
+            expected += static_cast<std::size_t>(r % 3);
+        }
+        EXPECT_EQ(global.size(), expected);
+    });
+}
+
+TEST_P(KampingCollectives, AllgathervAllOutParameters) {
+    World::run(GetParam(), [] {
+        Communicator comm;
+        std::vector<long> const v(2, comm.rank());
+        auto [data, counts, displs] =
+            comm.allgatherv(send_buf(v), recv_counts_out(), recv_displs_out());
+        EXPECT_EQ(counts, std::vector<int>(comm.size(), 2));
+        for (std::size_t i = 0; i < displs.size(); ++i) {
+            EXPECT_EQ(displs[i], static_cast<int>(2 * i));
+        }
+        EXPECT_EQ(data.size(), 2 * comm.size());
+    });
+}
+
+TEST_P(KampingCollectives, AllgathervWithProvidedCountsSkipsExchange) {
+    World::run(GetParam(), [] {
+        Communicator comm;
+        XMPI_Barrier(XMPI_COMM_WORLD);
+        xmpi::profile::reset_mine();
+        std::vector<int> const v(3, comm.rank());
+        std::vector<int> const counts(comm.size(), 3);
+        auto global = comm.allgatherv(send_buf(v), recv_counts(counts));
+        // Only the allgatherv itself must be issued — no count exchange
+        // (paper, Section III-H: verified via the profiling interface).
+        auto const snapshot = xmpi::profile::my_snapshot();
+        EXPECT_EQ(snapshot[xmpi::profile::Call::allgatherv], 1u);
+        EXPECT_EQ(snapshot[xmpi::profile::Call::allgather], 0u);
+        EXPECT_EQ(global.size(), 3 * comm.size());
+        XMPI_Barrier(XMPI_COMM_WORLD);
+    });
+}
+
+TEST_P(KampingCollectives, GatherToEveryRoot) {
+    World::run(GetParam(), [] {
+        Communicator comm;
+        for (int root_rank = 0; root_rank < comm.size_signed(); ++root_rank) {
+            auto gathered = comm.gather(send_buf({comm.rank()}), root(root_rank));
+            if (comm.rank() == root_rank) {
+                ASSERT_EQ(gathered.size(), comm.size());
+                for (int i = 0; i < comm.size_signed(); ++i) {
+                    EXPECT_EQ(gathered[static_cast<std::size_t>(i)], i);
+                }
+            } else {
+                EXPECT_TRUE(gathered.empty());
+            }
+        }
+    });
+}
+
+TEST_P(KampingCollectives, GathervComputesCountsAtRoot) {
+    World::run(GetParam(), [] {
+        Communicator comm;
+        std::vector<int> const mine(static_cast<std::size_t>(comm.rank()) + 1, comm.rank());
+        auto [data, counts] = comm.gatherv(send_buf(mine), recv_counts_out(), root(0));
+        if (comm.rank() == 0) {
+            for (int i = 0; i < comm.size_signed(); ++i) {
+                EXPECT_EQ(counts[static_cast<std::size_t>(i)], i + 1);
+            }
+            std::size_t index = 0;
+            for (int i = 0; i < comm.size_signed(); ++i) {
+                for (int k = 0; k <= i; ++k) {
+                    EXPECT_EQ(data[index++], i);
+                }
+            }
+        }
+    });
+}
+
+TEST_P(KampingCollectives, ScatterFromRoot) {
+    World::run(GetParam(), [] {
+        Communicator comm;
+        std::vector<int> source;
+        if (comm.rank() == 0) {
+            source.resize(2 * comm.size());
+            std::iota(source.begin(), source.end(), 100);
+        }
+        auto mine = comm.scatter(send_buf(source));
+        ASSERT_EQ(mine.size(), 2u);
+        EXPECT_EQ(mine[0], 100 + 2 * comm.rank());
+        EXPECT_EQ(mine[1], 101 + 2 * comm.rank());
+    });
+}
+
+TEST_P(KampingCollectives, ScattervWithComputedDispls) {
+    World::run(GetParam(), [] {
+        Communicator comm;
+        std::vector<int> source;
+        std::vector<int> counts(comm.size());
+        for (int i = 0; i < comm.size_signed(); ++i) {
+            counts[static_cast<std::size_t>(i)] = i + 1;
+        }
+        if (comm.rank() == 0) {
+            for (int i = 0; i < comm.size_signed(); ++i) {
+                source.insert(source.end(), static_cast<std::size_t>(i) + 1, i * 5);
+            }
+        }
+        auto mine = comm.scatterv(send_buf(source), send_counts(counts));
+        EXPECT_EQ(mine, std::vector<int>(static_cast<std::size_t>(comm.rank()) + 1, comm.rank() * 5));
+    });
+}
+
+TEST_P(KampingCollectives, AlltoallvTwoParameterCall) {
+    World::run(GetParam(), [] {
+        Communicator comm;
+        int const p = comm.size_signed();
+        // Rank r sends one element r*100+i to each rank i.
+        std::vector<int> send(static_cast<std::size_t>(p));
+        for (int i = 0; i < p; ++i) {
+            send[static_cast<std::size_t>(i)] = comm.rank() * 100 + i;
+        }
+        auto received =
+            comm.alltoallv(send_buf(send), send_counts(std::vector<int>(comm.size(), 1)));
+        ASSERT_EQ(received.size(), comm.size());
+        for (int i = 0; i < p; ++i) {
+            EXPECT_EQ(received[static_cast<std::size_t>(i)], i * 100 + comm.rank());
+        }
+    });
+}
+
+TEST_P(KampingCollectives, AlltoallvWithAllOuts) {
+    World::run(GetParam(), [] {
+        Communicator comm;
+        int const p = comm.size_signed();
+        int const r = comm.rank();
+        std::vector<int> counts(static_cast<std::size_t>(p));
+        std::vector<int> send;
+        for (int i = 0; i < p; ++i) {
+            counts[static_cast<std::size_t>(i)] = (r + i) % 3;
+            send.insert(send.end(), static_cast<std::size_t>((r + i) % 3), r);
+        }
+        auto [data, recv_counts_result, recv_displs_result, send_displs_result] = comm.alltoallv(
+            send_buf(send), send_counts(counts), recv_counts_out(), recv_displs_out(),
+            send_displs_out());
+        for (int i = 0; i < p; ++i) {
+            EXPECT_EQ(recv_counts_result[static_cast<std::size_t>(i)], (r + i) % 3);
+        }
+        std::size_t index = 0;
+        for (int i = 0; i < p; ++i) {
+            for (int k = 0; k < (r + i) % 3; ++k) {
+                EXPECT_EQ(data[index++], i);
+            }
+        }
+        EXPECT_EQ(send_displs_result.size(), static_cast<std::size_t>(p));
+    });
+}
+
+TEST_P(KampingCollectives, ReduceAndAllreduce) {
+    World::run(GetParam(), [] {
+        Communicator comm;
+        int const p = comm.size_signed();
+        auto const at_root = comm.reduce(send_buf({comm.rank() + 1}), op(std::plus<>{}));
+        if (comm.rank() == 0) {
+            ASSERT_EQ(at_root.size(), 1u);
+            EXPECT_EQ(at_root.front(), p * (p + 1) / 2);
+        }
+        auto const everywhere =
+            comm.allreduce_single(send_buf(comm.rank() + 1), op(std::plus<>{}));
+        EXPECT_EQ(everywhere, p * (p + 1) / 2);
+    });
+}
+
+TEST_P(KampingCollectives, AllreduceWithLambda) {
+    World::run(GetParam(), [] {
+        Communicator comm;
+        // Reduction via lambda (paper, Section II wish list).
+        auto const result = comm.allreduce_single(
+            send_buf(comm.rank() + 1),
+            op([](int a, int b) { return a * b; }, ops::commutative));
+        int expected = 1;
+        for (int i = 1; i <= comm.size_signed(); ++i) {
+            expected *= i;
+        }
+        EXPECT_EQ(result, expected);
+    });
+}
+
+TEST_P(KampingCollectives, AllreduceLogicalAndForTermination) {
+    World::run(GetParam(), [] {
+        Communicator comm;
+        // The BFS termination idiom of the paper's Fig. 9: rank 0 still has
+        // work, so the conjunction must be false ...
+        bool const locally_empty = comm.rank() != 0;
+        bool const all_empty =
+            comm.allreduce_single(send_buf(locally_empty), op(std::logical_and<>{}));
+        EXPECT_FALSE(all_empty);
+        // ... and once every rank is done, it must be true.
+        bool const done =
+            comm.allreduce_single(send_buf(true), op(std::logical_and<>{}));
+        EXPECT_TRUE(done);
+    });
+}
+
+TEST_P(KampingCollectives, ScanAndExscan) {
+    World::run(GetParam(), [] {
+        Communicator comm;
+        int const r = comm.rank();
+        EXPECT_EQ(
+            comm.scan_single(send_buf(r + 1), op(std::plus<>{})), (r + 1) * (r + 2) / 2);
+        auto const ex = comm.exscan_single(send_buf(r + 1), op(std::plus<>{}));
+        EXPECT_EQ(ex, r * (r + 1) / 2);
+        // values_on_rank_0 defines rank 0's otherwise-undefined result.
+        auto const seeded = comm.exscan_single(
+            send_buf(r + 1), op(std::plus<>{}), values_on_rank_0(-7));
+        if (r == 0) {
+            EXPECT_EQ(seeded, -7);
+        } else {
+            EXPECT_EQ(seeded, r * (r + 1) / 2);
+        }
+    });
+}
+
+TEST_P(KampingCollectives, BcastResizesReceivers) {
+    World::run(GetParam(), [] {
+        Communicator comm;
+        std::vector<int> data;
+        if (comm.rank() == 0) {
+            data = {5, 6, 7};
+        }
+        data = comm.bcast(send_recv_buf(std::move(data)));
+        EXPECT_EQ(data, (std::vector<int>{5, 6, 7}));
+        EXPECT_EQ(comm.bcast_single(comm.rank() == 0 ? 42 : -1), 42);
+    });
+}
+
+TEST_P(KampingCollectives, RecvBufReferencingWritesInPlace) {
+    World::run(GetParam(), [] {
+        Communicator comm;
+        std::vector<int> const v{comm.rank()};
+        std::vector<int> preallocated(comm.size());
+        // Referencing out-buffer: written in place, nothing returned.
+        static_assert(std::is_void_v<decltype(comm.allgatherv(
+                          send_buf(v), recv_buf(preallocated),
+                          recv_counts(std::vector<int>(comm.size(), 1))))>);
+        comm.allgatherv(
+            send_buf(v), recv_buf(preallocated),
+            recv_counts(std::vector<int>(comm.size(), 1)));
+        for (int i = 0; i < comm.size_signed(); ++i) {
+            EXPECT_EQ(preallocated[static_cast<std::size_t>(i)], i);
+        }
+    });
+}
+
+TEST_P(KampingCollectives, MovedRecvBufStorageIsReused) {
+    World::run(GetParam(), [] {
+        Communicator comm;
+        std::vector<long> const v{comm.rank(), comm.rank()};
+        std::vector<long> reusable;
+        reusable.reserve(64);
+        auto const* const original_storage = reusable.data();
+        auto result = comm.allgatherv(send_buf(v), recv_buf(std::move(reusable)));
+        EXPECT_EQ(result.size(), 2 * comm.size());
+        if (2 * comm.size() <= 64) {
+            EXPECT_EQ(result.data(), original_storage)
+                << "moved-in capacity must be reused, not reallocated";
+        }
+    });
+}
+
+TEST(KampingCollectives2, ResultObjectExtractInterface) {
+    World::run(4, [] {
+        Communicator comm;
+        std::vector<int> const v(2, comm.rank());
+        auto result = comm.allgatherv(send_buf(v), recv_counts_out());
+        auto counts = result.extract_recv_counts();
+        auto data = result.extract_recv_buf();
+        EXPECT_EQ(counts, std::vector<int>(4, 2));
+        EXPECT_EQ(data.size(), 8u);
+    });
+}
+
+TEST(KampingCollectives2, WorksOnSplitCommunicators) {
+    World::run(6, [] {
+        Communicator world;
+        auto half = world.split(world.rank() % 2, world.rank());
+        EXPECT_EQ(half.size(), 3u);
+        auto sum = half.allreduce_single(send_buf(world.rank()), op(std::plus<>{}));
+        EXPECT_EQ(sum, world.rank() % 2 == 0 ? 0 + 2 + 4 : 1 + 3 + 5);
+        auto dup = half.duplicate();
+        EXPECT_EQ(dup.size(), 3u);
+    });
+}
+
+TEST(KampingCollectives2, NoResizePolicyViolationThrows) {
+    World::run(2, [] {
+        Communicator comm;
+        std::vector<int> const v{1, 2, 3};
+        std::vector<int> too_small(2); // needs 6
+        EXPECT_THROW(
+            comm.allgatherv(
+                send_buf(v), recv_buf(too_small),
+                recv_counts(std::vector<int>{3, 3})),
+            kassert::AssertionFailed);
+        XMPI_Barrier(XMPI_COMM_WORLD);
+    });
+}
+
+TEST(KampingCollectives2, GrowOnlyPolicyKeepsLargerBuffers) {
+    World::run(2, [] {
+        Communicator comm;
+        std::vector<int> const v{comm.rank()};
+        std::vector<int> large(100, -1);
+        comm.allgatherv(
+            send_buf(v), recv_buf<grow_only>(large), recv_counts(std::vector<int>{1, 1}));
+        EXPECT_EQ(large.size(), 100u) << "grow_only must not shrink";
+        EXPECT_EQ(large[0], 0);
+        EXPECT_EQ(large[1], 1);
+    });
+}
+
+} // namespace
+
+namespace {
+
+TEST(KampingCollectives2, InPlaceAllreduceViaMoveSemantics) {
+    World::run(4, [] {
+        Communicator comm;
+        std::vector<long> data{comm.rank() + 1, 2 * (comm.rank() + 1)};
+        data = comm.allreduce(send_recv_buf(std::move(data)), op(std::plus<>{}));
+        EXPECT_EQ(data, (std::vector<long>{10, 20}));
+    });
+}
+
+TEST(KampingCollectives2, InPlaceAllreduceReferencing) {
+    World::run(3, [] {
+        Communicator comm;
+        std::vector<int> data{comm.rank()};
+        comm.allreduce(send_recv_buf(data), op(ops::max{}));
+        EXPECT_EQ(data.front(), 2);
+    });
+}
+
+} // namespace

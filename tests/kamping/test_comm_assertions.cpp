@@ -1,0 +1,91 @@
+/// @file test_comm_assertions.cpp
+/// @brief Communication-level assertions (paper, Section III-G): this
+/// translation unit is compiled with
+/// KASSERT_ASSERTION_LEVEL = kassert::assertion_level::communication, so
+/// the cross-rank consistency checks (which need extra communication and
+/// are normally compiled out) are active.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "kamping/kamping.hpp"
+#include "xmpi/xmpi.hpp"
+
+static_assert(
+    KASSERT_ENABLED(kassert::assertion_level::communication),
+    "this test file must be compiled with the communication assertion level");
+
+namespace {
+
+using namespace kamping;
+using xmpi::World;
+
+/// @brief Exception surfaced by the overridden assertion handler.
+struct AssertionObserved : std::runtime_error {
+    using std::runtime_error::runtime_error;
+};
+
+/// @brief RAII: route assertion failures into exceptions for this test.
+class HandlerGuard {
+public:
+    HandlerGuard() {
+        previous_ = kassert::set_failure_handler(
+            [](std::string const& message) { throw AssertionObserved(message); });
+    }
+    ~HandlerGuard() { kassert::set_failure_handler(previous_); }
+
+private:
+    kassert::FailureHandler previous_;
+};
+
+TEST(CommAssertions, ConsistentRootPasses) {
+    World::run(4, [] {
+        Communicator comm;
+        std::vector<int> data;
+        if (comm.rank() == 2) {
+            data = {1, 2};
+        }
+        // Same root everywhere: the (communicating) check passes silently.
+        data = comm.bcast(send_recv_buf(std::move(data)), root(2));
+        EXPECT_EQ(data, (std::vector<int>{1, 2}));
+    });
+}
+
+TEST(CommAssertions, InconsistentRootIsDetected) {
+    HandlerGuard guard;
+    std::atomic<int> detections{0};
+    World::run(4, [&] {
+        Communicator comm;
+        std::vector<int> data{comm.rank()};
+        try {
+            // Rank 3 disagrees about the root: a hard-to-find bug in plain
+            // MPI, a diagnosed assertion failure here.
+            (void)comm.gather(send_buf(data), root(comm.rank() == 3 ? 1 : 0));
+        } catch (AssertionObserved const& failure) {
+            EXPECT_NE(
+                std::string(failure.what()).find("inconsistent root"), std::string::npos);
+            ++detections;
+        }
+    });
+    EXPECT_EQ(detections.load(), 4) << "every rank must detect the mismatch";
+}
+
+TEST(CommAssertions, ReduceValidatesRootToo) {
+    HandlerGuard guard;
+    std::atomic<int> detections{0};
+    World::run(3, [&] {
+        Communicator comm;
+        try {
+            (void)comm.reduce(
+                send_buf({comm.rank()}), op(std::plus<>{}),
+                root(comm.rank() == 0 ? 0 : 2));
+        } catch (AssertionObserved const&) {
+            ++detections;
+        }
+    });
+    EXPECT_EQ(detections.load(), 3);
+}
+
+} // namespace

@@ -1,0 +1,156 @@
+/// @file test_datatypes.cpp
+/// @brief KaMPIng's type system (paper, Section III-D): builtin mapping,
+/// trivially-copyable default, struct_type reflection, custom traits,
+/// dynamic types.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "kamping/kamping.hpp"
+#include "xmpi/xmpi.hpp"
+
+namespace {
+
+using namespace kamping;
+using xmpi::World;
+
+TEST(KampingTypes, BuiltinMapping) {
+    EXPECT_EQ(mpi_datatype<int>(), XMPI_INT);
+    EXPECT_EQ(mpi_datatype<double>(), XMPI_DOUBLE);
+    EXPECT_EQ(mpi_datatype<unsigned long>(), XMPI_UNSIGNED_LONG);
+    EXPECT_EQ(mpi_datatype<bool>(), XMPI_CXX_BOOL);
+    EXPECT_EQ(mpi_datatype<char>(), XMPI_CHAR);
+    // cv and references are stripped.
+    EXPECT_EQ(mpi_datatype<int const&>(), XMPI_INT);
+}
+
+struct TrivialStruct {
+    int a;
+    double b;
+    char c;
+    std::array<int, 3> d;
+};
+
+TEST(KampingTypes, TriviallyCopyableMapsToContiguousBytes) {
+    auto* type = mpi_datatype<TrivialStruct>();
+    // Default mapping: a contiguous run of sizeof(T) bytes including the
+    // alignment gaps (paper, Section III-D4).
+    EXPECT_EQ(type->size(), sizeof(TrivialStruct));
+    EXPECT_EQ(type->extent(), static_cast<std::ptrdiff_t>(sizeof(TrivialStruct)));
+    EXPECT_TRUE(type->committed());
+    // Construct-on-first-use: repeated queries yield the same handle, no
+    // per-call type construction.
+    EXPECT_EQ(mpi_datatype<TrivialStruct>(), type);
+}
+
+struct ReflectedStruct {
+    int a;
+    double b;
+    char c;
+    bool operator==(ReflectedStruct const&) const = default;
+};
+
+} // namespace
+
+// Opt into a real MPI struct type via reflection (paper, Fig. 4).
+template <>
+struct kamping::mpi_type_traits<ReflectedStruct> : kamping::struct_type<ReflectedStruct> {};
+
+namespace {
+
+TEST(KampingTypes, StructTypeSkipsPadding) {
+    auto* type = mpi_datatype<ReflectedStruct>();
+    // The struct type only communicates the significant bytes.
+    EXPECT_EQ(type->size(), sizeof(int) + sizeof(double) + sizeof(char));
+    EXPECT_LT(type->size(), sizeof(ReflectedStruct));
+    EXPECT_EQ(type->extent(), static_cast<std::ptrdiff_t>(sizeof(ReflectedStruct)));
+}
+
+TEST(KampingTypes, StructTypeRoundTripsThroughCollectives) {
+    World::run(3, [] {
+        Communicator comm;
+        std::vector<ReflectedStruct> const mine{
+            {comm.rank(), comm.rank() * 0.5, static_cast<char>('a' + comm.rank())}};
+        auto all = comm.allgatherv(send_buf(mine));
+        ASSERT_EQ(all.size(), 3u);
+        for (int r = 0; r < 3; ++r) {
+            EXPECT_EQ(
+                all[static_cast<std::size_t>(r)],
+                (ReflectedStruct{r, r * 0.5, static_cast<char>('a' + r)}));
+        }
+    });
+}
+
+struct CustomTypeTag {
+    double values[2];
+};
+
+} // namespace
+
+// Fully custom type definition (paper, Fig. 4, second variant).
+template <>
+struct kamping::mpi_type_traits<CustomTypeTag> {
+    static constexpr bool has_to_be_committed = true;
+    static XMPI_Datatype data_type() {
+        XMPI_Datatype type = XMPI_DATATYPE_NULL;
+        XMPI_Type_contiguous(2, XMPI_DOUBLE, &type);
+        return type;
+    }
+};
+
+namespace {
+
+TEST(KampingTypes, CustomTraitTakesPrecedence) {
+    auto* type = mpi_datatype<CustomTypeTag>();
+    EXPECT_EQ(type->size(), 2 * sizeof(double));
+    EXPECT_TRUE(type->committed());
+    EXPECT_TRUE(type->is_homogeneous());
+    EXPECT_EQ(type->element_kind(), xmpi::BuiltinType::double_);
+}
+
+TEST(KampingTypes, CustomTypeCommunicates) {
+    World::run(2, [] {
+        Communicator comm;
+        if (comm.rank() == 0) {
+            std::vector<CustomTypeTag> const data{{{1.0, 2.0}}, {{3.0, 4.0}}};
+            comm.send(send_buf(data), destination(1));
+        } else {
+            auto received = comm.recv<CustomTypeTag>(source(0));
+            ASSERT_EQ(received.size(), 2u);
+            EXPECT_EQ(received[1].values[0], 3.0);
+        }
+    });
+}
+
+TEST(KampingTypes, DynamicTypesViaNativeHandles) {
+    // Dynamic (runtime-sized) types: construct with MPI type constructors
+    // and use through the native-handle escape hatch (paper, Section III-D2).
+    World::run(2, [] {
+        Communicator comm;
+        XMPI_Datatype every_other = XMPI_DATATYPE_NULL;
+        XMPI_Type_vector(3, 1, 2, XMPI_INT, &every_other);
+        XMPI_Type_commit(&every_other);
+        if (comm.rank() == 0) {
+            std::vector<int> const data{1, 0, 2, 0, 3, 0};
+            XMPI_Send(data.data(), 1, every_other, 1, 0, comm.mpi_communicator());
+        } else {
+            std::vector<int> dense(3);
+            XMPI_Recv(
+                dense.data(), 3, XMPI_INT, 0, 0, comm.mpi_communicator(),
+                XMPI_STATUS_IGNORE);
+            EXPECT_EQ(dense, (std::vector<int>{1, 2, 3}));
+        }
+        XMPI_Type_free(&every_other);
+    });
+}
+
+TEST(KampingTypes, HasStaticTypeConcept) {
+    static_assert(has_static_type<int>);
+    static_assert(has_static_type<TrivialStruct>);
+    static_assert(has_static_type<ReflectedStruct>);
+    static_assert(!has_static_type<std::vector<int>>);
+    static_assert(!has_static_type<std::string>);
+}
+
+} // namespace

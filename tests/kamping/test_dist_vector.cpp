@@ -1,0 +1,171 @@
+/// @file test_dist_vector.cpp
+/// @brief DistributedVector: the bulk-parallel building blocks of the
+/// paper's Section VI vision, verified against local STL equivalents.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "kamping/dist/vector.hpp"
+#include "xmpi/xmpi.hpp"
+
+namespace {
+
+using kamping::dist::DistributedVector;
+using xmpi::World;
+
+class DistVector : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    WorldSizes, DistVector, ::testing::Values(1, 2, 3, 4, 7),
+    [](auto const& info) { return "p" + std::to_string(info.param); });
+
+TEST_P(DistVector, IotaCoversTheRangeExactlyOnce) {
+    World::run(GetParam(), [] {
+        auto const numbers = DistributedVector<std::uint64_t>::iota(XMPI_COMM_WORLD, 100);
+        EXPECT_EQ(numbers.global_size(), 100u);
+        auto const everything = numbers.gather_to_root();
+        kamping::Communicator comm;
+        if (comm.rank() == 0) {
+            ASSERT_EQ(everything.size(), 100u);
+            for (std::uint64_t i = 0; i < 100; ++i) {
+                EXPECT_EQ(everything[i], i);
+            }
+        }
+    });
+}
+
+TEST_P(DistVector, MapFilterReducePipeline) {
+    World::run(GetParam(), [] {
+        auto const result = DistributedVector<std::uint64_t>::iota(XMPI_COMM_WORLD, 1000)
+                                .map([](std::uint64_t x) { return x * x; })
+                                .filter([](std::uint64_t x) { return x % 2 == 0; })
+                                .reduce(std::uint64_t{0}, [](auto a, auto b) { return a + b; });
+        std::uint64_t expected = 0;
+        for (std::uint64_t x = 0; x < 1000; ++x) {
+            if ((x * x) % 2 == 0) {
+                expected += x * x;
+            }
+        }
+        EXPECT_EQ(result, expected);
+    });
+}
+
+TEST_P(DistVector, PrefixSumMatchesSequentialScan) {
+    World::run(GetParam(), [] {
+        auto const numbers = DistributedVector<long>::iota(XMPI_COMM_WORLD, 64);
+        auto const prefix = numbers.prefix_sum();
+        // prefix[i] = sum of 0..i-1 = i*(i-1)/2 in global element order.
+        kamping::Communicator comm;
+        std::uint64_t offset = comm.exscan_single(
+            kamping::send_buf(static_cast<std::uint64_t>(numbers.local_size())),
+            kamping::op(std::plus<>{}),
+            kamping::values_on_rank_0(std::uint64_t{0}));
+        for (std::size_t i = 0; i < prefix.local_size(); ++i) {
+            long const global = static_cast<long>(offset + i);
+            EXPECT_EQ(prefix.local()[i], global * (global - 1) / 2);
+        }
+    });
+}
+
+TEST_P(DistVector, SortThenRebalanceYieldsEvenSortedBlocks) {
+    World::run(GetParam(), [] {
+        kamping::Communicator comm;
+        // Deterministic pseudo-random data per rank.
+        std::vector<int> local(40);
+        for (std::size_t i = 0; i < local.size(); ++i) {
+            local[i] = static_cast<int>((comm.rank() * 7919 + static_cast<int>(i) * 104729) % 1000);
+        }
+        DistributedVector<int> const data(XMPI_COMM_WORLD, local);
+        auto const sorted = data.sort().rebalance();
+
+        EXPECT_TRUE(std::is_sorted(sorted.local().begin(), sorted.local().end()));
+        EXPECT_EQ(sorted.global_size(), 40u * comm.size());
+        // Balanced: every rank within one element of the average.
+        auto const average = 40u;
+        EXPECT_LE(sorted.local_size(), average + 1);
+        EXPECT_GE(sorted.local_size() + 1, average);
+        // Globally ordered across blocks.
+        auto const everything = sorted.gather_to_root();
+        if (comm.rank() == 0) {
+            EXPECT_TRUE(std::is_sorted(everything.begin(), everything.end()));
+        }
+    });
+}
+
+TEST_P(DistVector, ExchangeByKeyGroupsEqualKeysOnOneRank) {
+    World::run(GetParam(), [] {
+        kamping::Communicator comm;
+        // Every rank holds the same key set: after the shuffle each key
+        // lives on exactly one rank, size() copies of it.
+        std::vector<int> local;
+        for (int key = 0; key < 20; ++key) {
+            local.push_back(key);
+        }
+        DistributedVector<int> const data(XMPI_COMM_WORLD, local);
+        auto const shuffled = data.exchange_by_key([](int x) { return x; });
+
+        std::unordered_map<int, std::size_t> occurrences;
+        for (int const key: shuffled.local()) {
+            ++occurrences[key];
+        }
+        for (auto const& [key, count]: occurrences) {
+            EXPECT_EQ(count, comm.size()) << "all copies of key " << key
+                                          << " must land on one rank";
+        }
+        EXPECT_EQ(shuffled.global_size(), 20u * comm.size());
+    });
+}
+
+TEST_P(DistVector, ExchangeByKeySerializesHeapBackedElements) {
+    World::run(GetParam(), [] {
+        kamping::Communicator comm;
+        std::vector<std::string> local{
+            "alpha", "beta", "gamma", "alpha", "rank" + std::to_string(comm.rank())};
+        DistributedVector<std::string> const words(XMPI_COMM_WORLD, local);
+        auto const shuffled =
+            words.exchange_by_key([](std::string const& word) { return word; });
+
+        // Equal words meet on one rank: count "alpha" occurrences locally;
+        // a rank either sees all of them or none.
+        std::size_t const alphas = static_cast<std::size_t>(std::count(
+            shuffled.local().begin(), shuffled.local().end(), "alpha"));
+        EXPECT_TRUE(alphas == 0 || alphas == 2 * comm.size());
+        EXPECT_EQ(shuffled.global_size(), 5u * comm.size());
+    });
+}
+
+TEST(DistVectorSingle, WordCountPipeline) {
+    // The MapReduce hello-world over the toolbox (Section VI vision).
+    World::run(4, [] {
+        kamping::Communicator comm;
+        std::vector<std::string> const corpus[4] = {
+            {"the", "quick", "brown", "fox"},
+            {"the", "lazy", "dog"},
+            {"the", "fox"},
+            {"quick", "quick"},
+        };
+        DistributedVector<std::string> const words(
+            XMPI_COMM_WORLD, corpus[static_cast<std::size_t>(comm.rank())]);
+        auto const grouped = words.exchange_by_key([](std::string const& w) { return w; });
+        std::unordered_map<std::string, int> counts;
+        for (auto const& word: grouped.local()) {
+            ++counts[word];
+        }
+        // Each word is counted on exactly one rank; "the" appears 3 times.
+        if (counts.contains("the")) {
+            EXPECT_EQ(counts.at("the"), 3);
+        }
+        if (counts.contains("quick")) {
+            EXPECT_EQ(counts.at("quick"), 3);
+        }
+        int const distinct_here = static_cast<int>(counts.size());
+        int const distinct_total = comm.allreduce_single(
+            kamping::send_buf(distinct_here), kamping::op(std::plus<>{}));
+        EXPECT_EQ(distinct_total, 6); // the quick brown fox lazy dog
+    });
+}
+
+} // namespace

@@ -1,0 +1,259 @@
+/// @file test_extensions.cpp
+/// @brief Extensions and utilities: BoundedRequestPool (the paper's
+/// in-progress slot-limited pool), with_flattened variants, the
+/// measurements Timer, std::span buffers, and assorted buffer edge cases.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <map>
+#include <span>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "kamping/kamping.hpp"
+#include "xmpi/xmpi.hpp"
+
+namespace {
+
+using namespace kamping;
+using xmpi::World;
+
+TEST(BoundedPool, CapsConcurrentRequests) {
+    World::run(2, [] {
+        Communicator comm;
+        BoundedRequestPool pool(4);
+        EXPECT_EQ(pool.capacity(), 4u);
+        if (comm.rank() == 0) {
+            // 10 sends through 4 slots: add() must recycle completed slots.
+            for (int i = 0; i < 10; ++i) {
+                pool.add(comm.isend(send_buf({i}), destination(1), tag(i)));
+                EXPECT_LE(pool.size(), 4u);
+            }
+            pool.wait_all();
+            EXPECT_EQ(pool.size(), 0u);
+        } else {
+            for (int i = 0; i < 10; ++i) {
+                EXPECT_EQ(comm.recv<int>(source(0), tag(i)).front(), i);
+            }
+        }
+        comm.barrier();
+    });
+}
+
+TEST(BoundedPool, BlocksUntilSlotFreesForPendingReceives) {
+    World::run(2, [] {
+        Communicator comm;
+        if (comm.rank() == 0) {
+            BoundedRequestPool pool(2);
+            std::vector<std::vector<int>> sinks(3, std::vector<int>(1));
+            pool.add(comm.irecv<int>(recv_buf(sinks[0]), recv_count(1), source(1), tag(0)));
+            pool.add(comm.irecv<int>(recv_buf(sinks[1]), recv_count(1), source(1), tag(1)));
+            comm.barrier(); // let the sender fire
+            // The third add must drain the completed slots, not overflow.
+            pool.add(comm.irecv<int>(recv_buf(sinks[2]), recv_count(1), source(1), tag(2)));
+            EXPECT_LE(pool.size(), 2u);
+            pool.wait_all();
+            EXPECT_EQ(sinks[0].front(), 100);
+            EXPECT_EQ(sinks[1].front(), 101);
+            EXPECT_EQ(sinks[2].front(), 102);
+        } else {
+            comm.barrier();
+            for (int i = 0; i < 3; ++i) {
+                comm.send(send_buf({100 + i}), destination(0), tag(i));
+            }
+        }
+    });
+}
+
+TEST(Utils, WithFlattenedOnOrderedMap) {
+    std::map<int, std::vector<int>> messages;
+    messages[2] = {20, 21};
+    messages[0] = {00};
+    auto flattened = with_flattened(messages, 4);
+    EXPECT_EQ(flattened.counts, (std::vector<int>{1, 0, 2, 0}));
+    EXPECT_EQ(flattened.data, (std::vector<int>{00, 20, 21}));
+}
+
+TEST(Utils, WithFlattenedOnVectorOfVectors) {
+    std::vector<std::vector<long>> messages{{1, 2}, {}, {3}};
+    auto flattened = with_flattened(messages, 3);
+    EXPECT_EQ(flattened.counts, (std::vector<int>{2, 0, 1}));
+    EXPECT_EQ(flattened.data, (std::vector<long>{1, 2, 3}));
+}
+
+TEST(Utils, WithFlattenedCallForwardsNamedParameters) {
+    World::run(3, [] {
+        Communicator comm;
+        std::unordered_map<int, std::vector<int>> messages;
+        for (int dest = 0; dest < 3; ++dest) {
+            messages[dest] = {comm.rank() * 10 + dest};
+        }
+        auto received = with_flattened(messages, comm.size()).call([&](auto... flattened) {
+            return comm.alltoallv(std::move(flattened)...);
+        });
+        ASSERT_EQ(received.size(), 3u);
+        for (int source_rank = 0; source_rank < 3; ++source_rank) {
+            EXPECT_EQ(
+                received[static_cast<std::size_t>(source_rank)],
+                source_rank * 10 + comm.rank());
+        }
+    });
+}
+
+TEST(Utils, TimerAggregatesMaxAcrossRanks) {
+    World::run(3, [] {
+        Communicator comm;
+        measurements::Timer timer;
+        timer.start("phase");
+        // Rank 2 is the slowest.
+        std::this_thread::sleep_for(std::chrono::milliseconds(comm.rank() == 2 ? 30 : 1));
+        timer.stop();
+        double const local = timer.local("phase");
+        double const slowest = timer.aggregate_max("phase", comm.mpi_communicator());
+        EXPECT_GE(slowest, local);
+        EXPECT_GE(slowest, 0.025);
+        EXPECT_EQ(timer.local("unknown"), 0.0);
+        timer.clear();
+        EXPECT_EQ(timer.local("phase"), 0.0);
+    });
+}
+
+TEST(Buffers, SpanAsRecvBufWritesThroughWithoutResize) {
+    World::run(2, [] {
+        Communicator comm;
+        std::vector<int> backing(2, -1);
+        std::span<int> view(backing);
+        comm.allgatherv(
+            send_buf({comm.rank() + 5}), recv_buf(view),
+            recv_counts(std::vector<int>{1, 1}));
+        EXPECT_EQ(backing, (std::vector<int>{5, 6}));
+    });
+}
+
+TEST(Buffers, StringAsMessageBuffer) {
+    World::run(2, [] {
+        Communicator comm;
+        if (comm.rank() == 0) {
+            std::string const text = "contiguous chars";
+            comm.send(send_buf(text), destination(1));
+        } else {
+            auto const received = comm.recv<char>(source(0));
+            EXPECT_EQ(
+                std::string(received.begin(), received.end()), "contiguous chars");
+        }
+    });
+}
+
+TEST(Buffers, BoolResultsUsePlainBoolStorage) {
+    World::run(4, [] {
+        Communicator comm;
+        auto gathered = comm.allgather(send_buf(comm.rank() % 2 == 0));
+        ASSERT_EQ(gathered.size(), 4u);
+        EXPECT_TRUE(gathered[0]);
+        EXPECT_FALSE(gathered[1]);
+        EXPECT_TRUE(gathered[2]);
+        EXPECT_FALSE(gathered[3]);
+    });
+}
+
+TEST(Buffers, SendRecvBufReferencingModifiesInPlace) {
+    World::run(3, [] {
+        Communicator comm;
+        std::vector<int> data(3, -1);
+        data[static_cast<std::size_t>(comm.rank())] = comm.rank() * 4;
+        comm.allgather(send_recv_buf(data)); // lvalue: modified in place
+        EXPECT_EQ(data, (std::vector<int>{0, 4, 8}));
+    });
+}
+
+TEST(Buffers, GatherRespectsNonZeroRootWithMovedStorage) {
+    World::run(3, [] {
+        Communicator comm;
+        std::vector<int> reusable;
+        auto result =
+            comm.gather(send_buf({comm.rank()}), recv_buf(std::move(reusable)), root(1));
+        if (comm.rank() == 1) {
+            EXPECT_EQ(result, (std::vector<int>{0, 1, 2}));
+        } else {
+            EXPECT_TRUE(result.empty());
+        }
+    });
+}
+
+} // namespace
+
+namespace {
+
+TEST(P2pExtensions, StatusOutReturnsSourceTagAndCount) {
+    World::run(2, [] {
+        Communicator comm;
+        if (comm.rank() == 0) {
+            comm.send(send_buf({1, 2, 3}), destination(1), tag(17));
+        } else {
+            auto [data, status] = comm.recv<int>(status_out());
+            EXPECT_EQ(data, (std::vector<int>{1, 2, 3}));
+            EXPECT_EQ(status.source, 0);
+            EXPECT_EQ(status.tag, 17);
+            EXPECT_EQ(status.bytes, 3 * sizeof(int));
+        }
+    });
+}
+
+TEST(P2pExtensions, StatusOutReferencingWritesThrough) {
+    World::run(2, [] {
+        Communicator comm;
+        if (comm.rank() == 0) {
+            comm.send(send_buf({9}), destination(1), tag(4));
+        } else {
+            xmpi::Status status;
+            auto data = comm.recv<int>(status_out(status), source(0));
+            EXPECT_EQ(data.front(), 9);
+            EXPECT_EQ(status.tag, 4);
+        }
+    });
+}
+
+TEST(P2pExtensions, RecvCountOutTogetherWithStatusOut) {
+    World::run(2, [] {
+        Communicator comm;
+        if (comm.rank() == 0) {
+            comm.send(send_buf({5, 6}), destination(1));
+        } else {
+            auto result = comm.recv<int>(recv_count_out(), status_out());
+            auto count = result.extract_recv_count();
+            auto data = result.extract_recv_buf();
+            EXPECT_EQ(count, 2);
+            EXPECT_EQ(data, (std::vector<int>{5, 6}));
+        }
+    });
+}
+
+TEST(P2pExtensions, SynchronousSendModeBlocksUntilMatched) {
+    World::run(2, [] {
+        Communicator comm;
+        if (comm.rank() == 0) {
+            double const start = XMPI_Wtime();
+            comm.send(
+                send_buf({1}), destination(1), send_mode(send_modes::synchronous));
+            EXPECT_GE(XMPI_Wtime() - start, 0.02)
+                << "synchronous mode must wait for the matching receive";
+        } else {
+            std::this_thread::sleep_for(std::chrono::milliseconds(40));
+            (void)comm.recv<int>(source(0));
+        }
+    });
+}
+
+TEST(P2pExtensions, StandardSendModeIsExplicitlySelectable) {
+    World::run(2, [] {
+        Communicator comm;
+        if (comm.rank() == 0) {
+            comm.send(send_buf({2}), destination(1), send_mode(send_modes::standard));
+        } else {
+            EXPECT_EQ(comm.recv<int>(source(0)).front(), 2);
+        }
+    });
+}
+
+} // namespace

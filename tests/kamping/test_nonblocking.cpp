@@ -1,0 +1,276 @@
+/// @file test_nonblocking.cpp
+/// @brief Non-blocking safety (paper, Section III-E, Fig. 6): ownership
+/// transfer, wait/test semantics, request pools.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "kamping/kamping.hpp"
+#include "xmpi/xmpi.hpp"
+
+namespace {
+
+using namespace kamping;
+using xmpi::World;
+
+TEST(KampingNonBlocking, Fig6OwnershipRoundTrip) {
+    World::run(2, [] {
+        Communicator comm;
+        if (comm.rank() == 0) {
+            std::vector<int> v{1, 2, 3};
+            auto r1 = comm.isend(send_buf_out(std::move(v)), destination(1));
+            v = r1.wait(); // moved back after completion, no copy
+            EXPECT_EQ(v, (std::vector<int>{1, 2, 3}));
+        } else {
+            auto r2 = comm.irecv<int>(recv_count(3), source(0));
+            std::vector<int> data = r2.wait(); // only returned after completion
+            EXPECT_EQ(data, (std::vector<int>{1, 2, 3}));
+        }
+    });
+}
+
+TEST(KampingNonBlocking, TestReturnsNulloptWhileIncomplete) {
+    World::run(2, [] {
+        Communicator comm;
+        if (comm.rank() == 1) {
+            auto pending = comm.irecv<int>(recv_count(1), source(0), tag(5));
+            // Nothing sent yet (sender waits on the barrier below): test()
+            // must yield nullopt, never invalid data.
+            auto premature = pending.test();
+            EXPECT_FALSE(premature.has_value());
+            comm.barrier();
+            std::vector<int> data = pending.wait();
+            EXPECT_EQ(data, (std::vector<int>{77}));
+        } else {
+            comm.barrier();
+            comm.send(send_buf({77}), destination(1), tag(5));
+        }
+    });
+}
+
+TEST(KampingNonBlocking, TestEventuallyDeliversValue) {
+    World::run(2, [] {
+        Communicator comm;
+        if (comm.rank() == 1) {
+            auto pending = comm.irecv<int>(recv_count(2), source(0));
+            std::optional<std::vector<int>> result;
+            while (!(result = pending.test()).has_value()) {
+                std::this_thread::yield();
+            }
+            EXPECT_EQ(*result, (std::vector<int>{4, 5}));
+        } else {
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+            comm.send(send_buf({4, 5}), destination(1));
+        }
+    });
+}
+
+TEST(KampingNonBlocking, IssendCompletesOnlyWhenMatched) {
+    World::run(2, [] {
+        Communicator comm;
+        if (comm.rank() == 0) {
+            std::vector<int> v{9};
+            auto pending = comm.issend(send_buf_out(std::move(v)), destination(1));
+            EXPECT_FALSE(pending.test_completed());
+            comm.barrier();
+            v = pending.wait();
+            EXPECT_EQ(v, (std::vector<int>{9}));
+        } else {
+            comm.barrier();
+            auto data = comm.recv<int>(source(0));
+            EXPECT_EQ(data, (std::vector<int>{9}));
+        }
+    });
+}
+
+TEST(KampingNonBlocking, ReferencingSendBufReturnsNothing) {
+    World::run(2, [] {
+        Communicator comm;
+        if (comm.rank() == 0) {
+            std::vector<int> const v{10, 11};
+            auto pending = comm.isend(send_buf(v), destination(1));
+            static_assert(std::is_void_v<decltype(pending.wait())>);
+            pending.wait();
+        } else {
+            EXPECT_EQ(comm.recv<int>(source(0)), (std::vector<int>{10, 11}));
+        }
+    });
+}
+
+TEST(KampingNonBlocking, RequestPoolWaitsForAll) {
+    World::run(4, [] {
+        Communicator comm;
+        RequestPool pool;
+        std::vector<std::vector<int>> received(4);
+        // Everyone receives from everyone (including self).
+        for (int peer = 0; peer < 4; ++peer) {
+            received[static_cast<std::size_t>(peer)].resize(1);
+            pool.add(comm.irecv<int>(
+                recv_buf(received[static_cast<std::size_t>(peer)]), recv_count(1),
+                source(peer)));
+        }
+        EXPECT_EQ(pool.size(), 4u);
+        for (int peer = 0; peer < 4; ++peer) {
+            pool.add(comm.isend(send_buf({comm.rank() * 10}), destination(peer)));
+        }
+        pool.wait_all();
+        EXPECT_TRUE(pool.empty());
+        for (int peer = 0; peer < 4; ++peer) {
+            EXPECT_EQ(received[static_cast<std::size_t>(peer)].front(), peer * 10);
+        }
+    });
+}
+
+TEST(KampingNonBlocking, PoolTestAllDrainsIncrementally) {
+    World::run(2, [] {
+        Communicator comm;
+        RequestPool pool;
+        if (comm.rank() == 0) {
+            std::vector<int> sink(1);
+            pool.add(comm.irecv<int>(recv_buf(sink), recv_count(1), source(1)));
+            EXPECT_FALSE(pool.test_all()) << "nothing sent yet";
+            comm.barrier();
+            while (!pool.test_all()) {
+                std::this_thread::yield();
+            }
+            EXPECT_EQ(sink.front(), 123);
+        } else {
+            comm.barrier();
+            comm.send(send_buf({123}), destination(0));
+        }
+    });
+}
+
+TEST(KampingNonBlocking, AbandonedRecvIsCancelledSafely) {
+    World::run(2, [] {
+        Communicator comm;
+        {
+            auto pending = comm.irecv<int>(recv_count(1), source(1 - comm.rank()), tag(99));
+            // Dropped without wait(): destructor must cancel, not hang.
+        }
+        comm.barrier();
+    });
+}
+
+} // namespace
+
+namespace {
+
+TEST(NonBlockingCollectives, XmpiIbcastOverlapsWithP2p) {
+    World::run(4, [] {
+        int rank = -1;
+        XMPI_Comm_rank(XMPI_COMM_WORLD, &rank);
+        std::vector<int> payload(8, rank == 1 ? 77 : -1);
+        XMPI_Request bcast_request = XMPI_REQUEST_NULL;
+        ASSERT_EQ(
+            XMPI_Ibcast(payload.data(), 8, XMPI_INT, 1, XMPI_COMM_WORLD, &bcast_request),
+            XMPI_SUCCESS);
+        // Unrelated p2p traffic while the broadcast is in flight.
+        if (rank == 0) {
+            int const value = 5;
+            XMPI_Send(&value, 1, XMPI_INT, 3, 9, XMPI_COMM_WORLD);
+        } else if (rank == 3) {
+            int value = 0;
+            XMPI_Recv(&value, 1, XMPI_INT, 0, 9, XMPI_COMM_WORLD, XMPI_STATUS_IGNORE);
+            EXPECT_EQ(value, 5);
+        }
+        ASSERT_EQ(XMPI_Wait(&bcast_request, XMPI_STATUS_IGNORE), XMPI_SUCCESS);
+        EXPECT_EQ(payload, std::vector<int>(8, 77));
+    });
+}
+
+TEST(NonBlockingCollectives, TwoIbcastsInFlightDoNotMix) {
+    World::run(3, [] {
+        int rank = -1;
+        XMPI_Comm_rank(XMPI_COMM_WORLD, &rank);
+        int first = rank == 0 ? 111 : 0;
+        int second = rank == 0 ? 222 : 0;
+        XMPI_Request requests[2];
+        // Two same-kind collectives in flight: the per-initiation sequence
+        // tags keep their messages apart.
+        ASSERT_EQ(XMPI_Ibcast(&first, 1, XMPI_INT, 0, XMPI_COMM_WORLD, &requests[0]), XMPI_SUCCESS);
+        ASSERT_EQ(XMPI_Ibcast(&second, 1, XMPI_INT, 0, XMPI_COMM_WORLD, &requests[1]), XMPI_SUCCESS);
+        ASSERT_EQ(XMPI_Waitall(2, requests, XMPI_STATUSES_IGNORE), XMPI_SUCCESS);
+        EXPECT_EQ(first, 111);
+        EXPECT_EQ(second, 222);
+    });
+}
+
+TEST(NonBlockingCollectives, XmpiIallreduce) {
+    World::run(5, [] {
+        int rank = -1;
+        XMPI_Comm_rank(XMPI_COMM_WORLD, &rank);
+        long const mine = rank + 1;
+        long sum = 0;
+        XMPI_Request request = XMPI_REQUEST_NULL;
+        ASSERT_EQ(
+            XMPI_Iallreduce(&mine, &sum, 1, XMPI_LONG, XMPI_SUM, XMPI_COMM_WORLD, &request),
+            XMPI_SUCCESS);
+        ASSERT_EQ(XMPI_Wait(&request, XMPI_STATUS_IGNORE), XMPI_SUCCESS);
+        EXPECT_EQ(sum, 15);
+    });
+}
+
+TEST(NonBlockingCollectives, XmpiIalltoallv) {
+    World::run(4, [] {
+        int rank = -1;
+        XMPI_Comm_rank(XMPI_COMM_WORLD, &rank);
+        std::vector<int> const counts(4, 1);
+        std::vector<int> const displs{0, 1, 2, 3};
+        std::vector<int> send(4);
+        for (int i = 0; i < 4; ++i) {
+            send[static_cast<std::size_t>(i)] = rank * 10 + i;
+        }
+        std::vector<int> recv(4, -1);
+        XMPI_Request request = XMPI_REQUEST_NULL;
+        ASSERT_EQ(
+            XMPI_Ialltoallv(
+                send.data(), counts.data(), displs.data(), XMPI_INT, recv.data(),
+                counts.data(), displs.data(), XMPI_INT, XMPI_COMM_WORLD, &request),
+            XMPI_SUCCESS);
+        ASSERT_EQ(XMPI_Wait(&request, XMPI_STATUS_IGNORE), XMPI_SUCCESS);
+        for (int i = 0; i < 4; ++i) {
+            EXPECT_EQ(recv[static_cast<std::size_t>(i)], i * 10 + rank);
+        }
+    });
+}
+
+TEST(NonBlockingCollectives, KampingIbcastOwnsTheBufferUntilWait) {
+    World::run(4, [] {
+        Communicator comm;
+        std::vector<double> payload(16, comm.rank() == 2 ? 2.5 : 0.0);
+        auto pending = comm.ibcast(send_recv_buf(std::move(payload)), root(2));
+        payload = pending.wait(); // returned only after completion
+        EXPECT_EQ(payload, std::vector<double>(16, 2.5));
+    });
+}
+
+TEST(NonBlockingCollectives, KampingIallreduceInPlace) {
+    World::run(4, [] {
+        Communicator comm;
+        std::vector<long> data{comm.rank() + 1, 10L * (comm.rank() + 1)};
+        auto pending = comm.iallreduce(send_recv_buf(std::move(data)), op(std::plus<>{}));
+        // Do something else while it runs.
+        comm.barrier();
+        data = pending.wait();
+        EXPECT_EQ(data, (std::vector<long>{10, 100}));
+    });
+}
+
+TEST(NonBlockingCollectives, MixedNbcAndBlockingCollectivesInterleave) {
+    World::run(4, [] {
+        Communicator comm;
+        std::vector<int> broadcast_data(4, comm.rank() == 0 ? 3 : 0);
+        auto pending = comm.ibcast(send_recv_buf(std::move(broadcast_data)));
+        // A blocking collective on the same communicator while the NBC is in
+        // flight: contexts are disjoint, both must complete correctly.
+        int const sum = comm.allreduce_single(send_buf(1), op(std::plus<>{}));
+        EXPECT_EQ(sum, 4);
+        broadcast_data = pending.wait();
+        EXPECT_EQ(broadcast_data, std::vector<int>(4, 3));
+    });
+}
+
+} // namespace

@@ -1,0 +1,74 @@
+/// @file test_kassert.cpp
+/// @brief The levelled assertion library: level gating, message formatting,
+/// handler replacement, throwing assertions.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "kassert/kassert.hpp"
+
+namespace {
+
+TEST(Kassert, LevelsAreOrderedByCost) {
+    static_assert(kassert::assertion_level::light < kassert::assertion_level::normal);
+    static_assert(kassert::assertion_level::normal < kassert::assertion_level::heavy);
+    static_assert(kassert::assertion_level::heavy < kassert::assertion_level::communication);
+}
+
+TEST(Kassert, DefaultLevelCompilesNormalInAndHeavyOut) {
+    // This TU uses the default threshold (normal).
+    static_assert(KASSERT_ENABLED(kassert::assertion_level::light));
+    static_assert(KASSERT_ENABLED(kassert::assertion_level::normal));
+    static_assert(!KASSERT_ENABLED(kassert::assertion_level::heavy));
+    static_assert(!KASSERT_ENABLED(kassert::assertion_level::communication));
+}
+
+TEST(Kassert, PassingAssertionHasNoEffect) {
+    KASSERT(1 + 1 == 2);
+    KASSERT(true, "with message");
+    KASSERT(true, "with level", kassert::assertion_level::light);
+}
+
+TEST(Kassert, DisabledLevelNeverEvaluates) {
+    bool evaluated = false;
+    auto const probe = [&] {
+        evaluated = true;
+        return false;
+    };
+    // heavy > default threshold: the expression must not even be evaluated.
+    KASSERT(probe(), "never reached", kassert::assertion_level::heavy);
+    EXPECT_FALSE(evaluated);
+}
+
+TEST(Kassert, FailureInvokesReplacedHandlerWithFormattedMessage) {
+    std::string captured;
+    auto previous = kassert::set_failure_handler([&](std::string const& message) {
+        captured = message;
+        throw std::runtime_error("stop");
+    });
+    int const value = 41;
+    try {
+        KASSERT(value == 42, "value was " << value);
+    } catch (std::runtime_error const&) {
+    }
+    kassert::set_failure_handler(previous);
+    EXPECT_NE(captured.find("value == 42"), std::string::npos) << captured;
+    EXPECT_NE(captured.find("value was 41"), std::string::npos) << captured;
+    EXPECT_NE(captured.find("test_kassert.cpp"), std::string::npos) << captured;
+}
+
+TEST(Kassert, ThrowingAssertionThrowsWithMessage) {
+    try {
+        THROWING_KASSERT(2 > 3, "math still works: " << 2 << " vs " << 3);
+        FAIL() << "must throw";
+    } catch (kassert::AssertionFailed const& failure) {
+        EXPECT_NE(std::string(failure.what()).find("2 > 3"), std::string::npos);
+        EXPECT_NE(std::string(failure.what()).find("math still works"), std::string::npos);
+    }
+}
+
+TEST(Kassert, ThrowingAssertionPassesQuietly) {
+    EXPECT_NO_THROW(THROWING_KASSERT(3 > 2, "unused"));
+}
+
+} // namespace

@@ -1,0 +1,94 @@
+/// @file test_reflect.cpp
+/// @brief Aggregate reflection: arity, member visitation, offsets.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <string>
+
+#include "kaserial/reflect.hpp"
+
+namespace {
+
+namespace reflect = kaserial::reflect;
+
+struct One {
+    int a;
+};
+struct Three {
+    int a;
+    double b;
+    char c;
+};
+struct WithArrayMember {
+    std::array<int, 4> values;
+    float scale;
+};
+struct Nested {
+    Three inner;
+    long tail;
+};
+struct Empty {};
+
+static_assert(reflect::arity<One> == 1);
+static_assert(reflect::arity<Three> == 3);
+static_assert(reflect::arity<WithArrayMember> == 2);
+static_assert(reflect::arity<Nested> == 2);
+static_assert(reflect::arity<Empty> == 0);
+static_assert(reflect::reflectable<Three>);
+static_assert(!reflect::reflectable<std::string>);
+
+TEST(Reflect, VisitReadsMembersInDeclarationOrder) {
+    Three const value{7, 2.5, 'z'};
+    reflect::visit_members(value, [](auto const& a, auto const& b, auto const& c) {
+        EXPECT_EQ(a, 7);
+        EXPECT_EQ(b, 2.5);
+        EXPECT_EQ(c, 'z');
+    });
+}
+
+TEST(Reflect, VisitMutatesThroughReferences) {
+    Three value{0, 0.0, ' '};
+    reflect::visit_members(value, [](auto& a, auto& b, auto& c) {
+        a = 1;
+        b = 2.0;
+        c = 'q';
+    });
+    EXPECT_EQ(value.a, 1);
+    EXPECT_EQ(value.b, 2.0);
+    EXPECT_EQ(value.c, 'q');
+}
+
+TEST(Reflect, MemberOffsetsMatchOffsetof) {
+    Three const value{};
+    auto const offsets = reflect::member_offsets(value);
+    EXPECT_EQ(offsets[0], static_cast<std::ptrdiff_t>(offsetof(Three, a)));
+    EXPECT_EQ(offsets[1], static_cast<std::ptrdiff_t>(offsetof(Three, b)));
+    EXPECT_EQ(offsets[2], static_cast<std::ptrdiff_t>(offsetof(Three, c)));
+}
+
+TEST(Reflect, WideAggregates) {
+    struct Wide {
+        int m01, m02, m03, m04, m05, m06, m07, m08;
+        int m09, m10, m11, m12, m13, m14, m15, m16;
+    };
+    static_assert(reflect::arity<Wide> == 16);
+    Wide value{};
+    int sum = 0;
+    reflect::visit_members(value, [&](auto&... members) {
+        int index = 0;
+        ((members = ++index), ...);
+        sum = (members + ...);
+    });
+    EXPECT_EQ(sum, 16 * 17 / 2);
+}
+
+TEST(Reflect, ReturnValuePassthrough) {
+    Three const value{4, 0.5, 'k'};
+    auto const product =
+        reflect::visit_members(value, [](auto const& a, auto const& b, auto const&) {
+            return a * b;
+        });
+    EXPECT_EQ(product, 2.0);
+}
+
+} // namespace

@@ -1,0 +1,160 @@
+/// @file test_serialize.cpp
+/// @brief Binary serialization round-trips for all supported type families.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <tuple>
+#include <unordered_map>
+#include <vector>
+
+#include "kaserial/kaserial.hpp"
+
+namespace {
+
+using kaserial::from_bytes;
+using kaserial::to_bytes;
+
+template <typename T>
+void expect_roundtrip(T const& value) {
+    auto const bytes = to_bytes(value);
+    EXPECT_EQ(from_bytes<T>(bytes), value);
+}
+
+TEST(BinarySerialize, Scalars) {
+    expect_roundtrip(42);
+    expect_roundtrip(-17L);
+    expect_roundtrip(3.14159);
+    expect_roundtrip(2.5f);
+    expect_roundtrip(true);
+    expect_roundtrip('x');
+    expect_roundtrip(std::uint64_t{0xdeadbeefcafebabe});
+}
+
+enum class Color : std::uint8_t { red, green, blue };
+
+TEST(BinarySerialize, Enums) {
+    expect_roundtrip(Color::green);
+}
+
+TEST(BinarySerialize, Strings) {
+    expect_roundtrip(std::string{});
+    expect_roundtrip(std::string{"hello world"});
+    expect_roundtrip(std::string(10000, 'q'));
+    expect_roundtrip(std::string{"embedded\0null", 13});
+}
+
+TEST(BinarySerialize, VectorsOfTrivialsUseExactLayout) {
+    std::vector<int> const value{1, 2, 3, 4, 5};
+    auto const bytes = to_bytes(value);
+    // 8-byte size tag + payload, no per-element overhead.
+    EXPECT_EQ(bytes.size(), 8 + 5 * sizeof(int));
+    EXPECT_EQ(from_bytes<std::vector<int>>(bytes), value);
+}
+
+TEST(BinarySerialize, NestedVectors) {
+    expect_roundtrip(std::vector<std::vector<double>>{{1.0, 2.0}, {}, {3.0}});
+    expect_roundtrip(std::vector<std::string>{"a", "", "abc"});
+}
+
+TEST(BinarySerialize, PairsAndTuples) {
+    expect_roundtrip(std::pair<int, std::string>{7, "seven"});
+    expect_roundtrip(std::tuple<int, double, std::string>{1, 2.5, "three"});
+}
+
+TEST(BinarySerialize, Optionals) {
+    expect_roundtrip(std::optional<int>{});
+    expect_roundtrip(std::optional<int>{13});
+    expect_roundtrip(std::optional<std::string>{"engaged"});
+}
+
+TEST(BinarySerialize, AssociativeContainers) {
+    expect_roundtrip(std::map<std::string, int>{{"a", 1}, {"b", 2}});
+    expect_roundtrip(std::unordered_map<std::string, std::string>{
+        {"key", "value"}, {"hello", "world"}, {"", "empty"}});
+    expect_roundtrip(std::set<int>{5, 3, 1});
+    expect_roundtrip(std::unordered_set<std::string>{"x", "y"});
+}
+
+TEST(BinarySerialize, DeeplyNestedComposite) {
+    std::map<std::string, std::vector<std::pair<int, std::optional<std::string>>>> const value{
+        {"first", {{1, "one"}, {2, std::nullopt}}},
+        {"second", {}},
+    };
+    expect_roundtrip(value);
+}
+
+struct PlainAggregate {
+    int id;
+    double weight;
+    std::string name;
+
+    bool operator==(PlainAggregate const&) const = default;
+};
+
+TEST(BinarySerialize, ReflectedAggregates) {
+    expect_roundtrip(PlainAggregate{3, 1.5, "node"});
+    expect_roundtrip(std::vector<PlainAggregate>{{1, 0.5, "a"}, {2, 2.5, "b"}});
+}
+
+struct WithMemberSerialize {
+    int raw = 0;
+    int doubled = 0; // derived, recomputed on load
+
+    template <typename Archive>
+    void serialize(Archive& archive) {
+        archive(raw);
+        if constexpr (Archive::is_loading) {
+            doubled = 2 * raw;
+        }
+    }
+
+    bool operator==(WithMemberSerialize const&) const = default;
+};
+
+TEST(BinarySerialize, MemberSerializeHook) {
+    WithMemberSerialize const value{21, 42};
+    auto const bytes = to_bytes(value);
+    EXPECT_EQ(bytes.size(), sizeof(int)) << "only `raw` is stored";
+    EXPECT_EQ(from_bytes<WithMemberSerialize>(bytes), value);
+}
+
+struct WithAdlSerialize {
+    int a = 0;
+    int b = 0;
+    bool operator==(WithAdlSerialize const&) const = default;
+};
+
+template <typename Archive>
+void serialize(Archive& archive, WithAdlSerialize& value) {
+    archive(value.a, value.b);
+}
+
+TEST(BinarySerialize, AdlSerializeHook) {
+    expect_roundtrip(WithAdlSerialize{1, 2});
+}
+
+TEST(BinarySerialize, TruncatedInputThrows) {
+    auto bytes = to_bytes(std::string{"some payload"});
+    bytes.resize(bytes.size() / 2);
+    EXPECT_THROW(from_bytes<std::string>(bytes), kaserial::SerializationError);
+}
+
+TEST(BinarySerialize, MultipleValuesInOneArchive) {
+    std::vector<std::byte> buffer;
+    kaserial::BinaryOutputArchive out(buffer);
+    out(1, std::string{"two"}, 3.0);
+    kaserial::BinaryInputArchive in(buffer);
+    int first = 0;
+    std::string second;
+    double third = 0.0;
+    in(first, second, third);
+    EXPECT_EQ(first, 1);
+    EXPECT_EQ(second, "two");
+    EXPECT_EQ(third, 3.0);
+    EXPECT_TRUE(in.exhausted());
+}
+
+} // namespace

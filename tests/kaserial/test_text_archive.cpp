@@ -1,0 +1,75 @@
+/// @file test_text_archive.cpp
+/// @brief Text archive round-trips and format properties.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "kaserial/text_archive.hpp"
+
+namespace {
+
+using kaserial::from_text;
+using kaserial::to_text;
+
+template <typename T>
+void expect_roundtrip(T const& value) {
+    auto const text = to_text(value);
+    EXPECT_EQ(from_text<T>(text), value) << "text was: " << text;
+}
+
+TEST(TextArchive, Scalars) {
+    expect_roundtrip(42);
+    expect_roundtrip(-1);
+    expect_roundtrip(true);
+    expect_roundtrip(false);
+}
+
+TEST(TextArchive, FloatsRoundTripLosslessly) {
+    expect_roundtrip(0.1);
+    expect_roundtrip(1.0 / 3.0);
+    expect_roundtrip(1e-300);
+    expect_roundtrip(-2.5f);
+}
+
+TEST(TextArchive, OutputIsHumanReadable) {
+    EXPECT_EQ(to_text(42), "42 ");
+    EXPECT_EQ(to_text(std::vector<int>{1, 2, 3}), "3 1 2 3 ");
+    EXPECT_EQ(to_text(std::string{"hi"}), "2 hi ");
+}
+
+TEST(TextArchive, StringsWithSpaces) {
+    expect_roundtrip(std::string{"hello world with spaces"});
+    expect_roundtrip(std::string{""});
+}
+
+TEST(TextArchive, Containers) {
+    expect_roundtrip(std::vector<double>{1.5, -2.25});
+    expect_roundtrip(std::map<int, std::string>{{1, "one"}, {2, "two"}});
+}
+
+struct Record {
+    int id;
+    std::string label;
+    bool operator==(Record const&) const = default;
+};
+
+TEST(TextArchive, ReflectedAggregates) {
+    expect_roundtrip(Record{9, "nine"});
+}
+
+TEST(TextArchive, MalformedInputThrows) {
+    EXPECT_THROW(from_text<int>("notanumber "), kaserial::SerializationError);
+    EXPECT_THROW(from_text<int>(""), kaserial::SerializationError);
+}
+
+TEST(TextArchive, BinaryAndTextAgreeOnValues) {
+    std::vector<std::string> const value{"alpha", "beta gamma", ""};
+    auto const text_copy = from_text<std::vector<std::string>>(to_text(value));
+    auto const binary_copy =
+        kaserial::from_bytes<std::vector<std::string>>(kaserial::to_bytes(value));
+    EXPECT_EQ(text_copy, binary_copy);
+}
+
+} // namespace

@@ -1,0 +1,251 @@
+/// @file test_mimics.cpp
+/// @brief Functional tests for the comparator binding styles (Boost.MPI /
+/// MPL / RWTH mimics) and their characteristic behaviours.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "mimic/boostmpi.hpp"
+#include "mimic/mpl.hpp"
+#include "mimic/rwth.hpp"
+#include "xmpi/xmpi.hpp"
+
+namespace {
+
+using xmpi::World;
+
+TEST(BoostMimic, SendRecvWithImplicitResize) {
+    World::run(2, [] {
+        mimic::boostmpi::communicator comm;
+        if (comm.rank() == 0) {
+            std::vector<int> const data{1, 2, 3, 4, 5};
+            comm.send(1, 0, data);
+        } else {
+            std::vector<int> data; // resized implicitly
+            comm.recv(0, 0, data);
+            EXPECT_EQ(data, (std::vector<int>{1, 2, 3, 4, 5}));
+        }
+    });
+}
+
+TEST(BoostMimic, ImplicitSerializationOfNonMpiTypes) {
+    World::run(2, [] {
+        mimic::boostmpi::communicator comm;
+        if (comm.rank() == 0) {
+            std::string const message = "implicitly serialized";
+            comm.send(1, 0, message);
+        } else {
+            std::string message;
+            comm.recv(0, 0, message);
+            EXPECT_EQ(message, "implicitly serialized");
+        }
+    });
+}
+
+TEST(BoostMimic, AllToAllOverNestedVectorsSerializes) {
+    World::run(3, [] {
+        mimic::boostmpi::communicator comm;
+        std::vector<std::vector<int>> out(3);
+        for (int dest = 0; dest < 3; ++dest) {
+            out[static_cast<std::size_t>(dest)] =
+                std::vector<int>(static_cast<std::size_t>(dest) + 1, comm.rank());
+        }
+        std::vector<std::vector<int>> in;
+        mimic::boostmpi::all_to_all(comm, out, in);
+        ASSERT_EQ(in.size(), 3u);
+        for (int source = 0; source < 3; ++source) {
+            EXPECT_EQ(
+                in[static_cast<std::size_t>(source)],
+                std::vector<int>(static_cast<std::size_t>(comm.rank()) + 1, source));
+        }
+    });
+}
+
+TEST(BoostMimic, AllReduceWithStlFunctor) {
+    World::run(4, [] {
+        mimic::boostmpi::communicator comm;
+        int const sum = mimic::boostmpi::all_reduce(comm, comm.rank() + 1, std::plus<>{});
+        EXPECT_EQ(sum, 10);
+    });
+}
+
+TEST(BoostMimic, BroadcastSerialized) {
+    World::run(3, [] {
+        mimic::boostmpi::communicator comm;
+        std::string value = comm.rank() == 0 ? "root payload" : "";
+        mimic::boostmpi::broadcast(comm, value, 0);
+        EXPECT_EQ(value, "root payload");
+    });
+}
+
+TEST(MplMimic, LayoutBasedAllgatherv) {
+    World::run(4, [] {
+        auto comm = mimic::mpl::comm_world();
+        int const p = comm.size();
+        std::vector<double> const mine(2, comm.rank());
+        mimic::mpl::contiguous_layout<double> send_layout(2);
+        mimic::mpl::contiguous_layouts<double> recv_layouts(p);
+        mimic::mpl::displacements recv_displs(p);
+        for (int i = 0; i < p; ++i) {
+            recv_layouts[static_cast<std::size_t>(i)] =
+                mimic::mpl::contiguous_layout<double>(2);
+            recv_displs[static_cast<std::size_t>(i)] = 2 * i;
+        }
+        std::vector<double> all(static_cast<std::size_t>(2 * p));
+        comm.allgatherv(mine.data(), send_layout, all.data(), recv_layouts, recv_displs);
+        for (int i = 0; i < p; ++i) {
+            EXPECT_EQ(all[static_cast<std::size_t>(2 * i)], i);
+            EXPECT_EQ(all[static_cast<std::size_t>(2 * i + 1)], i);
+        }
+    });
+}
+
+TEST(MplMimic, AllgathervIssuesAlltoallw) {
+    // The performance-relevant property: MPL's v-collectives go through
+    // MPI_Alltoallw (paper, Sections II/IV-B).
+    World::run(4, [] {
+        auto comm = mimic::mpl::comm_world();
+        comm.barrier();
+        xmpi::profile::reset_mine();
+        std::vector<double> const mine(1, comm.rank());
+        mimic::mpl::contiguous_layout<double> send_layout(1);
+        mimic::mpl::contiguous_layouts<double> recv_layouts(4);
+        mimic::mpl::displacements recv_displs(4);
+        for (int i = 0; i < 4; ++i) {
+            recv_layouts[static_cast<std::size_t>(i)] = mimic::mpl::contiguous_layout<double>(1);
+            recv_displs[static_cast<std::size_t>(i)] = i;
+        }
+        std::vector<double> all(4);
+        comm.allgatherv(mine.data(), send_layout, all.data(), recv_layouts, recv_displs);
+        auto const snapshot = xmpi::profile::my_snapshot();
+        EXPECT_EQ(snapshot[xmpi::profile::Call::alltoallw], 1u);
+        EXPECT_EQ(snapshot[xmpi::profile::Call::allgatherv], 0u);
+        comm.barrier();
+    });
+}
+
+TEST(MplMimic, AlltoallvWithLayouts) {
+    World::run(3, [] {
+        auto comm = mimic::mpl::comm_world();
+        int const p = comm.size();
+        // One element to each peer.
+        std::vector<int> send(static_cast<std::size_t>(p));
+        for (int i = 0; i < p; ++i) {
+            send[static_cast<std::size_t>(i)] = comm.rank() * 10 + i;
+        }
+        mimic::mpl::contiguous_layouts<int> layouts(p);
+        mimic::mpl::displacements displs(p);
+        for (int i = 0; i < p; ++i) {
+            layouts[static_cast<std::size_t>(i)] = mimic::mpl::contiguous_layout<int>(1);
+            displs[static_cast<std::size_t>(i)] = i;
+        }
+        std::vector<int> recv(static_cast<std::size_t>(p));
+        comm.alltoallv(send.data(), layouts, displs, recv.data(), layouts, displs);
+        for (int i = 0; i < p; ++i) {
+            EXPECT_EQ(recv[static_cast<std::size_t>(i)], i * 10 + comm.rank());
+        }
+    });
+}
+
+TEST(RwthMimic, ReceiveResizeProbesForSize) {
+    World::run(2, [] {
+        mimic::rwth::communicator comm;
+        if (comm.rank() == 0) {
+            comm.send(std::vector<long>{10, 20, 30}, 1);
+        } else {
+            std::vector<long> data;
+            comm.receive_resize(data, 0);
+            EXPECT_EQ(data, (std::vector<long>{10, 20, 30}));
+        }
+    });
+}
+
+TEST(RwthMimic, InPlaceCountFreeAllgatherv) {
+    World::run(3, [] {
+        mimic::rwth::communicator comm;
+        // The caller must pre-place its data at the right global offset,
+        // which itself requires knowing all counts — the usability gap the
+        // paper describes.
+        int const my_count = comm.rank() + 1;
+        std::vector<int> counts(3);
+        XMPI_Allgather(&my_count, 1, XMPI_INT, counts.data(), 1, XMPI_INT, comm.native());
+        std::vector<int> displs(3);
+        std::exclusive_scan(counts.begin(), counts.end(), displs.begin(), 0);
+        std::vector<int> data(static_cast<std::size_t>(displs.back() + counts.back()), -1);
+        for (int k = 0; k < my_count; ++k) {
+            data[static_cast<std::size_t>(displs[static_cast<std::size_t>(comm.rank())] + k)] =
+                comm.rank();
+        }
+        comm.all_gather_varying_inplace(data, my_count, displs[static_cast<std::size_t>(comm.rank())]);
+        std::size_t index = 0;
+        for (int r = 0; r < 3; ++r) {
+            for (int k = 0; k <= r; ++k) {
+                EXPECT_EQ(data[index++], r);
+            }
+        }
+    });
+}
+
+TEST(RwthMimic, AllToAllVaryingComputesRecvCounts) {
+    World::run(4, [] {
+        mimic::rwth::communicator comm;
+        int const p = comm.size();
+        std::vector<int> send_counts(static_cast<std::size_t>(p), 1);
+        std::vector<int> send(static_cast<std::size_t>(p));
+        for (int i = 0; i < p; ++i) {
+            send[static_cast<std::size_t>(i)] = comm.rank() + 100 * i;
+        }
+        std::vector<int> recv;
+        std::vector<int> recv_counts;
+        comm.all_to_all_varying(send, send_counts, recv, recv_counts);
+        EXPECT_EQ(recv_counts, std::vector<int>(static_cast<std::size_t>(p), 1));
+        for (int i = 0; i < p; ++i) {
+            EXPECT_EQ(recv[static_cast<std::size_t>(i)], i + 100 * comm.rank());
+        }
+    });
+}
+
+TEST(AllMimics, AgreeOnTheSameAllgathervResult) {
+    World::run(4, [] {
+        int rank = -1;
+        XMPI_Comm_rank(XMPI_COMM_WORLD, &rank);
+        std::vector<int> const mine(static_cast<std::size_t>(rank) + 1, rank);
+        std::vector<int> counts(4);
+        int const my_count = rank + 1;
+        XMPI_Allgather(&my_count, 1, XMPI_INT, counts.data(), 1, XMPI_INT, XMPI_COMM_WORLD);
+
+        // Boost-style
+        mimic::boostmpi::communicator boost_comm;
+        std::vector<int> boost_result;
+        mimic::boostmpi::all_gatherv(boost_comm, mine, boost_result, counts);
+
+        // RWTH-style
+        mimic::rwth::communicator rwth_comm;
+        std::vector<int> displs(4);
+        std::exclusive_scan(counts.begin(), counts.end(), displs.begin(), 0);
+        std::vector<int> rwth_result;
+        rwth_comm.all_gather_varying(mine, rwth_result, counts, displs);
+
+        // MPL-style
+        auto mpl_comm = mimic::mpl::comm_world();
+        mimic::mpl::contiguous_layout<int> send_layout(my_count);
+        mimic::mpl::contiguous_layouts<int> recv_layouts(4);
+        mimic::mpl::displacements recv_displs(4);
+        for (int i = 0; i < 4; ++i) {
+            recv_layouts[static_cast<std::size_t>(i)] =
+                mimic::mpl::contiguous_layout<int>(counts[static_cast<std::size_t>(i)]);
+            recv_displs[static_cast<std::size_t>(i)] = displs[static_cast<std::size_t>(i)];
+        }
+        std::vector<int> mpl_result(boost_result.size());
+        mpl_comm.allgatherv(
+            mine.data(), send_layout, mpl_result.data(), recv_layouts, recv_displs);
+
+        EXPECT_EQ(boost_result, rwth_result);
+        EXPECT_EQ(boost_result, mpl_result);
+    });
+}
+
+} // namespace

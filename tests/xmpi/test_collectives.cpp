@@ -1,0 +1,575 @@
+/// @file test_collectives.cpp
+/// @brief Collective operations of the xmpi substrate, swept over a range of
+/// world sizes (parameterized tests act as property checks: every algorithm
+/// must produce the textbook result for any p).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "xmpi/xmpi.hpp"
+
+namespace {
+
+using xmpi::World;
+
+class CollectiveTest : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    WorldSizes, CollectiveTest, ::testing::Values(1, 2, 3, 4, 5, 7, 8, 13),
+    [](auto const& info) { return "p" + std::to_string(info.param); });
+
+TEST_P(CollectiveTest, BarrierSynchronizes) {
+    int const p = GetParam();
+    std::atomic<int> phase_counter{0};
+    World::run(p, [&] {
+        phase_counter.fetch_add(1);
+        XMPI_Barrier(XMPI_COMM_WORLD);
+        // After the barrier, every rank must have passed the increment.
+        EXPECT_EQ(phase_counter.load(), p);
+        XMPI_Barrier(XMPI_COMM_WORLD);
+    });
+}
+
+TEST_P(CollectiveTest, BcastFromEveryRoot) {
+    int const p = GetParam();
+    World::run(p, [&] {
+        int rank = -1;
+        XMPI_Comm_rank(XMPI_COMM_WORLD, &rank);
+        for (int root = 0; root < p; ++root) {
+            std::vector<long> data(5, rank == root ? root * 1000 : -1);
+            ASSERT_EQ(XMPI_Bcast(data.data(), 5, XMPI_LONG, root, XMPI_COMM_WORLD), XMPI_SUCCESS);
+            EXPECT_EQ(data, std::vector<long>(5, root * 1000));
+        }
+    });
+}
+
+TEST_P(CollectiveTest, GatherCollectsInRankOrder) {
+    int const p = GetParam();
+    World::run(p, [&] {
+        int rank = -1;
+        XMPI_Comm_rank(XMPI_COMM_WORLD, &rank);
+        int const root = p - 1;
+        std::vector<int> const mine{rank, rank + 1000};
+        std::vector<int> all(rank == root ? 2 * static_cast<std::size_t>(p) : 0);
+        ASSERT_EQ(
+            XMPI_Gather(
+                mine.data(), 2, XMPI_INT, all.data(), 2, XMPI_INT, root, XMPI_COMM_WORLD),
+            XMPI_SUCCESS);
+        if (rank == root) {
+            for (int i = 0; i < p; ++i) {
+                EXPECT_EQ(all[2 * static_cast<std::size_t>(i)], i);
+                EXPECT_EQ(all[2 * static_cast<std::size_t>(i) + 1], i + 1000);
+            }
+        }
+    });
+}
+
+TEST_P(CollectiveTest, GathervWithVaryingCounts) {
+    int const p = GetParam();
+    World::run(p, [&] {
+        int rank = -1;
+        XMPI_Comm_rank(XMPI_COMM_WORLD, &rank);
+        // Rank r contributes r+1 elements, all equal to r.
+        std::vector<int> const mine(static_cast<std::size_t>(rank + 1), rank);
+        std::vector<int> counts(static_cast<std::size_t>(p));
+        std::vector<int> displs(static_cast<std::size_t>(p));
+        for (int i = 0; i < p; ++i) {
+            counts[static_cast<std::size_t>(i)] = i + 1;
+        }
+        std::exclusive_scan(counts.begin(), counts.end(), displs.begin(), 0);
+        int const total = displs.back() + counts.back();
+        std::vector<int> all(rank == 0 ? static_cast<std::size_t>(total) : 0);
+        ASSERT_EQ(
+            XMPI_Gatherv(
+                mine.data(), rank + 1, XMPI_INT, all.data(), counts.data(), displs.data(),
+                XMPI_INT, 0, XMPI_COMM_WORLD),
+            XMPI_SUCCESS);
+        if (rank == 0) {
+            std::size_t index = 0;
+            for (int i = 0; i < p; ++i) {
+                for (int k = 0; k <= i; ++k) {
+                    EXPECT_EQ(all[index++], i);
+                }
+            }
+        }
+    });
+}
+
+TEST_P(CollectiveTest, ScatterDistributesSlices) {
+    int const p = GetParam();
+    World::run(p, [&] {
+        int rank = -1;
+        XMPI_Comm_rank(XMPI_COMM_WORLD, &rank);
+        std::vector<int> source;
+        if (rank == 0) {
+            source.resize(3 * static_cast<std::size_t>(p));
+            std::iota(source.begin(), source.end(), 0);
+        }
+        std::vector<int> mine(3, -1);
+        ASSERT_EQ(
+            XMPI_Scatter(
+                source.data(), 3, XMPI_INT, mine.data(), 3, XMPI_INT, 0, XMPI_COMM_WORLD),
+            XMPI_SUCCESS);
+        EXPECT_EQ(mine, (std::vector<int>{3 * rank, 3 * rank + 1, 3 * rank + 2}));
+    });
+}
+
+TEST_P(CollectiveTest, ScattervWithVaryingCounts) {
+    int const p = GetParam();
+    World::run(p, [&] {
+        int rank = -1;
+        XMPI_Comm_rank(XMPI_COMM_WORLD, &rank);
+        std::vector<int> counts(static_cast<std::size_t>(p));
+        std::vector<int> displs(static_cast<std::size_t>(p));
+        for (int i = 0; i < p; ++i) {
+            counts[static_cast<std::size_t>(i)] = i + 1;
+        }
+        std::exclusive_scan(counts.begin(), counts.end(), displs.begin(), 0);
+        std::vector<int> source;
+        if (rank == 0) {
+            for (int i = 0; i < p; ++i) {
+                source.insert(source.end(), static_cast<std::size_t>(i + 1), i);
+            }
+        }
+        std::vector<int> mine(static_cast<std::size_t>(rank + 1), -1);
+        ASSERT_EQ(
+            XMPI_Scatterv(
+                source.data(), counts.data(), displs.data(), XMPI_INT, mine.data(), rank + 1,
+                XMPI_INT, 0, XMPI_COMM_WORLD),
+            XMPI_SUCCESS);
+        EXPECT_EQ(mine, std::vector<int>(static_cast<std::size_t>(rank + 1), rank));
+    });
+}
+
+TEST_P(CollectiveTest, AllgatherGivesEveryRankTheFullVector) {
+    int const p = GetParam();
+    World::run(p, [&] {
+        int rank = -1;
+        XMPI_Comm_rank(XMPI_COMM_WORLD, &rank);
+        std::array<int, 2> const mine{rank, -rank};
+        std::vector<int> all(2 * static_cast<std::size_t>(p), -999);
+        ASSERT_EQ(
+            XMPI_Allgather(mine.data(), 2, XMPI_INT, all.data(), 2, XMPI_INT, XMPI_COMM_WORLD),
+            XMPI_SUCCESS);
+        for (int i = 0; i < p; ++i) {
+            EXPECT_EQ(all[2 * static_cast<std::size_t>(i)], i);
+            EXPECT_EQ(all[2 * static_cast<std::size_t>(i) + 1], -i);
+        }
+    });
+}
+
+TEST_P(CollectiveTest, AllgathervConcatenatesVaryingBlocks) {
+    int const p = GetParam();
+    World::run(p, [&] {
+        int rank = -1;
+        XMPI_Comm_rank(XMPI_COMM_WORLD, &rank);
+        std::vector<int> const mine(static_cast<std::size_t>(rank) + 1, rank * 7);
+        std::vector<int> counts(static_cast<std::size_t>(p));
+        std::vector<int> displs(static_cast<std::size_t>(p));
+        for (int i = 0; i < p; ++i) {
+            counts[static_cast<std::size_t>(i)] = i + 1;
+        }
+        std::exclusive_scan(counts.begin(), counts.end(), displs.begin(), 0);
+        std::vector<int> all(static_cast<std::size_t>(displs.back() + counts.back()), -1);
+        ASSERT_EQ(
+            XMPI_Allgatherv(
+                mine.data(), rank + 1, XMPI_INT, all.data(), counts.data(), displs.data(),
+                XMPI_INT, XMPI_COMM_WORLD),
+            XMPI_SUCCESS);
+        std::size_t index = 0;
+        for (int i = 0; i < p; ++i) {
+            for (int k = 0; k <= i; ++k) {
+                ASSERT_EQ(all[index++], i * 7);
+            }
+        }
+    });
+}
+
+TEST_P(CollectiveTest, AlltoallTransposes) {
+    int const p = GetParam();
+    World::run(p, [&] {
+        int rank = -1;
+        XMPI_Comm_rank(XMPI_COMM_WORLD, &rank);
+        std::vector<int> send(static_cast<std::size_t>(p));
+        for (int i = 0; i < p; ++i) {
+            send[static_cast<std::size_t>(i)] = rank * 100 + i;
+        }
+        std::vector<int> recv(static_cast<std::size_t>(p), -1);
+        ASSERT_EQ(
+            XMPI_Alltoall(send.data(), 1, XMPI_INT, recv.data(), 1, XMPI_INT, XMPI_COMM_WORLD),
+            XMPI_SUCCESS);
+        for (int i = 0; i < p; ++i) {
+            EXPECT_EQ(recv[static_cast<std::size_t>(i)], i * 100 + rank);
+        }
+    });
+}
+
+TEST_P(CollectiveTest, AlltoallvWithAsymmetricCounts) {
+    int const p = GetParam();
+    World::run(p, [&] {
+        int rank = -1;
+        XMPI_Comm_rank(XMPI_COMM_WORLD, &rank);
+        // Rank r sends (r + i) copies of value r*1000+i to rank i.
+        std::vector<int> sendcounts(static_cast<std::size_t>(p));
+        std::vector<int> sdispls(static_cast<std::size_t>(p));
+        for (int i = 0; i < p; ++i) {
+            sendcounts[static_cast<std::size_t>(i)] = rank + i;
+        }
+        std::exclusive_scan(sendcounts.begin(), sendcounts.end(), sdispls.begin(), 0);
+        std::vector<int> send;
+        for (int i = 0; i < p; ++i) {
+            send.insert(send.end(), static_cast<std::size_t>(rank + i), rank * 1000 + i);
+        }
+        std::vector<int> recvcounts(static_cast<std::size_t>(p));
+        std::vector<int> rdispls(static_cast<std::size_t>(p));
+        for (int i = 0; i < p; ++i) {
+            recvcounts[static_cast<std::size_t>(i)] = i + rank;
+        }
+        std::exclusive_scan(recvcounts.begin(), recvcounts.end(), rdispls.begin(), 0);
+        std::vector<int> recv(
+            static_cast<std::size_t>(rdispls.back() + recvcounts.back()), -1);
+        ASSERT_EQ(
+            XMPI_Alltoallv(
+                send.data(), sendcounts.data(), sdispls.data(), XMPI_INT, recv.data(),
+                recvcounts.data(), rdispls.data(), XMPI_INT, XMPI_COMM_WORLD),
+            XMPI_SUCCESS);
+        for (int i = 0; i < p; ++i) {
+            for (int k = 0; k < recvcounts[static_cast<std::size_t>(i)]; ++k) {
+                ASSERT_EQ(
+                    recv[static_cast<std::size_t>(rdispls[static_cast<std::size_t>(i)] + k)],
+                    i * 1000 + rank);
+            }
+        }
+    });
+}
+
+TEST_P(CollectiveTest, ReduceSumToEveryRoot) {
+    int const p = GetParam();
+    World::run(p, [&] {
+        int rank = -1;
+        XMPI_Comm_rank(XMPI_COMM_WORLD, &rank);
+        for (int root = 0; root < p; ++root) {
+            std::array<long, 3> const mine{rank, 2L * rank, 1};
+            std::array<long, 3> result{-1, -1, -1};
+            ASSERT_EQ(
+                XMPI_Reduce(
+                    mine.data(), result.data(), 3, XMPI_LONG, XMPI_SUM, root, XMPI_COMM_WORLD),
+                XMPI_SUCCESS);
+            if (rank == root) {
+                long const sum = static_cast<long>(p) * (p - 1) / 2;
+                EXPECT_EQ(result[0], sum);
+                EXPECT_EQ(result[1], 2 * sum);
+                EXPECT_EQ(result[2], p);
+            }
+        }
+    });
+}
+
+TEST_P(CollectiveTest, AllreduceMinMax) {
+    int const p = GetParam();
+    World::run(p, [&] {
+        int rank = -1;
+        XMPI_Comm_rank(XMPI_COMM_WORLD, &rank);
+        int const mine = rank * 3 + 1;
+        int smallest = -1;
+        int largest = -1;
+        ASSERT_EQ(
+            XMPI_Allreduce(&mine, &smallest, 1, XMPI_INT, XMPI_MIN, XMPI_COMM_WORLD),
+            XMPI_SUCCESS);
+        ASSERT_EQ(
+            XMPI_Allreduce(&mine, &largest, 1, XMPI_INT, XMPI_MAX, XMPI_COMM_WORLD),
+            XMPI_SUCCESS);
+        EXPECT_EQ(smallest, 1);
+        EXPECT_EQ(largest, (p - 1) * 3 + 1);
+    });
+}
+
+TEST_P(CollectiveTest, AllreduceLogicalAndBitwiseOps) {
+    int const p = GetParam();
+    World::run(p, [&] {
+        int rank = -1;
+        XMPI_Comm_rank(XMPI_COMM_WORLD, &rank);
+        int const flag = 1; // all true
+        int conjunction = 0;
+        XMPI_Allreduce(&flag, &conjunction, 1, XMPI_INT, XMPI_LAND, XMPI_COMM_WORLD);
+        EXPECT_EQ(conjunction, 1);
+
+        int const onlyroot = rank == 0 ? 1 : 0;
+        int disjunction = 0;
+        XMPI_Allreduce(&onlyroot, &disjunction, 1, XMPI_INT, XMPI_LOR, XMPI_COMM_WORLD);
+        EXPECT_EQ(disjunction, 1);
+
+        unsigned const bit = 1u << (rank % 16);
+        unsigned combined = 0;
+        XMPI_Allreduce(&bit, &combined, 1, XMPI_UNSIGNED, XMPI_BOR, XMPI_COMM_WORLD);
+        for (int i = 0; i < std::min(p, 16); ++i) {
+            EXPECT_NE(combined & (1u << i), 0u);
+        }
+    });
+}
+
+TEST_P(CollectiveTest, ScanComputesInclusivePrefix) {
+    int const p = GetParam();
+    World::run(p, [&] {
+        int rank = -1;
+        XMPI_Comm_rank(XMPI_COMM_WORLD, &rank);
+        long const mine = rank + 1;
+        long prefix = -1;
+        ASSERT_EQ(XMPI_Scan(&mine, &prefix, 1, XMPI_LONG, XMPI_SUM, XMPI_COMM_WORLD), XMPI_SUCCESS);
+        EXPECT_EQ(prefix, static_cast<long>(rank + 1) * (rank + 2) / 2);
+    });
+}
+
+TEST_P(CollectiveTest, ExscanComputesExclusivePrefix) {
+    int const p = GetParam();
+    World::run(p, [&] {
+        int rank = -1;
+        XMPI_Comm_rank(XMPI_COMM_WORLD, &rank);
+        long const mine = rank + 1;
+        long prefix = -42;
+        ASSERT_EQ(
+            XMPI_Exscan(&mine, &prefix, 1, XMPI_LONG, XMPI_SUM, XMPI_COMM_WORLD), XMPI_SUCCESS);
+        if (rank == 0) {
+            EXPECT_EQ(prefix, -42) << "rank 0 exscan result is undefined, buffer untouched";
+        } else {
+            EXPECT_EQ(prefix, static_cast<long>(rank) * (rank + 1) / 2);
+        }
+    });
+}
+
+TEST_P(CollectiveTest, ReduceScatterBlock) {
+    int const p = GetParam();
+    World::run(p, [&] {
+        int rank = -1;
+        XMPI_Comm_rank(XMPI_COMM_WORLD, &rank);
+        std::vector<int> send(2 * static_cast<std::size_t>(p));
+        for (int i = 0; i < 2 * p; ++i) {
+            send[static_cast<std::size_t>(i)] = i;
+        }
+        std::array<int, 2> recv{-1, -1};
+        ASSERT_EQ(
+            XMPI_Reduce_scatter_block(
+                send.data(), recv.data(), 2, XMPI_INT, XMPI_SUM, XMPI_COMM_WORLD),
+            XMPI_SUCCESS);
+        EXPECT_EQ(recv[0], 2 * rank * p);
+        EXPECT_EQ(recv[1], (2 * rank + 1) * p);
+    });
+}
+
+TEST_P(CollectiveTest, AllgatherInPlace) {
+    int const p = GetParam();
+    World::run(p, [&] {
+        int rank = -1;
+        XMPI_Comm_rank(XMPI_COMM_WORLD, &rank);
+        std::vector<int> data(static_cast<std::size_t>(p), -1);
+        data[static_cast<std::size_t>(rank)] = rank * 11;
+        ASSERT_EQ(
+            XMPI_Allgather(
+                XMPI_IN_PLACE, 0, XMPI_DATATYPE_NULL, data.data(), 1, XMPI_INT,
+                XMPI_COMM_WORLD),
+            XMPI_SUCCESS);
+        for (int i = 0; i < p; ++i) {
+            EXPECT_EQ(data[static_cast<std::size_t>(i)], i * 11);
+        }
+    });
+}
+
+TEST_P(CollectiveTest, ReduceInPlaceAtRoot) {
+    int const p = GetParam();
+    World::run(p, [&] {
+        int rank = -1;
+        XMPI_Comm_rank(XMPI_COMM_WORLD, &rank);
+        int value = rank + 1;
+        if (rank == 0) {
+            ASSERT_EQ(
+                XMPI_Reduce(
+                    XMPI_IN_PLACE, &value, 1, XMPI_INT, XMPI_SUM, 0, XMPI_COMM_WORLD),
+                XMPI_SUCCESS);
+            EXPECT_EQ(value, p * (p + 1) / 2);
+        } else {
+            ASSERT_EQ(
+                XMPI_Reduce(&value, nullptr, 1, XMPI_INT, XMPI_SUM, 0, XMPI_COMM_WORLD),
+                XMPI_SUCCESS);
+        }
+    });
+}
+
+TEST_P(CollectiveTest, AllreduceUserDefinedNonCommutativeOp) {
+    int const p = GetParam();
+    World::run(p, [&] {
+        int rank = -1;
+        XMPI_Comm_rank(XMPI_COMM_WORLD, &rank);
+        // Non-commutative "take the left operand's last digit, shift" op:
+        // result = ((d0 * 10 + d1) * 10 + d2) ... — order-sensitive.
+        auto const concat = [](void* in, void* inout, int* len, xmpi::Datatype* const*) {
+            auto* a = static_cast<long*>(in);
+            auto* b = static_cast<long*>(inout);
+            for (int i = 0; i < *len; ++i) {
+                b[i] = a[i] * 10 + b[i];
+            }
+        };
+        XMPI_Op op = nullptr;
+        ASSERT_EQ(XMPI_Op_create(concat, /*commute=*/0, &op), XMPI_SUCCESS);
+        long const digit = (rank + 1) % 10;
+        long result = 0;
+        ASSERT_EQ(XMPI_Allreduce(&digit, &result, 1, XMPI_LONG, op, XMPI_COMM_WORLD), XMPI_SUCCESS);
+        long expected = 0;
+        for (int i = 0; i < p; ++i) {
+            expected = expected * 10 + (i + 1) % 10;
+        }
+        EXPECT_EQ(result, expected) << "non-commutative reduction must fold in rank order";
+        XMPI_Op_free(&op);
+    });
+}
+
+TEST_P(CollectiveTest, IbarrierCompletesAfterAllRanksArrive) {
+    int const p = GetParam();
+    World::run(p, [&] {
+        XMPI_Request request;
+        ASSERT_EQ(XMPI_Ibarrier(XMPI_COMM_WORLD, &request), XMPI_SUCCESS);
+        ASSERT_EQ(XMPI_Wait(&request, XMPI_STATUS_IGNORE), XMPI_SUCCESS);
+        // A second round must work independently.
+        ASSERT_EQ(XMPI_Ibarrier(XMPI_COMM_WORLD, &request), XMPI_SUCCESS);
+        ASSERT_EQ(XMPI_Wait(&request, XMPI_STATUS_IGNORE), XMPI_SUCCESS);
+    });
+}
+
+TEST(Collective, BcastWithDerivedStructType) {
+    struct Point {
+        double x;
+        double y;
+        int id;
+    };
+    World::run(4, [] {
+        int rank = -1;
+        XMPI_Comm_rank(XMPI_COMM_WORLD, &rank);
+        int const blocklengths[] = {2, 1};
+        XMPI_Aint const displacements[] = {offsetof(Point, x), offsetof(Point, id)};
+        XMPI_Datatype const types[] = {XMPI_DOUBLE, XMPI_INT};
+        XMPI_Datatype point_type = nullptr;
+        XMPI_Type_create_struct(2, blocklengths, displacements, types, &point_type);
+        XMPI_Datatype resized = nullptr;
+        XMPI_Type_create_resized(point_type, 0, sizeof(Point), &resized);
+        XMPI_Type_commit(&resized);
+
+        std::vector<Point> points(3);
+        if (rank == 0) {
+            points = {{1.0, 2.0, 1}, {3.0, 4.0, 2}, {5.0, 6.0, 3}};
+        }
+        ASSERT_EQ(XMPI_Bcast(points.data(), 3, resized, 0, XMPI_COMM_WORLD), XMPI_SUCCESS);
+        EXPECT_EQ(points[2].y, 6.0);
+        EXPECT_EQ(points[1].id, 2);
+        XMPI_Type_free(&resized);
+        XMPI_Type_free(&point_type);
+    });
+}
+
+TEST(Collective, BackToBackCollectivesDoNotInterfere) {
+    World::run(6, [] {
+        int rank = -1;
+        XMPI_Comm_rank(XMPI_COMM_WORLD, &rank);
+        for (int iteration = 0; iteration < 20; ++iteration) {
+            int value = rank + iteration;
+            int sum = 0;
+            XMPI_Allreduce(&value, &sum, 1, XMPI_INT, XMPI_SUM, XMPI_COMM_WORLD);
+            int expected = 0;
+            for (int i = 0; i < 6; ++i) {
+                expected += i + iteration;
+            }
+            ASSERT_EQ(sum, expected);
+            std::vector<int> all(6);
+            XMPI_Allgather(&rank, 1, XMPI_INT, all.data(), 1, XMPI_INT, XMPI_COMM_WORLD);
+            for (int i = 0; i < 6; ++i) {
+                ASSERT_EQ(all[static_cast<std::size_t>(i)], i);
+            }
+        }
+    });
+}
+
+} // namespace
+
+namespace {
+
+TEST_P(CollectiveTest, AlltoallwWithPerPeerTypes) {
+    int const p = GetParam();
+    World::run(p, [&] {
+        int rank = -1;
+        XMPI_Comm_rank(XMPI_COMM_WORLD, &rank);
+        // One int to each peer, placed via byte displacements.
+        std::vector<int> send(static_cast<std::size_t>(p));
+        std::vector<int> recv(static_cast<std::size_t>(p), -1);
+        std::vector<int> counts(static_cast<std::size_t>(p), 1);
+        std::vector<int> byte_displs(static_cast<std::size_t>(p));
+        std::vector<XMPI_Datatype> types(static_cast<std::size_t>(p), XMPI_INT);
+        for (int i = 0; i < p; ++i) {
+            send[static_cast<std::size_t>(i)] = rank * 100 + i;
+            byte_displs[static_cast<std::size_t>(i)] = static_cast<int>(i * sizeof(int));
+        }
+        ASSERT_EQ(
+            XMPI_Alltoallw(
+                send.data(), counts.data(), byte_displs.data(), types.data(), recv.data(),
+                counts.data(), byte_displs.data(), types.data(), XMPI_COMM_WORLD),
+            XMPI_SUCCESS);
+        for (int i = 0; i < p; ++i) {
+            EXPECT_EQ(recv[static_cast<std::size_t>(i)], i * 100 + rank);
+        }
+    });
+}
+
+TEST_P(CollectiveTest, AlltoallvInPlace) {
+    int const p = GetParam();
+    World::run(p, [&] {
+        int rank = -1;
+        XMPI_Comm_rank(XMPI_COMM_WORLD, &rank);
+        std::vector<int> data(static_cast<std::size_t>(p));
+        std::vector<int> counts(static_cast<std::size_t>(p), 1);
+        std::vector<int> displs(static_cast<std::size_t>(p));
+        for (int i = 0; i < p; ++i) {
+            data[static_cast<std::size_t>(i)] = rank * 100 + i;
+            displs[static_cast<std::size_t>(i)] = i;
+        }
+        ASSERT_EQ(
+            XMPI_Alltoallv(
+                XMPI_IN_PLACE, nullptr, nullptr, XMPI_DATATYPE_NULL, data.data(),
+                counts.data(), displs.data(), XMPI_INT, XMPI_COMM_WORLD),
+            XMPI_SUCCESS);
+        for (int i = 0; i < p; ++i) {
+            EXPECT_EQ(data[static_cast<std::size_t>(i)], i * 100 + rank);
+        }
+    });
+}
+
+TEST_P(CollectiveTest, ScatterInPlaceAtRoot) {
+    int const p = GetParam();
+    World::run(p, [&] {
+        int rank = -1;
+        XMPI_Comm_rank(XMPI_COMM_WORLD, &rank);
+        std::vector<int> source;
+        if (rank == 0) {
+            source.resize(static_cast<std::size_t>(p));
+            std::iota(source.begin(), source.end(), 50);
+        }
+        if (rank == 0) {
+            // Root keeps its slice in place (recvbuf = IN_PLACE).
+            ASSERT_EQ(
+                XMPI_Scatter(
+                    source.data(), 1, XMPI_INT, XMPI_IN_PLACE, 1, XMPI_INT, 0,
+                    XMPI_COMM_WORLD),
+                XMPI_SUCCESS);
+            EXPECT_EQ(source.front(), 50);
+        } else {
+            int mine = -1;
+            ASSERT_EQ(
+                XMPI_Scatter(
+                    nullptr, 1, XMPI_INT, &mine, 1, XMPI_INT, 0, XMPI_COMM_WORLD),
+                XMPI_SUCCESS);
+            EXPECT_EQ(mine, 50 + rank);
+        }
+    });
+}
+
+} // namespace

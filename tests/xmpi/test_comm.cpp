@@ -1,0 +1,257 @@
+/// @file test_comm.cpp
+/// @brief Communicator and group management: dup, split, create, groups,
+/// rank translation.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "xmpi/xmpi.hpp"
+
+namespace {
+
+using xmpi::World;
+
+TEST(Comm, SizeAndRank) {
+    World::run(5, [] {
+        int size = 0;
+        int rank = -1;
+        XMPI_Comm_size(XMPI_COMM_WORLD, &size);
+        XMPI_Comm_rank(XMPI_COMM_WORLD, &rank);
+        EXPECT_EQ(size, 5);
+        EXPECT_GE(rank, 0);
+        EXPECT_LT(rank, 5);
+    });
+}
+
+TEST(Comm, DupCreatesIndependentContext) {
+    World::run(3, [] {
+        int rank = -1;
+        XMPI_Comm_rank(XMPI_COMM_WORLD, &rank);
+        XMPI_Comm duplicate = XMPI_COMM_NULL;
+        ASSERT_EQ(XMPI_Comm_dup(XMPI_COMM_WORLD, &duplicate), XMPI_SUCCESS);
+        ASSERT_NE(duplicate, XMPI_COMM_NULL);
+        EXPECT_NE(duplicate->pt2pt_context(), XMPI_COMM_WORLD->pt2pt_context());
+
+        // A message sent on the duplicate must not match a receive on world.
+        if (rank == 0) {
+            int const value = 1;
+            XMPI_Send(&value, 1, XMPI_INT, 1, 0, duplicate);
+            int const other = 2;
+            XMPI_Send(&other, 1, XMPI_INT, 1, 0, XMPI_COMM_WORLD);
+        } else if (rank == 1) {
+            int value = 0;
+            XMPI_Recv(&value, 1, XMPI_INT, 0, 0, XMPI_COMM_WORLD, XMPI_STATUS_IGNORE);
+            EXPECT_EQ(value, 2) << "world receive must match the world message";
+            XMPI_Recv(&value, 1, XMPI_INT, 0, 0, duplicate, XMPI_STATUS_IGNORE);
+            EXPECT_EQ(value, 1);
+        }
+        XMPI_Barrier(XMPI_COMM_WORLD);
+        XMPI_Comm_free(&duplicate);
+        EXPECT_EQ(duplicate, XMPI_COMM_NULL);
+    });
+}
+
+TEST(Comm, SplitByParity) {
+    World::run(6, [] {
+        int rank = -1;
+        XMPI_Comm_rank(XMPI_COMM_WORLD, &rank);
+        XMPI_Comm half = XMPI_COMM_NULL;
+        ASSERT_EQ(XMPI_Comm_split(XMPI_COMM_WORLD, rank % 2, rank, &half), XMPI_SUCCESS);
+        int half_size = 0;
+        int half_rank = -1;
+        XMPI_Comm_size(half, &half_size);
+        XMPI_Comm_rank(half, &half_rank);
+        EXPECT_EQ(half_size, 3);
+        EXPECT_EQ(half_rank, rank / 2);
+
+        // A collective on the sub-communicator only involves its members.
+        int sum = 0;
+        XMPI_Allreduce(&rank, &sum, 1, XMPI_INT, XMPI_SUM, half);
+        EXPECT_EQ(sum, rank % 2 == 0 ? 0 + 2 + 4 : 1 + 3 + 5);
+        XMPI_Comm_free(&half);
+    });
+}
+
+TEST(Comm, SplitWithReversedKeysReversesRankOrder) {
+    World::run(4, [] {
+        int rank = -1;
+        XMPI_Comm_rank(XMPI_COMM_WORLD, &rank);
+        XMPI_Comm reversed = XMPI_COMM_NULL;
+        ASSERT_EQ(XMPI_Comm_split(XMPI_COMM_WORLD, 0, -rank, &reversed), XMPI_SUCCESS);
+        int new_rank = -1;
+        XMPI_Comm_rank(reversed, &new_rank);
+        EXPECT_EQ(new_rank, 3 - rank);
+        XMPI_Comm_free(&reversed);
+    });
+}
+
+TEST(Comm, SplitUndefinedYieldsNull) {
+    World::run(4, [] {
+        int rank = -1;
+        XMPI_Comm_rank(XMPI_COMM_WORLD, &rank);
+        XMPI_Comm sub = XMPI_COMM_NULL;
+        int const color = rank == 0 ? XMPI_UNDEFINED : 1;
+        ASSERT_EQ(XMPI_Comm_split(XMPI_COMM_WORLD, color, 0, &sub), XMPI_SUCCESS);
+        if (rank == 0) {
+            EXPECT_EQ(sub, XMPI_COMM_NULL);
+        } else {
+            ASSERT_NE(sub, XMPI_COMM_NULL);
+            int size = 0;
+            XMPI_Comm_size(sub, &size);
+            EXPECT_EQ(size, 3);
+            XMPI_Comm_free(&sub);
+        }
+    });
+}
+
+TEST(Comm, CommCreateFromGroup) {
+    World::run(5, [] {
+        int rank = -1;
+        XMPI_Comm_rank(XMPI_COMM_WORLD, &rank);
+        XMPI_Group world_group = XMPI_GROUP_NULL;
+        XMPI_Comm_group(XMPI_COMM_WORLD, &world_group);
+        int const members[] = {0, 2, 4};
+        XMPI_Group even_group = XMPI_GROUP_NULL;
+        XMPI_Group_incl(world_group, 3, members, &even_group);
+        XMPI_Comm even = XMPI_COMM_NULL;
+        ASSERT_EQ(XMPI_Comm_create(XMPI_COMM_WORLD, even_group, &even), XMPI_SUCCESS);
+        if (rank % 2 == 0) {
+            ASSERT_NE(even, XMPI_COMM_NULL);
+            int size = 0;
+            XMPI_Comm_size(even, &size);
+            EXPECT_EQ(size, 3);
+            int even_rank = -1;
+            XMPI_Comm_rank(even, &even_rank);
+            EXPECT_EQ(even_rank, rank / 2);
+            XMPI_Comm_free(&even);
+        } else {
+            EXPECT_EQ(even, XMPI_COMM_NULL);
+        }
+        XMPI_Group_free(&even_group);
+        XMPI_Group_free(&world_group);
+    });
+}
+
+TEST(Comm, FreeingWorldIsRejected) {
+    World::run(2, [] {
+        XMPI_Comm world = XMPI_COMM_WORLD;
+        EXPECT_EQ(XMPI_Comm_free(&world), XMPI_ERR_COMM);
+    });
+}
+
+TEST(Group, SetOperations) {
+    World::run(6, [] {
+        int rank = -1;
+        XMPI_Comm_rank(XMPI_COMM_WORLD, &rank);
+        if (rank != 0) {
+            XMPI_Barrier(XMPI_COMM_WORLD);
+            return;
+        }
+        XMPI_Group world_group = XMPI_GROUP_NULL;
+        XMPI_Comm_group(XMPI_COMM_WORLD, &world_group);
+
+        int const low_ranks[] = {0, 1, 2, 3};
+        int const high_ranks[] = {2, 3, 4, 5};
+        XMPI_Group low = XMPI_GROUP_NULL;
+        XMPI_Group high = XMPI_GROUP_NULL;
+        XMPI_Group_incl(world_group, 4, low_ranks, &low);
+        XMPI_Group_incl(world_group, 4, high_ranks, &high);
+
+        XMPI_Group united = XMPI_GROUP_NULL;
+        XMPI_Group_union(low, high, &united);
+        int size = 0;
+        XMPI_Group_size(united, &size);
+        EXPECT_EQ(size, 6);
+
+        XMPI_Group overlap = XMPI_GROUP_NULL;
+        XMPI_Group_intersection(low, high, &overlap);
+        XMPI_Group_size(overlap, &size);
+        EXPECT_EQ(size, 2);
+
+        XMPI_Group only_low = XMPI_GROUP_NULL;
+        XMPI_Group_difference(low, high, &only_low);
+        XMPI_Group_size(only_low, &size);
+        EXPECT_EQ(size, 2);
+
+        // Translate: rank 0 of `high` (world rank 2) is rank 2 in `low`.
+        int const query = 0;
+        int translated = -1;
+        XMPI_Group_translate_ranks(high, 1, &query, low, &translated);
+        EXPECT_EQ(translated, 2);
+
+        XMPI_Group_free(&only_low);
+        XMPI_Group_free(&overlap);
+        XMPI_Group_free(&united);
+        XMPI_Group_free(&high);
+        XMPI_Group_free(&low);
+        XMPI_Group_free(&world_group);
+        XMPI_Barrier(XMPI_COMM_WORLD);
+    });
+}
+
+TEST(Group, ExclRemovesRanks) {
+    World::run(4, [] {
+        int rank = -1;
+        XMPI_Comm_rank(XMPI_COMM_WORLD, &rank);
+        XMPI_Group world_group = XMPI_GROUP_NULL;
+        XMPI_Comm_group(XMPI_COMM_WORLD, &world_group);
+        int const excluded[] = {1, 3};
+        XMPI_Group remaining = XMPI_GROUP_NULL;
+        XMPI_Group_excl(world_group, 2, excluded, &remaining);
+        int size = 0;
+        XMPI_Group_size(remaining, &size);
+        EXPECT_EQ(size, 2);
+        int group_rank = -1;
+        XMPI_Group_rank(remaining, &group_rank);
+        if (rank == 0) {
+            EXPECT_EQ(group_rank, 0);
+        } else if (rank == 2) {
+            EXPECT_EQ(group_rank, 1);
+        } else {
+            EXPECT_EQ(group_rank, XMPI_UNDEFINED);
+        }
+        XMPI_Group_free(&remaining);
+        XMPI_Group_free(&world_group);
+    });
+}
+
+TEST(Comm, NestedWorldsAreIndependent) {
+    World::run(2, [] {
+        int rank = -1;
+        XMPI_Comm_rank(XMPI_COMM_WORLD, &rank);
+        XMPI_Barrier(XMPI_COMM_WORLD);
+    });
+    // A second world after the first one finished: fresh state.
+    World::run(3, [] {
+        int size = 0;
+        XMPI_Comm_size(XMPI_COMM_WORLD, &size);
+        EXPECT_EQ(size, 3);
+    });
+}
+
+TEST(Comm, RankThreadBindingIsStable) {
+    World::run_ranked(4, [](int expected_rank) {
+        int rank = -1;
+        XMPI_Comm_rank(XMPI_COMM_WORLD, &rank);
+        EXPECT_EQ(rank, expected_rank);
+    });
+}
+
+TEST(Comm, ExceptionInOneRankPropagatesAndUnblocksOthers) {
+    EXPECT_THROW(
+        World::run_ranked(
+            3,
+            [](int rank) {
+                if (rank == 0) {
+                    throw std::runtime_error("rank 0 died");
+                }
+                // The other ranks block on a collective involving rank 0;
+                // they must not deadlock.
+                int value = rank;
+                int sum = 0;
+                XMPI_Allreduce(&value, &sum, 1, XMPI_INT, XMPI_SUM, XMPI_COMM_WORLD);
+            }),
+        std::runtime_error);
+}
+
+} // namespace

@@ -1,0 +1,198 @@
+/// @file test_datatype.cpp
+/// @brief Unit tests for xmpi datatypes: constructors, layout queries, and
+/// the pack/unpack engine.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "xmpi/xmpi.hpp"
+
+namespace {
+
+using xmpi::BuiltinType;
+using xmpi::Datatype;
+
+TEST(Datatype, BuiltinSizesMatchCxxTypes) {
+    EXPECT_EQ(XMPI_INT->size(), sizeof(int));
+    EXPECT_EQ(XMPI_DOUBLE->size(), sizeof(double));
+    EXPECT_EQ(XMPI_CHAR->size(), sizeof(char));
+    EXPECT_EQ(XMPI_LONG_LONG->size(), sizeof(long long));
+    EXPECT_EQ(XMPI_UNSIGNED_LONG->size(), sizeof(unsigned long));
+    EXPECT_EQ(XMPI_FLOAT->size(), sizeof(float));
+    EXPECT_EQ(XMPI_CXX_BOOL->size(), sizeof(bool));
+    EXPECT_EQ(XMPI_BYTE->size(), 1u);
+}
+
+TEST(Datatype, BuiltinExtentEqualsSize) {
+    EXPECT_EQ(XMPI_INT->extent(), static_cast<std::ptrdiff_t>(sizeof(int)));
+    EXPECT_TRUE(XMPI_INT->is_builtin());
+    EXPECT_TRUE(XMPI_INT->is_homogeneous());
+    EXPECT_EQ(XMPI_INT->elements_per_item(), 1u);
+}
+
+TEST(Datatype, ContiguousMergesAdjacentRuns) {
+    XMPI_Datatype type = nullptr;
+    ASSERT_EQ(XMPI_Type_contiguous(5, XMPI_INT, &type), XMPI_SUCCESS);
+    EXPECT_EQ(type->size(), 5 * sizeof(int));
+    EXPECT_EQ(type->extent(), static_cast<std::ptrdiff_t>(5 * sizeof(int)));
+    // Adjacent int runs merge into a single typemap block.
+    EXPECT_EQ(type->typemap().size(), 1u);
+    EXPECT_EQ(type->typemap().front().count, 5u);
+    EXPECT_TRUE(type->is_homogeneous());
+    XMPI_Type_free(&type);
+    EXPECT_EQ(type, XMPI_DATATYPE_NULL);
+}
+
+TEST(Datatype, ContiguousPackUnpackRoundtrip) {
+    XMPI_Datatype type = nullptr;
+    XMPI_Type_contiguous(4, XMPI_INT, &type);
+    XMPI_Type_commit(&type);
+    std::vector<int> const source{1, 2, 3, 4, 5, 6, 7, 8};
+    std::vector<std::byte> packed(type->packed_size(2));
+    type->pack(source.data(), 2, packed.data());
+    std::vector<int> target(8, 0);
+    type->unpack(packed.data(), 2, target.data());
+    EXPECT_EQ(source, target);
+    XMPI_Type_free(&type);
+}
+
+TEST(Datatype, VectorSelectsStridedBlocks) {
+    // 3 blocks of 2 ints with stride 4 ints: selects indices
+    // {0,1, 4,5, 8,9} out of a 12-int buffer.
+    XMPI_Datatype type = nullptr;
+    ASSERT_EQ(XMPI_Type_vector(3, 2, 4, XMPI_INT, &type), XMPI_SUCCESS);
+    EXPECT_EQ(type->size(), 6 * sizeof(int));
+    std::vector<int> source(12);
+    std::iota(source.begin(), source.end(), 0);
+    std::vector<std::byte> packed(type->packed_size(1));
+    type->pack(source.data(), 1, packed.data());
+    std::array<int, 6> extracted{};
+    std::memcpy(extracted.data(), packed.data(), packed.size());
+    EXPECT_EQ(extracted, (std::array<int, 6>{0, 1, 4, 5, 8, 9}));
+    XMPI_Type_free(&type);
+}
+
+TEST(Datatype, VectorUnpackScattersBack) {
+    XMPI_Datatype type = nullptr;
+    XMPI_Type_vector(2, 1, 3, XMPI_INT, &type);
+    std::array<int, 2> const dense{42, 43};
+    std::vector<std::byte> packed(type->packed_size(1));
+    std::memcpy(packed.data(), dense.data(), packed.size());
+    std::vector<int> target(6, -1);
+    type->unpack(packed.data(), 1, target.data());
+    EXPECT_EQ(target, (std::vector<int>{42, -1, -1, 43, -1, -1}));
+    XMPI_Type_free(&type);
+}
+
+TEST(Datatype, IndexedType) {
+    int const blocklengths[] = {2, 1};
+    int const displacements[] = {1, 5};
+    XMPI_Datatype type = nullptr;
+    ASSERT_EQ(XMPI_Type_indexed(2, blocklengths, displacements, XMPI_INT, &type), XMPI_SUCCESS);
+    EXPECT_EQ(type->size(), 3 * sizeof(int));
+    std::vector<int> source(6);
+    std::iota(source.begin(), source.end(), 10);
+    std::vector<std::byte> packed(type->packed_size(1));
+    type->pack(source.data(), 1, packed.data());
+    std::array<int, 3> extracted{};
+    std::memcpy(extracted.data(), packed.data(), packed.size());
+    EXPECT_EQ(extracted, (std::array<int, 3>{11, 12, 15}));
+    XMPI_Type_free(&type);
+}
+
+struct Mixed {
+    int a;
+    double b;
+    char c;
+};
+
+TEST(Datatype, StructTypeSkipsAlignmentGaps) {
+    int const blocklengths[] = {1, 1, 1};
+    XMPI_Aint const displacements[] = {
+        static_cast<XMPI_Aint>(offsetof(Mixed, a)),
+        static_cast<XMPI_Aint>(offsetof(Mixed, b)),
+        static_cast<XMPI_Aint>(offsetof(Mixed, c)),
+    };
+    XMPI_Datatype const types[] = {XMPI_INT, XMPI_DOUBLE, XMPI_CHAR};
+    XMPI_Datatype type = nullptr;
+    ASSERT_EQ(
+        XMPI_Type_create_struct(3, blocklengths, displacements, types, &type), XMPI_SUCCESS);
+    // size counts only the significant bytes, not the padding.
+    EXPECT_EQ(type->size(), sizeof(int) + sizeof(double) + sizeof(char));
+    EXPECT_FALSE(type->is_homogeneous());
+
+    // Struct extent must be resized to sizeof(Mixed) for use in arrays.
+    XMPI_Datatype resized = nullptr;
+    ASSERT_EQ(
+        XMPI_Type_create_resized(type, 0, static_cast<XMPI_Aint>(sizeof(Mixed)), &resized),
+        XMPI_SUCCESS);
+    EXPECT_EQ(resized->extent(), static_cast<std::ptrdiff_t>(sizeof(Mixed)));
+
+    Mixed const source[2] = {{1, 2.5, 'x'}, {3, 4.5, 'y'}};
+    std::vector<std::byte> packed(resized->packed_size(2));
+    resized->pack(source, 2, packed.data());
+    Mixed target[2] = {};
+    resized->unpack(packed.data(), 2, target);
+    EXPECT_EQ(target[0].a, 1);
+    EXPECT_EQ(target[0].b, 2.5);
+    EXPECT_EQ(target[0].c, 'x');
+    EXPECT_EQ(target[1].a, 3);
+    EXPECT_EQ(target[1].b, 4.5);
+    EXPECT_EQ(target[1].c, 'y');
+    XMPI_Type_free(&resized);
+    XMPI_Type_free(&type);
+}
+
+TEST(Datatype, ContiguousBytesType) {
+    auto* type = Datatype::contiguous_bytes(24);
+    EXPECT_EQ(type->size(), 24u);
+    EXPECT_EQ(type->extent(), 24);
+    EXPECT_TRUE(type->is_homogeneous());
+    EXPECT_EQ(type->elements_per_item(), 24u);
+    type->release();
+}
+
+TEST(Datatype, TypeSizeAndExtentQueries) {
+    XMPI_Datatype type = nullptr;
+    XMPI_Type_vector(2, 3, 5, XMPI_DOUBLE, &type);
+    int size = 0;
+    XMPI_Type_size(type, &size);
+    EXPECT_EQ(size, static_cast<int>(6 * sizeof(double)));
+    XMPI_Aint lb = -1;
+    XMPI_Aint extent = -1;
+    XMPI_Type_get_extent(type, &lb, &extent);
+    EXPECT_EQ(lb, 0);
+    EXPECT_EQ(extent, static_cast<XMPI_Aint>((5 + 3) * sizeof(double)));
+    XMPI_Type_free(&type);
+}
+
+TEST(Datatype, RefcountKeepsTypeAliveAcrossRelease) {
+    auto* type = Datatype::contiguous(3, *XMPI_INT);
+    type->retain();
+    type->release(); // still one reference left
+    EXPECT_EQ(type->size(), 3 * sizeof(int));
+    type->release();
+}
+
+TEST(Datatype, NestedConstructorComposition) {
+    // vector of contiguous: 2 blocks of (3 ints), stride 2 elements.
+    XMPI_Datatype inner = nullptr;
+    XMPI_Type_contiguous(3, XMPI_INT, &inner);
+    XMPI_Datatype outer = nullptr;
+    XMPI_Type_vector(2, 1, 2, inner, &outer);
+    EXPECT_EQ(outer->size(), 6 * sizeof(int));
+    std::vector<int> source(12);
+    std::iota(source.begin(), source.end(), 0);
+    std::vector<std::byte> packed(outer->packed_size(1));
+    outer->pack(source.data(), 1, packed.data());
+    std::array<int, 6> extracted{};
+    std::memcpy(extracted.data(), packed.data(), packed.size());
+    EXPECT_EQ(extracted, (std::array<int, 6>{0, 1, 2, 6, 7, 8}));
+    XMPI_Type_free(&outer);
+    XMPI_Type_free(&inner);
+}
+
+} // namespace

@@ -1,0 +1,68 @@
+/// @file test_netmodel.cpp
+/// @brief The alpha/beta network cost model: cost computation and the
+/// (coarse) timing behaviour of charged sends.
+#include <gtest/gtest.h>
+
+#include "xmpi/xmpi.hpp"
+
+namespace {
+
+using xmpi::NetworkModel;
+using xmpi::World;
+
+TEST(NetModel, DisabledByDefault) {
+    NetworkModel const model;
+    EXPECT_FALSE(model.enabled());
+    EXPECT_EQ(model.message_cost(1000), 0.0);
+}
+
+TEST(NetModel, MessageCostIsAffine) {
+    NetworkModel const model{.alpha = 1e-3, .beta = 1e-6};
+    EXPECT_TRUE(model.enabled());
+    EXPECT_DOUBLE_EQ(model.message_cost(0), 1e-3);
+    EXPECT_DOUBLE_EQ(model.message_cost(1000), 1e-3 + 1e-3);
+}
+
+TEST(NetModel, ChargedSendsSlowDownCommunication) {
+    // With alpha = 2 ms, 10 ping-pongs cost at least 20 ms of injected
+    // latency; without the model they complete in microseconds.
+    NetworkModel const model{.alpha = 2e-3, .beta = 0.0};
+    double elapsed_with_model = 0.0;
+    World::run(
+        2,
+        [&] {
+            int rank = -1;
+            XMPI_Comm_rank(XMPI_COMM_WORLD, &rank);
+            XMPI_Barrier(XMPI_COMM_WORLD);
+            double const start = XMPI_Wtime();
+            for (int i = 0; i < 10; ++i) {
+                int value = i;
+                if (rank == 0) {
+                    XMPI_Send(&value, 1, XMPI_INT, 1, 0, XMPI_COMM_WORLD);
+                    XMPI_Recv(&value, 1, XMPI_INT, 1, 0, XMPI_COMM_WORLD, XMPI_STATUS_IGNORE);
+                } else {
+                    XMPI_Recv(&value, 1, XMPI_INT, 0, 0, XMPI_COMM_WORLD, XMPI_STATUS_IGNORE);
+                    XMPI_Send(&value, 1, XMPI_INT, 0, 0, XMPI_COMM_WORLD);
+                }
+            }
+            if (rank == 0) {
+                elapsed_with_model = XMPI_Wtime() - start;
+            }
+        },
+        model);
+    EXPECT_GE(elapsed_with_model, 0.020) << "each of the 20 sends must cost >= alpha";
+}
+
+TEST(NetModel, WorldExposesConfiguredModel) {
+    NetworkModel const model{.alpha = 5e-6, .beta = 1e-9};
+    World::run(
+        2,
+        [&] {
+            auto const& active = xmpi::detail::current_world().network_model();
+            EXPECT_DOUBLE_EQ(active.alpha, 5e-6);
+            EXPECT_DOUBLE_EQ(active.beta, 1e-9);
+        },
+        model);
+}
+
+} // namespace

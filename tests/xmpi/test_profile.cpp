@@ -1,0 +1,87 @@
+/// @file test_profile.cpp
+/// @brief PMPI-style profiling counters: call counts and traffic volumes.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "xmpi/xmpi.hpp"
+
+namespace {
+
+using xmpi::World;
+using xmpi::profile::Call;
+
+TEST(Profile, CountsPointToPointCalls) {
+    World::run_ranked(2, [](int rank) {
+        xmpi::profile::reset_mine();
+        if (rank == 0) {
+            int const value = 1;
+            XMPI_Send(&value, 1, XMPI_INT, 1, 0, XMPI_COMM_WORLD);
+            XMPI_Send(&value, 1, XMPI_INT, 1, 0, XMPI_COMM_WORLD);
+            auto const snapshot = xmpi::profile::my_snapshot();
+            EXPECT_EQ(snapshot[Call::send], 2u);
+            EXPECT_EQ(snapshot[Call::recv], 0u);
+            EXPECT_EQ(snapshot.messages_sent, 2u);
+            EXPECT_EQ(snapshot.bytes_sent, 2 * sizeof(int));
+        } else {
+            int sink = 0;
+            XMPI_Recv(&sink, 1, XMPI_INT, 0, 0, XMPI_COMM_WORLD, XMPI_STATUS_IGNORE);
+            XMPI_Recv(&sink, 1, XMPI_INT, 0, 0, XMPI_COMM_WORLD, XMPI_STATUS_IGNORE);
+            auto const snapshot = xmpi::profile::my_snapshot();
+            EXPECT_EQ(snapshot[Call::recv], 2u);
+        }
+    });
+}
+
+TEST(Profile, CollectiveCallsAreCountedOncePerEntry) {
+    World::run(4, [] {
+        XMPI_Barrier(XMPI_COMM_WORLD);
+        xmpi::profile::reset_mine();
+        int const value = 1;
+        int sum = 0;
+        XMPI_Allreduce(&value, &sum, 1, XMPI_INT, XMPI_SUM, XMPI_COMM_WORLD);
+        auto const snapshot = xmpi::profile::my_snapshot();
+        EXPECT_EQ(snapshot[Call::allreduce], 1u);
+        // The internal tree messages count as traffic but not as user calls.
+        EXPECT_EQ(snapshot[Call::send], 0u);
+        EXPECT_EQ(snapshot[Call::recv], 0u);
+        XMPI_Barrier(XMPI_COMM_WORLD);
+    });
+}
+
+TEST(Profile, MessageCountReflectsAlgorithmShape) {
+    // An alltoallv on p ranks sends p-1 messages per rank (pairwise
+    // exchange) — the profiling counters make such claims testable without
+    // timing (used by the Fig. 10 benchmark analysis).
+    constexpr int kWorldSize = 8;
+    World::run(kWorldSize, [] {
+        XMPI_Barrier(XMPI_COMM_WORLD);
+        xmpi::profile::reset_mine();
+        std::vector<int> const counts(kWorldSize, 1);
+        std::vector<int> displs(kWorldSize);
+        for (int i = 0; i < kWorldSize; ++i) {
+            displs[static_cast<std::size_t>(i)] = i;
+        }
+        std::vector<int> send(kWorldSize, 1);
+        std::vector<int> recv(kWorldSize, 0);
+        XMPI_Alltoallv(
+            send.data(), counts.data(), displs.data(), XMPI_INT, recv.data(), counts.data(),
+            displs.data(), XMPI_INT, XMPI_COMM_WORLD);
+        auto const snapshot = xmpi::profile::my_snapshot();
+        EXPECT_EQ(snapshot.messages_sent, kWorldSize - 1u);
+        XMPI_Barrier(XMPI_COMM_WORLD);
+    });
+}
+
+TEST(Profile, ResetClearsCounters) {
+    World::run(2, [] {
+        XMPI_Barrier(XMPI_COMM_WORLD);
+        xmpi::profile::reset_mine();
+        auto const snapshot = xmpi::profile::my_snapshot();
+        EXPECT_EQ(snapshot.total_calls(), 0u);
+        EXPECT_EQ(snapshot.messages_sent, 0u);
+        XMPI_Barrier(XMPI_COMM_WORLD);
+    });
+}
+
+} // namespace

@@ -1,0 +1,216 @@
+/// @file test_properties.cpp
+/// @brief Property-style randomized tests of the xmpi substrate: the pack
+/// engine against a reference scatter/gather, collectives against naive
+/// per-pair messaging, and ordering invariants under concurrency.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <random>
+#include <vector>
+
+#include "xmpi/xmpi.hpp"
+
+namespace {
+
+using xmpi::World;
+
+class RandomSeed : public ::testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, RandomSeed, ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u),
+    [](auto const& info) { return "seed" + std::to_string(info.param); });
+
+TEST_P(RandomSeed, RandomIndexedTypeRoundTripsThroughPackEngine) {
+    std::mt19937_64 gen(GetParam());
+    std::uniform_int_distribution<int> block_count_dist(1, 6);
+    std::uniform_int_distribution<int> length_dist(1, 4);
+    std::uniform_int_distribution<int> gap_dist(0, 3);
+
+    // Random indexed type: blocks at increasing displacements.
+    int const blocks = block_count_dist(gen);
+    std::vector<int> lengths(static_cast<std::size_t>(blocks));
+    std::vector<int> displacements(static_cast<std::size_t>(blocks));
+    int cursor = 0;
+    int significant = 0;
+    for (int b = 0; b < blocks; ++b) {
+        cursor += gap_dist(gen);
+        displacements[static_cast<std::size_t>(b)] = cursor;
+        lengths[static_cast<std::size_t>(b)] = length_dist(gen);
+        cursor += lengths[static_cast<std::size_t>(b)];
+        significant += lengths[static_cast<std::size_t>(b)];
+    }
+    XMPI_Datatype type = nullptr;
+    ASSERT_EQ(
+        XMPI_Type_indexed(blocks, lengths.data(), displacements.data(), XMPI_INT, &type),
+        XMPI_SUCCESS);
+    ASSERT_EQ(type->size(), static_cast<std::size_t>(significant) * sizeof(int));
+
+    // Fill a buffer, pack 2 elements, unpack into a fresh buffer: the
+    // significant positions must round-trip, gaps must stay untouched.
+    std::size_t const extent_ints =
+        static_cast<std::size_t>(type->extent()) / sizeof(int);
+    std::vector<int> source(2 * extent_ints);
+    std::iota(source.begin(), source.end(), 1000);
+    std::vector<std::byte> packed(type->packed_size(2));
+    type->pack(source.data(), 2, packed.data());
+    std::vector<int> target(source.size(), -7);
+    type->unpack(packed.data(), 2, target.data());
+
+    for (int element = 0; element < 2; ++element) {
+        std::size_t const base = static_cast<std::size_t>(element) * extent_ints;
+        std::vector<bool> is_significant(extent_ints, false);
+        for (int b = 0; b < blocks; ++b) {
+            for (int k = 0; k < lengths[static_cast<std::size_t>(b)]; ++k) {
+                is_significant[static_cast<std::size_t>(
+                    displacements[static_cast<std::size_t>(b)] + k)] = true;
+            }
+        }
+        for (std::size_t i = 0; i < extent_ints; ++i) {
+            if (is_significant[i]) {
+                EXPECT_EQ(target[base + i], source[base + i]);
+            } else {
+                EXPECT_EQ(target[base + i], -7) << "gap position must stay untouched";
+            }
+        }
+    }
+    XMPI_Type_free(&type);
+}
+
+TEST_P(RandomSeed, AlltoallvEqualsNaivePerPairMessaging) {
+    // Property: for random counts, XMPI_Alltoallv delivers exactly what p*p
+    // individual sends/recvs would.
+    constexpr int kWorldSize = 5;
+    std::uint64_t const seed = GetParam();
+    World::run_ranked(kWorldSize, [&](int rank) {
+        std::mt19937_64 gen(seed * 131 + static_cast<std::uint64_t>(rank));
+        std::uniform_int_distribution<int> count_dist(0, 7);
+        std::vector<int> send_counts(kWorldSize);
+        for (auto& count: send_counts) {
+            count = count_dist(gen);
+        }
+        std::vector<int> send_displs(kWorldSize);
+        std::exclusive_scan(send_counts.begin(), send_counts.end(), send_displs.begin(), 0);
+        std::vector<long> send_data(
+            static_cast<std::size_t>(send_displs.back() + send_counts.back()));
+        for (std::size_t i = 0; i < send_data.size(); ++i) {
+            send_data[i] = rank * 10000 + static_cast<long>(i);
+        }
+
+        // Reference: naive per-pair exchange over p2p.
+        std::vector<int> recv_counts(kWorldSize);
+        XMPI_Alltoall(
+            send_counts.data(), 1, XMPI_INT, recv_counts.data(), 1, XMPI_INT,
+            XMPI_COMM_WORLD);
+        std::vector<int> recv_displs(kWorldSize);
+        std::exclusive_scan(recv_counts.begin(), recv_counts.end(), recv_displs.begin(), 0);
+        std::vector<long> naive(
+            static_cast<std::size_t>(recv_displs.back() + recv_counts.back()));
+        std::vector<XMPI_Request> requests;
+        for (int peer = 0; peer < kWorldSize; ++peer) {
+            if (recv_counts[static_cast<std::size_t>(peer)] > 0) {
+                XMPI_Request request = XMPI_REQUEST_NULL;
+                XMPI_Irecv(
+                    naive.data() + recv_displs[static_cast<std::size_t>(peer)],
+                    recv_counts[static_cast<std::size_t>(peer)], XMPI_LONG, peer, 7,
+                    XMPI_COMM_WORLD, &request);
+                requests.push_back(request);
+            }
+        }
+        for (int peer = 0; peer < kWorldSize; ++peer) {
+            if (send_counts[static_cast<std::size_t>(peer)] > 0) {
+                XMPI_Send(
+                    send_data.data() + send_displs[static_cast<std::size_t>(peer)],
+                    send_counts[static_cast<std::size_t>(peer)], XMPI_LONG, peer, 7,
+                    XMPI_COMM_WORLD);
+            }
+        }
+        XMPI_Waitall(
+            static_cast<int>(requests.size()), requests.data(), XMPI_STATUSES_IGNORE);
+
+        // Collective under test.
+        std::vector<long> collective(naive.size());
+        XMPI_Alltoallv(
+            send_data.data(), send_counts.data(), send_displs.data(), XMPI_LONG,
+            collective.data(), recv_counts.data(), recv_displs.data(), XMPI_LONG,
+            XMPI_COMM_WORLD);
+
+        EXPECT_EQ(collective, naive);
+    });
+}
+
+TEST_P(RandomSeed, ReduceEqualsLocalFold) {
+    constexpr int kWorldSize = 6;
+    std::uint64_t const seed = GetParam();
+    World::run_ranked(kWorldSize, [&](int rank) {
+        std::mt19937_64 gen(seed * 17 + static_cast<std::uint64_t>(rank));
+        std::uniform_int_distribution<long> value_dist(-1000, 1000);
+        std::vector<long> const mine{value_dist(gen), value_dist(gen), value_dist(gen)};
+
+        // Reference: gather everything, fold locally.
+        std::vector<long> all(3 * kWorldSize);
+        XMPI_Allgather(mine.data(), 3, XMPI_LONG, all.data(), 3, XMPI_LONG, XMPI_COMM_WORLD);
+        std::vector<long> expected(3, 0);
+        for (int r = 0; r < kWorldSize; ++r) {
+            for (int k = 0; k < 3; ++k) {
+                expected[static_cast<std::size_t>(k)] +=
+                    all[static_cast<std::size_t>(3 * r + k)];
+            }
+        }
+
+        std::vector<long> result(3);
+        XMPI_Allreduce(mine.data(), result.data(), 3, XMPI_LONG, XMPI_SUM, XMPI_COMM_WORLD);
+        EXPECT_EQ(result, expected);
+
+        // Scan property: scan[r] - exscan[r] == own contribution.
+        std::vector<long> inclusive(3);
+        std::vector<long> exclusive(3, 0);
+        XMPI_Scan(mine.data(), inclusive.data(), 3, XMPI_LONG, XMPI_SUM, XMPI_COMM_WORLD);
+        XMPI_Exscan(mine.data(), exclusive.data(), 3, XMPI_LONG, XMPI_SUM, XMPI_COMM_WORLD);
+        if (rank == 0) {
+            std::fill(exclusive.begin(), exclusive.end(), 0); // undefined on 0
+        }
+        for (int k = 0; k < 3; ++k) {
+            EXPECT_EQ(
+                inclusive[static_cast<std::size_t>(k)]
+                    - exclusive[static_cast<std::size_t>(k)],
+                mine[static_cast<std::size_t>(k)]);
+        }
+    });
+}
+
+TEST_P(RandomSeed, ConcurrentPairwiseTrafficPreservesPerPairOrder) {
+    // Non-overtaking under concurrency: every rank sends numbered streams to
+    // every other rank; each stream must arrive in order.
+    constexpr int kWorldSize = 4;
+    constexpr int kMessages = 30;
+    std::uint64_t const seed = GetParam();
+    World::run_ranked(kWorldSize, [&](int rank) {
+        std::mt19937_64 gen(seed + static_cast<std::uint64_t>(rank));
+        std::vector<int> order(kWorldSize * kMessages);
+        for (int i = 0; i < kWorldSize * kMessages; ++i) {
+            order[static_cast<std::size_t>(i)] = i % kWorldSize; // destination sequence
+        }
+        std::shuffle(order.begin(), order.end(), gen);
+        std::vector<int> next_sequence(kWorldSize, 0);
+        // Interleave sends to all destinations in a random order.
+        for (int const destination: order) {
+            int const value =
+                rank * 1000 + next_sequence[static_cast<std::size_t>(destination)]++;
+            XMPI_Send(&value, 1, XMPI_INT, destination, 3, XMPI_COMM_WORLD);
+        }
+        // Receive all streams; per source, sequence numbers must ascend.
+        std::vector<int> expected(kWorldSize, 0);
+        for (int received = 0; received < kWorldSize * kMessages; ++received) {
+            int value = -1;
+            xmpi::Status status;
+            XMPI_Recv(
+                &value, 1, XMPI_INT, XMPI_ANY_SOURCE, 3, XMPI_COMM_WORLD, &status);
+            int const source = status.source;
+            EXPECT_EQ(value, source * 1000 + expected[static_cast<std::size_t>(source)])
+                << "stream from " << source << " reordered";
+            ++expected[static_cast<std::size_t>(source)];
+        }
+    });
+}
+
+} // namespace

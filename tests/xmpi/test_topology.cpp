@@ -1,0 +1,134 @@
+/// @file test_topology.cpp
+/// @brief Sparse graph topologies and neighborhood collectives.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "xmpi/xmpi.hpp"
+
+namespace {
+
+using xmpi::World;
+
+TEST(Topology, RingNeighborAlltoall) {
+    World::run(4, [] {
+        int rank = -1;
+        XMPI_Comm_rank(XMPI_COMM_WORLD, &rank);
+        int const next = (rank + 1) % 4;
+        int const prev = (rank + 3) % 4;
+        int const sources[] = {prev, next};
+        int const destinations[] = {prev, next};
+        XMPI_Comm ring = XMPI_COMM_NULL;
+        ASSERT_EQ(
+            XMPI_Dist_graph_create_adjacent(
+                XMPI_COMM_WORLD, 2, sources, nullptr, 2, destinations, nullptr, 0, &ring),
+            XMPI_SUCCESS);
+        int indegree = 0;
+        int outdegree = 0;
+        int weighted = -1;
+        XMPI_Dist_graph_neighbors_count(ring, &indegree, &outdegree, &weighted);
+        EXPECT_EQ(indegree, 2);
+        EXPECT_EQ(outdegree, 2);
+
+        // Send my rank to both neighbors; expect their ranks back.
+        int const send[] = {rank * 10, rank * 10 + 1};
+        int recv[2] = {-1, -1};
+        ASSERT_EQ(
+            XMPI_Neighbor_alltoall(send, 1, XMPI_INT, recv, 1, XMPI_INT, ring), XMPI_SUCCESS);
+        // recv[j] is the j-th block sent by sources[j] to us. prev sends us
+        // its "next" block (index 1); next sends us its "prev" block (0).
+        EXPECT_EQ(recv[0], prev * 10 + 1);
+        EXPECT_EQ(recv[1], next * 10);
+        XMPI_Comm_free(&ring);
+    });
+}
+
+TEST(Topology, AsymmetricGraphAlltoallv) {
+    // A directed star: every rank sends to rank 0 only; rank 0 sends nothing.
+    World::run(5, [] {
+        int rank = -1;
+        XMPI_Comm_rank(XMPI_COMM_WORLD, &rank);
+        std::vector<int> sources;
+        std::vector<int> destinations;
+        if (rank == 0) {
+            sources = {1, 2, 3, 4};
+        } else {
+            destinations = {0};
+        }
+        XMPI_Comm star = XMPI_COMM_NULL;
+        ASSERT_EQ(
+            XMPI_Dist_graph_create_adjacent(
+                XMPI_COMM_WORLD, static_cast<int>(sources.size()), sources.data(), nullptr,
+                static_cast<int>(destinations.size()), destinations.data(), nullptr, 0, &star),
+            XMPI_SUCCESS);
+
+        if (rank == 0) {
+            std::vector<int> recvcounts{1, 2, 3, 4};
+            std::vector<int> rdispls{0, 1, 3, 6};
+            std::vector<int> recv(10, -1);
+            ASSERT_EQ(
+                XMPI_Neighbor_alltoallv(
+                    nullptr, nullptr, nullptr, XMPI_INT, recv.data(), recvcounts.data(),
+                    rdispls.data(), XMPI_INT, star),
+                XMPI_SUCCESS);
+            std::size_t index = 0;
+            for (int source = 1; source <= 4; ++source) {
+                for (int k = 0; k < source; ++k) {
+                    EXPECT_EQ(recv[index++], source * 100 + k);
+                }
+            }
+        } else {
+            std::vector<int> const send = [&] {
+                std::vector<int> data;
+                for (int k = 0; k < rank; ++k) {
+                    data.push_back(rank * 100 + k);
+                }
+                return data;
+            }();
+            int const sendcount = rank;
+            int const sdispl = 0;
+            ASSERT_EQ(
+                XMPI_Neighbor_alltoallv(
+                    send.data(), &sendcount, &sdispl, XMPI_INT, nullptr, nullptr, nullptr,
+                    XMPI_INT, star),
+                XMPI_SUCCESS);
+        }
+        XMPI_Comm_free(&star);
+    });
+}
+
+TEST(Topology, NeighborCollectiveWithoutTopologyFails) {
+    World::run(2, [] {
+        int send = 0;
+        int recv = 0;
+        EXPECT_EQ(
+            XMPI_Neighbor_alltoall(&send, 1, XMPI_INT, &recv, 1, XMPI_INT, XMPI_COMM_WORLD),
+            XMPI_ERR_TOPOLOGY);
+        XMPI_Barrier(XMPI_COMM_WORLD);
+    });
+}
+
+TEST(Topology, DupPreservesTopology) {
+    World::run(3, [] {
+        int rank = -1;
+        XMPI_Comm_rank(XMPI_COMM_WORLD, &rank);
+        int const next = (rank + 1) % 3;
+        int const prev = (rank + 2) % 3;
+        XMPI_Comm ring = XMPI_COMM_NULL;
+        int const sources[] = {prev};
+        int const destinations[] = {next};
+        XMPI_Dist_graph_create_adjacent(
+            XMPI_COMM_WORLD, 1, sources, nullptr, 1, destinations, nullptr, 0, &ring);
+        XMPI_Comm copy = XMPI_COMM_NULL;
+        ASSERT_EQ(XMPI_Comm_dup(ring, &copy), XMPI_SUCCESS);
+        EXPECT_TRUE(copy->has_topology());
+        int const send = rank;
+        int recv = -1;
+        ASSERT_EQ(XMPI_Neighbor_alltoall(&send, 1, XMPI_INT, &recv, 1, XMPI_INT, copy), XMPI_SUCCESS);
+        EXPECT_EQ(recv, prev);
+        XMPI_Comm_free(&copy);
+        XMPI_Comm_free(&ring);
+    });
+}
+
+} // namespace
