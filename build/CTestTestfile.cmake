@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("src/kassert")
+subdirs("src/kaserial")
+subdirs("src/xmpi")
+subdirs("src/kamping")
+subdirs("src/mimic")
+subdirs("src/apps")
+subdirs("tests")
+subdirs("bench-build")
+subdirs("examples-build")

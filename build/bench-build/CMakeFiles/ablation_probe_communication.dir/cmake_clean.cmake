@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench-probes/ablation_probe_communication"
+  "../bench-probes/ablation_probe_communication.pdb"
+  "CMakeFiles/ablation_probe_communication.dir/ablation/assertion_probe_main.cpp.o"
+  "CMakeFiles/ablation_probe_communication.dir/ablation/assertion_probe_main.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_probe_communication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

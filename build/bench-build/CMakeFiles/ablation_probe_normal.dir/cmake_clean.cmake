@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench-probes/ablation_probe_normal"
+  "../bench-probes/ablation_probe_normal.pdb"
+  "CMakeFiles/ablation_probe_normal.dir/ablation/assertion_probe_main.cpp.o"
+  "CMakeFiles/ablation_probe_normal.dir/ablation/assertion_probe_main.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_probe_normal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_labelprop"
+  "../bench/bench_labelprop.pdb"
+  "CMakeFiles/bench_labelprop.dir/bench_labelprop.cpp.o"
+  "CMakeFiles/bench_labelprop.dir/bench_labelprop.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_labelprop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

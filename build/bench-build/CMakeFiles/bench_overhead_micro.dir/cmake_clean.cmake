@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_overhead_micro"
+  "../bench/bench_overhead_micro.pdb"
+  "CMakeFiles/bench_overhead_micro.dir/bench_overhead_micro.cpp.o"
+  "CMakeFiles/bench_overhead_micro.dir/bench_overhead_micro.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_overhead_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_raxml"
+  "../bench/bench_raxml.pdb"
+  "CMakeFiles/bench_raxml.dir/bench_raxml.cpp.o"
+  "CMakeFiles/bench_raxml.dir/bench_raxml.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_raxml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

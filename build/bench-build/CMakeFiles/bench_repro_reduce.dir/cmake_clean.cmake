@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_repro_reduce"
+  "../bench/bench_repro_reduce.pdb"
+  "CMakeFiles/bench_repro_reduce.dir/bench_repro_reduce.cpp.o"
+  "CMakeFiles/bench_repro_reduce.dir/bench_repro_reduce.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_repro_reduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

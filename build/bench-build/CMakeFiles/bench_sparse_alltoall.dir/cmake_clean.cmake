@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sparse_alltoall"
+  "../bench/bench_sparse_alltoall.pdb"
+  "CMakeFiles/bench_sparse_alltoall.dir/bench_sparse_alltoall.cpp.o"
+  "CMakeFiles/bench_sparse_alltoall.dir/bench_sparse_alltoall.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sparse_alltoall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_suffix_array"
+  "../bench/bench_suffix_array.pdb"
+  "CMakeFiles/bench_suffix_array.dir/bench_suffix_array.cpp.o"
+  "CMakeFiles/bench_suffix_array.dir/bench_suffix_array.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_suffix_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

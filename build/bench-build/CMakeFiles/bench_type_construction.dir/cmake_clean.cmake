@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_type_construction"
+  "../bench/bench_type_construction.pdb"
+  "CMakeFiles/bench_type_construction.dir/bench_type_construction.cpp.o"
+  "CMakeFiles/bench_type_construction.dir/bench_type_construction.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_type_construction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/distributed_sort"
+  "../examples/distributed_sort.pdb"
+  "CMakeFiles/distributed_sort.dir/distributed_sort.cpp.o"
+  "CMakeFiles/distributed_sort.dir/distributed_sort.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/fault_tolerance"
+  "../examples/fault_tolerance.pdb"
+  "CMakeFiles/fault_tolerance.dir/fault_tolerance.cpp.o"
+  "CMakeFiles/fault_tolerance.dir/fault_tolerance.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_tolerance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/graph_bfs"
+  "../examples/graph_bfs.pdb"
+  "CMakeFiles/graph_bfs.dir/graph_bfs.cpp.o"
+  "CMakeFiles/graph_bfs.dir/graph_bfs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_bfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/reproducible_sum"
+  "../examples/reproducible_sum.pdb"
+  "CMakeFiles/reproducible_sum.dir/reproducible_sum.cpp.o"
+  "CMakeFiles/reproducible_sum.dir/reproducible_sum.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reproducible_sum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for reproducible_sum.
+# This may be replaced when dependencies are built.

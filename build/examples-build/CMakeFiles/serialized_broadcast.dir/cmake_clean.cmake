@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/serialized_broadcast"
+  "../examples/serialized_broadcast.pdb"
+  "CMakeFiles/serialized_broadcast.dir/serialized_broadcast.cpp.o"
+  "CMakeFiles/serialized_broadcast.dir/serialized_broadcast.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serialized_broadcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/suffix_search"
+  "../examples/suffix_search.pdb"
+  "CMakeFiles/suffix_search.dir/suffix_search.cpp.o"
+  "CMakeFiles/suffix_search.dir/suffix_search.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suffix_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

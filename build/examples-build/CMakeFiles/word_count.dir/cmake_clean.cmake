@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/word_count"
+  "../examples/word_count.pdb"
+  "CMakeFiles/word_count.dir/word_count.cpp.o"
+  "CMakeFiles/word_count.dir/word_count.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/word_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

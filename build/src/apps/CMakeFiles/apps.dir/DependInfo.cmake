@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/src/bfs.cpp" "src/apps/CMakeFiles/apps.dir/src/bfs.cpp.o" "gcc" "src/apps/CMakeFiles/apps.dir/src/bfs.cpp.o.d"
+  "/root/repo/src/apps/src/graphgen.cpp" "src/apps/CMakeFiles/apps.dir/src/graphgen.cpp.o" "gcc" "src/apps/CMakeFiles/apps.dir/src/graphgen.cpp.o.d"
+  "/root/repo/src/apps/src/labelprop.cpp" "src/apps/CMakeFiles/apps.dir/src/labelprop.cpp.o" "gcc" "src/apps/CMakeFiles/apps.dir/src/labelprop.cpp.o.d"
+  "/root/repo/src/apps/src/raxml.cpp" "src/apps/CMakeFiles/apps.dir/src/raxml.cpp.o" "gcc" "src/apps/CMakeFiles/apps.dir/src/raxml.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/xmpi/CMakeFiles/xmpi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps.dir/src/bfs.cpp.o"
+  "CMakeFiles/apps.dir/src/bfs.cpp.o.d"
+  "CMakeFiles/apps.dir/src/graphgen.cpp.o"
+  "CMakeFiles/apps.dir/src/graphgen.cpp.o.d"
+  "CMakeFiles/apps.dir/src/labelprop.cpp.o"
+  "CMakeFiles/apps.dir/src/labelprop.cpp.o.d"
+  "CMakeFiles/apps.dir/src/raxml.cpp.o"
+  "CMakeFiles/apps.dir/src/raxml.cpp.o.d"
+  "libapps.a"
+  "libapps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xmpi/src/api.cpp" "src/xmpi/CMakeFiles/xmpi.dir/src/api.cpp.o" "gcc" "src/xmpi/CMakeFiles/xmpi.dir/src/api.cpp.o.d"
+  "/root/repo/src/xmpi/src/coll_alltoall.cpp" "src/xmpi/CMakeFiles/xmpi.dir/src/coll_alltoall.cpp.o" "gcc" "src/xmpi/CMakeFiles/xmpi.dir/src/coll_alltoall.cpp.o.d"
+  "/root/repo/src/xmpi/src/coll_basic.cpp" "src/xmpi/CMakeFiles/xmpi.dir/src/coll_basic.cpp.o" "gcc" "src/xmpi/CMakeFiles/xmpi.dir/src/coll_basic.cpp.o.d"
+  "/root/repo/src/xmpi/src/coll_gather.cpp" "src/xmpi/CMakeFiles/xmpi.dir/src/coll_gather.cpp.o" "gcc" "src/xmpi/CMakeFiles/xmpi.dir/src/coll_gather.cpp.o.d"
+  "/root/repo/src/xmpi/src/coll_reduce.cpp" "src/xmpi/CMakeFiles/xmpi.dir/src/coll_reduce.cpp.o" "gcc" "src/xmpi/CMakeFiles/xmpi.dir/src/coll_reduce.cpp.o.d"
+  "/root/repo/src/xmpi/src/comm.cpp" "src/xmpi/CMakeFiles/xmpi.dir/src/comm.cpp.o" "gcc" "src/xmpi/CMakeFiles/xmpi.dir/src/comm.cpp.o.d"
+  "/root/repo/src/xmpi/src/comm_mgmt.cpp" "src/xmpi/CMakeFiles/xmpi.dir/src/comm_mgmt.cpp.o" "gcc" "src/xmpi/CMakeFiles/xmpi.dir/src/comm_mgmt.cpp.o.d"
+  "/root/repo/src/xmpi/src/datatype.cpp" "src/xmpi/CMakeFiles/xmpi.dir/src/datatype.cpp.o" "gcc" "src/xmpi/CMakeFiles/xmpi.dir/src/datatype.cpp.o.d"
+  "/root/repo/src/xmpi/src/mailbox.cpp" "src/xmpi/CMakeFiles/xmpi.dir/src/mailbox.cpp.o" "gcc" "src/xmpi/CMakeFiles/xmpi.dir/src/mailbox.cpp.o.d"
+  "/root/repo/src/xmpi/src/op.cpp" "src/xmpi/CMakeFiles/xmpi.dir/src/op.cpp.o" "gcc" "src/xmpi/CMakeFiles/xmpi.dir/src/op.cpp.o.d"
+  "/root/repo/src/xmpi/src/profile.cpp" "src/xmpi/CMakeFiles/xmpi.dir/src/profile.cpp.o" "gcc" "src/xmpi/CMakeFiles/xmpi.dir/src/profile.cpp.o.d"
+  "/root/repo/src/xmpi/src/request.cpp" "src/xmpi/CMakeFiles/xmpi.dir/src/request.cpp.o" "gcc" "src/xmpi/CMakeFiles/xmpi.dir/src/request.cpp.o.d"
+  "/root/repo/src/xmpi/src/transport.cpp" "src/xmpi/CMakeFiles/xmpi.dir/src/transport.cpp.o" "gcc" "src/xmpi/CMakeFiles/xmpi.dir/src/transport.cpp.o.d"
+  "/root/repo/src/xmpi/src/ulfm.cpp" "src/xmpi/CMakeFiles/xmpi.dir/src/ulfm.cpp.o" "gcc" "src/xmpi/CMakeFiles/xmpi.dir/src/ulfm.cpp.o.d"
+  "/root/repo/src/xmpi/src/world.cpp" "src/xmpi/CMakeFiles/xmpi.dir/src/world.cpp.o" "gcc" "src/xmpi/CMakeFiles/xmpi.dir/src/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmpi.dir/src/api.cpp.o"
+  "CMakeFiles/xmpi.dir/src/api.cpp.o.d"
+  "CMakeFiles/xmpi.dir/src/coll_alltoall.cpp.o"
+  "CMakeFiles/xmpi.dir/src/coll_alltoall.cpp.o.d"
+  "CMakeFiles/xmpi.dir/src/coll_basic.cpp.o"
+  "CMakeFiles/xmpi.dir/src/coll_basic.cpp.o.d"
+  "CMakeFiles/xmpi.dir/src/coll_gather.cpp.o"
+  "CMakeFiles/xmpi.dir/src/coll_gather.cpp.o.d"
+  "CMakeFiles/xmpi.dir/src/coll_reduce.cpp.o"
+  "CMakeFiles/xmpi.dir/src/coll_reduce.cpp.o.d"
+  "CMakeFiles/xmpi.dir/src/comm.cpp.o"
+  "CMakeFiles/xmpi.dir/src/comm.cpp.o.d"
+  "CMakeFiles/xmpi.dir/src/comm_mgmt.cpp.o"
+  "CMakeFiles/xmpi.dir/src/comm_mgmt.cpp.o.d"
+  "CMakeFiles/xmpi.dir/src/datatype.cpp.o"
+  "CMakeFiles/xmpi.dir/src/datatype.cpp.o.d"
+  "CMakeFiles/xmpi.dir/src/mailbox.cpp.o"
+  "CMakeFiles/xmpi.dir/src/mailbox.cpp.o.d"
+  "CMakeFiles/xmpi.dir/src/op.cpp.o"
+  "CMakeFiles/xmpi.dir/src/op.cpp.o.d"
+  "CMakeFiles/xmpi.dir/src/profile.cpp.o"
+  "CMakeFiles/xmpi.dir/src/profile.cpp.o.d"
+  "CMakeFiles/xmpi.dir/src/request.cpp.o"
+  "CMakeFiles/xmpi.dir/src/request.cpp.o.d"
+  "CMakeFiles/xmpi.dir/src/transport.cpp.o"
+  "CMakeFiles/xmpi.dir/src/transport.cpp.o.d"
+  "CMakeFiles/xmpi.dir/src/ulfm.cpp.o"
+  "CMakeFiles/xmpi.dir/src/ulfm.cpp.o.d"
+  "CMakeFiles/xmpi.dir/src/world.cpp.o"
+  "CMakeFiles/xmpi.dir/src/world.cpp.o.d"
+  "libxmpi.a"
+  "libxmpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps_labelprop_raxml.dir/test_labelprop_raxml.cpp.o"
+  "CMakeFiles/test_apps_labelprop_raxml.dir/test_labelprop_raxml.cpp.o.d"
+  "test_apps_labelprop_raxml"
+  "test_apps_labelprop_raxml.pdb"
+  "test_apps_labelprop_raxml[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps_labelprop_raxml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

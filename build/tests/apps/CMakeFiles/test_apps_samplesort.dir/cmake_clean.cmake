@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps_samplesort.dir/test_samplesort.cpp.o"
+  "CMakeFiles/test_apps_samplesort.dir/test_samplesort.cpp.o.d"
+  "test_apps_samplesort"
+  "test_apps_samplesort.pdb"
+  "test_apps_samplesort[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps_samplesort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

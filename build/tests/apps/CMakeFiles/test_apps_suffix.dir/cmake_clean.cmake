@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps_suffix.dir/test_suffix.cpp.o"
+  "CMakeFiles/test_apps_suffix.dir/test_suffix.cpp.o.d"
+  "test_apps_suffix"
+  "test_apps_suffix.pdb"
+  "test_apps_suffix[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps_suffix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

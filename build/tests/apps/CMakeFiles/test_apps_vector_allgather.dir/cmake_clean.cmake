@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps_vector_allgather.dir/test_vector_allgather.cpp.o"
+  "CMakeFiles/test_apps_vector_allgather.dir/test_vector_allgather.cpp.o.d"
+  "test_apps_vector_allgather"
+  "test_apps_vector_allgather.pdb"
+  "test_apps_vector_allgather[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps_vector_allgather.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/apps
+# Build directory: /root/repo/build/tests/apps
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/apps/test_apps_graphgen[1]_include.cmake")
+include("/root/repo/build/tests/apps/test_apps_bfs[1]_include.cmake")
+include("/root/repo/build/tests/apps/test_apps_samplesort[1]_include.cmake")
+include("/root/repo/build/tests/apps/test_apps_suffix[1]_include.cmake")
+include("/root/repo/build/tests/apps/test_apps_labelprop_raxml[1]_include.cmake")
+include("/root/repo/build/tests/apps/test_apps_vector_allgather[1]_include.cmake")

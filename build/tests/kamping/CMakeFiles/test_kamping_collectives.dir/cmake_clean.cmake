@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kamping_collectives.dir/test_collectives.cpp.o"
+  "CMakeFiles/test_kamping_collectives.dir/test_collectives.cpp.o.d"
+  "test_kamping_collectives"
+  "test_kamping_collectives.pdb"
+  "test_kamping_collectives[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kamping_collectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

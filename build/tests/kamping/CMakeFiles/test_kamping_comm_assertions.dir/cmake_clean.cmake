@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kamping_comm_assertions.dir/test_comm_assertions.cpp.o"
+  "CMakeFiles/test_kamping_comm_assertions.dir/test_comm_assertions.cpp.o.d"
+  "test_kamping_comm_assertions"
+  "test_kamping_comm_assertions.pdb"
+  "test_kamping_comm_assertions[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kamping_comm_assertions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

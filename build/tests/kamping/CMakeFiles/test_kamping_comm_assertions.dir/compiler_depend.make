@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_kamping_comm_assertions.
+# This may be replaced when dependencies are built.

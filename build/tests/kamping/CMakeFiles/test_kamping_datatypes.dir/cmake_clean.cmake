@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kamping_datatypes.dir/test_datatypes.cpp.o"
+  "CMakeFiles/test_kamping_datatypes.dir/test_datatypes.cpp.o.d"
+  "test_kamping_datatypes"
+  "test_kamping_datatypes.pdb"
+  "test_kamping_datatypes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kamping_datatypes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kamping_dist_vector.dir/test_dist_vector.cpp.o"
+  "CMakeFiles/test_kamping_dist_vector.dir/test_dist_vector.cpp.o.d"
+  "test_kamping_dist_vector"
+  "test_kamping_dist_vector.pdb"
+  "test_kamping_dist_vector[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kamping_dist_vector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

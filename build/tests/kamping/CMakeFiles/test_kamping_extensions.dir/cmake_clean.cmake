@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kamping_extensions.dir/test_extensions.cpp.o"
+  "CMakeFiles/test_kamping_extensions.dir/test_extensions.cpp.o.d"
+  "test_kamping_extensions"
+  "test_kamping_extensions.pdb"
+  "test_kamping_extensions[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kamping_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kamping_nonblocking.dir/test_nonblocking.cpp.o"
+  "CMakeFiles/test_kamping_nonblocking.dir/test_nonblocking.cpp.o.d"
+  "test_kamping_nonblocking"
+  "test_kamping_nonblocking.pdb"
+  "test_kamping_nonblocking[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kamping_nonblocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kamping_plugins.dir/test_plugins.cpp.o"
+  "CMakeFiles/test_kamping_plugins.dir/test_plugins.cpp.o.d"
+  "test_kamping_plugins"
+  "test_kamping_plugins.pdb"
+  "test_kamping_plugins[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kamping_plugins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kamping_serialization.dir/test_serialization.cpp.o"
+  "CMakeFiles/test_kamping_serialization.dir/test_serialization.cpp.o.d"
+  "test_kamping_serialization"
+  "test_kamping_serialization.pdb"
+  "test_kamping_serialization[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kamping_serialization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/kamping
+# Build directory: /root/repo/build/tests/kamping
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/kamping/test_kamping_smoke[1]_include.cmake")
+include("/root/repo/build/tests/kamping/test_kamping_collectives[1]_include.cmake")
+include("/root/repo/build/tests/kamping/test_kamping_datatypes[1]_include.cmake")
+include("/root/repo/build/tests/kamping/test_kamping_serialization[1]_include.cmake")
+include("/root/repo/build/tests/kamping/test_kamping_nonblocking[1]_include.cmake")
+include("/root/repo/build/tests/kamping/test_kamping_plugins[1]_include.cmake")
+include("/root/repo/build/tests/kamping/test_kamping_extensions[1]_include.cmake")
+include("/root/repo/build/tests/kamping/test_kamping_comm_assertions[1]_include.cmake")
+include("/root/repo/build/tests/kamping/test_kamping_dist_vector[1]_include.cmake")

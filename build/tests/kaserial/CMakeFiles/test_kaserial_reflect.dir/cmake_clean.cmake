@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kaserial_reflect.dir/test_reflect.cpp.o"
+  "CMakeFiles/test_kaserial_reflect.dir/test_reflect.cpp.o.d"
+  "test_kaserial_reflect"
+  "test_kaserial_reflect.pdb"
+  "test_kaserial_reflect[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kaserial_reflect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

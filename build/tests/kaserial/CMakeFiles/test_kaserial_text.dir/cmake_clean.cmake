@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kaserial_text.dir/test_text_archive.cpp.o"
+  "CMakeFiles/test_kaserial_text.dir/test_text_archive.cpp.o.d"
+  "test_kaserial_text"
+  "test_kaserial_text.pdb"
+  "test_kaserial_text[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kaserial_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

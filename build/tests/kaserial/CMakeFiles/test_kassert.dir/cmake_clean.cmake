@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kassert.dir/test_kassert.cpp.o"
+  "CMakeFiles/test_kassert.dir/test_kassert.cpp.o.d"
+  "test_kassert"
+  "test_kassert.pdb"
+  "test_kassert[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kassert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/kaserial
+# Build directory: /root/repo/build/tests/kaserial
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/kaserial/test_kaserial_serialize[1]_include.cmake")
+include("/root/repo/build/tests/kaserial/test_kaserial_reflect[1]_include.cmake")
+include("/root/repo/build/tests/kaserial/test_kaserial_text[1]_include.cmake")
+include("/root/repo/build/tests/kaserial/test_kassert[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mimics.dir/test_mimics.cpp.o"
+  "CMakeFiles/test_mimics.dir/test_mimics.cpp.o.d"
+  "test_mimics"
+  "test_mimics.pdb"
+  "test_mimics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mimics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xmpi_collectives.dir/test_collectives.cpp.o"
+  "CMakeFiles/test_xmpi_collectives.dir/test_collectives.cpp.o.d"
+  "test_xmpi_collectives"
+  "test_xmpi_collectives.pdb"
+  "test_xmpi_collectives[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xmpi_collectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

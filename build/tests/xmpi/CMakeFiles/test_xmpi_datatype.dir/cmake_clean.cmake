@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xmpi_datatype.dir/test_datatype.cpp.o"
+  "CMakeFiles/test_xmpi_datatype.dir/test_datatype.cpp.o.d"
+  "test_xmpi_datatype"
+  "test_xmpi_datatype.pdb"
+  "test_xmpi_datatype[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xmpi_datatype.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

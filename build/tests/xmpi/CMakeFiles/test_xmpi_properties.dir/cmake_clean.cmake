@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xmpi_properties.dir/test_properties.cpp.o"
+  "CMakeFiles/test_xmpi_properties.dir/test_properties.cpp.o.d"
+  "test_xmpi_properties"
+  "test_xmpi_properties.pdb"
+  "test_xmpi_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xmpi_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

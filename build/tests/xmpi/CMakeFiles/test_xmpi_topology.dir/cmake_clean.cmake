@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xmpi_topology.dir/test_topology.cpp.o"
+  "CMakeFiles/test_xmpi_topology.dir/test_topology.cpp.o.d"
+  "test_xmpi_topology"
+  "test_xmpi_topology.pdb"
+  "test_xmpi_topology[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xmpi_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

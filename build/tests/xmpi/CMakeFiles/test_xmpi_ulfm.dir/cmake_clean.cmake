@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xmpi_ulfm.dir/test_ulfm.cpp.o"
+  "CMakeFiles/test_xmpi_ulfm.dir/test_ulfm.cpp.o.d"
+  "test_xmpi_ulfm"
+  "test_xmpi_ulfm.pdb"
+  "test_xmpi_ulfm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xmpi_ulfm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

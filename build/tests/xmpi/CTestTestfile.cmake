@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/xmpi
+# Build directory: /root/repo/build/tests/xmpi
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/xmpi/test_xmpi_datatype[1]_include.cmake")
+include("/root/repo/build/tests/xmpi/test_xmpi_p2p[1]_include.cmake")
+include("/root/repo/build/tests/xmpi/test_xmpi_collectives[1]_include.cmake")
+include("/root/repo/build/tests/xmpi/test_xmpi_comm[1]_include.cmake")
+include("/root/repo/build/tests/xmpi/test_xmpi_topology[1]_include.cmake")
+include("/root/repo/build/tests/xmpi/test_xmpi_ulfm[1]_include.cmake")
+include("/root/repo/build/tests/xmpi/test_xmpi_profile[1]_include.cmake")
+include("/root/repo/build/tests/xmpi/test_xmpi_netmodel[1]_include.cmake")
+include("/root/repo/build/tests/xmpi/test_xmpi_properties[1]_include.cmake")
