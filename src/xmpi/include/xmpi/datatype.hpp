@@ -90,6 +90,13 @@ public:
     /// @brief True iff the typemap is a single run of one builtin kind
     /// starting at offset 0 with extent == size (reduction-friendly layout).
     [[nodiscard]] bool is_homogeneous() const { return homogeneous_; }
+    /// @brief True iff the packed representation equals the in-memory
+    /// representation: the typemap bytes tile [0, size) without gaps or
+    /// reordering and consecutive elements are densely strided
+    /// (packed_size(count) == extent() * count). Communication of such types
+    /// is a straight memcpy, which the transport exploits for its zero-copy
+    /// fast path.
+    [[nodiscard]] bool is_contiguous() const { return contiguous_; }
     /// @brief For homogeneous types: the builtin kind and element count.
     [[nodiscard]] BuiltinType element_kind() const { return typemap_.front().elem; }
     [[nodiscard]] std::size_t elements_per_item() const { return elements_per_item_; }
@@ -124,6 +131,7 @@ private:
     std::ptrdiff_t extent_ = 0;
     std::vector<TypeBlock> typemap_;
     bool homogeneous_ = false;
+    bool contiguous_ = false;
     std::size_t elements_per_item_ = 0;
     bool committed_ = false;
     std::atomic<int> refcount_{1};

@@ -3,20 +3,34 @@
 ///
 /// Each rank owns one Mailbox. A message is matched by (context id, source
 /// rank, tag); receives may use the ANY_SOURCE / ANY_TAG wildcards. Matching
-/// respects MPI's non-overtaking guarantee: posted receives are scanned in
+/// respects MPI's non-overtaking guarantee: posted receives are matched in
 /// posting order and unexpected messages in arrival order, so two messages
 /// from the same (source, context) with the same tag are received in send
 /// order.
+///
+/// Matching is O(1) for the common case: posted receives and unexpected
+/// messages are bucketed by their exact (context, source, tag) key, so an
+/// exact receive and an incoming message each touch one hash bucket.
+/// Wildcard receives live on a separate fallback list; sequence numbers
+/// (arrival order for messages, posting order for receives) arbitrate
+/// between a bucket front and a wildcard candidate so the MPI ordering
+/// rules survive the split.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <list>
 #include <memory>
 #include <mutex>
+#include <thread>
+#include <unordered_map>
 #include <vector>
 
+#include "xmpi/pool.hpp"
+#include "xmpi/profile.hpp"
 #include "xmpi/status.hpp"
 
 namespace xmpi {
@@ -39,6 +53,25 @@ struct Envelope {
                && (source == ANY_SOURCE || source == message.source)
                && (tag == ANY_TAG || tag == message.tag);
     }
+
+    /// @brief True iff the pattern contains no wildcard (bucketable).
+    [[nodiscard]] bool is_exact() const {
+        return source != ANY_SOURCE && tag != ANY_TAG;
+    }
+
+    bool operator==(Envelope const&) const = default;
+};
+
+/// @brief Hash for exact envelopes (bucket keys).
+struct EnvelopeHash {
+    [[nodiscard]] std::size_t operator()(Envelope const& env) const {
+        auto mix = [](std::size_t seed, std::size_t value) {
+            return seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+        };
+        std::size_t seed = static_cast<std::size_t>(env.context);
+        seed = mix(seed, static_cast<std::size_t>(env.source));
+        return mix(seed, static_cast<std::size_t>(env.tag));
+    }
 };
 
 /// @brief Completion handle for synchronous-mode sends: set when the message
@@ -58,32 +91,75 @@ struct SyncHandle {
 };
 
 /// @brief An in-flight message: envelope plus packed payload. xmpi uses
-/// eager buffered delivery, so the payload is always an owned copy.
+/// eager buffered delivery, so the payload is always an owned copy (drawn
+/// from the world's PayloadPool and recycled after unpacking).
 struct Message {
     Envelope env;
     std::vector<std::byte> payload;
     std::shared_ptr<SyncHandle> sync; ///< non-null for synchronous-mode sends
+    std::uint64_t seq = 0;            ///< arrival order within the mailbox
 };
 
 /// @brief A posted (pending) receive. Completion is guarded by the owning
-/// mailbox's mutex and signalled via its condition variable.
+/// mailbox's mutex and signalled via its condition variable; the flag is
+/// additionally atomic so waiters may poll it without the lock (the
+/// spin-before-block phase of Mailbox::await).
 struct RecvTicket {
     Envelope pattern;
     void* buffer = nullptr;
     Datatype const* type = nullptr;
     std::size_t count = 0;
     Comm const* comm = nullptr; ///< for failure / revocation checks
+    std::uint64_t seq = 0;      ///< posting order within the mailbox
 
-    bool complete = false;
+    std::atomic<bool> complete = false;
     Status status;
 };
 
-/// @brief Per-rank mailbox: unexpected-message queue plus posted-receive list.
+/// @brief Iterations of the lock-free completion poll in Mailbox::await
+/// before falling back to the condition variable — a few microseconds of
+/// PAUSE on current hardware, enough to cover a same-machine round trip.
+inline constexpr int kSpinBeforeBlock = 2000;
+
+/// @brief Spin budget for Mailbox::await. Polling only pays off when the
+/// sender can make progress on another core while we poll; on a single
+/// hardware thread the spin just delays the context switch the sender
+/// needs, so it is disabled there.
+inline int spin_budget() {
+    static int const budget =
+        std::thread::hardware_concurrency() > 1 ? kSpinBeforeBlock : 0;
+    return budget;
+}
+
+/// @brief CPU-relax hint for spin loops.
+inline void spin_pause() {
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#elif defined(__aarch64__)
+    asm volatile("yield");
+#else
+    std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+/// @brief Per-rank mailbox: unexpected-message buckets plus posted-receive
+/// buckets, each with a wildcard/scan fallback.
 class Mailbox {
 public:
+    explicit Mailbox(PayloadPool* pool) : pool_(pool) {}
+
     /// @brief Delivers a message: matches it against posted receives (in
     /// posting order) or enqueues it as unexpected.
     void deliver(Message message);
+
+    /// @brief Zero-copy fast path for contiguous payloads: if a matching
+    /// receive is already posted, unpacks straight from @c data into the
+    /// receiver's buffer — no payload is materialized. Otherwise copies
+    /// @c data into a pooled payload and enqueues it as unexpected. The
+    /// fast-path and pool counters are charged to @c counters (the sender).
+    void deliver_bytes(
+        Envelope const& env, std::byte const* data, std::size_t size,
+        std::shared_ptr<SyncHandle> sync, profile::RankCounters& counters);
 
     /// @brief Tries to match a receive against the unexpected queue. On match
     /// the message is consumed into @c ticket (complete = true). Otherwise
@@ -94,10 +170,25 @@ public:
     /// Returns false iff aborted before completion (the ticket is withdrawn).
     template <typename AbortPredicate>
     bool await(std::shared_ptr<RecvTicket> const& ticket, AbortPredicate&& aborted) {
+        // In latency-bound patterns (ping-pong, tightly coupled collectives)
+        // the matching send lands within a few microseconds of the receive,
+        // so briefly polling the completion flag skips the condition-variable
+        // sleep/wake round trip — the dominant cost of a small-message
+        // round trip. The spin is bounded, so an oversubscribed world only
+        // burns a few microseconds before blocking, and aborts (failure /
+        // revocation) are still observed once the slow path is entered.
+        for (int i = spin_budget(); i > 0; --i) {
+            if (ticket->complete.load(std::memory_order_acquire)) {
+                return true;
+            }
+            spin_pause();
+        }
         std::unique_lock lock(mutex_);
-        cv_.wait(lock, [&] { return ticket->complete || aborted(); });
-        if (!ticket->complete) {
-            posted_.remove(ticket);
+        cv_.wait(lock, [&] {
+            return ticket->complete.load(std::memory_order_acquire) || aborted();
+        });
+        if (!ticket->complete.load(std::memory_order_acquire)) {
+            remove_posted_locked(ticket);
             return false;
         }
         return true;
@@ -135,13 +226,34 @@ public:
 private:
     friend struct MailboxTestAccess;
 
+    using TicketQueue = std::deque<std::shared_ptr<RecvTicket>>;
+
     bool find_unexpected_locked(Envelope const& pattern, Status& status);
-    static void complete_ticket_locked(RecvTicket& ticket, Message&& message);
+    void complete_ticket_locked(
+        RecvTicket& ticket, Envelope const& env, std::byte const* data, std::size_t size,
+        SyncHandle* sync);
+    /// @brief Earliest-posted ticket matching @c env: min over the exact
+    /// bucket front and the first matching wildcard ticket. Removes and
+    /// returns it, or nullptr.
+    std::shared_ptr<RecvTicket> take_matching_posted_locked(Envelope const& env);
+    /// @brief Earliest-arrived unexpected message matching @c pattern
+    /// (bucket lookup for exact patterns, min-seq scan over bucket fronts
+    /// for wildcards). Removes and returns it into @c out. Returns false if
+    /// none matches.
+    bool take_matching_unexpected_locked(Envelope const& pattern, Message& out);
+    /// @brief Removes a pending ticket from its bucket / the wildcard list.
+    /// Returns true iff it was still present.
+    bool remove_posted_locked(std::shared_ptr<RecvTicket> const& ticket);
+    void enqueue_unexpected_locked(Message&& message);
 
     std::mutex mutex_;
     std::condition_variable cv_;
-    std::deque<Message> unexpected_;
-    std::list<std::shared_ptr<RecvTicket>> posted_;
+    PayloadPool* pool_;
+    std::uint64_t next_message_seq_ = 0;
+    std::uint64_t next_ticket_seq_ = 0;
+    std::unordered_map<Envelope, std::deque<Message>, EnvelopeHash> unexpected_;
+    std::unordered_map<Envelope, TicketQueue, EnvelopeHash> posted_exact_;
+    std::list<std::shared_ptr<RecvTicket>> posted_wild_; ///< posting order
 };
 
 } // namespace detail

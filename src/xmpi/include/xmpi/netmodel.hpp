@@ -45,4 +45,29 @@ struct NetworkModel {
     }
 };
 
+/// @brief Collective algorithm selection thresholds.
+///
+/// When a World runs with a network model, collectives compare modeled
+/// alpha/beta costs of the candidate algorithms directly. Without a model
+/// (the common in-process case), per-message software overhead is the only
+/// "alpha", so latency-optimal algorithms (Bruck, recursive doubling,
+/// binomial trees) win for small payloads while copy-minimal algorithms
+/// (pairwise, ring, linear direct sends) win once memcpy bandwidth
+/// dominates. These byte thresholds draw that line; they refer to the
+/// *packed per-peer block size* of the collective.
+namespace tuning {
+/// Largest per-peer block for which Bruck's log2(p)-round alltoall beats the
+/// pairwise exchange (Bruck moves each byte ~log2(p)/2 times).
+inline constexpr std::size_t bruck_alltoall_max_bytes = 2048;
+/// Bruck needs enough ranks for the round savings to pay for its packing.
+inline constexpr int bruck_alltoall_min_ranks = 8;
+/// Largest per-rank block for which recursive doubling beats the ring
+/// allgather (both move the same bytes; doubling has log2(p) rounds).
+inline constexpr std::size_t rd_allgather_max_bytes = 32 * 1024;
+/// Largest per-child block for which the binomial scatter tree (log2(p)
+/// rounds, bytes forwarded through intermediate nodes) beats the root's
+/// linear direct sends.
+inline constexpr std::size_t binomial_scatter_max_bytes = 16 * 1024;
+} // namespace tuning
+
 } // namespace xmpi

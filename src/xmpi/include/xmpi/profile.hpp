@@ -66,6 +66,13 @@ struct RankCounters {
     std::array<std::atomic<std::uint64_t>, num_calls> calls{};
     std::atomic<std::uint64_t> messages_sent{0};
     std::atomic<std::uint64_t> bytes_sent{0};
+    /// @name Transport fast-path counters (see pool.hpp / transport.cpp)
+    /// @{
+    std::atomic<std::uint64_t> fastpath_sends{0};    ///< sends delivered zero-copy
+    std::atomic<std::uint64_t> bytes_zero_copied{0}; ///< payload bytes moved without staging
+    std::atomic<std::uint64_t> pool_hits{0};         ///< payload buffers reused from the pool
+    std::atomic<std::uint64_t> pool_misses{0};       ///< payload buffers heap-allocated
+    /// @}
 
     void reset() {
         for (auto& counter: calls) {
@@ -73,6 +80,10 @@ struct RankCounters {
         }
         messages_sent.store(0, std::memory_order_relaxed);
         bytes_sent.store(0, std::memory_order_relaxed);
+        fastpath_sends.store(0, std::memory_order_relaxed);
+        bytes_zero_copied.store(0, std::memory_order_relaxed);
+        pool_hits.store(0, std::memory_order_relaxed);
+        pool_misses.store(0, std::memory_order_relaxed);
     }
 };
 
@@ -81,6 +92,10 @@ struct Snapshot {
     std::array<std::uint64_t, num_calls> calls{};
     std::uint64_t messages_sent = 0;
     std::uint64_t bytes_sent = 0;
+    std::uint64_t fastpath_sends = 0;
+    std::uint64_t bytes_zero_copied = 0;
+    std::uint64_t pool_hits = 0;
+    std::uint64_t pool_misses = 0;
 
     [[nodiscard]] std::uint64_t operator[](Call call) const {
         return calls[static_cast<std::size_t>(call)];

@@ -19,6 +19,7 @@
 #include "xmpi/error.hpp"
 #include "xmpi/mailbox.hpp"
 #include "xmpi/netmodel.hpp"
+#include "xmpi/pool.hpp"
 #include "xmpi/profile.hpp"
 
 namespace xmpi {
@@ -50,6 +51,8 @@ public:
     [[nodiscard]] profile::RankCounters& counters(int world_rank) {
         return *counters_[world_rank];
     }
+    /// @brief Shared payload buffer pool of this world's transport.
+    [[nodiscard]] detail::PayloadPool& payload_pool() { return payload_pool_; }
 
     /// @brief Allocates a fresh context id (unique within this world).
     int allocate_context() { return next_context_.fetch_add(1, std::memory_order_relaxed); }
@@ -81,6 +84,7 @@ public:
 private:
     int size_;
     NetworkModel model_;
+    detail::PayloadPool payload_pool_; ///< must outlive the mailboxes
     std::vector<std::unique_ptr<detail::Mailbox>> mailboxes_;
     std::vector<std::unique_ptr<profile::RankCounters>> counters_;
     std::unique_ptr<std::atomic<bool>[]> failed_flags_;

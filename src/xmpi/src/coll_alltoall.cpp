@@ -1,9 +1,11 @@
 #include <algorithm>
+#include <bit>
 #include <cstring>
 #include <vector>
 
 #include "coll.hpp"
 #include "transport.hpp"
+#include "xmpi/netmodel.hpp"
 
 namespace xmpi::detail {
 namespace {
@@ -26,6 +28,89 @@ void local_copy(
     rtype.unpack(packed.data(), elements, dst);
 }
 
+/// @brief Bruck's log-round alltoall (store-and-forward, works for any p).
+///
+/// Phase 1 packs send block (r+i) % p into local slot i; round k in
+/// {1, 2, 4, ...} ships every slot with bit k set to rank (r+k) % p while
+/// receiving the same slots from (r-k) % p; afterwards slot i holds the
+/// block sent by rank (r-i) % p, which phase 3 unpacks into receive block
+/// (r-i) % p. ceil(log2 p) messages of ~p/2 blocks each replace the p-1
+/// messages of the pairwise exchange — a latency win for small blocks.
+int alltoall_bruck(
+    Comm& comm, void const* sendbuf, std::size_t sendcount, Datatype const& sendtype,
+    void* recvbuf, std::size_t recvcount, Datatype const& recvtype) {
+    int const p = comm.size();
+    int const r = comm.rank();
+    std::size_t const block_bytes = sendtype.packed_size(sendcount);
+    Datatype const& byte_type = *predefined_type(BuiltinType::byte_);
+
+    std::vector<std::byte> slots(static_cast<std::size_t>(p) * block_bytes);
+    auto const slot = [&](int i) { return slots.data() + static_cast<std::size_t>(i) * block_bytes; };
+    for (int i = 0; i < p; ++i) {
+        sendtype.pack(
+            displaced(sendbuf, ((r + i) % p) * static_cast<std::ptrdiff_t>(sendcount), sendtype),
+            sendcount, slot(i));
+    }
+
+    std::vector<std::byte> send_stage;
+    std::vector<std::byte> recv_stage;
+    std::vector<int> round_slots;
+    for (int k = 1; k < p; k <<= 1) {
+        round_slots.clear();
+        for (int i = 1; i < p; ++i) {
+            if ((i & k) != 0) {
+                round_slots.push_back(i);
+            }
+        }
+        std::size_t const stage_bytes = round_slots.size() * block_bytes;
+        send_stage.resize(stage_bytes);
+        recv_stage.resize(stage_bytes);
+        for (std::size_t j = 0; j < round_slots.size(); ++j) {
+            std::memcpy(send_stage.data() + j * block_bytes, slot(round_slots[j]), block_bytes);
+        }
+        if (int const err = coll_sendrecv(
+                comm, (r + k) % p, coll_tag::alltoall, send_stage.data(), stage_bytes, byte_type,
+                (r - k + p) % p, coll_tag::alltoall, recv_stage.data(), stage_bytes, byte_type);
+            err != XMPI_SUCCESS) {
+            return err;
+        }
+        for (std::size_t j = 0; j < round_slots.size(); ++j) {
+            std::memcpy(slot(round_slots[j]), recv_stage.data() + j * block_bytes, block_bytes);
+        }
+    }
+
+    std::size_t const elements_per_block =
+        recvtype.size() == 0
+            ? 0
+            : std::min(block_bytes, recvtype.packed_size(recvcount)) / recvtype.size();
+    for (int i = 0; i < p; ++i) {
+        recvtype.unpack(
+            slot(i),
+            elements_per_block,
+            displaced(recvbuf, ((r - i + p) % p) * static_cast<std::ptrdiff_t>(recvcount), recvtype));
+    }
+    return XMPI_SUCCESS;
+}
+
+/// @brief Picks Bruck vs. pairwise: by modeled alpha/beta cost when a network
+/// model is active, by the tuning byte/rank thresholds otherwise.
+bool use_bruck_alltoall(Comm& comm, int p, std::size_t block_bytes) {
+    if (p < 2) {
+        return false;
+    }
+    NetworkModel const& model = comm.world().network_model();
+    if (model.enabled()) {
+        int const rounds = std::bit_width(static_cast<unsigned>(p - 1));
+        double const pairwise_cost =
+            static_cast<double>(p - 1) * model.message_cost(block_bytes);
+        double const bruck_cost = static_cast<double>(rounds)
+                                  * model.message_cost(block_bytes * static_cast<std::size_t>(p) / 2);
+        return bruck_cost < pairwise_cost;
+    }
+    return p >= tuning::bruck_alltoall_min_ranks
+           && block_bytes <= tuning::bruck_alltoall_max_bytes;
+}
+
 } // namespace
 
 int coll_alltoall(
@@ -37,17 +122,29 @@ int coll_alltoall(
     int const p = comm.size();
     int const r = comm.rank();
 
-    // In-place: stage the current receive buffer as send data.
+    // In-place: stage the current receive buffer as send data. (Bruck reads
+    // the whole send buffer into its slots before writing recvbuf, so it
+    // needs no staging copy.)
     std::vector<std::byte> staged;
     void const* effective_sendbuf = sendbuf;
     Datatype const* effective_sendtype = &sendtype;
     std::size_t effective_sendcount = sendcount;
     if (sendbuf == IN_PLACE) {
+        effective_sendbuf = recvbuf;
+        effective_sendtype = &recvtype;
+        effective_sendcount = recvcount;
+    }
+
+    if (use_bruck_alltoall(comm, p, effective_sendtype->packed_size(effective_sendcount))) {
+        return alltoall_bruck(
+            comm, effective_sendbuf, effective_sendcount, *effective_sendtype, recvbuf, recvcount,
+            recvtype);
+    }
+
+    if (sendbuf == IN_PLACE) {
         staged.resize(static_cast<std::size_t>(p) * recvcount * static_cast<std::size_t>(recvtype.extent()));
         std::memcpy(staged.data(), recvbuf, staged.size());
         effective_sendbuf = staged.data();
-        effective_sendtype = &recvtype;
-        effective_sendcount = recvcount;
     }
 
     local_copy(

@@ -1,9 +1,11 @@
 #include <algorithm>
+#include <bit>
 #include <cstring>
 #include <vector>
 
 #include "coll.hpp"
 #include "transport.hpp"
+#include "xmpi/netmodel.hpp"
 
 namespace xmpi::detail {
 namespace {
@@ -27,6 +29,133 @@ std::byte* displaced(void* base, std::ptrdiff_t elements, Datatype const& type) 
 
 std::byte const* displaced(void const* base, std::ptrdiff_t elements, Datatype const& type) {
     return static_cast<std::byte const*>(base) + elements * type.extent();
+}
+
+/// @brief Binomial-tree scatter: the root packs all blocks in virtual-rank
+/// order and halves the remaining range towards each child, so the root
+/// injects log2(p) messages instead of p-1. Leaves receive their single
+/// block straight into the user buffer (eligible for the zero-copy path);
+/// inner nodes stage their subtree's blocks and forward halves downward.
+int scatter_binomial(
+    Comm& comm, void const* sendbuf, std::size_t sendcount, Datatype const& sendtype,
+    void* recvbuf, std::size_t recvcount, Datatype const& recvtype, int root) {
+    int const p = comm.size();
+    int const r = comm.rank();
+    int const vrank = (r - root + p) % p;
+    auto const real = [&](int vr) { return (vr + root) % p; };
+    std::size_t const block_bytes = sendtype.packed_size(sendcount);
+    Datatype const& byte_type = *predefined_type(BuiltinType::byte_);
+
+    // Subtree of vrank v spans virtual ranks [v, v + lsb(v)) clipped to p
+    // (the whole range for the root).
+    int const subtree =
+        vrank == 0 ? p : std::min(vrank & -vrank, p - vrank);
+
+    std::vector<std::byte> slots;
+    if (vrank == 0) {
+        slots.resize(static_cast<std::size_t>(p) * block_bytes);
+        for (int j = 0; j < p; ++j) {
+            sendtype.pack(
+                displaced(sendbuf, real(j) * static_cast<std::ptrdiff_t>(sendcount), sendtype),
+                sendcount, slots.data() + static_cast<std::size_t>(j) * block_bytes);
+        }
+        if (recvbuf != IN_PLACE) {
+            local_copy(
+                displaced(sendbuf, r * static_cast<std::ptrdiff_t>(sendcount), sendtype),
+                sendcount, sendtype, recvbuf, recvcount, recvtype);
+        }
+    } else {
+        int const parent = real(vrank - (vrank & -vrank));
+        if (subtree == 1) {
+            // Leaf: a single block arrives as packed bytes and is unpacked
+            // with the receive type directly into the user buffer.
+            return coll_recv(comm, parent, coll_tag::scatter, recvbuf, recvcount, recvtype);
+        }
+        slots.resize(static_cast<std::size_t>(subtree) * block_bytes);
+        if (int const err = coll_recv(
+                comm, parent, coll_tag::scatter, slots.data(), slots.size(), byte_type);
+            err != XMPI_SUCCESS) {
+            return err;
+        }
+        std::size_t const elements =
+            recvtype.size() == 0
+                ? 0
+                : std::min(block_bytes, recvtype.packed_size(recvcount)) / recvtype.size();
+        recvtype.unpack(slots.data(), elements, recvbuf);
+    }
+
+    // Forward the upper half of the remaining range to each child, largest
+    // subtree first.
+    for (int mask = static_cast<int>(std::bit_floor(static_cast<unsigned>(subtree - 1)));
+         mask >= 1; mask >>= 1) {
+        int const child = vrank + mask;
+        if (child >= p || mask >= subtree) {
+            continue;
+        }
+        int const child_blocks = std::min(mask, p - child);
+        if (int const err = coll_send(
+                comm, real(child), coll_tag::scatter,
+                slots.data() + static_cast<std::size_t>(mask) * block_bytes,
+                static_cast<std::size_t>(child_blocks) * block_bytes, byte_type);
+            err != XMPI_SUCCESS) {
+            return err;
+        }
+    }
+    return XMPI_SUCCESS;
+}
+
+/// @brief Recursive-doubling allgather (power-of-two rank counts only):
+/// log2(p) rounds in which each rank exchanges its entire currently known
+/// contiguous run of blocks with its round partner.
+int allgather_recursive_doubling(
+    Comm& comm, void* recvbuf, std::size_t recvcount, Datatype const& recvtype) {
+    int const p = comm.size();
+    int const r = comm.rank();
+    for (int mask = 1; mask < p; mask <<= 1) {
+        int const partner = r ^ mask;
+        // Before this round a rank holds blocks [floor(r/mask)*mask, +mask).
+        int const send_base = (r / mask) * mask;
+        int const recv_base = (partner / mask) * mask;
+        std::size_t const run = static_cast<std::size_t>(mask) * recvcount;
+        if (int const err = coll_sendrecv(
+                comm, partner, coll_tag::allgather,
+                displaced(recvbuf, send_base * static_cast<std::ptrdiff_t>(recvcount), recvtype),
+                run, recvtype, partner, coll_tag::allgather,
+                displaced(recvbuf, recv_base * static_cast<std::ptrdiff_t>(recvcount), recvtype),
+                run, recvtype);
+            err != XMPI_SUCCESS) {
+            return err;
+        }
+    }
+    return XMPI_SUCCESS;
+}
+
+/// @brief Threshold/model-based choice between the binomial scatter tree and
+/// the root's linear direct sends.
+bool use_binomial_scatter(Comm& comm, int p, std::size_t block_bytes) {
+    if (p < 4) {
+        return false; // the tree degenerates to the linear pattern
+    }
+    if (comm.world().network_model().enabled()) {
+        // Binomial: log2(p) rounds on the critical path vs. p-1 serial
+        // injections at the root — strictly better under the alpha/beta
+        // model (total bytes on the critical path are (p-1)*n either way).
+        return true;
+    }
+    return block_bytes <= tuning::binomial_scatter_max_bytes;
+}
+
+/// @brief Model/threshold-based choice between recursive doubling and the
+/// ring allgather; recursive doubling requires a power-of-two rank count.
+bool use_rd_allgather(Comm& comm, int p, std::size_t block_bytes) {
+    if (p < 4 || !std::has_single_bit(static_cast<unsigned>(p))) {
+        return false;
+    }
+    if (comm.world().network_model().enabled()) {
+        // Same total bytes as the ring but log2(p) rounds instead of p-1.
+        return true;
+    }
+    return block_bytes <= tuning::rd_allgather_max_bytes;
 }
 
 } // namespace
@@ -100,6 +229,16 @@ int coll_scatter(
     }
     int const p = comm.size();
     int const r = comm.rank();
+    // The block size is only known root-side (sendtype/sendcount are
+    // significant only at the root), but MPI requires matching signatures,
+    // so every rank derives it from its own receive-side arguments; the
+    // root uses the send side directly.
+    std::size_t const block_bytes =
+        r == root ? sendtype.packed_size(sendcount) : recvtype.packed_size(recvcount);
+    if (use_binomial_scatter(comm, p, block_bytes)) {
+        return scatter_binomial(
+            comm, sendbuf, sendcount, sendtype, recvbuf, recvcount, recvtype, root);
+    }
     if (r != root) {
         return coll_recv(comm, root, coll_tag::scatter, recvbuf, recvcount, recvtype);
     }
@@ -168,10 +307,11 @@ int coll_allgather(
             displaced(recvbuf, r * static_cast<std::ptrdiff_t>(recvcount), recvtype), recvcount,
             recvtype);
     }
+    if (use_rd_allgather(comm, p, recvtype.packed_size(recvcount))) {
+        return allgather_recursive_doubling(comm, recvbuf, recvcount, recvtype);
+    }
     // Ring allgather: p-1 rounds, each rank forwards the block it received in
-    // the previous round. (Production MPIs switch to recursive doubling for
-    // small messages; the ring keeps the algorithm uniform and its cost is
-    // the classic (p-1)(alpha + n*beta).)
+    // the previous round; cost is the classic (p-1)(alpha + n*beta).
     int const next = (r + 1) % p;
     int const prev = (r - 1 + p) % p;
     for (int s = 0; s < p - 1; ++s) {

@@ -102,6 +102,90 @@ int reduce_binomial(
     return XMPI_SUCCESS;
 }
 
+/// @brief Recursive-doubling allreduce for commutative operations:
+/// ceil(log2 p) exchange rounds instead of the ~2*log2(p) of reduce+bcast.
+///
+/// Every rank folds the same multiset of contributions with the same tree
+/// shape; the two partners of a round fold the same pair in swapped operand
+/// order. All builtin commutative ops (and IEEE-754 + and *) are bitwise
+/// commutative, so every rank still observes a bit-identical result — the
+/// property the applications' floating-point termination checks rely on.
+/// Non-commutative user ops keep the rank-ordered reduce+bcast path.
+int allreduce_recursive_doubling(
+    Comm& comm, CollChannel channel, void const* contribution, void* recvbuf, std::size_t count,
+    Datatype const& type, Op const& op) {
+    int const p = comm.size();
+    int const r = comm.rank();
+    std::size_t const bytes = count * static_cast<std::size_t>(type.extent());
+
+    ElementBuffer accumulator(count, type);
+    ElementBuffer incoming(count, type);
+    std::memcpy(accumulator.data(), contribution, bytes);
+
+    // Fold the rem = p - 2^k ranks beyond the largest power of two into
+    // their odd neighbours first; those neighbours then run the doubling
+    // rounds and hand the final result back afterwards.
+    int pow2 = 1;
+    while (pow2 * 2 <= p) {
+        pow2 *= 2;
+    }
+    int const rem = p - pow2;
+
+    int vrank;
+    if (r < 2 * rem) {
+        if (r % 2 == 0) {
+            if (int const err = transport_send(
+                    comm, r + 1, channel.tag, channel.context, accumulator.data(), count, type);
+                err != XMPI_SUCCESS) {
+                return err;
+            }
+            vrank = -1; // sits out the doubling rounds, gets the result back
+        } else {
+            if (int const err = transport_recv(
+                    comm, r - 1, channel.tag, channel.context, incoming.data(), count, type,
+                    nullptr);
+                err != XMPI_SUCCESS) {
+                return err;
+            }
+            op.apply(incoming.data(), accumulator.data(), count, type);
+            vrank = r / 2;
+        }
+    } else {
+        vrank = r - rem;
+    }
+
+    if (vrank >= 0) {
+        auto const real = [&](int vr) { return vr < rem ? 2 * vr + 1 : vr + rem; };
+        for (int mask = 1; mask < pow2; mask <<= 1) {
+            int const partner = real(vrank ^ mask);
+            // Eager sends complete locally, so send-then-recv cannot deadlock.
+            if (int const err = transport_send(
+                    comm, partner, channel.tag, channel.context, accumulator.data(), count, type);
+                err != XMPI_SUCCESS) {
+                return err;
+            }
+            if (int const err = transport_recv(
+                    comm, partner, channel.tag, channel.context, incoming.data(), count, type,
+                    nullptr);
+                err != XMPI_SUCCESS) {
+                return err;
+            }
+            op.apply(incoming.data(), accumulator.data(), count, type);
+        }
+    }
+
+    if (r < 2 * rem) {
+        if (r % 2 == 0) {
+            return transport_recv(
+                comm, r + 1, channel.tag, channel.context, recvbuf, count, type, nullptr);
+        }
+        std::memcpy(recvbuf, accumulator.data(), bytes);
+        return transport_send(comm, r - 1, channel.tag, channel.context, recvbuf, count, type);
+    }
+    std::memcpy(recvbuf, accumulator.data(), bytes);
+    return XMPI_SUCCESS;
+}
+
 } // namespace
 
 int coll_reduce_on(
@@ -128,9 +212,16 @@ int coll_reduce(
 int coll_allreduce_on(
     Comm& comm, CollChannel channel, void const* sendbuf, void* recvbuf, std::size_t count,
     Datatype const& type, Op const& op) {
-    // Reduce to rank 0, then broadcast: guarantees every rank observes the
-    // bit-identical result (required e.g. for floating-point termination
-    // checks used in the applications).
+    if (op.commutative()) {
+        if (int const err = check_collective(comm); err != XMPI_SUCCESS) {
+            return err;
+        }
+        void const* contribution = sendbuf == IN_PLACE ? recvbuf : sendbuf;
+        return allreduce_recursive_doubling(
+            comm, channel, contribution, recvbuf, count, type, op);
+    }
+    // Non-commutative: fold in rank order at rank 0, then broadcast, so every
+    // rank observes the bit-identical rank-ordered result.
     if (int const err = coll_reduce_on(comm, channel, sendbuf, recvbuf, count, type, op, 0);
         err != XMPI_SUCCESS) {
         return err;

@@ -71,6 +71,19 @@ void Datatype::finalize_layout() {
         }
         elements_per_item_ += block.count;
     }
+    // Contiguity: the typemap runs must tile [0, size) in order without gaps,
+    // and consecutive elements must be densely strided (extent == size, lb 0).
+    // Then pack/unpack degenerate to memcpy and the transport may transfer
+    // straight from/into user buffers.
+    contiguous_ = lb_ == 0 && extent_ == static_cast<std::ptrdiff_t>(size_);
+    std::ptrdiff_t cursor = 0;
+    for (auto const& block: typemap_) {
+        if (block.offset != cursor) {
+            contiguous_ = false;
+            break;
+        }
+        cursor += static_cast<std::ptrdiff_t>(block.count * builtin_size(block.elem));
+    }
 }
 
 void Datatype::release() {

@@ -1,59 +1,174 @@
 #include "xmpi/mailbox.hpp"
 
+#include <algorithm>
+#include <cstring>
+
 #include "xmpi/datatype.hpp"
 #include "xmpi/error.hpp"
 
 namespace xmpi::detail {
 
-void Mailbox::complete_ticket_locked(RecvTicket& ticket, Message&& message) {
-    ticket.status.source = message.env.source;
-    ticket.status.tag = message.env.tag;
-    ticket.status.bytes = message.payload.size();
+void Mailbox::complete_ticket_locked(
+    RecvTicket& ticket, Envelope const& env, std::byte const* data, std::size_t size,
+    SyncHandle* sync) {
+    ticket.status.source = env.source;
+    ticket.status.tag = env.tag;
+    ticket.status.bytes = size;
     ticket.status.error = XMPI_SUCCESS;
 
     std::size_t const capacity_bytes = ticket.type->packed_size(ticket.count);
-    if (message.payload.size() > capacity_bytes) {
+    if (size > capacity_bytes) {
         ticket.status.error = XMPI_ERR_TRUNCATE;
         // Deliver the truncated prefix, like common MPI implementations do.
         std::size_t const whole_elements = capacity_bytes / ticket.type->size();
-        ticket.type->unpack(message.payload.data(), whole_elements, ticket.buffer);
+        ticket.type->unpack(data, whole_elements, ticket.buffer);
     } else {
         std::size_t const elements =
-            ticket.type->size() == 0 ? 0 : message.payload.size() / ticket.type->size();
-        ticket.type->unpack(message.payload.data(), elements, ticket.buffer);
+            ticket.type->size() == 0 ? 0 : size / ticket.type->size();
+        ticket.type->unpack(data, elements, ticket.buffer);
     }
-    if (message.sync) {
-        message.sync->signal();
+    if (sync != nullptr) {
+        sync->signal();
     }
-    ticket.complete = true;
+    // Release pairs with the acquire poll in await(): the unpacked buffer
+    // and status must be visible before the flag.
+    ticket.complete.store(true, std::memory_order_release);
+}
+
+std::shared_ptr<RecvTicket> Mailbox::take_matching_posted_locked(Envelope const& env) {
+    std::shared_ptr<RecvTicket>* exact = nullptr;
+    auto bucket = posted_exact_.find(env);
+    if (bucket != posted_exact_.end() && !bucket->second.empty()) {
+        exact = &bucket->second.front();
+    }
+    // The wildcard list is kept in posting order, so the first match is the
+    // earliest-posted wildcard candidate.
+    auto wild = std::find_if(posted_wild_.begin(), posted_wild_.end(), [&](auto const& ticket) {
+        return ticket->pattern.matches(env);
+    });
+    std::shared_ptr<RecvTicket> taken;
+    if (exact != nullptr && (wild == posted_wild_.end() || (*exact)->seq < (*wild)->seq)) {
+        taken = std::move(*exact);
+        bucket->second.pop_front();
+        if (bucket->second.empty()) {
+            posted_exact_.erase(bucket);
+        }
+    } else if (wild != posted_wild_.end()) {
+        taken = std::move(*wild);
+        posted_wild_.erase(wild);
+    }
+    return taken;
+}
+
+bool Mailbox::take_matching_unexpected_locked(Envelope const& pattern, Message& out) {
+    auto take_front = [&](auto bucket) {
+        out = std::move(bucket->second.front());
+        bucket->second.pop_front();
+        if (bucket->second.empty()) {
+            unexpected_.erase(bucket);
+        }
+        return true;
+    };
+    if (pattern.is_exact()) {
+        auto bucket = unexpected_.find(pattern);
+        if (bucket == unexpected_.end()) {
+            return false;
+        }
+        return take_front(bucket);
+    }
+    // Wildcard: only bucket fronts can be the earliest match (buckets are
+    // FIFO); pick the front with the smallest arrival sequence.
+    auto best = unexpected_.end();
+    for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
+        if (pattern.matches(it->first)
+            && (best == unexpected_.end()
+                || it->second.front().seq < best->second.front().seq)) {
+            best = it;
+        }
+    }
+    if (best == unexpected_.end()) {
+        return false;
+    }
+    return take_front(best);
+}
+
+bool Mailbox::remove_posted_locked(std::shared_ptr<RecvTicket> const& ticket) {
+    if (ticket->pattern.is_exact()) {
+        auto bucket = posted_exact_.find(ticket->pattern);
+        if (bucket == posted_exact_.end()) {
+            return false;
+        }
+        auto const erased = std::erase(bucket->second, ticket);
+        if (bucket->second.empty()) {
+            posted_exact_.erase(bucket);
+        }
+        return erased > 0;
+    }
+    return posted_wild_.remove(ticket) > 0;
+}
+
+void Mailbox::enqueue_unexpected_locked(Message&& message) {
+    message.seq = next_message_seq_++;
+    unexpected_[message.env].push_back(std::move(message));
 }
 
 void Mailbox::deliver(Message message) {
     {
         std::lock_guard lock(mutex_);
-        for (auto it = posted_.begin(); it != posted_.end(); ++it) {
-            if ((*it)->pattern.matches(message.env)) {
-                complete_ticket_locked(**it, std::move(message));
-                posted_.erase(it);
-                cv_.notify_all();
-                return;
-            }
+        if (auto ticket = take_matching_posted_locked(message.env)) {
+            complete_ticket_locked(
+                *ticket, message.env, message.payload.data(), message.payload.size(),
+                message.sync.get());
+            pool_->release(std::move(message.payload));
+        } else {
+            enqueue_unexpected_locked(std::move(message));
         }
-        unexpected_.push_back(std::move(message));
+    }
+    cv_.notify_all();
+}
+
+void Mailbox::deliver_bytes(
+    Envelope const& env, std::byte const* data, std::size_t size,
+    std::shared_ptr<SyncHandle> sync, profile::RankCounters& counters) {
+    {
+        std::lock_guard lock(mutex_);
+        if (auto ticket = take_matching_posted_locked(env)) {
+            // Rendezvous zero-copy: the receiver is already waiting, so the
+            // bytes go straight from the sender's user buffer into the
+            // receiver's buffer — no payload is ever materialized.
+            complete_ticket_locked(*ticket, env, data, size, sync.get());
+            counters.fastpath_sends.fetch_add(1, std::memory_order_relaxed);
+            counters.bytes_zero_copied.fetch_add(size, std::memory_order_relaxed);
+        } else {
+            Message message;
+            message.env = env;
+            message.payload = pool_->acquire(size, counters);
+            if (size != 0) {
+                std::memcpy(message.payload.data(), data, size);
+            }
+            message.sync = std::move(sync);
+            enqueue_unexpected_locked(std::move(message));
+        }
     }
     cv_.notify_all();
 }
 
 bool Mailbox::post_or_match(std::shared_ptr<RecvTicket> const& ticket) {
     std::lock_guard lock(mutex_);
-    for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
-        if (ticket->pattern.matches(it->env)) {
-            complete_ticket_locked(*ticket, std::move(*it));
-            unexpected_.erase(it);
-            return true;
-        }
+    Message message;
+    if (take_matching_unexpected_locked(ticket->pattern, message)) {
+        complete_ticket_locked(
+            *ticket, message.env, message.payload.data(), message.payload.size(),
+            message.sync.get());
+        pool_->release(std::move(message.payload));
+        return true;
     }
-    posted_.push_back(ticket);
+    ticket->seq = next_ticket_seq_++;
+    if (ticket->pattern.is_exact()) {
+        posted_exact_[ticket->pattern].push_back(ticket);
+    } else {
+        posted_wild_.push_back(ticket);
+    }
     return false;
 }
 
@@ -67,21 +182,34 @@ bool Mailbox::cancel(std::shared_ptr<RecvTicket> const& ticket) {
     if (ticket->complete) {
         return false;
     }
-    auto const erased = std::erase(posted_, ticket);
-    return erased > 0;
+    return remove_posted_locked(ticket);
 }
 
 bool Mailbox::find_unexpected_locked(Envelope const& pattern, Status& status) {
-    for (auto const& message: unexpected_) {
-        if (pattern.matches(message.env)) {
-            status.source = message.env.source;
-            status.tag = message.env.tag;
-            status.bytes = message.payload.size();
-            status.error = XMPI_SUCCESS;
-            return true;
+    Message const* found = nullptr;
+    if (pattern.is_exact()) {
+        auto bucket = unexpected_.find(pattern);
+        if (bucket != unexpected_.end()) {
+            found = &bucket->second.front();
+        }
+    } else {
+        std::uint64_t best_seq = 0;
+        for (auto const& [env, queue]: unexpected_) {
+            if (pattern.matches(env)
+                && (found == nullptr || queue.front().seq < best_seq)) {
+                found = &queue.front();
+                best_seq = found->seq;
+            }
         }
     }
-    return false;
+    if (found == nullptr) {
+        return false;
+    }
+    status.source = found->env.source;
+    status.tag = found->env.tag;
+    status.bytes = found->payload.size();
+    status.error = XMPI_SUCCESS;
+    return true;
 }
 
 bool Mailbox::probe(Envelope const& pattern, Status& status) {

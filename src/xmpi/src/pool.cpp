@@ -1,0 +1,107 @@
+#include "xmpi/pool.hpp"
+
+#include <bit>
+
+#include "xmpi/profile.hpp"
+#include "xmpi/world.hpp"
+
+namespace xmpi::detail {
+
+PayloadPool::PayloadPool(int shards) : shards_(static_cast<std::size_t>(shards)) {}
+
+std::size_t PayloadPool::class_for_request(std::size_t bytes) {
+    if (bytes == 0 || bytes > kMaxClassBytes) {
+        return kNumClasses;
+    }
+    std::size_t const rounded = std::bit_ceil(bytes < kMinClassBytes ? kMinClassBytes : bytes);
+    return static_cast<std::size_t>(std::countr_zero(rounded))
+           - static_cast<std::size_t>(std::countr_zero(kMinClassBytes));
+}
+
+std::size_t PayloadPool::class_for_capacity(std::size_t capacity) {
+    if (capacity < kMinClassBytes) {
+        return kNumClasses;
+    }
+    std::size_t const floored = std::bit_floor(capacity > kMaxClassBytes ? kMaxClassBytes : capacity);
+    return static_cast<std::size_t>(std::countr_zero(floored))
+           - static_cast<std::size_t>(std::countr_zero(kMinClassBytes));
+}
+
+PayloadPool::Shard& PayloadPool::my_shard() {
+    auto const& context = current_context();
+    std::size_t index = 0;
+    if (context.world_rank >= 0
+        && static_cast<std::size_t>(context.world_rank) < shards_.size()) {
+        index = static_cast<std::size_t>(context.world_rank);
+    }
+    return shards_[index];
+}
+
+bool PayloadPool::try_pop(Shard& shard, std::size_t cls, std::vector<std::byte>& out) {
+    std::lock_guard lock(shard.mutex);
+    auto& freelist = shard.freelists[cls];
+    if (freelist.empty()) {
+        return false;
+    }
+    out = std::move(freelist.back());
+    freelist.pop_back();
+    return true;
+}
+
+std::vector<std::byte> PayloadPool::acquire(
+    std::size_t bytes, profile::RankCounters& counters) {
+    if (bytes == 0) {
+        // Zero-byte payloads need no buffer, hence no allocation: a hit.
+        counters.pool_hits.fetch_add(1, std::memory_order_relaxed);
+        return {};
+    }
+    std::size_t const cls = class_for_request(bytes);
+    if (cls < kNumClasses) {
+        Shard& home = my_shard();
+        std::vector<std::byte> buffer;
+        bool popped = try_pop(home, cls, buffer);
+        if (!popped) {
+            // One-way traffic (a rank that mostly sends to peers that mostly
+            // receive) drains the sender's shard while filling the peers';
+            // stealing on a miss re-balances the buffers instead of
+            // allocating — the steal only runs on the already-slow path.
+            for (auto& shard: shards_) {
+                if (&shard != &home && try_pop(shard, cls, buffer)) {
+                    popped = true;
+                    break;
+                }
+            }
+        }
+        if (popped) {
+            buffer.resize(bytes);
+            counters.pool_hits.fetch_add(1, std::memory_order_relaxed);
+            return buffer;
+        }
+    }
+    counters.pool_misses.fetch_add(1, std::memory_order_relaxed);
+    std::vector<std::byte> buffer;
+    if (cls < kNumClasses) {
+        // Reserve the full class size so the buffer serves its class when
+        // recycled, whatever size it was first used at.
+        buffer.reserve(kMinClassBytes << cls);
+    }
+    buffer.resize(bytes);
+    return buffer;
+}
+
+void PayloadPool::release(std::vector<std::byte>&& buffer) {
+    std::size_t const cls = class_for_capacity(buffer.capacity());
+    if (cls >= kNumClasses) {
+        return; // unpoolable; vector destructor frees it
+    }
+    Shard& shard = my_shard();
+    std::lock_guard lock(shard.mutex);
+    auto& freelist = shard.freelists[cls];
+    if (freelist.size() >= kMaxBuffersPerClass) {
+        return;
+    }
+    buffer.clear();
+    freelist.push_back(std::move(buffer));
+}
+
+} // namespace xmpi::detail

@@ -28,19 +28,32 @@ int transport_send(
         return err;
     }
 
-    Message message;
-    message.env = Envelope{context, comm.rank(), tag};
-    message.payload.resize(type.packed_size(count));
-    type.pack(buf, count, message.payload.data());
-    message.sync = std::move(sync);
+    std::size_t const bytes = type.packed_size(count);
+    Envelope const env{context, comm.rank(), tag};
 
     World& world = comm.world();
     auto& counters = world.counters(current_world_rank());
     counters.messages_sent.fetch_add(1, std::memory_order_relaxed);
-    counters.bytes_sent.fetch_add(message.payload.size(), std::memory_order_relaxed);
+    counters.bytes_sent.fetch_add(bytes, std::memory_order_relaxed);
+    world.network_model().charge(bytes);
 
-    world.network_model().charge(message.payload.size());
-    world.mailbox(comm.world_rank_of(dest)).deliver(std::move(message));
+    Mailbox& mailbox = world.mailbox(comm.world_rank_of(dest));
+    if (type.is_contiguous()) {
+        // Contiguous fast path: the packed representation IS the user
+        // buffer. The mailbox either unpacks straight into an already
+        // posted receive (zero-copy rendezvous) or copies once into a
+        // pooled payload — never pack + allocate.
+        mailbox.deliver_bytes(
+            env, static_cast<std::byte const*>(buf), bytes, std::move(sync), counters);
+        return XMPI_SUCCESS;
+    }
+
+    Message message;
+    message.env = env;
+    message.payload = world.payload_pool().acquire(bytes, counters);
+    type.pack(buf, count, message.payload.data());
+    message.sync = std::move(sync);
+    mailbox.deliver(std::move(message));
     return XMPI_SUCCESS;
 }
 
@@ -57,6 +70,78 @@ struct RecvAbort {
     }
 };
 
+/// @brief Thread-local cache of RecvTicket control blocks. Every receive
+/// allocates one shared RecvTicket; recycling the (fixed-size) blocks keeps
+/// malloc off the receive path. Blocks may be freed by a different thread
+/// than the one that allocated them (the last reference to a ticket can be
+/// dropped by the delivering rank); they then simply migrate to that
+/// thread's cache.
+struct TicketBlockCache {
+    static constexpr std::size_t kMaxBlocks = 256;
+    std::vector<void*> blocks;
+    std::size_t block_size = 0;
+
+    ~TicketBlockCache() {
+        for (void* block: blocks) {
+            ::operator delete(block);
+        }
+    }
+};
+
+TicketBlockCache& ticket_block_cache() {
+    static thread_local TicketBlockCache cache;
+    return cache;
+}
+
+template <typename T>
+struct TicketAllocator {
+    using value_type = T;
+
+    TicketAllocator() = default;
+    template <typename U>
+    TicketAllocator(TicketAllocator<U> const&) {}
+
+    T* allocate(std::size_t n) {
+        auto& cache = ticket_block_cache();
+        std::size_t const bytes = n * sizeof(T);
+        if (!cache.blocks.empty() && cache.block_size == bytes) {
+            T* block = static_cast<T*>(cache.blocks.back());
+            cache.blocks.pop_back();
+            return block;
+        }
+        return static_cast<T*>(::operator new(bytes));
+    }
+
+    void deallocate(T* block, std::size_t n) {
+        auto& cache = ticket_block_cache();
+        std::size_t const bytes = n * sizeof(T);
+        if ((cache.block_size == 0 || cache.block_size == bytes)
+            && cache.blocks.size() < TicketBlockCache::kMaxBlocks) {
+            cache.block_size = bytes;
+            cache.blocks.push_back(block);
+            return;
+        }
+        ::operator delete(block);
+    }
+
+    template <typename U>
+    bool operator==(TicketAllocator<U> const&) const {
+        return true;
+    }
+};
+
+std::shared_ptr<RecvTicket> make_ticket(
+    Comm const& comm, int source, int tag, int context, void* buf, std::size_t count,
+    Datatype const& type) {
+    auto ticket = std::allocate_shared<RecvTicket>(TicketAllocator<RecvTicket>{});
+    ticket->pattern = Envelope{context, source, tag};
+    ticket->buffer = buf;
+    ticket->type = &type;
+    ticket->count = count;
+    ticket->comm = &comm;
+    return ticket;
+}
+
 } // namespace
 
 int transport_recv(
@@ -72,12 +157,7 @@ int transport_recv(
         return XMPI_ERR_RANK;
     }
 
-    auto ticket = std::make_shared<RecvTicket>();
-    ticket->pattern = Envelope{context, source, tag};
-    ticket->buffer = buf;
-    ticket->type = &type;
-    ticket->count = count;
-    ticket->comm = &comm;
+    auto ticket = make_ticket(comm, source, tag, context, buf, count, type);
 
     Mailbox& mailbox = comm.world().mailbox(current_world_rank());
     if (!mailbox.post_or_match(ticket)) {
@@ -97,12 +177,7 @@ Request* transport_irecv(
     if (source == PROC_NULL) {
         return new CompletedRequest(Status{PROC_NULL, ANY_TAG, XMPI_SUCCESS, 0});
     }
-    auto ticket = std::make_shared<RecvTicket>();
-    ticket->pattern = Envelope{context, source, tag};
-    ticket->buffer = buf;
-    ticket->type = &type;
-    ticket->count = count;
-    ticket->comm = &comm;
+    auto ticket = make_ticket(comm, source, tag, context, buf, count, type);
 
     Mailbox& mailbox = comm.world().mailbox(current_world_rank());
     mailbox.post_or_match(ticket);

@@ -9,12 +9,15 @@
 
 namespace xmpi {
 
-World::World(int size, NetworkModel model) : size_(size), model_(model) {
+World::World(int size, NetworkModel model)
+    : size_(size),
+      model_(model),
+      payload_pool_(size) {
     KASSERT(size > 0, "a world needs at least one rank");
     mailboxes_.reserve(static_cast<std::size_t>(size));
     counters_.reserve(static_cast<std::size_t>(size));
     for (int rank = 0; rank < size; ++rank) {
-        mailboxes_.push_back(std::make_unique<detail::Mailbox>());
+        mailboxes_.push_back(std::make_unique<detail::Mailbox>(&payload_pool_));
         counters_.push_back(std::make_unique<profile::RankCounters>());
     }
     failed_flags_ = std::make_unique<std::atomic<bool>[]>(static_cast<std::size_t>(size));

@@ -1,0 +1,346 @@
+/// @file test_fastpath.cpp
+/// @brief Semantics of the transport fast paths: truncation through the
+/// zero-copy route, wildcard matching against the bucketed mailbox,
+/// non-overtaking ordering, payload pooling, and the algorithm-selected
+/// allreduce variants.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "xmpi/profile.hpp"
+#include "xmpi/xmpi.hpp"
+
+namespace {
+
+using xmpi::World;
+
+// A send larger than the posted receive must report XMPI_ERR_TRUNCATE and
+// deliver the prefix — also when the message moves through the zero-copy
+// path (receive posted before the send, contiguous type).
+TEST(Fastpath, TruncatedReceiveThroughZeroCopyPath) {
+    World::run(2, [] {
+        int rank = -1;
+        XMPI_Comm_rank(XMPI_COMM_WORLD, &rank);
+        if (rank == 1) {
+            std::vector<int> data(4, -1);
+            XMPI_Request request;
+            XMPI_Irecv(data.data(), 4, XMPI_INT, 0, 3, XMPI_COMM_WORLD, &request);
+            XMPI_Barrier(XMPI_COMM_WORLD); // receive is posted before the send
+            XMPI_Status status;
+            XMPI_Wait(&request, &status);
+            EXPECT_EQ(status.error, XMPI_ERR_TRUNCATE);
+            EXPECT_EQ(data, (std::vector<int>{0, 1, 2, 3})); // truncated prefix
+        } else {
+            XMPI_Barrier(XMPI_COMM_WORLD);
+            std::vector<int> data(10);
+            std::iota(data.begin(), data.end(), 0);
+            XMPI_Send(data.data(), 10, XMPI_INT, 1, 3, XMPI_COMM_WORLD);
+        }
+    });
+}
+
+// Same truncation semantics when the message lands in the unexpected queue
+// (send before the receive is posted, pooled-copy path).
+TEST(Fastpath, TruncatedReceiveFromUnexpectedQueue) {
+    World::run(2, [] {
+        int rank = -1;
+        XMPI_Comm_rank(XMPI_COMM_WORLD, &rank);
+        if (rank == 0) {
+            std::vector<int> data(10);
+            std::iota(data.begin(), data.end(), 0);
+            XMPI_Send(data.data(), 10, XMPI_INT, 1, 3, XMPI_COMM_WORLD);
+            XMPI_Barrier(XMPI_COMM_WORLD);
+        } else {
+            XMPI_Barrier(XMPI_COMM_WORLD); // send happened; message is queued
+            std::vector<int> data(4, -1);
+            XMPI_Status status;
+            XMPI_Recv(data.data(), 4, XMPI_INT, 0, 3, XMPI_COMM_WORLD, &status);
+            EXPECT_EQ(status.error, XMPI_ERR_TRUNCATE);
+            EXPECT_EQ(data, (std::vector<int>{0, 1, 2, 3}));
+        }
+    });
+}
+
+// An ANY_TAG receive must return the earliest-arrived of several queued
+// messages from one source even though they live in different (source, tag)
+// buckets of the unexpected map.
+TEST(Fastpath, AnyTagReceivesInArrivalOrderAcrossBuckets) {
+    World::run(2, [] {
+        int rank = -1;
+        XMPI_Comm_rank(XMPI_COMM_WORLD, &rank);
+        if (rank == 0) {
+            for (int tag = 5; tag >= 1; --tag) { // arrival order: tags 5,4,3,2,1
+                XMPI_Send(&tag, 1, XMPI_INT, 1, tag, XMPI_COMM_WORLD);
+            }
+            XMPI_Barrier(XMPI_COMM_WORLD);
+        } else {
+            XMPI_Barrier(XMPI_COMM_WORLD);
+            for (int expected = 5; expected >= 1; --expected) {
+                int value = -1;
+                XMPI_Status status;
+                XMPI_Recv(&value, 1, XMPI_INT, 0, XMPI_ANY_TAG, XMPI_COMM_WORLD, &status);
+                EXPECT_EQ(value, expected);
+                EXPECT_EQ(status.tag, expected);
+            }
+        }
+    });
+}
+
+// A posted ANY_SOURCE wildcard that was posted *before* an exact-match
+// receive must win an incoming message (posting order arbitrates between
+// the wildcard list and the exact buckets).
+TEST(Fastpath, EarlierWildcardBeatsLaterExactTicket) {
+    World::run(2, [] {
+        int rank = -1;
+        XMPI_Comm_rank(XMPI_COMM_WORLD, &rank);
+        if (rank == 1) {
+            int wild_value = -1;
+            int exact_value = -1;
+            XMPI_Request wild_request;
+            XMPI_Request exact_request;
+            XMPI_Irecv(
+                &wild_value, 1, XMPI_INT, XMPI_ANY_SOURCE, XMPI_ANY_TAG, XMPI_COMM_WORLD,
+                &wild_request);
+            XMPI_Irecv(&exact_value, 1, XMPI_INT, 0, 7, XMPI_COMM_WORLD, &exact_request);
+            XMPI_Barrier(XMPI_COMM_WORLD);
+            XMPI_Status status;
+            XMPI_Wait(&wild_request, &status);
+            EXPECT_EQ(wild_value, 100); // first send matched the earlier wildcard
+            XMPI_Wait(&exact_request, &status);
+            EXPECT_EQ(exact_value, 200);
+        } else {
+            XMPI_Barrier(XMPI_COMM_WORLD);
+            int first = 100;
+            int second = 200;
+            XMPI_Send(&first, 1, XMPI_INT, 1, 7, XMPI_COMM_WORLD);
+            XMPI_Send(&second, 1, XMPI_INT, 1, 7, XMPI_COMM_WORLD);
+        }
+    });
+}
+
+// Non-overtaking: a burst of same-(source, tag) messages is received in
+// send order, whether the receives are posted before (posted queue) or
+// after (unexpected queue) the sends.
+TEST(Fastpath, NonOvertakingSameSourceAndTag) {
+    constexpr int kBurst = 64;
+    for (bool const post_first: {true, false}) {
+        World::run(2, [post_first] {
+            int rank = -1;
+            XMPI_Comm_rank(XMPI_COMM_WORLD, &rank);
+            if (rank == 1) {
+                std::vector<int> values(kBurst, -1);
+                std::vector<XMPI_Request> requests(kBurst);
+                if (post_first) {
+                    for (int i = 0; i < kBurst; ++i) {
+                        XMPI_Irecv(
+                            &values[static_cast<std::size_t>(i)], 1, XMPI_INT, 0, 9,
+                            XMPI_COMM_WORLD, &requests[static_cast<std::size_t>(i)]);
+                    }
+                }
+                XMPI_Barrier(XMPI_COMM_WORLD);
+                XMPI_Barrier(XMPI_COMM_WORLD); // sends are queued by now
+                for (int i = 0; i < kBurst; ++i) {
+                    if (post_first) {
+                        XMPI_Wait(&requests[static_cast<std::size_t>(i)], XMPI_STATUS_IGNORE);
+                    } else {
+                        XMPI_Recv(
+                            &values[static_cast<std::size_t>(i)], 1, XMPI_INT, 0, 9,
+                            XMPI_COMM_WORLD, XMPI_STATUS_IGNORE);
+                    }
+                    EXPECT_EQ(values[static_cast<std::size_t>(i)], i);
+                }
+            } else {
+                XMPI_Barrier(XMPI_COMM_WORLD);
+                for (int i = 0; i < kBurst; ++i) {
+                    XMPI_Send(&i, 1, XMPI_INT, 1, 9, XMPI_COMM_WORLD);
+                }
+                XMPI_Barrier(XMPI_COMM_WORLD);
+            }
+        });
+    }
+}
+
+// A send into an already posted receive of a contiguous type must take the
+// zero-copy path (fastpath counter), a send that arrives early must take a
+// pooled payload.
+TEST(Fastpath, CountersDistinguishZeroCopyFromPooledSends) {
+    World::run(2, [] {
+        int rank = -1;
+        XMPI_Comm_rank(XMPI_COMM_WORLD, &rank);
+        if (rank == 1) {
+            int value = 0;
+            XMPI_Request request;
+            XMPI_Irecv(&value, 1, XMPI_INT, 0, 1, XMPI_COMM_WORLD, &request);
+            XMPI_Barrier(XMPI_COMM_WORLD);
+            XMPI_Wait(&request, XMPI_STATUS_IGNORE);
+            XMPI_Barrier(XMPI_COMM_WORLD);
+            // Unexpected arrival: receive is posted only after the barrier.
+            XMPI_Barrier(XMPI_COMM_WORLD);
+            XMPI_Recv(&value, 1, XMPI_INT, 0, 2, XMPI_COMM_WORLD, XMPI_STATUS_IGNORE);
+        } else {
+            xmpi::profile::reset_mine();
+            XMPI_Barrier(XMPI_COMM_WORLD);
+            int const value = 42;
+            XMPI_Send(&value, 1, XMPI_INT, 1, 1, XMPI_COMM_WORLD); // receiver waits
+            auto const after_posted = xmpi::profile::my_snapshot();
+            EXPECT_GE(after_posted.fastpath_sends, 1u);
+            EXPECT_GE(after_posted.bytes_zero_copied, sizeof(int));
+            XMPI_Barrier(XMPI_COMM_WORLD);
+            xmpi::profile::reset_mine();
+            XMPI_Send(&value, 1, XMPI_INT, 1, 2, XMPI_COMM_WORLD); // receiver not posted
+            auto const after_unexpected = xmpi::profile::my_snapshot();
+            EXPECT_EQ(after_unexpected.fastpath_sends, 0u);
+            EXPECT_EQ(after_unexpected.pool_hits + after_unexpected.pool_misses, 1u);
+            XMPI_Barrier(XMPI_COMM_WORLD);
+        }
+    });
+}
+
+// Steady-state sends reuse pooled payload buffers: after a warm-up message
+// of a size class, further unexpected sends of that class are pool hits.
+TEST(Fastpath, PooledPayloadsAreReused) {
+    World::run(2, [] {
+        int rank = -1;
+        XMPI_Comm_rank(XMPI_COMM_WORLD, &rank);
+        constexpr int kMessages = 16;
+        std::vector<long> payload(8, 7);
+        if (rank == 0) {
+            XMPI_Barrier(XMPI_COMM_WORLD);
+            xmpi::profile::reset_mine();
+            for (int i = 0; i < kMessages; ++i) {
+                // Receiver posts only after the barrier below, so every send
+                // goes through the pool; the buffer is recycled as soon as
+                // the receiver consumes it.
+                XMPI_Send(
+                    payload.data(), static_cast<int>(payload.size()), XMPI_LONG, 1, 4,
+                    XMPI_COMM_WORLD);
+                XMPI_Recv(nullptr, 0, XMPI_LONG, 1, 5, XMPI_COMM_WORLD, XMPI_STATUS_IGNORE);
+            }
+            auto const snapshot = xmpi::profile::my_snapshot();
+            EXPECT_EQ(
+                snapshot.pool_hits + snapshot.pool_misses + snapshot.fastpath_sends,
+                static_cast<std::uint64_t>(kMessages));
+            // The first buffer of the class may be a miss; the rest must hit.
+            EXPECT_LE(snapshot.pool_misses, 1u);
+            XMPI_Barrier(XMPI_COMM_WORLD);
+        } else {
+            XMPI_Barrier(XMPI_COMM_WORLD);
+            for (int i = 0; i < kMessages; ++i) {
+                XMPI_Recv(
+                    payload.data(), static_cast<int>(payload.size()), XMPI_LONG, 0, 4,
+                    XMPI_COMM_WORLD, XMPI_STATUS_IGNORE);
+                XMPI_Send(nullptr, 0, XMPI_LONG, 0, 5, XMPI_COMM_WORLD);
+            }
+            XMPI_Barrier(XMPI_COMM_WORLD);
+        }
+    });
+}
+
+// The recursive-doubling allreduce (commutative ops) must agree with a
+// rank-ordered linear reference on every rank, including non-power-of-two
+// world sizes that exercise the pre/post folding phase.
+TEST(Fastpath, CommutativeAllreduceMatchesLinearReference) {
+    for (int const p: {1, 2, 3, 4, 5, 7, 8}) {
+        World::run_ranked(p, [p](int rank) {
+            constexpr std::size_t kCount = 17;
+            std::vector<long> contribution(kCount);
+            for (std::size_t i = 0; i < kCount; ++i) {
+                contribution[i] = static_cast<long>((rank + 1) * (i + 1));
+            }
+            std::vector<long> result(kCount, 0);
+            ASSERT_EQ(
+                XMPI_Allreduce(
+                    contribution.data(), result.data(), static_cast<int>(kCount), XMPI_LONG,
+                    XMPI_SUM, XMPI_COMM_WORLD),
+                XMPI_SUCCESS);
+            for (std::size_t i = 0; i < kCount; ++i) {
+                long expected = 0;
+                for (int r = 0; r < p; ++r) {
+                    expected += static_cast<long>((r + 1) * (i + 1));
+                }
+                EXPECT_EQ(result[i], expected) << "element " << i << " on rank " << rank;
+            }
+        });
+    }
+}
+
+// A non-commutative user op must keep the rank-ordered fold: allreduce over
+// "first operand wins composition" f(a, b) = a * 31 + b in rank order.
+TEST(Fastpath, NonCommutativeAllreduceFoldsInRankOrder) {
+    for (int const p: {2, 3, 5, 8}) {
+        World::run_ranked(p, [p](int rank) {
+            XMPI_Op op;
+            ASSERT_EQ(
+                XMPI_Op_create(
+                    [](void* in, void* inout, int* len, xmpi::Datatype* const*) {
+                        auto const* a = static_cast<long const*>(in);
+                        auto* b = static_cast<long*>(inout);
+                        for (int i = 0; i < *len; ++i) {
+                            b[i] = a[i] * 31 + b[i]; // non-commutative
+                        }
+                    },
+                    /*commute=*/0, &op),
+                XMPI_SUCCESS);
+            long const contribution = rank + 1;
+            long result = 0;
+            ASSERT_EQ(
+                XMPI_Allreduce(&contribution, &result, 1, XMPI_LONG, op, XMPI_COMM_WORLD),
+                XMPI_SUCCESS);
+            long expected = 1; // rank 0's value
+            for (int r = 1; r < p; ++r) {
+                expected = expected * 31 + (r + 1);
+            }
+            EXPECT_EQ(result, expected) << "rank " << rank << " of " << p;
+            XMPI_Op_free(&op);
+        });
+    }
+}
+
+// Contiguity predicate: the fast path must not engage for genuinely
+// non-contiguous types but must for contiguous derived ones.
+TEST(Fastpath, ContiguousDerivedTypeUsesFastPathNonContiguousDoesNot) {
+    World::run(2, [] {
+        int rank = -1;
+        XMPI_Comm_rank(XMPI_COMM_WORLD, &rank);
+        XMPI_Datatype contiguous;
+        XMPI_Type_contiguous(4, XMPI_INT, &contiguous);
+        XMPI_Type_commit(&contiguous);
+        XMPI_Datatype strided;
+        XMPI_Type_vector(2, 1, 2, XMPI_INT, &strided); // gaps -> not contiguous
+        XMPI_Type_commit(&strided);
+        if (rank == 1) {
+            std::vector<int> data(4, 0);
+            XMPI_Request request;
+            XMPI_Irecv(data.data(), 1, contiguous, 0, 1, XMPI_COMM_WORLD, &request);
+            XMPI_Barrier(XMPI_COMM_WORLD);
+            XMPI_Wait(&request, XMPI_STATUS_IGNORE);
+            EXPECT_EQ(data, (std::vector<int>{1, 2, 3, 4}));
+            std::vector<int> gaps(4, 0);
+            XMPI_Irecv(gaps.data(), 1, strided, 0, 2, XMPI_COMM_WORLD, &request);
+            XMPI_Barrier(XMPI_COMM_WORLD);
+            XMPI_Wait(&request, XMPI_STATUS_IGNORE);
+            EXPECT_EQ(gaps, (std::vector<int>{5, 0, 6, 0}));
+            XMPI_Barrier(XMPI_COMM_WORLD);
+        } else {
+            XMPI_Barrier(XMPI_COMM_WORLD);
+            // Reset after the barrier so its internal messages don't count.
+            xmpi::profile::reset_mine();
+            std::vector<int> const data{1, 2, 3, 4};
+            XMPI_Send(data.data(), 1, contiguous, 1, 1, XMPI_COMM_WORLD);
+            auto const after_contiguous = xmpi::profile::my_snapshot();
+            EXPECT_EQ(after_contiguous.fastpath_sends, 1u);
+            XMPI_Barrier(XMPI_COMM_WORLD);
+            xmpi::profile::reset_mine();
+            std::vector<int> const source{5, 0, 6, 0};
+            XMPI_Send(source.data(), 1, strided, 1, 2, XMPI_COMM_WORLD);
+            auto const after_strided = xmpi::profile::my_snapshot();
+            EXPECT_EQ(after_strided.fastpath_sends, 0u); // pack path, no zero-copy
+            XMPI_Barrier(XMPI_COMM_WORLD);
+        }
+        XMPI_Type_free(&contiguous);
+        XMPI_Type_free(&strided);
+    });
+}
+
+} // namespace
