@@ -100,6 +100,32 @@ void BM_allreduce_kamping(benchmark::State& state) {
     });
 }
 
+void BM_allreduce_chaos_armed(benchmark::State& state) {
+    // Cost of the fault-injection hook on the hot path: a chaos engine is
+    // installed but holds only a never-firing fault (probability zero, on a
+    // call that is never made), so every XMPI entry pays the full armed-path
+    // check — engine load plus trigger scan. The delta against
+    // BM_allreduce_handrolled is the injection subsystem's overhead; with no
+    // engine installed the hook is a single relaxed atomic load.
+    std::size_t const count = static_cast<std::size_t>(state.range(0));
+    for (auto _: state) {
+        xmpi::chaos::arm_next_world(xmpi::chaos::FaultPlan(1).kill_with_probability(
+            0, xmpi::chaos::Call::barrier, 0.0));
+        xmpi::World::run(kWorldSize, [&] {
+            for (int call = 0; call < kCallsPerIteration; ++call) {
+                std::vector<long> const v(count, 1);
+                std::vector<long> out(count);
+                XMPI_Allreduce(
+                    v.data(), out.data(), static_cast<int>(count), XMPI_LONG, XMPI_SUM,
+                    XMPI_COMM_WORLD);
+                benchmark::DoNotOptimize(out.data());
+            }
+        });
+    }
+    (void)xmpi::chaos::take_fired_log();
+    state.SetItemsProcessed(state.iterations() * kCallsPerIteration * kWorldSize);
+}
+
 void BM_alltoallv_handrolled(benchmark::State& state) {
     std::size_t const count = static_cast<std::size_t>(state.range(0));
     run_world_benchmark(state, [&] {
@@ -164,6 +190,7 @@ BENCHMARK(BM_allgatherv_kamping)->Arg(8)->Arg(1024)->Arg(65536);
 BENCHMARK(BM_allgatherv_kamping_counts_given)->Arg(8)->Arg(1024)->Arg(65536);
 BENCHMARK(BM_allreduce_handrolled)->Arg(8)->Arg(4096);
 BENCHMARK(BM_allreduce_kamping)->Arg(8)->Arg(4096);
+BENCHMARK(BM_allreduce_chaos_armed)->Arg(8)->Arg(4096);
 BENCHMARK(BM_alltoallv_handrolled)->Arg(8)->Arg(4096);
 BENCHMARK(BM_alltoallv_kamping)->Arg(8)->Arg(4096);
 BENCHMARK(BM_send_recv_handrolled);

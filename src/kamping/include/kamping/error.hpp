@@ -41,6 +41,12 @@ public:
         : MpiError(XMPI_ERR_REVOKED, function) {}
 };
 
+/// @brief True iff @c error_code signals a failure that ULFM recovery
+/// (revoke → shrink → retry) can handle, as opposed to a usage error.
+[[nodiscard]] constexpr bool is_recoverable(int error_code) {
+    return error_code == XMPI_ERR_PROC_FAILED || error_code == XMPI_ERR_REVOKED;
+}
+
 namespace internal {
 
 /// @brief Converts a non-success XMPI return code into the matching

@@ -8,6 +8,7 @@
 /// std::future provides for asynchronous computation but MPI cannot.
 #pragma once
 
+#include <exception>
 #include <optional>
 #include <tuple>
 #include <utility>
@@ -222,18 +223,47 @@ public:
         entries_.push_back(std::make_unique<Entry<Buffers...>>(std::move(result)));
     }
 
-    /// @brief Waits for all pooled operations, then empties the pool.
+    /// @brief Waits for all pooled operations, then empties the pool. When
+    /// operations fail (e.g. the communicator is revoked mid-flight), every
+    /// entry is still drained — no request is left dangling — and the first
+    /// failure is rethrown afterwards, so ULFM recovery code can catch one
+    /// exception and retry with an empty pool.
     void wait_all() {
+        std::exception_ptr first_error;
         for (auto& entry: entries_) {
-            entry->wait();
+            try {
+                entry->wait();
+            } catch (...) {
+                if (!first_error) {
+                    first_error = std::current_exception();
+                }
+            }
         }
         entries_.clear();
+        if (first_error) {
+            std::rethrow_exception(first_error);
+        }
     }
 
     /// @brief Tests all pooled operations; completed ones are removed.
-    /// Returns true iff the pool is empty afterwards.
+    /// Entries that complete with an error are removed too, and the first
+    /// error is rethrown after the sweep. Returns true iff the pool is empty
+    /// afterwards.
     bool test_all() {
-        std::erase_if(entries_, [](auto const& entry) { return entry->test(); });
+        std::exception_ptr first_error;
+        std::erase_if(entries_, [&](auto const& entry) {
+            try {
+                return entry->test();
+            } catch (...) {
+                if (!first_error) {
+                    first_error = std::current_exception();
+                }
+                return true; // completed, with an error
+            }
+        });
+        if (first_error) {
+            std::rethrow_exception(first_error);
+        }
         return entries_.empty();
     }
 

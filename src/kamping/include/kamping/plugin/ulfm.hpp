@@ -55,6 +55,43 @@ public:
             XMPI_Comm_agree(this->self().mpi_communicator(), &flag), "XMPI_Comm_agree");
         return flag;
     }
+
+    /// @brief One recovery step: revoke the communicator (unless already
+    /// revoked) and replace it, in place, by its shrunken successor.
+    void revoke_and_shrink() {
+        if (!is_revoked()) {
+            revoke();
+        }
+        this->self() = shrink();
+    }
+
+    /// @brief Runs @c body(comm) and, whenever it fails with a recoverable
+    /// ULFM error (process failure or revoked communicator), performs
+    /// revoke_and_shrink() and re-runs it on the survivor communicator —
+    /// the whole of the paper's Fig. 12 recovery loop in one call. Works for
+    /// rooted and non-rooted collectives alike: @c body receives the current
+    /// communicator, so it can re-derive roots from the shrunken size/rank.
+    ///
+    /// @param body        Callable taking `Comm&`; its return value is
+    ///                    forwarded on success.
+    /// @param max_attempts Bound on total attempts; defaults (-1) to
+    ///                    initial size + 1, enough for every member failing
+    ///                    one by one. Throws MpiError(XMPI_ERR_OTHER) when
+    ///                    exhausted. Non-recoverable errors propagate as-is.
+    template <typename Body>
+    decltype(auto) shrink_and_retry(Body&& body, int max_attempts = -1) {
+        int const attempts = max_attempts > 0 ? max_attempts : this->self().size() + 1;
+        for (int attempt = 0; attempt < attempts; ++attempt) {
+            try {
+                return body(this->self());
+            } catch (MpiFailureDetected const&) {
+                revoke_and_shrink();
+            } catch (MpiCommRevoked const&) {
+                revoke_and_shrink();
+            }
+        }
+        throw MpiError(XMPI_ERR_OTHER, "shrink_and_retry: attempts exhausted");
+    }
 };
 
 } // namespace kamping::plugin

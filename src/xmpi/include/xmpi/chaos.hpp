@@ -1,0 +1,214 @@
+/// @file chaos.hpp
+/// @brief Deterministic, scriptable fault injection for ULFM testing.
+///
+/// The single-shot `inject_failure()` primitive kills the calling rank at a
+/// hard-coded source location; chaos generalizes it into a *seeded fault
+/// plan* that is armed for a whole world and fires without any cooperation
+/// from the code under test. Injection points ride on the per-rank profile
+/// counters (profile.hpp): "kill rank 3 at its 2nd allreduce" means the
+/// profiled call counter of Call::allreduce on rank 3 reaching 2 — a value
+/// that depends only on that rank's own call sequence, so a plan replayed
+/// against the same program fires at bit-identical points regardless of
+/// thread scheduling. Probabilistic faults draw from a per-fault counter
+/// RNG seeded by the plan seed, preserving the same guarantee.
+///
+/// Two trigger families are inherently scheduling-dependent and documented
+/// as such: wall-clock delays (fire at the victim's first profiled call
+/// after the deadline) and runtime hooks that model failure windows *inside*
+/// an operation (e.g. Hook::ft_contributed: after contributing to a
+/// shrink/agree rendezvous round but before consuming its result — the
+/// window that historically hung the rendezvous).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "xmpi/profile.hpp"
+
+namespace xmpi {
+class World;
+}
+
+namespace xmpi::chaos {
+
+using profile::Call;
+
+/// @brief Matches any profiled entry point (usable wherever a Call selects
+/// the operations a fault listens on).
+inline constexpr Call any_call = Call::count_;
+
+/// @brief Injection points inside the runtime that are not themselves
+/// profiled entry points.
+enum class Hook : int {
+    /// After contributing to a fault-tolerant rendezvous round (shrink /
+    /// agree) but before consuming its result: the mid-round failure window.
+    ft_contributed,
+};
+
+/// @brief One scheduled fault of a plan. Build via the FaultPlan methods.
+struct Fault {
+    enum class Trigger : int {
+        at_call,       ///< the victim's nth profiled call of kind @c call
+        on_entry,      ///< the victim's first matching call after arming
+        at_hook,       ///< the victim's nth pass through runtime hook @c hook
+        after_delay,   ///< first profiled call once @c delay_seconds elapsed
+        probabilistic, ///< every matching call fires with @c probability
+    };
+
+    Trigger trigger = Trigger::at_call;
+    int victim = -1;              ///< world rank to kill
+    Call call = any_call;         ///< operations the fault listens on
+    Hook hook = Hook::ft_contributed;
+    std::uint64_t nth = 1;        ///< 1-based occurrence (at_call / at_hook)
+    double delay_seconds = 0.0;   ///< after_delay trigger
+    double probability = 0.0;     ///< probabilistic trigger, in [0, 1]
+};
+
+/// @brief A seeded, ordered schedule of faults. Plans are plain values:
+/// build one, then arm it for a world (arm_next_world / arm). Arming a copy
+/// of the same plan against the same program reproduces the same injection
+/// points (see file header for the determinism contract).
+class FaultPlan {
+public:
+    FaultPlan() = default;
+    explicit FaultPlan(std::uint64_t seed) : seed_(seed) {}
+
+    /// @brief Kills @c victim at its @c nth profiled call of kind @c call
+    /// (1-based; bit-reproducible across runs).
+    FaultPlan& kill_at_call(int victim, Call call, std::uint64_t nth = 1) {
+        faults_.push_back({Fault::Trigger::at_call, victim, call, {}, nth, 0.0, 0.0});
+        return *this;
+    }
+
+    /// @brief Kills @c victim on its first call of kind @c call observed
+    /// after the plan was armed (useful when arming mid-run).
+    FaultPlan& kill_on_entry(int victim, Call call) {
+        faults_.push_back({Fault::Trigger::on_entry, victim, call, {}, 1, 0.0, 0.0});
+        return *this;
+    }
+
+    /// @brief Kills @c victim at its @c nth pass through runtime hook
+    /// @c hook (e.g. mid-rendezvous; scheduling decides which logical round
+    /// that pass belongs to).
+    FaultPlan& kill_at_hook(int victim, Hook hook, std::uint64_t nth = 1) {
+        faults_.push_back({Fault::Trigger::at_hook, victim, any_call, hook, nth, 0.0, 0.0});
+        return *this;
+    }
+
+    /// @brief Kills @c victim at its first profiled call after
+    /// @c delay_seconds of wall-clock time since arming (not reproducible
+    /// across runs by nature).
+    FaultPlan& kill_after(int victim, double delay_seconds) {
+        faults_.push_back(
+            {Fault::Trigger::after_delay, victim, any_call, {}, 1, delay_seconds, 0.0});
+        return *this;
+    }
+
+    /// @brief Every call of kind @c call on @c victim fires with
+    /// @c probability, drawn from a deterministic per-fault RNG seeded by
+    /// the plan seed — same seed, same program, same injection point.
+    FaultPlan& kill_with_probability(int victim, Call call, double probability) {
+        faults_.push_back(
+            {Fault::Trigger::probabilistic, victim, call, {}, 1, 0.0, probability});
+        return *this;
+    }
+
+    [[nodiscard]] std::uint64_t seed() const { return seed_; }
+    [[nodiscard]] std::vector<Fault> const& faults() const { return faults_; }
+    [[nodiscard]] bool empty() const { return faults_.empty(); }
+
+private:
+    std::uint64_t seed_ = 0;
+    std::vector<Fault> faults_;
+};
+
+/// @brief Record of one fired fault: which plan entry killed which rank at
+/// which per-rank occurrence. For call triggers, @c nth is the victim's
+/// profile counter value of @c call at the kill; for hook triggers, the
+/// victim's pass count through the hook.
+struct FiredFault {
+    int victim = -1;
+    int fault_index = -1; ///< index into FaultPlan::faults()
+    Call call = any_call; ///< call at which the fault fired (any_call for hooks)
+    std::uint64_t nth = 0;
+
+    friend bool operator==(FiredFault const&, FiredFault const&) = default;
+};
+
+/// @brief The armed form of a plan: per-fault firing state. One Engine is
+/// owned by the World it is armed on; per-fault state is only ever touched
+/// by the fault's victim thread, so no locking is needed beyond the
+/// engine-pointer publication in World.
+class Engine {
+public:
+    Engine(FaultPlan plan, double armed_at);
+
+    /// @brief Called by the profiled entry points after bumping the call
+    /// counter; @c count is the counter value including this call. Returns
+    /// true iff the calling rank must die now.
+    bool on_call(int world_rank, Call call, std::uint64_t count);
+
+    /// @brief Called by runtime hook sites. Returns true iff the calling
+    /// rank must die now.
+    bool on_hook(int world_rank, Hook hook);
+
+    [[nodiscard]] FaultPlan const& plan() const { return plan_; }
+
+private:
+    struct FaultState {
+        bool fired = false;
+        std::uint64_t hook_passes = 0; ///< at_hook occurrence counter
+        std::uint64_t rng = 0;         ///< probabilistic trigger stream
+    };
+
+    void record(std::size_t index, int world_rank, Call call, std::uint64_t nth);
+
+    FaultPlan plan_;
+    double armed_at_;
+    bool has_delay_faults_ = false;
+    std::vector<FaultState> states_;
+};
+
+/// @name Arming
+/// @{
+/// @brief Stores @c plan for the *next* World constructed in this process;
+/// that world arms it before any rank thread starts, so even a rank's first
+/// call is injectable. The intended pattern around World::run:
+///
+///   chaos::arm_next_world(chaos::FaultPlan(seed)
+///       .kill_at_call(3, chaos::Call::allreduce, 2));
+///   World::run(p, rank_main);
+void arm_next_world(FaultPlan plan);
+
+/// @brief Drops a plan staged by arm_next_world that no world consumed yet.
+void cancel_pending_plan();
+
+/// @brief Arms @c plan on the calling thread's world, effective immediately.
+/// Ranks already inside an operation join the plan at their next profiled
+/// call. (Use arm_next_world for from-the-first-call coverage.)
+void arm(FaultPlan plan);
+
+/// @brief Disarms the calling thread's world (no further faults fire; the
+/// fired log is kept).
+void disarm();
+/// @}
+
+/// @brief Drains the process-global log of fired faults, normalized by
+/// sorting on (victim, fault_index, call, nth) so that two runs of the same
+/// plan compare equal independent of thread interleaving.
+std::vector<FiredFault> take_fired_log();
+
+/// @name Runtime internals (called by the xmpi implementation)
+/// @{
+/// @brief Reports that @c world_rank passed @c hook; kills the calling rank
+/// (via World::kill_current_rank, which throws RankKilled) if a fault fires.
+void hit_hook(World& world, int world_rank, Hook hook);
+
+namespace detail {
+/// @brief Consumes a plan staged by arm_next_world into @c world (called
+/// from the World constructor, before rank threads exist).
+void adopt_pending_plan(World& world);
+} // namespace detail
+/// @}
+
+} // namespace xmpi::chaos

@@ -5,6 +5,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -73,13 +74,19 @@ struct IbarrierSync {
 /// @brief Shared state for the fault-tolerant collectives (shrink / agree),
 /// which must complete among the *surviving* ranks only and therefore cannot
 /// use the regular transport (it errors out on failed peers).
+/// Membership of a round is tracked by explicit world-rank lists (not
+/// counters): a rank that dies mid-round — after contributing, or before
+/// picking up the result — is pruned from the lists on every wake, so the
+/// round completes among the actual survivors instead of waiting forever for
+/// a dead rank's arrival or consumption.
 struct FtSync {
     std::mutex mutex;
     std::condition_variable cv;
-    int arrived = 0;           ///< survivors that entered the current round
-    int pending_consumers = 0; ///< survivors that still need to pick up the result
-    void* result = nullptr;    ///< round result (e.g. the shrunken communicator)
-    int agree_accumulator = ~0; ///< bitwise-AND accumulator for agree()
+    std::vector<int> arrived_ranks; ///< world ranks that entered the open round
+    std::vector<int> pending_ranks; ///< world ranks yet to pick up the result
+    void* result = nullptr;         ///< round result (e.g. the shrunken communicator)
+    std::function<void(void*)> retire; ///< disposes @c result when a round closes
+    int agree_accumulator = ~0;     ///< bitwise-AND accumulator for agree()
 };
 
 } // namespace detail

@@ -28,6 +28,9 @@ inline constexpr int XMPI_ERR_PROC_FAILED = 15;
 inline constexpr int XMPI_ERR_REVOKED     = 16;
 inline constexpr int XMPI_ERR_ARG         = 17;
 inline constexpr int XMPI_ERR_OTHER       = 18;
+/// Largest defined error class (codes are dense in [0, LASTCODE]); lets
+/// tests and tools iterate every code exhaustively.
+inline constexpr int XMPI_ERR_LASTCODE    = XMPI_ERR_OTHER;
 /// @}
 
 namespace xmpi {

@@ -24,6 +24,10 @@
 
 namespace xmpi {
 
+namespace chaos {
+class Engine;
+}
+
 class World {
 public:
     /// @brief Creates a world of @c size ranks. Threads are attached via
@@ -75,6 +79,21 @@ public:
     void wake_all();
     /// @}
 
+    /// @name Fault injection (chaos.hpp)
+    /// @{
+    /// @brief The armed fault-injection engine, or nullptr. Checked on every
+    /// profiled call; a single acquire load when disarmed.
+    [[nodiscard]] chaos::Engine* chaos_engine() const {
+        return chaos_engine_.load(std::memory_order_acquire);
+    }
+    /// @brief Arms @c engine for this world (replacing any armed one).
+    /// Superseded engines stay alive until the world is destroyed, so rank
+    /// threads may keep reading a stale engine pointer race-free.
+    void install_chaos(std::unique_ptr<chaos::Engine> engine);
+    /// @brief Disarms fault injection.
+    void clear_chaos() { chaos_engine_.store(nullptr, std::memory_order_release); }
+    /// @}
+
     /// @name Thread attachment
     /// @{
     void attach_current_thread(int world_rank);
@@ -93,6 +112,9 @@ private:
     Comm* world_comm_ = nullptr;
     std::vector<Comm*> registered_comms_; // for wake_all on ibarrier/ft syncs
     std::mutex registered_comms_mutex_;
+    std::atomic<chaos::Engine*> chaos_engine_{nullptr};
+    std::vector<std::unique_ptr<chaos::Engine>> chaos_engines_; ///< current + superseded
+    std::mutex chaos_mutex_;
 
     friend class Comm;
     void register_comm(Comm* comm);

@@ -5,6 +5,7 @@
 #pragma once
 
 #include "xmpi/api.hpp"       // IWYU pragma: export
+#include "xmpi/chaos.hpp"     // IWYU pragma: export
 #include "xmpi/comm.hpp"      // IWYU pragma: export
 #include "xmpi/datatype.hpp"  // IWYU pragma: export
 #include "xmpi/error.hpp"     // IWYU pragma: export

@@ -11,6 +11,7 @@
 
 #include "coll.hpp"
 #include "transport.hpp"
+#include "xmpi/chaos.hpp"
 
 namespace {
 
@@ -20,9 +21,18 @@ using xmpi::BuiltinType;
 void count_call(xmpi::profile::Call call) {
     auto& context = xmpi::detail::current_context();
     if (context.world != nullptr) {
-        context.world->counters(context.world_rank)
-            .calls[static_cast<std::size_t>(call)]
-            .fetch_add(1, std::memory_order_relaxed);
+        auto const count = context.world->counters(context.world_rank)
+                               .calls[static_cast<std::size_t>(call)]
+                               .fetch_add(1, std::memory_order_relaxed)
+                           + 1;
+        // Fault injection rides on the same counter: when a chaos plan is
+        // armed, the per-rank call count is the reproducible injection point.
+        if (auto* engine = context.world->chaos_engine(); engine != nullptr) {
+            if (engine->on_call(context.world_rank, call,
+                                static_cast<std::uint64_t>(count))) {
+                context.world->kill_current_rank(); // throws RankKilled
+            }
+        }
     }
 }
 
@@ -215,10 +225,9 @@ int XMPI_Irecv(
     void* buf, int count, XMPI_Datatype datatype, int source, int tag, XMPI_Comm comm,
     XMPI_Request* request) {
     count_call(xmpi::profile::Call::irecv);
-    *request = xmpi::detail::transport_irecv(
+    return xmpi::detail::transport_irecv(
         *comm, source, tag, comm->pt2pt_context(), buf, static_cast<std::size_t>(count),
-        *datatype);
-    return XMPI_SUCCESS;
+        *datatype, request);
 }
 
 int XMPI_Sendrecv(
@@ -226,9 +235,13 @@ int XMPI_Sendrecv(
     void* recvbuf, int recvcount, XMPI_Datatype recvtype, int source, int recvtag, XMPI_Comm comm,
     XMPI_Status* status) {
     count_call(xmpi::profile::Call::sendrecv);
-    XMPI_Request recv_request = xmpi::detail::transport_irecv(
-        *comm, source, recvtag, comm->pt2pt_context(), recvbuf,
-        static_cast<std::size_t>(recvcount), *recvtype);
+    XMPI_Request recv_request = XMPI_REQUEST_NULL;
+    if (int const recv_err = xmpi::detail::transport_irecv(
+            *comm, source, recvtag, comm->pt2pt_context(), recvbuf,
+            static_cast<std::size_t>(recvcount), *recvtype, &recv_request);
+        recv_err != XMPI_SUCCESS) {
+        return recv_err;
+    }
     int const send_err = xmpi::detail::transport_send(
         *comm, dest, sendtag, comm->pt2pt_context(), sendbuf,
         static_cast<std::size_t>(sendcount), *sendtype);
@@ -243,6 +256,17 @@ int XMPI_Sendrecv(
 
 int XMPI_Probe(int source, int tag, XMPI_Comm comm, XMPI_Status* status) {
     count_call(xmpi::profile::Call::probe);
+    // PROC_NULL and out-of-range sources must be handled before building the
+    // match pattern: check_peer would index the member table with them.
+    if (source == XMPI_PROC_NULL) {
+        if (status != XMPI_STATUS_IGNORE) {
+            *status = xmpi::Status{XMPI_PROC_NULL, XMPI_ANY_TAG, XMPI_SUCCESS, 0};
+        }
+        return XMPI_SUCCESS;
+    }
+    if (source != XMPI_ANY_SOURCE && (source < 0 || source >= comm->size())) {
+        return XMPI_ERR_RANK;
+    }
     xmpi::detail::Envelope const pattern{comm->pt2pt_context(), source, tag};
     auto& mailbox = comm->world().mailbox(xmpi::detail::current_world_rank());
     xmpi::Status probe_status;
@@ -260,6 +284,16 @@ int XMPI_Probe(int source, int tag, XMPI_Comm comm, XMPI_Status* status) {
 
 int XMPI_Iprobe(int source, int tag, XMPI_Comm comm, int* flag, XMPI_Status* status) {
     count_call(xmpi::profile::Call::iprobe);
+    if (source == XMPI_PROC_NULL) {
+        *flag = 1;
+        if (status != XMPI_STATUS_IGNORE) {
+            *status = xmpi::Status{XMPI_PROC_NULL, XMPI_ANY_TAG, XMPI_SUCCESS, 0};
+        }
+        return XMPI_SUCCESS;
+    }
+    if (source != XMPI_ANY_SOURCE && (source < 0 || source >= comm->size())) {
+        return XMPI_ERR_RANK;
+    }
     xmpi::detail::Envelope const pattern{comm->pt2pt_context(), source, tag};
     auto& mailbox = comm->world().mailbox(xmpi::detail::current_world_rank());
     xmpi::Status probe_status;

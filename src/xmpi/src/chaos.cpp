@@ -1,0 +1,214 @@
+#include "xmpi/chaos.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <tuple>
+
+#include "xmpi/world.hpp"
+
+namespace xmpi::chaos {
+namespace {
+
+/// @brief splitmix64: tiny, statistically solid, and — unlike the stdlib
+/// engines — a guaranteed-stable output sequence, which the reproducibility
+/// contract depends on.
+std::uint64_t splitmix64(std::uint64_t& state) {
+    state += 0x9E3779B97F4A7C15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t probability_threshold(double probability) {
+    if (probability >= 1.0) {
+        return ~0ULL;
+    }
+    if (probability <= 0.0) {
+        return 0;
+    }
+    return static_cast<std::uint64_t>(probability * 18446744073709551616.0 /* 2^64 */);
+}
+
+struct PendingPlan {
+    std::mutex mutex;
+    std::optional<FaultPlan> plan;
+};
+
+PendingPlan& pending_plan() {
+    static PendingPlan pending;
+    return pending;
+}
+
+struct FiredLog {
+    std::mutex mutex;
+    std::vector<FiredFault> records;
+};
+
+FiredLog& fired_log() {
+    static FiredLog log;
+    return log;
+}
+
+void log_fired(FiredFault record) {
+    auto& log = fired_log();
+    std::lock_guard lock(log.mutex);
+    log.records.push_back(record);
+}
+
+} // namespace
+
+Engine::Engine(FaultPlan plan, double armed_at)
+    : plan_(std::move(plan)),
+      armed_at_(armed_at),
+      states_(plan_.faults().size()) {
+    for (std::size_t i = 0; i < plan_.faults().size(); ++i) {
+        auto const& fault = plan_.faults()[i];
+        if (fault.trigger == Fault::Trigger::after_delay) {
+            has_delay_faults_ = true;
+        }
+        // Independent, deterministic stream per fault: plan seed x fault
+        // index x victim (the victim's own call sequence provides the draw
+        // order, which is scheduling-independent).
+        states_[i].rng = plan_.seed() ^ (0x9E3779B97F4A7C15ULL * (i + 1))
+                         ^ (0xD1B54A32D192ED03ULL * static_cast<std::uint64_t>(fault.victim + 1));
+    }
+}
+
+void Engine::record(std::size_t index, int world_rank, Call call, std::uint64_t nth) {
+    states_[index].fired = true;
+    log_fired(FiredFault{world_rank, static_cast<int>(index), call, nth});
+}
+
+bool Engine::on_call(int world_rank, Call call, std::uint64_t count) {
+    // Lazily priced: a wall clock is only read when a delay fault is armed.
+    double now = 0.0;
+    bool now_valid = false;
+    for (std::size_t i = 0; i < plan_.faults().size(); ++i) {
+        auto const& fault = plan_.faults()[i];
+        // Victim check first: per-fault state is only ever touched by the
+        // fault's victim thread, which is what makes the engine lock-free.
+        if (fault.victim != world_rank) {
+            continue;
+        }
+        auto& state = states_[i];
+        if (state.fired) {
+            continue;
+        }
+        bool const call_matches = fault.call == any_call || fault.call == call;
+        switch (fault.trigger) {
+            case Fault::Trigger::at_call:
+                if (call_matches && count >= fault.nth) {
+                    record(i, world_rank, call, count);
+                    return true;
+                }
+                break;
+            case Fault::Trigger::on_entry:
+                if (call_matches) {
+                    record(i, world_rank, call, count);
+                    return true;
+                }
+                break;
+            case Fault::Trigger::after_delay:
+                if (!now_valid) {
+                    now = wtime();
+                    now_valid = true;
+                }
+                if (now - armed_at_ >= fault.delay_seconds) {
+                    record(i, world_rank, call, count);
+                    return true;
+                }
+                break;
+            case Fault::Trigger::probabilistic:
+                if (call_matches
+                    && splitmix64(state.rng) < probability_threshold(fault.probability)) {
+                    record(i, world_rank, call, count);
+                    return true;
+                }
+                break;
+            case Fault::Trigger::at_hook:
+                break; // fires via on_hook only
+        }
+    }
+    return false;
+}
+
+bool Engine::on_hook(int world_rank, Hook hook) {
+    for (std::size_t i = 0; i < plan_.faults().size(); ++i) {
+        auto const& fault = plan_.faults()[i];
+        if (fault.victim != world_rank || fault.trigger != Fault::Trigger::at_hook
+            || fault.hook != hook) {
+            continue;
+        }
+        auto& state = states_[i];
+        if (state.fired) {
+            continue;
+        }
+        if (++state.hook_passes >= fault.nth) {
+            record(i, world_rank, any_call, state.hook_passes);
+            return true;
+        }
+    }
+    return false;
+}
+
+void arm_next_world(FaultPlan plan) {
+    auto& pending = pending_plan();
+    std::lock_guard lock(pending.mutex);
+    pending.plan = std::move(plan);
+}
+
+void cancel_pending_plan() {
+    auto& pending = pending_plan();
+    std::lock_guard lock(pending.mutex);
+    pending.plan.reset();
+}
+
+void arm(FaultPlan plan) {
+    xmpi::detail::current_world().install_chaos(
+        std::make_unique<Engine>(std::move(plan), wtime()));
+}
+
+void disarm() {
+    xmpi::detail::current_world().clear_chaos();
+}
+
+std::vector<FiredFault> take_fired_log() {
+    auto& log = fired_log();
+    std::vector<FiredFault> records;
+    {
+        std::lock_guard lock(log.mutex);
+        records.swap(log.records);
+    }
+    std::sort(records.begin(), records.end(), [](FiredFault const& a, FiredFault const& b) {
+        return std::tie(a.victim, a.fault_index, a.call, a.nth)
+               < std::tie(b.victim, b.fault_index, b.call, b.nth);
+    });
+    return records;
+}
+
+void hit_hook(World& world, int world_rank, Hook hook) {
+    if (auto* engine = world.chaos_engine();
+        engine != nullptr && engine->on_hook(world_rank, hook)) {
+        world.kill_current_rank(); // throws RankKilled
+    }
+}
+
+namespace detail {
+
+void adopt_pending_plan(World& world) {
+    auto& pending = pending_plan();
+    std::optional<FaultPlan> plan;
+    {
+        std::lock_guard lock(pending.mutex);
+        plan.swap(pending.plan);
+    }
+    if (plan.has_value()) {
+        world.install_chaos(std::make_unique<Engine>(*std::move(plan), wtime()));
+    }
+}
+
+} // namespace detail
+} // namespace xmpi::chaos

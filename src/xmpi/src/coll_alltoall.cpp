@@ -286,13 +286,21 @@ int coll_neighbor_alltoallv(
     // locally), then wait. Cost: outdegree messages per rank.
     std::vector<Request*> requests;
     requests.reserve(topology.sources.size());
+    int first_error = XMPI_SUCCESS;
     for (std::size_t j = 0; j < topology.sources.size(); ++j) {
-        requests.push_back(transport_irecv(
+        Request* request = nullptr;
+        int const err = transport_irecv(
             comm, topology.sources[j], coll_tag::neighbor, comm.collective_context(),
             static_cast<std::byte*>(recvbuf) + rdispls[j] * recvtype.extent(),
-            static_cast<std::size_t>(recvcounts[j]), recvtype));
+            static_cast<std::size_t>(recvcounts[j]), recvtype, &request);
+        if (err != XMPI_SUCCESS) {
+            if (first_error == XMPI_SUCCESS) {
+                first_error = err;
+            }
+            continue;
+        }
+        requests.push_back(request);
     }
-    int first_error = XMPI_SUCCESS;
     for (std::size_t j = 0; j < topology.destinations.size(); ++j) {
         int const err = coll_send(
             comm, topology.destinations[j], coll_tag::neighbor,

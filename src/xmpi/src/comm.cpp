@@ -91,6 +91,12 @@ Comm::Comm(World* world, std::vector<int> members)
 
 Comm::~Comm() {
     world_->unregister_comm(this);
+    // A rendezvous round whose last pending consumers all died leaves its
+    // result parked in the sync structure; dispose of it with the round's
+    // retire callback (no threads can race us in the destructor).
+    if (ft_.result != nullptr && ft_.retire) {
+        ft_.retire(ft_.result);
+    }
 }
 
 int Comm::rank() const {

@@ -28,6 +28,9 @@ Snapshot my_snapshot() {
 
 Snapshot snapshot_of(int world_rank) {
     auto& world = detail::current_world();
+    if (world_rank < 0 || world_rank >= world.size()) {
+        throw UsageError("profile::snapshot_of: world rank out of range");
+    }
     return snapshot_counters(world.counters(world_rank));
 }
 

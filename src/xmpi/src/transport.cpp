@@ -171,17 +171,25 @@ int transport_recv(
     return ticket->status.error;
 }
 
-Request* transport_irecv(
+int transport_irecv(
     Comm& comm, int source, int tag, int context, void* buf, std::size_t count,
-    Datatype const& type) {
+    Datatype const& type, Request** request) {
     if (source == PROC_NULL) {
-        return new CompletedRequest(Status{PROC_NULL, ANY_TAG, XMPI_SUCCESS, 0});
+        *request = new CompletedRequest(Status{PROC_NULL, ANY_TAG, XMPI_SUCCESS, 0});
+        return XMPI_SUCCESS;
+    }
+    // Validate here, exactly like the blocking receive: an unchecked source
+    // would flow into RecvRequest::check_failed and index the member table
+    // out of bounds.
+    if (source != ANY_SOURCE && (source < 0 || source >= comm.size())) {
+        return XMPI_ERR_RANK;
     }
     auto ticket = make_ticket(comm, source, tag, context, buf, count, type);
 
     Mailbox& mailbox = comm.world().mailbox(current_world_rank());
     mailbox.post_or_match(ticket);
-    return new RecvRequest(std::move(ticket), &mailbox);
+    *request = new RecvRequest(std::move(ticket), &mailbox);
+    return XMPI_SUCCESS;
 }
 
 int coll_send(

@@ -32,10 +32,12 @@ int transport_recv(
     Comm& comm, int source, int tag, int context, void* buf, std::size_t count,
     Datatype const& type, Status* status);
 
-/// @brief Posts a non-blocking receive and returns its request.
-Request* transport_irecv(
+/// @brief Posts a non-blocking receive into @c *request. Returns
+/// XMPI_ERR_RANK (leaving @c *request untouched) when @c source is neither a
+/// valid comm rank, ANY_SOURCE, nor PROC_NULL.
+int transport_irecv(
     Comm& comm, int source, int tag, int context, void* buf, std::size_t count,
-    Datatype const& type);
+    Datatype const& type, Request** request);
 
 /// @name Collective-context convenience wrappers (used by coll_*.cpp)
 /// @{

@@ -5,47 +5,96 @@
 /// communicator is revoked or members have failed, so they are implemented as
 /// a shared-memory rendezvous on the communicator's FtSync structure rather
 /// than over the regular transport (which reports errors for failed peers).
+///
+/// The rendezvous is survivor-aware: round membership is tracked as explicit
+/// world-rank lists, and every wake re-evaluates the survivor set and prunes
+/// ranks that died mid-round — after contributing, or with the result still
+/// unconsumed — so a failure at any point of a round can no longer hang the
+/// remaining members or leak the round's result into the next one.
+#include <algorithm>
 #include <mutex>
 
 #include "coll.hpp"
 #include "transport.hpp"
+#include "xmpi/chaos.hpp"
 
 namespace xmpi::detail {
 namespace {
 
-/// @brief Number of currently surviving members of the communicator.
-int alive_count(Comm const& comm) {
-    return static_cast<int>(comm.surviving_members().size());
+/// @brief Discounts ranks that have failed from the round membership lists.
+void prune_dead(World const& world, FtSync& ft) {
+    auto const dead = [&](int world_rank) { return world.is_failed(world_rank); };
+    std::erase_if(ft.arrived_ranks, dead);
+    std::erase_if(ft.pending_ranks, dead);
+}
+
+/// @brief Closes the round once the result is produced and no surviving
+/// consumer is left to pick it up. Runs the round's retire callback (which
+/// drops the round's own reference to the result), resets the agree
+/// accumulator for the next round, and wakes ranks waiting to start one.
+/// Must be called with ft.mutex held.
+void maybe_finish_round(FtSync& ft) {
+    if (ft.result == nullptr || !ft.pending_ranks.empty()) {
+        return;
+    }
+    if (ft.retire) {
+        ft.retire(ft.result);
+        ft.retire = nullptr;
+    }
+    ft.result = nullptr;
+    ft.agree_accumulator = ~0;
+    ft.cv.notify_all();
 }
 
 /// @brief Rendezvous among the surviving members: everyone contributes via
-/// @c contribute (called under the lock), the first rank to observe
-/// completion produces the round result via @c produce, and everyone
-/// consumes it. The round resets after the last consumer leaves.
-template <typename Contribute, typename Produce>
-void* ft_rendezvous(Comm& comm, Contribute&& contribute, Produce&& produce) {
+/// @c contribute (called under the lock), the first rank to observe that all
+/// survivors arrived produces the round result via @c produce, and every
+/// survivor picks it up via @c consume. The round closes after the last
+/// surviving consumer leaves — ranks that die mid-round are pruned on every
+/// wake instead of being waited for.
+template <typename Contribute, typename Produce, typename Consume>
+void* ft_rendezvous(Comm& comm, Contribute&& contribute, Produce&& produce, Consume&& consume) {
+    auto& world = comm.world();
+    int const me = current_world_rank();
     auto& ft = comm.ft_sync();
     std::unique_lock lock(ft.mutex);
-    // Let a previous round drain before joining a new one.
-    ft.cv.wait(lock, [&] { return ft.pending_consumers == 0; });
+    // Let a previous round drain before joining a new one. If its remaining
+    // consumers all died, nobody is left to close it: prune and close it
+    // here instead of waiting forever.
+    ft.cv.wait(lock, [&] {
+        prune_dead(world, ft);
+        maybe_finish_round(ft);
+        return ft.result == nullptr;
+    });
     contribute(ft);
-    ++ft.arrived;
+    ft.arrived_ranks.push_back(me);
     ft.cv.notify_all();
-    // Failures wake this wait via World::wake_all(), so alive_count() is
-    // re-evaluated whenever the failure state changes.
-    ft.cv.wait(lock, [&] { return ft.result != nullptr || ft.arrived >= alive_count(comm); });
+    // The mid-round failure window: contributed, result not yet consumed.
+    // A chaos plan targeting Hook::ft_contributed kills the rank right here
+    // (the throw unwinds through the unique_lock).
+    chaos::hit_hook(world, me, chaos::Hook::ft_contributed);
+    // Failures wake this wait via World::wake_all(), so the survivor set is
+    // re-evaluated and dead contributors are discounted on every wake.
+    ft.cv.wait(lock, [&] {
+        if (ft.result != nullptr) {
+            return true;
+        }
+        prune_dead(world, ft);
+        // Post-prune, arrived_ranks is a subset of the survivors; equal
+        // sizes mean every surviving member has contributed.
+        return ft.arrived_ranks.size() >= comm.surviving_members().size();
+    });
     if (ft.result == nullptr) {
         ft.result = produce(ft);
-        ft.pending_consumers = ft.arrived;
+        ft.pending_ranks = std::move(ft.arrived_ranks);
+        ft.arrived_ranks.clear();
         ft.cv.notify_all();
     }
     void* const result = ft.result;
-    if (--ft.pending_consumers == 0) {
-        ft.result = nullptr;
-        ft.arrived = 0;
-        ft.agree_accumulator = ~0;
-        ft.cv.notify_all();
-    }
+    consume(ft, result);
+    std::erase(ft.pending_ranks, me);
+    prune_dead(world, ft);
+    maybe_finish_round(ft);
     return result;
 }
 
@@ -60,30 +109,35 @@ int ulfm_revoke(Comm& comm) {
 int ulfm_shrink(Comm& comm, Comm** newcomm) {
     void* const result = ft_rendezvous(
         comm, [](FtSync&) {},
-        [&](FtSync&) -> void* {
-            auto survivors = comm.surviving_members();
-            auto* shrunken = new Comm(&comm.world(), std::move(survivors));
-            // One handle reference per surviving member.
-            for (int i = 1; i < shrunken->size(); ++i) {
-                shrunken->retain();
-            }
+        [&](FtSync& ft) -> void* {
+            auto* shrunken = new Comm(&comm.world(), comm.surviving_members());
+            // The round itself holds the creation reference; each surviving
+            // consumer retains its own at pickup, and retire drops the
+            // round's when the round closes. A consumer that dies before
+            // pickup therefore never pins the new communicator.
+            ft.retire = [](void* round_result) { static_cast<Comm*>(round_result)->release(); };
             return shrunken;
-        });
+        },
+        [](FtSync&, void* round_result) { static_cast<Comm*>(round_result)->retain(); });
     *newcomm = static_cast<Comm*>(result);
     return XMPI_SUCCESS;
 }
 
 int ulfm_agree(Comm& comm, int* flag) {
     // The agreed value is the bitwise AND over the survivors' flags; the
-    // accumulator lives in FtSync and resets with the round. The result
-    // pointer must be non-null to mark completion, so bias the value by one.
-    void* const result = ft_rendezvous(
+    // accumulator lives in FtSync and resets with the round. The result is
+    // heap-allocated so that every accumulator value — including ~0, which a
+    // pointer-bias encoding cannot represent without aliasing null — marks
+    // the round as produced.
+    int agreed = 0;
+    ft_rendezvous(
         comm, [&](FtSync& ft) { ft.agree_accumulator &= *flag; },
         [](FtSync& ft) -> void* {
-            return reinterpret_cast<void*>(
-                static_cast<std::intptr_t>(ft.agree_accumulator) + 1);
-        });
-    *flag = static_cast<int>(reinterpret_cast<std::intptr_t>(result) - 1);
+            ft.retire = [](void* round_result) { delete static_cast<int*>(round_result); };
+            return new int(ft.agree_accumulator);
+        },
+        [&](FtSync&, void* round_result) { agreed = *static_cast<int*>(round_result); });
+    *flag = agreed;
     return XMPI_SUCCESS;
 }
 

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "kassert/kassert.hpp"
+#include "xmpi/chaos.hpp"
 
 namespace xmpi {
 
@@ -29,6 +30,18 @@ World::World(int size, NetworkModel model)
         members[static_cast<std::size_t>(rank)] = rank;
     }
     world_comm_ = new Comm(this, std::move(members));
+    // A fault plan staged via chaos::arm_next_world() is armed here, before
+    // any rank thread exists, so even a rank's first call is injectable.
+    chaos::detail::adopt_pending_plan(*this);
+}
+
+void World::install_chaos(std::unique_ptr<chaos::Engine> engine) {
+    chaos::Engine* const raw = engine.get();
+    {
+        std::lock_guard lock(chaos_mutex_);
+        chaos_engines_.push_back(std::move(engine));
+    }
+    chaos_engine_.store(raw, std::memory_order_release);
 }
 
 World::~World() {
@@ -201,6 +214,8 @@ char const* error_string(int error_code) {
             return "communicator has been revoked";
         case XMPI_ERR_ARG:
             return "invalid argument";
+        case XMPI_ERR_OTHER:
+            return "known error not in this list";
         default:
             return "unknown error";
     }

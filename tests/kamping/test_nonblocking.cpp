@@ -143,6 +143,56 @@ TEST(KampingNonBlocking, PoolTestAllDrainsIncrementally) {
     });
 }
 
+TEST(KampingNonBlocking, PoolDrainsFullyWhenCommunicatorRevoked) {
+    World::run(3, [] {
+        Communicator comm;
+        if (comm.rank() == 0) {
+            RequestPool pool;
+            std::vector<int> a(1);
+            std::vector<int> b(1);
+            pool.add(comm.irecv<int>(recv_buf(a), recv_count(1), source(1), tag(1)));
+            pool.add(comm.irecv<int>(recv_buf(b), recv_count(1), source(2), tag(2)));
+            // Handshake by message, not by collective: rank 1 revokes only
+            // after this token arrives, so no rank is still inside a
+            // collective when the revoke lands.
+            comm.send(send_buf({1}), destination(1), tag(99));
+            // Both receives are pending when the revoke lands: wait_all must
+            // drain every entry (no dangling request) and then rethrow.
+            EXPECT_THROW(pool.wait_all(), MpiCommRevoked);
+            EXPECT_TRUE(pool.empty()) << "the pool is fully drained despite the failure";
+        } else if (comm.rank() == 1) {
+            (void)comm.recv<int>(source(0), tag(99));
+            XMPI_Comm_revoke(comm.mpi_communicator());
+        }
+    });
+}
+
+TEST(KampingNonBlocking, PoolTestAllSurfacesRevocation) {
+    World::run(2, [] {
+        Communicator comm;
+        if (comm.rank() == 0) {
+            RequestPool pool;
+            std::vector<int> sink(1);
+            pool.add(comm.irecv<int>(recv_buf(sink), recv_count(1), source(1), tag(7)));
+            comm.send(send_buf({1}), destination(1), tag(99));
+            // Spin until the revocation reaches the pending receive.
+            bool threw = false;
+            try {
+                while (!pool.test_all()) {
+                    std::this_thread::yield();
+                }
+            } catch (MpiCommRevoked const&) {
+                threw = true;
+            }
+            EXPECT_TRUE(threw);
+            EXPECT_TRUE(pool.empty());
+        } else {
+            (void)comm.recv<int>(source(0), tag(99));
+            XMPI_Comm_revoke(comm.mpi_communicator());
+        }
+    });
+}
+
 TEST(KampingNonBlocking, AbandonedRecvIsCancelledSafely) {
     World::run(2, [] {
         Communicator comm;

@@ -33,6 +33,21 @@ TEST(Profile, CountsPointToPointCalls) {
     });
 }
 
+TEST(Profile, SnapshotOfRejectsOutOfRangeRanks) {
+    World::run_ranked(2, [](int rank) {
+        XMPI_Barrier(XMPI_COMM_WORLD);
+        // Peer snapshots work for every valid rank...
+        auto const peer = xmpi::profile::snapshot_of(1 - rank);
+        EXPECT_GE(peer[Call::barrier], 1u);
+        // ...and out-of-range ranks are a usage error, not an out-of-bounds
+        // read of the counter table.
+        EXPECT_THROW((void)xmpi::profile::snapshot_of(-1), xmpi::UsageError);
+        EXPECT_THROW((void)xmpi::profile::snapshot_of(2), xmpi::UsageError);
+        EXPECT_THROW((void)xmpi::profile::snapshot_of(1000), xmpi::UsageError);
+        XMPI_Barrier(XMPI_COMM_WORLD);
+    });
+}
+
 TEST(Profile, CollectiveCallsAreCountedOncePerEntry) {
     World::run(4, [] {
         XMPI_Barrier(XMPI_COMM_WORLD);

@@ -122,6 +122,82 @@ TEST(Ulfm, AgreeComputesBitwiseAndAcrossSurvivors) {
     });
 }
 
+TEST(Ulfm, RepeatedAgreeDoesNotLeakAccumulatorState) {
+    // Two back-to-back agrees with different flags: the AND accumulator must
+    // reset between rounds, so round 2 is unaffected by round 1's bits.
+    World::run_ranked(3, [](int rank) {
+        int first = rank == 0 ? 0b100 : 0b101;
+        ASSERT_EQ(XMPI_Comm_agree(XMPI_COMM_WORLD, &first), XMPI_SUCCESS);
+        EXPECT_EQ(first, 0b100);
+        // Stale state from round 1 (0b100) would zero this round out.
+        int second = rank == 0 ? 0b011 : 0b111;
+        ASSERT_EQ(XMPI_Comm_agree(XMPI_COMM_WORLD, &second), XMPI_SUCCESS);
+        EXPECT_EQ(second, 0b011);
+        // And a third round for good measure, all bits set.
+        int third = ~0;
+        ASSERT_EQ(XMPI_Comm_agree(XMPI_COMM_WORLD, &third), XMPI_SUCCESS);
+        EXPECT_EQ(third, ~0);
+    });
+}
+
+TEST(Ulfm, ErrorStringsAreExhaustive) {
+    // Every defined error class has a dedicated description; only codes
+    // outside the defined range fall through to the generic string.
+    char const* const unknown = xmpi::error_string(-1);
+    EXPECT_STREQ(unknown, "unknown error");
+    for (int code = 0; code <= XMPI_ERR_LASTCODE; ++code) {
+        EXPECT_STRNE(xmpi::error_string(code), unknown) << "code " << code;
+        EXPECT_STRNE(xmpi::error_string(code), nullptr) << "code " << code;
+    }
+    EXPECT_STREQ(xmpi::error_string(XMPI_ERR_LASTCODE + 1), unknown);
+}
+
+TEST(Ulfm, WaitOnPendingReceiveReturnsRevoked) {
+    World::run_ranked(2, [](int rank) {
+        if (rank == 1) {
+            int value = 0;
+            XMPI_Request request = XMPI_REQUEST_NULL;
+            ASSERT_EQ(
+                XMPI_Irecv(&value, 1, XMPI_INT, 0, 3, XMPI_COMM_WORLD, &request), XMPI_SUCCESS);
+            // No matching send is ever posted; the revoke must propagate
+            // into the pending receive instead of leaving it blocked.
+            int const err = XMPI_Wait(&request, XMPI_STATUS_IGNORE);
+            EXPECT_EQ(err, XMPI_ERR_REVOKED);
+            EXPECT_EQ(request, XMPI_REQUEST_NULL);
+        } else {
+            ASSERT_EQ(XMPI_Comm_revoke(XMPI_COMM_WORLD), XMPI_SUCCESS);
+        }
+    });
+}
+
+TEST(Ulfm, IrecvFromOutOfRangeSourceReportsRankError) {
+    World::run_ranked(2, [](int) {
+        int value = 0;
+        XMPI_Request request = XMPI_REQUEST_NULL;
+        EXPECT_EQ(
+            XMPI_Irecv(&value, 1, XMPI_INT, 5, 0, XMPI_COMM_WORLD, &request), XMPI_ERR_RANK);
+        EXPECT_EQ(request, XMPI_REQUEST_NULL) << "no request is created on a bad source";
+        EXPECT_EQ(
+            XMPI_Irecv(&value, 1, XMPI_INT, -7, 0, XMPI_COMM_WORLD, &request), XMPI_ERR_RANK);
+    });
+}
+
+TEST(Ulfm, ProbeWithProcNullCompletesImmediately) {
+    World::run_ranked(2, [](int) {
+        xmpi::Status status;
+        ASSERT_EQ(XMPI_Probe(XMPI_PROC_NULL, 0, XMPI_COMM_WORLD, &status), XMPI_SUCCESS);
+        EXPECT_EQ(status.source, XMPI_PROC_NULL);
+        int flag = 0;
+        ASSERT_EQ(XMPI_Iprobe(XMPI_PROC_NULL, 0, XMPI_COMM_WORLD, &flag, &status), XMPI_SUCCESS);
+        EXPECT_EQ(flag, 1);
+        EXPECT_EQ(status.source, XMPI_PROC_NULL);
+        // Out-of-range sources are rejected instead of indexing the member
+        // table out of bounds.
+        EXPECT_EQ(XMPI_Iprobe(9, 0, XMPI_COMM_WORLD, &flag, &status), XMPI_ERR_RANK);
+        EXPECT_EQ(XMPI_Probe(-5, 0, XMPI_COMM_WORLD, &status), XMPI_ERR_RANK);
+    });
+}
+
 TEST(Ulfm, RecoveryLoopReachesCompletion) {
     // The paper's Fig. 12 pattern: try a collective, on failure revoke +
     // shrink, retry on the survivor communicator.
