@@ -1,8 +1,9 @@
 /// @file collectives_alltoall.hpp
-/// @brief Wrappers for the all-to-all family: alltoall, alltoallv.
+/// @brief Wrappers for the all-to-all family: alltoall, alltoallv. Both
+/// dispatch through the call plan of pipeline.hpp.
 #pragma once
 
-#include "kamping/collectives_helpers.hpp"
+#include "kamping/pipeline.hpp"
 
 namespace kamping::internal {
 
@@ -10,13 +11,13 @@ namespace kamping::internal {
 /// send buffer must hold size() equal slices.
 template <typename... Args>
 auto alltoall_impl(XMPI_Comm comm, Args&&... args) {
-    static_assert(
-        has_parameter_v<ParameterType::send_buf, Args...>,
-        "alltoall requires a send_buf(...) parameter");
+    KAMPING_PLAN_REQUIRE(
+        (has_parameter_v<ParameterType::send_buf, Args...>), "alltoall", "send_buf");
     KAMPING_CHECK_PARAMETERS(
         Args, "alltoall", ParameterType::send_buf, ParameterType::recv_buf,
         ParameterType::send_count);
-    auto&& send = select_parameter<ParameterType::send_buf>(args...);
+    CollectivePlan<plan_ops::alltoall, Args...> plan(comm);
+    auto&& send = ResolveSend{}(plan, args...);
     using T = buffer_value_t<decltype(send)>;
     int size = 0;
     XMPI_Comm_size(comm, &size);
@@ -33,15 +34,15 @@ auto alltoall_impl(XMPI_Comm comm, Args&&... args) {
         send_count = static_cast<int>(send.size()) / size;
     }
 
-    auto recv = take_parameter_or_default<ParameterType::recv_buf>(
-        default_recv_buf_factory<T>(), args...);
-    recv.resize_to(static_cast<std::size_t>(send_count) * static_cast<std::size_t>(size));
-    throw_on_error(
-        XMPI_Alltoall(
+    auto recv = PrepareRecv<T>{}(
+        plan, static_cast<std::size_t>(send_count) * static_cast<std::size_t>(size),
+        /*participate=*/true, args...);
+    Dispatch{}(plan, "XMPI_Alltoall", [&] {
+        return XMPI_Alltoall(
             send.data(), send_count, mpi_datatype<T>(), recv.data(), send_count,
-            mpi_datatype<buffer_value_t<decltype(recv)>>(), comm),
-        "XMPI_Alltoall");
-    return make_result(std::move(recv));
+            mpi_datatype<buffer_value_t<decltype(recv)>>(), comm);
+    });
+    return AssembleResult{}(std::move(recv));
 }
 
 /// @brief comm.alltoallv(send_buf(v), send_counts(sc), [send_displs],
@@ -52,17 +53,16 @@ auto alltoall_impl(XMPI_Comm comm, Args&&... args) {
 /// boilerplate-heavy MPI call into a two-parameter call (paper, Fig. 7).
 template <typename... Args>
 auto alltoallv_impl(XMPI_Comm comm, Args&&... args) {
-    static_assert(
-        has_parameter_v<ParameterType::send_buf, Args...>,
-        "alltoallv requires a send_buf(...) parameter");
-    static_assert(
-        has_parameter_v<ParameterType::send_counts, Args...>,
-        "alltoallv requires a send_counts(...) parameter");
+    KAMPING_PLAN_REQUIRE(
+        (has_parameter_v<ParameterType::send_buf, Args...>), "alltoallv", "send_buf");
+    KAMPING_PLAN_REQUIRE(
+        (has_parameter_v<ParameterType::send_counts, Args...>), "alltoallv", "send_counts");
     KAMPING_CHECK_PARAMETERS(
         Args, "alltoallv", ParameterType::send_buf, ParameterType::send_counts,
         ParameterType::send_displs, ParameterType::recv_buf, ParameterType::recv_counts,
         ParameterType::recv_displs);
-    auto&& send = select_parameter<ParameterType::send_buf>(args...);
+    CollectivePlan<plan_ops::alltoallv, Args...> plan(comm);
+    auto&& send = ResolveSend{}(plan, args...);
     using T = buffer_value_t<decltype(send)>;
     int size = 0;
     XMPI_Comm_size(comm, &size);
@@ -72,47 +72,38 @@ auto alltoallv_impl(XMPI_Comm comm, Args&&... args) {
         send_counts_buf.size() == static_cast<std::size_t>(size),
         "send_counts must hold one entry per rank of the communicator");
 
-    auto send_displs_buf = take_parameter_or_default<ParameterType::send_displs>(
-        default_counts_factory<ParameterType::send_displs>(), args...);
-    constexpr bool send_displs_are_input =
-        std::remove_cvref_t<decltype(send_displs_buf)>::kind == BufferKind::in;
-    if constexpr (!send_displs_are_input) {
-        compute_displacements(send_counts_buf, send_displs_buf);
-    }
+    auto send_displs_buf = ComputeDispls<ParameterType::send_displs>{}(
+        plan, send_counts_buf, /*participate=*/true, args...);
 
     // Receive counts: transpose of the send counts, exchanged on demand.
-    auto recv_counts_buf = take_parameter_or_default<ParameterType::recv_counts>(
-        default_counts_factory<ParameterType::recv_counts>(), args...);
-    constexpr bool recv_counts_are_input =
-        std::remove_cvref_t<decltype(recv_counts_buf)>::kind == BufferKind::in;
-    if constexpr (!recv_counts_are_input) {
-        recv_counts_buf.resize_to(static_cast<std::size_t>(size));
-        throw_on_error(
-            XMPI_Alltoall(
-                send_counts_buf.data(), 1, XMPI_INT, recv_counts_buf.data(), 1, XMPI_INT, comm),
-            "XMPI_Alltoall(recv_counts)");
-    }
+    auto recv_counts_buf = InferCounts<ParameterType::recv_counts>{}(
+        plan,
+        [&](auto& buffer) {
+            buffer.resize_to(static_cast<std::size_t>(size));
+            plan.dispatch(
+                "XMPI_Alltoall",
+                [&] {
+                    return XMPI_Alltoall(
+                        send_counts_buf.data(), 1, XMPI_INT, buffer.data(), 1, XMPI_INT, comm);
+                },
+                PlanStage::infer_counts);
+        },
+        args...);
 
-    auto recv_displs_buf = take_parameter_or_default<ParameterType::recv_displs>(
-        default_counts_factory<ParameterType::recv_displs>(), args...);
-    constexpr bool recv_displs_are_input =
-        std::remove_cvref_t<decltype(recv_displs_buf)>::kind == BufferKind::in;
-    if constexpr (!recv_displs_are_input) {
-        compute_displacements(recv_counts_buf, recv_displs_buf);
-    }
+    auto recv_displs_buf = ComputeDispls<ParameterType::recv_displs>{}(
+        plan, recv_counts_buf, /*participate=*/true, args...);
 
-    auto recv = take_parameter_or_default<ParameterType::recv_buf>(
-        default_recv_buf_factory<T>(), args...);
-    recv.resize_to(total_count(recv_counts_buf, recv_displs_buf));
+    auto recv = PrepareRecv<T>{}(
+        plan, total_count(recv_counts_buf, recv_displs_buf), /*participate=*/true, args...);
 
-    throw_on_error(
-        XMPI_Alltoallv(
+    Dispatch{}(plan, "XMPI_Alltoallv", [&] {
+        return XMPI_Alltoallv(
             send.data(), send_counts_buf.data(), send_displs_buf.data(), mpi_datatype<T>(),
             recv.data(), recv_counts_buf.data(), recv_displs_buf.data(),
-            mpi_datatype<buffer_value_t<decltype(recv)>>(), comm),
-        "XMPI_Alltoallv");
+            mpi_datatype<buffer_value_t<decltype(recv)>>(), comm);
+    });
 
-    return make_result(
+    return AssembleResult{}(
         std::move(recv), std::move(recv_counts_buf), std::move(recv_displs_buf),
         std::move(send_displs_buf));
 }

@@ -1,11 +1,11 @@
 /// @file collectives_bcast.hpp
 /// @brief Wrappers for bcast (including serialized broadcast), scatter and
-/// scatterv.
+/// scatterv. All dispatch through the call plan of pipeline.hpp.
 #pragma once
 
 #include <cstdint>
 
-#include "kamping/collectives_helpers.hpp"
+#include "kamping/pipeline.hpp"
 #include "kamping/serialization.hpp"
 
 namespace kamping::internal {
@@ -20,12 +20,12 @@ namespace kamping::internal {
 /// else deserializes in place (paper, Fig. 11).
 template <typename... Args>
 auto bcast_impl(XMPI_Comm comm, Args&&... args) {
-    static_assert(
-        has_parameter_v<ParameterType::send_recv_buf, Args...>,
-        "bcast requires a send_recv_buf(...) parameter (the broadcast payload)");
+    KAMPING_PLAN_REQUIRE(
+        (has_parameter_v<ParameterType::send_recv_buf, Args...>), "bcast", "send_recv_buf");
     KAMPING_CHECK_PARAMETERS(
         Args, "bcast", ParameterType::send_recv_buf, ParameterType::root,
         ParameterType::recv_count);
+    CollectivePlan<plan_ops::bcast, Args...> plan(comm);
     int rank = -1;
     XMPI_Comm_rank(comm, &rank);
     int const root_rank = get_root(comm, args...);
@@ -41,16 +41,20 @@ auto bcast_impl(XMPI_Comm comm, Args&&... args) {
             bytes = buffer.serialize();
             payload_size = bytes.size();
         }
-        throw_on_error(
-            XMPI_Bcast(&payload_size, sizeof(payload_size), XMPI_BYTE, root_rank, comm),
-            "XMPI_Bcast(serialized size)");
+        plan.note_count_exchange();
+        plan.dispatch(
+            "XMPI_Bcast(serialized size)",
+            [&] { return XMPI_Bcast(&payload_size, sizeof(payload_size), XMPI_BYTE, root_rank, comm); },
+            PlanStage::infer_counts);
         if (rank != root_rank) {
             bytes.resize(payload_size);
         }
-        throw_on_error(
-            XMPI_Bcast(
-                bytes.data(), static_cast<int>(payload_size), XMPI_BYTE, root_rank, comm),
-            "XMPI_Bcast(serialized payload)");
+        plan.note_bytes_in(rank == root_rank ? payload_size : 0);
+        plan.note_bytes_out(rank == root_rank ? 0 : payload_size);
+        Dispatch{}(plan, "XMPI_Bcast(serialized payload)", [&] {
+            return XMPI_Bcast(
+                bytes.data(), static_cast<int>(payload_size), XMPI_BYTE, root_rank, comm);
+        });
         if (rank != root_rank) {
             buffer.deserialize(bytes);
         }
@@ -64,18 +68,22 @@ auto bcast_impl(XMPI_Comm comm, Args&&... args) {
         } else {
             // Count unknown on the receivers: broadcast it first.
             count = buffer.size();
-            throw_on_error(
-                XMPI_Bcast(&count, sizeof(count), XMPI_BYTE, root_rank, comm),
-                "XMPI_Bcast(count)");
+            plan.note_count_exchange();
+            plan.dispatch(
+                "XMPI_Bcast(count)",
+                [&] { return XMPI_Bcast(&count, sizeof(count), XMPI_BYTE, root_rank, comm); },
+                PlanStage::infer_counts);
         }
         if (rank != root_rank) {
             buffer.resize_to(static_cast<std::size_t>(count));
         }
-        throw_on_error(
-            XMPI_Bcast(
-                buffer.data(), static_cast<int>(count), mpi_datatype<T>(), root_rank, comm),
-            "XMPI_Bcast");
-        return make_result(std::move(buffer));
+        plan.note_bytes_in(rank == root_rank ? count * sizeof(T) : 0);
+        plan.note_bytes_out(rank == root_rank ? 0 : count * sizeof(T));
+        Dispatch{}(plan, "XMPI_Bcast", [&] {
+            return XMPI_Bcast(
+                buffer.data(), static_cast<int>(count), mpi_datatype<T>(), root_rank, comm);
+        });
+        return AssembleResult{}(std::move(buffer));
     }
 }
 
@@ -84,19 +92,19 @@ auto bcast_impl(XMPI_Comm comm, Args&&... args) {
 /// broadcast when not provided.
 template <typename... Args>
 auto scatter_impl(XMPI_Comm comm, Args&&... args) {
+    KAMPING_PLAN_REQUIRE(
+        (has_parameter_v<ParameterType::send_buf, Args...>), "scatter", "send_buf");
     KAMPING_CHECK_PARAMETERS(
         Args, "scatter", ParameterType::send_buf, ParameterType::recv_buf, ParameterType::root,
         ParameterType::recv_count);
+    CollectivePlan<plan_ops::scatter, Args...> plan(comm);
     int rank = -1;
     int size = 0;
     XMPI_Comm_rank(comm, &rank);
     XMPI_Comm_size(comm, &size);
     int const root_rank = get_root(comm, args...);
 
-    static_assert(
-        has_parameter_v<ParameterType::send_buf, Args...>,
-        "scatter requires a send_buf(...) parameter (significant on the root)");
-    auto&& send = select_parameter<ParameterType::send_buf>(args...);
+    auto&& send = ResolveSend{}(plan, args...);
     using T = buffer_value_t<decltype(send)>;
 
     int count = 0;
@@ -109,19 +117,21 @@ auto scatter_impl(XMPI_Comm comm, Args&&... args) {
                 "scatter send buffer size must be divisible by the communicator size");
             count = static_cast<int>(send.size()) / size;
         }
-        throw_on_error(
-            XMPI_Bcast(&count, 1, XMPI_INT, root_rank, comm), "XMPI_Bcast(count)");
+        plan.note_count_exchange();
+        plan.dispatch(
+            "XMPI_Bcast(count)",
+            [&] { return XMPI_Bcast(&count, 1, XMPI_INT, root_rank, comm); },
+            PlanStage::infer_counts);
     }
 
-    auto recv = take_parameter_or_default<ParameterType::recv_buf>(
-        default_recv_buf_factory<T>(), args...);
-    recv.resize_to(static_cast<std::size_t>(count));
-    throw_on_error(
-        XMPI_Scatter(
+    auto recv =
+        PrepareRecv<T>{}(plan, static_cast<std::size_t>(count), /*participate=*/true, args...);
+    Dispatch{}(plan, "XMPI_Scatter", [&] {
+        return XMPI_Scatter(
             send.data(), count, mpi_datatype<T>(), recv.data(), count,
-            mpi_datatype<buffer_value_t<decltype(recv)>>(), root_rank, comm),
-        "XMPI_Scatter");
-    return make_result(std::move(recv));
+            mpi_datatype<buffer_value_t<decltype(recv)>>(), root_rank, comm);
+    });
+    return AssembleResult{}(std::move(recv));
 }
 
 /// @brief comm.scatterv(send_buf(v), send_counts(sc), [send_displs], [root],
@@ -129,56 +139,52 @@ auto scatter_impl(XMPI_Comm comm, Args&&... args) {
 /// the root when not provided.
 template <typename... Args>
 auto scatterv_impl(XMPI_Comm comm, Args&&... args) {
-    static_assert(
-        has_parameter_v<ParameterType::send_buf, Args...>,
-        "scatterv requires a send_buf(...) parameter (significant on the root)");
+    KAMPING_PLAN_REQUIRE(
+        (has_parameter_v<ParameterType::send_buf, Args...>), "scatterv", "send_buf");
+    KAMPING_PLAN_REQUIRE(
+        (has_parameter_v<ParameterType::send_counts, Args...>), "scatterv", "send_counts");
     KAMPING_CHECK_PARAMETERS(
         Args, "scatterv", ParameterType::send_buf, ParameterType::send_counts,
         ParameterType::send_displs, ParameterType::recv_buf, ParameterType::root,
         ParameterType::recv_count);
+    CollectivePlan<plan_ops::scatterv, Args...> plan(comm);
     int rank = -1;
     int size = 0;
     XMPI_Comm_rank(comm, &rank);
     XMPI_Comm_size(comm, &size);
     int const root_rank = get_root(comm, args...);
 
-    auto&& send = select_parameter<ParameterType::send_buf>(args...);
+    auto&& send = ResolveSend{}(plan, args...);
     using T = buffer_value_t<decltype(send)>;
 
     auto counts = take_parameter_or_default<ParameterType::send_counts>(
         default_counts_factory<ParameterType::send_counts>(), args...);
-    static_assert(
-        has_parameter_v<ParameterType::send_counts, Args...>,
-        "scatterv requires a send_counts(...) parameter (significant on the root)");
 
-    auto displs = take_parameter_or_default<ParameterType::send_displs>(
-        default_counts_factory<ParameterType::send_displs>(), args...);
-    constexpr bool displs_are_input =
-        std::remove_cvref_t<decltype(displs)>::kind == BufferKind::in;
-    if constexpr (!displs_are_input) {
-        if (rank == root_rank) {
-            compute_displacements(counts, displs);
-        }
-    }
+    auto displs = ComputeDispls<ParameterType::send_displs>{}(
+        plan, counts, /*participate=*/rank == root_rank, args...);
 
     int count = 0;
     if constexpr (has_parameter_v<ParameterType::recv_count, Args...>) {
         count = select_parameter<ParameterType::recv_count>(args...).value;
     } else {
-        throw_on_error(
-            XMPI_Scatter(counts.data(), 1, XMPI_INT, &count, 1, XMPI_INT, root_rank, comm),
-            "XMPI_Scatter(recv_count)");
+        plan.note_count_exchange();
+        plan.dispatch(
+            "XMPI_Scatter(recv_count)",
+            [&] {
+                return XMPI_Scatter(
+                    counts.data(), 1, XMPI_INT, &count, 1, XMPI_INT, root_rank, comm);
+            },
+            PlanStage::infer_counts);
     }
 
-    auto recv = take_parameter_or_default<ParameterType::recv_buf>(
-        default_recv_buf_factory<T>(), args...);
-    recv.resize_to(static_cast<std::size_t>(count));
-    throw_on_error(
-        XMPI_Scatterv(
+    auto recv =
+        PrepareRecv<T>{}(plan, static_cast<std::size_t>(count), /*participate=*/true, args...);
+    Dispatch{}(plan, "XMPI_Scatterv", [&] {
+        return XMPI_Scatterv(
             send.data(), counts.data(), displs.data(), mpi_datatype<T>(), recv.data(), count,
-            mpi_datatype<buffer_value_t<decltype(recv)>>(), root_rank, comm),
-        "XMPI_Scatterv");
-    return make_result(std::move(recv));
+            mpi_datatype<buffer_value_t<decltype(recv)>>(), root_rank, comm);
+    });
+    return AssembleResult{}(std::move(recv));
 }
 
 } // namespace kamping::internal

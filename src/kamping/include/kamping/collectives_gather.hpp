@@ -2,9 +2,14 @@
 /// @brief Wrappers for the gather family: gather, gatherv, allgather,
 /// allgatherv — including the paper's flagship one-liner
 /// `auto v_global = comm.allgatherv(send_buf(v));` (Fig. 1).
+///
+/// All four operations dispatch through the call plan of pipeline.hpp: the
+/// stage functors spell out the Fig. 2 sequence (resolve send → infer
+/// counts → compute displacements → prepare receive buffer → dispatch →
+/// assemble result) once per op instead of re-rolling it inline.
 #pragma once
 
-#include "kamping/collectives_helpers.hpp"
+#include "kamping/pipeline.hpp"
 
 namespace kamping::internal {
 
@@ -16,14 +21,14 @@ namespace kamping::internal {
 /// the boilerplate of the paper's Fig. 2, instantiated only when needed.
 template <typename... Args>
 auto allgatherv_impl(XMPI_Comm comm, Args&&... args) {
-    static_assert(
-        has_parameter_v<ParameterType::send_buf, Args...>,
-        "allgatherv requires a send_buf(...) parameter");
+    KAMPING_PLAN_REQUIRE(
+        (has_parameter_v<ParameterType::send_buf, Args...>), "allgatherv", "send_buf");
     KAMPING_CHECK_PARAMETERS(
         Args, "allgatherv", ParameterType::send_buf, ParameterType::recv_buf,
         ParameterType::recv_counts, ParameterType::recv_displs, ParameterType::send_count);
 
-    auto&& send = select_parameter<ParameterType::send_buf>(args...);
+    CollectivePlan<plan_ops::allgatherv, Args...> plan(comm);
+    auto&& send = ResolveSend{}(plan, args...);
     using T = buffer_value_t<decltype(send)>;
 
     int size = 0;
@@ -34,41 +39,32 @@ auto allgatherv_impl(XMPI_Comm comm, Args&&... args) {
         send_count = select_parameter<ParameterType::send_count>(args...).value;
     }
 
-    // Receive counts: user-provided, or computed via allgather of the send
-    // counts (the code path is compiled only when the parameter is missing
-    // or requested as an out-parameter).
-    auto counts = take_parameter_or_default<ParameterType::recv_counts>(
-        default_counts_factory<ParameterType::recv_counts>(), args...);
-    constexpr bool counts_are_input =
-        std::remove_cvref_t<decltype(counts)>::kind == BufferKind::in;
-    if constexpr (!counts_are_input) {
-        counts.resize_to(static_cast<std::size_t>(size));
-        throw_on_error(
-            XMPI_Allgather(
-                &send_count, 1, XMPI_INT, counts.data(), 1, XMPI_INT, comm),
-            "XMPI_Allgather(recv_counts)");
-    }
+    auto counts = InferCounts<ParameterType::recv_counts>{}(
+        plan,
+        [&](auto& buffer) {
+            buffer.resize_to(static_cast<std::size_t>(size));
+            plan.dispatch(
+                "XMPI_Allgather",
+                [&] {
+                    return XMPI_Allgather(
+                        &send_count, 1, XMPI_INT, buffer.data(), 1, XMPI_INT, comm);
+                },
+                PlanStage::infer_counts);
+        },
+        args...);
 
-    // Displacements: user-provided or exclusive prefix sum.
-    auto displs = take_parameter_or_default<ParameterType::recv_displs>(
-        default_counts_factory<ParameterType::recv_displs>(), args...);
-    constexpr bool displs_are_input =
-        std::remove_cvref_t<decltype(displs)>::kind == BufferKind::in;
-    if constexpr (!displs_are_input) {
-        compute_displacements(counts, displs);
-    }
+    auto displs =
+        ComputeDispls<ParameterType::recv_displs>{}(plan, counts, /*participate=*/true, args...);
 
-    auto recv = take_parameter_or_default<ParameterType::recv_buf>(
-        default_recv_buf_factory<T>(), args...);
-    recv.resize_to(total_count(counts, displs));
+    auto recv = PrepareRecv<T>{}(plan, total_count(counts, displs), /*participate=*/true, args...);
 
-    throw_on_error(
-        XMPI_Allgatherv(
+    Dispatch{}(plan, "XMPI_Allgatherv", [&] {
+        return XMPI_Allgatherv(
             send.data(), send_count, mpi_datatype<T>(), recv.data(), counts.data(),
-            displs.data(), mpi_datatype<buffer_value_t<decltype(recv)>>(), comm),
-        "XMPI_Allgatherv");
+            displs.data(), mpi_datatype<buffer_value_t<decltype(recv)>>(), comm);
+    });
 
-    return make_result(std::move(recv), std::move(counts), std::move(displs));
+    return AssembleResult{}(std::move(recv), std::move(counts), std::move(displs));
 }
 
 /// @brief comm.allgather(send_buf(v)) or in-place
@@ -78,6 +74,7 @@ auto allgather_impl(XMPI_Comm comm, Args&&... args) {
     KAMPING_CHECK_PARAMETERS(
         Args, "allgather", ParameterType::send_buf, ParameterType::send_recv_buf,
         ParameterType::recv_buf, ParameterType::send_count);
+    CollectivePlan<plan_ops::allgather, Args...> plan(comm);
     int size = 0;
     XMPI_Comm_size(comm, &size);
 
@@ -96,32 +93,34 @@ auto allgather_impl(XMPI_Comm comm, Args&&... args) {
             "in-place allgather requires the buffer size (" << buffer.size()
                                                             << ") to be divisible by the "
                                                                "communicator size");
+        plan.note_bytes_in(buffer.size() * sizeof(T));
+        plan.note_bytes_out(buffer.size() * sizeof(T));
         int const count = static_cast<int>(buffer.size()) / size;
-        throw_on_error(
-            XMPI_Allgather(
+        Dispatch{}(plan, "XMPI_Allgather", [&] {
+            return XMPI_Allgather(
                 XMPI_IN_PLACE, 0, XMPI_DATATYPE_NULL, buffer.data(), count, mpi_datatype<T>(),
-                comm),
-            "XMPI_Allgather");
-        return make_result(std::move(buffer));
+                comm);
+        });
+        return AssembleResult{}(std::move(buffer));
     } else {
-        static_assert(
-            has_parameter_v<ParameterType::send_buf, Args...>,
-            "allgather requires a send_buf(...) (or send_recv_buf(...)) parameter");
-        auto&& send = select_parameter<ParameterType::send_buf>(args...);
+        KAMPING_PLAN_REQUIRE(
+            (has_parameter_v<ParameterType::send_buf, Args...>), "allgather",
+            "send_buf (or send_recv_buf)");
+        auto&& send = ResolveSend{}(plan, args...);
         using T = buffer_value_t<decltype(send)>;
         int send_count = static_cast<int>(send.size());
         if constexpr (has_parameter_v<ParameterType::send_count, Args...>) {
             send_count = select_parameter<ParameterType::send_count>(args...).value;
         }
-        auto recv = take_parameter_or_default<ParameterType::recv_buf>(
-            default_recv_buf_factory<T>(), args...);
-        recv.resize_to(static_cast<std::size_t>(send_count) * static_cast<std::size_t>(size));
-        throw_on_error(
-            XMPI_Allgather(
+        auto recv = PrepareRecv<T>{}(
+            plan, static_cast<std::size_t>(send_count) * static_cast<std::size_t>(size),
+            /*participate=*/true, args...);
+        Dispatch{}(plan, "XMPI_Allgather", [&] {
+            return XMPI_Allgather(
                 send.data(), send_count, mpi_datatype<T>(), recv.data(), send_count,
-                mpi_datatype<buffer_value_t<decltype(recv)>>(), comm),
-            "XMPI_Allgather");
-        return make_result(std::move(recv));
+                mpi_datatype<buffer_value_t<decltype(recv)>>(), comm);
+        });
+        return AssembleResult{}(std::move(recv));
     }
 }
 
@@ -129,13 +128,12 @@ auto allgather_impl(XMPI_Comm comm, Args&&... args) {
 /// receive buffer is only meaningful on the root (empty elsewhere).
 template <typename... Args>
 auto gather_impl(XMPI_Comm comm, Args&&... args) {
-    static_assert(
-        has_parameter_v<ParameterType::send_buf, Args...>,
-        "gather requires a send_buf(...) parameter");
+    KAMPING_PLAN_REQUIRE((has_parameter_v<ParameterType::send_buf, Args...>), "gather", "send_buf");
     KAMPING_CHECK_PARAMETERS(
         Args, "gather", ParameterType::send_buf, ParameterType::recv_buf, ParameterType::root,
         ParameterType::send_count);
-    auto&& send = select_parameter<ParameterType::send_buf>(args...);
+    CollectivePlan<plan_ops::gather, Args...> plan(comm);
+    auto&& send = ResolveSend{}(plan, args...);
     using T = buffer_value_t<decltype(send)>;
     int size = 0;
     int rank = -1;
@@ -144,30 +142,28 @@ auto gather_impl(XMPI_Comm comm, Args&&... args) {
     int const root_rank = get_root(comm, args...);
     int const send_count = static_cast<int>(send.size());
 
-    auto recv = take_parameter_or_default<ParameterType::recv_buf>(
-        default_recv_buf_factory<T>(), args...);
-    if (rank == root_rank) {
-        recv.resize_to(static_cast<std::size_t>(send_count) * static_cast<std::size_t>(size));
-    }
-    throw_on_error(
-        XMPI_Gather(
+    auto recv = PrepareRecv<T>{}(
+        plan, static_cast<std::size_t>(send_count) * static_cast<std::size_t>(size),
+        /*participate=*/rank == root_rank, args...);
+    Dispatch{}(plan, "XMPI_Gather", [&] {
+        return XMPI_Gather(
             send.data(), send_count, mpi_datatype<T>(), recv.data(), send_count,
-            mpi_datatype<buffer_value_t<decltype(recv)>>(), root_rank, comm),
-        "XMPI_Gather");
-    return make_result(std::move(recv));
+            mpi_datatype<buffer_value_t<decltype(recv)>>(), root_rank, comm);
+    });
+    return AssembleResult{}(std::move(recv));
 }
 
 /// @brief comm.gatherv(send_buf(v), [root], [recv_buf], [recv_counts[_out]],
 /// [recv_displs[_out]]): missing counts are gathered from the ranks.
 template <typename... Args>
 auto gatherv_impl(XMPI_Comm comm, Args&&... args) {
-    static_assert(
-        has_parameter_v<ParameterType::send_buf, Args...>,
-        "gatherv requires a send_buf(...) parameter");
+    KAMPING_PLAN_REQUIRE(
+        (has_parameter_v<ParameterType::send_buf, Args...>), "gatherv", "send_buf");
     KAMPING_CHECK_PARAMETERS(
         Args, "gatherv", ParameterType::send_buf, ParameterType::recv_buf, ParameterType::root,
         ParameterType::recv_counts, ParameterType::recv_displs, ParameterType::send_count);
-    auto&& send = select_parameter<ParameterType::send_buf>(args...);
+    CollectivePlan<plan_ops::gatherv, Args...> plan(comm);
+    auto&& send = ResolveSend{}(plan, args...);
     using T = buffer_value_t<decltype(send)>;
     int size = 0;
     int rank = -1;
@@ -176,41 +172,35 @@ auto gatherv_impl(XMPI_Comm comm, Args&&... args) {
     int const root_rank = get_root(comm, args...);
     int send_count = static_cast<int>(send.size());
 
-    auto counts = take_parameter_or_default<ParameterType::recv_counts>(
-        default_counts_factory<ParameterType::recv_counts>(), args...);
-    constexpr bool counts_are_input =
-        std::remove_cvref_t<decltype(counts)>::kind == BufferKind::in;
-    if constexpr (!counts_are_input) {
-        if (rank == root_rank) {
-            counts.resize_to(static_cast<std::size_t>(size));
-        }
-        throw_on_error(
-            XMPI_Gather(
-                &send_count, 1, XMPI_INT, counts.data(), 1, XMPI_INT, root_rank, comm),
-            "XMPI_Gather(recv_counts)");
-    }
+    auto counts = InferCounts<ParameterType::recv_counts>{}(
+        plan,
+        [&](auto& buffer) {
+            if (rank == root_rank) {
+                buffer.resize_to(static_cast<std::size_t>(size));
+            }
+            plan.dispatch(
+                "XMPI_Gather",
+                [&] {
+                    return XMPI_Gather(
+                        &send_count, 1, XMPI_INT, buffer.data(), 1, XMPI_INT, root_rank, comm);
+                },
+                PlanStage::infer_counts);
+        },
+        args...);
 
-    auto displs = take_parameter_or_default<ParameterType::recv_displs>(
-        default_counts_factory<ParameterType::recv_displs>(), args...);
-    constexpr bool displs_are_input =
-        std::remove_cvref_t<decltype(displs)>::kind == BufferKind::in;
-    if constexpr (!displs_are_input) {
-        if (rank == root_rank) {
-            compute_displacements(counts, displs);
-        }
-    }
+    auto displs = ComputeDispls<ParameterType::recv_displs>{}(
+        plan, counts, /*participate=*/rank == root_rank, args...);
 
-    auto recv = take_parameter_or_default<ParameterType::recv_buf>(
-        default_recv_buf_factory<T>(), args...);
-    if (rank == root_rank) {
-        recv.resize_to(total_count(counts, displs));
-    }
-    throw_on_error(
-        XMPI_Gatherv(
+    // Non-roots may carry counts (the parameter is uniform) but never have
+    // displacements; only the root derives — and needs — the total.
+    std::size_t const elements = rank == root_rank ? total_count(counts, displs) : 0;
+    auto recv = PrepareRecv<T>{}(plan, elements, /*participate=*/rank == root_rank, args...);
+    Dispatch{}(plan, "XMPI_Gatherv", [&] {
+        return XMPI_Gatherv(
             send.data(), send_count, mpi_datatype<T>(), recv.data(), counts.data(),
-            displs.data(), mpi_datatype<buffer_value_t<decltype(recv)>>(), root_rank, comm),
-        "XMPI_Gatherv");
-    return make_result(std::move(recv), std::move(counts), std::move(displs));
+            displs.data(), mpi_datatype<buffer_value_t<decltype(recv)>>(), root_rank, comm);
+    });
+    return AssembleResult{}(std::move(recv), std::move(counts), std::move(displs));
 }
 
 } // namespace kamping::internal

@@ -3,7 +3,8 @@
 /// displacement computation, default factories.
 #pragma once
 
-#include <numeric>
+#include <cstddef>
+#include <limits>
 #include <vector>
 
 #include "kamping/data_buffer.hpp"
@@ -21,23 +22,43 @@ template <typename Buffer>
 using buffer_value_t = typename std::remove_cvref_t<Buffer>::value_type;
 
 /// @brief Computes exclusive-prefix-sum displacements from counts into a
-/// displacement buffer (resized per its policy).
+/// displacement buffer (resized per its policy). Accumulates in std::size_t
+/// so intermediate sums cannot wrap the int element type; each displacement
+/// is asserted to fit before narrowing (the MPI interface carries int
+/// displacements, so > 2^31-1 total elements is a usage error, not a silent
+/// wrap).
 template <typename CountsBuffer, typename DisplsBuffer>
 void compute_displacements(CountsBuffer const& counts, DisplsBuffer& displs) {
     displs.resize_to(counts.size());
-    std::exclusive_scan(
-        counts.data(), counts.data() + counts.size(), displs.data(), 0);
+    std::size_t running = 0;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        KASSERT(
+            running <= static_cast<std::size_t>(std::numeric_limits<int>::max()),
+            "displacement overflow: " << running
+                                      << " total elements before index " << i
+                                      << " exceed the int range of MPI displacements",
+            kassert::assertion_level::normal);
+        displs.data()[i] = static_cast<int>(running);
+        running += static_cast<std::size_t>(counts.data()[i]);
+    }
 }
 
 /// @brief Sum of counts plus final displacement = total element count.
+/// Accumulated in std::size_t; asserts the int-typed inputs describe a
+/// representable total.
 template <typename CountsBuffer, typename DisplsBuffer>
 std::size_t total_count(CountsBuffer const& counts, DisplsBuffer const& displs) {
     if (counts.size() == 0) {
         return 0;
     }
     std::size_t const last = counts.size() - 1;
-    return static_cast<std::size_t>(displs.data()[last])
-           + static_cast<std::size_t>(counts.data()[last]);
+    std::size_t const total = static_cast<std::size_t>(displs.data()[last])
+                              + static_cast<std::size_t>(counts.data()[last]);
+    KASSERT(
+        total <= static_cast<std::size_t>(std::numeric_limits<int>::max()),
+        "total element count " << total << " exceeds the int range of MPI counts",
+        kassert::assertion_level::normal);
+    return total;
 }
 
 /// @brief Default factory for *internal* scratch counts/displacements: the

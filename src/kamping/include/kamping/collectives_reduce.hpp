@@ -1,9 +1,10 @@
 /// @file collectives_reduce.hpp
 /// @brief Wrappers for reductions and prefix sums: reduce, allreduce,
-/// scan, exscan, plus the _single conveniences.
+/// scan, exscan, plus the _single conveniences. All dispatch through the
+/// call plan of pipeline.hpp.
 #pragma once
 
-#include "kamping/collectives_helpers.hpp"
+#include "kamping/pipeline.hpp"
 
 namespace kamping::internal {
 
@@ -20,13 +21,12 @@ auto& get_op_parameter(Args&&... args) {
 /// is only meaningful on the root (empty container elsewhere).
 template <typename... Args>
 auto reduce_impl(XMPI_Comm comm, Args&&... args) {
-    static_assert(
-        has_parameter_v<ParameterType::send_buf, Args...>,
-        "reduce requires a send_buf(...) parameter");
+    KAMPING_PLAN_REQUIRE((has_parameter_v<ParameterType::send_buf, Args...>), "reduce", "send_buf");
     KAMPING_CHECK_PARAMETERS(
         Args, "reduce", ParameterType::send_buf, ParameterType::recv_buf, ParameterType::op,
         ParameterType::root);
-    auto&& send = select_parameter<ParameterType::send_buf>(args...);
+    CollectivePlan<plan_ops::reduce, Args...> plan(comm);
+    auto&& send = ResolveSend{}(plan, args...);
     using T = buffer_value_t<decltype(send)>;
     int rank = -1;
     XMPI_Comm_rank(comm, &rank);
@@ -35,17 +35,13 @@ auto reduce_impl(XMPI_Comm comm, Args&&... args) {
     auto&& operation = get_op_parameter(args...);
     auto activation = operation.template activate<T>();
 
-    auto recv = take_parameter_or_default<ParameterType::recv_buf>(
-        default_recv_buf_factory<T>(), args...);
-    if (rank == root_rank) {
-        recv.resize_to(send.size());
-    }
-    throw_on_error(
-        XMPI_Reduce(
+    auto recv = PrepareRecv<T>{}(plan, send.size(), /*participate=*/rank == root_rank, args...);
+    Dispatch{}(plan, "XMPI_Reduce", [&] {
+        return XMPI_Reduce(
             send.data(), recv.data(), static_cast<int>(send.size()), mpi_datatype<T>(),
-            activation.handle(), root_rank, comm),
-        "XMPI_Reduce");
-    return make_result(std::move(recv));
+            activation.handle(), root_rank, comm);
+    });
+    return AssembleResult{}(std::move(recv));
 }
 
 /// @brief comm.allreduce(send_buf(v), op(...), [recv_buf]), or the in-place
@@ -56,6 +52,7 @@ auto allreduce_impl(XMPI_Comm comm, Args&&... args) {
     KAMPING_CHECK_PARAMETERS(
         Args, "allreduce", ParameterType::send_buf, ParameterType::send_recv_buf,
         ParameterType::recv_buf, ParameterType::op);
+    CollectivePlan<plan_ops::allreduce, Args...> plan(comm);
     auto&& operation = get_op_parameter(args...);
 
     if constexpr (has_parameter_v<ParameterType::send_recv_buf, Args...>) {
@@ -67,80 +64,74 @@ auto allreduce_impl(XMPI_Comm comm, Args&&... args) {
             "KaMPIng");
         auto buffer = std::move(select_parameter<ParameterType::send_recv_buf>(args...));
         using T = buffer_value_t<decltype(buffer)>;
+        plan.note_bytes_in(buffer.size() * sizeof(T));
+        plan.note_bytes_out(buffer.size() * sizeof(T));
         auto activation = operation.template activate<T>();
-        throw_on_error(
-            XMPI_Allreduce(
+        Dispatch{}(plan, "XMPI_Allreduce", [&] {
+            return XMPI_Allreduce(
                 XMPI_IN_PLACE, buffer.data(), static_cast<int>(buffer.size()),
-                mpi_datatype<T>(), activation.handle(), comm),
-            "XMPI_Allreduce");
-        return make_result(std::move(buffer));
+                mpi_datatype<T>(), activation.handle(), comm);
+        });
+        return AssembleResult{}(std::move(buffer));
     } else {
-        static_assert(
-            has_parameter_v<ParameterType::send_buf, Args...>,
-            "allreduce requires a send_buf(...) (or send_recv_buf(...)) parameter");
-        auto&& send = select_parameter<ParameterType::send_buf>(args...);
+        KAMPING_PLAN_REQUIRE(
+            (has_parameter_v<ParameterType::send_buf, Args...>), "allreduce",
+            "send_buf (or send_recv_buf)");
+        auto&& send = ResolveSend{}(plan, args...);
         using T = buffer_value_t<decltype(send)>;
         auto activation = operation.template activate<T>();
 
-        auto recv = take_parameter_or_default<ParameterType::recv_buf>(
-            default_recv_buf_factory<T>(), args...);
-        recv.resize_to(send.size());
-        throw_on_error(
-            XMPI_Allreduce(
+        auto recv = PrepareRecv<T>{}(plan, send.size(), /*participate=*/true, args...);
+        Dispatch{}(plan, "XMPI_Allreduce", [&] {
+            return XMPI_Allreduce(
                 send.data(), recv.data(), static_cast<int>(send.size()), mpi_datatype<T>(),
-                activation.handle(), comm),
-            "XMPI_Allreduce");
-        return make_result(std::move(recv));
+                activation.handle(), comm);
+        });
+        return AssembleResult{}(std::move(recv));
     }
 }
 
 /// @brief Inclusive prefix reduction over the ranks.
 template <typename... Args>
 auto scan_impl(XMPI_Comm comm, Args&&... args) {
-    static_assert(
-        has_parameter_v<ParameterType::send_buf, Args...>,
-        "scan requires a send_buf(...) parameter");
+    KAMPING_PLAN_REQUIRE((has_parameter_v<ParameterType::send_buf, Args...>), "scan", "send_buf");
     KAMPING_CHECK_PARAMETERS(
         Args, "scan", ParameterType::send_buf, ParameterType::recv_buf, ParameterType::op);
-    auto&& send = select_parameter<ParameterType::send_buf>(args...);
+    CollectivePlan<plan_ops::scan, Args...> plan(comm);
+    auto&& send = ResolveSend{}(plan, args...);
     using T = buffer_value_t<decltype(send)>;
     auto&& operation = get_op_parameter(args...);
     auto activation = operation.template activate<T>();
-    auto recv = take_parameter_or_default<ParameterType::recv_buf>(
-        default_recv_buf_factory<T>(), args...);
-    recv.resize_to(send.size());
-    throw_on_error(
-        XMPI_Scan(
+    auto recv = PrepareRecv<T>{}(plan, send.size(), /*participate=*/true, args...);
+    Dispatch{}(plan, "XMPI_Scan", [&] {
+        return XMPI_Scan(
             send.data(), recv.data(), static_cast<int>(send.size()), mpi_datatype<T>(),
-            activation.handle(), comm),
-        "XMPI_Scan");
-    return make_result(std::move(recv));
+            activation.handle(), comm);
+    });
+    return AssembleResult{}(std::move(recv));
 }
 
 /// @brief Exclusive prefix reduction; rank 0's result is the (optional)
 /// values_on_rank_0 parameter, defaulting to a value-initialized T.
 template <typename... Args>
 auto exscan_impl(XMPI_Comm comm, Args&&... args) {
-    static_assert(
-        has_parameter_v<ParameterType::send_buf, Args...>,
-        "exscan requires a send_buf(...) parameter");
+    KAMPING_PLAN_REQUIRE((has_parameter_v<ParameterType::send_buf, Args...>), "exscan", "send_buf");
     KAMPING_CHECK_PARAMETERS(
         Args, "exscan", ParameterType::send_buf, ParameterType::recv_buf, ParameterType::op,
         ParameterType::values_on_rank_0);
-    auto&& send = select_parameter<ParameterType::send_buf>(args...);
+    CollectivePlan<plan_ops::exscan, Args...> plan(comm);
+    auto&& send = ResolveSend{}(plan, args...);
     using T = buffer_value_t<decltype(send)>;
     int rank = -1;
     XMPI_Comm_rank(comm, &rank);
     auto&& operation = get_op_parameter(args...);
     auto activation = operation.template activate<T>();
-    auto recv = take_parameter_or_default<ParameterType::recv_buf>(
-        default_recv_buf_factory<T>(), args...);
-    recv.resize_to(send.size());
-    throw_on_error(
-        XMPI_Exscan(
+    auto recv = PrepareRecv<T>{}(plan, send.size(), /*participate=*/true, args...);
+    Dispatch{}(plan, "XMPI_Exscan", [&] {
+        return XMPI_Exscan(
             send.data(), recv.data(), static_cast<int>(send.size()), mpi_datatype<T>(),
-            activation.handle(), comm),
-        "XMPI_Exscan");
+            activation.handle(), comm);
+    });
     if (rank == 0) {
         // MPI leaves rank 0's exscan output undefined; KaMPIng defines it.
         T seed{};
@@ -151,7 +142,7 @@ auto exscan_impl(XMPI_Comm comm, Args&&... args) {
             recv.data()[i] = seed;
         }
     }
-    return make_result(std::move(recv));
+    return AssembleResult{}(std::move(recv));
 }
 
 } // namespace kamping::internal

@@ -22,6 +22,7 @@
 #include "kamping/error.hpp"
 #include "kamping/nonblocking.hpp"
 #include "kamping/p2p.hpp"
+#include "kamping/pipeline.hpp"
 #include "xmpi/api.hpp"
 
 namespace kamping {
@@ -90,13 +91,16 @@ public:
     /// @name Communicator management
     /// @{
     [[nodiscard]] BasicCommunicator duplicate() const {
+        internal::CollectivePlan<internal::plan_ops::comm_dup> plan(comm_);
         XMPI_Comm duplicated = XMPI_COMM_NULL;
-        internal::throw_on_error(XMPI_Comm_dup(comm_, &duplicated), "XMPI_Comm_dup");
+        plan.dispatch("XMPI_Comm_dup", [&] { return XMPI_Comm_dup(comm_, &duplicated); });
         return BasicCommunicator(duplicated, /*owning=*/true);
     }
     [[nodiscard]] BasicCommunicator split(int color, int key = 0) const {
+        internal::CollectivePlan<internal::plan_ops::comm_split> plan(comm_);
         XMPI_Comm part = XMPI_COMM_NULL;
-        internal::throw_on_error(XMPI_Comm_split(comm_, color, key, &part), "XMPI_Comm_split");
+        plan.dispatch(
+            "XMPI_Comm_split", [&] { return XMPI_Comm_split(comm_, color, key, &part); });
         return BasicCommunicator(part, /*owning=*/true);
     }
     /// @}
@@ -104,7 +108,8 @@ public:
     /// @name Collectives
     /// @{
     void barrier() const {
-        internal::throw_on_error(XMPI_Barrier(comm_), "XMPI_Barrier");
+        internal::CollectivePlan<internal::plan_ops::barrier> plan(comm_);
+        plan.dispatch("XMPI_Barrier", [&] { return XMPI_Barrier(comm_); });
     }
 
     template <typename... Args>
@@ -115,8 +120,11 @@ public:
     /// @brief Broadcast of a single value; returns the value on every rank.
     template <typename T>
     T bcast_single(T value, int root_rank = 0) const {
-        internal::throw_on_error(
-            XMPI_Bcast(&value, 1, mpi_datatype<T>(), root_rank, comm_), "XMPI_Bcast");
+        internal::CollectivePlan<internal::plan_ops::bcast_single> plan(comm_);
+        plan.note_bytes_in(sizeof(T));
+        plan.dispatch("XMPI_Bcast", [&] {
+            return XMPI_Bcast(&value, 1, mpi_datatype<T>(), root_rank, comm_);
+        });
         return value;
     }
 
@@ -238,23 +246,25 @@ public:
     /// path).
     template <typename... Args>
     auto ibcast(Args&&... args) const {
-        static_assert(
-            internal::has_parameter_v<ParameterType::send_recv_buf, Args...>,
-            "ibcast requires a send_recv_buf(...) parameter");
+        KAMPING_PLAN_REQUIRE(
+            (internal::has_parameter_v<ParameterType::send_recv_buf, Args...>), "ibcast",
+            "send_recv_buf");
+        internal::CollectivePlan<internal::plan_ops::ibcast, Args...> plan(comm_);
         auto buffer = std::move(
             internal::select_parameter<ParameterType::send_recv_buf>(args...));
         using Buffer = std::remove_cvref_t<decltype(buffer)>;
         using T = internal::buffer_value_t<Buffer>;
+        plan.note_bytes_in(buffer.size() * sizeof(T));
         int const root_rank = internal::get_root(comm_, args...);
         XMPI_Comm const comm = comm_;
         return NonBlockingResult<Buffer>(
             [&](Buffer& stored) {
                 XMPI_Request request = XMPI_REQUEST_NULL;
-                internal::throw_on_error(
-                    XMPI_Ibcast(
+                plan.dispatch("XMPI_Ibcast", [&] {
+                    return XMPI_Ibcast(
                         stored.data(), static_cast<int>(stored.size()), mpi_datatype<T>(),
-                        root_rank, comm, &request),
-                    "XMPI_Ibcast");
+                        root_rank, comm, &request);
+                });
                 return request;
             },
             std::move(buffer));
@@ -264,13 +274,15 @@ public:
     /// non-blocking allreduce; the data is returned on wait().
     template <typename... Args>
     auto iallreduce(Args&&... args) const {
-        static_assert(
-            internal::has_parameter_v<ParameterType::send_recv_buf, Args...>,
-            "iallreduce requires a send_recv_buf(...) parameter (in-place)");
+        KAMPING_PLAN_REQUIRE(
+            (internal::has_parameter_v<ParameterType::send_recv_buf, Args...>), "iallreduce",
+            "send_recv_buf");
+        internal::CollectivePlan<internal::plan_ops::iallreduce, Args...> plan(comm_);
         auto buffer = std::move(
             internal::select_parameter<ParameterType::send_recv_buf>(args...));
         using Buffer = std::remove_cvref_t<decltype(buffer)>;
         using T = internal::buffer_value_t<Buffer>;
+        plan.note_bytes_in(buffer.size() * sizeof(T));
         auto&& operation = internal::get_op_parameter(args...);
         static_assert(
             std::remove_cvref_t<decltype(operation)>::is_stateless,
@@ -282,11 +294,11 @@ public:
         return NonBlockingResult<Buffer>(
             [&](Buffer& stored) {
                 XMPI_Request request = XMPI_REQUEST_NULL;
-                internal::throw_on_error(
-                    XMPI_Iallreduce(
+                plan.dispatch("XMPI_Iallreduce", [&] {
+                    return XMPI_Iallreduce(
                         XMPI_IN_PLACE, stored.data(), static_cast<int>(stored.size()),
-                        mpi_datatype<T>(), handle, comm, &request),
-                    "XMPI_Iallreduce");
+                        mpi_datatype<T>(), handle, comm, &request);
+                });
                 return request;
             },
             std::move(buffer));

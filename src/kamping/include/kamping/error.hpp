@@ -65,5 +65,20 @@ inline void throw_on_error(int error_code, char const* function) {
     throw MpiError(error_code, function);
 }
 
+/// @brief Like throw_on_error, but stamps the uniform call-plan context
+/// "<xmpi_function> [<op>/<stage>]" onto the exception. The string is built
+/// only on the error path; success costs a single comparison at the caller.
+[[noreturn]] inline void
+throw_op_error(int error_code, char const* xmpi_function, char const* op, char const* stage) {
+    std::string label = std::string(xmpi_function) + " [" + op + "/" + stage + "]";
+    if (error_code == XMPI_ERR_PROC_FAILED) {
+        throw MpiFailureDetected(label);
+    }
+    if (error_code == XMPI_ERR_REVOKED) {
+        throw MpiCommRevoked(label);
+    }
+    throw MpiError(error_code, label);
+}
+
 } // namespace internal
 } // namespace kamping

@@ -11,6 +11,7 @@
 #include "kamping/nonblocking.hpp"       // IWYU pragma: export
 #include "kamping/op.hpp"                // IWYU pragma: export
 #include "kamping/parameter_type.hpp"    // IWYU pragma: export
+#include "kamping/pipeline.hpp"          // IWYU pragma: export
 #include "kamping/result.hpp"            // IWYU pragma: export
 #include "kamping/serialization.hpp"     // IWYU pragma: export
 #include "kamping/utils.hpp"             // IWYU pragma: export

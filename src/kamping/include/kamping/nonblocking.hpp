@@ -14,8 +14,8 @@
 #include <utility>
 #include <vector>
 
-#include "kamping/collectives_helpers.hpp"
 #include "kamping/p2p.hpp"
+#include "kamping/pipeline.hpp"
 #include "xmpi/api.hpp"
 
 namespace kamping {
@@ -110,26 +110,29 @@ namespace internal {
 /// the buffer is owned by the returned handle and re-returned on wait().
 template <typename... Args>
 auto isend_impl(XMPI_Comm comm, Args&&... args) {
-    static_assert(
-        has_parameter_v<ParameterType::send_buf, Args...>,
-        "isend requires a send_buf(...) or send_buf_out(std::move(...)) parameter");
-    static_assert(
-        has_parameter_v<ParameterType::destination, Args...>,
-        "isend requires a destination(...) parameter");
+    KAMPING_PLAN_REQUIRE(
+        (has_parameter_v<ParameterType::send_buf, Args...>), "isend",
+        "send_buf (or send_buf_out)");
+    KAMPING_PLAN_REQUIRE(
+        (has_parameter_v<ParameterType::destination, Args...>), "isend", "destination");
+    // The plan's span covers posting the operation; completion happens in
+    // wait()/test() on the returned handle.
+    CollectivePlan<plan_ops::isend, Args...> plan(comm);
     auto send = std::move(select_parameter<ParameterType::send_buf>(args...));
     using SendBuffer = std::remove_cvref_t<decltype(send)>;
     using T = buffer_value_t<SendBuffer>;
+    plan.note_bytes_in(send.size() * sizeof(T));
     int const dest = select_parameter<ParameterType::destination>(args...).value;
     int const tag_value = get_tag(args...);
 
     return NonBlockingResult<SendBuffer>(
         [&](SendBuffer& stored) {
             XMPI_Request request = XMPI_REQUEST_NULL;
-            throw_on_error(
-                XMPI_Isend(
+            plan.dispatch("XMPI_Isend", [&] {
+                return XMPI_Isend(
                     stored.data(), static_cast<int>(stored.size()), mpi_datatype<T>(), dest,
-                    tag_value, comm, &request),
-                "XMPI_Isend");
+                    tag_value, comm, &request);
+            });
             return request;
         },
         std::move(send));
@@ -138,20 +141,22 @@ auto isend_impl(XMPI_Comm comm, Args&&... args) {
 /// @brief Synchronous-mode isend (completes when the receive matched).
 template <typename... Args>
 auto issend_impl(XMPI_Comm comm, Args&&... args) {
+    CollectivePlan<plan_ops::issend, Args...> plan(comm);
     auto send = std::move(select_parameter<ParameterType::send_buf>(args...));
     using SendBuffer = std::remove_cvref_t<decltype(send)>;
     using T = buffer_value_t<SendBuffer>;
+    plan.note_bytes_in(send.size() * sizeof(T));
     int const dest = select_parameter<ParameterType::destination>(args...).value;
     int const tag_value = get_tag(args...);
 
     return NonBlockingResult<SendBuffer>(
         [&](SendBuffer& stored) {
             XMPI_Request request = XMPI_REQUEST_NULL;
-            throw_on_error(
-                XMPI_Issend(
+            plan.dispatch("XMPI_Issend", [&] {
+                return XMPI_Issend(
                     stored.data(), static_cast<int>(stored.size()), mpi_datatype<T>(), dest,
-                    tag_value, comm, &request),
-                "XMPI_Issend");
+                    tag_value, comm, &request);
+            });
             return request;
         },
         std::move(send));
@@ -165,6 +170,7 @@ auto irecv_impl(XMPI_Comm comm, Args&&... args) {
     KAMPING_CHECK_PARAMETERS(
         Args, "irecv", ParameterType::recv_buf, ParameterType::source, ParameterType::tag,
         ParameterType::recv_count);
+    CollectivePlan<plan_ops::irecv, Args...> plan(comm);
     int source_rank = XMPI_ANY_SOURCE;
     if constexpr (has_parameter_v<ParameterType::source, Args...>) {
         source_rank = select_parameter<ParameterType::source>(args...).value;
@@ -193,15 +199,16 @@ auto irecv_impl(XMPI_Comm comm, Args&&... args) {
         count = static_cast<int>(recv.size());
     }
     recv.resize_to(static_cast<std::size_t>(count));
+    plan.note_bytes_out(static_cast<std::uint64_t>(count) * sizeof(V));
 
     return NonBlockingResult<RecvBuffer>(
         [&](RecvBuffer& stored) {
             XMPI_Request request = XMPI_REQUEST_NULL;
-            throw_on_error(
-                XMPI_Irecv(
+            plan.dispatch("XMPI_Irecv", [&] {
+                return XMPI_Irecv(
                     stored.data(), count, mpi_datatype<V>(), source_rank, tag_value, comm,
-                    &request),
-                "XMPI_Irecv");
+                    &request);
+            });
             return request;
         },
         std::move(recv));

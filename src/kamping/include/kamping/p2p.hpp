@@ -1,10 +1,11 @@
 /// @file p2p.hpp
-/// @brief Blocking point-to-point wrappers: send, ssend, recv, probe.
+/// @brief Blocking point-to-point wrappers: send, ssend, recv, probe. All
+/// dispatch through the call plan of pipeline.hpp.
 #pragma once
 
 #include <optional>
 
-#include "kamping/collectives_helpers.hpp"
+#include "kamping/pipeline.hpp"
 #include "kamping/serialization.hpp"
 
 namespace kamping::internal {
@@ -21,16 +22,14 @@ int get_tag(Args&&... args) {
 /// @brief comm.send(send_buf(v), destination(d), [tag], [send_count]).
 template <typename... Args>
 void send_impl(XMPI_Comm comm, Args&&... args) {
-    static_assert(
-        has_parameter_v<ParameterType::send_buf, Args...>,
-        "send requires a send_buf(...) parameter");
-    static_assert(
-        has_parameter_v<ParameterType::destination, Args...>,
-        "send requires a destination(...) parameter");
+    KAMPING_PLAN_REQUIRE((has_parameter_v<ParameterType::send_buf, Args...>), "send", "send_buf");
+    KAMPING_PLAN_REQUIRE(
+        (has_parameter_v<ParameterType::destination, Args...>), "send", "destination");
     KAMPING_CHECK_PARAMETERS(
         Args, "send", ParameterType::send_buf, ParameterType::destination, ParameterType::tag,
         ParameterType::send_count, ParameterType::send_mode);
-    auto&& send = select_parameter<ParameterType::send_buf>(args...);
+    CollectivePlan<plan_ops::send, Args...> plan(comm);
+    auto&& send = ResolveSend{}(plan, args...);
     using T = buffer_value_t<decltype(send)>;
     int const dest = select_parameter<ParameterType::destination>(args...).value;
     int count = static_cast<int>(send.size());
@@ -49,33 +48,31 @@ void send_impl(XMPI_Comm comm, Args&&... args) {
         }
     }();
     if constexpr (synchronous) {
-        throw_on_error(
-            XMPI_Ssend(send.data(), count, mpi_datatype<T>(), dest, get_tag(args...), comm),
-            "XMPI_Ssend");
+        Dispatch{}(plan, "XMPI_Ssend", [&] {
+            return XMPI_Ssend(send.data(), count, mpi_datatype<T>(), dest, get_tag(args...), comm);
+        });
     } else {
-        throw_on_error(
-            XMPI_Send(send.data(), count, mpi_datatype<T>(), dest, get_tag(args...), comm),
-            "XMPI_Send");
+        Dispatch{}(plan, "XMPI_Send", [&] {
+            return XMPI_Send(send.data(), count, mpi_datatype<T>(), dest, get_tag(args...), comm);
+        });
     }
 }
 
 /// @brief Synchronous-mode send: completes only once the receive matched.
 template <typename... Args>
 void ssend_impl(XMPI_Comm comm, Args&&... args) {
-    static_assert(
-        has_parameter_v<ParameterType::send_buf, Args...>,
-        "ssend requires a send_buf(...) parameter");
-    static_assert(
-        has_parameter_v<ParameterType::destination, Args...>,
-        "ssend requires a destination(...) parameter");
-    auto&& send = select_parameter<ParameterType::send_buf>(args...);
+    KAMPING_PLAN_REQUIRE((has_parameter_v<ParameterType::send_buf, Args...>), "ssend", "send_buf");
+    KAMPING_PLAN_REQUIRE(
+        (has_parameter_v<ParameterType::destination, Args...>), "ssend", "destination");
+    CollectivePlan<plan_ops::ssend, Args...> plan(comm);
+    auto&& send = ResolveSend{}(plan, args...);
     using T = buffer_value_t<decltype(send)>;
     int const dest = select_parameter<ParameterType::destination>(args...).value;
-    throw_on_error(
-        XMPI_Ssend(
+    Dispatch{}(plan, "XMPI_Ssend", [&] {
+        return XMPI_Ssend(
             send.data(), static_cast<int>(send.size()), mpi_datatype<T>(), dest,
-            get_tag(args...), comm),
-        "XMPI_Ssend");
+            get_tag(args...), comm);
+    });
 }
 
 /// @brief comm.recv<T>([source], [tag], [recv_buf], [recv_count[_out]]).
@@ -88,6 +85,7 @@ auto recv_impl(XMPI_Comm comm, Args&&... args) {
     KAMPING_CHECK_PARAMETERS(
         Args, "recv", ParameterType::recv_buf, ParameterType::source, ParameterType::tag,
         ParameterType::recv_count, ParameterType::status);
+    CollectivePlan<plan_ops::recv, Args...> plan(comm);
     int source_rank = XMPI_ANY_SOURCE;
     if constexpr (has_parameter_v<ParameterType::source, Args...>) {
         source_rank = select_parameter<ParameterType::source>(args...).value;
@@ -97,10 +95,6 @@ auto recv_impl(XMPI_Comm comm, Args&&... args) {
         tag_value = select_parameter<ParameterType::tag>(args...).value;
     }
 
-    auto recv = take_parameter_or_default<ParameterType::recv_buf>(
-        default_recv_buf_factory<T>(), args...);
-    using V = buffer_value_t<decltype(recv)>;
-
     int count = -1;
     if constexpr (has_parameter_v<ParameterType::recv_count, Args...>) {
         using CountParam = std::remove_cvref_t<
@@ -109,12 +103,18 @@ auto recv_impl(XMPI_Comm comm, Args&&... args) {
             count = select_parameter<ParameterType::recv_count>(args...).value;
         }
     }
+    using V = buffer_value_t<decltype(take_parameter_or_default<ParameterType::recv_buf>(
+        default_recv_buf_factory<T>(), args...))>;
     if (count < 0) {
         // Probe to learn the payload size; then receive exactly that
         // message (matching the probed source/tag, which pins it under
         // wildcards by the non-overtaking rule).
         xmpi::Status status;
-        throw_on_error(XMPI_Probe(source_rank, tag_value, comm, &status), "XMPI_Probe");
+        plan.note_count_exchange();
+        plan.dispatch(
+            "XMPI_Probe",
+            [&] { return XMPI_Probe(source_rank, tag_value, comm, &status); },
+            PlanStage::infer_counts);
         int type_size = 0;
         XMPI_Type_size(mpi_datatype<V>(), &type_size);
         count = status.count(static_cast<std::size_t>(type_size));
@@ -122,12 +122,13 @@ auto recv_impl(XMPI_Comm comm, Args&&... args) {
         tag_value = status.tag;
     }
 
-    recv.resize_to(static_cast<std::size_t>(count));
+    auto recv =
+        PrepareRecv<T>{}(plan, static_cast<std::size_t>(count), /*participate=*/true, args...);
     xmpi::Status status;
-    throw_on_error(
-        XMPI_Recv(
-            recv.data(), count, mpi_datatype<V>(), source_rank, tag_value, comm, &status),
-        "XMPI_Recv");
+    Dispatch{}(plan, "XMPI_Recv", [&] {
+        return XMPI_Recv(
+            recv.data(), count, mpi_datatype<V>(), source_rank, tag_value, comm, &status);
+    });
 
     // Optional out-values: the element count and the receive status.
     auto count_param =
@@ -138,12 +139,13 @@ auto recv_impl(XMPI_Comm comm, Args&&... args) {
     auto status_param =
         take_out_parameter_or_ignore<ParameterType::status, xmpi::Status>(args...);
     status_param.set(status);
-    return make_result(std::move(recv), std::move(count_param), std::move(status_param));
+    return AssembleResult{}(std::move(recv), std::move(count_param), std::move(status_param));
 }
 
 /// @brief comm.probe([source], [tag]) -> xmpi::Status.
 template <typename... Args>
 xmpi::Status probe_impl(XMPI_Comm comm, Args&&... args) {
+    CollectivePlan<plan_ops::probe, Args...> plan(comm);
     int source_rank = XMPI_ANY_SOURCE;
     if constexpr (has_parameter_v<ParameterType::source, Args...>) {
         source_rank = select_parameter<ParameterType::source>(args...).value;
@@ -153,13 +155,16 @@ xmpi::Status probe_impl(XMPI_Comm comm, Args&&... args) {
         tag_value = select_parameter<ParameterType::tag>(args...).value;
     }
     xmpi::Status status;
-    throw_on_error(XMPI_Probe(source_rank, tag_value, comm, &status), "XMPI_Probe");
+    Dispatch{}(plan, "XMPI_Probe", [&] {
+        return XMPI_Probe(source_rank, tag_value, comm, &status);
+    });
     return status;
 }
 
 /// @brief comm.iprobe([source], [tag]) -> std::optional<xmpi::Status>.
 template <typename... Args>
 std::optional<xmpi::Status> iprobe_impl(XMPI_Comm comm, Args&&... args) {
+    CollectivePlan<plan_ops::iprobe, Args...> plan(comm);
     int source_rank = XMPI_ANY_SOURCE;
     if constexpr (has_parameter_v<ParameterType::source, Args...>) {
         source_rank = select_parameter<ParameterType::source>(args...).value;
@@ -170,7 +175,9 @@ std::optional<xmpi::Status> iprobe_impl(XMPI_Comm comm, Args&&... args) {
     }
     xmpi::Status status;
     int flag = 0;
-    throw_on_error(XMPI_Iprobe(source_rank, tag_value, comm, &flag, &status), "XMPI_Iprobe");
+    Dispatch{}(plan, "XMPI_Iprobe", [&] {
+        return XMPI_Iprobe(source_rank, tag_value, comm, &flag, &status);
+    });
     if (flag == 0) {
         return std::nullopt;
     }

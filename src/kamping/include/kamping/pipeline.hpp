@@ -1,0 +1,319 @@
+/// @file pipeline.hpp
+/// @brief The compile-time call plan behind every KaMPIng wrapper.
+///
+/// Each binding operation is the same five-stage sequence (the paper's
+/// Fig. 2): select parameters, infer missing counts, compute displacements,
+/// size receive buffers per their resize policy, dispatch to XMPI, assemble
+/// the result. This header factors that sequence into stage functors
+/// (ResolveSend, InferCounts, ComputeDispls, PrepareRecv, Dispatch,
+/// AssembleResult) composed per operation by a CollectivePlan template, so
+/// wrappers and plugins state *which* stages they need instead of re-rolling
+/// the boilerplate.
+///
+/// The plan doubles as a tracing seam: a compile-time TraceSink policy
+/// decides what a plan records. The default sink forwards to
+/// xmpi::profile's span storage but is gated on a single relaxed atomic
+/// load, so with tracing disabled the entire seam costs one branch per
+/// operation (verified by bench_overhead_micro); compiling with
+/// -DKAMPING_TRACING_DISABLED selects the no-op sink and removes even that.
+/// When tracing is enabled (kamping::tracing::enable()), each plan emits one
+/// span per operation: wall time, bytes in/out, whether a count exchange was
+/// instantiated, and the xmpi collective algorithm chosen.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+
+#include "kamping/collectives_helpers.hpp"
+#include "xmpi/api.hpp"
+#include "xmpi/profile.hpp"
+
+namespace kamping::tracing {
+
+/// @brief True iff span recording is enabled (process-wide).
+inline bool enabled() { return xmpi::profile::tracing_enabled(); }
+/// @brief Enables span recording for all subsequent operations.
+inline void enable() { xmpi::profile::set_tracing_enabled(true); }
+/// @brief Disables span recording. Operations already in flight finish
+/// their span (the plan latches the flag at construction).
+inline void disable() { xmpi::profile::set_tracing_enabled(false); }
+
+/// @brief Sink that records nothing; active() is a compile-time false, so
+/// every tracing branch in the plan is dead code the optimizer removes.
+struct NoopSink {
+    static constexpr bool active() { return false; }
+    static void record(xmpi::profile::Span const&) {}
+};
+
+/// @brief Sink that feeds spans into xmpi::profile's span log; activity is
+/// one relaxed atomic load.
+struct ProfileSink {
+    static bool active() { return xmpi::profile::tracing_enabled(); }
+    static void record(xmpi::profile::Span const& span) { xmpi::profile::record_span(span); }
+};
+
+#ifdef KAMPING_TRACING_DISABLED
+using DefaultSink = NoopSink;
+#else
+using DefaultSink = ProfileSink;
+#endif
+
+} // namespace kamping::tracing
+
+namespace kamping::internal {
+
+/// @brief The stages of a call plan; dispatch errors are stamped with the
+/// stage they occurred in.
+enum class PlanStage {
+    resolve_send,
+    infer_counts,
+    compute_displs,
+    prepare_recv,
+    dispatch,
+    assemble_result,
+};
+
+[[nodiscard]] constexpr char const* plan_stage_name(PlanStage stage) {
+    switch (stage) {
+        case PlanStage::resolve_send:
+            return "resolve_send";
+        case PlanStage::infer_counts:
+            return "infer_counts";
+        case PlanStage::compute_displs:
+            return "compute_displs";
+        case PlanStage::prepare_recv:
+            return "prepare_recv";
+        case PlanStage::dispatch:
+            return "dispatch";
+        case PlanStage::assemble_result:
+            return "assemble_result";
+    }
+    return "unknown";
+}
+
+/// @brief Compile-time identity of a planned operation. Passed as a
+/// non-type template parameter so the operation name is baked into the
+/// plan's type (and thus into error messages and spans) at zero cost.
+struct OpDescriptor {
+    char const* name;
+};
+
+/// @brief One descriptor per planned operation, shared by wrappers, plugins
+/// and tests.
+namespace plan_ops {
+inline constexpr OpDescriptor gather{"gather"};
+inline constexpr OpDescriptor gatherv{"gatherv"};
+inline constexpr OpDescriptor allgather{"allgather"};
+inline constexpr OpDescriptor allgatherv{"allgatherv"};
+inline constexpr OpDescriptor alltoall{"alltoall"};
+inline constexpr OpDescriptor alltoallv{"alltoallv"};
+inline constexpr OpDescriptor scatter{"scatter"};
+inline constexpr OpDescriptor scatterv{"scatterv"};
+inline constexpr OpDescriptor reduce{"reduce"};
+inline constexpr OpDescriptor allreduce{"allreduce"};
+inline constexpr OpDescriptor scan{"scan"};
+inline constexpr OpDescriptor exscan{"exscan"};
+inline constexpr OpDescriptor bcast{"bcast"};
+inline constexpr OpDescriptor bcast_single{"bcast_single"};
+inline constexpr OpDescriptor barrier{"barrier"};
+inline constexpr OpDescriptor send{"send"};
+inline constexpr OpDescriptor ssend{"ssend"};
+inline constexpr OpDescriptor recv{"recv"};
+inline constexpr OpDescriptor probe{"probe"};
+inline constexpr OpDescriptor iprobe{"iprobe"};
+inline constexpr OpDescriptor isend{"isend"};
+inline constexpr OpDescriptor issend{"issend"};
+inline constexpr OpDescriptor irecv{"irecv"};
+inline constexpr OpDescriptor ibcast{"ibcast"};
+inline constexpr OpDescriptor iallreduce{"iallreduce"};
+inline constexpr OpDescriptor comm_dup{"comm_dup"};
+inline constexpr OpDescriptor comm_split{"comm_split"};
+inline constexpr OpDescriptor grid_alltoallv{"grid_alltoallv"};
+inline constexpr OpDescriptor hypergrid_alltoallv{"hypergrid_alltoallv"};
+inline constexpr OpDescriptor sparse_alltoallv{"sparse_alltoallv"};
+inline constexpr OpDescriptor ulfm_recovery{"ulfm_recovery"};
+} // namespace plan_ops
+
+/// @brief Uniform missing-parameter diagnostic for planned operations; the
+/// negative-compile tests assert on this exact wording.
+#define KAMPING_PLAN_REQUIRE(COND, OP, PARAM)                                                     \
+    static_assert(COND, "the " OP " call plan is missing its required " PARAM " parameter")
+
+/// @brief One in-flight binding operation: error-stamping dispatcher plus
+/// tracing state. Constructed at wrapper entry, destroyed after the result
+/// is assembled — the emitted span therefore covers all six stages.
+///
+/// @tparam Op The operation's descriptor (plan_ops::...).
+/// @tparam TraceSink Tracing policy; tracing::NoopSink compiles all
+/// recording away, tracing::ProfileSink gates it on one atomic load.
+/// The tracing flag is latched at construction, so a concurrent
+/// enable()/disable() yields either a complete span or none.
+template <OpDescriptor const& Op, typename TraceSink>
+class BasicCallPlan {
+public:
+    explicit BasicCallPlan(XMPI_Comm comm) : comm_(comm), tracing_(TraceSink::active()) {
+        if (tracing_) {
+            (void)xmpi::profile::take_algorithm(); // drop stale notes
+            start_s_ = XMPI_Wtime();
+        }
+    }
+
+    BasicCallPlan(BasicCallPlan const&) = delete;
+    BasicCallPlan& operator=(BasicCallPlan const&) = delete;
+
+    ~BasicCallPlan() {
+        if (tracing_) {
+            xmpi::profile::Span span;
+            span.op = Op.name;
+            span.algorithm = xmpi::profile::take_algorithm();
+            span.start_s = start_s_;
+            span.duration_s = XMPI_Wtime() - start_s_;
+            span.bytes_in = bytes_in_;
+            span.bytes_out = bytes_out_;
+            span.count_exchange = count_exchange_;
+            try {
+                TraceSink::record(span);
+            } catch (...) {
+                // Recording must never mask the operation's own exception.
+            }
+        }
+    }
+
+    [[nodiscard]] XMPI_Comm comm() const { return comm_; }
+
+    /// @brief Runs an XMPI call and converts a failure code into an
+    /// exception stamped "<xmpi_function> [<op>/<stage>]".
+    template <typename Fn>
+    void dispatch(char const* xmpi_function, Fn&& fn, PlanStage stage = PlanStage::dispatch) {
+        if (int const code = std::forward<Fn>(fn)(); code != XMPI_SUCCESS) {
+            throw_op_error(code, xmpi_function, Op.name, plan_stage_name(stage));
+        }
+    }
+
+    /// @name Span bookkeeping (no-ops while the latched flag is off)
+    /// @{
+    void note_bytes_in(std::uint64_t bytes) {
+        if (tracing_) {
+            bytes_in_ += bytes;
+        }
+    }
+    void note_bytes_out(std::uint64_t bytes) {
+        if (tracing_) {
+            bytes_out_ += bytes;
+        }
+    }
+    void note_count_exchange() {
+        if (tracing_) {
+            count_exchange_ = true;
+        }
+    }
+    /// @}
+
+private:
+    XMPI_Comm comm_;
+    bool tracing_;
+    double start_s_ = 0.0;
+    std::uint64_t bytes_in_ = 0;
+    std::uint64_t bytes_out_ = 0;
+    bool count_exchange_ = false;
+};
+
+/// @brief The plan type the wrappers instantiate: one per operation and
+/// argument list, traced through the default sink. The Args anchor the
+/// plan's type to the call site, mirroring how the named-parameter set
+/// shapes the generated code path.
+template <OpDescriptor const& Op, typename... Args>
+using CollectivePlan = BasicCallPlan<Op, tracing::DefaultSink>;
+
+// ---------------------------------------------------------------------------
+// Stage functors
+// ---------------------------------------------------------------------------
+
+/// @brief Stage 1: selects the send buffer and notes its payload size.
+struct ResolveSend {
+    template <typename Plan, typename... Args>
+    decltype(auto) operator()(Plan& plan, Args&&... args) const {
+        auto&& send = select_parameter<ParameterType::send_buf>(args...);
+        plan.note_bytes_in(send.size() * sizeof(buffer_value_t<decltype(send)>));
+        return std::forward<decltype(send)>(send);
+    }
+};
+
+/// @brief Stage 2: takes the caller's count buffer, or infers the counts by
+/// running @p exchange — a callable performing the operation-specific count
+/// exchange (allgather of the send count, alltoall of the send counts, ...).
+/// The exchange is *instantiated only when the parameter is absent or
+/// out-requested*: with caller-provided counts its body never compiles,
+/// preserving the zero-overhead contract.
+template <ParameterType Parameter>
+struct InferCounts {
+    template <typename Plan, typename Exchange, typename... Args>
+    auto operator()(Plan& plan, Exchange&& exchange, Args&&... args) const {
+        auto counts =
+            take_parameter_or_default<Parameter>(default_counts_factory<Parameter>(), args...);
+        if constexpr (std::remove_cvref_t<decltype(counts)>::kind != BufferKind::in) {
+            plan.note_count_exchange();
+            std::forward<Exchange>(exchange)(counts);
+        }
+        return counts;
+    }
+};
+
+/// @brief Stage 3: takes the caller's displacement buffer, or computes an
+/// exclusive prefix sum over @p counts. @p participate gates the local
+/// computation for rooted collectives (non-roots keep the buffer empty).
+template <ParameterType Parameter>
+struct ComputeDispls {
+    template <typename Plan, typename CountsBuffer, typename... Args>
+    auto operator()(
+        [[maybe_unused]] Plan& plan, CountsBuffer const& counts, bool participate,
+        Args&&... args) const {
+        auto displs =
+            take_parameter_or_default<Parameter>(default_counts_factory<Parameter>(), args...);
+        if constexpr (std::remove_cvref_t<decltype(displs)>::kind != BufferKind::in) {
+            if (participate) {
+                compute_displacements(counts, displs);
+            }
+        }
+        return displs;
+    }
+};
+
+/// @brief Stage 4: takes or allocates the receive buffer, resizes it to
+/// @p elements per its resize policy, and notes the outgoing payload size.
+/// @p participate gates sizing for rooted collectives.
+template <typename T>
+struct PrepareRecv {
+    template <typename Plan, typename... Args>
+    auto operator()(Plan& plan, std::size_t elements, bool participate, Args&&... args) const {
+        auto recv =
+            take_parameter_or_default<ParameterType::recv_buf>(default_recv_buf_factory<T>(), args...);
+        if (participate) {
+            recv.resize_to(elements);
+            plan.note_bytes_out(elements * sizeof(buffer_value_t<decltype(recv)>));
+        }
+        return recv;
+    }
+};
+
+/// @brief Stage 5: dispatches the main XMPI call through the plan, which
+/// stamps op and stage onto any error.
+struct Dispatch {
+    template <typename Plan, typename Fn>
+    void operator()(Plan& plan, char const* xmpi_function, Fn&& fn) const {
+        plan.dispatch(xmpi_function, std::forward<Fn>(fn));
+    }
+};
+
+/// @brief Stage 6: moves the buffers into the operation's result following
+/// the 0/1/n rule of make_result.
+struct AssembleResult {
+    template <typename... Buffers>
+    auto operator()(Buffers&&... buffers) const {
+        return make_result(std::forward<Buffers>(buffers)...);
+    }
+};
+
+} // namespace kamping::internal

@@ -23,6 +23,7 @@
 #include "kamping/error.hpp"
 #include "kamping/mpi_datatype.hpp"
 #include "kamping/named_parameters.hpp"
+#include "kamping/pipeline.hpp"
 #include "kamping/plugin/plugin_helpers.hpp"
 #include "xmpi/api.hpp"
 
@@ -47,6 +48,9 @@ public:
     alltoallv_grid(std::vector<T> const& data, std::vector<int> const& counts) const {
         static_assert(std::is_trivially_copyable_v<T>);
         auto const& comm = this->self();
+        kamping::internal::CollectivePlan<kamping::internal::plan_ops::grid_alltoallv> plan(
+            comm.mpi_communicator());
+        plan.note_bytes_in(data.size() * sizeof(T));
         int const p = comm.size_signed();
         int const me = comm.rank();
         int const columns = grid_columns(p);
@@ -92,7 +96,7 @@ public:
             }
         }
         auto const phase1_received =
-            exchange_frames(comm, phase1_buckets, send_peers, recv_peers, /*phase=*/1);
+            exchange_frames(plan, comm, phase1_buckets, send_peers, recv_peers, /*phase=*/1);
 
         // --- Phase 2: re-bucket by final destination, ship within the row. --
         std::vector<std::vector<std::byte>> phase2_buckets(static_cast<std::size_t>(p));
@@ -109,12 +113,13 @@ public:
             row_peers.push_back(rank);
         }
         auto const phase2_received =
-            exchange_frames(comm, phase2_buckets, row_peers, row_peers, /*phase=*/2);
+            exchange_frames(plan, comm, phase2_buckets, row_peers, row_peers, /*phase=*/2);
 
         std::vector<GridMessage<T>> messages;
         for_each_frame<T>(phase2_received, [&](int source, int destination, T const* payload,
                                                std::size_t count) {
             THROWING_KASSERT(destination == me, "grid routing delivered to the wrong rank");
+            plan.note_bytes_out(count * sizeof(T));
             messages.push_back(GridMessage<T>{source, std::vector<T>(payload, payload + count)});
         });
         return messages;
@@ -154,6 +159,11 @@ public:
         std::vector<T> const& data, std::vector<int> const& counts, int dimensions) const {
         static_assert(std::is_trivially_copyable_v<T>);
         auto const& comm = this->self();
+        kamping::internal::CollectivePlan<kamping::internal::plan_ops::hypergrid_alltoallv> plan(
+            comm.mpi_communicator());
+        plan.note_bytes_in(data.size() * sizeof(T));
+        // Each hop's NBX exchange discovers sizes by probing.
+        plan.note_count_exchange();
         int const p = comm.size_signed();
         int const me = comm.rank();
         THROWING_KASSERT(dimensions >= 1, "hypergrid needs at least one dimension");
@@ -216,6 +226,7 @@ public:
             in_flight, [&](int source, int destination, T const* payload, std::size_t count) {
                 THROWING_KASSERT(
                     destination == me, "hypergrid routing delivered to the wrong rank");
+                plan.note_bytes_out(count * sizeof(T));
                 messages.push_back(
                     GridMessage<T>{source, std::vector<T>(payload, payload + count)});
             });
@@ -259,28 +270,48 @@ private:
 
     /// @brief One grid hop: exchange byte buckets with the given peers —
     /// O(|peers|) = O(sqrt p) message start-ups. Buckets destined to ranks
-    /// outside send_peers must be empty by construction of the routing.
+    /// outside send_peers must be empty by construction of the routing. Every
+    /// XMPI call dispatches through the caller's plan, which stamps op and
+    /// stage onto errors (the size exchange is the plan's count exchange).
+    template <typename Plan>
     [[nodiscard]] std::vector<std::byte> exchange_frames(
-        Comm const& comm, std::vector<std::vector<std::byte>> const& buckets,
+        Plan& plan, Comm const& comm, std::vector<std::vector<std::byte>> const& buckets,
         std::vector<int> const& send_peers, std::vector<int> const& recv_peers,
         int phase) const {
+        using kamping::internal::PlanStage;
         // Exchange sizes first, then payloads.
+        plan.note_count_exchange();
         std::vector<XMPI_Request> size_requests(recv_peers.size());
         std::vector<std::uint64_t> incoming_sizes(recv_peers.size(), 0);
         for (std::size_t i = 0; i < recv_peers.size(); ++i) {
-            XMPI_Irecv(
-                &incoming_sizes[i], sizeof(std::uint64_t), XMPI_BYTE, recv_peers[i],
-                grid_size_tag(phase), comm.mpi_communicator(), &size_requests[i]);
+            plan.dispatch(
+                "XMPI_Irecv",
+                [&] {
+                    return XMPI_Irecv(
+                        &incoming_sizes[i], sizeof(std::uint64_t), XMPI_BYTE, recv_peers[i],
+                        grid_size_tag(phase), comm.mpi_communicator(), &size_requests[i]);
+                },
+                PlanStage::infer_counts);
         }
         for (int peer: send_peers) {
             std::uint64_t const size = buckets[static_cast<std::size_t>(peer)].size();
-            XMPI_Send(
-                &size, sizeof(std::uint64_t), XMPI_BYTE, peer, grid_size_tag(phase),
-                comm.mpi_communicator());
+            plan.dispatch(
+                "XMPI_Send",
+                [&] {
+                    return XMPI_Send(
+                        &size, sizeof(std::uint64_t), XMPI_BYTE, peer, grid_size_tag(phase),
+                        comm.mpi_communicator());
+                },
+                PlanStage::infer_counts);
         }
-        XMPI_Waitall(
-            static_cast<int>(size_requests.size()), size_requests.data(),
-            XMPI_STATUSES_IGNORE);
+        plan.dispatch(
+            "XMPI_Waitall",
+            [&] {
+                return XMPI_Waitall(
+                    static_cast<int>(size_requests.size()), size_requests.data(),
+                    XMPI_STATUSES_IGNORE);
+            },
+            PlanStage::infer_counts);
 
         std::vector<std::vector<std::byte>> incoming(recv_peers.size());
         std::vector<XMPI_Request> payload_requests;
@@ -289,23 +320,30 @@ private:
             incoming[i].resize(incoming_sizes[i]);
             if (incoming_sizes[i] > 0) {
                 XMPI_Request request = XMPI_REQUEST_NULL;
-                XMPI_Irecv(
-                    incoming[i].data(), static_cast<int>(incoming_sizes[i]), XMPI_BYTE,
-                    recv_peers[i], grid_payload_tag(phase), comm.mpi_communicator(), &request);
+                plan.dispatch("XMPI_Irecv", [&] {
+                    return XMPI_Irecv(
+                        incoming[i].data(), static_cast<int>(incoming_sizes[i]), XMPI_BYTE,
+                        recv_peers[i], grid_payload_tag(phase), comm.mpi_communicator(),
+                        &request);
+                });
                 payload_requests.push_back(request);
             }
         }
         for (int peer: send_peers) {
             auto const& bucket = buckets[static_cast<std::size_t>(peer)];
             if (!bucket.empty()) {
-                XMPI_Send(
-                    bucket.data(), static_cast<int>(bucket.size()), XMPI_BYTE, peer,
-                    grid_payload_tag(phase), comm.mpi_communicator());
+                plan.dispatch("XMPI_Send", [&] {
+                    return XMPI_Send(
+                        bucket.data(), static_cast<int>(bucket.size()), XMPI_BYTE, peer,
+                        grid_payload_tag(phase), comm.mpi_communicator());
+                });
             }
         }
-        XMPI_Waitall(
-            static_cast<int>(payload_requests.size()), payload_requests.data(),
-            XMPI_STATUSES_IGNORE);
+        plan.dispatch("XMPI_Waitall", [&] {
+            return XMPI_Waitall(
+                static_cast<int>(payload_requests.size()), payload_requests.data(),
+                XMPI_STATUSES_IGNORE);
+        });
 
         std::vector<std::byte> merged;
         for (auto const& chunk: incoming) {

@@ -18,6 +18,7 @@
 
 #include "kamping/error.hpp"
 #include "kamping/mpi_datatype.hpp"
+#include "kamping/pipeline.hpp"
 #include "kamping/plugin/plugin_helpers.hpp"
 #include "xmpi/api.hpp"
 
@@ -45,6 +46,11 @@ public:
             has_static_type<T>, "sparse alltoall requires statically typed elements");
         auto const& comm = this->self();
         XMPI_Comm const handle = comm.mpi_communicator();
+        kamping::internal::CollectivePlan<kamping::internal::plan_ops::sparse_alltoallv> plan(
+            handle);
+        // NBX never pre-negotiates counts: receivers discover message sizes
+        // by probing, which is this plan's count exchange.
+        plan.note_count_exchange();
         int const round_tag =
             internal::nbx_tag_base + (nbx_round_++ % internal::nbx_tag_rounds);
 
@@ -54,11 +60,12 @@ public:
         send_requests.reserve(messages.size());
         for (auto const& [destination, payload]: messages) {
             XMPI_Request request = XMPI_REQUEST_NULL;
-            kamping::internal::throw_on_error(
-                XMPI_Issend(
+            plan.note_bytes_in(payload.size() * sizeof(T));
+            plan.dispatch("XMPI_Issend", [&] {
+                return XMPI_Issend(
                     payload.data(), static_cast<int>(payload.size()), mpi_datatype<T>(),
-                    destination, round_tag, handle, &request),
-                "XMPI_Issend");
+                    destination, round_tag, handle, &request);
+            });
             send_requests.push_back(request);
         }
 
@@ -70,9 +77,10 @@ public:
         while (true) {
             int flag = 0;
             xmpi::Status status;
-            kamping::internal::throw_on_error(
-                XMPI_Iprobe(XMPI_ANY_SOURCE, round_tag, handle, &flag, &status),
-                "XMPI_Iprobe");
+            plan.dispatch(
+                "XMPI_Iprobe",
+                [&] { return XMPI_Iprobe(XMPI_ANY_SOURCE, round_tag, handle, &flag, &status); },
+                kamping::internal::PlanStage::infer_counts);
             if (flag == 0) {
                 // Idle poll: hand the core to other ranks (on real MPI the
                 // progress engine does the equivalent).
@@ -83,29 +91,31 @@ public:
                 XMPI_Type_size(mpi_datatype<T>(), &type_size);
                 int const count = status.count(static_cast<std::size_t>(type_size));
                 std::vector<T> payload(static_cast<std::size_t>(count));
-                kamping::internal::throw_on_error(
-                    XMPI_Recv(
+                plan.note_bytes_out(payload.size() * sizeof(T));
+                plan.dispatch("XMPI_Recv", [&] {
+                    return XMPI_Recv(
                         payload.data(), count, mpi_datatype<T>(), status.source,
-                        round_tag, handle, XMPI_STATUS_IGNORE),
-                    "XMPI_Recv");
+                        round_tag, handle, XMPI_STATUS_IGNORE);
+                });
                 on_message(status.source, std::move(payload));
             }
             if (!barrier_activated) {
                 int all_sent = 0;
-                kamping::internal::throw_on_error(
-                    XMPI_Testall(
+                plan.dispatch("XMPI_Testall", [&] {
+                    return XMPI_Testall(
                         static_cast<int>(send_requests.size()), send_requests.data(), &all_sent,
-                        XMPI_STATUSES_IGNORE),
-                    "XMPI_Testall");
+                        XMPI_STATUSES_IGNORE);
+                });
                 if (all_sent != 0) {
-                    kamping::internal::throw_on_error(
-                        XMPI_Ibarrier(handle, &barrier_request), "XMPI_Ibarrier");
+                    plan.dispatch(
+                        "XMPI_Ibarrier", [&] { return XMPI_Ibarrier(handle, &barrier_request); });
                     barrier_activated = true;
                 }
             } else {
                 int done = 0;
-                kamping::internal::throw_on_error(
-                    XMPI_Test(&barrier_request, &done, XMPI_STATUS_IGNORE), "XMPI_Test");
+                plan.dispatch("XMPI_Test", [&] {
+                    return XMPI_Test(&barrier_request, &done, XMPI_STATUS_IGNORE);
+                });
                 if (done != 0) {
                     break;
                 }

@@ -17,6 +17,7 @@
 #pragma once
 
 #include "kamping/error.hpp"
+#include "kamping/pipeline.hpp"
 #include "kamping/plugin/plugin_helpers.hpp"
 #include "xmpi/api.hpp"
 
@@ -35,24 +36,32 @@ public:
     /// @brief Revokes the communicator: every pending and future operation
     /// on it (except shrink/agree) fails with MpiCommRevoked on all ranks.
     void revoke() {
-        kamping::internal::throw_on_error(
-            XMPI_Comm_revoke(this->self().mpi_communicator()), "XMPI_Comm_revoke");
+        kamping::internal::CollectivePlan<kamping::internal::plan_ops::ulfm_recovery> plan(
+            this->self().mpi_communicator());
+        plan.dispatch(
+            "XMPI_Comm_revoke", [&] { return XMPI_Comm_revoke(this->self().mpi_communicator()); });
     }
 
     /// @brief Builds a new communicator containing only the surviving
     /// processes (collective over the survivors).
     [[nodiscard]] Comm shrink() {
+        kamping::internal::CollectivePlan<kamping::internal::plan_ops::ulfm_recovery> plan(
+            this->self().mpi_communicator());
         XMPI_Comm shrunken = XMPI_COMM_NULL;
-        kamping::internal::throw_on_error(
-            XMPI_Comm_shrink(this->self().mpi_communicator(), &shrunken), "XMPI_Comm_shrink");
+        plan.dispatch("XMPI_Comm_shrink", [&] {
+            return XMPI_Comm_shrink(this->self().mpi_communicator(), &shrunken);
+        });
         return Comm(shrunken, /*owning=*/true);
     }
 
     /// @brief Fault-tolerant agreement: bitwise AND of @c flag over the
     /// surviving ranks; completes even with failed or revoked members.
     [[nodiscard]] int agree(int flag) {
-        kamping::internal::throw_on_error(
-            XMPI_Comm_agree(this->self().mpi_communicator(), &flag), "XMPI_Comm_agree");
+        kamping::internal::CollectivePlan<kamping::internal::plan_ops::ulfm_recovery> plan(
+            this->self().mpi_communicator());
+        plan.dispatch(
+            "XMPI_Comm_agree",
+            [&] { return XMPI_Comm_agree(this->self().mpi_communicator(), &flag); });
         return flag;
     }
 
@@ -85,12 +94,21 @@ public:
             try {
                 return body(this->self());
             } catch (MpiFailureDetected const&) {
-                revoke_and_shrink();
+                recover();
             } catch (MpiCommRevoked const&) {
-                revoke_and_shrink();
+                recover();
             }
         }
         throw MpiError(XMPI_ERR_OTHER, "shrink_and_retry: attempts exhausted");
+    }
+
+private:
+    /// @brief One traced recovery round: the span (op "ulfm_recovery")
+    /// makes the cost of revoke+shrink attributable in traced runs.
+    void recover() {
+        kamping::internal::CollectivePlan<kamping::internal::plan_ops::ulfm_recovery> plan(
+            this->self().mpi_communicator());
+        revoke_and_shrink();
     }
 };
 

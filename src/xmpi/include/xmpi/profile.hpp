@@ -13,6 +13,7 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace xmpi::profile {
@@ -122,5 +123,55 @@ void reset_mine();
 /// call from one rank while others are quiescent, e.g. around a barrier).
 void reset_all();
 /// @}
+
+// ---------------------------------------------------------------------------
+// Tracing spans (the kamping call-plan tracing seam ends here)
+// ---------------------------------------------------------------------------
+
+/// @brief One traced binding-level operation. Produced by the kamping call
+/// plan (kamping/pipeline.hpp) when tracing is enabled; records what the
+/// PMPI-style counters above cannot: which binding stage the time went to.
+///
+/// The `op`/`algorithm` fields are pointers to string literals with static
+/// storage duration — spans never own memory for them.
+struct Span {
+    char const* op = "";        ///< binding operation ("allgatherv", "isend", ...)
+    char const* algorithm = ""; ///< xmpi collective algorithm chosen ("" if none noted)
+    int world_rank = -1;        ///< recording rank (-1 outside a world)
+    double start_s = 0.0;       ///< XMPI_Wtime() at operation start
+    double duration_s = 0.0;    ///< wall time inside the wrapper, seconds
+    std::uint64_t bytes_in = 0; ///< payload bytes entering the op (send side)
+    std::uint64_t bytes_out = 0; ///< payload bytes leaving the op (recv side)
+    bool count_exchange = false; ///< a count/size exchange was instantiated
+};
+
+/// @brief True iff span recording is globally enabled. A single relaxed
+/// atomic load — this is the entire cost of the tracing seam when disabled.
+bool tracing_enabled();
+/// @brief Globally enables/disables span recording (process-wide; safe to
+/// toggle concurrently with recording ranks).
+void set_tracing_enabled(bool enabled);
+
+/// @brief Appends a span to the process-wide span log (thread-safe). The
+/// world rank is filled in from the calling thread's rank context when
+/// attached.
+void record_span(Span span);
+/// @brief Drains the span log: returns all recorded spans and clears it.
+std::vector<Span> take_spans();
+/// @brief Clears the span log without returning it.
+void clear_spans();
+/// @brief JSON dump hook: the current span log as a JSON array of objects
+/// (op, algorithm, rank, start_s, duration_s, bytes_in, bytes_out,
+/// count_exchange). Does not clear the log.
+std::string spans_json();
+
+/// @brief Called by the xmpi collective implementations to record which
+/// algorithm a call selected ("bruck", "recursive_doubling", ...). Stored in
+/// a thread-local slot (each rank is a thread) and picked up by the binding
+/// layer's dispatch stage; a no-op unless tracing is enabled.
+void note_algorithm(char const* name);
+/// @brief Returns and clears the calling thread's algorithm note ("" if
+/// nothing was noted since the last take).
+char const* take_algorithm();
 
 } // namespace xmpi::profile

@@ -6,6 +6,7 @@
 #include "coll.hpp"
 #include "transport.hpp"
 #include "xmpi/netmodel.hpp"
+#include "xmpi/profile.hpp"
 
 namespace xmpi::detail {
 namespace {
@@ -136,10 +137,12 @@ int coll_alltoall(
     }
 
     if (use_bruck_alltoall(comm, p, effective_sendtype->packed_size(effective_sendcount))) {
+        profile::note_algorithm("bruck");
         return alltoall_bruck(
             comm, effective_sendbuf, effective_sendcount, *effective_sendtype, recvbuf, recvcount,
             recvtype);
     }
+    profile::note_algorithm("pairwise");
 
     if (sendbuf == IN_PLACE) {
         staged.resize(static_cast<std::size_t>(p) * recvcount * static_cast<std::size_t>(recvtype.extent()));

@@ -6,6 +6,7 @@
 #include "coll.hpp"
 #include "transport.hpp"
 #include "xmpi/netmodel.hpp"
+#include "xmpi/profile.hpp"
 
 namespace xmpi::detail {
 namespace {
@@ -236,9 +237,11 @@ int coll_scatter(
     std::size_t const block_bytes =
         r == root ? sendtype.packed_size(sendcount) : recvtype.packed_size(recvcount);
     if (use_binomial_scatter(comm, p, block_bytes)) {
+        profile::note_algorithm("binomial_tree");
         return scatter_binomial(
             comm, sendbuf, sendcount, sendtype, recvbuf, recvcount, recvtype, root);
     }
+    profile::note_algorithm("linear");
     if (r != root) {
         return coll_recv(comm, root, coll_tag::scatter, recvbuf, recvcount, recvtype);
     }
@@ -308,8 +311,10 @@ int coll_allgather(
             recvtype);
     }
     if (use_rd_allgather(comm, p, recvtype.packed_size(recvcount))) {
+        profile::note_algorithm("recursive_doubling");
         return allgather_recursive_doubling(comm, recvbuf, recvcount, recvtype);
     }
+    profile::note_algorithm("ring");
     // Ring allgather: p-1 rounds, each rank forwards the block it received in
     // the previous round; cost is the classic (p-1)(alpha + n*beta).
     int const next = (r + 1) % p;

@@ -4,6 +4,7 @@
 
 #include "coll.hpp"
 #include "transport.hpp"
+#include "xmpi/profile.hpp"
 
 namespace xmpi::detail {
 namespace {
@@ -196,8 +197,10 @@ int coll_reduce_on(
     }
     void const* contribution = sendbuf == IN_PLACE ? recvbuf : sendbuf;
     if (op.commutative()) {
+        profile::note_algorithm("binomial_tree");
         return reduce_binomial(comm, channel, contribution, recvbuf, count, type, op, root);
     }
+    profile::note_algorithm("linear");
     return reduce_linear(comm, channel, contribution, recvbuf, count, type, op, root);
 }
 
@@ -217,9 +220,11 @@ int coll_allreduce_on(
             return err;
         }
         void const* contribution = sendbuf == IN_PLACE ? recvbuf : sendbuf;
+        profile::note_algorithm("recursive_doubling");
         return allreduce_recursive_doubling(
             comm, channel, contribution, recvbuf, count, type, op);
     }
+    profile::note_algorithm("reduce_bcast");
     // Non-commutative: fold in rank order at rank 0, then broadcast, so every
     // rank observes the bit-identical rank-ordered result.
     if (int const err = coll_reduce_on(comm, channel, sendbuf, recvbuf, count, type, op, 0);

@@ -1,5 +1,8 @@
 #include "xmpi/profile.hpp"
 
+#include <mutex>
+#include <utility>
+
 #include "xmpi/world.hpp"
 
 namespace xmpi::profile {
@@ -44,6 +47,89 @@ void reset_all() {
     for (int rank = 0; rank < world.size(); ++rank) {
         world.counters(rank).reset();
     }
+}
+
+// ---------------------------------------------------------------------------
+// Tracing spans
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::atomic<bool> g_tracing_enabled{false};
+
+/// Span log shared by all rank threads; only touched when tracing is on, so
+/// the mutex never appears on the traced-off hot path.
+std::mutex g_span_mutex;
+std::vector<Span> g_spans;
+
+/// Per-thread (= per-rank) note of the last collective algorithm selected.
+thread_local char const* t_algorithm = "";
+
+} // namespace
+
+bool tracing_enabled() {
+    return g_tracing_enabled.load(std::memory_order_relaxed);
+}
+
+void set_tracing_enabled(bool enabled) {
+    g_tracing_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void record_span(Span span) {
+    if (span.world_rank < 0) {
+        auto const& context = detail::current_context();
+        if (context.world != nullptr) {
+            span.world_rank = context.world_rank;
+        }
+    }
+    std::lock_guard lock(g_span_mutex);
+    g_spans.push_back(span);
+}
+
+std::vector<Span> take_spans() {
+    std::lock_guard lock(g_span_mutex);
+    return std::exchange(g_spans, {});
+}
+
+void clear_spans() {
+    std::lock_guard lock(g_span_mutex);
+    g_spans.clear();
+}
+
+std::string spans_json() {
+    std::vector<Span> spans;
+    {
+        std::lock_guard lock(g_span_mutex);
+        spans = g_spans;
+    }
+    std::string json = "[\n";
+    for (std::size_t i = 0; i < spans.size(); ++i) {
+        Span const& span = spans[i];
+        json += "  {\"op\": \"";
+        json += span.op;
+        json += "\", \"algorithm\": \"";
+        json += span.algorithm;
+        json += "\", \"rank\": " + std::to_string(span.world_rank);
+        json += ", \"start_s\": " + std::to_string(span.start_s);
+        json += ", \"duration_s\": " + std::to_string(span.duration_s);
+        json += ", \"bytes_in\": " + std::to_string(span.bytes_in);
+        json += ", \"bytes_out\": " + std::to_string(span.bytes_out);
+        json += ", \"count_exchange\": ";
+        json += span.count_exchange ? "true" : "false";
+        json += i + 1 < spans.size() ? "},\n" : "}\n";
+    }
+    json += "]\n";
+    return json;
+}
+
+void note_algorithm(char const* name) {
+    if (tracing_enabled()) {
+        t_algorithm = name;
+    }
+}
+
+char const* take_algorithm() {
+    return std::exchange(t_algorithm, "");
 }
 
 } // namespace xmpi::profile

@@ -1,0 +1,9 @@
+// EXPECT-ERROR: the alltoallv call plan is missing its required send_counts parameter
+#include <vector>
+
+#include "kamping/kamping.hpp"
+int main() {
+    kamping::Communicator comm;
+    std::vector<int> data(4, 1);
+    auto result = comm.alltoallv(kamping::send_buf(data));
+}

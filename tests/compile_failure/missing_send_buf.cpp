@@ -1,4 +1,4 @@
-// EXPECT-ERROR: allgatherv requires a send_buf
+// EXPECT-ERROR: the allgatherv call plan is missing its required send_buf parameter
 #include "kamping/kamping.hpp"
 int main() {
     kamping::Communicator comm;

@@ -1,0 +1,343 @@
+/// @file test_pipeline.cpp
+/// @brief The call-plan pipeline (kamping/pipeline.hpp) swept over the
+/// resize-policy x parameter-presence matrix: for allgatherv, alltoallv and
+/// gatherv, every combination of counts/displacements being provided,
+/// omitted, or out-requested, against recv buffers under no_resize,
+/// grow_only and resize_to_fit. The profiling counters verify the paper's
+/// zero-overhead contract: the count exchange of the InferCounts stage is
+/// instantiated (and issued) only when the counts parameter is absent or
+/// out-requested.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "kamping/kamping.hpp"
+#include "xmpi/xmpi.hpp"
+
+namespace {
+
+using namespace kamping;
+using xmpi::World;
+
+class PipelineMatrix : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    WorldSizes, PipelineMatrix, ::testing::Values(1, 2, 4, 7),
+    [](auto const& info) { return "p" + std::to_string(info.param); });
+
+/// Snapshot-based probe: run @p op and return how often @p call was issued
+/// by this rank while running it.
+template <typename Op>
+std::uint64_t calls_issued(xmpi::profile::Call call, Op&& op) {
+    XMPI_Barrier(XMPI_COMM_WORLD);
+    xmpi::profile::reset_mine();
+    op();
+    auto const count = xmpi::profile::my_snapshot()[call];
+    XMPI_Barrier(XMPI_COMM_WORLD);
+    return count;
+}
+
+// --------------------------------------------------------------------------
+// allgatherv: counts provided / omitted / out-requested
+// --------------------------------------------------------------------------
+
+TEST_P(PipelineMatrix, AllgathervCountsPresenceMatrix) {
+    World::run(GetParam(), [] {
+        Communicator comm;
+        std::vector<int> const v(static_cast<std::size_t>(comm.rank() % 3 + 1), comm.rank());
+        std::vector<int> expected_counts(comm.size());
+        for (int r = 0; r < comm.size_signed(); ++r) {
+            expected_counts[static_cast<std::size_t>(r)] = r % 3 + 1;
+        }
+        std::size_t const total = static_cast<std::size_t>(
+            std::accumulate(expected_counts.begin(), expected_counts.end(), 0));
+
+        // Counts omitted: InferCounts instantiates the allgather exchange.
+        auto const with_omitted = calls_issued(xmpi::profile::Call::allgather, [&] {
+            auto global = comm.allgatherv(send_buf(v));
+            EXPECT_EQ(global.size(), total);
+        });
+        EXPECT_EQ(with_omitted, 1u);
+
+        // Counts provided: the exchange must not be issued at all.
+        auto const with_provided = calls_issued(xmpi::profile::Call::allgather, [&] {
+            auto global = comm.allgatherv(send_buf(v), recv_counts(expected_counts));
+            EXPECT_EQ(global.size(), total);
+        });
+        EXPECT_EQ(with_provided, 0u);
+
+        // Counts out-requested: exchanged and handed back to the caller.
+        auto const with_out = calls_issued(xmpi::profile::Call::allgather, [&] {
+            auto [global, counts] = comm.allgatherv(send_buf(v), recv_counts_out());
+            EXPECT_EQ(counts, expected_counts);
+            EXPECT_EQ(global.size(), total);
+        });
+        EXPECT_EQ(with_out, 1u);
+    });
+}
+
+TEST_P(PipelineMatrix, AllgathervDisplsPresenceMatrix) {
+    World::run(GetParam(), [] {
+        Communicator comm;
+        std::vector<int> const v(2, comm.rank());
+        std::vector<int> const counts(comm.size(), 2);
+
+        // Displacements omitted: the ComputeDispls stage derives the packed
+        // layout locally — no extra communication whatsoever.
+        auto const extra_calls = calls_issued(xmpi::profile::Call::allgather, [&] {
+            auto global = comm.allgatherv(send_buf(v), recv_counts(counts));
+            for (int r = 0; r < comm.size_signed(); ++r) {
+                EXPECT_EQ(global[static_cast<std::size_t>(2 * r)], r);
+            }
+        });
+        EXPECT_EQ(extra_calls, 0u);
+
+        // Displacements out-requested: the exclusive prefix sum is returned.
+        auto [data, displs] =
+            comm.allgatherv(send_buf(v), recv_counts(counts), recv_displs_out());
+        ASSERT_EQ(displs.size(), static_cast<std::size_t>(comm.size()));
+        for (std::size_t i = 0; i < displs.size(); ++i) {
+            EXPECT_EQ(displs[i], static_cast<int>(2 * i));
+        }
+
+        // Displacements provided: a strided layout the pipeline must honor
+        // instead of recomputing.
+        std::vector<int> strided(static_cast<std::size_t>(comm.size()));
+        for (std::size_t i = 0; i < strided.size(); ++i) {
+            strided[i] = static_cast<int>(3 * i);
+        }
+        std::vector<int> sparse(static_cast<std::size_t>(3 * comm.size()), -1);
+        comm.allgatherv(
+            send_buf(v), recv_counts(counts), recv_displs(strided),
+            recv_buf<BufferResizePolicy::no_resize>(sparse));
+        for (int r = 0; r < comm.size_signed(); ++r) {
+            EXPECT_EQ(sparse[static_cast<std::size_t>(3 * r)], r);
+            EXPECT_EQ(sparse[static_cast<std::size_t>(3 * r + 1)], r);
+        }
+    });
+}
+
+TEST_P(PipelineMatrix, AllgathervRecvBufResizePolicies) {
+    World::run(GetParam(), [] {
+        Communicator comm;
+        std::vector<int> const v(1, comm.rank());
+        std::size_t const needed = static_cast<std::size_t>(comm.size());
+
+        // no_resize: a pre-sized buffer is used as-is.
+        std::vector<int> exact(needed, -1);
+        comm.allgatherv(send_buf(v), recv_buf<BufferResizePolicy::no_resize>(exact));
+        EXPECT_EQ(exact.size(), needed);
+        EXPECT_EQ(exact.back(), comm.size_signed() - 1);
+
+        // grow_only: an oversized buffer keeps its capacity and size.
+        std::vector<int> large(needed + 100, -1);
+        comm.allgatherv(send_buf(v), recv_buf<BufferResizePolicy::grow_only>(large));
+        EXPECT_EQ(large.size(), needed + 100) << "grow_only must not shrink";
+        EXPECT_EQ(large[needed - 1], comm.size_signed() - 1);
+        EXPECT_EQ(large[needed], -1) << "slack beyond the payload is untouched";
+
+        // grow_only: an undersized buffer grows to fit.
+        std::vector<int> small;
+        comm.allgatherv(send_buf(v), recv_buf<BufferResizePolicy::grow_only>(small));
+        EXPECT_EQ(small.size(), needed);
+
+        // resize_to_fit: the buffer ends up exactly payload-sized.
+        std::vector<int> fitted(needed + 50, -1);
+        comm.allgatherv(send_buf(v), recv_buf<BufferResizePolicy::resize_to_fit>(fitted));
+        EXPECT_EQ(fitted.size(), needed);
+    });
+}
+
+// --------------------------------------------------------------------------
+// alltoallv: counts provided / omitted / out-requested, displacements, and
+// resize policies through the same plan
+// --------------------------------------------------------------------------
+
+TEST_P(PipelineMatrix, AlltoallvCountsPresenceMatrix) {
+    World::run(GetParam(), [] {
+        Communicator comm;
+        // Rank r sends r+1 copies of its rank to every peer.
+        std::vector<int> const counts(comm.size(), comm.rank() + 1);
+        std::vector<int> const payload(
+            static_cast<std::size_t>(comm.size()) * static_cast<std::size_t>(comm.rank() + 1),
+            comm.rank());
+        std::vector<int> expected_recv_counts(comm.size());
+        std::iota(expected_recv_counts.begin(), expected_recv_counts.end(), 1);
+        std::size_t const total = static_cast<std::size_t>(
+            std::accumulate(expected_recv_counts.begin(), expected_recv_counts.end(), 0));
+
+        // recv_counts omitted: the transpose is exchanged with an alltoall.
+        auto const with_omitted = calls_issued(xmpi::profile::Call::alltoall, [&] {
+            auto received = comm.alltoallv(send_buf(payload), send_counts(counts));
+            EXPECT_EQ(received.size(), total);
+        });
+        EXPECT_EQ(with_omitted, 1u);
+
+        // recv_counts provided: no exchange.
+        auto const with_provided = calls_issued(xmpi::profile::Call::alltoall, [&] {
+            auto received = comm.alltoallv(
+                send_buf(payload), send_counts(counts), recv_counts(expected_recv_counts));
+            EXPECT_EQ(received.size(), total);
+        });
+        EXPECT_EQ(with_provided, 0u);
+
+        // recv_counts out-requested: exchanged and returned.
+        auto const with_out = calls_issued(xmpi::profile::Call::alltoall, [&] {
+            auto [received, rc] =
+                comm.alltoallv(send_buf(payload), send_counts(counts), recv_counts_out());
+            EXPECT_EQ(rc, expected_recv_counts);
+            EXPECT_EQ(received.size(), total);
+        });
+        EXPECT_EQ(with_out, 1u);
+    });
+}
+
+TEST_P(PipelineMatrix, AlltoallvDisplsAndResizePolicies) {
+    World::run(GetParam(), [] {
+        Communicator comm;
+        std::vector<int> const counts(comm.size(), 1);
+        std::vector<int> payload(static_cast<std::size_t>(comm.size()), comm.rank());
+        std::vector<int> displs(static_cast<std::size_t>(comm.size()));
+        std::iota(displs.begin(), displs.end(), 0);
+
+        // send_displs provided, recv side fully inferred, out-requested
+        // displacements returned.
+        auto [received, recv_displacements] = comm.alltoallv(
+            send_buf(payload), send_counts(counts), send_displs(displs), recv_displs_out());
+        ASSERT_EQ(received.size(), static_cast<std::size_t>(comm.size()));
+        for (int r = 0; r < comm.size_signed(); ++r) {
+            EXPECT_EQ(received[static_cast<std::size_t>(r)], r);
+            EXPECT_EQ(recv_displacements[static_cast<std::size_t>(r)], r);
+        }
+
+        // grow_only recv buffer through the alltoallv plan.
+        std::vector<int> large(static_cast<std::size_t>(comm.size()) + 64, -1);
+        comm.alltoallv(
+            send_buf(payload), send_counts(counts),
+            recv_buf<BufferResizePolicy::grow_only>(large));
+        EXPECT_EQ(large.size(), static_cast<std::size_t>(comm.size()) + 64);
+        EXPECT_EQ(large[0], 0);
+
+        // no_resize recv buffer, pre-sized exactly.
+        std::vector<int> exact(static_cast<std::size_t>(comm.size()), -1);
+        comm.alltoallv(
+            send_buf(payload), send_counts(counts), recv_counts(counts),
+            recv_buf<BufferResizePolicy::no_resize>(exact));
+        EXPECT_EQ(exact.back(), comm.size_signed() - 1);
+    });
+}
+
+// --------------------------------------------------------------------------
+// gatherv: rooted variant of the same matrix; non-roots must not size
+// receive-side state
+// --------------------------------------------------------------------------
+
+TEST_P(PipelineMatrix, GathervCountsPresenceMatrix) {
+    World::run(GetParam(), [] {
+        Communicator comm;
+        std::vector<int> const v(static_cast<std::size_t>(comm.rank() % 2 + 1), comm.rank());
+        std::vector<int> root_counts(comm.size());
+        for (int r = 0; r < comm.size_signed(); ++r) {
+            root_counts[static_cast<std::size_t>(r)] = r % 2 + 1;
+        }
+        std::size_t const total = static_cast<std::size_t>(
+            std::accumulate(root_counts.begin(), root_counts.end(), 0));
+
+        // Counts omitted: a gather of the send counts precedes the gatherv.
+        auto const with_omitted = calls_issued(xmpi::profile::Call::gather, [&] {
+            auto gathered = comm.gatherv(send_buf(v));
+            if (comm.is_root()) {
+                EXPECT_EQ(gathered.size(), total);
+            } else {
+                EXPECT_TRUE(gathered.empty());
+            }
+        });
+        EXPECT_EQ(with_omitted, 1u);
+
+        // Counts provided on the root: no exchange. (Non-roots pass them
+        // too — the parameter decides instantiation, not the rank.)
+        auto const with_provided = calls_issued(xmpi::profile::Call::gather, [&] {
+            auto gathered = comm.gatherv(send_buf(v), recv_counts(root_counts));
+            if (comm.is_root()) {
+                EXPECT_EQ(gathered.size(), total);
+            }
+        });
+        EXPECT_EQ(with_provided, 0u);
+
+        // Counts and displacements out-requested, non-default root.
+        int const root_rank = comm.size_signed() - 1;
+        auto [gathered, counts, displacements] = comm.gatherv(
+            send_buf(v), root(root_rank), recv_counts_out(), recv_displs_out());
+        if (comm.rank() == root_rank) {
+            EXPECT_EQ(counts, root_counts);
+            ASSERT_EQ(displacements.size(), static_cast<std::size_t>(comm.size()));
+            int running = 0;
+            for (std::size_t i = 0; i < displacements.size(); ++i) {
+                EXPECT_EQ(displacements[i], running);
+                running += root_counts[i];
+            }
+            EXPECT_EQ(gathered.size(), total);
+        } else {
+            EXPECT_TRUE(gathered.empty());
+        }
+    });
+}
+
+TEST_P(PipelineMatrix, GathervRecvBufPoliciesOnRootOnly) {
+    World::run(GetParam(), [] {
+        Communicator comm;
+        std::vector<int> const v(1, comm.rank());
+        std::size_t const needed = static_cast<std::size_t>(comm.size());
+
+        // no_resize: root pre-sizes; non-roots hand in an empty buffer that
+        // must stay untouched (the PrepareRecv stage is gated on rootness).
+        std::vector<int> exact(comm.is_root() ? needed : 0, -1);
+        comm.gatherv(send_buf(v), recv_buf<BufferResizePolicy::no_resize>(exact));
+        if (comm.is_root()) {
+            EXPECT_EQ(exact.back(), comm.size_signed() - 1);
+        } else {
+            EXPECT_TRUE(exact.empty());
+        }
+
+        // resize_to_fit: non-root buffers stay at their previous size.
+        std::vector<int> fitted(7, -1);
+        comm.gatherv(send_buf(v), recv_buf<BufferResizePolicy::resize_to_fit>(fitted));
+        if (comm.is_root()) {
+            EXPECT_EQ(fitted.size(), needed);
+        } else {
+            EXPECT_EQ(fitted.size(), 7u);
+        }
+    });
+}
+
+// --------------------------------------------------------------------------
+// Error stamping: the Dispatch stage labels failures "<fn> [<op>/<stage>]"
+// --------------------------------------------------------------------------
+
+TEST(PipelineErrors, DispatchStampsOpAndStage) {
+    World::run(2, [] {
+        Communicator comm;
+        kamping::internal::CollectivePlan<kamping::internal::plan_ops::allgatherv> plan(
+            comm.mpi_communicator());
+        try {
+            plan.dispatch("XMPI_Allgatherv", [] { return XMPI_ERR_COUNT; });
+            FAIL() << "dispatch must throw on a non-success code";
+        } catch (MpiError const& error) {
+            std::string const what = error.what();
+            EXPECT_NE(what.find("XMPI_Allgatherv"), std::string::npos) << what;
+            EXPECT_NE(what.find("[allgatherv/dispatch]"), std::string::npos) << what;
+        }
+        try {
+            plan.dispatch(
+                "XMPI_Allgather", [] { return XMPI_ERR_COUNT; },
+                kamping::internal::PlanStage::infer_counts);
+            FAIL() << "dispatch must throw on a non-success code";
+        } catch (MpiError const& error) {
+            std::string const what = error.what();
+            EXPECT_NE(what.find("[allgatherv/infer_counts]"), std::string::npos) << what;
+        }
+    });
+}
+
+} // namespace
