@@ -17,6 +17,7 @@
 #include "kamping/p2p.hpp"
 #include "kamping/pipeline.hpp"
 #include "xmpi/api.hpp"
+#include "xmpi/progress.hpp"
 
 namespace kamping {
 
@@ -256,6 +257,11 @@ public:
     /// Entries that complete with an error are removed too, and the first
     /// error is rethrown after the sweep. Returns true iff the pool is empty
     /// afterwards.
+    ///
+    /// A sweep that leaves entries pending also drains the shared progress
+    /// engine by one task (xmpi::progress::poll()): a test_all() polling
+    /// loop therefore makes progress even when every engine worker is busy,
+    /// instead of spinning until some other rank runs the queue dry.
     bool test_all() {
         std::exception_ptr first_error;
         std::erase_if(entries_, [&](auto const& entry) {
@@ -270,6 +276,9 @@ public:
         });
         if (first_error) {
             std::rethrow_exception(first_error);
+        }
+        if (!entries_.empty()) {
+            xmpi::progress::poll();
         }
         return entries_.empty();
     }

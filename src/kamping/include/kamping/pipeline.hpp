@@ -173,6 +173,9 @@ public:
             span.bytes_in = bytes_in_;
             span.bytes_out = bytes_out_;
             span.count_exchange = count_exchange_;
+            // queue_s stays 0: the plan's span covers the wrapper itself.
+            // Operations routed through the progress engine get a second
+            // span from the engine tagged with their queue-wait time.
             try {
                 TraceSink::record(span);
             } catch (...) {

@@ -74,6 +74,15 @@ struct RankCounters {
     std::atomic<std::uint64_t> pool_hits{0};         ///< payload buffers reused from the pool
     std::atomic<std::uint64_t> pool_misses{0};       ///< payload buffers heap-allocated
     /// @}
+    /// @name Progress-engine counters (see progress.hpp)
+    /// @{
+    std::atomic<std::uint64_t> engine_tasks{0};            ///< tasks enqueued on the engine
+    std::atomic<std::uint64_t> engine_inline_fallbacks{0}; ///< full queue: ran inline at initiation
+    std::atomic<std::uint64_t> engine_queue_depth_max{0};  ///< deepest queue observed at enqueue
+    std::atomic<std::uint64_t> engine_caller_steals{0};    ///< tasks run by waiting/polling callers
+    std::atomic<std::uint64_t> engine_incomplete_destructions{0}; ///< requests freed before completion
+    std::atomic<std::uint64_t> engine_stall_escalations{0}; ///< temporary workers grown by the stall valve
+    /// @}
 
     void reset() {
         for (auto& counter: calls) {
@@ -85,6 +94,12 @@ struct RankCounters {
         bytes_zero_copied.store(0, std::memory_order_relaxed);
         pool_hits.store(0, std::memory_order_relaxed);
         pool_misses.store(0, std::memory_order_relaxed);
+        engine_tasks.store(0, std::memory_order_relaxed);
+        engine_inline_fallbacks.store(0, std::memory_order_relaxed);
+        engine_queue_depth_max.store(0, std::memory_order_relaxed);
+        engine_caller_steals.store(0, std::memory_order_relaxed);
+        engine_incomplete_destructions.store(0, std::memory_order_relaxed);
+        engine_stall_escalations.store(0, std::memory_order_relaxed);
     }
 };
 
@@ -97,6 +112,12 @@ struct Snapshot {
     std::uint64_t bytes_zero_copied = 0;
     std::uint64_t pool_hits = 0;
     std::uint64_t pool_misses = 0;
+    std::uint64_t engine_tasks = 0;
+    std::uint64_t engine_inline_fallbacks = 0;
+    std::uint64_t engine_queue_depth_max = 0;
+    std::uint64_t engine_caller_steals = 0;
+    std::uint64_t engine_incomplete_destructions = 0;
+    std::uint64_t engine_stall_escalations = 0;
 
     [[nodiscard]] std::uint64_t operator[](Call call) const {
         return calls[static_cast<std::size_t>(call)];
@@ -143,6 +164,10 @@ struct Span {
     std::uint64_t bytes_in = 0; ///< payload bytes entering the op (send side)
     std::uint64_t bytes_out = 0; ///< payload bytes leaving the op (recv side)
     bool count_exchange = false; ///< a count/size exchange was instantiated
+    /// Time the operation sat in the progress-engine queue before a worker
+    /// (or a stealing caller) started it; 0 for operations that never went
+    /// through the engine (blocking collectives, p2p).
+    double queue_s = 0.0;
 };
 
 /// @brief True iff span recording is globally enabled. A single relaxed

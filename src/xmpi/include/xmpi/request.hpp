@@ -2,10 +2,8 @@
 /// @brief Request objects for non-blocking operations.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <memory>
-#include <thread>
 
 #include "xmpi/status.hpp"
 
@@ -92,36 +90,10 @@ private:
     Mailbox* mailbox_;
 };
 
-/// @brief Request backing a non-blocking collective: the collective
-/// algorithm runs in a helper thread on a dedicated matching channel
-/// (Comm::nbc_context + per-initiation sequence tag). The request must be
-/// completed with wait/test before destruction (as MPI requires); the
-/// destructor joins the helper.
-class ThreadRequest final : public Request {
-public:
-    /// @brief Starts @c body() (returning an XMPI error code) on a helper
-    /// thread.
-    template <typename Body>
-    explicit ThreadRequest(Body&& body) {
-        worker_ = std::thread([this, run = std::forward<Body>(body)]() mutable {
-            error_.store(run(), std::memory_order_relaxed);
-            done_.store(true, std::memory_order_release);
-        });
-    }
-    ~ThreadRequest() override {
-        if (worker_.joinable()) {
-            worker_.join();
-        }
-    }
-
-    bool test(Status& status) override;
-    void wait(Status& status) override;
-
-private:
-    std::thread worker_;
-    std::atomic<bool> done_{false};
-    std::atomic<int> error_{0};
-};
+// Non-blocking collectives are backed by the shared progress engine
+// (xmpi/progress.hpp): initiation enqueues a resumable task on a bounded
+// worker pool instead of spawning a thread per request. The request handle
+// type (EngineRequest) is an implementation detail of progress.cpp.
 
 /// @brief Request for a non-blocking barrier round (see Comm::ibarrier).
 class IbarrierRequest final : public Request {

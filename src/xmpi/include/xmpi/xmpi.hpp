@@ -12,6 +12,7 @@
 #include "xmpi/netmodel.hpp"  // IWYU pragma: export
 #include "xmpi/op.hpp"        // IWYU pragma: export
 #include "xmpi/profile.hpp"   // IWYU pragma: export
+#include "xmpi/progress.hpp"  // IWYU pragma: export
 #include "xmpi/request.hpp"   // IWYU pragma: export
 #include "xmpi/status.hpp"    // IWYU pragma: export
 #include "xmpi/world.hpp"     // IWYU pragma: export

@@ -12,6 +12,7 @@
 #include "coll.hpp"
 #include "transport.hpp"
 #include "xmpi/chaos.hpp"
+#include "xmpi/progress.hpp"
 
 namespace {
 
@@ -570,16 +571,14 @@ int XMPI_Ibcast(
     void* buffer, int count_, XMPI_Datatype datatype, int root, XMPI_Comm comm,
     XMPI_Request* request) {
     count_call(xmpi::profile::Call::ibcast);
+    // The collective runs as a task on the shared progress engine, on a
+    // dedicated matching channel (nbc context + per-initiation sequence tag)
+    // and under the initiating rank's context, so matching and profiling
+    // attribute correctly no matter which thread executes it.
     xmpi::detail::CollChannel const channel{comm->nbc_context(), comm->next_nbc_sequence()};
-    // The helper thread acts on behalf of the initiating rank: it inherits
-    // the rank context so matching and profiling attribute correctly.
-    auto const context = xmpi::detail::current_context();
-    *request = new xmpi::detail::ThreadRequest([=] {
-        xmpi::detail::current_context() = context;
-        int const err = xmpi::detail::coll_bcast_on(
+    *request = xmpi::progress::detail::submit("ibcast", comm, [=] {
+        return xmpi::detail::coll_bcast_on(
             *comm, channel, buffer, static_cast<std::size_t>(count_), *datatype, root);
-        xmpi::detail::current_context() = {};
-        return err;
     });
     return XMPI_SUCCESS;
 }
@@ -589,13 +588,9 @@ int XMPI_Iallreduce(
     XMPI_Comm comm, XMPI_Request* request) {
     count_call(xmpi::profile::Call::iallreduce);
     xmpi::detail::CollChannel const channel{comm->nbc_context(), comm->next_nbc_sequence()};
-    auto const context = xmpi::detail::current_context();
-    *request = new xmpi::detail::ThreadRequest([=] {
-        xmpi::detail::current_context() = context;
-        int const err = xmpi::detail::coll_allreduce_on(
+    *request = xmpi::progress::detail::submit("iallreduce", comm, [=] {
+        return xmpi::detail::coll_allreduce_on(
             *comm, channel, sendbuf, recvbuf, static_cast<std::size_t>(count_), *datatype, *op);
-        xmpi::detail::current_context() = {};
-        return err;
     });
     return XMPI_SUCCESS;
 }
@@ -606,14 +601,10 @@ int XMPI_Ialltoallv(
     XMPI_Comm comm, XMPI_Request* request) {
     count_call(xmpi::profile::Call::ialltoallv);
     xmpi::detail::CollChannel const channel{comm->nbc_context(), comm->next_nbc_sequence()};
-    auto const context = xmpi::detail::current_context();
-    *request = new xmpi::detail::ThreadRequest([=] {
-        xmpi::detail::current_context() = context;
-        int const err = xmpi::detail::coll_alltoallv_on(
+    *request = xmpi::progress::detail::submit("ialltoallv", comm, [=] {
+        return xmpi::detail::coll_alltoallv_on(
             *comm, channel, sendbuf, sendcounts, sdispls, *sendtype, recvbuf, recvcounts,
             rdispls, *recvtype);
-        xmpi::detail::current_context() = {};
-        return err;
     });
     return XMPI_SUCCESS;
 }

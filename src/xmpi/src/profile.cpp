@@ -19,6 +19,16 @@ Snapshot snapshot_counters(RankCounters const& counters) {
     snapshot.bytes_zero_copied = counters.bytes_zero_copied.load(std::memory_order_relaxed);
     snapshot.pool_hits = counters.pool_hits.load(std::memory_order_relaxed);
     snapshot.pool_misses = counters.pool_misses.load(std::memory_order_relaxed);
+    snapshot.engine_tasks = counters.engine_tasks.load(std::memory_order_relaxed);
+    snapshot.engine_inline_fallbacks =
+        counters.engine_inline_fallbacks.load(std::memory_order_relaxed);
+    snapshot.engine_queue_depth_max =
+        counters.engine_queue_depth_max.load(std::memory_order_relaxed);
+    snapshot.engine_caller_steals = counters.engine_caller_steals.load(std::memory_order_relaxed);
+    snapshot.engine_incomplete_destructions =
+        counters.engine_incomplete_destructions.load(std::memory_order_relaxed);
+    snapshot.engine_stall_escalations =
+        counters.engine_stall_escalations.load(std::memory_order_relaxed);
     return snapshot;
 }
 
@@ -116,6 +126,7 @@ std::string spans_json() {
         json += ", \"bytes_out\": " + std::to_string(span.bytes_out);
         json += ", \"count_exchange\": ";
         json += span.count_exchange ? "true" : "false";
+        json += ", \"queue_s\": " + std::to_string(span.queue_s);
         json += i + 1 < spans.size() ? "},\n" : "}\n";
     }
     json += "]\n";

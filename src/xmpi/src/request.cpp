@@ -96,24 +96,6 @@ bool RecvRequest::cancel() {
     return mailbox_->cancel(ticket_);
 }
 
-bool ThreadRequest::test(Status& status) {
-    if (!done_.load(std::memory_order_acquire)) {
-        return false;
-    }
-    if (worker_.joinable()) {
-        worker_.join();
-    }
-    status = Status{UNDEFINED, UNDEFINED, error_.load(std::memory_order_relaxed), 0};
-    return true;
-}
-
-void ThreadRequest::wait(Status& status) {
-    if (worker_.joinable()) {
-        worker_.join();
-    }
-    status = Status{UNDEFINED, UNDEFINED, error_.load(std::memory_order_relaxed), 0};
-}
-
 bool IbarrierRequest::test(Status& status) {
     auto& sync = comm_->ibarrier_sync();
     std::lock_guard lock(sync.mutex);

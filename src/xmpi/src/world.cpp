@@ -7,6 +7,7 @@
 
 #include "kassert/kassert.hpp"
 #include "xmpi/chaos.hpp"
+#include "xmpi/progress.hpp"
 
 namespace xmpi {
 
@@ -45,6 +46,10 @@ void World::install_chaos(std::unique_ptr<chaos::Engine> engine) {
 }
 
 World::~World() {
+    // Progress-engine tasks hold pointers into this world (comm, mailboxes,
+    // counters, the initiators' buffers): fail whatever is still queued and
+    // wait out anything still executing before tearing the world down.
+    progress::detail::abandon_world(this);
     world_comm_->release();
 }
 
@@ -63,6 +68,9 @@ void World::mark_failed(int world_rank) {
     if (failed_flags_[static_cast<std::size_t>(world_rank)].compare_exchange_strong(
             expected, true, std::memory_order_acq_rel)) {
         num_failed_.fetch_add(1, std::memory_order_release);
+        // Engine tasks the dead rank queued but never started must not run:
+        // they would act for a rank whose stack (and buffers) are gone.
+        progress::detail::fail_queued_for_rank(this, world_rank, XMPI_ERR_PROC_FAILED);
     }
     wake_all();
 }

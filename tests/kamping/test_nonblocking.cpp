@@ -123,6 +123,36 @@ TEST(KampingNonBlocking, RequestPoolWaitsForAll) {
     });
 }
 
+TEST(KampingNonBlocking, PoolWaitAllDrainsEngineCollectivesInAddOrder) {
+    World::run(4, [] {
+        Communicator comm;
+        RequestPool pool;
+        // Several non-blocking collectives on one communicator, all routed
+        // through the shared progress engine, pooled in initiation order.
+        // wait_all() walks the pool in add order; the engine's caller-driven
+        // progress completes entries that no worker has picked up yet, so
+        // the drain cannot deadlock even on a 1-worker pool.
+        constexpr int kOps = 6;
+        std::vector<std::vector<int>> data(kOps);
+        for (int i = 0; i < kOps; ++i) {
+            int const rank = static_cast<int>(comm.rank());
+            data[static_cast<std::size_t>(i)] = {rank + i, rank * 10 + i};
+            pool.add(comm.iallreduce(
+                send_recv_buf(data[static_cast<std::size_t>(i)]), op(std::plus<>{})));
+        }
+        EXPECT_EQ(pool.size(), static_cast<std::size_t>(kOps));
+        pool.wait_all();
+        EXPECT_TRUE(pool.empty());
+        for (int i = 0; i < kOps; ++i) {
+            // Sum over ranks 0..3 of {rank + i, rank * 10 + i}.
+            EXPECT_EQ(
+                data[static_cast<std::size_t>(i)],
+                (std::vector<int>{6 + 4 * i, 60 + 4 * i}))
+                << "operation " << i;
+        }
+    });
+}
+
 TEST(KampingNonBlocking, PoolTestAllDrainsIncrementally) {
     World::run(2, [] {
         Communicator comm;

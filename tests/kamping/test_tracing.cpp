@@ -131,6 +131,31 @@ TEST(Tracing, JsonDumpContainsSpanFields) {
     EXPECT_EQ(xmpi::profile::take_spans().size(), 2u);
 }
 
+TEST(Tracing, EngineSpansCarryQueueWaitTime) {
+    TracingReset guard;
+    xmpi::profile::clear_spans();
+    kamping::tracing::enable();
+    World::run(2, [] {
+        Communicator comm;
+        std::vector<int> data{static_cast<int>(comm.rank()) + 1};
+        auto pending = comm.iallreduce(send_recv_buf(std::move(data)), op(std::plus<>{}));
+        data = pending.wait();
+        EXPECT_EQ(data.front(), 3);
+    });
+    kamping::tracing::disable();
+
+    // Two spans per rank: the call plan's wrapper span (queue_s stays 0 —
+    // it covers the initiating call itself) plus the progress engine's
+    // execution span, tagged with the time the task spent queued.
+    EXPECT_NE(xmpi::profile::spans_json().find("\"queue_s\":"), std::string::npos);
+    auto const spans = xmpi::profile::take_spans();
+    auto const matching = spans_for(spans, "iallreduce");
+    EXPECT_EQ(matching.size(), 4u);
+    for (auto const& span: matching) {
+        EXPECT_GE(span.queue_s, 0.0);
+    }
+}
+
 TEST(Tracing, P2pSpans) {
     TracingReset guard;
     xmpi::profile::clear_spans();
