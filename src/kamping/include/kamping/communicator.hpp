@@ -23,6 +23,7 @@
 #include "kamping/nonblocking.hpp"
 #include "kamping/p2p.hpp"
 #include "kamping/pipeline.hpp"
+#include "kamping/rma.hpp"
 #include "xmpi/api.hpp"
 
 namespace kamping {
@@ -102,6 +103,28 @@ public:
         plan.dispatch(
             "XMPI_Comm_split", [&] { return XMPI_Comm_split(comm_, color, key, &part); });
         return BasicCommunicator(part, /*owning=*/true);
+    }
+    /// @}
+
+    /// @name One-sided communication (RMA)
+    /// @{
+    /// @brief Collective: exposes the caller's contiguous storage as this
+    /// rank's region of a new window. The storage must outlive the window;
+    /// displacements are in elements (disp_unit = sizeof(T)).
+    template <typename Container>
+    [[nodiscard]] auto win_create(Container& storage) const {
+        static_assert(
+            internal::contiguous_container<Container>,
+            "win_create requires a contiguous container (std::vector, std::array, ...)");
+        using T = typename Container::value_type;
+        internal::CollectivePlan<internal::plan_ops::win_create> plan(comm_);
+        XMPI_Win win = XMPI_WIN_NULL;
+        plan.dispatch("XMPI_Win_create", [&] {
+            return XMPI_Win_create(
+                storage.data(), static_cast<XMPI_Aint>(storage.size() * sizeof(T)),
+                static_cast<int>(sizeof(T)), comm_, &win);
+        });
+        return Window<T>(win, comm_);
     }
     /// @}
 

@@ -13,5 +13,6 @@
 #include "kamping/parameter_type.hpp"    // IWYU pragma: export
 #include "kamping/pipeline.hpp"          // IWYU pragma: export
 #include "kamping/result.hpp"            // IWYU pragma: export
+#include "kamping/rma.hpp"               // IWYU pragma: export
 #include "kamping/serialization.hpp"     // IWYU pragma: export
 #include "kamping/utils.hpp"             // IWYU pragma: export

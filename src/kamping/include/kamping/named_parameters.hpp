@@ -330,6 +330,16 @@ auto values_on_rank_0(T value) {
     return ValueParameter<ParameterType::values_on_rank_0, T>{std::move(value)};
 }
 
+/// @brief Named parameter: target rank of a one-sided (RMA) operation.
+inline auto target_rank(int rank) {
+    return ValueParameter<ParameterType::target_rank, int>{rank};
+}
+/// @brief Named parameter: element displacement into the target's window
+/// (scaled by the window's disp_unit; defaults to 0 when omitted).
+inline auto target_disp(std::ptrdiff_t disp) {
+    return ValueParameter<ParameterType::target_disp, std::ptrdiff_t>{disp};
+}
+
 /// @brief Named parameter: request the receive status as an out-value
 /// (owning: part of the result; referencing: written through).
 inline auto status_out() {

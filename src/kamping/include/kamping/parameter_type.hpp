@@ -30,6 +30,8 @@ enum class ParameterType : std::uint8_t {
     send_mode,     ///< send mode (standard/synchronous)
     values_on_rank_0, ///< seed value for exscan on rank 0
     status,        ///< receive status out-parameter
+    target_rank,   ///< target rank of a one-sided (RMA) operation
+    target_disp,   ///< displacement into the target's window (RMA)
 };
 
 /// @brief How a parameter's data flows between caller and library.

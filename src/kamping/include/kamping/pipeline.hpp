@@ -134,6 +134,14 @@ inline constexpr OpDescriptor grid_alltoallv{"grid_alltoallv"};
 inline constexpr OpDescriptor hypergrid_alltoallv{"hypergrid_alltoallv"};
 inline constexpr OpDescriptor sparse_alltoallv{"sparse_alltoallv"};
 inline constexpr OpDescriptor ulfm_recovery{"ulfm_recovery"};
+inline constexpr OpDescriptor win_create{"win_create"};
+inline constexpr OpDescriptor win_free{"win_free"};
+inline constexpr OpDescriptor put{"put"};
+inline constexpr OpDescriptor get{"get"};
+inline constexpr OpDescriptor accumulate{"accumulate"};
+inline constexpr OpDescriptor win_fence{"win_fence"};
+inline constexpr OpDescriptor win_lock{"win_lock"};
+inline constexpr OpDescriptor win_unlock{"win_unlock"};
 } // namespace plan_ops
 
 /// @brief Uniform missing-parameter diagnostic for planned operations; the
@@ -155,7 +163,8 @@ class BasicCallPlan {
 public:
     explicit BasicCallPlan(XMPI_Comm comm) : comm_(comm), tracing_(TraceSink::active()) {
         if (tracing_) {
-            (void)xmpi::profile::take_algorithm(); // drop stale notes
+            (void)xmpi::profile::take_algorithm();  // drop stale notes
+            (void)xmpi::profile::take_epoch_wait(); // (RMA sync of earlier ops)
             start_s_ = XMPI_Wtime();
         }
     }
@@ -173,6 +182,9 @@ public:
             span.bytes_in = bytes_in_;
             span.bytes_out = bytes_out_;
             span.count_exchange = count_exchange_;
+            span.epoch_wait_s = xmpi::profile::take_epoch_wait();
+            span.bytes_put = bytes_put_;
+            span.bytes_got = bytes_got_;
             // queue_s stays 0: the plan's span covers the wrapper itself.
             // Operations routed through the progress engine get a second
             // span from the engine tagged with their queue-wait time.
@@ -212,6 +224,16 @@ public:
             count_exchange_ = true;
         }
     }
+    void note_bytes_put(std::uint64_t bytes) {
+        if (tracing_) {
+            bytes_put_ += bytes;
+        }
+    }
+    void note_bytes_got(std::uint64_t bytes) {
+        if (tracing_) {
+            bytes_got_ += bytes;
+        }
+    }
     /// @}
 
 private:
@@ -220,6 +242,8 @@ private:
     double start_s_ = 0.0;
     std::uint64_t bytes_in_ = 0;
     std::uint64_t bytes_out_ = 0;
+    std::uint64_t bytes_put_ = 0;
+    std::uint64_t bytes_got_ = 0;
     bool count_exchange_ = false;
 };
 

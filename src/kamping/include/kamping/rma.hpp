@@ -1,0 +1,325 @@
+/// @file rma.hpp
+/// @brief One-sided communication: the Window handle and the named-parameter
+/// put/get/accumulate wrappers, routed through the call plan of pipeline.hpp.
+///
+/// A Window<T> is created collectively via comm.win_create(storage) and
+/// exposes the caller's contiguous storage to every rank of the
+/// communicator. Displacements are in *elements* (the window's disp_unit is
+/// sizeof(T)), so binding-level code never does byte arithmetic:
+///
+///   std::vector<int> local(n);
+///   auto win = comm.win_create(local);
+///   {
+///       auto epoch = win.fence_guard();
+///       win.put(kamping::send_buf(block), kamping::target_rank(right),
+///               kamping::target_disp(0));
+///   } // closing fence: the put is applied, peers may read
+///
+/// Memory-safety contract (paper, Section III-E applied to RMA): put and get
+/// complete at the *next synchronization call*, after the wrapper returned.
+/// Their buffers therefore must be caller-owned lvalues that outlive the
+/// epoch — owning (moved-in / scalar) buffers are rejected at compile time.
+/// accumulate applies eagerly inside the wrapper (that is what makes user
+/// lambdas usable as ops: their activation only lives for the call), so it
+/// accepts owning send buffers too.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+
+#include "kamping/collectives_reduce.hpp" // get_op_parameter
+#include "kamping/named_parameters.hpp"
+#include "kamping/pipeline.hpp"
+
+namespace kamping {
+
+/// @brief Passive-target lock flavours (MPI_LOCK_SHARED / MPI_LOCK_EXCLUSIVE).
+enum class LockType : int {
+    shared = XMPI_LOCK_SHARED,
+    exclusive = XMPI_LOCK_EXCLUSIVE,
+};
+
+namespace internal {
+
+template <typename... Args>
+std::ptrdiff_t get_target_disp(Args&&... args) {
+    if constexpr (has_parameter_v<ParameterType::target_disp, Args...>) {
+        return select_parameter<ParameterType::target_disp>(args...).value;
+    } else {
+        return 0;
+    }
+}
+
+/// @brief win.put(send_buf(v), target_rank(r), [target_disp], [send_count]).
+template <typename T, typename... Args>
+void put_impl(XMPI_Comm comm, XMPI_Win win, Args&&... args) {
+    KAMPING_PLAN_REQUIRE((has_parameter_v<ParameterType::send_buf, Args...>), "put", "send_buf");
+    KAMPING_PLAN_REQUIRE(
+        (has_parameter_v<ParameterType::target_rank, Args...>), "put", "target_rank");
+    KAMPING_CHECK_PARAMETERS(
+        Args, "put", ParameterType::send_buf, ParameterType::target_rank,
+        ParameterType::target_disp, ParameterType::send_count);
+    CollectivePlan<plan_ops::put, Args...> plan(comm);
+    auto&& send = ResolveSend{}(plan, args...);
+    using SendBuffer = std::remove_cvref_t<decltype(send)>;
+    static_assert(
+        std::is_same_v<buffer_value_t<SendBuffer>, T>,
+        "the send buffer's element type must match the window's element type");
+    static_assert(
+        SendBuffer::ownership == BufferOwnership::referencing,
+        "put queues a zero-copy reference to the origin buffer and completes at the next "
+        "synchronization call, after this wrapper returned: pass an lvalue container that "
+        "outlives the epoch (an owning or temporary send_buf would dangle)");
+    int count = static_cast<int>(send.size());
+    if constexpr (has_parameter_v<ParameterType::send_count, Args...>) {
+        count = select_parameter<ParameterType::send_count>(args...).value;
+    }
+    int const target = select_parameter<ParameterType::target_rank>(args...).value;
+    std::ptrdiff_t const disp = get_target_disp(args...);
+    plan.note_bytes_put(static_cast<std::uint64_t>(count) * sizeof(T));
+    Dispatch{}(plan, "XMPI_Put", [&] {
+        return XMPI_Put(
+            send.data(), count, mpi_datatype<T>(), target, disp, count, mpi_datatype<T>(), win);
+    });
+}
+
+/// @brief win.get(recv_buf(v), target_rank(r), [target_disp], [recv_count]).
+template <typename T, typename... Args>
+void get_impl(XMPI_Comm comm, XMPI_Win win, Args&&... args) {
+    KAMPING_PLAN_REQUIRE((has_parameter_v<ParameterType::recv_buf, Args...>), "get", "recv_buf");
+    KAMPING_PLAN_REQUIRE(
+        (has_parameter_v<ParameterType::target_rank, Args...>), "get", "target_rank");
+    KAMPING_CHECK_PARAMETERS(
+        Args, "get", ParameterType::recv_buf, ParameterType::target_rank,
+        ParameterType::target_disp, ParameterType::recv_count);
+    CollectivePlan<plan_ops::get, Args...> plan(comm);
+    auto&& recv = select_parameter<ParameterType::recv_buf>(args...);
+    using RecvBuffer = std::remove_cvref_t<decltype(recv)>;
+    static_assert(
+        std::is_same_v<buffer_value_t<RecvBuffer>, T>,
+        "the receive buffer's element type must match the window's element type");
+    static_assert(
+        RecvBuffer::ownership == BufferOwnership::referencing,
+        "get fills the origin buffer at the next synchronization call, after this wrapper "
+        "returned: pass recv_buf(lvalue) referencing storage that outlives the epoch (an "
+        "owning or moved-in recv_buf would be destroyed before the data arrives)");
+    int count = static_cast<int>(recv.size());
+    if constexpr (has_parameter_v<ParameterType::recv_count, Args...>) {
+        count = select_parameter<ParameterType::recv_count>(args...).value;
+        recv.resize_to(static_cast<std::size_t>(count));
+    }
+    int const target = select_parameter<ParameterType::target_rank>(args...).value;
+    std::ptrdiff_t const disp = get_target_disp(args...);
+    plan.note_bytes_got(static_cast<std::uint64_t>(count) * sizeof(T));
+    Dispatch{}(plan, "XMPI_Get", [&] {
+        return XMPI_Get(
+            recv.data(), count, mpi_datatype<T>(), target, disp, count, mpi_datatype<T>(), win);
+    });
+}
+
+/// @brief win.accumulate(send_buf(v), target_rank(r), op(...), [target_disp],
+/// [send_count]). Applies eagerly; send_buf may be owning (scalars welcome).
+template <typename T, typename... Args>
+void accumulate_impl(XMPI_Comm comm, XMPI_Win win, Args&&... args) {
+    KAMPING_PLAN_REQUIRE(
+        (has_parameter_v<ParameterType::send_buf, Args...>), "accumulate", "send_buf");
+    KAMPING_PLAN_REQUIRE(
+        (has_parameter_v<ParameterType::target_rank, Args...>), "accumulate", "target_rank");
+    KAMPING_PLAN_REQUIRE((has_parameter_v<ParameterType::op, Args...>), "accumulate", "op");
+    KAMPING_CHECK_PARAMETERS(
+        Args, "accumulate", ParameterType::send_buf, ParameterType::target_rank,
+        ParameterType::target_disp, ParameterType::send_count, ParameterType::op);
+    CollectivePlan<plan_ops::accumulate, Args...> plan(comm);
+    auto&& send = ResolveSend{}(plan, args...);
+    static_assert(
+        std::is_same_v<buffer_value_t<decltype(send)>, T>,
+        "the send buffer's element type must match the window's element type");
+    int count = static_cast<int>(send.size());
+    if constexpr (has_parameter_v<ParameterType::send_count, Args...>) {
+        count = select_parameter<ParameterType::send_count>(args...).value;
+    }
+    int const target = select_parameter<ParameterType::target_rank>(args...).value;
+    std::ptrdiff_t const disp = get_target_disp(args...);
+    auto&& operation = get_op_parameter(args...);
+    // Eager application is what permits stateful user ops here: the
+    // activation (trampoline context + op handle) lives exactly as long as
+    // the XMPI_Accumulate call needs it.
+    auto activation = operation.template activate<T>();
+    plan.note_bytes_put(static_cast<std::uint64_t>(count) * sizeof(T));
+    Dispatch{}(plan, "XMPI_Accumulate", [&] {
+        return XMPI_Accumulate(
+            send.data(), count, mpi_datatype<T>(), target, disp, count, mpi_datatype<T>(),
+            activation.handle(), win);
+    });
+}
+
+} // namespace internal
+
+template <typename T>
+class Window;
+
+/// @brief RAII active-target epoch: fences on construction (opening the
+/// epoch) and on scope exit (closing it — draining this rank's pending ops).
+/// Use close() to observe errors of the closing fence; the destructor
+/// swallows them when close() was not called.
+template <typename T>
+class [[nodiscard]] FenceGuard {
+public:
+    explicit FenceGuard(Window<T>& window) : window_(&window) { window_->fence(); }
+    ~FenceGuard() {
+        if (window_ != nullptr) {
+            try {
+                window_->fence();
+            } catch (...) {
+                // A destructor must not throw; call close() for a checked
+                // closing fence.
+            }
+        }
+    }
+    FenceGuard(FenceGuard const&) = delete;
+    FenceGuard& operator=(FenceGuard const&) = delete;
+    FenceGuard(FenceGuard&& other) noexcept : window_(std::exchange(other.window_, nullptr)) {}
+    FenceGuard& operator=(FenceGuard&&) = delete;
+
+    /// @brief Closing fence with error reporting; disarms the destructor.
+    void close() {
+        auto* window = std::exchange(window_, nullptr);
+        if (window != nullptr) {
+            window->fence();
+        }
+    }
+
+private:
+    Window<T>* window_;
+};
+
+/// @brief RAII passive-target epoch towards one rank: locks on construction,
+/// unlocks (draining pending ops for that rank) on scope exit. Use close()
+/// to observe unlock errors.
+template <typename T>
+class [[nodiscard]] LockGuard {
+public:
+    LockGuard(Window<T>& window, int rank, LockType type)
+        : window_(&window),
+          rank_(rank) {
+        window_->lock(rank, type);
+    }
+    ~LockGuard() {
+        if (window_ != nullptr) {
+            try {
+                window_->unlock(rank_);
+            } catch (...) {
+                // See FenceGuard: use close() for checked unlocking.
+            }
+        }
+    }
+    LockGuard(LockGuard const&) = delete;
+    LockGuard& operator=(LockGuard const&) = delete;
+    LockGuard(LockGuard&& other) noexcept
+        : window_(std::exchange(other.window_, nullptr)),
+          rank_(other.rank_) {}
+    LockGuard& operator=(LockGuard&&) = delete;
+
+    /// @brief Unlocks with error reporting; disarms the destructor.
+    void close() {
+        auto* window = std::exchange(window_, nullptr);
+        if (window != nullptr) {
+            window->unlock(rank_);
+        }
+    }
+
+private:
+    Window<T>* window_;
+    int rank_;
+};
+
+/// @brief Handle of one rank's participation in an RMA window over elements
+/// of type T. Created via comm.win_create(storage); move-only; the window is
+/// freed collectively by free() or the destructor.
+template <typename T>
+class Window {
+public:
+    Window() = default;
+    Window(XMPI_Win win, XMPI_Comm comm) : win_(win), comm_(comm) {}
+
+    ~Window() {
+        if (win_ != XMPI_WIN_NULL) {
+            XMPI_Win_free(&win_); // best effort; free() reports errors
+        }
+    }
+    Window(Window const&) = delete;
+    Window& operator=(Window const&) = delete;
+    Window(Window&& other) noexcept
+        : win_(std::exchange(other.win_, XMPI_WIN_NULL)),
+          comm_(std::exchange(other.comm_, XMPI_COMM_NULL)) {}
+    Window& operator=(Window&& other) noexcept {
+        if (this != &other) {
+            if (win_ != XMPI_WIN_NULL) {
+                XMPI_Win_free(&win_);
+            }
+            win_ = std::exchange(other.win_, XMPI_WIN_NULL);
+            comm_ = std::exchange(other.comm_, XMPI_COMM_NULL);
+        }
+        return *this;
+    }
+
+    /// @brief The underlying native handle (interoperability escape hatch).
+    [[nodiscard]] XMPI_Win mpi_win() const { return win_; }
+
+    /// @name One-sided operations (named parameters; see internal::*_impl)
+    /// @{
+    template <typename... Args>
+    void put(Args&&... args) {
+        internal::put_impl<T>(comm_, win_, std::forward<Args>(args)...);
+    }
+    template <typename... Args>
+    void get(Args&&... args) {
+        internal::get_impl<T>(comm_, win_, std::forward<Args>(args)...);
+    }
+    template <typename... Args>
+    void accumulate(Args&&... args) {
+        internal::accumulate_impl<T>(comm_, win_, std::forward<Args>(args)...);
+    }
+    /// @}
+
+    /// @name Synchronization
+    /// @{
+    void fence() {
+        internal::CollectivePlan<internal::plan_ops::win_fence> plan(comm_);
+        internal::Dispatch{}(plan, "XMPI_Win_fence", [&] { return XMPI_Win_fence(0, win_); });
+    }
+    void lock(int rank, LockType type = LockType::exclusive) {
+        internal::CollectivePlan<internal::plan_ops::win_lock> plan(comm_);
+        internal::Dispatch{}(plan, "XMPI_Win_lock", [&] {
+            return XMPI_Win_lock(static_cast<int>(type), rank, 0, win_);
+        });
+    }
+    void unlock(int rank) {
+        internal::CollectivePlan<internal::plan_ops::win_unlock> plan(comm_);
+        internal::Dispatch{}(plan, "XMPI_Win_unlock", [&] {
+            return XMPI_Win_unlock(rank, win_);
+        });
+    }
+    [[nodiscard]] FenceGuard<T> fence_guard() { return FenceGuard<T>(*this); }
+    [[nodiscard]] LockGuard<T> lock_guard(int rank, LockType type = LockType::exclusive) {
+        return LockGuard<T>(*this, rank, type);
+    }
+    /// @}
+
+    /// @brief Collective: frees the window with error reporting (the
+    /// destructor frees best-effort instead).
+    void free() {
+        if (win_ == XMPI_WIN_NULL) {
+            return;
+        }
+        internal::CollectivePlan<internal::plan_ops::win_free> plan(comm_);
+        internal::Dispatch{}(plan, "XMPI_Win_free", [&] { return XMPI_Win_free(&win_); });
+        win_ = XMPI_WIN_NULL;
+    }
+
+private:
+    XMPI_Win win_ = XMPI_WIN_NULL;
+    XMPI_Comm comm_ = XMPI_COMM_NULL;
+};
+
+} // namespace kamping

@@ -19,6 +19,7 @@
 #include "xmpi/op.hpp"
 #include "xmpi/request.hpp"
 #include "xmpi/status.hpp"
+#include "xmpi/win.hpp"
 #include "xmpi/world.hpp"
 
 /// @name Handle types
@@ -30,6 +31,7 @@ using XMPI_Op       = xmpi::Op const*;
 using XMPI_Request  = xmpi::Request*;
 using XMPI_Status   = xmpi::Status;
 using XMPI_Aint     = std::ptrdiff_t;
+using XMPI_Win      = xmpi::Win*;
 /// @}
 
 /// @name Null handles and special addresses
@@ -38,6 +40,7 @@ inline constexpr XMPI_Comm XMPI_COMM_NULL         = nullptr;
 inline constexpr XMPI_Request XMPI_REQUEST_NULL   = nullptr;
 inline constexpr XMPI_Datatype XMPI_DATATYPE_NULL = nullptr;
 inline constexpr XMPI_Group XMPI_GROUP_NULL       = nullptr;
+inline constexpr XMPI_Win XMPI_WIN_NULL           = nullptr;
 inline XMPI_Status* const XMPI_STATUS_IGNORE      = nullptr;
 inline XMPI_Status* const XMPI_STATUSES_IGNORE    = nullptr;
 inline void* const XMPI_IN_PLACE = xmpi::IN_PLACE;
@@ -293,4 +296,48 @@ int XMPI_Comm_revoke(XMPI_Comm comm);
 int XMPI_Comm_is_revoked(XMPI_Comm comm, int* flag);
 int XMPI_Comm_shrink(XMPI_Comm comm, XMPI_Comm* newcomm);
 int XMPI_Comm_agree(XMPI_Comm comm, int* flag);
+/// @}
+
+/// @name One-sided communication (RMA)
+/// @{
+/// @brief Passive-target lock types (MPI_LOCK_*).
+inline constexpr int XMPI_LOCK_SHARED    = xmpi::LOCK_SHARED;
+inline constexpr int XMPI_LOCK_EXCLUSIVE = xmpi::LOCK_EXCLUSIVE;
+
+/// @brief Collective: exposes @c size bytes starting at @c base over @c comm.
+/// Displacements passed to the access functions are scaled by @c disp_unit.
+int XMPI_Win_create(
+    void* base, XMPI_Aint size, int disp_unit, XMPI_Comm comm, XMPI_Win* win);
+/// @brief Collective: destroys the window (barrier, then drop reference).
+int XMPI_Win_free(XMPI_Win* win);
+
+/// @brief Queues a put; applied at the next synchronization call. A put with
+/// a contiguous origin datatype is zero-copy: the origin buffer must remain
+/// valid (and unmodified) until the epoch closes.
+int XMPI_Put(
+    void const* origin_addr, int origin_count, XMPI_Datatype origin_datatype, int target_rank,
+    XMPI_Aint target_disp, int target_count, XMPI_Datatype target_datatype, XMPI_Win win);
+/// @brief Queues a get; the origin buffer is filled at the next
+/// synchronization call and must stay valid until then.
+int XMPI_Get(
+    void* origin_addr, int origin_count, XMPI_Datatype origin_datatype, int target_rank,
+    XMPI_Aint target_disp, int target_count, XMPI_Datatype target_datatype, XMPI_Win win);
+/// @brief Element-wise atomic read-modify-write into the target region.
+/// Applied eagerly (not queued); requires contiguous datatypes.
+int XMPI_Accumulate(
+    void const* origin_addr, int origin_count, XMPI_Datatype origin_datatype, int target_rank,
+    XMPI_Aint target_disp, int target_count, XMPI_Datatype target_datatype, XMPI_Op op,
+    XMPI_Win win);
+
+/// @brief Active-target synchronization: drains the calling rank's pending
+/// ops and barriers over the window's communicator. With failed ranks the
+/// fence returns XMPI_ERR_PROC_FAILED instead of hanging. The @c assertion
+/// argument is accepted for MPI fidelity and ignored.
+int XMPI_Win_fence(int assertion, XMPI_Win win);
+/// @brief Passive-target: opens an access epoch towards @c rank. The
+/// @c assertion argument is accepted for MPI fidelity and ignored.
+int XMPI_Win_lock(int lock_type, int rank, int assertion, XMPI_Win win);
+/// @brief Closes a passive-target epoch: drains pending ops towards @c rank,
+/// then releases the lock.
+int XMPI_Win_unlock(int rank, XMPI_Win win);
 /// @}

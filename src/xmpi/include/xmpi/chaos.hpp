@@ -43,6 +43,14 @@ enum class Hook : int {
     /// After contributing to a fault-tolerant rendezvous round (shrink /
     /// agree) but before consuming its result: the mid-round failure window.
     ft_contributed,
+    /// Inside win_fence, after entry validation but before the pending-op
+    /// drain and the closing barrier: the rank dies mid-epoch with queued
+    /// RMA ops, while its peers are (or will be) blocked in the fence.
+    ft_win_fence,
+    /// Inside win_lock, immediately after acquiring the lock: the rank dies
+    /// holding a passive-target lock — the window other origins then need
+    /// pruned so they do not wait forever on a dead holder.
+    ft_win_lock,
 };
 
 /// @brief One scheduled fault of a plan. Build via the FaultPlan methods.

@@ -28,9 +28,18 @@ inline constexpr int XMPI_ERR_PROC_FAILED = 15;
 inline constexpr int XMPI_ERR_REVOKED     = 16;
 inline constexpr int XMPI_ERR_ARG         = 17;
 inline constexpr int XMPI_ERR_OTHER       = 18;
+/// RMA: invalid window handle.
+inline constexpr int XMPI_ERR_WIN         = 19;
+/// RMA: invalid displacement into a window.
+inline constexpr int XMPI_ERR_DISP        = 20;
+/// RMA: synchronization misuse (op outside an epoch, unlock without lock,
+/// fence while holding passive-target locks, ...).
+inline constexpr int XMPI_ERR_RMA_SYNC    = 21;
+/// RMA: target access outside the exposed window memory.
+inline constexpr int XMPI_ERR_RMA_RANGE   = 22;
 /// Largest defined error class (codes are dense in [0, LASTCODE]); lets
 /// tests and tools iterate every code exhaustively.
-inline constexpr int XMPI_ERR_LASTCODE    = XMPI_ERR_OTHER;
+inline constexpr int XMPI_ERR_LASTCODE    = XMPI_ERR_RMA_RANGE;
 /// @}
 
 namespace xmpi {

@@ -57,6 +57,14 @@ enum class Call : int {
     comm_create,
     comm_shrink,
     comm_agree,
+    win_create,
+    win_free,
+    put,
+    get,
+    accumulate,
+    win_fence,
+    win_lock,
+    win_unlock,
     count_ ///< number of entries; keep last
 };
 
@@ -83,6 +91,14 @@ struct RankCounters {
     std::atomic<std::uint64_t> engine_incomplete_destructions{0}; ///< requests freed before completion
     std::atomic<std::uint64_t> engine_stall_escalations{0}; ///< temporary workers grown by the stall valve
     /// @}
+    /// @name One-sided (RMA) counters (see win.hpp)
+    /// @{
+    std::atomic<std::uint64_t> rma_puts{0};         ///< puts initiated (excl. PROC_NULL no-ops)
+    std::atomic<std::uint64_t> rma_gets{0};         ///< gets initiated (excl. PROC_NULL no-ops)
+    std::atomic<std::uint64_t> rma_accumulates{0};  ///< accumulates applied
+    std::atomic<std::uint64_t> rma_bytes_zero_copied{0}; ///< RMA bytes moved without staging
+    std::atomic<std::uint64_t> rma_epoch_waits{0};  ///< fences + blocking lock acquisitions
+    /// @}
 
     void reset() {
         for (auto& counter: calls) {
@@ -100,6 +116,11 @@ struct RankCounters {
         engine_caller_steals.store(0, std::memory_order_relaxed);
         engine_incomplete_destructions.store(0, std::memory_order_relaxed);
         engine_stall_escalations.store(0, std::memory_order_relaxed);
+        rma_puts.store(0, std::memory_order_relaxed);
+        rma_gets.store(0, std::memory_order_relaxed);
+        rma_accumulates.store(0, std::memory_order_relaxed);
+        rma_bytes_zero_copied.store(0, std::memory_order_relaxed);
+        rma_epoch_waits.store(0, std::memory_order_relaxed);
     }
 };
 
@@ -118,6 +139,11 @@ struct Snapshot {
     std::uint64_t engine_caller_steals = 0;
     std::uint64_t engine_incomplete_destructions = 0;
     std::uint64_t engine_stall_escalations = 0;
+    std::uint64_t rma_puts = 0;
+    std::uint64_t rma_gets = 0;
+    std::uint64_t rma_accumulates = 0;
+    std::uint64_t rma_bytes_zero_copied = 0;
+    std::uint64_t rma_epoch_waits = 0;
 
     [[nodiscard]] std::uint64_t operator[](Call call) const {
         return calls[static_cast<std::size_t>(call)];
@@ -168,6 +194,11 @@ struct Span {
     /// (or a stealing caller) started it; 0 for operations that never went
     /// through the engine (blocking collectives, p2p).
     double queue_s = 0.0;
+    /// Time spent blocked in RMA epoch synchronization (the fence barrier,
+    /// or waiting to acquire a passive-target lock); 0 for non-RMA ops.
+    double epoch_wait_s = 0.0;
+    std::uint64_t bytes_put = 0; ///< RMA payload bytes written to targets
+    std::uint64_t bytes_got = 0; ///< RMA payload bytes read from targets
 };
 
 /// @brief True iff span recording is globally enabled. A single relaxed
@@ -198,5 +229,13 @@ void note_algorithm(char const* name);
 /// @brief Returns and clears the calling thread's algorithm note ("" if
 /// nothing was noted since the last take).
 char const* take_algorithm();
+
+/// @brief Called by the RMA synchronization primitives (win_fence, win_lock)
+/// to accumulate the time the calling rank spent blocked waiting for its
+/// epoch. Thread-local like note_algorithm; a no-op unless tracing is
+/// enabled. Picked up by the binding layer's call plan into Span.epoch_wait_s.
+void note_epoch_wait(double seconds);
+/// @brief Returns and clears the calling thread's accumulated epoch wait.
+double take_epoch_wait();
 
 } // namespace xmpi::profile

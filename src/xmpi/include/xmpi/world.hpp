@@ -28,6 +28,8 @@ namespace chaos {
 class Engine;
 }
 
+class Win;
+
 class World {
 public:
     /// @brief Creates a world of @c size ranks. Threads are attached via
@@ -111,6 +113,7 @@ private:
     std::atomic<int> next_context_{0};
     Comm* world_comm_ = nullptr;
     std::vector<Comm*> registered_comms_; // for wake_all on ibarrier/ft syncs
+    std::vector<Win*> registered_wins_;   // for wake_all on lock/fence waits
     std::mutex registered_comms_mutex_;
     std::atomic<chaos::Engine*> chaos_engine_{nullptr};
     std::vector<std::unique_ptr<chaos::Engine>> chaos_engines_; ///< current + superseded
@@ -119,6 +122,10 @@ private:
     friend class Comm;
     void register_comm(Comm* comm);
     void unregister_comm(Comm* comm);
+
+    friend class Win;
+    void register_win(Win* win);
+    void unregister_win(Win* win);
 };
 
 namespace detail {

@@ -15,4 +15,5 @@
 #include "xmpi/progress.hpp"  // IWYU pragma: export
 #include "xmpi/request.hpp"   // IWYU pragma: export
 #include "xmpi/status.hpp"    // IWYU pragma: export
+#include "xmpi/win.hpp"       // IWYU pragma: export
 #include "xmpi/world.hpp"     // IWYU pragma: export

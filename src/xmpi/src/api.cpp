@@ -880,3 +880,133 @@ int XMPI_Comm_agree(XMPI_Comm comm, int* flag) {
     return xmpi::detail::ulfm_agree(*comm, flag);
 }
 /// @}
+
+/// @name One-sided communication (RMA)
+/// @{
+namespace {
+
+/// Shared handle/argument validation of the three access functions.
+int check_rma_args(XMPI_Datatype origin_datatype, XMPI_Datatype target_datatype, int origin_count,
+                   int target_count, XMPI_Win win) {
+    if (win == XMPI_WIN_NULL) {
+        return XMPI_ERR_WIN;
+    }
+    if (origin_count < 0 || target_count < 0) {
+        return XMPI_ERR_COUNT;
+    }
+    if (origin_datatype == XMPI_DATATYPE_NULL || target_datatype == XMPI_DATATYPE_NULL) {
+        return XMPI_ERR_TYPE;
+    }
+    return XMPI_SUCCESS;
+}
+
+} // namespace
+
+int XMPI_Win_create(void* base, XMPI_Aint size, int disp_unit, XMPI_Comm comm, XMPI_Win* win) {
+    count_call(xmpi::profile::Call::win_create);
+    if (comm == XMPI_COMM_NULL) {
+        return XMPI_ERR_COMM;
+    }
+    if (size < 0) {
+        return XMPI_ERR_ARG;
+    }
+    if (disp_unit <= 0) {
+        return XMPI_ERR_DISP;
+    }
+    if (base == nullptr && size > 0) {
+        return XMPI_ERR_BUFFER;
+    }
+    return xmpi::detail::win_create(base, static_cast<std::size_t>(size), disp_unit, *comm, win);
+}
+
+int XMPI_Win_free(XMPI_Win* win) {
+    count_call(xmpi::profile::Call::win_free);
+    if (win == nullptr || *win == XMPI_WIN_NULL) {
+        return XMPI_ERR_WIN;
+    }
+    int const err = xmpi::detail::win_free(**win);
+    if (err != XMPI_ERR_RMA_SYNC) {
+        *win = XMPI_WIN_NULL; // freed (even if the barrier reported a failure)
+    }
+    return err;
+}
+
+int XMPI_Put(
+    void const* origin_addr, int origin_count, XMPI_Datatype origin_datatype, int target_rank,
+    XMPI_Aint target_disp, int target_count, XMPI_Datatype target_datatype, XMPI_Win win) {
+    count_call(xmpi::profile::Call::put);
+    if (int const err =
+            check_rma_args(origin_datatype, target_datatype, origin_count, target_count, win);
+        err != XMPI_SUCCESS) {
+        return err;
+    }
+    if (target_rank == XMPI_PROC_NULL) {
+        return XMPI_SUCCESS;
+    }
+    return win->put(
+        origin_addr, static_cast<std::size_t>(origin_count), *origin_datatype, target_rank,
+        target_disp, static_cast<std::size_t>(target_count), *target_datatype);
+}
+
+int XMPI_Get(
+    void* origin_addr, int origin_count, XMPI_Datatype origin_datatype, int target_rank,
+    XMPI_Aint target_disp, int target_count, XMPI_Datatype target_datatype, XMPI_Win win) {
+    count_call(xmpi::profile::Call::get);
+    if (int const err =
+            check_rma_args(origin_datatype, target_datatype, origin_count, target_count, win);
+        err != XMPI_SUCCESS) {
+        return err;
+    }
+    if (target_rank == XMPI_PROC_NULL) {
+        return XMPI_SUCCESS;
+    }
+    return win->get(
+        origin_addr, static_cast<std::size_t>(origin_count), *origin_datatype, target_rank,
+        target_disp, static_cast<std::size_t>(target_count), *target_datatype);
+}
+
+int XMPI_Accumulate(
+    void const* origin_addr, int origin_count, XMPI_Datatype origin_datatype, int target_rank,
+    XMPI_Aint target_disp, int target_count, XMPI_Datatype target_datatype, XMPI_Op op,
+    XMPI_Win win) {
+    count_call(xmpi::profile::Call::accumulate);
+    if (int const err =
+            check_rma_args(origin_datatype, target_datatype, origin_count, target_count, win);
+        err != XMPI_SUCCESS) {
+        return err;
+    }
+    if (op == XMPI_OP_NULL) {
+        return XMPI_ERR_OP;
+    }
+    if (target_rank == XMPI_PROC_NULL) {
+        return XMPI_SUCCESS;
+    }
+    return win->accumulate(
+        origin_addr, static_cast<std::size_t>(origin_count), *origin_datatype, target_rank,
+        target_disp, static_cast<std::size_t>(target_count), *target_datatype, *op);
+}
+
+int XMPI_Win_fence(int /*assertion*/, XMPI_Win win) {
+    count_call(xmpi::profile::Call::win_fence);
+    if (win == XMPI_WIN_NULL) {
+        return XMPI_ERR_WIN;
+    }
+    return win->fence();
+}
+
+int XMPI_Win_lock(int lock_type, int rank, int /*assertion*/, XMPI_Win win) {
+    count_call(xmpi::profile::Call::win_lock);
+    if (win == XMPI_WIN_NULL) {
+        return XMPI_ERR_WIN;
+    }
+    return win->lock(lock_type, rank);
+}
+
+int XMPI_Win_unlock(int rank, XMPI_Win win) {
+    count_call(xmpi::profile::Call::win_unlock);
+    if (win == XMPI_WIN_NULL) {
+        return XMPI_ERR_WIN;
+    }
+    return win->unlock(rank);
+}
+/// @}

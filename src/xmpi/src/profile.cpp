@@ -29,6 +29,12 @@ Snapshot snapshot_counters(RankCounters const& counters) {
         counters.engine_incomplete_destructions.load(std::memory_order_relaxed);
     snapshot.engine_stall_escalations =
         counters.engine_stall_escalations.load(std::memory_order_relaxed);
+    snapshot.rma_puts = counters.rma_puts.load(std::memory_order_relaxed);
+    snapshot.rma_gets = counters.rma_gets.load(std::memory_order_relaxed);
+    snapshot.rma_accumulates = counters.rma_accumulates.load(std::memory_order_relaxed);
+    snapshot.rma_bytes_zero_copied =
+        counters.rma_bytes_zero_copied.load(std::memory_order_relaxed);
+    snapshot.rma_epoch_waits = counters.rma_epoch_waits.load(std::memory_order_relaxed);
     return snapshot;
 }
 
@@ -74,6 +80,9 @@ std::vector<Span> g_spans;
 
 /// Per-thread (= per-rank) note of the last collective algorithm selected.
 thread_local char const* t_algorithm = "";
+
+/// Per-thread accumulated RMA epoch wait since the last take (seconds).
+thread_local double t_epoch_wait_s = 0.0;
 
 } // namespace
 
@@ -127,6 +136,9 @@ std::string spans_json() {
         json += ", \"count_exchange\": ";
         json += span.count_exchange ? "true" : "false";
         json += ", \"queue_s\": " + std::to_string(span.queue_s);
+        json += ", \"epoch_wait_s\": " + std::to_string(span.epoch_wait_s);
+        json += ", \"bytes_put\": " + std::to_string(span.bytes_put);
+        json += ", \"bytes_got\": " + std::to_string(span.bytes_got);
         json += i + 1 < spans.size() ? "},\n" : "}\n";
     }
     json += "]\n";
@@ -141,6 +153,16 @@ void note_algorithm(char const* name) {
 
 char const* take_algorithm() {
     return std::exchange(t_algorithm, "");
+}
+
+void note_epoch_wait(double seconds) {
+    if (tracing_enabled()) {
+        t_epoch_wait_s += seconds;
+    }
+}
+
+double take_epoch_wait() {
+    return std::exchange(t_epoch_wait_s, 0.0);
 }
 
 } // namespace xmpi::profile

@@ -8,6 +8,7 @@
 #include "kassert/kassert.hpp"
 #include "xmpi/chaos.hpp"
 #include "xmpi/progress.hpp"
+#include "xmpi/win.hpp"
 
 namespace xmpi {
 
@@ -63,6 +64,16 @@ void World::unregister_comm(Comm* comm) {
     std::erase(registered_comms_, comm);
 }
 
+void World::register_win(Win* win) {
+    std::lock_guard lock(registered_comms_mutex_);
+    registered_wins_.push_back(win);
+}
+
+void World::unregister_win(Win* win) {
+    std::lock_guard lock(registered_comms_mutex_);
+    std::erase(registered_wins_, win);
+}
+
 void World::mark_failed(int world_rank) {
     bool expected = false;
     if (failed_flags_[static_cast<std::size_t>(world_rank)].compare_exchange_strong(
@@ -83,6 +94,9 @@ void World::wake_all() {
     for (auto* comm: registered_comms_) {
         comm->ibarrier_sync().cv.notify_all();
         comm->ft_sync().cv.notify_all();
+    }
+    for (auto* win: registered_wins_) {
+        win->notify_waiters();
     }
 }
 
@@ -224,6 +238,14 @@ char const* error_string(int error_code) {
             return "invalid argument";
         case XMPI_ERR_OTHER:
             return "known error not in this list";
+        case XMPI_ERR_WIN:
+            return "invalid window";
+        case XMPI_ERR_DISP:
+            return "invalid displacement";
+        case XMPI_ERR_RMA_SYNC:
+            return "RMA synchronization misuse (wrong or missing epoch)";
+        case XMPI_ERR_RMA_RANGE:
+            return "RMA access outside the exposed window memory";
         default:
             return "unknown error";
     }

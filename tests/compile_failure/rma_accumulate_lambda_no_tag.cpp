@@ -1,0 +1,14 @@
+// EXPECT-ERROR: commutative
+#include <vector>
+
+#include "kamping/kamping.hpp"
+int main() {
+    kamping::Communicator comm;
+    std::vector<int> storage(1, 0);
+    auto win = comm.win_create(storage);
+    // A lambda op without a commutativity tag cannot be used for accumulate
+    // either: remote updates may be applied in any order.
+    win.accumulate(
+        kamping::send_buf({1}), kamping::target_rank(0),
+        kamping::op([](int a, int b) { return a + b; }));
+}

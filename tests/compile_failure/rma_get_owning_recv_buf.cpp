@@ -1,0 +1,14 @@
+// EXPECT-ERROR: outlives the epoch
+#include <vector>
+
+#include "kamping/kamping.hpp"
+int main() {
+    kamping::Communicator comm;
+    std::vector<int> storage(4, 0);
+    auto win = comm.win_create(storage);
+    // A moved-in (owning) recv_buf would be destroyed before the next
+    // synchronization call completes the get.
+    win.get(
+        kamping::recv_buf(std::vector<int>(4)), kamping::target_rank(0),
+        kamping::recv_count(4));
+}

@@ -1,0 +1,12 @@
+// EXPECT-ERROR: the put call plan is missing its required target_rank parameter
+#include <vector>
+
+#include "kamping/kamping.hpp"
+int main() {
+    kamping::Communicator comm;
+    std::vector<int> storage(4, 0);
+    auto win = comm.win_create(storage);
+    std::vector<int> const block{1, 2};
+    // A one-sided put needs to know where it goes.
+    win.put(kamping::send_buf(block), kamping::target_disp(0));
+}

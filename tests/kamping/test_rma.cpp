@@ -1,0 +1,341 @@
+/// @file test_rma.cpp
+/// @brief The one-sided binding layer: Window<T> creation, named-parameter
+/// put/get/accumulate, the RAII epoch guards, error stamping through the
+/// call plan, RMA tracing spans, and a multi-rank halo exchange — the
+/// binding-level twin of tests/xmpi/test_rma.cpp.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "kamping/kamping.hpp"
+#include "xmpi/xmpi.hpp"
+
+namespace {
+
+using namespace kamping;
+using xmpi::World;
+
+// ---------------------------------------------------------------------------
+// Window creation and fence epochs
+// ---------------------------------------------------------------------------
+
+TEST(KampingRma, RingPutThroughFenceGuard) {
+    constexpr int p = 4;
+    World::run(p, [] {
+        Communicator comm;
+        std::vector<int> local(2, -1);
+        auto win = comm.win_create(local);
+        int const rank = comm.rank();
+        int const size = static_cast<int>(comm.size());
+        std::vector<int> block{rank, rank * 10};
+        {
+            auto epoch = win.fence_guard();
+            win.put(send_buf(block), target_rank((rank + 1) % size));
+            // (Reading `local` here would race with a faster peer's closing
+            // fence — target memory is undefined until our own fence.)
+            epoch.close(); // checked closing fence
+        }
+        int const left = (rank + size - 1) % size;
+        EXPECT_EQ(local[0], left);
+        EXPECT_EQ(local[1], left * 10);
+    });
+}
+
+TEST(KampingRma, GetWithDisplacementAndResizePolicy) {
+    constexpr int p = 3;
+    World::run(p, [] {
+        Communicator comm;
+        int const rank = comm.rank();
+        std::vector<int> local{rank, rank + 1, rank + 2, rank + 3};
+        auto win = comm.win_create(local);
+        int const right = (rank + 1) % static_cast<int>(comm.size());
+
+        std::vector<int> fetched; // empty: recv_count + resize_to_fit sizes it
+        {
+            auto epoch = win.fence_guard();
+            win.get(
+                recv_buf<resize_to_fit>(fetched), target_rank(right),
+                target_disp(1), recv_count(3));
+            epoch.close();
+        }
+        EXPECT_EQ(fetched, (std::vector<int>{right + 1, right + 2, right + 3}));
+
+        // Default policy: the caller pre-sizes, count inferred from size().
+        std::vector<int> head(2, -1);
+        {
+            auto epoch = win.fence_guard();
+            win.get(recv_buf(head), target_rank(right));
+            epoch.close();
+        }
+        EXPECT_EQ(head, (std::vector<int>{right, right + 1}));
+    });
+}
+
+TEST(KampingRma, PutWithExplicitSendCount) {
+    World::run(2, [] {
+        Communicator comm;
+        std::vector<int> local(4, -1);
+        auto win = comm.win_create(local);
+        std::vector<int> block{7, 8, 9, 99};
+        {
+            auto epoch = win.fence_guard();
+            // Only the first 3 elements travel.
+            win.put(
+                send_buf(block), target_rank(1 - comm.rank()), send_count(3),
+                target_disp(1));
+            epoch.close();
+        }
+        EXPECT_EQ(local, (std::vector<int>{-1, 7, 8, 9}));
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Accumulate: built-in and user-lambda ops
+// ---------------------------------------------------------------------------
+
+TEST(KampingRma, AccumulateWithBuiltinOp) {
+    constexpr int p = 4;
+    World::run(p, [] {
+        Communicator comm;
+        std::vector<int> slot(1, 0);
+        auto win = comm.win_create(slot);
+        std::vector<int> const contribution{comm.rank() + 1};
+        {
+            auto epoch = win.fence_guard();
+            win.accumulate(send_buf(contribution), target_rank(0), op(std::plus<>{}));
+            epoch.close();
+        }
+        if (comm.rank() == 0) {
+            EXPECT_EQ(slot[0], p * (p + 1) / 2);
+        }
+    });
+}
+
+TEST(KampingRma, AccumulateWithCommutativeLambda) {
+    constexpr int p = 3;
+    World::run(p, [] {
+        Communicator comm;
+        std::vector<int> slot(1, 1);
+        auto win = comm.win_create(slot);
+        // accumulate applies eagerly, so an owning (temporary) send_buf is
+        // fine here — unlike put, whose buffer must outlive the epoch.
+        {
+            auto epoch = win.fence_guard();
+            win.accumulate(
+                send_buf({comm.rank() + 2}), target_rank(0),
+                op([](int a, int b) { return a * b; }, ops::commutative));
+            epoch.close();
+        }
+        if (comm.rank() == 0) {
+            EXPECT_EQ(slot[0], 2 * 3 * 4);
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Passive target: lock_guard
+// ---------------------------------------------------------------------------
+
+TEST(KampingRma, LockGuardPassiveTargetPut) {
+    World::run(2, [] {
+        Communicator comm;
+        std::vector<int> local(1, -1);
+        auto win = comm.win_create(local);
+        std::vector<int> const value{1234};
+        if (comm.rank() == 0) {
+            {
+                auto guard = win.lock_guard(1); // exclusive by default
+                win.put(send_buf(value), target_rank(1));
+            } // unlock drains the put
+        }
+        comm.barrier();
+        if (comm.rank() == 1) {
+            EXPECT_EQ(local[0], 1234);
+        }
+    });
+}
+
+TEST(KampingRma, SharedLockGuardsCoexist) {
+    constexpr int p = 4;
+    World::run(p, [] {
+        Communicator comm;
+        std::vector<int> local(1, comm.rank());
+        auto win = comm.win_create(local);
+        {
+            auto guard = win.lock_guard(0, LockType::shared);
+            // All ranks hold the shared lock across this barrier; an
+            // exclusive lock here would deadlock.
+            comm.barrier();
+            guard.close();
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Halo exchange: the canonical one-sided pattern
+// ---------------------------------------------------------------------------
+
+// Each rank owns `interior` cells plus one ghost cell per side and *gets*
+// the neighbours' boundary cells into its ghosts — same computation as
+// examples/one_sided_halo.cpp, condensed.
+TEST(KampingRma, HaloExchangeConvergesOnNeighbourValues) {
+    constexpr int p = 4;
+    constexpr int interior = 3;
+    World::run(p, [] {
+        Communicator comm;
+        int const rank = comm.rank();
+        int const size = static_cast<int>(comm.size());
+        // Window layout: [interior cells]; ghosts live outside the window.
+        std::vector<int> cells(interior);
+        std::iota(cells.begin(), cells.end(), rank * 100);
+        auto win = comm.win_create(cells);
+
+        std::vector<int> left_ghost(1, -1);
+        std::vector<int> right_ghost(1, -1);
+        int const left = (rank + size - 1) % size;
+        int const right = (rank + 1) % size;
+        {
+            auto epoch = win.fence_guard();
+            // Left neighbour's rightmost interior cell → my left ghost.
+            win.get(recv_buf(left_ghost), target_rank(left), target_disp(interior - 1));
+            // Right neighbour's leftmost interior cell → my right ghost.
+            win.get(recv_buf(right_ghost), target_rank(right), target_disp(0));
+            epoch.close();
+        }
+        EXPECT_EQ(left_ghost[0], left * 100 + interior - 1);
+        EXPECT_EQ(right_ghost[0], right * 100);
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Error stamping through the call plan
+// ---------------------------------------------------------------------------
+
+TEST(KampingRma, ErrorsAreStampedWithOperationAndCode) {
+    World::run(2, [] {
+        Communicator comm;
+        std::vector<int> local(2, 0);
+        auto win = comm.win_create(local);
+        std::vector<int> const value{1};
+        auto epoch = win.fence_guard();
+        try {
+            win.put(send_buf(value), target_rank(17));
+            FAIL() << "expected MpiError for an out-of-range target rank";
+        } catch (MpiError const& error) {
+            EXPECT_EQ(error.error_code(), XMPI_ERR_RANK);
+            EXPECT_NE(std::string(error.what()).find("XMPI_Put"), std::string::npos);
+        }
+        try {
+            win.get(recv_buf(local), target_rank(0), target_disp(5));
+            FAIL() << "expected MpiError for an out-of-bounds displacement";
+        } catch (MpiError const& error) {
+            EXPECT_EQ(error.error_code(), XMPI_ERR_RMA_RANGE);
+        }
+        epoch.close();
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Tracing: RMA spans with epoch-wait and byte attribution
+// ---------------------------------------------------------------------------
+
+struct TracingReset {
+    ~TracingReset() {
+        kamping::tracing::disable();
+        xmpi::profile::clear_spans();
+    }
+};
+
+TEST(KampingRma, SpansCarryBytesAndEpochWait) {
+    TracingReset guard;
+    xmpi::profile::clear_spans();
+    kamping::tracing::enable();
+    constexpr int p = 2;
+    World::run(p, [] {
+        Communicator comm;
+        std::vector<int> local(4, 0);
+        auto win = comm.win_create(local);
+        std::vector<int> const block{1, 2, 3, 4};
+        std::vector<int> fetched(4, 0);
+        {
+            auto epoch = win.fence_guard();
+            win.put(send_buf(block), target_rank(1 - comm.rank()));
+            win.get(recv_buf(fetched), target_rank(1 - comm.rank()));
+            epoch.close();
+        }
+    });
+    kamping::tracing::disable();
+
+    auto const spans = xmpi::profile::take_spans();
+    std::size_t puts = 0;
+    std::size_t gets = 0;
+    std::size_t fences = 0;
+    for (auto const& span: spans) {
+        std::string const op_name(span.op);
+        if (op_name == "put") {
+            ++puts;
+            EXPECT_EQ(span.bytes_put, 4 * sizeof(int));
+            EXPECT_EQ(span.bytes_got, 0u);
+        } else if (op_name == "get") {
+            ++gets;
+            EXPECT_EQ(span.bytes_got, 4 * sizeof(int));
+        } else if (op_name == "win_fence") {
+            ++fences;
+            // The fence span owns the epoch wait (the barrier), not the ops.
+            EXPECT_GE(span.epoch_wait_s, 0.0);
+        }
+    }
+    EXPECT_EQ(puts, static_cast<std::size_t>(p));
+    EXPECT_EQ(gets, static_cast<std::size_t>(p));
+    // fence_guard fences twice (open + close) plus win_create/win_free have
+    // their own spans; at least the two fences per rank must be present.
+    EXPECT_GE(fences, static_cast<std::size_t>(2 * p));
+
+    // And the JSON dump names the new fields.
+    xmpi::profile::clear_spans();
+}
+
+TEST(KampingRma, SpansJsonNamesRmaFields) {
+    TracingReset guard;
+    xmpi::profile::clear_spans();
+    kamping::tracing::enable();
+    World::run(2, [] {
+        Communicator comm;
+        std::vector<int> local(1, 0);
+        auto win = comm.win_create(local);
+        std::vector<int> const one{1};
+        {
+            auto epoch = win.fence_guard();
+            win.put(send_buf(one), target_rank(1 - comm.rank()));
+            epoch.close();
+        }
+    });
+    kamping::tracing::disable();
+    std::string const json = xmpi::profile::spans_json();
+    EXPECT_NE(json.find("\"op\": \"put\""), std::string::npos) << json;
+    EXPECT_NE(json.find("bytes_put"), std::string::npos);
+    EXPECT_NE(json.find("epoch_wait_s"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Window handle semantics
+// ---------------------------------------------------------------------------
+
+TEST(KampingRma, WindowIsMovableAndFreeIsIdempotent) {
+    World::run(2, [] {
+        Communicator comm;
+        std::vector<int> local(1, 0);
+        auto win = comm.win_create(local);
+        auto moved = std::move(win);
+        EXPECT_EQ(win.mpi_win(), XMPI_WIN_NULL);
+        EXPECT_NE(moved.mpi_win(), XMPI_WIN_NULL);
+        moved.free();
+        EXPECT_EQ(moved.mpi_win(), XMPI_WIN_NULL);
+        moved.free(); // second free is a no-op, not an error
+    });
+}
+
+} // namespace
