@@ -51,6 +51,11 @@ enum class Hook : int {
     /// holding a passive-target lock — the window other origins then need
     /// pruned so they do not wait forever on a dead holder.
     ft_win_lock,
+    /// Inside transport_send, immediately after publishing a rendezvous
+    /// descriptor but before the payload is claimed: the sender dies while
+    /// the receiver may already be matching the descriptor — the receive
+    /// must fail with XMPI_ERR_PROC_FAILED instead of waiting forever.
+    ft_rendezvous_publish,
 };
 
 /// @brief One scheduled fault of a plan. Build via the FaultPlan methods.

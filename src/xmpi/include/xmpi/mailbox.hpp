@@ -1,23 +1,35 @@
 /// @file mailbox.hpp
-/// @brief Per-rank message store implementing MPI matching semantics.
+/// @brief Per-rank matching engine over the lock-free transport rings.
 ///
-/// Each rank owns one Mailbox. A message is matched by (context id, source
-/// rank, tag); receives may use the ANY_SOURCE / ANY_TAG wildcards. Matching
-/// respects MPI's non-overtaking guarantee: posted receives are matched in
-/// posting order and unexpected messages in arrival order, so two messages
-/// from the same (source, context) with the same tag are received in send
-/// order.
+/// Each rank owns one Mailbox. Senders never touch it on the fast path:
+/// they publish into the per-(src,dst) PeerRings (ring.hpp) and poke the
+/// receiver's arrival counter. The receiving rank *pulls* — every receive
+/// entry point (post, await, probe, test) first drains the rank's incoming
+/// rings under the mailbox mutex, which is thereby reduced from a cross-rank
+/// contention point to a consumer-side serializer.
 ///
-/// Matching is O(1) for the common case: posted receives and unexpected
-/// messages are bucketed by their exact (context, source, tag) key, so an
-/// exact receive and an incoming message each touch one hash bucket.
-/// Wildcard receives live on a separate fallback list; sequence numbers
-/// (arrival order for messages, posting order for receives) arbitrate
-/// between a bucket front and a wildcard candidate so the MPI ordering
-/// rules survive the split.
+/// Matching semantics are unchanged from the classic design: a message is
+/// matched by (context id, source rank, tag); receives may use ANY_SOURCE /
+/// ANY_TAG wildcards; posted receives are matched in posting order and
+/// unexpected messages in arrival order (non-overtaking). Matching is O(1)
+/// for the common case: posted receives and unexpected messages are
+/// bucketed by their exact (context, source, tag) key. Wildcard receives
+/// live on a separate fallback list; sequence numbers — assigned at drain
+/// time, which is when a ring entry enters the matching layer — arbitrate
+/// between a bucket front and a wildcard candidate.
+///
+/// Ordering argument for wildcards over the rings: all messages of one
+/// sender travel through one ring in publish order, and the single drain
+/// point assigns their mailbox sequence numbers in pop order, so the
+/// per-(source, context, tag) arrival order seen by the matching layer is
+/// exactly the send order — the same invariant the mutex mailbox had, now
+/// established by the ring's FIFO instead of the sender's lock acquisition
+/// order. Messages of *different* senders gain an order only when a drain
+/// interleaves them, which MPI leaves unspecified.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -31,79 +43,35 @@
 
 #include "xmpi/pool.hpp"
 #include "xmpi/profile.hpp"
+#include "xmpi/ring.hpp"
 #include "xmpi/status.hpp"
+#include "xmpi/tuning.hpp"
 
 namespace xmpi {
 
 class Comm;
 class Datatype;
+class World;
 
 namespace detail {
 
-/// @brief Message envelope used for matching.
-struct Envelope {
-    int context;   ///< communicator context id (pt2pt or collective space)
-    int source;    ///< sender's rank within the communicator
-    int tag;
-
-    /// @brief True iff a receive pattern (which may contain wildcards in
-    /// @c source / @c tag) matches a concrete message envelope.
-    [[nodiscard]] bool matches(Envelope const& message) const {
-        return context == message.context
-               && (source == ANY_SOURCE || source == message.source)
-               && (tag == ANY_TAG || tag == message.tag);
-    }
-
-    /// @brief True iff the pattern contains no wildcard (bucketable).
-    [[nodiscard]] bool is_exact() const {
-        return source != ANY_SOURCE && tag != ANY_TAG;
-    }
-
-    bool operator==(Envelope const&) const = default;
-};
-
-/// @brief Hash for exact envelopes (bucket keys).
-struct EnvelopeHash {
-    [[nodiscard]] std::size_t operator()(Envelope const& env) const {
-        auto mix = [](std::size_t seed, std::size_t value) {
-            return seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
-        };
-        std::size_t seed = static_cast<std::size_t>(env.context);
-        seed = mix(seed, static_cast<std::size_t>(env.source));
-        return mix(seed, static_cast<std::size_t>(env.tag));
-    }
-};
-
-/// @brief Completion handle for synchronous-mode sends: set when the message
-/// has been matched by a receive.
-struct SyncHandle {
-    std::mutex mutex;
-    std::condition_variable cv;
-    bool matched = false;
-
-    void signal() {
-        {
-            std::lock_guard lock(mutex);
-            matched = true;
-        }
-        cv.notify_all();
-    }
-};
-
-/// @brief An in-flight message: envelope plus packed payload. xmpi uses
-/// eager buffered delivery, so the payload is always an owned copy (drawn
-/// from the world's PayloadPool and recycled after unpacking).
+/// @brief A message inside the matching layer: envelope plus either a view
+/// into a (possibly shared batch) payload block or a rendezvous descriptor.
 struct Message {
     Envelope env;
-    std::vector<std::byte> payload;
-    std::shared_ptr<SyncHandle> sync; ///< non-null for synchronous-mode sends
-    std::uint64_t seq = 0;            ///< arrival order within the mailbox
+    PayloadRef payload;                          ///< empty for rendezvous
+    std::shared_ptr<SyncHandle> sync;            ///< synchronous-mode sends
+    std::shared_ptr<RendezvousState> rendezvous; ///< large-message descriptor
+    std::uint64_t seq = 0;                       ///< arrival order (drain order)
+
+    [[nodiscard]] std::size_t bytes() const {
+        return rendezvous != nullptr ? rendezvous->size : payload.size;
+    }
 };
 
 /// @brief A posted (pending) receive. Completion is guarded by the owning
-/// mailbox's mutex and signalled via its condition variable; the flag is
-/// additionally atomic so waiters may poll it without the lock (the
-/// spin-before-block phase of Mailbox::await).
+/// mailbox's mutex; the flag is additionally atomic so waiters may poll it
+/// without the lock (the spin phase of Mailbox::await).
 struct RecvTicket {
     Envelope pattern;
     void* buffer = nullptr;
@@ -116,82 +84,93 @@ struct RecvTicket {
     Status status;
 };
 
-/// @brief Iterations of the lock-free completion poll in Mailbox::await
-/// before falling back to the condition variable — a few microseconds of
-/// PAUSE on current hardware, enough to cover a same-machine round trip.
-inline constexpr int kSpinBeforeBlock = 2000;
-
-/// @brief Spin budget for Mailbox::await. Polling only pays off when the
-/// sender can make progress on another core while we poll; on a single
-/// hardware thread the spin just delays the context switch the sender
-/// needs, so it is disabled there.
-inline int spin_budget() {
-    static int const budget =
-        std::thread::hardware_concurrency() > 1 ? kSpinBeforeBlock : 0;
-    return budget;
-}
-
-/// @brief CPU-relax hint for spin loops.
-inline void spin_pause() {
-#if defined(__x86_64__) || defined(__i386__)
-    __builtin_ia32_pause();
-#elif defined(__aarch64__)
-    asm volatile("yield");
-#else
-    std::atomic_signal_fence(std::memory_order_seq_cst);
-#endif
-}
-
-/// @brief Per-rank mailbox: unexpected-message buckets plus posted-receive
-/// buckets, each with a wildcard/scan fallback.
+/// @brief Per-rank mailbox: drains the rank's incoming rings and runs the
+/// bucketed matching described in the file header.
 class Mailbox {
 public:
-    explicit Mailbox(PayloadPool* pool) : pool_(pool) {}
+    Mailbox(World* world, PayloadPool* pool, profile::RankCounters* counters, int rank,
+            int world_size)
+        : world_(world),
+          pool_(pool),
+          counters_(counters),
+          rank_(rank),
+          world_size_(world_size) {}
 
-    /// @brief Delivers a message: matches it against posted receives (in
-    /// posting order) or enqueues it as unexpected.
-    void deliver(Message message);
+    /// @brief Producer-side poke after publishing a ring entry: bumps the
+    /// arrival counter and wakes the receiver iff it is (about to be)
+    /// blocked. The empty lock/unlock pairs with sleep_locked() so a
+    /// receiver between its final drain and its wait cannot miss the wake.
+    void notify_push() {
+        arrivals_.fetch_add(1, std::memory_order_seq_cst);
+        if (sleepers_.load(std::memory_order_seq_cst) > 0) {
+            { std::lock_guard lock(mutex_); }
+            cv_.notify_all();
+        }
+    }
 
-    /// @brief Zero-copy fast path for contiguous payloads: if a matching
-    /// receive is already posted, unpacks straight from @c data into the
-    /// receiver's buffer — no payload is materialized. Otherwise copies
-    /// @c data into a pooled payload and enqueues it as unexpected. The
-    /// fast-path and pool counters are charged to @c counters (the sender).
-    void deliver_bytes(
-        Envelope const& env, std::byte const* data, std::size_t size,
-        std::shared_ptr<SyncHandle> sync, profile::RankCounters& counters);
+    /// @brief Ring-full fallback: drains @c ring in order under the mailbox
+    /// mutex, then delivers @c message directly. Preserves the sender's
+    /// non-overtaking order because every older entry of that ring enters
+    /// the matching layer first.
+    void deliver_overflow(PeerRing& ring, Message message);
 
-    /// @brief Tries to match a receive against the unexpected queue. On match
-    /// the message is consumed into @c ticket (complete = true). Otherwise
-    /// the ticket is posted. Returns true iff matched immediately.
+    /// @brief Opportunistically drains the incoming rings (used by waiting
+    /// senders and the progress engine so rendezvous and batches keep
+    /// flowing while a rank blocks elsewhere). Returns true on progress.
+    bool poll();
+
+    /// @brief Tries to match a receive against the unexpected queue (after
+    /// draining the rings). On match the message is consumed into @c ticket
+    /// (complete = true). Otherwise the ticket is posted. Returns true iff
+    /// matched immediately.
     bool post_or_match(std::shared_ptr<RecvTicket> const& ticket);
 
     /// @brief Blocks until the ticket completes or @c aborted() returns true.
     /// Returns false iff aborted before completion (the ticket is withdrawn).
     template <typename AbortPredicate>
     bool await(std::shared_ptr<RecvTicket> const& ticket, AbortPredicate&& aborted) {
-        // In latency-bound patterns (ping-pong, tightly coupled collectives)
-        // the matching send lands within a few microseconds of the receive,
-        // so briefly polling the completion flag skips the condition-variable
-        // sleep/wake round trip — the dominant cost of a small-message
-        // round trip. The spin is bounded, so an oversubscribed world only
-        // burns a few microseconds before blocking, and aborts (failure /
-        // revocation) are still observed once the slow path is entered.
-        for (int i = spin_budget(); i > 0; --i) {
+        // In latency-bound patterns the matching send lands within a few
+        // microseconds of the receive, so briefly polling skips the
+        // condition-variable sleep/wake round trip. The poll must also
+        // drain: completion may literally be sitting in our own rings.
+        for (int i = tuning::spin_budget(); i > 0; --i) {
             if (ticket->complete.load(std::memory_order_acquire)) {
                 return true;
             }
+            if (arrivals_.load(std::memory_order_acquire)
+                != drained_.load(std::memory_order_acquire)) {
+                poll();
+            }
             spin_pause();
         }
-        std::unique_lock lock(mutex_);
-        cv_.wait(lock, [&] {
-            return ticket->complete.load(std::memory_order_acquire) || aborted();
-        });
-        if (!ticket->complete.load(std::memory_order_acquire)) {
-            remove_posted_locked(ticket);
-            return false;
+        // Middle rung: yield instead of parking. On an oversubscribed
+        // machine this hands the core to the very thread we are waiting
+        // on; a futex sleep/wake round trip would cost microseconds per
+        // pingpong leg.
+        for (int i = tuning::yield_budget(); i > 0; --i) {
+            if (ticket->complete.load(std::memory_order_acquire)) {
+                return true;
+            }
+            if (arrivals_.load(std::memory_order_acquire)
+                != drained_.load(std::memory_order_acquire)) {
+                poll();
+            }
+            std::this_thread::yield();
         }
-        return true;
+        std::unique_lock lock(mutex_);
+        while (true) {
+            if (drain_rings_locked()) {
+                cv_.notify_all(); // other waiters may have been completed
+            }
+            if (ticket->complete.load(std::memory_order_acquire)) {
+                return true;
+            }
+            if (aborted()) {
+                remove_posted_locked(ticket);
+                return false;
+            }
+            sleep_locked(lock);
+        }
     }
 
     /// @brief Non-blocking completion check used by request test.
@@ -210,28 +189,105 @@ public:
     bool probe_blocking(Envelope const& pattern, Status& status, AbortPredicate&& aborted) {
         std::unique_lock lock(mutex_);
         while (true) {
+            if (drain_rings_locked()) {
+                cv_.notify_all();
+            }
             if (find_unexpected_locked(pattern, status)) {
                 return true;
             }
             if (aborted()) {
                 return false;
             }
-            cv_.wait(lock);
+            sleep_locked(lock);
         }
     }
 
-    /// @brief Wakes all threads blocked on this mailbox (failure/revocation).
-    void wake() { cv_.notify_all(); }
+    /// @brief Parks the caller until the mailbox is poked (notify_push, a
+    /// completed rendezvous claim via wake()) or @c timeout elapses. Drains
+    /// before parking; used by rendezvous senders waiting for their claim.
+    /// @param done Caller's completion predicate, re-checked under the
+    /// mailbox mutex right before parking. Together with the signals_
+    /// snapshot this closes the lost-wake race against a waker that fires
+    /// between the caller's last check and the park: either the waker's
+    /// signal bump is visible here (we skip the sleep), or our sleepers_
+    /// increment is visible to the waker (it notifies). The only residual
+    /// window — notify landing between our signal check and the wait —
+    /// costs one @c timeout, never a hang.
+    template <typename Rep, typename Period, typename Predicate>
+    void wait_signal(std::chrono::duration<Rep, Period> timeout, Predicate&& done) {
+        std::unique_lock lock(mutex_);
+        std::uint64_t const signals = signals_.load(std::memory_order_seq_cst);
+        if (drain_rings_locked()) {
+            cv_.notify_all();
+            return; // progress was made; let the caller re-check its state
+        }
+        if (done()) {
+            return;
+        }
+        sleepers_.fetch_add(1, std::memory_order_seq_cst);
+        if (arrivals_.load(std::memory_order_seq_cst)
+                == drained_.load(std::memory_order_relaxed)
+            && signals_.load(std::memory_order_seq_cst) == signals) {
+            cv_.wait_for(lock, timeout);
+        }
+        sleepers_.fetch_sub(1, std::memory_order_relaxed);
+    }
+
+    template <typename Rep, typename Period>
+    void wait_signal(std::chrono::duration<Rep, Period> timeout) {
+        wait_signal(timeout, [] { return false; });
+    }
+
+    /// @brief Wakes all threads blocked on this mailbox (failure/revocation,
+    /// rendezvous completion). Deliberately does NOT take the mailbox mutex:
+    /// a receiver completes a rendezvous while holding its *own* mailbox
+    /// lock, and two ranks exchanging large messages would ABBA-deadlock if
+    /// waking the peer required the peer's lock. The signals_ bump pairs
+    /// with the snapshot in wait_signal() instead (seq_cst both sides).
+    void wake() {
+        signals_.fetch_add(1, std::memory_order_seq_cst);
+        if (sleepers_.load(std::memory_order_seq_cst) > 0) {
+            cv_.notify_all();
+        }
+    }
 
 private:
     friend struct MailboxTestAccess;
 
     using TicketQueue = std::deque<std::shared_ptr<RecvTicket>>;
 
+    /// @brief Drains every incoming ring into the matching layer. Skips the
+    /// sweep entirely when no push happened since the last one. Returns true
+    /// iff any entry was consumed.
+    bool drain_rings_locked();
+    bool drain_one_ring_locked(PeerRing& ring);
+    void dispatch_entry_locked(RingEntry&& entry, std::size_t batch_bytes);
+    void deliver_locked(Message&& message);
+
+    /// @brief Blocks on the condition variable unless a push raced in since
+    /// the last drain. The bounded wait is a liveness backstop only; the
+    /// seq_cst sleeper/arrival handshake with notify_push() makes a lost
+    /// wakeup impossible in the protocol itself.
+    void sleep_locked(std::unique_lock<std::mutex>& lock) {
+        sleepers_.fetch_add(1, std::memory_order_seq_cst);
+        if (arrivals_.load(std::memory_order_seq_cst)
+            == drained_.load(std::memory_order_relaxed)) {
+            cv_.wait_for(lock, std::chrono::milliseconds(2));
+        }
+        sleepers_.fetch_sub(1, std::memory_order_relaxed);
+    }
+
     bool find_unexpected_locked(Envelope const& pattern, Status& status);
     void complete_ticket_locked(
         RecvTicket& ticket, Envelope const& env, std::byte const* data, std::size_t size,
         SyncHandle* sync);
+    /// @brief Completes @c ticket from a matched message: unpacks an eager
+    /// payload, or runs the receiver side of the rendezvous protocol
+    /// (claim + direct copy from the sender's buffer, eager-fallback
+    /// consumption, or XMPI_ERR_PROC_FAILED for an abandoned descriptor).
+    void complete_from_message_locked(RecvTicket& ticket, Message&& message);
+    void complete_rendezvous_locked(
+        RecvTicket& ticket, Envelope const& env, RendezvousState& rdv, SyncHandle* sync);
     /// @brief Earliest-posted ticket matching @c env: min over the exact
     /// bucket front and the first matching wildcard ticket. Removes and
     /// returns it, or nullptr.
@@ -246,9 +302,23 @@ private:
     bool remove_posted_locked(std::shared_ptr<RecvTicket> const& ticket);
     void enqueue_unexpected_locked(Message&& message);
 
+    World* world_;
+    PayloadPool* pool_;
+    profile::RankCounters* counters_; ///< this (receiving) rank's counters
+    int rank_;
+    int world_size_;
+
     std::mutex mutex_;
     std::condition_variable cv_;
-    PayloadPool* pool_;
+    /// Pushes into this rank's rings (producer side, seq_cst with sleepers_).
+    alignas(64) std::atomic<std::uint64_t> arrivals_{0};
+    /// Arrival snapshot of the last completed sweep (consumer side).
+    std::atomic<std::uint64_t> drained_{0};
+    std::atomic<int> sleepers_{0};
+    /// Out-of-band pokes from wake() (rendezvous completion, failure); a
+    /// second eventcount dimension so wake() never needs this mutex.
+    std::atomic<std::uint64_t> signals_{0};
+
     std::uint64_t next_message_seq_ = 0;
     std::uint64_t next_ticket_seq_ = 0;
     std::unordered_map<Envelope, std::deque<Message>, EnvelopeHash> unexpected_;

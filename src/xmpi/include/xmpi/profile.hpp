@@ -70,20 +70,40 @@ enum class Call : int {
 
 inline constexpr std::size_t num_calls = static_cast<std::size_t>(Call::count_);
 
+/// @brief Cache-line size assumed for counter padding (std::hardware_
+/// destructive_interference_size is deliberately avoided: it is ABI-fragile
+/// and gcc warns on it).
+inline constexpr std::size_t kCounterCacheLine = 64;
+
 /// @brief Counters of one rank. Atomics allow cross-thread snapshots.
+///
+/// The hot transport counters are grouped by writer and each group is
+/// aligned to its own cache line: a rank's counters are bumped per message
+/// by its own thread *and* by progress-engine workers acting for it, so
+/// without the padding the sender-side group (bumped on every publish) and
+/// the consumer-side group (bumped on every drain) would false-share one
+/// line and the ring fast path would ping-pong it between cores.
 struct RankCounters {
     std::array<std::atomic<std::uint64_t>, num_calls> calls{};
-    std::atomic<std::uint64_t> messages_sent{0};
-    std::atomic<std::uint64_t> bytes_sent{0};
-    /// @name Transport fast-path counters (see pool.hpp / transport.cpp)
+    /// @name Sender-side hot counters (bumped on every send/publish)
     /// @{
-    std::atomic<std::uint64_t> fastpath_sends{0};    ///< sends delivered zero-copy
-    std::atomic<std::uint64_t> bytes_zero_copied{0}; ///< payload bytes moved without staging
-    std::atomic<std::uint64_t> pool_hits{0};         ///< payload buffers reused from the pool
-    std::atomic<std::uint64_t> pool_misses{0};       ///< payload buffers heap-allocated
+    alignas(kCounterCacheLine) std::atomic<std::uint64_t> messages_sent{0};
+    std::atomic<std::uint64_t> bytes_sent{0};
+    std::atomic<std::uint64_t> fastpath_sends{0};  ///< contiguous sends on the ring fast path
+    std::atomic<std::uint64_t> ring_enqueues{0};   ///< ring slots published
+    std::atomic<std::uint64_t> coalesced_sends{0}; ///< small sends appended to an open batch
+    std::atomic<std::uint64_t> ring_full_fallbacks{0}; ///< locked bypass deliveries (ring full)
+    std::atomic<std::uint64_t> pool_hits{0};           ///< payload buffers reused from the pool
+    std::atomic<std::uint64_t> pool_misses{0};         ///< payload buffers heap-allocated
+    /// @}
+    /// @name Consumer-side hot counters (bumped when this rank drains/claims)
+    /// @{
+    alignas(kCounterCacheLine) std::atomic<std::uint64_t> rendezvous_transfers{0}; ///< descriptors claimed zero-copy
+    std::atomic<std::uint64_t> bytes_zero_copied{0}; ///< payload bytes moved without staging (both sides)
     /// @}
     /// @name Progress-engine counters (see progress.hpp)
     /// @{
+    alignas(kCounterCacheLine)
     std::atomic<std::uint64_t> engine_tasks{0};            ///< tasks enqueued on the engine
     std::atomic<std::uint64_t> engine_inline_fallbacks{0}; ///< full queue: ran inline at initiation
     std::atomic<std::uint64_t> engine_queue_depth_max{0};  ///< deepest queue observed at enqueue
@@ -107,6 +127,10 @@ struct RankCounters {
         messages_sent.store(0, std::memory_order_relaxed);
         bytes_sent.store(0, std::memory_order_relaxed);
         fastpath_sends.store(0, std::memory_order_relaxed);
+        ring_enqueues.store(0, std::memory_order_relaxed);
+        coalesced_sends.store(0, std::memory_order_relaxed);
+        ring_full_fallbacks.store(0, std::memory_order_relaxed);
+        rendezvous_transfers.store(0, std::memory_order_relaxed);
         bytes_zero_copied.store(0, std::memory_order_relaxed);
         pool_hits.store(0, std::memory_order_relaxed);
         pool_misses.store(0, std::memory_order_relaxed);
@@ -130,6 +154,10 @@ struct Snapshot {
     std::uint64_t messages_sent = 0;
     std::uint64_t bytes_sent = 0;
     std::uint64_t fastpath_sends = 0;
+    std::uint64_t ring_enqueues = 0;
+    std::uint64_t coalesced_sends = 0;
+    std::uint64_t ring_full_fallbacks = 0;
+    std::uint64_t rendezvous_transfers = 0;
     std::uint64_t bytes_zero_copied = 0;
     std::uint64_t pool_hits = 0;
     std::uint64_t pool_misses = 0;

@@ -1,0 +1,76 @@
+/// @file tuning.hpp
+/// @brief Runtime-tunable transport knobs.
+///
+/// Unlike the compile-time collective thresholds in netmodel.hpp (which gate
+/// algorithm *selection* and want constant-folding), the transport knobs
+/// below trade latency against CPU burn and memory, which depends on the
+/// machine the emulation runs on — so they are runtime values, seeded once
+/// from the environment and mutable from tests before a World is started.
+#pragma once
+
+#include <cstddef>
+
+namespace xmpi::tuning {
+
+/// @brief Hard-coded defaults (exposed for tests and documentation).
+inline constexpr int kDefaultSpinBeforeBlock = 2000;
+inline constexpr int kDefaultYieldBeforeBlock = 8;
+inline constexpr std::size_t kDefaultRendezvousThreshold = 32 * 1024;
+inline constexpr std::size_t kDefaultCoalesceMaxBytes = 512;
+inline constexpr std::size_t kDefaultCoalesceWatermark = 8 * 1024;
+inline constexpr std::size_t kDefaultRingCapacity = 64;
+inline constexpr long kDefaultRendezvousFallbackUs = 200;
+
+/// @brief Transport tuning knobs. Read on every send/receive; mutate only
+/// while no World is running (tests) — the environment override is the
+/// supported production mechanism.
+struct Transport {
+    /// Iterations a receive (or rendezvous wait) spins on its completion
+    /// flag before blocking on the mailbox. Env: XMPI_SPIN_BUDGET.
+    int spin_before_block = kDefaultSpinBeforeBlock;
+
+    /// After spinning, iterations spent polling with sched-yield in between
+    /// before parking on the condition variable. On an oversubscribed (or
+    /// single-core) machine a yield hands the CPU straight to the peer we
+    /// are waiting on, where a futex sleep/wake round trip would cost
+    /// microseconds. Env: XMPI_YIELD_BUDGET.
+    int yield_before_block = kDefaultYieldBeforeBlock;
+
+    /// Contiguous point-to-point sends of at least this many bytes use the
+    /// receiver-pulled rendezvous protocol. Env: XMPI_RENDEZVOUS_THRESHOLD.
+    std::size_t rendezvous_threshold = kDefaultRendezvousThreshold;
+
+    /// Contiguous sends up to this many bytes are eligible for coalescing
+    /// into a shared batch slot. Env: XMPI_COALESCE_MAX_BYTES.
+    std::size_t coalesce_max_bytes = kDefaultCoalesceMaxBytes;
+
+    /// Capacity of one batch block: how many bytes of coalesced records a
+    /// single ring slot can aggregate. Env: XMPI_COALESCE_WATERMARK.
+    std::size_t coalesce_watermark = kDefaultCoalesceWatermark;
+
+    /// Slots per (src,dst) PeerRing, rounded up to a power of two.
+    /// Env: XMPI_RING_CAPACITY.
+    std::size_t ring_capacity = kDefaultRingCapacity;
+
+    /// Microseconds a rendezvous sender waits for a receiver to claim the
+    /// descriptor before falling back to an eager copy (which restores the
+    /// plain eager completion semantics, so programs relying on eager
+    /// buffering cannot deadlock). Env: XMPI_RENDEZVOUS_FALLBACK_US.
+    long rendezvous_fallback_us = kDefaultRendezvousFallbackUs;
+};
+
+/// @brief The process-wide transport knobs, environment-seeded on first use.
+[[nodiscard]] Transport& transport();
+
+/// @brief Effective spin budget for spin-then-block waits: 0 when the
+/// machine has a single hardware thread (spinning only steals cycles from
+/// the thread we are waiting on), else @c transport().spin_before_block.
+/// An explicit XMPI_SPIN_BUDGET wins even on one hardware thread.
+[[nodiscard]] int spin_budget();
+
+/// @brief Yield budget for the middle rung of the spin-yield-block ladder.
+/// Unlike spin_budget() this does NOT collapse on a single hardware thread:
+/// a yield is exactly how the waited-on peer gets the core there.
+[[nodiscard]] int yield_budget();
+
+} // namespace xmpi::tuning

@@ -59,6 +59,8 @@ public:
     }
     /// @brief Shared payload buffer pool of this world's transport.
     [[nodiscard]] detail::PayloadPool& payload_pool() { return payload_pool_; }
+    /// @brief The lock-free per-(src,dst) transport rings of this world.
+    [[nodiscard]] detail::RingRegistry& rings() { return *rings_; }
 
     /// @brief Allocates a fresh context id (unique within this world).
     int allocate_context() { return next_context_.fetch_add(1, std::memory_order_relaxed); }
@@ -105,7 +107,8 @@ public:
 private:
     int size_;
     NetworkModel model_;
-    detail::PayloadPool payload_pool_; ///< must outlive the mailboxes
+    detail::PayloadPool payload_pool_; ///< must outlive the rings + mailboxes
+    std::unique_ptr<detail::RingRegistry> rings_; ///< destroyed after mailboxes
     std::vector<std::unique_ptr<detail::Mailbox>> mailboxes_;
     std::vector<std::unique_ptr<profile::RankCounters>> counters_;
     std::unique_ptr<std::atomic<bool>[]> failed_flags_;

@@ -5,6 +5,7 @@
 
 #include "xmpi/datatype.hpp"
 #include "xmpi/error.hpp"
+#include "xmpi/world.hpp"
 
 namespace xmpi::detail {
 
@@ -33,6 +34,52 @@ void Mailbox::complete_ticket_locked(
     // Release pairs with the acquire poll in await(): the unpacked buffer
     // and status must be visible before the flag.
     ticket.complete.store(true, std::memory_order_release);
+}
+
+void Mailbox::complete_rendezvous_locked(
+    RecvTicket& ticket, Envelope const& env, RendezvousState& rdv, SyncHandle* sync) {
+    std::uint32_t expected = RendezvousState::published;
+    if (rdv.phase.compare_exchange_strong(
+            expected, RendezvousState::claimed, std::memory_order_acq_rel)) {
+        // Receiver-pulled zero-copy: the payload goes straight from the
+        // sender's user buffer into the receive buffer. Only then is the
+        // sender released (it may reuse or unwind its buffer afterwards).
+        complete_ticket_locked(ticket, env, rdv.src_data, rdv.size, sync);
+        counters_->rendezvous_transfers.fetch_add(1, std::memory_order_relaxed);
+        counters_->bytes_zero_copied.fetch_add(rdv.size, std::memory_order_relaxed);
+        rdv.phase.store(RendezvousState::completed, std::memory_order_release);
+        if (rdv.sender_box != nullptr) {
+            rdv.sender_box->wake();
+        }
+        return;
+    }
+    if (expected == RendezvousState::eagering) {
+        // The sender hit its fallback deadline and is copying into the
+        // descriptor's own buffer; the wait is bounded by that one memcpy.
+        expected = rdv.await_leaving(RendezvousState::eagering);
+    }
+    if (expected == RendezvousState::eagered) {
+        complete_ticket_locked(ticket, env, rdv.fallback.data(), rdv.size, sync);
+        return;
+    }
+    // Abandoned: the sender died mid-rendezvous. Fail the receive instead of
+    // hanging on bytes that will never arrive.
+    ticket.status.source = env.source;
+    ticket.status.tag = env.tag;
+    ticket.status.bytes = 0;
+    ticket.status.error = XMPI_ERR_PROC_FAILED;
+    ticket.complete.store(true, std::memory_order_release);
+}
+
+void Mailbox::complete_from_message_locked(RecvTicket& ticket, Message&& message) {
+    if (message.rendezvous != nullptr) {
+        complete_rendezvous_locked(
+            ticket, message.env, *message.rendezvous, message.sync.get());
+    } else {
+        complete_ticket_locked(
+            ticket, message.env, message.payload.data(), message.payload.size,
+            message.sync.get());
+    }
 }
 
 std::shared_ptr<RecvTicket> Mailbox::take_matching_posted_locked(Envelope const& env) {
@@ -112,77 +159,162 @@ void Mailbox::enqueue_unexpected_locked(Message&& message) {
     unexpected_[message.env].push_back(std::move(message));
 }
 
-void Mailbox::deliver(Message message) {
+void Mailbox::deliver_locked(Message&& message) {
+    if (auto ticket = take_matching_posted_locked(message.env)) {
+        complete_from_message_locked(*ticket, std::move(message));
+    } else {
+        enqueue_unexpected_locked(std::move(message));
+    }
+}
+
+void Mailbox::dispatch_entry_locked(RingEntry&& entry, std::size_t batch_bytes) {
+    switch (entry.kind) {
+        case RingEntry::Kind::batch: {
+            std::byte const* const base = entry.block->bytes.data();
+            std::size_t offset = 0;
+            while (offset < batch_bytes) {
+                BatchRecordHeader header;
+                std::memcpy(&header, base + offset, sizeof(header));
+                Message message;
+                message.env = Envelope{header.context, header.source, header.tag};
+                message.payload = PayloadRef{
+                    entry.block,
+                    static_cast<std::uint32_t>(offset + sizeof(header)),
+                    header.size};
+                deliver_locked(std::move(message));
+                offset += batch_record_bytes(header.size);
+            }
+            break;
+        }
+        case RingEntry::Kind::message: {
+            Message message;
+            message.env = entry.env;
+            message.payload = PayloadRef{
+                std::move(entry.block), 0, static_cast<std::uint32_t>(entry.bytes)};
+            message.sync = std::move(entry.sync);
+            deliver_locked(std::move(message));
+            break;
+        }
+        case RingEntry::Kind::rendezvous: {
+            Message message;
+            message.env = entry.env;
+            message.sync = std::move(entry.sync);
+            message.rendezvous = std::move(entry.rendezvous);
+            deliver_locked(std::move(message));
+            break;
+        }
+        case RingEntry::Kind::none:
+            break;
+    }
+}
+
+bool Mailbox::drain_one_ring_locked(PeerRing& ring) {
+    RingEntry entry;
+    std::size_t batch_bytes = 0;
+    bool any = false;
+    while (ring.try_pop(entry, batch_bytes)) {
+        any = true;
+        dispatch_entry_locked(std::move(entry), batch_bytes);
+    }
+    return any;
+}
+
+bool Mailbox::drain_rings_locked() {
+    // Snapshot before the sweep: a push racing past the sweep leaves
+    // arrivals_ > drained_, so the next entry point sweeps again.
+    std::uint64_t const target = arrivals_.load(std::memory_order_acquire);
+    if (target == drained_.load(std::memory_order_relaxed)) {
+        return false;
+    }
+    bool progressed = false;
+    RingRegistry& rings = world_->rings();
+    for (int src = 0; src < world_size_; ++src) {
+        PeerRing* const ring = rings.peek(src, rank_);
+        if (ring != nullptr) {
+            progressed |= drain_one_ring_locked(*ring);
+        }
+    }
+    drained_.store(target, std::memory_order_release);
+    return progressed;
+}
+
+void Mailbox::deliver_overflow(PeerRing& ring, Message message) {
     {
         std::lock_guard lock(mutex_);
-        if (auto ticket = take_matching_posted_locked(message.env)) {
-            complete_ticket_locked(
-                *ticket, message.env, message.payload.data(), message.payload.size(),
-                message.sync.get());
-            pool_->release(std::move(message.payload));
-        } else {
-            enqueue_unexpected_locked(std::move(message));
-        }
+        drain_one_ring_locked(ring);
+        deliver_locked(std::move(message));
     }
     cv_.notify_all();
 }
 
-void Mailbox::deliver_bytes(
-    Envelope const& env, std::byte const* data, std::size_t size,
-    std::shared_ptr<SyncHandle> sync, profile::RankCounters& counters) {
-    {
-        std::lock_guard lock(mutex_);
-        if (auto ticket = take_matching_posted_locked(env)) {
-            // Rendezvous zero-copy: the receiver is already waiting, so the
-            // bytes go straight from the sender's user buffer into the
-            // receiver's buffer — no payload is ever materialized.
-            complete_ticket_locked(*ticket, env, data, size, sync.get());
-            counters.fastpath_sends.fetch_add(1, std::memory_order_relaxed);
-            counters.bytes_zero_copied.fetch_add(size, std::memory_order_relaxed);
-        } else {
-            Message message;
-            message.env = env;
-            message.payload = pool_->acquire(size, counters);
-            if (size != 0) {
-                std::memcpy(message.payload.data(), data, size);
-            }
-            message.sync = std::move(sync);
-            enqueue_unexpected_locked(std::move(message));
-        }
+bool Mailbox::poll() {
+    if (arrivals_.load(std::memory_order_acquire)
+        == drained_.load(std::memory_order_acquire)) {
+        return false;
     }
-    cv_.notify_all();
+    std::unique_lock lock(mutex_, std::try_to_lock);
+    if (!lock.owns_lock()) {
+        return false; // someone else is draining right now
+    }
+    bool const progressed = drain_rings_locked();
+    lock.unlock();
+    if (progressed) {
+        cv_.notify_all();
+    }
+    return progressed;
 }
 
 bool Mailbox::post_or_match(std::shared_ptr<RecvTicket> const& ticket) {
-    std::lock_guard lock(mutex_);
-    Message message;
-    if (take_matching_unexpected_locked(ticket->pattern, message)) {
-        complete_ticket_locked(
-            *ticket, message.env, message.payload.data(), message.payload.size(),
-            message.sync.get());
-        pool_->release(std::move(message.payload));
-        return true;
+    bool progressed = false;
+    bool matched = false;
+    {
+        std::lock_guard lock(mutex_);
+        // Drain *before* matching: ring entries are older than this receive
+        // and must reach the unexpected queue first so the earliest matching
+        // message wins (non-overtaking).
+        progressed = drain_rings_locked();
+        Message message;
+        if (take_matching_unexpected_locked(ticket->pattern, message)) {
+            complete_from_message_locked(*ticket, std::move(message));
+            matched = true;
+        } else {
+            ticket->seq = next_ticket_seq_++;
+            if (ticket->pattern.is_exact()) {
+                posted_exact_[ticket->pattern].push_back(ticket);
+            } else {
+                posted_wild_.push_back(ticket);
+            }
+        }
     }
-    ticket->seq = next_ticket_seq_++;
-    if (ticket->pattern.is_exact()) {
-        posted_exact_[ticket->pattern].push_back(ticket);
-    } else {
-        posted_wild_.push_back(ticket);
+    if (progressed) {
+        cv_.notify_all();
     }
-    return false;
+    return matched;
 }
 
 bool Mailbox::is_complete(std::shared_ptr<RecvTicket> const& ticket) {
-    std::lock_guard lock(mutex_);
-    return ticket->complete;
+    if (ticket->complete.load(std::memory_order_acquire)) {
+        return true;
+    }
+    poll(); // the completing entry may be sitting in our rings
+    return ticket->complete.load(std::memory_order_acquire);
 }
 
 bool Mailbox::cancel(std::shared_ptr<RecvTicket> const& ticket) {
-    std::lock_guard lock(mutex_);
-    if (ticket->complete) {
-        return false;
+    bool progressed = false;
+    bool removed = false;
+    {
+        std::lock_guard lock(mutex_);
+        // Let a racing completion win before withdrawing the ticket.
+        progressed = drain_rings_locked();
+        if (!ticket->complete.load(std::memory_order_acquire)) {
+            removed = remove_posted_locked(ticket);
+        }
     }
-    return remove_posted_locked(ticket);
+    if (progressed) {
+        cv_.notify_all();
+    }
+    return removed;
 }
 
 bool Mailbox::find_unexpected_locked(Envelope const& pattern, Status& status) {
@@ -207,14 +339,23 @@ bool Mailbox::find_unexpected_locked(Envelope const& pattern, Status& status) {
     }
     status.source = found->env.source;
     status.tag = found->env.tag;
-    status.bytes = found->payload.size();
+    status.bytes = found->bytes();
     status.error = XMPI_SUCCESS;
     return true;
 }
 
 bool Mailbox::probe(Envelope const& pattern, Status& status) {
-    std::lock_guard lock(mutex_);
-    return find_unexpected_locked(pattern, status);
+    bool progressed = false;
+    bool found = false;
+    {
+        std::lock_guard lock(mutex_);
+        progressed = drain_rings_locked();
+        found = find_unexpected_locked(pattern, status);
+    }
+    if (progressed) {
+        cv_.notify_all();
+    }
+    return found;
 }
 
 } // namespace xmpi::detail

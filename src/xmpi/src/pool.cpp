@@ -100,7 +100,10 @@ void PayloadPool::release(std::vector<std::byte>&& buffer) {
     if (freelist.size() >= kMaxBuffersPerClass) {
         return;
     }
-    buffer.clear();
+    // Keep the buffer's size: a recycled buffer is always fully overwritten
+    // by its next user, and acquire()'s resize() would value-initialize
+    // (memset) every byte grown past size() — clearing here would make every
+    // reuse pay a full-buffer memset on the transport hot path.
     freelist.push_back(std::move(buffer));
 }
 

@@ -16,6 +16,12 @@ Snapshot snapshot_counters(RankCounters const& counters) {
     snapshot.messages_sent = counters.messages_sent.load(std::memory_order_relaxed);
     snapshot.bytes_sent = counters.bytes_sent.load(std::memory_order_relaxed);
     snapshot.fastpath_sends = counters.fastpath_sends.load(std::memory_order_relaxed);
+    snapshot.ring_enqueues = counters.ring_enqueues.load(std::memory_order_relaxed);
+    snapshot.coalesced_sends = counters.coalesced_sends.load(std::memory_order_relaxed);
+    snapshot.ring_full_fallbacks =
+        counters.ring_full_fallbacks.load(std::memory_order_relaxed);
+    snapshot.rendezvous_transfers =
+        counters.rendezvous_transfers.load(std::memory_order_relaxed);
     snapshot.bytes_zero_copied = counters.bytes_zero_copied.load(std::memory_order_relaxed);
     snapshot.pool_hits = counters.pool_hits.load(std::memory_order_relaxed);
     snapshot.pool_misses = counters.pool_misses.load(std::memory_order_relaxed);

@@ -497,6 +497,15 @@ void Engine::wait(TaskPtr const& task) {
             stalled_ticks = 0;
             continue;
         }
+        // Keep the caller's transport rings draining while it blocks here:
+        // a peer's collective task may be waiting on a rendezvous claim or a
+        // batch that only this rank's mailbox can consume.
+        if (auto const& ctx = xmpi::detail::current_context(); ctx.world != nullptr) {
+            if (ctx.world->mailbox(ctx.world_rank).poll()) {
+                stalled_ticks = 0;
+                continue;
+            }
+        }
         std::unique_lock lock(task->mutex);
         task->cv.wait_for(lock, std::chrono::milliseconds(1), [&] {
             return is_terminal(task->state.load(std::memory_order_relaxed));

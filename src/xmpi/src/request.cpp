@@ -52,9 +52,14 @@ bool RecvRequest::test(Status& status) {
 
 bool RecvRequest::check_failed(Status& status) {
     Comm const& comm = *ticket_->comm;
+    // Collective-context receives relay for the whole membership, so any
+    // member's death aborts them (see transport_recv); exact-source pt2pt
+    // receives only care about their own peer.
+    bool const watch_all = ticket_->pattern.source == ANY_SOURCE
+                           || ticket_->pattern.context == comm.collective_context();
     bool const aborted =
         comm.revoked()
-        || (ticket_->pattern.source == ANY_SOURCE
+        || (watch_all
                 ? comm.any_member_failed()
                 : comm.world().is_failed(comm.world_rank_of(ticket_->pattern.source)));
     if (!aborted) {

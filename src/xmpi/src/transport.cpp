@@ -1,5 +1,11 @@
 #include "transport.hpp"
 
+#include <cstring>
+#include <thread>
+
+#include "xmpi/chaos.hpp"
+#include "xmpi/tuning.hpp"
+
 namespace xmpi::detail {
 
 int check_peer(Comm const& comm, int peer) {
@@ -14,6 +20,173 @@ int check_peer(Comm const& comm, int peer) {
     }
     return XMPI_SUCCESS;
 }
+
+namespace {
+
+/// @brief Coalescing path for small contiguous sends: ride the open batch
+/// slot if possible, else open a fresh batch. Falls back to the locked
+/// bypass when the ring is full.
+int send_small(
+    World& world, Mailbox& dst_box, PeerRing& ring, Envelope const& env,
+    std::byte const* data, std::size_t bytes, profile::RankCounters& counters) {
+    if (ring.try_append(env, data, static_cast<std::uint32_t>(bytes))) {
+        // The batch slot we appended to is still unconsumed, so its own
+        // publish notification is still pending at the receiver — no second
+        // wake is needed (see the arrival accounting in mailbox.hpp).
+        counters.coalesced_sends.fetch_add(1, std::memory_order_relaxed);
+        counters.fastpath_sends.fetch_add(1, std::memory_order_relaxed);
+        return XMPI_SUCCESS;
+    }
+
+    auto& pool = world.payload_pool();
+    auto block = std::make_shared<PooledBlock>(
+        &pool, pool.acquire(tuning::transport().coalesce_watermark, counters));
+    BatchRecordHeader const header{
+        env.context, env.source, env.tag, static_cast<std::uint32_t>(bytes)};
+    std::memcpy(block->bytes.data(), &header, sizeof(header));
+    if (bytes != 0) {
+        std::memcpy(block->bytes.data() + sizeof(header), data, bytes);
+    }
+
+    RingEntry entry;
+    entry.kind = RingEntry::Kind::batch;
+    entry.block = block;
+    if (ring.try_push(std::move(entry), batch_record_bytes(bytes))) {
+        counters.ring_enqueues.fetch_add(1, std::memory_order_relaxed);
+        counters.fastpath_sends.fetch_add(1, std::memory_order_relaxed);
+        dst_box.notify_push();
+        return XMPI_SUCCESS;
+    }
+
+    // Ring full: the receiver is far behind. Take its mailbox lock once,
+    // drain our ring in order, and deliver directly.
+    counters.ring_full_fallbacks.fetch_add(1, std::memory_order_relaxed);
+    Message message;
+    message.env = env;
+    message.payload = PayloadRef{
+        std::move(block), static_cast<std::uint32_t>(sizeof(header)),
+        static_cast<std::uint32_t>(bytes)};
+    dst_box.deliver_overflow(ring, std::move(message));
+    return XMPI_SUCCESS;
+}
+
+/// @brief Receiver-pulled rendezvous for large contiguous point-to-point
+/// sends: publish a descriptor, then wait until the receiver has copied the
+/// payload straight out of the user buffer (zero-copy on both sides), with
+/// an eager-copy fallback after the tuned deadline so eager-ordered
+/// programs cannot deadlock. Restricted to the pt2pt context by the caller:
+/// collective algorithms rely on eager local completion of their sends.
+int send_rendezvous(
+    Comm& comm, World& world, Mailbox& dst_box, PeerRing& ring, Envelope const& env,
+    int dest, int src_world, std::byte const* data, std::size_t bytes,
+    std::shared_ptr<SyncHandle> sync, profile::RankCounters& counters) {
+    auto rdv = std::make_shared<RendezvousState>();
+    rdv->src_data = data;
+    rdv->size = bytes;
+    Mailbox& my_box = world.mailbox(src_world);
+    rdv->sender_box = &my_box;
+
+    RingEntry entry;
+    entry.kind = RingEntry::Kind::rendezvous;
+    entry.env = env;
+    entry.bytes = bytes;
+    entry.sync = std::move(sync);
+    entry.rendezvous = rdv;
+    if (ring.try_push(std::move(entry), 0)) {
+        counters.ring_enqueues.fetch_add(1, std::memory_order_relaxed);
+        counters.fastpath_sends.fetch_add(1, std::memory_order_relaxed);
+        dst_box.notify_push();
+    } else {
+        counters.ring_full_fallbacks.fetch_add(1, std::memory_order_relaxed);
+        Message message;
+        message.env = env;
+        message.sync = std::move(entry.sync);
+        message.rendezvous = rdv;
+        dst_box.deliver_overflow(ring, std::move(message));
+    }
+
+    // If this rank dies before the descriptor is resolved, mark it
+    // abandoned so the receiver fails with XMPI_ERR_PROC_FAILED instead of
+    // waiting for bytes that will never arrive. If the receiver is already
+    // mid-copy (claimed), wait it out: the user buffer outlives this frame,
+    // and the unwind must not free stack below a buffer still being read.
+    struct AbandonGuard {
+        RendezvousState* rdv;
+        ~AbandonGuard() {
+            std::uint32_t expected = RendezvousState::published;
+            if (!rdv->phase.compare_exchange_strong(
+                    expected, RendezvousState::abandoned, std::memory_order_acq_rel)
+                && expected == RendezvousState::claimed) {
+                (void)rdv->await_leaving(RendezvousState::claimed);
+            }
+        }
+    } guard{rdv.get()};
+
+    chaos::hit_hook(world, src_world, chaos::Hook::ft_rendezvous_publish);
+
+    // Wait for the receiver's claim: spin briefly (same budget as receives),
+    // then park on our own mailbox — draining it while parked, so two ranks
+    // exchanging large messages (posted-receive-first, like XMPI_Sendrecv)
+    // both complete at full zero-copy speed instead of timing out.
+    double const deadline = wtime() + 1e-6 * static_cast<double>(
+                                tuning::transport().rendezvous_fallback_us);
+    for (int i = tuning::spin_budget(); i > 0; --i) {
+        if (rdv->phase.load(std::memory_order_acquire) != RendezvousState::published) {
+            break;
+        }
+        spin_pause();
+    }
+    // Yield rung: on an oversubscribed machine this hands the core to the
+    // receiver so its claim resolves in one scheduler pass instead of a
+    // futex sleep/wake per transfer.
+    for (int i = tuning::yield_budget(); i > 0; --i) {
+        if (rdv->phase.load(std::memory_order_acquire) != RendezvousState::published) {
+            break;
+        }
+        std::this_thread::yield();
+    }
+    while (true) {
+        std::uint32_t phase = rdv->phase.load(std::memory_order_acquire);
+        if (phase == RendezvousState::claimed) {
+            phase = rdv->await_leaving(RendezvousState::claimed);
+        }
+        if (phase == RendezvousState::completed) {
+            // The receiver pulled straight from the user buffer; count the
+            // sender side of the zero-copy transfer (the receiver counted
+            // its own side at the claim).
+            counters.bytes_zero_copied.fetch_add(bytes, std::memory_order_relaxed);
+            return XMPI_SUCCESS;
+        }
+        if (int const err = check_peer(comm, dest); err != XMPI_SUCCESS) {
+            std::uint32_t expected = RendezvousState::published;
+            if (rdv->phase.compare_exchange_strong(
+                    expected, RendezvousState::abandoned, std::memory_order_acq_rel)) {
+                return err;
+            }
+            continue; // a claim raced in: resolve it on the next iteration
+        }
+        if (wtime() >= deadline) {
+            std::uint32_t expected = RendezvousState::published;
+            if (rdv->phase.compare_exchange_strong(
+                    expected, RendezvousState::eagering, std::memory_order_acq_rel)) {
+                // No receiver showed up in time: restore plain eager
+                // semantics by parking a copy in the descriptor. (For
+                // synchronous-mode sends the caller still blocks on its
+                // SyncHandle until the receiver matches the descriptor.)
+                rdv->fallback.assign(data, data + bytes);
+                rdv->phase.store(RendezvousState::eagered, std::memory_order_release);
+                return XMPI_SUCCESS;
+            }
+            continue;
+        }
+        my_box.wait_signal(std::chrono::microseconds(100), [&] {
+            return rdv->phase.load(std::memory_order_acquire)
+                   != RendezvousState::published;
+        });
+    }
+}
+
+} // namespace
 
 int transport_send(
     Comm& comm, int dest, int tag, int context, void const* buf, std::size_t count,
@@ -32,28 +205,57 @@ int transport_send(
     Envelope const env{context, comm.rank(), tag};
 
     World& world = comm.world();
-    auto& counters = world.counters(current_world_rank());
+    int const src_world = current_world_rank();
+    int const dst_world = comm.world_rank_of(dest);
+    auto& counters = world.counters(src_world);
     counters.messages_sent.fetch_add(1, std::memory_order_relaxed);
     counters.bytes_sent.fetch_add(bytes, std::memory_order_relaxed);
     world.network_model().charge(bytes);
 
-    Mailbox& mailbox = world.mailbox(comm.world_rank_of(dest));
+    Mailbox& dst_box = world.mailbox(dst_world);
+    PeerRing& ring = world.rings().ring(src_world, dst_world);
+    auto const& knobs = tuning::transport();
+
     if (type.is_contiguous()) {
-        // Contiguous fast path: the packed representation IS the user
-        // buffer. The mailbox either unpacks straight into an already
-        // posted receive (zero-copy rendezvous) or copies once into a
-        // pooled payload — never pack + allocate.
-        mailbox.deliver_bytes(
-            env, static_cast<std::byte const*>(buf), bytes, std::move(sync), counters);
-        return XMPI_SUCCESS;
+        // Contiguous fast paths: the packed representation IS the user
+        // buffer, so small messages memcpy once into a (shared, coalesced)
+        // batch block, and large point-to-point messages skip even that via
+        // the receiver-pulled rendezvous. Synchronous-mode sends carry a
+        // SyncHandle per message and therefore never coalesce.
+        if (bytes <= knobs.coalesce_max_bytes && sync == nullptr) {
+            return send_small(
+                world, dst_box, ring, env, static_cast<std::byte const*>(buf), bytes,
+                counters);
+        }
+        if (bytes >= knobs.rendezvous_threshold && context == comm.pt2pt_context()) {
+            return send_rendezvous(
+                comm, world, dst_box, ring, env, dest, src_world,
+                static_cast<std::byte const*>(buf), bytes, std::move(sync), counters);
+        }
     }
 
+    // Packed eager path: mid-size contiguous, non-contiguous datatypes, and
+    // small synchronous-mode sends. One copy into a pooled payload, then a
+    // lock-free publish like everything else.
+    auto& pool = world.payload_pool();
+    RingEntry entry;
+    entry.kind = RingEntry::Kind::message;
+    entry.env = env;
+    entry.bytes = bytes;
+    entry.block = std::make_shared<PooledBlock>(&pool, pool.acquire(bytes, counters));
+    type.pack(buf, count, entry.block->bytes.data());
+    entry.sync = std::move(sync);
+    if (ring.try_push(std::move(entry), 0)) {
+        counters.ring_enqueues.fetch_add(1, std::memory_order_relaxed);
+        dst_box.notify_push();
+        return XMPI_SUCCESS;
+    }
+    counters.ring_full_fallbacks.fetch_add(1, std::memory_order_relaxed);
     Message message;
     message.env = env;
-    message.payload = world.payload_pool().acquire(bytes, counters);
-    type.pack(buf, count, message.payload.data());
-    message.sync = std::move(sync);
-    mailbox.deliver(std::move(message));
+    message.payload = PayloadRef{std::move(entry.block), 0, static_cast<std::uint32_t>(bytes)};
+    message.sync = std::move(entry.sync);
+    dst_box.deliver_overflow(ring, std::move(message));
     return XMPI_SUCCESS;
 }
 
@@ -159,10 +361,16 @@ int transport_recv(
 
     auto ticket = make_ticket(comm, source, tag, context, buf, count, type);
 
+    // A collective-context receive is one hop of a relay (dissemination,
+    // tree): its completion depends transitively on every member, so ANY
+    // member's death must abort the wait. The direct source may well be
+    // alive and yet never send — it bailed out of the same collective on a
+    // failure this rank has not observed yet.
+    int const watch = (context == comm.collective_context()) ? ANY_SOURCE : source;
     Mailbox& mailbox = comm.world().mailbox(current_world_rank());
     if (!mailbox.post_or_match(ticket)) {
-        if (!mailbox.await(ticket, RecvAbort{&comm, source})) {
-            return check_peer(comm, source);
+        if (!mailbox.await(ticket, RecvAbort{&comm, watch})) {
+            return check_peer(comm, watch);
         }
     }
     if (status != nullptr) {

@@ -1,0 +1,72 @@
+#include "xmpi/tuning.hpp"
+
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+namespace xmpi::tuning {
+
+namespace {
+
+bool g_spin_budget_forced = false;
+
+[[nodiscard]] long env_long(char const* name, long fallback, bool* seen = nullptr) {
+    char const* const raw = std::getenv(name);
+    if (raw == nullptr || *raw == '\0') {
+        return fallback;
+    }
+    char* end = nullptr;
+    long const value = std::strtol(raw, &end, 10);
+    if (end == raw || value < 0) {
+        return fallback; // malformed or negative: keep the default
+    }
+    if (seen != nullptr) {
+        *seen = true;
+    }
+    return value;
+}
+
+[[nodiscard]] Transport seed_from_env() {
+    Transport knobs;
+    knobs.spin_before_block = static_cast<int>(
+        env_long("XMPI_SPIN_BUDGET", knobs.spin_before_block, &g_spin_budget_forced));
+    knobs.yield_before_block =
+        static_cast<int>(env_long("XMPI_YIELD_BUDGET", knobs.yield_before_block));
+    knobs.rendezvous_threshold = static_cast<std::size_t>(env_long(
+        "XMPI_RENDEZVOUS_THRESHOLD", static_cast<long>(knobs.rendezvous_threshold)));
+    knobs.coalesce_max_bytes = static_cast<std::size_t>(
+        env_long("XMPI_COALESCE_MAX_BYTES", static_cast<long>(knobs.coalesce_max_bytes)));
+    knobs.coalesce_watermark = static_cast<std::size_t>(
+        env_long("XMPI_COALESCE_WATERMARK", static_cast<long>(knobs.coalesce_watermark)));
+    knobs.ring_capacity = static_cast<std::size_t>(
+        env_long("XMPI_RING_CAPACITY", static_cast<long>(knobs.ring_capacity)));
+    knobs.rendezvous_fallback_us =
+        env_long("XMPI_RENDEZVOUS_FALLBACK_US", knobs.rendezvous_fallback_us);
+    // A batch block must at least fit one max-size coalesced record.
+    if (knobs.coalesce_watermark < knobs.coalesce_max_bytes + 16) {
+        knobs.coalesce_watermark = knobs.coalesce_max_bytes + 16;
+    }
+    return knobs;
+}
+
+} // namespace
+
+Transport& transport() {
+    static Transport knobs = seed_from_env();
+    return knobs;
+}
+
+int spin_budget() {
+    Transport const& knobs = transport();
+    if (g_spin_budget_forced) {
+        return knobs.spin_before_block;
+    }
+    // On a single hardware thread the sender cannot make progress while we
+    // spin, so blocking immediately is strictly better.
+    static unsigned const hw = std::thread::hardware_concurrency();
+    return hw > 1 ? knobs.spin_before_block : 0;
+}
+
+int yield_budget() { return transport().yield_before_block; }
+
+} // namespace xmpi::tuning

@@ -414,7 +414,13 @@ int Win::lock(int lock_type, int target) {
                 blocked_since = wtime();
                 counters_of(origin).rma_epoch_waits.fetch_add(1, std::memory_order_relaxed);
             }
-            cv_.wait(lock);
+            // Timed wait + mailbox poll: while this origin blocks on the
+            // lock, its transport rings must keep draining (a peer may be
+            // waiting on a rendezvous claim or batch only this rank can
+            // consume). poll() only try-locks the mailbox, so no lock-order
+            // cycle with the window mutex is possible.
+            cv_.wait_for(lock, std::chrono::milliseconds(1));
+            world.mailbox(comm_->world_rank_of(origin)).poll();
         }
         if (comm_->revoked()) {
             return XMPI_ERR_REVOKED;

@@ -17,11 +17,13 @@ World::World(int size, NetworkModel model)
       model_(model),
       payload_pool_(size) {
     KASSERT(size > 0, "a world needs at least one rank");
+    rings_ = std::make_unique<detail::RingRegistry>(size, tuning::transport().ring_capacity);
     mailboxes_.reserve(static_cast<std::size_t>(size));
     counters_.reserve(static_cast<std::size_t>(size));
     for (int rank = 0; rank < size; ++rank) {
-        mailboxes_.push_back(std::make_unique<detail::Mailbox>(&payload_pool_));
         counters_.push_back(std::make_unique<profile::RankCounters>());
+        mailboxes_.push_back(std::make_unique<detail::Mailbox>(
+            this, &payload_pool_, counters_.back().get(), rank, size));
     }
     failed_flags_ = std::make_unique<std::atomic<bool>[]>(static_cast<std::size_t>(size));
     for (int rank = 0; rank < size; ++rank) {

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "xmpi/profile.hpp"
+#include "xmpi/tuning.hpp"
 #include "xmpi/xmpi.hpp"
 
 namespace {
@@ -161,40 +162,62 @@ TEST(Fastpath, NonOvertakingSameSourceAndTag) {
     }
 }
 
-// A send into an already posted receive of a contiguous type must take the
-// zero-copy path (fastpath counter), a send that arrives early must take a
-// pooled payload.
+// A large contiguous send into a posted receive must move through the
+// receiver-pulled rendezvous (zero-copy counters on both sides); a small
+// send is coalesced into a pooled batch block and never zero-copies.
 TEST(Fastpath, CountersDistinguishZeroCopyFromPooledSends) {
+    auto& knobs = xmpi::tuning::transport();
+    auto const saved_fallback = knobs.rendezvous_fallback_us;
+    // The receive is posted before the send, so the claim is immediate in
+    // principle; give the scheduler ample room so the eager fallback cannot
+    // fire spuriously on a loaded single-core CI machine.
+    knobs.rendezvous_fallback_us = 2'000'000;
     World::run(2, [] {
         int rank = -1;
         XMPI_Comm_rank(XMPI_COMM_WORLD, &rank);
+        constexpr std::size_t kLargeInts = (64 * 1024) / sizeof(int);
         if (rank == 1) {
-            int value = 0;
+            std::vector<int> large(kLargeInts, 0);
             XMPI_Request request;
-            XMPI_Irecv(&value, 1, XMPI_INT, 0, 1, XMPI_COMM_WORLD, &request);
+            XMPI_Irecv(
+                large.data(), static_cast<int>(kLargeInts), XMPI_INT, 0, 1,
+                XMPI_COMM_WORLD, &request);
             XMPI_Barrier(XMPI_COMM_WORLD);
             XMPI_Wait(&request, XMPI_STATUS_IGNORE);
+            EXPECT_EQ(large.front(), 7);
+            EXPECT_EQ(large.back(), 7);
+            auto const mine = xmpi::profile::my_snapshot();
+            // The receiver counted its side of the transfer at the claim.
+            EXPECT_GE(mine.rendezvous_transfers, 1u);
+            EXPECT_GE(mine.bytes_zero_copied, kLargeInts * sizeof(int));
             XMPI_Barrier(XMPI_COMM_WORLD);
-            // Unexpected arrival: receive is posted only after the barrier.
             XMPI_Barrier(XMPI_COMM_WORLD);
+            int value = 0;
             XMPI_Recv(&value, 1, XMPI_INT, 0, 2, XMPI_COMM_WORLD, XMPI_STATUS_IGNORE);
+            EXPECT_EQ(value, 42);
         } else {
+            std::vector<int> const large(kLargeInts, 7);
             xmpi::profile::reset_mine();
+            XMPI_Barrier(XMPI_COMM_WORLD); // receive is posted
+            XMPI_Send(
+                large.data(), static_cast<int>(kLargeInts), XMPI_INT, 1, 1,
+                XMPI_COMM_WORLD);
+            auto const after_large = xmpi::profile::my_snapshot();
+            EXPECT_GE(after_large.fastpath_sends, 1u);
+            // The receiver pulled straight out of our buffer.
+            EXPECT_GE(after_large.bytes_zero_copied, kLargeInts * sizeof(int));
             XMPI_Barrier(XMPI_COMM_WORLD);
+            xmpi::profile::reset_mine();
             int const value = 42;
-            XMPI_Send(&value, 1, XMPI_INT, 1, 1, XMPI_COMM_WORLD); // receiver waits
-            auto const after_posted = xmpi::profile::my_snapshot();
-            EXPECT_GE(after_posted.fastpath_sends, 1u);
-            EXPECT_GE(after_posted.bytes_zero_copied, sizeof(int));
-            XMPI_Barrier(XMPI_COMM_WORLD);
-            xmpi::profile::reset_mine();
             XMPI_Send(&value, 1, XMPI_INT, 1, 2, XMPI_COMM_WORLD); // receiver not posted
-            auto const after_unexpected = xmpi::profile::my_snapshot();
-            EXPECT_EQ(after_unexpected.fastpath_sends, 0u);
-            EXPECT_EQ(after_unexpected.pool_hits + after_unexpected.pool_misses, 1u);
+            auto const after_small = xmpi::profile::my_snapshot();
+            EXPECT_GE(after_small.fastpath_sends, 1u); // coalescing ring path
+            EXPECT_GE(after_small.coalesced_sends + after_small.ring_enqueues, 1u);
+            EXPECT_EQ(after_small.bytes_zero_copied, 0u); // copied into a batch block
             XMPI_Barrier(XMPI_COMM_WORLD);
         }
     });
+    knobs.rendezvous_fallback_us = saved_fallback;
 }
 
 // Steady-state sends reuse pooled payload buffers: after a warm-up message
@@ -207,6 +230,11 @@ TEST(Fastpath, PooledPayloadsAreReused) {
         std::vector<long> payload(8, 7);
         if (rank == 0) {
             XMPI_Barrier(XMPI_COMM_WORLD);
+            // Wait for the receiver to leave the barrier: only then is our
+            // barrier message guaranteed drained, so the first loop send
+            // below publishes a fresh batch instead of appending to the
+            // still-open barrier slot (which would skew the enqueue count).
+            XMPI_Recv(nullptr, 0, XMPI_LONG, 1, 6, XMPI_COMM_WORLD, XMPI_STATUS_IGNORE);
             xmpi::profile::reset_mine();
             for (int i = 0; i < kMessages; ++i) {
                 // Receiver posts only after the barrier below, so every send
@@ -218,14 +246,20 @@ TEST(Fastpath, PooledPayloadsAreReused) {
                 XMPI_Recv(nullptr, 0, XMPI_LONG, 1, 5, XMPI_COMM_WORLD, XMPI_STATUS_IGNORE);
             }
             auto const snapshot = xmpi::profile::my_snapshot();
+            // Each send publishes one fresh batch block (the previous batch
+            // was consumed before the ack came back, so appends never apply)
+            // and each block comes out of the payload pool.
+            EXPECT_EQ(snapshot.fastpath_sends, static_cast<std::uint64_t>(kMessages));
+            EXPECT_EQ(snapshot.ring_enqueues, static_cast<std::uint64_t>(kMessages));
             EXPECT_EQ(
-                snapshot.pool_hits + snapshot.pool_misses + snapshot.fastpath_sends,
+                snapshot.pool_hits + snapshot.pool_misses,
                 static_cast<std::uint64_t>(kMessages));
             // The first buffer of the class may be a miss; the rest must hit.
             EXPECT_LE(snapshot.pool_misses, 1u);
             XMPI_Barrier(XMPI_COMM_WORLD);
         } else {
             XMPI_Barrier(XMPI_COMM_WORLD);
+            XMPI_Send(nullptr, 0, XMPI_LONG, 0, 6, XMPI_COMM_WORLD);
             for (int i = 0; i < kMessages; ++i) {
                 XMPI_Recv(
                     payload.data(), static_cast<int>(payload.size()), XMPI_LONG, 0, 4,
