@@ -22,6 +22,7 @@
 #include "kamping/error.hpp"
 #include "kamping/nonblocking.hpp"
 #include "kamping/p2p.hpp"
+#include "kamping/persistent.hpp"
 #include "kamping/pipeline.hpp"
 #include "kamping/rma.hpp"
 #include "xmpi/api.hpp"
@@ -325,6 +326,26 @@ public:
                 return request;
             },
             std::move(buffer));
+    }
+    /// @}
+
+    /// @name Persistent collectives: reusable plan objects. Resolution (root
+    /// lookup, count inference, buffer sizing, op activation) runs exactly
+    /// once at construction; each start()/wait() round replays the wired
+    /// operation at raw XMPI_Start cost (see persistent.hpp).
+    /// @{
+    /// @brief comm.bcast_plan(send_recv_buf(std::move(v)), [root],
+    /// [recv_count]) — the buffer moves into the returned plan; access it
+    /// through plan.data()/size(), recover it with plan.extract().
+    template <typename... Args>
+    auto bcast_plan(Args&&... args) const {
+        return internal::bcast_plan_impl(comm_, std::forward<Args>(args)...);
+    }
+    /// @brief comm.allreduce_plan(send_recv_buf(std::move(v)), op(...)) —
+    /// in-place persistent allreduce over a stateless operation.
+    template <typename... Args>
+    auto allreduce_plan(Args&&... args) const {
+        return internal::allreduce_plan_impl(comm_, std::forward<Args>(args)...);
     }
     /// @}
 

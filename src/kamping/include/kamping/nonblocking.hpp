@@ -94,6 +94,12 @@ public:
         return flag != 0;
     }
 
+    /// @brief Internal: the owned request handle, exposed so RequestPool can
+    /// sweep many handles with one XMPI_Testsome instead of testing each
+    /// entry individually. A completed handle is written back as
+    /// XMPI_REQUEST_NULL, which this class already treats as "consumed".
+    [[nodiscard]] XMPI_Request& raw_request() { return request_; }
+
 private:
     result_type extract_result() {
         return std::apply(
@@ -253,29 +259,61 @@ public:
         }
     }
 
-    /// @brief Tests all pooled operations; completed ones are removed.
-    /// Entries that complete with an error are removed too, and the first
-    /// error is rethrown after the sweep. Returns true iff the pool is empty
-    /// afterwards.
+    /// @brief Tests all pooled operations with ONE XMPI_Testsome sweep;
+    /// completed ones are removed. Entries that completed with an error are
+    /// removed too, and the first error is rethrown after the sweep (the
+    /// ERR_IN_STATUS convention, surfaced as a kamping exception). Returns
+    /// true iff the pool is empty afterwards.
     ///
     /// A sweep that leaves entries pending also drains the shared progress
     /// engine by one task (xmpi::progress::poll()): a test_all() polling
     /// loop therefore makes progress even when every engine worker is busy,
     /// instead of spinning until some other rank runs the queue dry.
     bool test_all() {
-        std::exception_ptr first_error;
-        std::erase_if(entries_, [&](auto const& entry) {
-            try {
-                return entry->test();
-            } catch (...) {
-                if (!first_error) {
-                    first_error = std::current_exception();
-                }
-                return true; // completed, with an error
-            }
+        // Entries whose handle was already consumed (wait()ed or test()ed
+        // through the result object directly) are complete by definition.
+        std::erase_if(entries_, [](auto const& entry) {
+            return entry->raw_request() == XMPI_REQUEST_NULL;
         });
-        if (first_error) {
-            std::rethrow_exception(first_error);
+        if (entries_.empty()) {
+            return true;
+        }
+
+        std::vector<XMPI_Request> requests(entries_.size());
+        std::vector<int> indices(entries_.size());
+        std::vector<xmpi::Status> statuses(entries_.size());
+        for (std::size_t i = 0; i < entries_.size(); ++i) {
+            requests[i] = entries_[i]->raw_request();
+        }
+        int outcount = 0;
+        int const err = XMPI_Testsome(
+            static_cast<int>(requests.size()), requests.data(), &outcount, indices.data(),
+            statuses.data());
+        // Write the handles back first: Testsome consumed (nulled) the
+        // completed ones, and the entries' destructors key off that.
+        for (std::size_t i = 0; i < entries_.size(); ++i) {
+            entries_[i]->raw_request() = requests[i];
+        }
+
+        int first_error = XMPI_SUCCESS;
+        std::vector<char> completed(entries_.size(), 0);
+        if (outcount != XMPI_UNDEFINED) {
+            for (int k = 0; k < outcount; ++k) {
+                completed[static_cast<std::size_t>(indices[k])] = 1;
+                if (first_error == XMPI_SUCCESS
+                    && statuses[static_cast<std::size_t>(k)].error != XMPI_SUCCESS) {
+                    first_error = statuses[static_cast<std::size_t>(k)].error;
+                }
+            }
+        }
+        std::size_t slot = 0;
+        std::erase_if(entries_, [&](auto const&) { return completed[slot++] != 0; });
+
+        if (err != XMPI_SUCCESS && err != XMPI_ERR_IN_STATUS) {
+            internal::throw_on_error(err, "XMPI_Testsome");
+        }
+        if (first_error != XMPI_SUCCESS) {
+            internal::throw_on_error(first_error, "XMPI_Testsome");
         }
         if (!entries_.empty()) {
             xmpi::progress::poll();
@@ -291,12 +329,14 @@ private:
         virtual ~EntryBase() = default;
         virtual void wait() = 0;
         virtual bool test() = 0;
+        virtual XMPI_Request& raw_request() = 0;
     };
     template <typename... Buffers>
     struct Entry final : EntryBase {
         explicit Entry(NonBlockingResult<Buffers...>&& result) : pending(std::move(result)) {}
         void wait() override { (void)pending.wait(); }
         bool test() override { return pending.test_completed(); }
+        XMPI_Request& raw_request() override { return pending.raw_request(); }
         NonBlockingResult<Buffers...> pending;
     };
 

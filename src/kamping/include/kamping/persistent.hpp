@@ -1,0 +1,278 @@
+/// @file persistent.hpp
+/// @brief Reusable plan objects over xmpi's persistent collectives.
+///
+/// A one-shot wrapper (comm.bcast(...)) runs the full call plan — parameter
+/// selection, count inference, buffer sizing — on *every* call. A plan
+/// object runs that resolution exactly once, at construction, and binds the
+/// result into an inactive persistent request (XMPI_Bcast_init /
+/// XMPI_Allreduce_init). Each start() then replays the wired operation with
+/// no per-call resolution, no count prologue and no allocation: the
+/// per-iteration cost is one XMPI_Start plus completion.
+///
+///     auto plan = comm.bcast_plan(send_recv_buf(std::move(v)), recv_count(n));
+///     for (int i = 0; i < iterations; ++i) {
+///         produce(plan.data(), plan.size()); // root fills the bound buffer
+///         plan.start();
+///         plan.wait();
+///     }
+///     auto v2 = plan.extract(); // buffer handed back at end of life
+///
+/// The buffer moves *into* the plan so its address stays stable for the
+/// request's whole lifetime (same ownership model as NonBlockingResult).
+/// Plans are neither copyable nor movable for the same reason; factories
+/// hand them back as prvalues (guaranteed elision), so
+/// `auto plan = comm.bcast_plan(...)` works without ever relocating the
+/// bound buffer.
+///
+/// Tracing: instead of one span per call, a plan emits one *summary* span at
+/// destruction with `restarts` = completed rounds, so amortized per-restart
+/// cost is span.duration_s / span.restarts.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+
+#include "kamping/collectives_reduce.hpp" // get_op_parameter
+#include "kamping/pipeline.hpp"
+#include "xmpi/api.hpp"
+
+namespace kamping::internal {
+
+/// @brief Lifecycle shared by all persistent plans: owns the buffer and the
+/// persistent request, counts restarts, and emits the summary span. Derived
+/// plan constructors run their resolution and then call init() with the
+/// result of the XMPI_*_init call.
+template <OpDescriptor const& Op, typename Buffer, typename TraceSink = tracing::DefaultSink>
+class PersistentPlan {
+public:
+    using value_type = buffer_value_t<Buffer>;
+
+    PersistentPlan(PersistentPlan const&) = delete;
+    PersistentPlan& operator=(PersistentPlan const&) = delete;
+    // Not movable either: the persistent request holds the buffer's address.
+    PersistentPlan(PersistentPlan&&) = delete;
+    PersistentPlan& operator=(PersistentPlan&&) = delete;
+
+    ~PersistentPlan() {
+        if (request_ != XMPI_REQUEST_NULL) {
+            // An active round is completed (or cancelled) by the free; the
+            // bound buffer outlives the request either way.
+            XMPI_Request_free(&request_);
+        }
+        if (tracing_) {
+            xmpi::profile::Span span;
+            span.op = Op.name;
+            span.start_s = start_s_;
+            span.duration_s = active_s_;
+            span.restarts = restarts_;
+            span.bytes_in = bytes_per_round_ * restarts_;
+            try {
+                TraceSink::record(span);
+            } catch (...) {
+                // Recording must never throw out of a destructor.
+            }
+        }
+    }
+
+    /// @brief Activates the bound operation. XMPI_ERR_REQUEST (already
+    /// active) and transport failures surface as exceptions stamped
+    /// "<op>/start".
+    void start() {
+        if (tracing_) {
+            round_start_s_ = XMPI_Wtime();
+        }
+        if (int const code = XMPI_Start(&request_); code != XMPI_SUCCESS) {
+            throw_op_error(code, "XMPI_Start", Op.name, "start");
+        }
+    }
+
+    /// @brief Blocks until the started round completes; the request returns
+    /// to inactive and may be start()ed again.
+    void wait() {
+        // XMPI_Wait returns the status error as its result code, so no
+        // status object is needed — keeps the round on the same footing as
+        // a raw XMPI_Wait(…, XMPI_STATUS_IGNORE) loop.
+        if (int const code = XMPI_Wait(&request_, XMPI_STATUS_IGNORE); code != XMPI_SUCCESS) {
+            throw_op_error(code, "XMPI_Wait", Op.name, "wait");
+        }
+        note_round_done();
+    }
+
+    /// @brief Non-blocking completion check; true iff the round finished
+    /// (also true when no round is active — matching XMPI_Test on an
+    /// inactive persistent request).
+    bool test() {
+        int flag = 0;
+        if (int const code = XMPI_Test(&request_, &flag, XMPI_STATUS_IGNORE);
+            code != XMPI_SUCCESS) {
+            throw_op_error(code, "XMPI_Test", Op.name, "test");
+        }
+        if (flag != 0) {
+            note_round_done();
+        }
+        return flag != 0;
+    }
+
+    /// @name Access to the bound buffer (stable for the plan's lifetime)
+    /// @{
+    [[nodiscard]] value_type* data() { return buffer_.data(); }
+    [[nodiscard]] value_type const* data() const { return buffer_.data(); }
+    [[nodiscard]] std::size_t size() const { return buffer_.size(); }
+    /// @}
+
+    /// @brief Completed rounds so far (the summary span's `restarts`).
+    [[nodiscard]] std::uint64_t restarts() const { return restarts_; }
+
+    /// @brief Destroys the request and hands the bound storage back to the
+    /// caller; the plan is spent afterwards (start() would throw).
+    auto extract() {
+        if (request_ != XMPI_REQUEST_NULL) {
+            XMPI_Request_free(&request_);
+        }
+        return std::move(buffer_).extract();
+    }
+
+protected:
+    PersistentPlan(XMPI_Comm comm, Buffer&& buffer)
+        : comm_(comm), buffer_(std::move(buffer)), tracing_(TraceSink::active()) {
+        if (tracing_) {
+            start_s_ = XMPI_Wtime();
+        }
+    }
+
+    /// @brief Converts a failed XMPI_*_init into an exception stamped
+    /// "<op>/init". Called once, at the end of the derived constructor.
+    void init(char const* xmpi_function, int code) {
+        if (code != XMPI_SUCCESS) {
+            throw_op_error(code, xmpi_function, Op.name, "init");
+        }
+    }
+
+    void note_round_bytes(std::uint64_t bytes) {
+        if (tracing_) {
+            bytes_per_round_ = bytes;
+        }
+    }
+
+    XMPI_Comm comm_;
+    XMPI_Request request_ = XMPI_REQUEST_NULL;
+
+private:
+    void note_round_done() {
+        ++restarts_;
+        if (tracing_) {
+            active_s_ += XMPI_Wtime() - round_start_s_;
+        }
+    }
+
+    Buffer buffer_;
+    bool tracing_;
+    double start_s_ = 0.0;
+    double round_start_s_ = 0.0;
+    double active_s_ = 0.0;
+    std::uint64_t restarts_ = 0;
+    std::uint64_t bytes_per_round_ = 0;
+};
+
+/// @brief Persistent broadcast: count inference (the one-shot wrapper's
+/// extra count bcast) happens once, in the factory, before init.
+template <typename Buffer>
+class BcastPlan final : public PersistentPlan<plan_ops::bcast_plan, Buffer> {
+    using Base = PersistentPlan<plan_ops::bcast_plan, Buffer>;
+
+public:
+    BcastPlan(XMPI_Comm comm, Buffer&& buffer, int count, int root) :
+        Base(comm, std::move(buffer)) {
+        using T = typename Base::value_type;
+        this->note_round_bytes(static_cast<std::uint64_t>(count) * sizeof(T));
+        this->init(
+            "XMPI_Bcast_init",
+            XMPI_Bcast_init(
+                this->data(), count, mpi_datatype<T>(), root, comm, &this->request_));
+    }
+};
+
+/// @brief Persistent in-place allreduce. The op activation is resolved once
+/// and stored in the plan, so restarts reuse the same handle.
+template <typename Buffer, typename Operation>
+class AllreducePlan final : public PersistentPlan<plan_ops::allreduce_plan, Buffer> {
+    using Base = PersistentPlan<plan_ops::allreduce_plan, Buffer>;
+    using T = typename Base::value_type;
+    using Activation = decltype(std::declval<Operation&>().template activate<T>());
+
+public:
+    AllreducePlan(XMPI_Comm comm, Buffer&& buffer, Operation operation) :
+        Base(comm, std::move(buffer)), activation_(operation.template activate<T>()) {
+        this->note_round_bytes(this->size() * sizeof(T));
+        this->init(
+            "XMPI_Allreduce_init",
+            XMPI_Allreduce_init(
+                XMPI_IN_PLACE, this->data(), static_cast<int>(this->size()),
+                mpi_datatype<T>(), activation_.handle(), comm, &this->request_));
+    }
+
+private:
+    Activation activation_;
+};
+
+/// @brief comm.bcast_plan(send_recv_buf(data), [root], [recv_count]): all
+/// resolution — root lookup, count inference (one small bcast when
+/// recv_count is absent), non-root resize — runs here, exactly once.
+template <typename... Args>
+auto bcast_plan_impl(XMPI_Comm comm, Args&&... args) {
+    KAMPING_PLAN_REQUIRE(
+        (has_parameter_v<ParameterType::send_recv_buf, Args...>), "bcast_plan",
+        "send_recv_buf");
+    KAMPING_CHECK_PARAMETERS(
+        Args, "bcast_plan", ParameterType::send_recv_buf, ParameterType::root,
+        ParameterType::recv_count);
+    int rank = -1;
+    XMPI_Comm_rank(comm, &rank);
+    int const root_rank = get_root(comm, args...);
+
+    auto buffer = std::move(select_parameter<ParameterType::send_recv_buf>(args...));
+    using Buffer = std::remove_cvref_t<decltype(buffer)>;
+
+    std::uint64_t count;
+    if constexpr (has_parameter_v<ParameterType::recv_count, Args...>) {
+        count = static_cast<std::uint64_t>(
+            select_parameter<ParameterType::recv_count>(args...).value);
+    } else {
+        // The count prologue the plan amortizes away: paid once at
+        // construction instead of on every broadcast.
+        count = buffer.size();
+        if (int const code =
+                XMPI_Bcast(&count, sizeof(count), XMPI_BYTE, root_rank, comm);
+            code != XMPI_SUCCESS) {
+            throw_op_error(code, "XMPI_Bcast(count)", "bcast_plan", "infer_counts");
+        }
+    }
+    if (rank != root_rank) {
+        buffer.resize_to(static_cast<std::size_t>(count));
+    }
+    return BcastPlan<Buffer>(comm, std::move(buffer), static_cast<int>(count), root_rank);
+}
+
+/// @brief comm.allreduce_plan(send_recv_buf(data), op(...)): in-place
+/// persistent allreduce; the operation must be stateless (its activation
+/// outlives the initiating call, as with iallreduce).
+template <typename... Args>
+auto allreduce_plan_impl(XMPI_Comm comm, Args&&... args) {
+    KAMPING_PLAN_REQUIRE(
+        (has_parameter_v<ParameterType::send_recv_buf, Args...>), "allreduce_plan",
+        "send_recv_buf");
+    KAMPING_PLAN_REQUIRE(
+        (has_parameter_v<ParameterType::op, Args...>), "allreduce_plan", "op");
+    auto buffer = std::move(select_parameter<ParameterType::send_recv_buf>(args...));
+    using Buffer = std::remove_cvref_t<decltype(buffer)>;
+    auto&& operation = get_op_parameter(args...);
+    using Operation = std::remove_cvref_t<decltype(operation)>;
+    static_assert(
+        Operation::is_stateless,
+        "allreduce_plan supports builtin operations (std::plus<>, ops::max, raw MPI op "
+        "handles, ...) only — a user lambda's state cannot outlive the initiating call");
+    return AllreducePlan<Buffer, Operation>(comm, std::move(buffer), operation);
+}
+
+} // namespace kamping::internal

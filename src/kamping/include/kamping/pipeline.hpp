@@ -142,6 +142,8 @@ inline constexpr OpDescriptor accumulate{"accumulate"};
 inline constexpr OpDescriptor win_fence{"win_fence"};
 inline constexpr OpDescriptor win_lock{"win_lock"};
 inline constexpr OpDescriptor win_unlock{"win_unlock"};
+inline constexpr OpDescriptor bcast_plan{"bcast_plan"};
+inline constexpr OpDescriptor allreduce_plan{"allreduce_plan"};
 } // namespace plan_ops
 
 /// @brief Uniform missing-parameter diagnostic for planned operations; the

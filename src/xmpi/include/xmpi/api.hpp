@@ -155,13 +155,66 @@ int XMPI_Get_count(XMPI_Status const* status, XMPI_Datatype datatype, int* count
 /// @{
 int XMPI_Wait(XMPI_Request* request, XMPI_Status* status);
 int XMPI_Test(XMPI_Request* request, int* flag, XMPI_Status* status);
+/// @brief Waits for all requests. Returns the first per-request error code
+/// encountered (statuses carry every code individually).
 int XMPI_Waitall(int count, XMPI_Request* requests, XMPI_Status* statuses);
+/// @brief All-or-nothing test: either every request is complete (all are
+/// consumed, @c flag = 1) or none is modified (@c flag = 0). When a consumed
+/// request failed, returns XMPI_ERR_IN_STATUS (real codes in @c statuses),
+/// or the first error code when @c statuses is XMPI_STATUSES_IGNORE.
 int XMPI_Testall(int count, XMPI_Request* requests, int* flag, XMPI_Status* statuses);
 int XMPI_Waitany(int count, XMPI_Request* requests, int* index, XMPI_Status* status);
+/// @brief Waits until at least one request completes; consumes every request
+/// found complete. Error convention as in XMPI_Testall.
 int XMPI_Waitsome(
+    int incount, XMPI_Request* requests, int* outcount, int* indices, XMPI_Status* statuses);
+int XMPI_Testany(int count, XMPI_Request* requests, int* index, int* flag, XMPI_Status* status);
+int XMPI_Testsome(
     int incount, XMPI_Request* requests, int* outcount, int* indices, XMPI_Status* statuses);
 int XMPI_Cancel(XMPI_Request* request);
 int XMPI_Request_free(XMPI_Request* request);
+/// @}
+
+/// @name Persistent and partitioned communication (MPI-4 Send_init/Start
+/// family). An *_init call binds the operation's arguments into an inactive
+/// persistent request without communicating; every XMPI_Start replays the
+/// operation (completion returns the request to inactive instead of freeing
+/// it). Wait/Test on an inactive persistent request return immediately with
+/// an empty status. XMPI_Request_free destroys the request; if it is active,
+/// the call blocks until the in-flight instance completes.
+///
+/// Partitioned sends (XMPI_Psend_init) split the buffer into @c partitions
+/// equal parts of @c count elements each; any thread may mark partitions
+/// ready with XMPI_Pready once started, and the last ready partition ships
+/// the whole buffer as a single message. XMPI_Parrived reports arrival on
+/// the receive side at whole-message granularity.
+/// @{
+int XMPI_Start(XMPI_Request* request);
+int XMPI_Startall(int count, XMPI_Request* requests);
+int XMPI_Send_init(
+    void const* buf, int count, XMPI_Datatype datatype, int dest, int tag, XMPI_Comm comm,
+    XMPI_Request* request);
+int XMPI_Recv_init(
+    void* buf, int count, XMPI_Datatype datatype, int source, int tag, XMPI_Comm comm,
+    XMPI_Request* request);
+int XMPI_Bcast_init(
+    void* buffer, int count, XMPI_Datatype datatype, int root, XMPI_Comm comm,
+    XMPI_Request* request);
+int XMPI_Allreduce_init(
+    void const* sendbuf, void* recvbuf, int count, XMPI_Datatype datatype, XMPI_Op op,
+    XMPI_Comm comm, XMPI_Request* request);
+int XMPI_Alltoall_init(
+    void const* sendbuf, int sendcount, XMPI_Datatype sendtype, void* recvbuf, int recvcount,
+    XMPI_Datatype recvtype, XMPI_Comm comm, XMPI_Request* request);
+int XMPI_Barrier_init(XMPI_Comm comm, XMPI_Request* request);
+int XMPI_Psend_init(
+    void const* buf, int partitions, int count, XMPI_Datatype datatype, int dest, int tag,
+    XMPI_Comm comm, XMPI_Request* request);
+int XMPI_Precv_init(
+    void* buf, int partitions, int count, XMPI_Datatype datatype, int source, int tag,
+    XMPI_Comm comm, XMPI_Request* request);
+int XMPI_Pready(int partition, XMPI_Request request);
+int XMPI_Parrived(XMPI_Request request, int partition, int* flag);
 /// @}
 
 /// @name Collectives

@@ -37,9 +37,12 @@ inline constexpr int XMPI_ERR_DISP        = 20;
 inline constexpr int XMPI_ERR_RMA_SYNC    = 21;
 /// RMA: target access outside the exposed window memory.
 inline constexpr int XMPI_ERR_RMA_RANGE   = 22;
+/// An array completion (Waitsome/Testsome/Testall) completed at least one
+/// request with an error; the per-request statuses carry the real codes.
+inline constexpr int XMPI_ERR_IN_STATUS   = 23;
 /// Largest defined error class (codes are dense in [0, LASTCODE]); lets
 /// tests and tools iterate every code exhaustively.
-inline constexpr int XMPI_ERR_LASTCODE    = XMPI_ERR_RMA_RANGE;
+inline constexpr int XMPI_ERR_LASTCODE    = XMPI_ERR_IN_STATUS;
 /// @}
 
 namespace xmpi {

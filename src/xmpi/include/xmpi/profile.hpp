@@ -65,6 +65,17 @@ enum class Call : int {
     win_fence,
     win_lock,
     win_unlock,
+    send_init,
+    recv_init,
+    bcast_init,
+    allreduce_init,
+    alltoall_init,
+    barrier_init,
+    start,
+    psend_init,
+    precv_init,
+    pready,
+    parrived,
     count_ ///< number of entries; keep last
 };
 
@@ -95,6 +106,7 @@ struct RankCounters {
     std::atomic<std::uint64_t> ring_full_fallbacks{0}; ///< locked bypass deliveries (ring full)
     std::atomic<std::uint64_t> pool_hits{0};           ///< payload buffers reused from the pool
     std::atomic<std::uint64_t> pool_misses{0};         ///< payload buffers heap-allocated
+    std::atomic<std::uint64_t> reserved_payload_reuses{0}; ///< persistent-send slot buffers recycled
     /// @}
     /// @name Consumer-side hot counters (bumped when this rank drains/claims)
     /// @{
@@ -134,6 +146,7 @@ struct RankCounters {
         bytes_zero_copied.store(0, std::memory_order_relaxed);
         pool_hits.store(0, std::memory_order_relaxed);
         pool_misses.store(0, std::memory_order_relaxed);
+        reserved_payload_reuses.store(0, std::memory_order_relaxed);
         engine_tasks.store(0, std::memory_order_relaxed);
         engine_inline_fallbacks.store(0, std::memory_order_relaxed);
         engine_queue_depth_max.store(0, std::memory_order_relaxed);
@@ -161,6 +174,7 @@ struct Snapshot {
     std::uint64_t bytes_zero_copied = 0;
     std::uint64_t pool_hits = 0;
     std::uint64_t pool_misses = 0;
+    std::uint64_t reserved_payload_reuses = 0;
     std::uint64_t engine_tasks = 0;
     std::uint64_t engine_inline_fallbacks = 0;
     std::uint64_t engine_queue_depth_max = 0;
@@ -227,6 +241,9 @@ struct Span {
     double epoch_wait_s = 0.0;
     std::uint64_t bytes_put = 0; ///< RMA payload bytes written to targets
     std::uint64_t bytes_got = 0; ///< RMA payload bytes read from targets
+    /// Completed start()s of a persistent plan; 0 for one-shot operations.
+    /// Plan-summary spans amortize duration_s over this many restarts.
+    std::uint64_t restarts = 0;
 };
 
 /// @brief True iff span recording is globally enabled. A single relaxed

@@ -49,6 +49,10 @@ class Comm;
 class Request;
 class World;
 
+namespace detail {
+struct RankContext;
+}
+
 namespace progress {
 
 /// @brief Pool configuration. Applied by configure(); workers are
@@ -91,6 +95,14 @@ namespace detail {
 /// @c op names the operation for tracing spans; @c comm is the communicator
 /// the task acts on (used to fail queued tasks on revocation).
 Request* submit(char const* op, Comm* comm, std::function<int()> body);
+
+/// @brief Like submit(), but runs on behalf of @c ctx instead of the calling
+/// thread's context. Needed by partitioned sends, where the final
+/// XMPI_Pready may arrive from a producer thread that is not the owning
+/// rank: the task must still be attributed to (and failable with) the rank
+/// that initiated the partitioned operation.
+Request* submit_as(
+    char const* op, Comm* comm, xmpi::detail::RankContext ctx, std::function<int()> body);
 
 /// @brief Completes every queued-but-unstarted task on @c comm with
 /// @c error (revocation sweep).

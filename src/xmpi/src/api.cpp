@@ -3,6 +3,7 @@
 /// counters, and dispatch into the internal implementation.
 #include "xmpi/api.hpp"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -10,9 +11,12 @@
 #include <vector>
 
 #include "coll.hpp"
+#include "persistent.hpp"
 #include "transport.hpp"
 #include "xmpi/chaos.hpp"
 #include "xmpi/progress.hpp"
+#include "xmpi/ring.hpp"
+#include "xmpi/tuning.hpp"
 
 namespace {
 
@@ -34,6 +38,64 @@ void count_call(xmpi::profile::Call call) {
                 context.world->kill_current_rank(); // throws RankKilled
             }
         }
+    }
+}
+
+xmpi::Status empty_status() {
+    return xmpi::Status{XMPI_PROC_NULL, XMPI_ANY_TAG, XMPI_SUCCESS, 0};
+}
+
+/// Disposes one completed request handle: persistent requests go inactive
+/// and keep their handle (freed only by XMPI_Request_free); one-shot
+/// requests are consumed — deleted and nulled.
+void consume_completed(XMPI_Request* request) {
+    if ((*request)->persistent()) {
+        return;
+    }
+    delete *request;
+    *request = XMPI_REQUEST_NULL;
+}
+
+/// A request the array completion functions must poll: non-null and active
+/// (an inactive persistent request participates like a null handle).
+bool is_pollable(XMPI_Request request) {
+    return request != XMPI_REQUEST_NULL && request->active();
+}
+
+/// Runs @c sweep until it returns true, escalating spin -> yield -> block on
+/// the calling rank's mailbox eventcount (any message delivery, engine
+/// completion, or failure wakes it). Replaces the old unbounded
+/// yield() busy-wait of Waitany/Waitsome: a blocked rank burns no CPU
+/// beyond the bounded spin/yield budgets. The 1ms timeout bounds the
+/// wake-up race window (see Mailbox::wait_signal); progress::poll() keeps
+/// the rank's own engine tasks moving while it waits.
+template <typename Sweep>
+void wait_ladder(Sweep&& sweep) {
+    for (int i = xmpi::tuning::spin_budget(); i > 0; --i) {
+        if (sweep()) {
+            return;
+        }
+        xmpi::detail::spin_pause();
+    }
+    for (int i = xmpi::tuning::yield_budget(); i > 0; --i) {
+        if (sweep()) {
+            return;
+        }
+        std::this_thread::yield();
+    }
+    auto const& context = xmpi::detail::current_context();
+    if (context.world == nullptr) {
+        // Threads outside a world (helpers polling a handed-off request)
+        // have no mailbox to block on.
+        while (!sweep()) {
+            std::this_thread::yield();
+        }
+        return;
+    }
+    auto& mailbox = context.world->mailbox(context.world_rank);
+    while (!sweep()) {
+        xmpi::progress::poll();
+        mailbox.wait_signal(std::chrono::milliseconds(1));
     }
 }
 
@@ -316,14 +378,13 @@ int XMPI_Get_count(XMPI_Status const* status, XMPI_Datatype datatype, int* count
 int XMPI_Wait(XMPI_Request* request, XMPI_Status* status) {
     if (*request == XMPI_REQUEST_NULL) {
         if (status != XMPI_STATUS_IGNORE) {
-            *status = xmpi::Status{XMPI_PROC_NULL, XMPI_ANY_TAG, XMPI_SUCCESS, 0};
+            *status = empty_status();
         }
         return XMPI_SUCCESS;
     }
     xmpi::Status wait_status;
     (*request)->wait(wait_status);
-    delete *request;
-    *request = XMPI_REQUEST_NULL;
+    consume_completed(request);
     if (status != XMPI_STATUS_IGNORE) {
         *status = wait_status;
     }
@@ -333,13 +394,15 @@ int XMPI_Wait(XMPI_Request* request, XMPI_Status* status) {
 int XMPI_Test(XMPI_Request* request, int* flag, XMPI_Status* status) {
     if (*request == XMPI_REQUEST_NULL) {
         *flag = 1;
+        if (status != XMPI_STATUS_IGNORE) {
+            *status = empty_status();
+        }
         return XMPI_SUCCESS;
     }
     xmpi::Status test_status;
     if ((*request)->test(test_status)) {
         *flag = 1;
-        delete *request;
-        *request = XMPI_REQUEST_NULL;
+        consume_completed(request);
         if (status != XMPI_STATUS_IGNORE) {
             *status = test_status;
         }
@@ -365,79 +428,200 @@ int XMPI_Waitall(int count, XMPI_Request* requests, XMPI_Status* statuses) {
 }
 
 int XMPI_Testall(int count, XMPI_Request* requests, int* flag, XMPI_Status* statuses) {
-    // First pass: check completion without consuming.
+    // First pass: probe without consuming. peek() (not test()) matters for
+    // persistent requests: a completed one must stay consumable if the
+    // answer turns out to be "not all done".
     for (int i = 0; i < count; ++i) {
-        if (requests[i] == XMPI_REQUEST_NULL) {
+        if (!is_pollable(requests[i])) {
             continue;
         }
-        xmpi::Status status;
-        if (!requests[i]->test(status)) {
+        if (!requests[i]->peek()) {
             *flag = 0;
             return XMPI_SUCCESS;
         }
     }
     *flag = 1;
-    return XMPI_Waitall(count, requests, statuses);
+    // Second pass: consume every completion. Per-request failures are not
+    // swallowed: with visible statuses the call reports ERR_IN_STATUS and
+    // the statuses carry the real codes; without, the first error code.
+    int first_error = XMPI_SUCCESS;
+    bool any_error = false;
+    for (int i = 0; i < count; ++i) {
+        xmpi::Status status = empty_status();
+        if (requests[i] != XMPI_REQUEST_NULL) {
+            requests[i]->wait(status);
+            consume_completed(&requests[i]);
+        }
+        if (statuses != XMPI_STATUSES_IGNORE) {
+            statuses[i] = status;
+        }
+        if (status.error != XMPI_SUCCESS) {
+            any_error = true;
+            if (first_error == XMPI_SUCCESS) {
+                first_error = status.error;
+            }
+        }
+    }
+    if (any_error) {
+        return statuses != XMPI_STATUSES_IGNORE ? XMPI_ERR_IN_STATUS : first_error;
+    }
+    return XMPI_SUCCESS;
 }
 
 int XMPI_Waitany(int count, XMPI_Request* requests, int* index, XMPI_Status* status) {
-    bool any_active = false;
-    while (true) {
-        any_active = false;
+    int found = XMPI_UNDEFINED;
+    xmpi::Status found_status = empty_status();
+    bool none_active = false;
+    // The completion is recorded inside the sweep at detection time:
+    // test() on a persistent request consumes it (flips it inactive), so
+    // the ladder must never re-test a request it already saw complete.
+    auto sweep = [&] {
+        bool any_active = false;
         for (int i = 0; i < count; ++i) {
-            if (requests[i] == XMPI_REQUEST_NULL) {
+            if (!is_pollable(requests[i])) {
                 continue;
             }
             any_active = true;
             xmpi::Status test_status;
             if (requests[i]->test(test_status)) {
-                delete requests[i];
-                requests[i] = XMPI_REQUEST_NULL;
-                *index = i;
-                if (status != XMPI_STATUS_IGNORE) {
-                    *status = test_status;
-                }
-                return test_status.error;
+                consume_completed(&requests[i]);
+                found = i;
+                found_status = test_status;
+                return true;
             }
         }
         if (!any_active) {
-            *index = XMPI_UNDEFINED;
-            return XMPI_SUCCESS;
+            none_active = true;
+            return true;
         }
-        std::this_thread::yield();
+        return false;
+    };
+    wait_ladder(sweep);
+    if (none_active) {
+        *index = XMPI_UNDEFINED;
+        if (status != XMPI_STATUS_IGNORE) {
+            *status = empty_status();
+        }
+        return XMPI_SUCCESS;
     }
+    *index = found;
+    if (status != XMPI_STATUS_IGNORE) {
+        *status = found_status;
+    }
+    return found_status.error;
 }
 
 int XMPI_Waitsome(
     int incount, XMPI_Request* requests, int* outcount, int* indices, XMPI_Status* statuses) {
     *outcount = 0;
-    bool any_active = false;
-    while (true) {
-        any_active = false;
+    bool none_active = false;
+    int first_error = XMPI_SUCCESS;
+    bool any_error = false;
+    auto sweep = [&] {
+        bool any_active = false;
         for (int i = 0; i < incount; ++i) {
-            if (requests[i] == XMPI_REQUEST_NULL) {
+            if (!is_pollable(requests[i])) {
                 continue;
             }
             any_active = true;
             xmpi::Status status;
             if (requests[i]->test(status)) {
-                delete requests[i];
-                requests[i] = XMPI_REQUEST_NULL;
+                consume_completed(&requests[i]);
                 indices[*outcount] = i;
                 if (statuses != XMPI_STATUSES_IGNORE) {
                     statuses[*outcount] = status;
                 }
+                if (status.error != XMPI_SUCCESS) {
+                    any_error = true;
+                    if (first_error == XMPI_SUCCESS) {
+                        first_error = status.error;
+                    }
+                }
                 ++*outcount;
             }
         }
-        if (*outcount > 0 || !any_active) {
-            if (!any_active && *outcount == 0) {
-                *outcount = XMPI_UNDEFINED;
-            }
-            return XMPI_SUCCESS;
+        if (!any_active && *outcount == 0) {
+            none_active = true;
+            return true;
         }
-        std::this_thread::yield();
+        return *outcount > 0;
+    };
+    wait_ladder(sweep);
+    if (none_active) {
+        *outcount = XMPI_UNDEFINED;
+        return XMPI_SUCCESS;
     }
+    if (any_error) {
+        // A completed request failed; the statuses carry the real codes
+        // (ERR_IN_STATUS), or the first code when the caller ignores them.
+        return statuses != XMPI_STATUSES_IGNORE ? XMPI_ERR_IN_STATUS : first_error;
+    }
+    return XMPI_SUCCESS;
+}
+
+int XMPI_Testany(int count, XMPI_Request* requests, int* index, int* flag, XMPI_Status* status) {
+    bool any_active = false;
+    for (int i = 0; i < count; ++i) {
+        if (!is_pollable(requests[i])) {
+            continue;
+        }
+        any_active = true;
+        xmpi::Status test_status;
+        if (requests[i]->test(test_status)) {
+            consume_completed(&requests[i]);
+            *index = i;
+            *flag = 1;
+            if (status != XMPI_STATUS_IGNORE) {
+                *status = test_status;
+            }
+            return test_status.error;
+        }
+    }
+    *index = XMPI_UNDEFINED;
+    // No active requests counts as "trivially complete" (MPI semantics);
+    // active-but-incomplete reports flag = 0.
+    *flag = any_active ? 0 : 1;
+    if (!any_active && status != XMPI_STATUS_IGNORE) {
+        *status = empty_status();
+    }
+    return XMPI_SUCCESS;
+}
+
+int XMPI_Testsome(
+    int incount, XMPI_Request* requests, int* outcount, int* indices, XMPI_Status* statuses) {
+    *outcount = 0;
+    bool any_active = false;
+    int first_error = XMPI_SUCCESS;
+    bool any_error = false;
+    for (int i = 0; i < incount; ++i) {
+        if (!is_pollable(requests[i])) {
+            continue;
+        }
+        any_active = true;
+        xmpi::Status status;
+        if (requests[i]->test(status)) {
+            consume_completed(&requests[i]);
+            indices[*outcount] = i;
+            if (statuses != XMPI_STATUSES_IGNORE) {
+                statuses[*outcount] = status;
+            }
+            if (status.error != XMPI_SUCCESS) {
+                any_error = true;
+                if (first_error == XMPI_SUCCESS) {
+                    first_error = status.error;
+                }
+            }
+            ++*outcount;
+        }
+    }
+    if (!any_active && *outcount == 0) {
+        *outcount = XMPI_UNDEFINED;
+        return XMPI_SUCCESS;
+    }
+    if (any_error) {
+        return statuses != XMPI_STATUSES_IGNORE ? XMPI_ERR_IN_STATUS : first_error;
+    }
+    return XMPI_SUCCESS;
 }
 
 int XMPI_Cancel(XMPI_Request* request) {
@@ -455,6 +639,120 @@ int XMPI_Request_free(XMPI_Request* request) {
     delete *request;
     *request = XMPI_REQUEST_NULL;
     return XMPI_SUCCESS;
+}
+/// @}
+
+/// @name Persistent and partitioned requests
+/// @{
+int XMPI_Start(XMPI_Request* request) {
+    count_call(xmpi::profile::Call::start);
+    if (*request == XMPI_REQUEST_NULL || !(*request)->persistent()) {
+        return XMPI_ERR_REQUEST;
+    }
+    return (*request)->start();
+}
+
+int XMPI_Startall(int count, XMPI_Request* requests) {
+    for (int i = 0; i < count; ++i) {
+        if (int const err = XMPI_Start(&requests[i]); err != XMPI_SUCCESS) {
+            return err;
+        }
+    }
+    return XMPI_SUCCESS;
+}
+
+int XMPI_Send_init(
+    void const* buf, int count, XMPI_Datatype datatype, int dest, int tag, XMPI_Comm comm,
+    XMPI_Request* request) {
+    count_call(xmpi::profile::Call::send_init);
+    *request = xmpi::detail::make_persistent_send(
+        *comm, buf, static_cast<std::size_t>(count), *datatype, dest, tag);
+    return XMPI_SUCCESS;
+}
+
+int XMPI_Recv_init(
+    void* buf, int count, XMPI_Datatype datatype, int source, int tag, XMPI_Comm comm,
+    XMPI_Request* request) {
+    count_call(xmpi::profile::Call::recv_init);
+    *request = xmpi::detail::make_persistent_recv(
+        *comm, buf, static_cast<std::size_t>(count), *datatype, source, tag);
+    return XMPI_SUCCESS;
+}
+
+int XMPI_Bcast_init(
+    void* buffer, int count, XMPI_Datatype datatype, int root, XMPI_Comm comm,
+    XMPI_Request* request) {
+    count_call(xmpi::profile::Call::bcast_init);
+    *request = xmpi::detail::make_persistent_bcast(
+        *comm, buffer, static_cast<std::size_t>(count), *datatype, root);
+    return XMPI_SUCCESS;
+}
+
+int XMPI_Allreduce_init(
+    void const* sendbuf, void* recvbuf, int count, XMPI_Datatype datatype, XMPI_Op op,
+    XMPI_Comm comm, XMPI_Request* request) {
+    count_call(xmpi::profile::Call::allreduce_init);
+    *request = xmpi::detail::make_persistent_allreduce(
+        *comm, sendbuf, recvbuf, static_cast<std::size_t>(count), *datatype, *op);
+    return XMPI_SUCCESS;
+}
+
+int XMPI_Alltoall_init(
+    void const* sendbuf, int sendcount, XMPI_Datatype sendtype, void* recvbuf, int recvcount,
+    XMPI_Datatype recvtype, XMPI_Comm comm, XMPI_Request* request) {
+    count_call(xmpi::profile::Call::alltoall_init);
+    *request = xmpi::detail::make_persistent_alltoall(
+        *comm, sendbuf, static_cast<std::size_t>(sendcount), *sendtype, recvbuf,
+        static_cast<std::size_t>(recvcount), *recvtype);
+    return XMPI_SUCCESS;
+}
+
+int XMPI_Barrier_init(XMPI_Comm comm, XMPI_Request* request) {
+    count_call(xmpi::profile::Call::barrier_init);
+    *request = xmpi::detail::make_persistent_barrier(*comm);
+    return XMPI_SUCCESS;
+}
+
+int XMPI_Psend_init(
+    void const* buf, int partitions, int count, XMPI_Datatype datatype, int dest, int tag,
+    XMPI_Comm comm, XMPI_Request* request) {
+    count_call(xmpi::profile::Call::psend_init);
+    if (partitions <= 0 || count < 0) {
+        return XMPI_ERR_ARG;
+    }
+    *request = new xmpi::detail::PartitionedSendRequest(
+        comm, partitions, static_cast<std::size_t>(count), datatype, buf, dest, tag);
+    return XMPI_SUCCESS;
+}
+
+int XMPI_Precv_init(
+    void* buf, int partitions, int count, XMPI_Datatype datatype, int source, int tag,
+    XMPI_Comm comm, XMPI_Request* request) {
+    count_call(xmpi::profile::Call::precv_init);
+    if (partitions <= 0 || count < 0) {
+        return XMPI_ERR_ARG;
+    }
+    *request = new xmpi::detail::PartitionedRecvRequest(
+        comm, partitions, static_cast<std::size_t>(count), datatype, buf, source, tag);
+    return XMPI_SUCCESS;
+}
+
+int XMPI_Pready(int partition, XMPI_Request request) {
+    count_call(xmpi::profile::Call::pready);
+    auto* psend = dynamic_cast<xmpi::detail::PartitionedSendRequest*>(request);
+    if (psend == nullptr) {
+        return XMPI_ERR_REQUEST;
+    }
+    return psend->pready(partition);
+}
+
+int XMPI_Parrived(XMPI_Request request, int partition, int* flag) {
+    count_call(xmpi::profile::Call::parrived);
+    auto* precv = dynamic_cast<xmpi::detail::PartitionedRecvRequest*>(request);
+    if (precv == nullptr) {
+        return XMPI_ERR_REQUEST;
+    }
+    return precv->parrived(partition, flag);
 }
 /// @}
 

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstddef>
+#include <vector>
 
 #include "xmpi/comm.hpp"
 #include "xmpi/datatype.hpp"
@@ -42,7 +43,16 @@ struct CollChannel {
     int tag;
 };
 
+/// @brief Reusable scratch for reduction collectives. One-shot calls
+/// allocate it on the stack; persistent requests hoist one instance into
+/// the request so restarts skip the per-round allocations.
+struct ReduceScratch {
+    std::vector<std::byte> accumulator;
+    std::vector<std::byte> incoming;
+};
+
 int coll_barrier(Comm& comm);
+int coll_barrier_on(Comm& comm, CollChannel channel);
 Request* coll_ibarrier(Comm& comm);
 int coll_bcast(Comm& comm, void* buffer, std::size_t count, Datatype const& type, int root);
 int coll_bcast_on(
@@ -53,7 +63,7 @@ int coll_reduce_on(
     Datatype const& type, Op const& op, int root);
 int coll_allreduce_on(
     Comm& comm, CollChannel channel, void const* sendbuf, void* recvbuf, std::size_t count,
-    Datatype const& type, Op const& op);
+    Datatype const& type, Op const& op, ReduceScratch* scratch = nullptr);
 int coll_alltoallv_on(
     Comm& comm, CollChannel channel, void const* sendbuf, int const* sendcounts,
     int const* sdispls, Datatype const& sendtype, void* recvbuf, int const* recvcounts,

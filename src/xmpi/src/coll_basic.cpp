@@ -6,27 +6,33 @@
 
 namespace xmpi::detail {
 
-int coll_barrier(Comm& comm) {
+int coll_barrier_on(Comm& comm, CollChannel channel) {
     if (int const err = check_collective(comm); err != XMPI_SUCCESS) {
         return err;
     }
     int const p = comm.size();
     int const r = comm.rank();
+    auto const& byte_type = *predefined_type(BuiltinType::byte_);
     // Dissemination barrier: ceil(log2 p) rounds.
     for (int k = 1; k < p; k <<= 1) {
         int const to = (r + k) % p;
         int const from = (r - k + p) % p;
-        if (int const err = coll_send(comm, to, coll_tag::barrier, nullptr, 0, *predefined_type(BuiltinType::byte_));
+        if (int const err =
+                transport_send(comm, to, channel.tag, channel.context, nullptr, 0, byte_type);
             err != XMPI_SUCCESS) {
             return err;
         }
-        if (int const err =
-                coll_recv(comm, from, coll_tag::barrier, nullptr, 0, *predefined_type(BuiltinType::byte_));
+        if (int const err = transport_recv(
+                comm, from, channel.tag, channel.context, nullptr, 0, byte_type, nullptr);
             err != XMPI_SUCCESS) {
             return err;
         }
     }
     return XMPI_SUCCESS;
+}
+
+int coll_barrier(Comm& comm) {
+    return coll_barrier_on(comm, CollChannel{comm.collective_context(), coll_tag::barrier});
 }
 
 Request* coll_ibarrier(Comm& comm) {

@@ -114,14 +114,27 @@ int reduce_binomial(
 /// Non-commutative user ops keep the rank-ordered reduce+bcast path.
 int allreduce_recursive_doubling(
     Comm& comm, CollChannel channel, void const* contribution, void* recvbuf, std::size_t count,
-    Datatype const& type, Op const& op) {
+    Datatype const& type, Op const& op, ReduceScratch& scratch) {
     int const p = comm.size();
     int const r = comm.rank();
     std::size_t const bytes = count * static_cast<std::size_t>(type.extent());
 
-    ElementBuffer accumulator(count, type);
-    ElementBuffer incoming(count, type);
-    std::memcpy(accumulator.data(), contribution, bytes);
+    // resize() is a no-op after the first round on a hoisted scratch, so
+    // persistent restarts run allocation-free. In-place calls (contribution
+    // aliases recvbuf — the shape every persistent allreduce binds) skip the
+    // accumulator entirely and fold straight into recvbuf, saving the entry
+    // and exit copies as well.
+    bool const in_place = contribution == recvbuf;
+    std::byte* acc = nullptr;
+    if (in_place) {
+        acc = static_cast<std::byte*>(recvbuf);
+    } else {
+        scratch.accumulator.resize(bytes);
+        acc = scratch.accumulator.data();
+        std::memcpy(acc, contribution, bytes);
+    }
+    scratch.incoming.resize(bytes);
+    std::byte* const in = scratch.incoming.data();
 
     // Fold the rem = p - 2^k ranks beyond the largest power of two into
     // their odd neighbours first; those neighbours then run the doubling
@@ -136,19 +149,19 @@ int allreduce_recursive_doubling(
     if (r < 2 * rem) {
         if (r % 2 == 0) {
             if (int const err = transport_send(
-                    comm, r + 1, channel.tag, channel.context, accumulator.data(), count, type);
+                    comm, r + 1, channel.tag, channel.context, acc, count, type);
                 err != XMPI_SUCCESS) {
                 return err;
             }
             vrank = -1; // sits out the doubling rounds, gets the result back
         } else {
             if (int const err = transport_recv(
-                    comm, r - 1, channel.tag, channel.context, incoming.data(), count, type,
+                    comm, r - 1, channel.tag, channel.context, in, count, type,
                     nullptr);
                 err != XMPI_SUCCESS) {
                 return err;
             }
-            op.apply(incoming.data(), accumulator.data(), count, type);
+            op.apply(in, acc, count, type);
             vrank = r / 2;
         }
     } else {
@@ -161,17 +174,17 @@ int allreduce_recursive_doubling(
             int const partner = real(vrank ^ mask);
             // Eager sends complete locally, so send-then-recv cannot deadlock.
             if (int const err = transport_send(
-                    comm, partner, channel.tag, channel.context, accumulator.data(), count, type);
+                    comm, partner, channel.tag, channel.context, acc, count, type);
                 err != XMPI_SUCCESS) {
                 return err;
             }
             if (int const err = transport_recv(
-                    comm, partner, channel.tag, channel.context, incoming.data(), count, type,
+                    comm, partner, channel.tag, channel.context, in, count, type,
                     nullptr);
                 err != XMPI_SUCCESS) {
                 return err;
             }
-            op.apply(incoming.data(), accumulator.data(), count, type);
+            op.apply(in, acc, count, type);
         }
     }
 
@@ -180,10 +193,14 @@ int allreduce_recursive_doubling(
             return transport_recv(
                 comm, r + 1, channel.tag, channel.context, recvbuf, count, type, nullptr);
         }
-        std::memcpy(recvbuf, accumulator.data(), bytes);
+        if (!in_place) {
+            std::memcpy(recvbuf, acc, bytes);
+        }
         return transport_send(comm, r - 1, channel.tag, channel.context, recvbuf, count, type);
     }
-    std::memcpy(recvbuf, accumulator.data(), bytes);
+    if (!in_place) {
+        std::memcpy(recvbuf, acc, bytes);
+    }
     return XMPI_SUCCESS;
 }
 
@@ -214,15 +231,17 @@ int coll_reduce(
 
 int coll_allreduce_on(
     Comm& comm, CollChannel channel, void const* sendbuf, void* recvbuf, std::size_t count,
-    Datatype const& type, Op const& op) {
+    Datatype const& type, Op const& op, ReduceScratch* scratch) {
     if (op.commutative()) {
         if (int const err = check_collective(comm); err != XMPI_SUCCESS) {
             return err;
         }
         void const* contribution = sendbuf == IN_PLACE ? recvbuf : sendbuf;
         profile::note_algorithm("recursive_doubling");
+        ReduceScratch local;
         return allreduce_recursive_doubling(
-            comm, channel, contribution, recvbuf, count, type, op);
+            comm, channel, contribution, recvbuf, count, type, op,
+            scratch != nullptr ? *scratch : local);
     }
     profile::note_algorithm("reduce_bcast");
     // Non-commutative: fold in rank order at rank 0, then broadcast, so every

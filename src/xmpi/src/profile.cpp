@@ -25,6 +25,8 @@ Snapshot snapshot_counters(RankCounters const& counters) {
     snapshot.bytes_zero_copied = counters.bytes_zero_copied.load(std::memory_order_relaxed);
     snapshot.pool_hits = counters.pool_hits.load(std::memory_order_relaxed);
     snapshot.pool_misses = counters.pool_misses.load(std::memory_order_relaxed);
+    snapshot.reserved_payload_reuses =
+        counters.reserved_payload_reuses.load(std::memory_order_relaxed);
     snapshot.engine_tasks = counters.engine_tasks.load(std::memory_order_relaxed);
     snapshot.engine_inline_fallbacks =
         counters.engine_inline_fallbacks.load(std::memory_order_relaxed);
@@ -145,6 +147,7 @@ std::string spans_json() {
         json += ", \"epoch_wait_s\": " + std::to_string(span.epoch_wait_s);
         json += ", \"bytes_put\": " + std::to_string(span.bytes_put);
         json += ", \"bytes_got\": " + std::to_string(span.bytes_got);
+        json += ", \"restarts\": " + std::to_string(span.restarts);
         json += i + 1 < spans.size() ? "},\n" : "}\n";
     }
     json += "]\n";

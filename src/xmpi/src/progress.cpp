@@ -73,7 +73,9 @@ class Engine {
 public:
     ~Engine() { stop_workers(); }
 
-    Request* submit(char const* op, Comm* comm, std::function<int()> body);
+    Request* submit(
+        char const* op, Comm* comm, xmpi::detail::RankContext ctx,
+        std::function<int()> body);
     void wait(TaskPtr const& task);
     bool test_assist(TaskPtr const& task);
     bool cancel(TaskPtr const& task);
@@ -438,10 +440,12 @@ private:
     TaskPtr task_;
 };
 
-Request* Engine::submit(char const* op, Comm* comm, std::function<int()> body) {
+Request* Engine::submit(
+    char const* op, Comm* comm, xmpi::detail::RankContext ctx,
+    std::function<int()> body) {
     auto task = std::make_shared<Task>();
     task->body = std::move(body);
-    task->ctx = xmpi::detail::current_context();
+    task->ctx = ctx;
     task->comm = comm;
     task->op = op;
     task->enqueued_s = wtime();
@@ -588,7 +592,12 @@ void shutdown() {
 namespace detail {
 
 Request* submit(char const* op, Comm* comm, std::function<int()> body) {
-    return engine().submit(op, comm, std::move(body));
+    return engine().submit(op, comm, xmpi::detail::current_context(), std::move(body));
+}
+
+Request* submit_as(
+    char const* op, Comm* comm, xmpi::detail::RankContext ctx, std::function<int()> body) {
+    return engine().submit(op, comm, ctx, std::move(body));
 }
 
 void fail_queued_for_comm(Comm* comm, int error) {

@@ -248,6 +248,8 @@ char const* error_string(int error_code) {
             return "RMA synchronization misuse (wrong or missing epoch)";
         case XMPI_ERR_RMA_RANGE:
             return "RMA access outside the exposed window memory";
+        case XMPI_ERR_IN_STATUS:
+            return "error code in one or more of the returned statuses";
         default:
             return "unknown error";
     }

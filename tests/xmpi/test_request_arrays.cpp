@@ -1,0 +1,303 @@
+/// @file test_request_arrays.cpp
+/// @brief Request-array completion semantics: Waitany/Waitsome blocking
+/// behaviour (no busy-burn), Testany/Testsome, Testall's all-or-nothing
+/// probe, per-request error surfacing (the ERR_IN_STATUS convention), and
+/// the treatment of null / inactive-persistent entries.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <ctime>
+#include <thread>
+#include <vector>
+
+#include "xmpi/xmpi.hpp"
+
+namespace {
+
+using xmpi::World;
+
+[[nodiscard]] double thread_cpu_seconds() {
+    timespec ts{};
+    clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+    return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+[[nodiscard]] double wall_seconds() {
+    timespec ts{};
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+TEST(RequestArrays, WaitanyReturnsTheCompletedIndex) {
+    World::run_ranked(2, [](int rank) {
+        if (rank == 0) {
+            int values[2] = {0, 0};
+            XMPI_Request requests[3];
+            requests[0] = XMPI_REQUEST_NULL;
+            XMPI_Irecv(&values[0], 1, XMPI_INT, 1, 5, XMPI_COMM_WORLD, &requests[1]);
+            XMPI_Irecv(&values[1], 1, XMPI_INT, 1, 6, XMPI_COMM_WORLD, &requests[2]);
+            for (int round = 0; round < 2; ++round) {
+                int index = -1;
+                XMPI_Status status;
+                ASSERT_EQ(XMPI_Waitany(3, requests, &index, &status), XMPI_SUCCESS);
+                ASSERT_TRUE(index == 1 || index == 2);
+                EXPECT_EQ(requests[index], XMPI_REQUEST_NULL);
+                EXPECT_EQ(status.source, 1);
+            }
+            EXPECT_EQ(values[0], 50);
+            EXPECT_EQ(values[1], 60);
+        } else {
+            int const a = 50;
+            int const b = 60;
+            XMPI_Send(&a, 1, XMPI_INT, 0, 5, XMPI_COMM_WORLD);
+            XMPI_Send(&b, 1, XMPI_INT, 0, 6, XMPI_COMM_WORLD);
+        }
+    });
+}
+
+TEST(RequestArrays, WaitanyWithNothingPollableReturnsUndefined) {
+    World::run(1, [] {
+        XMPI_Request requests[2] = {XMPI_REQUEST_NULL, XMPI_REQUEST_NULL};
+        int index = 0;
+        XMPI_Status status;
+        ASSERT_EQ(XMPI_Waitany(2, requests, &index, &status), XMPI_SUCCESS);
+        EXPECT_EQ(index, XMPI_UNDEFINED);
+        EXPECT_EQ(status.source, XMPI_PROC_NULL);
+        EXPECT_EQ(status.error, XMPI_SUCCESS);
+    });
+}
+
+TEST(RequestArrays, WaitsomeDrainsEverythingEventually) {
+    constexpr int kMessages = 8;
+    World::run_ranked(2, [](int rank) {
+        if (rank == 0) {
+            int values[kMessages] = {};
+            std::vector<XMPI_Request> requests(kMessages);
+            for (int i = 0; i < kMessages; ++i) {
+                XMPI_Irecv(&values[i], 1, XMPI_INT, 1, i, XMPI_COMM_WORLD, &requests[i]);
+            }
+            int drained = 0;
+            while (drained < kMessages) {
+                int outcount = 0;
+                std::vector<int> indices(kMessages);
+                std::vector<XMPI_Status> statuses(kMessages);
+                ASSERT_EQ(
+                    XMPI_Waitsome(
+                        kMessages, requests.data(), &outcount, indices.data(),
+                        statuses.data()),
+                    XMPI_SUCCESS);
+                ASSERT_GT(outcount, 0);
+                drained += outcount;
+            }
+            // Nothing pollable left: outcount reports UNDEFINED.
+            int outcount = 0;
+            std::vector<int> indices(kMessages);
+            ASSERT_EQ(
+                XMPI_Waitsome(
+                    kMessages, requests.data(), &outcount, indices.data(),
+                    XMPI_STATUSES_IGNORE),
+                XMPI_SUCCESS);
+            EXPECT_EQ(outcount, XMPI_UNDEFINED);
+            for (int i = 0; i < kMessages; ++i) {
+                EXPECT_EQ(values[i], 100 + i);
+            }
+        } else {
+            for (int i = 0; i < kMessages; ++i) {
+                int const value = 100 + i;
+                XMPI_Send(&value, 1, XMPI_INT, 0, i, XMPI_COMM_WORLD);
+            }
+        }
+    });
+}
+
+TEST(RequestArrays, TestanyFindsACompletionWithoutBlocking) {
+    World::run_ranked(2, [](int rank) {
+        if (rank == 0) {
+            int value = 0;
+            XMPI_Request requests[2];
+            requests[0] = XMPI_REQUEST_NULL;
+            XMPI_Irecv(&value, 1, XMPI_INT, 1, 3, XMPI_COMM_WORLD, &requests[1]);
+            XMPI_Barrier(XMPI_COMM_WORLD);
+            int index = -1;
+            int flag = 0;
+            XMPI_Status status;
+            while (flag == 0) {
+                ASSERT_EQ(XMPI_Testany(2, requests, &index, &flag, &status), XMPI_SUCCESS);
+            }
+            EXPECT_EQ(index, 1);
+            EXPECT_EQ(value, 77);
+            EXPECT_EQ(requests[1], XMPI_REQUEST_NULL);
+            // All entries gone: flag=1 with UNDEFINED index.
+            flag = 0;
+            ASSERT_EQ(XMPI_Testany(2, requests, &index, &flag, &status), XMPI_SUCCESS);
+            EXPECT_EQ(flag, 1);
+            EXPECT_EQ(index, XMPI_UNDEFINED);
+        } else {
+            XMPI_Barrier(XMPI_COMM_WORLD);
+            int const value = 77;
+            XMPI_Send(&value, 1, XMPI_INT, 0, 3, XMPI_COMM_WORLD);
+        }
+    });
+}
+
+TEST(RequestArrays, TestsomeReportsOnlyWhatCompleted) {
+    World::run_ranked(2, [](int rank) {
+        if (rank == 0) {
+            int delivered = 0;
+            int pending = 0;
+            XMPI_Request requests[2];
+            XMPI_Irecv(&delivered, 1, XMPI_INT, 1, 1, XMPI_COMM_WORLD, &requests[0]);
+            // Tag 2 is never sent; this request must stay pending.
+            XMPI_Irecv(&pending, 1, XMPI_INT, 1, 2, XMPI_COMM_WORLD, &requests[1]);
+            int outcount = 0;
+            int indices[2];
+            XMPI_Status statuses[2];
+            while (outcount == 0) {
+                ASSERT_EQ(
+                    XMPI_Testsome(2, requests, &outcount, indices, statuses), XMPI_SUCCESS);
+            }
+            EXPECT_EQ(outcount, 1);
+            EXPECT_EQ(indices[0], 0);
+            EXPECT_EQ(statuses[0].tag, 1);
+            EXPECT_EQ(delivered, 11);
+            EXPECT_EQ(requests[0], XMPI_REQUEST_NULL);
+            ASSERT_NE(requests[1], XMPI_REQUEST_NULL);
+            XMPI_Cancel(&requests[1]);
+            XMPI_Request_free(&requests[1]);
+        } else {
+            int const value = 11;
+            XMPI_Send(&value, 1, XMPI_INT, 0, 1, XMPI_COMM_WORLD);
+        }
+    });
+}
+
+TEST(RequestArrays, TestallIsAllOrNothingAndDoesNotConsume) {
+    World::run_ranked(2, [](int rank) {
+        if (rank == 0) {
+            int first = 0;
+            int second = 0;
+            XMPI_Request requests[2];
+            XMPI_Irecv(&first, 1, XMPI_INT, 1, 1, XMPI_COMM_WORLD, &requests[0]);
+            XMPI_Irecv(&second, 1, XMPI_INT, 1, 2, XMPI_COMM_WORLD, &requests[1]);
+            // Only the first message is in flight; Testall must report 0 and
+            // leave BOTH handles live (the completed one is not consumed).
+            XMPI_Barrier(XMPI_COMM_WORLD); // first send done after this
+            int flag = -1;
+            XMPI_Status statuses[2];
+            ASSERT_EQ(XMPI_Testall(2, requests, &flag, statuses), XMPI_SUCCESS);
+            // Whether or not message one already landed, message two has not
+            // been sent: the answer must be "not all done", handles intact.
+            EXPECT_EQ(flag, 0);
+            EXPECT_NE(requests[0], XMPI_REQUEST_NULL);
+            EXPECT_NE(requests[1], XMPI_REQUEST_NULL);
+            XMPI_Barrier(XMPI_COMM_WORLD); // let rank 1 send the second
+            while (flag == 0) {
+                ASSERT_EQ(XMPI_Testall(2, requests, &flag, statuses), XMPI_SUCCESS);
+            }
+            EXPECT_EQ(first, 21);
+            EXPECT_EQ(second, 22);
+            EXPECT_EQ(statuses[0].tag, 1);
+            EXPECT_EQ(statuses[1].tag, 2);
+            EXPECT_EQ(requests[0], XMPI_REQUEST_NULL);
+            EXPECT_EQ(requests[1], XMPI_REQUEST_NULL);
+        } else {
+            int const a = 21;
+            XMPI_Send(&a, 1, XMPI_INT, 0, 1, XMPI_COMM_WORLD);
+            XMPI_Barrier(XMPI_COMM_WORLD);
+            XMPI_Barrier(XMPI_COMM_WORLD);
+            int const b = 22;
+            XMPI_Send(&b, 1, XMPI_INT, 0, 2, XMPI_COMM_WORLD);
+        }
+    });
+}
+
+TEST(RequestArrays, WaitsomeSurfacesPerRequestErrorsAsErrInStatus) {
+    World::run_ranked(2, [](int rank) {
+        if (rank == 1) {
+            xmpi::inject_failure(); // unwinds this rank before sending
+        }
+        int value = 0;
+        XMPI_Request requests[1];
+        XMPI_Irecv(&value, 1, XMPI_INT, 1, 0, XMPI_COMM_WORLD, &requests[0]);
+        int outcount = 0;
+        int indices[1];
+        XMPI_Status statuses[1];
+        int const err = XMPI_Waitsome(1, requests, &outcount, indices, statuses);
+        EXPECT_EQ(err, XMPI_ERR_IN_STATUS);
+        ASSERT_EQ(outcount, 1);
+        EXPECT_EQ(indices[0], 0);
+        EXPECT_EQ(statuses[0].error, XMPI_ERR_PROC_FAILED);
+    });
+}
+
+TEST(RequestArrays, WaitsomeWithStatusesIgnoredReturnsTheErrorDirectly) {
+    World::run_ranked(2, [](int rank) {
+        if (rank == 1) {
+            xmpi::inject_failure();
+        }
+        int value = 0;
+        XMPI_Request requests[1];
+        XMPI_Irecv(&value, 1, XMPI_INT, 1, 0, XMPI_COMM_WORLD, &requests[0]);
+        int outcount = 0;
+        int indices[1];
+        int const err = XMPI_Waitsome(1, requests, &outcount, indices, XMPI_STATUSES_IGNORE);
+        // Nowhere to put per-request errors: the first failure code itself
+        // comes back instead of ERR_IN_STATUS.
+        EXPECT_EQ(err, XMPI_ERR_PROC_FAILED);
+    });
+}
+
+TEST(RequestArrays, TestallSurfacesPerRequestErrorsAsErrInStatus) {
+    World::run_ranked(2, [](int rank) {
+        if (rank == 1) {
+            xmpi::inject_failure();
+        }
+        int value = 0;
+        XMPI_Request requests[1];
+        XMPI_Irecv(&value, 1, XMPI_INT, 1, 0, XMPI_COMM_WORLD, &requests[0]);
+        int flag = 0;
+        XMPI_Status statuses[1];
+        int err = XMPI_SUCCESS;
+        while (flag == 0 && err == XMPI_SUCCESS) {
+            err = XMPI_Testall(1, requests, &flag, statuses);
+        }
+        EXPECT_EQ(err, XMPI_ERR_IN_STATUS);
+        EXPECT_EQ(statuses[0].error, XMPI_ERR_PROC_FAILED);
+    });
+}
+
+/// The regression this PR's sweep fixes: a rank parked in Waitany used to
+/// spin `yield()` at full speed for its whole wait. After the spin→yield→
+/// block ladder, a quarter-second wait must cost almost no thread CPU time.
+TEST(RequestArrays, BlockedWaitanyDoesNotBurnCpu) {
+    World::run_ranked(2, [](int rank) {
+        if (rank == 0) {
+            int value = 0;
+            XMPI_Request requests[1];
+            XMPI_Irecv(&value, 1, XMPI_INT, 1, 9, XMPI_COMM_WORLD, &requests[0]);
+            XMPI_Barrier(XMPI_COMM_WORLD);
+            double const wall_before = wall_seconds();
+            double const cpu_before = thread_cpu_seconds();
+            int index = -1;
+            XMPI_Status status;
+            ASSERT_EQ(XMPI_Waitany(1, requests, &index, &status), XMPI_SUCCESS);
+            double const wall = wall_seconds() - wall_before;
+            double const cpu = thread_cpu_seconds() - cpu_before;
+            EXPECT_EQ(value, 9);
+            // The sender stalls ~250 ms, so the wait was genuinely blocked.
+            ASSERT_GT(wall, 0.15);
+            // A spinning wait would burn ~100% of wall as CPU. The blocked
+            // ladder wakes at most once per ms; allow generous slack for
+            // slow/oversubscribed CI machines.
+            EXPECT_LT(cpu, 0.5 * wall)
+                << "Waitany burned " << cpu << "s CPU over a " << wall << "s blocked wait";
+        } else {
+            XMPI_Barrier(XMPI_COMM_WORLD);
+            std::this_thread::sleep_for(std::chrono::milliseconds(250));
+            int const value = 9;
+            XMPI_Send(&value, 1, XMPI_INT, 0, 9, XMPI_COMM_WORLD);
+        }
+    });
+}
+
+} // namespace
