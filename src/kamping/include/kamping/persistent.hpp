@@ -63,6 +63,7 @@ public:
         if (tracing_) {
             xmpi::profile::Span span;
             span.op = Op.name;
+            span.algorithm = algorithm_;
             span.start_s = start_s_;
             span.duration_s = active_s_;
             span.restarts = restarts_;
@@ -163,11 +164,20 @@ private:
         ++restarts_;
         if (tracing_) {
             active_s_ += XMPI_Wtime() - round_start_s_;
+            // The xmpi dispatcher notes the algorithm each round ran (the
+            // plan captured it at init, so it is the same every round).
+            // Taking it both stamps the summary span and drains the
+            // thread-local slot, which would otherwise bleed into the next
+            // one-shot operation's span. P2P plans note nothing and keep "".
+            if (char const* algorithm = xmpi::profile::take_algorithm(); algorithm[0] != '\0') {
+                algorithm_ = algorithm;
+            }
         }
     }
 
     Buffer buffer_;
     bool tracing_;
+    char const* algorithm_ = ""; ///< noted by the first completed round
     double start_s_ = 0.0;
     double round_start_s_ = 0.0;
     double active_s_ = 0.0;

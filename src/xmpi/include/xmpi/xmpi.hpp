@@ -15,5 +15,6 @@
 #include "xmpi/progress.hpp"  // IWYU pragma: export
 #include "xmpi/request.hpp"   // IWYU pragma: export
 #include "xmpi/status.hpp"    // IWYU pragma: export
+#include "xmpi/tuning.hpp"    // IWYU pragma: export
 #include "xmpi/win.hpp"       // IWYU pragma: export
 #include "xmpi/world.hpp"     // IWYU pragma: export

@@ -4,30 +4,12 @@
 #include <vector>
 
 #include "coll.hpp"
+#include "coll_registry.hpp"
 #include "transport.hpp"
 #include "xmpi/netmodel.hpp"
-#include "xmpi/profile.hpp"
 
 namespace xmpi::detail {
 namespace {
-
-std::byte* displaced(void* base, std::ptrdiff_t elements, Datatype const& type) {
-    return static_cast<std::byte*>(base) + elements * type.extent();
-}
-
-std::byte const* displaced(void const* base, std::ptrdiff_t elements, Datatype const& type) {
-    return static_cast<std::byte const*>(base) + elements * type.extent();
-}
-
-void local_copy(
-    void const* src, std::size_t scount, Datatype const& stype, void* dst, std::size_t rcount,
-    Datatype const& rtype) {
-    std::vector<std::byte> packed(stype.packed_size(scount));
-    stype.pack(src, scount, packed.data());
-    std::size_t const elements =
-        rtype.size() == 0 ? 0 : std::min(packed.size(), rtype.packed_size(rcount)) / rtype.size();
-    rtype.unpack(packed.data(), elements, dst);
-}
 
 /// @brief Bruck's log-round alltoall (store-and-forward, works for any p).
 ///
@@ -37,9 +19,16 @@ void local_copy(
 /// block sent by rank (r-i) % p, which phase 3 unpacks into receive block
 /// (r-i) % p. ceil(log2 p) messages of ~p/2 blocks each replace the p-1
 /// messages of the pairwise exchange — a latency win for small blocks.
-int alltoall_bruck(
-    Comm& comm, void const* sendbuf, std::size_t sendcount, Datatype const& sendtype,
-    void* recvbuf, std::size_t recvcount, Datatype const& recvtype) {
+/// (Bruck reads the whole send buffer into its slots before writing recvbuf,
+/// so the in-place case needs no staging copy.)
+int run_alltoall_bruck(CollCtx& ctx) {
+    Comm& comm = *ctx.comm;
+    void const* const sendbuf = ctx.sendbuf;
+    std::size_t const sendcount = ctx.sendcount;
+    Datatype const& sendtype = *ctx.sendtype;
+    void* const recvbuf = ctx.recvbuf;
+    std::size_t const recvcount = ctx.recvcount;
+    Datatype const& recvtype = *ctx.recvtype;
     int const p = comm.size();
     int const r = comm.rank();
     std::size_t const block_bytes = sendtype.packed_size(sendcount);
@@ -93,77 +82,41 @@ int alltoall_bruck(
     return XMPI_SUCCESS;
 }
 
-/// @brief Picks Bruck vs. pairwise: by modeled alpha/beta cost when a network
-/// model is active, by the tuning byte/rank thresholds otherwise.
-bool use_bruck_alltoall(Comm& comm, int p, std::size_t block_bytes) {
-    if (p < 2) {
-        return false;
-    }
-    NetworkModel const& model = comm.world().network_model();
-    if (model.enabled()) {
-        int const rounds = std::bit_width(static_cast<unsigned>(p - 1));
-        double const pairwise_cost =
-            static_cast<double>(p - 1) * model.message_cost(block_bytes);
-        double const bruck_cost = static_cast<double>(rounds)
-                                  * model.message_cost(block_bytes * static_cast<std::size_t>(p) / 2);
-        return bruck_cost < pairwise_cost;
-    }
-    return p >= tuning::bruck_alltoall_min_ranks
-           && block_bytes <= tuning::bruck_alltoall_max_bytes;
-}
-
-} // namespace
-
-int coll_alltoall(
-    Comm& comm, void const* sendbuf, std::size_t sendcount, Datatype const& sendtype,
-    void* recvbuf, std::size_t recvcount, Datatype const& recvtype) {
-    if (int const err = check_collective(comm); err != XMPI_SUCCESS) {
-        return err;
-    }
+/// @brief Pairwise exchange: p-1 rounds, round i pairs rank r with r+i / r-i.
+/// An in-place call stages the receive buffer as send data first (pairwise
+/// overwrites receive blocks while later rounds still need their originals).
+int run_alltoall_pairwise(CollCtx& ctx) {
+    Comm& comm = *ctx.comm;
+    void* const recvbuf = ctx.recvbuf;
+    std::size_t const recvcount = ctx.recvcount;
+    Datatype const& recvtype = *ctx.recvtype;
     int const p = comm.size();
     int const r = comm.rank();
 
-    // In-place: stage the current receive buffer as send data. (Bruck reads
-    // the whole send buffer into its slots before writing recvbuf, so it
-    // needs no staging copy.)
+    void const* sendbuf = ctx.sendbuf;
+    std::size_t const sendcount = ctx.sendcount;
+    Datatype const& sendtype = *ctx.sendtype;
     std::vector<std::byte> staged;
-    void const* effective_sendbuf = sendbuf;
-    Datatype const* effective_sendtype = &sendtype;
-    std::size_t effective_sendcount = sendcount;
-    if (sendbuf == IN_PLACE) {
-        effective_sendbuf = recvbuf;
-        effective_sendtype = &recvtype;
-        effective_sendcount = recvcount;
-    }
-
-    if (use_bruck_alltoall(comm, p, effective_sendtype->packed_size(effective_sendcount))) {
-        profile::note_algorithm("bruck");
-        return alltoall_bruck(
-            comm, effective_sendbuf, effective_sendcount, *effective_sendtype, recvbuf, recvcount,
-            recvtype);
-    }
-    profile::note_algorithm("pairwise");
-
-    if (sendbuf == IN_PLACE) {
-        staged.resize(static_cast<std::size_t>(p) * recvcount * static_cast<std::size_t>(recvtype.extent()));
+    if (ctx.in_place) {
+        staged.resize(
+            static_cast<std::size_t>(p) * recvcount * static_cast<std::size_t>(recvtype.extent()));
         std::memcpy(staged.data(), recvbuf, staged.size());
-        effective_sendbuf = staged.data();
+        sendbuf = staged.data();
     }
 
     local_copy(
-        displaced(effective_sendbuf, r * static_cast<std::ptrdiff_t>(effective_sendcount), *effective_sendtype),
-        effective_sendcount, *effective_sendtype,
+        displaced(sendbuf, r * static_cast<std::ptrdiff_t>(sendcount), sendtype),
+        sendcount, sendtype,
         displaced(recvbuf, r * static_cast<std::ptrdiff_t>(recvcount), recvtype), recvcount,
         recvtype);
 
-    // Pairwise exchange: p-1 rounds, round i pairs rank r with r+i / r-i.
     for (int i = 1; i < p; ++i) {
         int const to = (r + i) % p;
         int const from = (r - i + p) % p;
         if (int const err = coll_sendrecv(
                 comm, to, coll_tag::alltoall,
-                displaced(effective_sendbuf, to * static_cast<std::ptrdiff_t>(effective_sendcount), *effective_sendtype),
-                effective_sendcount, *effective_sendtype, from, coll_tag::alltoall,
+                displaced(sendbuf, to * static_cast<std::ptrdiff_t>(sendcount), sendtype),
+                sendcount, sendtype, from, coll_tag::alltoall,
                 displaced(recvbuf, from * static_cast<std::ptrdiff_t>(recvcount), recvtype),
                 recvcount, recvtype);
             err != XMPI_SUCCESS) {
@@ -173,22 +126,24 @@ int coll_alltoall(
     return XMPI_SUCCESS;
 }
 
-int coll_alltoallv_on(
-    Comm& comm, CollChannel channel, void const* sendbuf, int const* sendcounts,
-    int const* sdispls, Datatype const& sendtype, void* recvbuf, int const* recvcounts,
-    int const* rdispls, Datatype const& recvtype) {
-    if (int const err = check_collective(comm); err != XMPI_SUCCESS) {
-        return err;
-    }
+/// @brief Pairwise alltoallv over an explicit channel (the persistent
+/// alltoall plan replays this with its bound channel).
+int run_alltoallv_pairwise(CollCtx& ctx) {
+    Comm& comm = *ctx.comm;
+    CollChannel const channel = ctx.channel;
+    void* const recvbuf = ctx.recvbuf;
+    int const* const recvcounts = ctx.recvcounts;
+    int const* const rdispls = ctx.rdispls;
+    Datatype const& recvtype = *ctx.recvtype;
     int const p = comm.size();
     int const r = comm.rank();
 
     std::vector<std::byte> staged;
-    void const* effective_sendbuf = sendbuf;
-    Datatype const* effective_sendtype = &sendtype;
-    int const* effective_sendcounts = sendcounts;
-    int const* effective_sdispls = sdispls;
-    if (sendbuf == IN_PLACE) {
+    void const* sendbuf = ctx.sendbuf;
+    Datatype const* sendtype = ctx.sendtype;
+    int const* sendcounts = ctx.sendcounts;
+    int const* sdispls = ctx.sdispls;
+    if (ctx.in_place) {
         // MPI: send counts/displacements/type are taken from the receive side.
         std::ptrdiff_t max_end = 0;
         for (int i = 0; i < p; ++i) {
@@ -197,15 +152,15 @@ int coll_alltoallv_on(
         }
         staged.resize(static_cast<std::size_t>(max_end) * static_cast<std::size_t>(recvtype.extent()));
         std::memcpy(staged.data(), recvbuf, staged.size());
-        effective_sendbuf = staged.data();
-        effective_sendtype = &recvtype;
-        effective_sendcounts = recvcounts;
-        effective_sdispls = rdispls;
+        sendbuf = staged.data();
+        sendtype = &recvtype;
+        sendcounts = recvcounts;
+        sdispls = rdispls;
     }
 
     local_copy(
-        displaced(effective_sendbuf, effective_sdispls[r], *effective_sendtype),
-        static_cast<std::size_t>(effective_sendcounts[r]), *effective_sendtype,
+        displaced(sendbuf, sdispls[r], *sendtype),
+        static_cast<std::size_t>(sendcounts[r]), *sendtype,
         displaced(recvbuf, rdispls[r], recvtype), static_cast<std::size_t>(recvcounts[r]),
         recvtype);
 
@@ -214,8 +169,8 @@ int coll_alltoallv_on(
         int const from = (r - i + p) % p;
         if (int const err = transport_send(
                 comm, to, channel.tag, channel.context,
-                displaced(effective_sendbuf, effective_sdispls[to], *effective_sendtype),
-                static_cast<std::size_t>(effective_sendcounts[to]), *effective_sendtype);
+                displaced(sendbuf, sdispls[to], *sendtype),
+                static_cast<std::size_t>(sendcounts[to]), *sendtype);
             err != XMPI_SUCCESS) {
             return err;
         }
@@ -228,6 +183,180 @@ int coll_alltoallv_on(
         }
     }
     return XMPI_SUCCESS;
+}
+
+int run_alltoallw_pairwise(CollCtx& ctx) {
+    Comm& comm = *ctx.comm;
+    void const* const sendbuf = ctx.sendbuf;
+    void* const recvbuf = ctx.recvbuf;
+    int const p = comm.size();
+    int const r = comm.rank();
+
+    // Alltoallw displacements are in *bytes* (MPI semantics).
+    auto const send_slice = [&](int i) {
+        return static_cast<std::byte const*>(sendbuf) + ctx.sdispls[i];
+    };
+    auto const recv_slice = [&](int i) {
+        return static_cast<std::byte*>(recvbuf) + ctx.rdispls[i];
+    };
+
+    local_copy(
+        send_slice(r), static_cast<std::size_t>(ctx.sendcounts[r]), *ctx.sendtypes[r],
+        recv_slice(r), static_cast<std::size_t>(ctx.recvcounts[r]), *ctx.recvtypes[r]);
+
+    for (int i = 1; i < p; ++i) {
+        int const to = (r + i) % p;
+        int const from = (r - i + p) % p;
+        if (int const err = coll_sendrecv(
+                comm, to, coll_tag::alltoall, send_slice(to),
+                static_cast<std::size_t>(ctx.sendcounts[to]), *ctx.sendtypes[to], from,
+                coll_tag::alltoall, recv_slice(from),
+                static_cast<std::size_t>(ctx.recvcounts[from]), *ctx.recvtypes[from]);
+            err != XMPI_SUCCESS) {
+            return err;
+        }
+    }
+    return XMPI_SUCCESS;
+}
+
+/// @brief Neighborhood exchange on the communicator's topology graph: post
+/// all receives first, then inject the sends (eager, complete locally), then
+/// wait. Cost: outdegree messages per rank.
+int run_neighbor_alltoallv_posted(CollCtx& ctx) {
+    Comm& comm = *ctx.comm;
+    auto const& topology = comm.topology();
+    Datatype const& sendtype = *ctx.sendtype;
+    Datatype const& recvtype = *ctx.recvtype;
+
+    std::vector<Request*> requests;
+    requests.reserve(topology.sources.size());
+    int first_error = XMPI_SUCCESS;
+    for (std::size_t j = 0; j < topology.sources.size(); ++j) {
+        Request* request = nullptr;
+        int const err = transport_irecv(
+            comm, topology.sources[j], coll_tag::neighbor, comm.collective_context(),
+            static_cast<std::byte*>(ctx.recvbuf) + ctx.rdispls[j] * recvtype.extent(),
+            static_cast<std::size_t>(ctx.recvcounts[j]), recvtype, &request);
+        if (err != XMPI_SUCCESS) {
+            if (first_error == XMPI_SUCCESS) {
+                first_error = err;
+            }
+            continue;
+        }
+        requests.push_back(request);
+    }
+    for (std::size_t j = 0; j < topology.destinations.size(); ++j) {
+        int const err = coll_send(
+            comm, topology.destinations[j], coll_tag::neighbor,
+            static_cast<std::byte const*>(ctx.sendbuf) + ctx.sdispls[j] * sendtype.extent(),
+            static_cast<std::size_t>(ctx.sendcounts[j]), sendtype);
+        if (err != XMPI_SUCCESS && first_error == XMPI_SUCCESS) {
+            first_error = err;
+        }
+    }
+    for (auto* request: requests) {
+        Status status;
+        request->wait(status);
+        if (status.error != XMPI_SUCCESS && first_error == XMPI_SUCCESS) {
+            first_error = status.error;
+        }
+        delete request;
+    }
+    return first_error;
+}
+
+[[nodiscard]] double msg_cost(tuning::SelectCtx const& sctx, std::size_t bytes) {
+    return sctx.alpha + static_cast<double>(bytes) * sctx.beta;
+}
+
+// Bruck needs enough ranks for its log-round savings to pay for the packing;
+// the byte threshold draws the line where moving each byte ~log2(p)/2 times
+// stops being worth the saved round latency.
+[[nodiscard]] bool alltoall_bruck_applicable(tuning::SelectCtx const& sctx) {
+    return sctx.p >= 2;
+}
+
+[[nodiscard]] bool alltoall_bruck_preferred(tuning::SelectCtx const& sctx) {
+    return sctx.p >= tuning::bruck_alltoall_min_ranks
+           && sctx.block_bytes <= tuning::bruck_alltoall_max_bytes;
+}
+
+[[nodiscard]] double cost_alltoall_bruck(tuning::SelectCtx const& sctx) {
+    int const rounds = std::bit_width(static_cast<unsigned>(sctx.p - 1));
+    return static_cast<double>(rounds)
+           * msg_cost(sctx, sctx.block_bytes * static_cast<std::size_t>(sctx.p) / 2);
+}
+
+[[nodiscard]] double cost_alltoall_pairwise(tuning::SelectCtx const& sctx) {
+    return static_cast<double>(sctx.p - 1) * msg_cost(sctx, sctx.block_bytes);
+}
+
+} // namespace
+
+void register_alltoall_algos(std::vector<CollAlgo>& registry) {
+    registry.push_back(
+        {tuning::CollOp::alltoall, "bruck", alltoall_bruck_applicable, alltoall_bruck_preferred,
+         cost_alltoall_bruck, run_alltoall_bruck});
+    registry.push_back(
+        {tuning::CollOp::alltoall, "pairwise", nullptr, nullptr, cost_alltoall_pairwise,
+         run_alltoall_pairwise});
+    registry.push_back(
+        {tuning::CollOp::alltoallv, "pairwise", nullptr, nullptr, nullptr,
+         run_alltoallv_pairwise});
+    registry.push_back(
+        {tuning::CollOp::alltoallw, "pairwise", nullptr, nullptr, nullptr,
+         run_alltoallw_pairwise});
+    registry.push_back(
+        {tuning::CollOp::neighbor_alltoallv, "posted", nullptr, nullptr, nullptr,
+         run_neighbor_alltoallv_posted});
+}
+
+int coll_alltoall(
+    Comm& comm, void const* sendbuf, std::size_t sendcount, Datatype const& sendtype,
+    void* recvbuf, std::size_t recvcount, Datatype const& recvtype) {
+    if (int const err = check_collective(comm); err != XMPI_SUCCESS) {
+        return err;
+    }
+    // In-place: send data comes from the receive buffer with the receive
+    // shape (whether an algorithm must stage a copy is its own business).
+    CollCtx ctx;
+    ctx.comm = &comm;
+    ctx.in_place = sendbuf == IN_PLACE;
+    ctx.sendbuf = ctx.in_place ? recvbuf : sendbuf;
+    ctx.sendcount = ctx.in_place ? recvcount : sendcount;
+    ctx.sendtype = ctx.in_place ? &recvtype : &sendtype;
+    ctx.recvbuf = recvbuf;
+    ctx.recvcount = recvcount;
+    ctx.recvtype = &recvtype;
+    return dispatch_coll(
+        tuning::CollOp::alltoall,
+        make_select_ctx(comm, ctx.sendtype->packed_size(ctx.sendcount)), ctx);
+}
+
+int coll_alltoallv_on(
+    Comm& comm, CollChannel channel, void const* sendbuf, int const* sendcounts,
+    int const* sdispls, Datatype const& sendtype, void* recvbuf, int const* recvcounts,
+    int const* rdispls, Datatype const& recvtype) {
+    if (int const err = check_collective(comm); err != XMPI_SUCCESS) {
+        return err;
+    }
+    CollCtx ctx;
+    ctx.comm = &comm;
+    ctx.channel = channel;
+    ctx.in_place = sendbuf == IN_PLACE;
+    ctx.sendbuf = sendbuf;
+    ctx.sendcounts = sendcounts;
+    ctx.sdispls = sdispls;
+    ctx.sendtype = &sendtype;
+    ctx.recvbuf = recvbuf;
+    ctx.recvcounts = recvcounts;
+    ctx.rdispls = rdispls;
+    ctx.recvtype = &recvtype;
+    // Block sizes vary per peer; selection sees the caller's own block as a
+    // representative size.
+    std::size_t const own_bytes =
+        recvtype.packed_size(static_cast<std::size_t>(recvcounts[comm.rank()]));
+    return dispatch_coll(tuning::CollOp::alltoallv, make_select_ctx(comm, own_bytes), ctx);
 }
 
 int coll_alltoallv(
@@ -246,31 +375,20 @@ int coll_alltoallw(
     if (int const err = check_collective(comm); err != XMPI_SUCCESS) {
         return err;
     }
-    int const p = comm.size();
+    CollCtx ctx;
+    ctx.comm = &comm;
+    ctx.sendbuf = sendbuf;
+    ctx.sendcounts = sendcounts;
+    ctx.sdispls = sdispls;
+    ctx.sendtypes = sendtypes;
+    ctx.recvbuf = recvbuf;
+    ctx.recvcounts = recvcounts;
+    ctx.rdispls = rdispls;
+    ctx.recvtypes = recvtypes;
     int const r = comm.rank();
-
-    // Alltoallw displacements are in *bytes* (MPI semantics).
-    auto const send_slice = [&](int i) {
-        return static_cast<std::byte const*>(sendbuf) + sdispls[i];
-    };
-    auto const recv_slice = [&](int i) { return static_cast<std::byte*>(recvbuf) + rdispls[i]; };
-
-    local_copy(
-        send_slice(r), static_cast<std::size_t>(sendcounts[r]), *sendtypes[r], recv_slice(r),
-        static_cast<std::size_t>(recvcounts[r]), *recvtypes[r]);
-
-    for (int i = 1; i < p; ++i) {
-        int const to = (r + i) % p;
-        int const from = (r - i + p) % p;
-        if (int const err = coll_sendrecv(
-                comm, to, coll_tag::alltoall, send_slice(to),
-                static_cast<std::size_t>(sendcounts[to]), *sendtypes[to], from, coll_tag::alltoall,
-                recv_slice(from), static_cast<std::size_t>(recvcounts[from]), *recvtypes[from]);
-            err != XMPI_SUCCESS) {
-            return err;
-        }
-    }
-    return XMPI_SUCCESS;
+    std::size_t const own_bytes =
+        recvtypes[r]->packed_size(static_cast<std::size_t>(recvcounts[r]));
+    return dispatch_coll(tuning::CollOp::alltoallw, make_select_ctx(comm, own_bytes), ctx);
 }
 
 int coll_neighbor_alltoallv(
@@ -283,45 +401,18 @@ int coll_neighbor_alltoallv(
     if (!comm.has_topology()) {
         return XMPI_ERR_TOPOLOGY;
     }
-    auto const& topology = comm.topology();
-
-    // Post all receives first, then inject the sends (eager, complete
-    // locally), then wait. Cost: outdegree messages per rank.
-    std::vector<Request*> requests;
-    requests.reserve(topology.sources.size());
-    int first_error = XMPI_SUCCESS;
-    for (std::size_t j = 0; j < topology.sources.size(); ++j) {
-        Request* request = nullptr;
-        int const err = transport_irecv(
-            comm, topology.sources[j], coll_tag::neighbor, comm.collective_context(),
-            static_cast<std::byte*>(recvbuf) + rdispls[j] * recvtype.extent(),
-            static_cast<std::size_t>(recvcounts[j]), recvtype, &request);
-        if (err != XMPI_SUCCESS) {
-            if (first_error == XMPI_SUCCESS) {
-                first_error = err;
-            }
-            continue;
-        }
-        requests.push_back(request);
-    }
-    for (std::size_t j = 0; j < topology.destinations.size(); ++j) {
-        int const err = coll_send(
-            comm, topology.destinations[j], coll_tag::neighbor,
-            static_cast<std::byte const*>(sendbuf) + sdispls[j] * sendtype.extent(),
-            static_cast<std::size_t>(sendcounts[j]), sendtype);
-        if (err != XMPI_SUCCESS && first_error == XMPI_SUCCESS) {
-            first_error = err;
-        }
-    }
-    for (auto* request: requests) {
-        Status status;
-        request->wait(status);
-        if (status.error != XMPI_SUCCESS && first_error == XMPI_SUCCESS) {
-            first_error = status.error;
-        }
-        delete request;
-    }
-    return first_error;
+    CollCtx ctx;
+    ctx.comm = &comm;
+    ctx.sendbuf = sendbuf;
+    ctx.sendcounts = sendcounts;
+    ctx.sdispls = sdispls;
+    ctx.sendtype = &sendtype;
+    ctx.recvbuf = recvbuf;
+    ctx.recvcounts = recvcounts;
+    ctx.rdispls = rdispls;
+    ctx.recvtype = &recvtype;
+    return dispatch_coll(
+        tuning::CollOp::neighbor_alltoallv, make_select_ctx(comm, 0), ctx);
 }
 
 } // namespace xmpi::detail

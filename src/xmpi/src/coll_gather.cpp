@@ -4,32 +4,70 @@
 #include <vector>
 
 #include "coll.hpp"
+#include "coll_registry.hpp"
 #include "transport.hpp"
 #include "xmpi/netmodel.hpp"
-#include "xmpi/profile.hpp"
 
 namespace xmpi::detail {
 namespace {
 
-/// @brief Local datatype conversion: packs (src, scount, stype) and unpacks
-/// into (dst, up to rcount elements of rtype). Used for the self-copy of
-/// rooted collectives.
-void local_copy(
-    void const* src, std::size_t scount, Datatype const& stype, void* dst, std::size_t rcount,
-    Datatype const& rtype) {
-    std::vector<std::byte> packed(stype.packed_size(scount));
-    stype.pack(src, scount, packed.data());
-    std::size_t const elements =
-        rtype.size() == 0 ? 0 : std::min(packed.size(), rtype.packed_size(rcount)) / rtype.size();
-    rtype.unpack(packed.data(), elements, dst);
+/// @brief Root-side linear gather: p-1 direct receives into the displaced
+/// receive blocks.
+int run_gather_linear(CollCtx& ctx) {
+    Comm& comm = *ctx.comm;
+    int const p = comm.size();
+    int const r = comm.rank();
+    int const root = ctx.root;
+    if (r != root) {
+        return coll_send(comm, root, coll_tag::gather, ctx.sendbuf, ctx.sendcount, *ctx.sendtype);
+    }
+    if (!ctx.in_place) {
+        local_copy(
+            ctx.sendbuf, ctx.sendcount, *ctx.sendtype,
+            displaced(ctx.recvbuf, r * static_cast<std::ptrdiff_t>(ctx.recvcount), *ctx.recvtype),
+            ctx.recvcount, *ctx.recvtype);
+    }
+    for (int i = 0; i < p; ++i) {
+        if (i == root) {
+            continue;
+        }
+        if (int const err = coll_recv(
+                comm, i, coll_tag::gather,
+                displaced(ctx.recvbuf, i * static_cast<std::ptrdiff_t>(ctx.recvcount), *ctx.recvtype),
+                ctx.recvcount, *ctx.recvtype);
+            err != XMPI_SUCCESS) {
+            return err;
+        }
+    }
+    return XMPI_SUCCESS;
 }
 
-std::byte* displaced(void* base, std::ptrdiff_t elements, Datatype const& type) {
-    return static_cast<std::byte*>(base) + elements * type.extent();
-}
-
-std::byte const* displaced(void const* base, std::ptrdiff_t elements, Datatype const& type) {
-    return static_cast<std::byte const*>(base) + elements * type.extent();
+int run_gatherv_linear(CollCtx& ctx) {
+    Comm& comm = *ctx.comm;
+    int const p = comm.size();
+    int const r = comm.rank();
+    int const root = ctx.root;
+    if (r != root) {
+        return coll_send(comm, root, coll_tag::gather, ctx.sendbuf, ctx.sendcount, *ctx.sendtype);
+    }
+    if (!ctx.in_place) {
+        local_copy(
+            ctx.sendbuf, ctx.sendcount, *ctx.sendtype,
+            displaced(ctx.recvbuf, ctx.rdispls[r], *ctx.recvtype),
+            static_cast<std::size_t>(ctx.recvcounts[r]), *ctx.recvtype);
+    }
+    for (int i = 0; i < p; ++i) {
+        if (i == root) {
+            continue;
+        }
+        if (int const err = coll_recv(
+                comm, i, coll_tag::gather, displaced(ctx.recvbuf, ctx.rdispls[i], *ctx.recvtype),
+                static_cast<std::size_t>(ctx.recvcounts[i]), *ctx.recvtype);
+            err != XMPI_SUCCESS) {
+            return err;
+        }
+    }
+    return XMPI_SUCCESS;
 }
 
 /// @brief Binomial-tree scatter: the root packs all blocks in virtual-rank
@@ -37,9 +75,15 @@ std::byte const* displaced(void const* base, std::ptrdiff_t elements, Datatype c
 /// injects log2(p) messages instead of p-1. Leaves receive their single
 /// block straight into the user buffer (eligible for the zero-copy path);
 /// inner nodes stage their subtree's blocks and forward halves downward.
-int scatter_binomial(
-    Comm& comm, void const* sendbuf, std::size_t sendcount, Datatype const& sendtype,
-    void* recvbuf, std::size_t recvcount, Datatype const& recvtype, int root) {
+int run_scatter_binomial(CollCtx& ctx) {
+    Comm& comm = *ctx.comm;
+    void const* const sendbuf = ctx.sendbuf;
+    std::size_t const sendcount = ctx.sendcount;
+    Datatype const& sendtype = *ctx.sendtype;
+    void* const recvbuf = ctx.in_place ? IN_PLACE : ctx.recvbuf;
+    std::size_t const recvcount = ctx.recvcount;
+    Datatype const& recvtype = *ctx.recvtype;
+    int const root = ctx.root;
     int const p = comm.size();
     int const r = comm.rank();
     int const vrank = (r - root + p) % p;
@@ -105,11 +149,73 @@ int scatter_binomial(
     return XMPI_SUCCESS;
 }
 
+/// @brief Root-side linear scatter: p-1 direct sends of the displaced
+/// blocks.
+int run_scatter_linear(CollCtx& ctx) {
+    Comm& comm = *ctx.comm;
+    int const p = comm.size();
+    int const r = comm.rank();
+    int const root = ctx.root;
+    if (r != root) {
+        return coll_recv(comm, root, coll_tag::scatter, ctx.recvbuf, ctx.recvcount, *ctx.recvtype);
+    }
+    for (int i = 0; i < p; ++i) {
+        if (i == root) {
+            continue;
+        }
+        if (int const err = coll_send(
+                comm, i, coll_tag::scatter,
+                displaced(ctx.sendbuf, i * static_cast<std::ptrdiff_t>(ctx.sendcount), *ctx.sendtype),
+                ctx.sendcount, *ctx.sendtype);
+            err != XMPI_SUCCESS) {
+            return err;
+        }
+    }
+    if (!ctx.in_place) {
+        local_copy(
+            displaced(ctx.sendbuf, r * static_cast<std::ptrdiff_t>(ctx.sendcount), *ctx.sendtype),
+            ctx.sendcount, *ctx.sendtype, ctx.recvbuf, ctx.recvcount, *ctx.recvtype);
+    }
+    return XMPI_SUCCESS;
+}
+
+int run_scatterv_linear(CollCtx& ctx) {
+    Comm& comm = *ctx.comm;
+    int const p = comm.size();
+    int const r = comm.rank();
+    int const root = ctx.root;
+    if (r != root) {
+        return coll_recv(comm, root, coll_tag::scatter, ctx.recvbuf, ctx.recvcount, *ctx.recvtype);
+    }
+    for (int i = 0; i < p; ++i) {
+        if (i == root) {
+            continue;
+        }
+        if (int const err = coll_send(
+                comm, i, coll_tag::scatter, displaced(ctx.sendbuf, ctx.sdispls[i], *ctx.sendtype),
+                static_cast<std::size_t>(ctx.sendcounts[i]), *ctx.sendtype);
+            err != XMPI_SUCCESS) {
+            return err;
+        }
+    }
+    if (!ctx.in_place) {
+        local_copy(
+            displaced(ctx.sendbuf, ctx.sdispls[r], *ctx.sendtype),
+            static_cast<std::size_t>(ctx.sendcounts[r]), *ctx.sendtype, ctx.recvbuf,
+            ctx.recvcount, *ctx.recvtype);
+    }
+    return XMPI_SUCCESS;
+}
+
 /// @brief Recursive-doubling allgather (power-of-two rank counts only):
 /// log2(p) rounds in which each rank exchanges its entire currently known
-/// contiguous run of blocks with its round partner.
-int allgather_recursive_doubling(
-    Comm& comm, void* recvbuf, std::size_t recvcount, Datatype const& recvtype) {
+/// contiguous run of blocks with its round partner. The entry point already
+/// placed each rank's own block into its receive-buffer row.
+int run_allgather_recursive_doubling(CollCtx& ctx) {
+    Comm& comm = *ctx.comm;
+    void* const recvbuf = ctx.recvbuf;
+    std::size_t const recvcount = ctx.recvcount;
+    Datatype const& recvtype = *ctx.recvtype;
     int const p = comm.size();
     int const r = comm.rank();
     for (int mask = 1; mask < p; mask <<= 1) {
@@ -131,192 +237,15 @@ int allgather_recursive_doubling(
     return XMPI_SUCCESS;
 }
 
-/// @brief Threshold/model-based choice between the binomial scatter tree and
-/// the root's linear direct sends.
-bool use_binomial_scatter(Comm& comm, int p, std::size_t block_bytes) {
-    if (p < 4) {
-        return false; // the tree degenerates to the linear pattern
-    }
-    if (comm.world().network_model().enabled()) {
-        // Binomial: log2(p) rounds on the critical path vs. p-1 serial
-        // injections at the root — strictly better under the alpha/beta
-        // model (total bytes on the critical path are (p-1)*n either way).
-        return true;
-    }
-    return block_bytes <= tuning::binomial_scatter_max_bytes;
-}
-
-/// @brief Model/threshold-based choice between recursive doubling and the
-/// ring allgather; recursive doubling requires a power-of-two rank count.
-bool use_rd_allgather(Comm& comm, int p, std::size_t block_bytes) {
-    if (p < 4 || !std::has_single_bit(static_cast<unsigned>(p))) {
-        return false;
-    }
-    if (comm.world().network_model().enabled()) {
-        // Same total bytes as the ring but log2(p) rounds instead of p-1.
-        return true;
-    }
-    return block_bytes <= tuning::rd_allgather_max_bytes;
-}
-
-} // namespace
-
-int coll_gather(
-    Comm& comm, void const* sendbuf, std::size_t sendcount, Datatype const& sendtype,
-    void* recvbuf, std::size_t recvcount, Datatype const& recvtype, int root) {
-    if (int const err = check_collective(comm); err != XMPI_SUCCESS) {
-        return err;
-    }
+/// @brief Ring allgather: p-1 rounds, each rank forwards the block it
+/// received in the previous round; cost is the classic (p-1)(alpha + n*beta).
+int run_allgather_ring(CollCtx& ctx) {
+    Comm& comm = *ctx.comm;
+    void* const recvbuf = ctx.recvbuf;
+    std::size_t const recvcount = ctx.recvcount;
+    Datatype const& recvtype = *ctx.recvtype;
     int const p = comm.size();
     int const r = comm.rank();
-    if (r != root) {
-        return coll_send(comm, root, coll_tag::gather, sendbuf, sendcount, sendtype);
-    }
-    if (sendbuf != IN_PLACE) {
-        local_copy(
-            sendbuf, sendcount, sendtype, displaced(recvbuf, r * static_cast<std::ptrdiff_t>(recvcount), recvtype),
-            recvcount, recvtype);
-    }
-    for (int i = 0; i < p; ++i) {
-        if (i == root) {
-            continue;
-        }
-        if (int const err = coll_recv(
-                comm, i, coll_tag::gather,
-                displaced(recvbuf, i * static_cast<std::ptrdiff_t>(recvcount), recvtype),
-                recvcount, recvtype);
-            err != XMPI_SUCCESS) {
-            return err;
-        }
-    }
-    return XMPI_SUCCESS;
-}
-
-int coll_gatherv(
-    Comm& comm, void const* sendbuf, std::size_t sendcount, Datatype const& sendtype,
-    void* recvbuf, int const* recvcounts, int const* displs, Datatype const& recvtype, int root) {
-    if (int const err = check_collective(comm); err != XMPI_SUCCESS) {
-        return err;
-    }
-    int const p = comm.size();
-    int const r = comm.rank();
-    if (r != root) {
-        return coll_send(comm, root, coll_tag::gather, sendbuf, sendcount, sendtype);
-    }
-    if (sendbuf != IN_PLACE) {
-        local_copy(
-            sendbuf, sendcount, sendtype, displaced(recvbuf, displs[r], recvtype),
-            static_cast<std::size_t>(recvcounts[r]), recvtype);
-    }
-    for (int i = 0; i < p; ++i) {
-        if (i == root) {
-            continue;
-        }
-        if (int const err = coll_recv(
-                comm, i, coll_tag::gather, displaced(recvbuf, displs[i], recvtype),
-                static_cast<std::size_t>(recvcounts[i]), recvtype);
-            err != XMPI_SUCCESS) {
-            return err;
-        }
-    }
-    return XMPI_SUCCESS;
-}
-
-int coll_scatter(
-    Comm& comm, void const* sendbuf, std::size_t sendcount, Datatype const& sendtype,
-    void* recvbuf, std::size_t recvcount, Datatype const& recvtype, int root) {
-    if (int const err = check_collective(comm); err != XMPI_SUCCESS) {
-        return err;
-    }
-    int const p = comm.size();
-    int const r = comm.rank();
-    // The block size is only known root-side (sendtype/sendcount are
-    // significant only at the root), but MPI requires matching signatures,
-    // so every rank derives it from its own receive-side arguments; the
-    // root uses the send side directly.
-    std::size_t const block_bytes =
-        r == root ? sendtype.packed_size(sendcount) : recvtype.packed_size(recvcount);
-    if (use_binomial_scatter(comm, p, block_bytes)) {
-        profile::note_algorithm("binomial_tree");
-        return scatter_binomial(
-            comm, sendbuf, sendcount, sendtype, recvbuf, recvcount, recvtype, root);
-    }
-    profile::note_algorithm("linear");
-    if (r != root) {
-        return coll_recv(comm, root, coll_tag::scatter, recvbuf, recvcount, recvtype);
-    }
-    for (int i = 0; i < p; ++i) {
-        if (i == root) {
-            continue;
-        }
-        if (int const err = coll_send(
-                comm, i, coll_tag::scatter,
-                displaced(sendbuf, i * static_cast<std::ptrdiff_t>(sendcount), sendtype),
-                sendcount, sendtype);
-            err != XMPI_SUCCESS) {
-            return err;
-        }
-    }
-    if (recvbuf != IN_PLACE) {
-        local_copy(
-            displaced(sendbuf, r * static_cast<std::ptrdiff_t>(sendcount), sendtype), sendcount,
-            sendtype, recvbuf, recvcount, recvtype);
-    }
-    return XMPI_SUCCESS;
-}
-
-int coll_scatterv(
-    Comm& comm, void const* sendbuf, int const* sendcounts, int const* displs,
-    Datatype const& sendtype, void* recvbuf, std::size_t recvcount, Datatype const& recvtype,
-    int root) {
-    if (int const err = check_collective(comm); err != XMPI_SUCCESS) {
-        return err;
-    }
-    int const p = comm.size();
-    int const r = comm.rank();
-    if (r != root) {
-        return coll_recv(comm, root, coll_tag::scatter, recvbuf, recvcount, recvtype);
-    }
-    for (int i = 0; i < p; ++i) {
-        if (i == root) {
-            continue;
-        }
-        if (int const err = coll_send(
-                comm, i, coll_tag::scatter, displaced(sendbuf, displs[i], sendtype),
-                static_cast<std::size_t>(sendcounts[i]), sendtype);
-            err != XMPI_SUCCESS) {
-            return err;
-        }
-    }
-    if (recvbuf != IN_PLACE) {
-        local_copy(
-            displaced(sendbuf, displs[r], sendtype), static_cast<std::size_t>(sendcounts[r]),
-            sendtype, recvbuf, recvcount, recvtype);
-    }
-    return XMPI_SUCCESS;
-}
-
-int coll_allgather(
-    Comm& comm, void const* sendbuf, std::size_t sendcount, Datatype const& sendtype,
-    void* recvbuf, std::size_t recvcount, Datatype const& recvtype) {
-    if (int const err = check_collective(comm); err != XMPI_SUCCESS) {
-        return err;
-    }
-    int const p = comm.size();
-    int const r = comm.rank();
-    if (sendbuf != IN_PLACE) {
-        local_copy(
-            sendbuf, sendcount, sendtype,
-            displaced(recvbuf, r * static_cast<std::ptrdiff_t>(recvcount), recvtype), recvcount,
-            recvtype);
-    }
-    if (use_rd_allgather(comm, p, recvtype.packed_size(recvcount))) {
-        profile::note_algorithm("recursive_doubling");
-        return allgather_recursive_doubling(comm, recvbuf, recvcount, recvtype);
-    }
-    profile::note_algorithm("ring");
-    // Ring allgather: p-1 rounds, each rank forwards the block it received in
-    // the previous round; cost is the classic (p-1)(alpha + n*beta).
     int const next = (r + 1) % p;
     int const prev = (r - 1 + p) % p;
     for (int s = 0; s < p - 1; ++s) {
@@ -335,34 +264,246 @@ int coll_allgather(
     return XMPI_SUCCESS;
 }
 
-int coll_allgatherv(
-    Comm& comm, void const* sendbuf, std::size_t sendcount, Datatype const& sendtype,
-    void* recvbuf, int const* recvcounts, int const* displs, Datatype const& recvtype) {
-    if (int const err = check_collective(comm); err != XMPI_SUCCESS) {
-        return err;
-    }
+int run_allgatherv_ring(CollCtx& ctx) {
+    Comm& comm = *ctx.comm;
+    void* const recvbuf = ctx.recvbuf;
+    Datatype const& recvtype = *ctx.recvtype;
     int const p = comm.size();
     int const r = comm.rank();
-    if (sendbuf != IN_PLACE) {
-        local_copy(
-            sendbuf, sendcount, sendtype, displaced(recvbuf, displs[r], recvtype),
-            static_cast<std::size_t>(recvcounts[r]), recvtype);
-    }
     int const next = (r + 1) % p;
     int const prev = (r - 1 + p) % p;
     for (int s = 0; s < p - 1; ++s) {
         int const send_block = (r - s + p) % p;
         int const recv_block = (r - s - 1 + p) % p;
         if (int const err = coll_sendrecv(
-                comm, next, coll_tag::allgather, displaced(recvbuf, displs[send_block], recvtype),
-                static_cast<std::size_t>(recvcounts[send_block]), recvtype, prev,
-                coll_tag::allgather, displaced(recvbuf, displs[recv_block], recvtype),
-                static_cast<std::size_t>(recvcounts[recv_block]), recvtype);
+                comm, next, coll_tag::allgather,
+                displaced(recvbuf, ctx.rdispls[send_block], recvtype),
+                static_cast<std::size_t>(ctx.recvcounts[send_block]), recvtype, prev,
+                coll_tag::allgather, displaced(recvbuf, ctx.rdispls[recv_block], recvtype),
+                static_cast<std::size_t>(ctx.recvcounts[recv_block]), recvtype);
             err != XMPI_SUCCESS) {
             return err;
         }
     }
     return XMPI_SUCCESS;
+}
+
+[[nodiscard]] int log2_rounds(int p) {
+    int rounds = 0;
+    for (int k = 1; k < p; k <<= 1) {
+        ++rounds;
+    }
+    return rounds;
+}
+
+[[nodiscard]] double msg_cost(tuning::SelectCtx const& sctx, std::size_t bytes) {
+    return sctx.alpha + static_cast<double>(bytes) * sctx.beta;
+}
+
+// Binomial scatter: log2(p) rounds on the critical path vs. p-1 serial
+// injections at the root; total bytes on the critical path are (p-1)*n
+// either way, so the model compares round counts. The tree degenerates to
+// the linear pattern below 4 ranks, hence the applicability floor.
+[[nodiscard]] bool scatter_binomial_applicable(tuning::SelectCtx const& sctx) {
+    return sctx.p >= 4;
+}
+
+[[nodiscard]] bool scatter_binomial_preferred(tuning::SelectCtx const& sctx) {
+    return sctx.block_bytes <= tuning::binomial_scatter_max_bytes;
+}
+
+[[nodiscard]] double cost_scatter_binomial(tuning::SelectCtx const& sctx) {
+    return log2_rounds(sctx.p) * sctx.alpha
+           + static_cast<double>(sctx.p - 1) * static_cast<double>(sctx.block_bytes) * sctx.beta;
+}
+
+[[nodiscard]] double cost_scatter_linear(tuning::SelectCtx const& sctx) {
+    return static_cast<double>(sctx.p - 1) * msg_cost(sctx, sctx.block_bytes);
+}
+
+// Recursive-doubling allgather moves the same total bytes as the ring but
+// in log2(p) rounds instead of p-1; it requires a power-of-two rank count.
+[[nodiscard]] bool allgather_rd_applicable(tuning::SelectCtx const& sctx) {
+    return sctx.p >= 4 && std::has_single_bit(static_cast<unsigned>(sctx.p));
+}
+
+[[nodiscard]] bool allgather_rd_preferred(tuning::SelectCtx const& sctx) {
+    return sctx.block_bytes <= tuning::rd_allgather_max_bytes;
+}
+
+[[nodiscard]] double cost_allgather_rd(tuning::SelectCtx const& sctx) {
+    return log2_rounds(sctx.p) * sctx.alpha
+           + static_cast<double>(sctx.p - 1) * static_cast<double>(sctx.block_bytes) * sctx.beta;
+}
+
+[[nodiscard]] double cost_allgather_ring(tuning::SelectCtx const& sctx) {
+    return static_cast<double>(sctx.p - 1) * msg_cost(sctx, sctx.block_bytes);
+}
+
+} // namespace
+
+void register_gather_algos(std::vector<CollAlgo>& registry) {
+    registry.push_back(
+        {tuning::CollOp::gather, "linear", nullptr, nullptr, nullptr, run_gather_linear});
+    registry.push_back(
+        {tuning::CollOp::gatherv, "linear", nullptr, nullptr, nullptr, run_gatherv_linear});
+    registry.push_back(
+        {tuning::CollOp::scatter, "binomial_tree", scatter_binomial_applicable,
+         scatter_binomial_preferred, cost_scatter_binomial, run_scatter_binomial});
+    registry.push_back(
+        {tuning::CollOp::scatter, "linear", nullptr, nullptr, cost_scatter_linear,
+         run_scatter_linear});
+    registry.push_back(
+        {tuning::CollOp::scatterv, "linear", nullptr, nullptr, nullptr, run_scatterv_linear});
+    registry.push_back(
+        {tuning::CollOp::allgather, "recursive_doubling", allgather_rd_applicable,
+         allgather_rd_preferred, cost_allgather_rd, run_allgather_recursive_doubling});
+    registry.push_back(
+        {tuning::CollOp::allgather, "ring", nullptr, nullptr, cost_allgather_ring,
+         run_allgather_ring});
+    registry.push_back(
+        {tuning::CollOp::allgatherv, "ring", nullptr, nullptr, nullptr, run_allgatherv_ring});
+}
+
+int coll_gather(
+    Comm& comm, void const* sendbuf, std::size_t sendcount, Datatype const& sendtype,
+    void* recvbuf, std::size_t recvcount, Datatype const& recvtype, int root) {
+    if (int const err = check_collective(comm); err != XMPI_SUCCESS) {
+        return err;
+    }
+    CollCtx ctx;
+    ctx.comm = &comm;
+    ctx.in_place = sendbuf == IN_PLACE;
+    ctx.sendbuf = sendbuf;
+    ctx.sendcount = sendcount;
+    ctx.sendtype = &sendtype;
+    ctx.recvbuf = recvbuf;
+    ctx.recvcount = recvcount;
+    ctx.recvtype = &recvtype;
+    ctx.root = root;
+    return dispatch_coll(
+        tuning::CollOp::gather, make_select_ctx(comm, sendtype.packed_size(sendcount)), ctx);
+}
+
+int coll_gatherv(
+    Comm& comm, void const* sendbuf, std::size_t sendcount, Datatype const& sendtype,
+    void* recvbuf, int const* recvcounts, int const* displs, Datatype const& recvtype, int root) {
+    if (int const err = check_collective(comm); err != XMPI_SUCCESS) {
+        return err;
+    }
+    CollCtx ctx;
+    ctx.comm = &comm;
+    ctx.in_place = sendbuf == IN_PLACE;
+    ctx.sendbuf = sendbuf;
+    ctx.sendcount = sendcount;
+    ctx.sendtype = &sendtype;
+    ctx.recvbuf = recvbuf;
+    ctx.recvcounts = recvcounts;
+    ctx.rdispls = displs;
+    ctx.recvtype = &recvtype;
+    ctx.root = root;
+    return dispatch_coll(
+        tuning::CollOp::gatherv, make_select_ctx(comm, sendtype.packed_size(sendcount)), ctx);
+}
+
+int coll_scatter(
+    Comm& comm, void const* sendbuf, std::size_t sendcount, Datatype const& sendtype,
+    void* recvbuf, std::size_t recvcount, Datatype const& recvtype, int root) {
+    if (int const err = check_collective(comm); err != XMPI_SUCCESS) {
+        return err;
+    }
+    int const r = comm.rank();
+    // The block size is only known root-side (sendtype/sendcount are
+    // significant only at the root), but MPI requires matching signatures,
+    // so every rank derives it from its own receive-side arguments; the
+    // root uses the send side directly.
+    std::size_t const block_bytes =
+        r == root ? sendtype.packed_size(sendcount) : recvtype.packed_size(recvcount);
+    CollCtx ctx;
+    ctx.comm = &comm;
+    ctx.in_place = recvbuf == IN_PLACE;
+    ctx.sendbuf = sendbuf;
+    ctx.sendcount = sendcount;
+    ctx.sendtype = &sendtype;
+    ctx.recvbuf = ctx.in_place ? nullptr : recvbuf;
+    ctx.recvcount = recvcount;
+    ctx.recvtype = &recvtype;
+    ctx.root = root;
+    return dispatch_coll(tuning::CollOp::scatter, make_select_ctx(comm, block_bytes), ctx);
+}
+
+int coll_scatterv(
+    Comm& comm, void const* sendbuf, int const* sendcounts, int const* displs,
+    Datatype const& sendtype, void* recvbuf, std::size_t recvcount, Datatype const& recvtype,
+    int root) {
+    if (int const err = check_collective(comm); err != XMPI_SUCCESS) {
+        return err;
+    }
+    CollCtx ctx;
+    ctx.comm = &comm;
+    ctx.in_place = recvbuf == IN_PLACE;
+    ctx.sendbuf = sendbuf;
+    ctx.sendcounts = sendcounts;
+    ctx.sdispls = displs;
+    ctx.sendtype = &sendtype;
+    ctx.recvbuf = ctx.in_place ? nullptr : recvbuf;
+    ctx.recvcount = recvcount;
+    ctx.recvtype = &recvtype;
+    ctx.root = root;
+    return dispatch_coll(
+        tuning::CollOp::scatterv, make_select_ctx(comm, recvtype.packed_size(recvcount)), ctx);
+}
+
+int coll_allgather(
+    Comm& comm, void const* sendbuf, std::size_t sendcount, Datatype const& sendtype,
+    void* recvbuf, std::size_t recvcount, Datatype const& recvtype) {
+    if (int const err = check_collective(comm); err != XMPI_SUCCESS) {
+        return err;
+    }
+    int const r = comm.rank();
+    // Common setup for every allgather algorithm: the caller's own block
+    // lands in its receive-buffer row before any exchange starts.
+    if (sendbuf != IN_PLACE) {
+        local_copy(
+            sendbuf, sendcount, sendtype,
+            displaced(recvbuf, r * static_cast<std::ptrdiff_t>(recvcount), recvtype), recvcount,
+            recvtype);
+    }
+    CollCtx ctx;
+    ctx.comm = &comm;
+    ctx.channel = CollChannel{comm.collective_context(), coll_tag::allgather};
+    ctx.in_place = sendbuf == IN_PLACE;
+    ctx.recvbuf = recvbuf;
+    ctx.recvcount = recvcount;
+    ctx.recvtype = &recvtype;
+    return dispatch_coll(
+        tuning::CollOp::allgather, make_select_ctx(comm, recvtype.packed_size(recvcount)), ctx);
+}
+
+int coll_allgatherv(
+    Comm& comm, void const* sendbuf, std::size_t sendcount, Datatype const& sendtype,
+    void* recvbuf, int const* recvcounts, int const* displs, Datatype const& recvtype) {
+    if (int const err = check_collective(comm); err != XMPI_SUCCESS) {
+        return err;
+    }
+    int const r = comm.rank();
+    if (sendbuf != IN_PLACE) {
+        local_copy(
+            sendbuf, sendcount, sendtype, displaced(recvbuf, displs[r], recvtype),
+            static_cast<std::size_t>(recvcounts[r]), recvtype);
+    }
+    CollCtx ctx;
+    ctx.comm = &comm;
+    ctx.channel = CollChannel{comm.collective_context(), coll_tag::allgather};
+    ctx.in_place = sendbuf == IN_PLACE;
+    ctx.recvbuf = recvbuf;
+    ctx.recvcounts = recvcounts;
+    ctx.rdispls = displs;
+    ctx.recvtype = &recvtype;
+    return dispatch_coll(
+        tuning::CollOp::allgatherv,
+        make_select_ctx(comm, recvtype.packed_size(static_cast<std::size_t>(recvcounts[r]))),
+        ctx);
 }
 
 } // namespace xmpi::detail

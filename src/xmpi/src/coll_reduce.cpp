@@ -3,8 +3,8 @@
 #include <vector>
 
 #include "coll.hpp"
+#include "coll_registry.hpp"
 #include "transport.hpp"
-#include "xmpi/profile.hpp"
 
 namespace xmpi::detail {
 namespace {
@@ -23,9 +23,14 @@ struct ElementBuffer {
 
 /// @brief Linear (rank-ordered) reduce used for non-commutative operations:
 /// the root folds contributions strictly in rank order.
-int reduce_linear(
-    Comm& comm, CollChannel channel, void const* contribution, void* recvbuf, std::size_t count,
-    Datatype const& type, Op const& op, int root) {
+int run_reduce_linear(CollCtx& ctx) {
+    Comm& comm = *ctx.comm;
+    CollChannel const channel = ctx.channel;
+    void const* const contribution = ctx.sendbuf;
+    std::size_t const count = ctx.sendcount;
+    Datatype const& type = *ctx.sendtype;
+    Op const& op = *ctx.op;
+    int const root = ctx.root;
     int const p = comm.size();
     int const r = comm.rank();
     if (r != root) {
@@ -54,14 +59,18 @@ int reduce_linear(
         op.apply(accumulator.data(), incoming.data(), count, type);
         std::swap(accumulator.storage, incoming.storage);
     }
-    std::memcpy(recvbuf, accumulator.data(), count * static_cast<std::size_t>(type.extent()));
+    std::memcpy(ctx.recvbuf, accumulator.data(), count * static_cast<std::size_t>(type.extent()));
     return XMPI_SUCCESS;
 }
 
 /// @brief Binomial-tree reduce for commutative operations.
-int reduce_binomial(
-    Comm& comm, CollChannel channel, void const* contribution, void* recvbuf, std::size_t count,
-    Datatype const& type, Op const& op, int root) {
+int run_reduce_binomial(CollCtx& ctx) {
+    Comm& comm = *ctx.comm;
+    CollChannel const channel = ctx.channel;
+    std::size_t const count = ctx.sendcount;
+    Datatype const& type = *ctx.sendtype;
+    Op const& op = *ctx.op;
+    int const root = ctx.root;
     int const p = comm.size();
     int const r = comm.rank();
     int const vrank = (r - root + p) % p;
@@ -70,7 +79,7 @@ int reduce_binomial(
     ElementBuffer accumulator(count, type);
     ElementBuffer incoming(count, type);
     std::memcpy(
-        accumulator.data(), contribution, count * static_cast<std::size_t>(type.extent()));
+        accumulator.data(), ctx.sendbuf, count * static_cast<std::size_t>(type.extent()));
 
     int mask = 1;
     while (mask < p) {
@@ -99,7 +108,7 @@ int reduce_binomial(
         }
         mask <<= 1;
     }
-    std::memcpy(recvbuf, accumulator.data(), count * static_cast<std::size_t>(type.extent()));
+    std::memcpy(ctx.recvbuf, accumulator.data(), count * static_cast<std::size_t>(type.extent()));
     return XMPI_SUCCESS;
 }
 
@@ -112,9 +121,16 @@ int reduce_binomial(
 /// commutative, so every rank still observes a bit-identical result — the
 /// property the applications' floating-point termination checks rely on.
 /// Non-commutative user ops keep the rank-ordered reduce+bcast path.
-int allreduce_recursive_doubling(
-    Comm& comm, CollChannel channel, void const* contribution, void* recvbuf, std::size_t count,
-    Datatype const& type, Op const& op, ReduceScratch& scratch) {
+int run_allreduce_recursive_doubling(CollCtx& ctx) {
+    Comm& comm = *ctx.comm;
+    CollChannel const channel = ctx.channel;
+    void const* const contribution = ctx.sendbuf;
+    void* const recvbuf = ctx.recvbuf;
+    std::size_t const count = ctx.sendcount;
+    Datatype const& type = *ctx.sendtype;
+    Op const& op = *ctx.op;
+    ReduceScratch local;
+    ReduceScratch& scratch = ctx.scratch != nullptr ? *ctx.scratch : local;
     int const p = comm.size();
     int const r = comm.rank();
     std::size_t const bytes = count * static_cast<std::size_t>(type.extent());
@@ -204,96 +220,38 @@ int allreduce_recursive_doubling(
     return XMPI_SUCCESS;
 }
 
-} // namespace
-
-int coll_reduce_on(
-    Comm& comm, CollChannel channel, void const* sendbuf, void* recvbuf, std::size_t count,
-    Datatype const& type, Op const& op, int root) {
-    if (int const err = check_collective(comm); err != XMPI_SUCCESS) {
-        return err;
-    }
-    void const* contribution = sendbuf == IN_PLACE ? recvbuf : sendbuf;
-    if (op.commutative()) {
-        profile::note_algorithm("binomial_tree");
-        return reduce_binomial(comm, channel, contribution, recvbuf, count, type, op, root);
-    }
-    profile::note_algorithm("linear");
-    return reduce_linear(comm, channel, contribution, recvbuf, count, type, op, root);
-}
-
-int coll_reduce(
-    Comm& comm, void const* sendbuf, void* recvbuf, std::size_t count, Datatype const& type,
-    Op const& op, int root) {
-    return coll_reduce_on(
-        comm, CollChannel{comm.collective_context(), coll_tag::reduce}, sendbuf, recvbuf, count,
-        type, op, root);
-}
-
-int coll_allreduce_on(
-    Comm& comm, CollChannel channel, void const* sendbuf, void* recvbuf, std::size_t count,
-    Datatype const& type, Op const& op, ReduceScratch* scratch) {
-    if (op.commutative()) {
-        if (int const err = check_collective(comm); err != XMPI_SUCCESS) {
-            return err;
-        }
-        void const* contribution = sendbuf == IN_PLACE ? recvbuf : sendbuf;
-        profile::note_algorithm("recursive_doubling");
-        ReduceScratch local;
-        return allreduce_recursive_doubling(
-            comm, channel, contribution, recvbuf, count, type, op,
-            scratch != nullptr ? *scratch : local);
-    }
-    profile::note_algorithm("reduce_bcast");
-    // Non-commutative: fold in rank order at rank 0, then broadcast, so every
-    // rank observes the bit-identical rank-ordered result.
-    if (int const err = coll_reduce_on(comm, channel, sendbuf, recvbuf, count, type, op, 0);
+/// @brief Non-commutative allreduce: fold in rank order at rank 0, then
+/// broadcast, so every rank observes the bit-identical rank-ordered result.
+int run_allreduce_reduce_bcast(CollCtx& ctx) {
+    Comm& comm = *ctx.comm;
+    CollChannel const channel = ctx.channel;
+    CollCtx reduce_ctx = ctx;
+    reduce_ctx.root = 0;
+    if (int const err = dispatch_coll(
+            tuning::CollOp::reduce,
+            make_select_ctx(
+                comm, ctx.sendtype->packed_size(ctx.sendcount), ctx.op->commutative()),
+            reduce_ctx);
         err != XMPI_SUCCESS) {
         return err;
     }
-    return coll_bcast_on(comm, channel, recvbuf, count, type, 0);
+    return coll_bcast_on(comm, channel, ctx.recvbuf, ctx.sendcount, *ctx.sendtype, 0);
 }
 
-int coll_allreduce(
-    Comm& comm, void const* sendbuf, void* recvbuf, std::size_t count, Datatype const& type,
-    Op const& op) {
-    return coll_allreduce_on(
-        comm, CollChannel{comm.collective_context(), coll_tag::reduce}, sendbuf, recvbuf, count,
-        type, op);
-}
-
-int coll_reduce_scatter_block(
-    Comm& comm, void const* sendbuf, void* recvbuf, std::size_t recvcount, Datatype const& type,
-    Op const& op) {
-    if (int const err = check_collective(comm); err != XMPI_SUCCESS) {
-        return err;
-    }
+/// @brief Recursive doubling (Hillis–Steele) scan, ceil(log2 p) rounds.
+int run_scan_hillis_steele(CollCtx& ctx) {
+    Comm& comm = *ctx.comm;
+    void const* const contribution = ctx.sendbuf;
+    void* const recvbuf = ctx.recvbuf;
+    std::size_t const count = ctx.sendcount;
+    Datatype const& type = *ctx.sendtype;
+    Op const& op = *ctx.op;
     int const p = comm.size();
     int const r = comm.rank();
-    std::size_t const total = recvcount * static_cast<std::size_t>(p);
-    // Reduce the full vector to rank 0, then scatter blocks.
-    ElementBuffer reduced(r == 0 ? total : 0, type);
-    if (int const err = coll_reduce(
-            comm, sendbuf, r == 0 ? reduced.data() : nullptr, total, type, op, 0);
-        err != XMPI_SUCCESS) {
-        return err;
-    }
-    return coll_scatter(comm, reduced.data(), recvcount, type, recvbuf, recvcount, type, 0);
-}
-
-int coll_scan(
-    Comm& comm, void const* sendbuf, void* recvbuf, std::size_t count, Datatype const& type,
-    Op const& op, bool exclusive) {
-    if (int const err = check_collective(comm); err != XMPI_SUCCESS) {
-        return err;
-    }
-    int const p = comm.size();
-    int const r = comm.rank();
-    void const* contribution = sendbuf == IN_PLACE ? recvbuf : sendbuf;
     std::size_t const bytes = count * static_cast<std::size_t>(type.extent());
 
-    // Recursive doubling (Hillis–Steele), ceil(log2 p) rounds. After round
-    // k, `inclusive` covers ranks [max(0, r - 2^(k+1) + 1), r] and
-    // `exclusive_prefix` the same range without r itself. Receiving the
+    // After round k, `inclusive` covers ranks [max(0, r - 2^(k+1) + 1), r]
+    // and `exclusive_prefix` the same range without r itself. Receiving the
     // partner's inclusive value prepends an earlier range, so the fold order
     // is rank order — correct for non-commutative operations too.
     ElementBuffer inclusive(count, type);
@@ -325,7 +283,7 @@ int coll_scan(
             }
         }
     }
-    if (exclusive) {
+    if (ctx.exclusive) {
         // Exscan: rank 0's recvbuf is undefined (left untouched).
         if (have_prefix) {
             std::memcpy(recvbuf, exclusive_prefix.data(), bytes);
@@ -334,6 +292,177 @@ int coll_scan(
         std::memcpy(recvbuf, inclusive.data(), bytes);
     }
     return XMPI_SUCCESS;
+}
+
+/// @brief Reduce the full vector to rank 0, then scatter blocks.
+int run_reduce_scatter_reduce_then_scatter(CollCtx& ctx) {
+    Comm& comm = *ctx.comm;
+    std::size_t const recvcount = ctx.recvcount;
+    Datatype const& type = *ctx.sendtype;
+    int const p = comm.size();
+    int const r = comm.rank();
+    std::size_t const total = recvcount * static_cast<std::size_t>(p);
+    ElementBuffer reduced(r == 0 ? total : 0, type);
+    if (int const err = coll_reduce(
+            comm, ctx.sendbuf, r == 0 ? reduced.data() : nullptr, total, type, *ctx.op, 0);
+        err != XMPI_SUCCESS) {
+        return err;
+    }
+    return coll_scatter(comm, reduced.data(), recvcount, type, ctx.recvbuf, recvcount, type, 0);
+}
+
+[[nodiscard]] int log2_rounds(int p) {
+    int rounds = 0;
+    for (int k = 1; k < p; k <<= 1) {
+        ++rounds;
+    }
+    return rounds;
+}
+
+[[nodiscard]] double msg_cost(tuning::SelectCtx const& sctx, std::size_t bytes) {
+    return sctx.alpha + static_cast<double>(bytes) * sctx.beta;
+}
+
+[[nodiscard]] bool commutative_only(tuning::SelectCtx const& sctx) {
+    return sctx.commutative;
+}
+
+[[nodiscard]] double cost_reduce_binomial(tuning::SelectCtx const& sctx) {
+    return log2_rounds(sctx.p) * msg_cost(sctx, sctx.block_bytes);
+}
+
+[[nodiscard]] double cost_reduce_linear(tuning::SelectCtx const& sctx) {
+    // The root's p-1 serial receives dominate.
+    return (sctx.p - 1) * msg_cost(sctx, sctx.block_bytes);
+}
+
+[[nodiscard]] double cost_allreduce_rd(tuning::SelectCtx const& sctx) {
+    return log2_rounds(sctx.p) * msg_cost(sctx, sctx.block_bytes);
+}
+
+[[nodiscard]] double cost_allreduce_reduce_bcast(tuning::SelectCtx const& sctx) {
+    return 2 * log2_rounds(sctx.p) * msg_cost(sctx, sctx.block_bytes);
+}
+
+} // namespace
+
+void register_reduce_algos(std::vector<CollAlgo>& registry) {
+    registry.push_back(
+        {tuning::CollOp::reduce, "binomial_tree", commutative_only, nullptr, cost_reduce_binomial,
+         run_reduce_binomial});
+    registry.push_back(
+        {tuning::CollOp::reduce, "linear", nullptr, nullptr, cost_reduce_linear,
+         run_reduce_linear});
+    registry.push_back(
+        {tuning::CollOp::allreduce, "recursive_doubling", commutative_only, nullptr,
+         cost_allreduce_rd, run_allreduce_recursive_doubling});
+    registry.push_back(
+        {tuning::CollOp::allreduce, "reduce_bcast", nullptr, nullptr,
+         cost_allreduce_reduce_bcast, run_allreduce_reduce_bcast});
+    registry.push_back(
+        {tuning::CollOp::scan, "hillis_steele", nullptr, nullptr, nullptr,
+         run_scan_hillis_steele});
+    registry.push_back(
+        {tuning::CollOp::reduce_scatter, "reduce_then_scatter", nullptr, nullptr, nullptr,
+         run_reduce_scatter_reduce_then_scatter});
+}
+
+int coll_reduce_on(
+    Comm& comm, CollChannel channel, void const* sendbuf, void* recvbuf, std::size_t count,
+    Datatype const& type, Op const& op, int root) {
+    if (int const err = check_collective(comm); err != XMPI_SUCCESS) {
+        return err;
+    }
+    CollCtx ctx;
+    ctx.comm = &comm;
+    ctx.channel = channel;
+    ctx.in_place = sendbuf == IN_PLACE;
+    ctx.sendbuf = ctx.in_place ? recvbuf : sendbuf;
+    ctx.recvbuf = recvbuf;
+    ctx.sendcount = count;
+    ctx.sendtype = &type;
+    ctx.op = &op;
+    ctx.root = root;
+    return dispatch_coll(
+        tuning::CollOp::reduce, make_select_ctx(comm, type.packed_size(count), op.commutative()),
+        ctx);
+}
+
+int coll_reduce(
+    Comm& comm, void const* sendbuf, void* recvbuf, std::size_t count, Datatype const& type,
+    Op const& op, int root) {
+    return coll_reduce_on(
+        comm, CollChannel{comm.collective_context(), coll_tag::reduce}, sendbuf, recvbuf, count,
+        type, op, root);
+}
+
+int coll_allreduce_on(
+    Comm& comm, CollChannel channel, void const* sendbuf, void* recvbuf, std::size_t count,
+    Datatype const& type, Op const& op, ReduceScratch* scratch) {
+    if (int const err = check_collective(comm); err != XMPI_SUCCESS) {
+        return err;
+    }
+    CollCtx ctx;
+    ctx.comm = &comm;
+    ctx.channel = channel;
+    ctx.in_place = sendbuf == IN_PLACE;
+    ctx.sendbuf = ctx.in_place ? recvbuf : sendbuf;
+    ctx.recvbuf = recvbuf;
+    ctx.sendcount = count;
+    ctx.sendtype = &type;
+    ctx.op = &op;
+    ctx.scratch = scratch;
+    return dispatch_coll(
+        tuning::CollOp::allreduce,
+        make_select_ctx(comm, type.packed_size(count), op.commutative()), ctx);
+}
+
+int coll_allreduce(
+    Comm& comm, void const* sendbuf, void* recvbuf, std::size_t count, Datatype const& type,
+    Op const& op) {
+    return coll_allreduce_on(
+        comm, CollChannel{comm.collective_context(), coll_tag::reduce}, sendbuf, recvbuf, count,
+        type, op);
+}
+
+int coll_reduce_scatter_block(
+    Comm& comm, void const* sendbuf, void* recvbuf, std::size_t recvcount, Datatype const& type,
+    Op const& op) {
+    if (int const err = check_collective(comm); err != XMPI_SUCCESS) {
+        return err;
+    }
+    CollCtx ctx;
+    ctx.comm = &comm;
+    ctx.channel = CollChannel{comm.collective_context(), coll_tag::reduce_scatter};
+    ctx.sendbuf = sendbuf;
+    ctx.recvbuf = recvbuf;
+    ctx.recvcount = recvcount;
+    ctx.sendtype = &type;
+    ctx.op = &op;
+    return dispatch_coll(
+        tuning::CollOp::reduce_scatter,
+        make_select_ctx(comm, type.packed_size(recvcount), op.commutative()), ctx);
+}
+
+int coll_scan(
+    Comm& comm, void const* sendbuf, void* recvbuf, std::size_t count, Datatype const& type,
+    Op const& op, bool exclusive) {
+    if (int const err = check_collective(comm); err != XMPI_SUCCESS) {
+        return err;
+    }
+    CollCtx ctx;
+    ctx.comm = &comm;
+    ctx.channel = CollChannel{comm.collective_context(), coll_tag::scan};
+    ctx.in_place = sendbuf == IN_PLACE;
+    ctx.sendbuf = ctx.in_place ? recvbuf : sendbuf;
+    ctx.recvbuf = recvbuf;
+    ctx.sendcount = count;
+    ctx.sendtype = &type;
+    ctx.op = &op;
+    ctx.exclusive = exclusive;
+    return dispatch_coll(
+        tuning::CollOp::scan, make_select_ctx(comm, type.packed_size(count), op.commutative()),
+        ctx);
 }
 
 } // namespace xmpi::detail

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "coll.hpp"
+#include "coll_registry.hpp"
 #include "transport.hpp"
 #include "xmpi/pool.hpp"
 #include "xmpi/progress.hpp"
@@ -272,9 +273,25 @@ Request* make_persistent_bcast(
     Comm& comm, void* buffer, std::size_t count, Datatype const& type, int root) {
     auto* comm_ptr = &comm;
     auto const* type_ptr = &type;
+    // Algorithm selection is part of the binding: the entry chosen here
+    // (including from a tuning table loaded at init time) is replayed by
+    // every restart, so a round never re-consults select().
+    CollAlgo const* const algo = select_coll_algo(
+        tuning::CollOp::bcast, make_select_ctx(comm, type.packed_size(count)), nullptr);
     return new PersistentCollRequest(
-        "bcast_init", comm_ptr, [comm_ptr, buffer, count, type_ptr, root](CollChannel channel) {
-            return coll_bcast_on(*comm_ptr, channel, buffer, count, *type_ptr, root);
+        "bcast_init", comm_ptr,
+        [comm_ptr, buffer, count, type_ptr, root, algo](CollChannel channel) {
+            if (int const err = check_collective(*comm_ptr); err != XMPI_SUCCESS) {
+                return err;
+            }
+            CollCtx ctx;
+            ctx.comm = comm_ptr;
+            ctx.channel = channel;
+            ctx.recvbuf = buffer;
+            ctx.recvcount = count;
+            ctx.recvtype = type_ptr;
+            ctx.root = root;
+            return run_coll_algo(*algo, ctx);
         });
 }
 
@@ -288,11 +305,27 @@ Request* make_persistent_allreduce(
     // allocation-free. A persistent request never restarts concurrently with
     // its own completion, so the shared scratch is never contended.
     auto scratch = std::make_shared<ReduceScratch>();
+    CollAlgo const* const algo = select_coll_algo(
+        tuning::CollOp::allreduce,
+        make_select_ctx(comm, type.packed_size(count), op.commutative()), nullptr);
     return new PersistentCollRequest(
         "allreduce_init", comm_ptr,
-        [comm_ptr, sendbuf, recvbuf, count, type_ptr, op_ptr, scratch](CollChannel channel) {
-            return coll_allreduce_on(
-                *comm_ptr, channel, sendbuf, recvbuf, count, *type_ptr, *op_ptr, scratch.get());
+        [comm_ptr, sendbuf, recvbuf, count, type_ptr, op_ptr, scratch,
+         algo](CollChannel channel) {
+            if (int const err = check_collective(*comm_ptr); err != XMPI_SUCCESS) {
+                return err;
+            }
+            CollCtx ctx;
+            ctx.comm = comm_ptr;
+            ctx.channel = channel;
+            ctx.in_place = sendbuf == IN_PLACE;
+            ctx.sendbuf = ctx.in_place ? recvbuf : sendbuf;
+            ctx.recvbuf = recvbuf;
+            ctx.sendcount = count;
+            ctx.sendtype = type_ptr;
+            ctx.op = op_ptr;
+            ctx.scratch = scratch.get();
+            return run_coll_algo(*algo, ctx);
         });
 }
 
@@ -319,21 +352,45 @@ Request* make_persistent_alltoall(
     auto* comm_ptr = &comm;
     auto const* send_type = &sendtype;
     auto const* recv_type = &recvtype;
+    CollAlgo const* const algo = select_coll_algo(
+        tuning::CollOp::alltoallv, make_select_ctx(comm, recvtype.packed_size(recvcount)),
+        nullptr);
     return new PersistentCollRequest(
         "alltoall_init", comm_ptr,
-        [comm_ptr, sendbuf, send_type, recvbuf, recv_type, shape](CollChannel channel) {
-            return coll_alltoallv_on(
-                *comm_ptr, channel, sendbuf, shape->sendcounts.data(), shape->sdispls.data(),
-                *send_type, recvbuf, shape->recvcounts.data(), shape->rdispls.data(),
-                *recv_type);
+        [comm_ptr, sendbuf, send_type, recvbuf, recv_type, shape, algo](CollChannel channel) {
+            if (int const err = check_collective(*comm_ptr); err != XMPI_SUCCESS) {
+                return err;
+            }
+            CollCtx ctx;
+            ctx.comm = comm_ptr;
+            ctx.channel = channel;
+            ctx.in_place = sendbuf == IN_PLACE;
+            ctx.sendbuf = sendbuf;
+            ctx.sendcounts = shape->sendcounts.data();
+            ctx.sdispls = shape->sdispls.data();
+            ctx.sendtype = send_type;
+            ctx.recvbuf = recvbuf;
+            ctx.recvcounts = shape->recvcounts.data();
+            ctx.rdispls = shape->rdispls.data();
+            ctx.recvtype = recv_type;
+            return run_coll_algo(*algo, ctx);
         });
 }
 
 Request* make_persistent_barrier(Comm& comm) {
     auto* comm_ptr = &comm;
-    return new PersistentCollRequest("barrier_init", comm_ptr, [comm_ptr](CollChannel channel) {
-        return coll_barrier_on(*comm_ptr, channel);
-    });
+    CollAlgo const* const algo =
+        select_coll_algo(tuning::CollOp::barrier, make_select_ctx(comm, 0), nullptr);
+    return new PersistentCollRequest(
+        "barrier_init", comm_ptr, [comm_ptr, algo](CollChannel channel) {
+            if (int const err = check_collective(*comm_ptr); err != XMPI_SUCCESS) {
+                return err;
+            }
+            CollCtx ctx;
+            ctx.comm = comm_ptr;
+            ctx.channel = channel;
+            return run_coll_algo(*algo, ctx);
+        });
 }
 
 // ---------------------------------------------------------------------------

@@ -107,6 +107,8 @@ TEST(PersistentPlan, SummarySpanRecordsRestarts) {
             ++plan_spans;
             EXPECT_EQ(span.restarts, 5u);
             EXPECT_EQ(span.bytes_in, 5u * 8u * sizeof(int));
+            // The algorithm the plan captured at init, noted by its rounds.
+            EXPECT_EQ(span.algorithm, std::string("binomial"));
         }
     }
     EXPECT_EQ(plan_spans, 2);
