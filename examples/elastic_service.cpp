@@ -1,0 +1,250 @@
+/// @file elastic_service.cpp
+/// @brief Domain example: an elastic service riding 2 -> 32 -> 8 ranks in
+/// one process. A 2-rank base world admits 30 worker sessions (grow), the
+/// full fleet rebalances a fixed pool of work items, then 24 workers retire
+/// (shrink) and the survivors finish — all through one with_elastic loop
+/// that re-runs the rebalance callback on every membership epoch.
+///
+/// Chaos mode (--chaos-seed S) arms a FaultPlan that kills one session in a
+/// seed-chosen transition window — mid-join, mid-leave, or inside the epoch
+/// barrier — and the run must still converge, with the victim excluded by
+/// the membership machinery instead of deadlocking it. The chaos-soak CI
+/// tier sweeps seeds through this binary; --faults-out / --spans-out dump
+/// the fired-fault log and tracing spans for post-mortem on failure.
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "kamping/plugin/plugins.hpp"
+#include "xmpi/xmpi.hpp"
+
+using namespace kamping;
+
+namespace {
+
+constexpr int kBase = 2;        // long-lived service ranks
+constexpr int kSessions = 30;   // worker sessions that join at runtime
+constexpr int kCapacity = kBase + kSessions; // world peak: 32
+constexpr int kStayerBound = 8; // ranks < 8 stay: final membership is 8
+constexpr int kItems = 9600;    // the work pool the fleet rebalances
+
+/// Coordination state shared by every thread of the service.
+struct Service {
+    std::atomic<bool> phase_done{false}; // every session admitted or dead
+    std::atomic<int> admitted{0};
+    std::atomic<int> died_before_join{0};
+    std::atomic<int> peak_size{0};
+    std::atomic<std::uint64_t> last_epoch{0};
+    int expected_final = kStayerBound;
+    bool chaos = false;
+};
+
+void record_size(std::atomic<int>& slot, int size) {
+    int expected = slot.load();
+    while (size > expected && !slot.compare_exchange_weak(expected, size)) {
+    }
+}
+
+/// The rebalance callback: every member recomputes its shard of the work
+/// pool from its (rank, size) under the current epoch, and the fleet checks
+/// the pool is conserved — the core of what an elastic service must redo on
+/// every membership change.
+int shard_of(int rank, int size) {
+    return kItems / size + (rank < kItems % size ? 1 : 0);
+}
+
+/// One service tick under with_elastic: rebalance, verify the pool, vote on
+/// shutdown (MIN-consensus: every member of one allreduce instance sees the
+/// same verdict, so the whole membership stops on the same tick). Returns
+/// true once the membership agreed to stop.
+bool service_tick(FullCommunicator& comm, Service& service, bool is_leaver) {
+    return comm.with_elastic([&](FullCommunicator& c) {
+        int const size = c.size_signed();
+        int const total =
+            c.allreduce_single(send_buf(shard_of(c.rank(), size)), op(std::plus<>{}));
+        if (total != kItems) {
+            std::fprintf(stderr, "rebalance lost work: %d of %d items\n", total, kItems);
+            std::abort();
+        }
+        // A leaver never votes to stop: it must retire first. The others
+        // vote once the fleet finished shrinking to the expected survivors.
+        int const vote =
+            !is_leaver && service.phase_done.load() && size == service.expected_final ? 1 : 0;
+        int const consensus = c.allreduce_single(send_buf(vote), op(ops::min{}));
+        record_size(service.peak_size, size);
+        if (c.rank() == 0) {
+            auto const epoch = c.membership_epoch();
+            if (epoch != service.last_epoch.exchange(epoch)) {
+                std::printf(
+                    "  epoch %llu (%s): %d ranks, shard0 holds %d items\n",
+                    static_cast<unsigned long long>(epoch),
+                    c.mpi_communicator()->world().last_transition_cause(), size,
+                    shard_of(0, size));
+            }
+        }
+        return consensus == 1;
+    });
+}
+
+/// A base rank: lives from construction to shutdown consensus.
+void base_main(xmpi::World& world, int rank, Service& service) {
+    world.attach_current_thread(rank);
+    {
+        FullCommunicator comm; // epoch-0 world comm; with_elastic resyncs it
+        while (!service_tick(comm, service, /*is_leaver=*/false)) {
+        }
+    }
+    world.detach_current_thread();
+}
+
+/// A worker session: joins the running world, computes until its cohort is
+/// complete, then either stays for the shutdown consensus (rank < 8) or
+/// retires. A chaos kill anywhere in between must leave the rest converging.
+void session_main(xmpi::World& world, Service& service) {
+    int rank = xmpi::UNDEFINED;
+    try {
+        rank = world.open_session();
+        service.admitted.fetch_add(1);
+        bool const is_leaver = rank >= kStayerBound;
+        {
+            FullCommunicator comm(world.epoch_sync(), /*owning=*/true);
+            while (!service_tick(comm, service, is_leaver)) {
+                if (is_leaver && service.phase_done.load()) {
+                    // In the plain run, retire only after some member proved
+                    // the fleet reached full strength (a successful tick at
+                    // peak size); chaos runs lose a rank at a seed-dependent
+                    // point, so the peak is not a fixed number there.
+                    if (service.chaos || service.peak_size.load() == kCapacity) {
+                        break;
+                    }
+                }
+            }
+        }
+        if (rank >= kStayerBound) {
+            world.leave_session();
+        } else {
+            world.detach_current_thread();
+        }
+    } catch (xmpi::RankKilled const&) {
+        // The chaos victim: already marked failed and excluded by the next
+        // transition; the membership machinery owes it nothing further.
+        if (rank == xmpi::UNDEFINED) {
+            service.died_before_join.fetch_add(1);
+        }
+        if (xmpi::detail::current_context().world == &world) {
+            world.detach_current_thread();
+        }
+    }
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    std::uint64_t seed = 0;
+    bool chaos = false;
+    char const* faults_out = nullptr;
+    char const* spans_out = nullptr;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--chaos-seed") == 0 && i + 1 < argc) {
+            seed = std::strtoull(argv[++i], nullptr, 10);
+            chaos = true;
+        } else if (std::strcmp(argv[i], "--faults-out") == 0 && i + 1 < argc) {
+            faults_out = argv[++i];
+        } else if (std::strcmp(argv[i], "--spans-out") == 0 && i + 1 < argc) {
+            spans_out = argv[++i];
+        }
+    }
+
+    Service service;
+    service.chaos = chaos;
+    int victim = -1;
+    if (chaos) {
+        // Seed-chosen victim and kill window. Mid-leave kills only make
+        // sense for sessions that leave, so that window draws from the
+        // leaver range; the others can hit any session.
+        int const window = static_cast<int>(seed % 3);
+        victim = window == 1 ? kStayerBound + static_cast<int>(seed % (kCapacity - kStayerBound))
+                             : kBase + static_cast<int>(seed % kSessions);
+        xmpi::chaos::FaultPlan plan(seed);
+        switch (window) {
+            case 0: plan.kill_at_call(victim, xmpi::chaos::Call::session_open); break;
+            case 1: plan.kill_at_call(victim, xmpi::chaos::Call::session_leave); break;
+            default: plan.kill_at_hook(victim, xmpi::chaos::Hook::ft_elastic_sync); break;
+        }
+        xmpi::chaos::arm_next_world(plan);
+        // A victim that would have stayed shrinks the final membership; a
+        // victim killed mid-leave was going to shrink it anyway.
+        service.expected_final = victim < kStayerBound && window != 1 ? kStayerBound - 1
+                                                                     : kStayerBound;
+        std::printf(
+            "chaos: seed %llu kills rank %d in window %s\n",
+            static_cast<unsigned long long>(seed), victim,
+            window == 0 ? "mid-join" : window == 1 ? "mid-leave" : "epoch-barrier");
+    }
+    xmpi::profile::clear_spans();
+    xmpi::profile::set_tracing_enabled(true);
+
+    bool ok = true;
+    {
+        xmpi::World world(kBase, {}, kCapacity);
+        std::vector<std::thread> threads;
+        threads.reserve(kBase + kSessions);
+        for (int rank = 0; rank < kBase; ++rank) {
+            threads.emplace_back([&world, rank, &service] { base_main(world, rank, service); });
+        }
+        for (int i = 0; i < kSessions; ++i) {
+            threads.emplace_back([&world, &service] { session_main(world, service); });
+        }
+        // The admission phase is over when every session thread either got a
+        // rank or died announcing the join.
+        while (service.admitted.load() + service.died_before_join.load() < kSessions) {
+            std::this_thread::yield();
+        }
+        service.phase_done.store(true);
+        for (auto& thread: threads) {
+            thread.join();
+        }
+
+        auto const epoch = world.membership_epoch();
+        std::printf(
+            "rode %d -> %d -> %d ranks across %llu membership epochs (%d slots ever used)\n",
+            kBase, service.peak_size.load(), service.expected_final,
+            static_cast<unsigned long long>(epoch), world.rank_slots());
+        if (!chaos && service.peak_size.load() != kCapacity) {
+            std::fprintf(stderr, "FAIL: fleet never computed at full strength\n");
+            ok = false;
+        }
+        if (world.rank_slots() != kCapacity) {
+            std::fprintf(stderr, "FAIL: not every session got a slot\n");
+            ok = false;
+        }
+        if (chaos && !world.is_failed(victim)) {
+            std::fprintf(stderr, "FAIL: armed fault never fired\n");
+            ok = false;
+        }
+        if (world.membership_pending()) {
+            std::fprintf(stderr, "FAIL: unresolved membership transition at shutdown\n");
+            ok = false;
+        }
+    }
+    xmpi::profile::set_tracing_enabled(false);
+
+    if (faults_out != nullptr) {
+        std::ofstream out(faults_out);
+        for (auto const& fault: xmpi::chaos::take_fired_log()) {
+            out << "victim=" << fault.victim << " fault_index=" << fault.fault_index
+                << " nth=" << fault.nth << "\n";
+        }
+    }
+    if (spans_out != nullptr) {
+        std::ofstream out(spans_out);
+        out << xmpi::profile::spans_json() << "\n";
+    }
+    return ok ? 0 : 1;
+}

@@ -41,10 +41,21 @@ public:
         : MpiError(XMPI_ERR_REVOKED, function) {}
 };
 
+/// @brief Thrown when an operation is attempted on a communicator of a
+/// superseded membership epoch (elastic worlds). Recovery is a resync to the
+/// current epoch (plugin/elastic.hpp), not a shrink.
+class MpiEpochStale : public MpiError {
+public:
+    explicit MpiEpochStale(std::string const& function)
+        : MpiError(XMPI_ERR_EPOCH, function) {}
+};
+
 /// @brief True iff @c error_code signals a failure that ULFM recovery
-/// (revoke → shrink → retry) can handle, as opposed to a usage error.
+/// (revoke → shrink → retry) or an elastic epoch resync can handle, as
+/// opposed to a usage error.
 [[nodiscard]] constexpr bool is_recoverable(int error_code) {
-    return error_code == XMPI_ERR_PROC_FAILED || error_code == XMPI_ERR_REVOKED;
+    return error_code == XMPI_ERR_PROC_FAILED || error_code == XMPI_ERR_REVOKED
+           || error_code == XMPI_ERR_EPOCH;
 }
 
 namespace internal {
@@ -62,6 +73,9 @@ inline void throw_on_error(int error_code, char const* function) {
     if (error_code == XMPI_ERR_REVOKED) {
         throw MpiCommRevoked(function);
     }
+    if (error_code == XMPI_ERR_EPOCH) {
+        throw MpiEpochStale(function);
+    }
     throw MpiError(error_code, function);
 }
 
@@ -76,6 +90,9 @@ throw_op_error(int error_code, char const* xmpi_function, char const* op, char c
     }
     if (error_code == XMPI_ERR_REVOKED) {
         throw MpiCommRevoked(label);
+    }
+    if (error_code == XMPI_ERR_EPOCH) {
+        throw MpiEpochStale(label);
     }
     throw MpiError(error_code, label);
 }

@@ -134,6 +134,7 @@ inline constexpr OpDescriptor grid_alltoallv{"grid_alltoallv"};
 inline constexpr OpDescriptor hypergrid_alltoallv{"hypergrid_alltoallv"};
 inline constexpr OpDescriptor sparse_alltoallv{"sparse_alltoallv"};
 inline constexpr OpDescriptor ulfm_recovery{"ulfm_recovery"};
+inline constexpr OpDescriptor elastic_sync{"elastic_sync"};
 inline constexpr OpDescriptor win_create{"win_create"};
 inline constexpr OpDescriptor win_free{"win_free"};
 inline constexpr OpDescriptor put{"put"};

@@ -3,6 +3,7 @@
 #pragma once
 
 #include "kamping/communicator.hpp"                // IWYU pragma: export
+#include "kamping/plugin/elastic.hpp"              // IWYU pragma: export
 #include "kamping/plugin/grid_alltoall.hpp"        // IWYU pragma: export
 #include "kamping/plugin/plugin_helpers.hpp"       // IWYU pragma: export
 #include "kamping/plugin/reproducible_reduce.hpp"  // IWYU pragma: export
@@ -15,6 +16,6 @@ namespace kamping {
 /// @brief A communicator with every shipped plugin enabled.
 using FullCommunicator = BasicCommunicator<
     plugin::SparseAlltoall, plugin::GridCommunicator, plugin::ReproducibleReduce,
-    plugin::Sorter, plugin::UserLevelFailureMitigation>;
+    plugin::Sorter, plugin::UserLevelFailureMitigation, plugin::Elastic>;
 
 } // namespace kamping

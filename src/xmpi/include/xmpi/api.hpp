@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 #include "xmpi/comm.hpp"
 #include "xmpi/datatype.hpp"
@@ -349,6 +350,29 @@ int XMPI_Comm_revoke(XMPI_Comm comm);
 int XMPI_Comm_is_revoked(XMPI_Comm comm, int* flag);
 int XMPI_Comm_shrink(XMPI_Comm comm, XMPI_Comm* newcomm);
 int XMPI_Comm_agree(XMPI_Comm comm, int* flag);
+/// @}
+
+/// @name Elastic worlds (sessions-style dynamic membership, elastic.hpp)
+///
+/// Joining happens at the World level (World::open_session attaches a brand
+/// new thread, which a handle-based C API cannot express); everything an
+/// *attached* rank needs rides on handles and the thread-local context.
+/// @{
+/// @brief Retires the calling rank from its (elastic) world: announces the
+/// leave, participates in the excluding membership transition, and detaches
+/// the calling thread.
+int XMPI_Session_leave(void);
+/// @brief Membership-epoch rendezvous: stores a *retained* handle to the
+/// current epoch's communicator in @c newcomm (release with XMPI_Comm_free),
+/// first running a transition if joins, leaves, or failures are pending.
+int XMPI_Epoch_sync(XMPI_Comm* newcomm);
+/// @brief The membership epoch of the communicator's world (0 until the
+/// first transition; constant 0 in non-elastic worlds).
+int XMPI_Membership_epoch(XMPI_Comm comm, std::uint64_t* epoch);
+/// @brief Sets @c flag iff @c comm belongs to a superseded epoch or a
+/// membership transition is pending — i.e. the caller should XMPI_Epoch_sync
+/// (operations on @c comm would fail with XMPI_ERR_EPOCH / XMPI_ERR_REVOKED).
+int XMPI_Membership_changed(XMPI_Comm comm, int* flag);
 /// @}
 
 /// @name One-sided communication (RMA)

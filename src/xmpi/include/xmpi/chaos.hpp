@@ -56,6 +56,12 @@ enum class Hook : int {
     /// the receiver may already be matching the descriptor — the receive
     /// must fail with XMPI_ERR_PROC_FAILED instead of waiting forever.
     ft_rendezvous_publish,
+    /// Inside the elastic membership rendezvous (World::epoch_sync /
+    /// leave_session), after the rank arrived at the open transition round
+    /// but before the round produces the next epoch: the rank dies during
+    /// the epoch barrier, and the remaining participants must complete the
+    /// transition without it (the failure folds into the same round).
+    ft_elastic_sync,
 };
 
 /// @brief One scheduled fault of a plan. Build via the FaultPlan methods.

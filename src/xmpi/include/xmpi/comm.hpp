@@ -163,6 +163,23 @@ public:
     [[nodiscard]] std::vector<int> surviving_members() const;
     /// @}
 
+    /// @name Membership-epoch state (elastic worlds, see elastic.hpp)
+    /// @{
+    /// @brief Gates this communicator on membership epoch @c epoch: once the
+    /// world moves past it, every operation reports XMPI_ERR_EPOCH. Only the
+    /// per-epoch elastic communicators are gated; derived communicators
+    /// (dup/split) and non-elastic worlds are never affected.
+    void set_epoch_gate(std::uint64_t epoch) {
+        birth_epoch_ = epoch;
+        epoch_gated_ = true;
+    }
+    [[nodiscard]] bool epoch_gated() const { return epoch_gated_; }
+    [[nodiscard]] std::uint64_t birth_epoch() const { return birth_epoch_; }
+    /// @brief True iff this communicator is gated and the world's membership
+    /// has moved past its birth epoch.
+    [[nodiscard]] bool epoch_stale() const;
+    /// @}
+
     [[nodiscard]] detail::IbarrierSync& ibarrier_sync() { return ibarrier_; }
     [[nodiscard]] detail::FtSync& ft_sync() { return ft_; }
 
@@ -187,6 +204,8 @@ private:
     std::vector<GraphTopology> rank_topologies_;
     std::atomic<bool> has_topology_{false};
     std::atomic<bool> revoked_{false};
+    std::uint64_t birth_epoch_ = 0; ///< written before the comm is published
+    bool epoch_gated_ = false;
     detail::IbarrierSync ibarrier_;
     detail::FtSync ft_;
     std::atomic<int> refcount_{1};

@@ -40,9 +40,13 @@ inline constexpr int XMPI_ERR_RMA_RANGE   = 22;
 /// An array completion (Waitsome/Testsome/Testall) completed at least one
 /// request with an error; the per-request statuses carry the real codes.
 inline constexpr int XMPI_ERR_IN_STATUS   = 23;
+/// Elastic worlds: the communicator belongs to a superseded membership epoch
+/// (ranks joined or left since it was built); sync to the current epoch via
+/// XMPI_Epoch_sync and retry there.
+inline constexpr int XMPI_ERR_EPOCH       = 24;
 /// Largest defined error class (codes are dense in [0, LASTCODE]); lets
 /// tests and tools iterate every code exhaustively.
-inline constexpr int XMPI_ERR_LASTCODE    = XMPI_ERR_IN_STATUS;
+inline constexpr int XMPI_ERR_LASTCODE    = XMPI_ERR_EPOCH;
 /// @}
 
 namespace xmpi {

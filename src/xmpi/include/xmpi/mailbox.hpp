@@ -238,6 +238,16 @@ public:
         wait_signal(timeout, [] { return false; });
     }
 
+    /// @brief Raises the ring-scan bound after an elastic membership
+    /// transition admitted new ranks (slots [world_size, new_size) can now
+    /// send to us). Monotonic; called with the elastic mutex held, so plain
+    /// release-store suffices.
+    void grow_world_size(int new_size) {
+        if (new_size > world_size_.load(std::memory_order_relaxed)) {
+            world_size_.store(new_size, std::memory_order_release);
+        }
+    }
+
     /// @brief Wakes all threads blocked on this mailbox (failure/revocation,
     /// rendezvous completion). Deliberately does NOT take the mailbox mutex:
     /// a receiver completes a rendezvous while holding its *own* mailbox
@@ -306,7 +316,9 @@ private:
     PayloadPool* pool_;
     profile::RankCounters* counters_; ///< this (receiving) rank's counters
     int rank_;
-    int world_size_;
+    /// Ring-scan bound: how many source ranks can publish to us. Grows (only)
+    /// at elastic membership transitions; constant in non-elastic worlds.
+    std::atomic<int> world_size_;
 
     std::mutex mutex_;
     std::condition_variable cv_;

@@ -76,6 +76,9 @@ enum class Call : int {
     precv_init,
     pready,
     parrived,
+    session_open,
+    session_leave,
+    epoch_sync,
     count_ ///< number of entries; keep last
 };
 
@@ -131,6 +134,11 @@ struct RankCounters {
     std::atomic<std::uint64_t> rma_bytes_zero_copied{0}; ///< RMA bytes moved without staging
     std::atomic<std::uint64_t> rma_epoch_waits{0};  ///< fences + blocking lock acquisitions
     /// @}
+    /// @name Elastic-world counters (see elastic.hpp)
+    /// @{
+    std::atomic<std::uint64_t> stale_epoch_drops{0}; ///< messages dropped for a superseded epoch
+    std::atomic<std::uint64_t> epoch_transitions{0}; ///< membership transitions this rank produced
+    /// @}
 
     void reset() {
         for (auto& counter: calls) {
@@ -158,6 +166,8 @@ struct RankCounters {
         rma_accumulates.store(0, std::memory_order_relaxed);
         rma_bytes_zero_copied.store(0, std::memory_order_relaxed);
         rma_epoch_waits.store(0, std::memory_order_relaxed);
+        stale_epoch_drops.store(0, std::memory_order_relaxed);
+        epoch_transitions.store(0, std::memory_order_relaxed);
     }
 };
 
@@ -186,6 +196,8 @@ struct Snapshot {
     std::uint64_t rma_accumulates = 0;
     std::uint64_t rma_bytes_zero_copied = 0;
     std::uint64_t rma_epoch_waits = 0;
+    std::uint64_t stale_epoch_drops = 0;
+    std::uint64_t epoch_transitions = 0;
 
     [[nodiscard]] std::uint64_t operator[](Call call) const {
         return calls[static_cast<std::size_t>(call)];
@@ -244,6 +256,12 @@ struct Span {
     /// Completed start()s of a persistent plan; 0 for one-shot operations.
     /// Plan-summary spans amortize duration_s over this many restarts.
     std::uint64_t restarts = 0;
+    /// Membership epoch of the recording rank's world at record time (always
+    /// 0 in non-elastic worlds). Stamped by record_span so every traced op
+    /// is attributable to the membership it ran under; epoch-transition
+    /// spans (op "epoch_transition") carry the transition cause in
+    /// `algorithm` ("grow", "shrink", "failure", or a "+"-combination).
+    std::uint64_t epoch = 0;
 };
 
 /// @brief True iff span recording is globally enabled. A single relaxed

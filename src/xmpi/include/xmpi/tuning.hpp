@@ -8,6 +8,7 @@
 /// from the environment and mutable from tests before a World is started.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <vector>
 
@@ -159,8 +160,9 @@ struct Coll {
 
     /// When non-null, select() returns this entry if it is applicable to the
     /// op at hand (benches force one candidate at a time). Must point at a
-    /// string with static storage duration.
-    char const* force_algorithm = nullptr;
+    /// string with static storage duration. Atomic: a harness may flip the
+    /// force while other ranks are dispatching collectives that read it.
+    std::atomic<char const*> force_algorithm{nullptr};
 };
 
 /// @brief The process-wide collective knobs; on first use, XMPI_NODE_SIZE is

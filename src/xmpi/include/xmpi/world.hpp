@@ -13,6 +13,8 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <shared_mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "xmpi/comm.hpp"
@@ -28,13 +30,23 @@ namespace chaos {
 class Engine;
 }
 
+namespace detail {
+struct ElasticState;
+}
+
 class Win;
 
 class World {
 public:
     /// @brief Creates a world of @c size ranks. Threads are attached via
     /// attach_current_thread(); prefer the run() convenience wrapper.
-    explicit World(int size, NetworkModel model = {});
+    ///
+    /// @param capacity When > 0, the world is *elastic*: up to @c capacity
+    /// ranks may ever exist in it, and new ranks can join a running world
+    /// via open_session() (and leave via leave_session()) — see elastic.hpp
+    /// for the membership-epoch state machine. 0 (the default) keeps the
+    /// classic fixed-membership world with zero elastic overhead.
+    explicit World(int size, NetworkModel model = {}, int capacity = 0);
     ~World();
 
     World(World const&) = delete;
@@ -104,8 +116,55 @@ public:
     void detach_current_thread();
     /// @}
 
+    /// @name Elastic membership (sessions-style grow/shrink, elastic.hpp)
+    /// @{
+    [[nodiscard]] bool elastic_enabled() const { return elastic_ != nullptr; }
+    /// @brief Upper bound on the number of ranks this world can ever hold
+    /// (== size() for non-elastic worlds). Rank slots are never reused.
+    [[nodiscard]] int capacity() const { return capacity_; }
+    /// @brief Number of rank slots ever created (initial + joined); valid
+    /// bound for per-rank iteration (counters, mailboxes).
+    [[nodiscard]] int rank_slots() const { return rank_slots_.load(std::memory_order_acquire); }
+    /// @brief The current membership epoch (0 until the first transition;
+    /// constant 0 in non-elastic worlds). One relaxed atomic load.
+    [[nodiscard]] std::uint64_t membership_epoch() const {
+        return membership_epoch_.load(std::memory_order_acquire);
+    }
+    /// @brief Attaches the calling (unattached) thread as a *new* rank of a
+    /// running elastic world and blocks until a membership transition admits
+    /// it. Returns the new world rank. Throws UsageError when the world is
+    /// not elastic or its capacity is exhausted.
+    int open_session();
+    /// @brief Retires the calling rank: announces the leave, participates in
+    /// the membership transition that excludes it, and detaches the thread.
+    void leave_session();
+    /// @brief Membership-epoch rendezvous: returns a *retained* handle to
+    /// the current-epoch communicator, first running (or joining) a
+    /// transition if joins, leaves, failures, or a revocation are pending.
+    /// The caller releases the handle (XMPI_Comm_free).
+    [[nodiscard]] Comm* epoch_sync();
+    /// @brief True iff a membership transition has been requested (join,
+    /// leave, or failure) that epoch_sync has not yet resolved. Cheap
+    /// (atomic hint); epoch_sync recomputes the truth.
+    [[nodiscard]] bool membership_pending() const;
+    /// @brief Cause of the most recent transition ("grow", "shrink",
+    /// "failure", a "+"-combination, or "revoked"); "" before the first.
+    [[nodiscard]] char const* last_transition_cause() const;
+    /// @brief Convenience wrapper running @c session_main as a dynamically
+    /// joined rank on the calling thread: open_session → session_main(rank)
+    /// → leave_session, absorbing an injected failure (RankKilled) the way
+    /// run_ranked does for static ranks.
+    void run_session(std::function<void(int)> session_main);
+    /// @brief True iff messages carrying @c context belong to a superseded
+    /// membership epoch and must be dropped at delivery. Only the per-epoch
+    /// elastic communicators register their contexts, so everything else
+    /// (derived comms, non-elastic worlds) is never affected.
+    [[nodiscard]] bool context_is_stale(int context) const;
+    /// @}
+
 private:
     int size_;
+    int capacity_;
     NetworkModel model_;
     detail::PayloadPool payload_pool_; ///< must outlive the rings + mailboxes
     std::unique_ptr<detail::RingRegistry> rings_; ///< destroyed after mailboxes
@@ -121,6 +180,29 @@ private:
     std::atomic<chaos::Engine*> chaos_engine_{nullptr};
     std::vector<std::unique_ptr<chaos::Engine>> chaos_engines_; ///< current + superseded
     std::mutex chaos_mutex_;
+
+    /// @name Elastic membership state (null for non-elastic worlds)
+    /// @{
+    std::unique_ptr<detail::ElasticState> elastic_;
+    std::atomic<int> rank_slots_;
+    std::atomic<std::uint64_t> membership_epoch_{0};
+    std::atomic<bool> transition_pending_{false};
+    /// Context id → birth epoch of the epoch-gated communicators; consulted
+    /// (shared-locked) per delivered message, but only in elastic worlds.
+    std::unordered_map<int, std::uint64_t> context_epochs_;
+    mutable std::shared_mutex context_epoch_mutex_;
+    /// @}
+
+    void register_context_epoch(int context, std::uint64_t epoch);
+    /// @name Membership-transition internals (elastic.cpp; callers hold the
+    /// elastic mutex)
+    /// @{
+    void create_rank_slot_locked(int slot);
+    [[nodiscard]] bool needs_transition_locked() const;
+    [[nodiscard]] bool round_complete_locked() const;
+    void request_transition_locked();
+    void perform_transition_locked(int producer);
+    /// @}
 
     friend class Comm;
     void register_comm(Comm* comm);

@@ -8,6 +8,7 @@
 #include "xmpi/chaos.hpp"     // IWYU pragma: export
 #include "xmpi/comm.hpp"      // IWYU pragma: export
 #include "xmpi/datatype.hpp"  // IWYU pragma: export
+#include "xmpi/elastic.hpp"   // IWYU pragma: export
 #include "xmpi/error.hpp"     // IWYU pragma: export
 #include "xmpi/netmodel.hpp"  // IWYU pragma: export
 #include "xmpi/op.hpp"        // IWYU pragma: export

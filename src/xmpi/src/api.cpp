@@ -1179,6 +1179,39 @@ int XMPI_Comm_agree(XMPI_Comm comm, int* flag) {
 }
 /// @}
 
+/// @name Elastic worlds (dynamic membership)
+///
+/// session_leave / epoch_sync are profiled inside the World entry points
+/// (not via count_call here) so chaos windows also cover direct World-level
+/// use; Membership_* are pure reads.
+/// @{
+int XMPI_Session_leave() {
+    xmpi::detail::current_world().leave_session();
+    return XMPI_SUCCESS;
+}
+
+int XMPI_Epoch_sync(XMPI_Comm* newcomm) {
+    *newcomm = xmpi::detail::current_world().epoch_sync();
+    return XMPI_SUCCESS;
+}
+
+int XMPI_Membership_epoch(XMPI_Comm comm, std::uint64_t* epoch) {
+    if (comm == XMPI_COMM_NULL) {
+        return XMPI_ERR_COMM;
+    }
+    *epoch = comm->world().membership_epoch();
+    return XMPI_SUCCESS;
+}
+
+int XMPI_Membership_changed(XMPI_Comm comm, int* flag) {
+    if (comm == XMPI_COMM_NULL) {
+        return XMPI_ERR_COMM;
+    }
+    *flag = (comm->epoch_stale() || comm->world().membership_pending()) ? 1 : 0;
+    return XMPI_SUCCESS;
+}
+/// @}
+
 /// @name One-sided communication (RMA)
 /// @{
 namespace {

@@ -111,6 +111,10 @@ int Comm::comm_rank_of_world_rank(int world_rank) const {
     return it->second;
 }
 
+bool Comm::epoch_stale() const {
+    return epoch_gated_ && world_->membership_epoch() != birth_epoch_;
+}
+
 bool Comm::any_member_failed() const {
     if (!world_->any_failed()) {
         return false;

@@ -160,6 +160,19 @@ void Mailbox::enqueue_unexpected_locked(Message&& message) {
 }
 
 void Mailbox::deliver_locked(Message&& message) {
+    // Elastic worlds: a message published on a superseded epoch's
+    // communicator must never match a receive of the current epoch. The
+    // per-epoch comms register their contexts, so one map lookup decides;
+    // non-elastic worlds skip this on a single branch.
+    if (world_->elastic_enabled() && world_->context_is_stale(message.env.context)) {
+        counters_->stale_epoch_drops.fetch_add(1, std::memory_order_relaxed);
+        if (message.sync != nullptr) {
+            // Never leave a synchronous-mode sender parked on a message that
+            // is being dropped; its epoch-stale comm reports the error.
+            message.sync->signal();
+        }
+        return;
+    }
     if (auto ticket = take_matching_posted_locked(message.env)) {
         complete_from_message_locked(*ticket, std::move(message));
     } else {
@@ -228,7 +241,8 @@ bool Mailbox::drain_rings_locked() {
     }
     bool progressed = false;
     RingRegistry& rings = world_->rings();
-    for (int src = 0; src < world_size_; ++src) {
+    int const scan_bound = world_size_.load(std::memory_order_acquire);
+    for (int src = 0; src < scan_bound; ++src) {
         PeerRing* const ring = rings.peek(src, rank_);
         if (ring != nullptr) {
             progressed |= drain_one_ring_locked(*ring);

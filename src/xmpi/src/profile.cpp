@@ -43,6 +43,8 @@ Snapshot snapshot_counters(RankCounters const& counters) {
     snapshot.rma_bytes_zero_copied =
         counters.rma_bytes_zero_copied.load(std::memory_order_relaxed);
     snapshot.rma_epoch_waits = counters.rma_epoch_waits.load(std::memory_order_relaxed);
+    snapshot.stale_epoch_drops = counters.stale_epoch_drops.load(std::memory_order_relaxed);
+    snapshot.epoch_transitions = counters.epoch_transitions.load(std::memory_order_relaxed);
     return snapshot;
 }
 
@@ -55,7 +57,7 @@ Snapshot my_snapshot() {
 
 Snapshot snapshot_of(int world_rank) {
     auto& world = detail::current_world();
-    if (world_rank < 0 || world_rank >= world.size()) {
+    if (world_rank < 0 || world_rank >= world.rank_slots()) {
         throw UsageError("profile::snapshot_of: world rank out of range");
     }
     return snapshot_counters(world.counters(world_rank));
@@ -68,7 +70,7 @@ void reset_mine() {
 
 void reset_all() {
     auto& world = detail::current_world();
-    for (int rank = 0; rank < world.size(); ++rank) {
+    for (int rank = 0; rank < world.rank_slots(); ++rank) {
         world.counters(rank).reset();
     }
 }
@@ -103,11 +105,14 @@ void set_tracing_enabled(bool enabled) {
 }
 
 void record_span(Span span) {
-    if (span.world_rank < 0) {
-        auto const& context = detail::current_context();
-        if (context.world != nullptr) {
-            span.world_rank = context.world_rank;
-        }
+    auto const& context = detail::current_context();
+    if (span.world_rank < 0 && context.world != nullptr) {
+        span.world_rank = context.world_rank;
+    }
+    // Every span carries the membership epoch it ran under; one relaxed
+    // atomic read, and constant 0 in non-elastic worlds.
+    if (span.epoch == 0 && context.world != nullptr) {
+        span.epoch = context.world->membership_epoch();
     }
     std::lock_guard lock(g_span_mutex);
     g_spans.push_back(span);
@@ -148,6 +153,7 @@ std::string spans_json() {
         json += ", \"bytes_put\": " + std::to_string(span.bytes_put);
         json += ", \"bytes_got\": " + std::to_string(span.bytes_got);
         json += ", \"restarts\": " + std::to_string(span.restarts);
+        json += ", \"epoch\": " + std::to_string(span.epoch);
         json += i + 1 < spans.size() ? "},\n" : "}\n";
     }
     json += "]\n";

@@ -9,6 +9,11 @@
 namespace xmpi::detail {
 
 int check_peer(Comm const& comm, int peer) {
+    // Most specific error first: a superseded elastic epoch is reported as
+    // such even though the transition also revoked the communicator.
+    if (comm.epoch_stale()) {
+        return XMPI_ERR_EPOCH;
+    }
     if (comm.revoked()) {
         return XMPI_ERR_REVOKED;
     }
@@ -442,6 +447,9 @@ int coll_sendrecv(
 }
 
 int check_collective(Comm const& comm) {
+    if (comm.epoch_stale()) {
+        return XMPI_ERR_EPOCH;
+    }
     if (comm.revoked()) {
         return XMPI_ERR_REVOKED;
     }

@@ -385,20 +385,26 @@ struct JsonReader {
     }
 };
 
-[[nodiscard]] Coll seed_coll_from_env() {
-    Coll knobs;
+void seed_coll_from_env(Coll& knobs) {
     knobs.node_size = parse_node_size(std::getenv("XMPI_NODE_SIZE"), knobs.node_size);
     if (char const* const path = std::getenv("XMPI_TUNING_TABLE");
         path != nullptr && *path != '\0') {
         (void)load_tuning_table(path); // warns on failure, falls back to model
     }
-    return knobs;
 }
 
 } // namespace
 
 Coll& coll() {
-    static Coll knobs = seed_coll_from_env();
+    // Seeded in place: the atomic force_algorithm member makes Coll
+    // non-copyable, and the lambda runs exactly once under the static-init
+    // guard.
+    static Coll knobs;
+    static bool const seeded = [] {
+        seed_coll_from_env(knobs);
+        return true;
+    }();
+    (void)seeded;
     return knobs;
 }
 

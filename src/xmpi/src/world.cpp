@@ -7,26 +7,33 @@
 
 #include "kassert/kassert.hpp"
 #include "xmpi/chaos.hpp"
+#include "xmpi/elastic.hpp"
 #include "xmpi/progress.hpp"
 #include "xmpi/win.hpp"
 
 namespace xmpi {
 
-World::World(int size, NetworkModel model)
+World::World(int size, NetworkModel model, int capacity)
     : size_(size),
+      capacity_(capacity > 0 ? capacity : size),
       model_(model),
-      payload_pool_(size) {
+      payload_pool_(capacity > 0 ? capacity : size),
+      rank_slots_(size) {
     KASSERT(size > 0, "a world needs at least one rank");
-    rings_ = std::make_unique<detail::RingRegistry>(size, tuning::transport().ring_capacity);
-    mailboxes_.reserve(static_cast<std::size_t>(size));
-    counters_.reserve(static_cast<std::size_t>(size));
+    KASSERT(capacity == 0 || capacity >= size, "elastic capacity must cover the initial ranks");
+    // The lock-free structures (rings, payload pool, failed flags) cannot be
+    // resized under concurrent readers, so an elastic world allocates them at
+    // capacity up front; only rank slots [0, rank_slots_) ever exist.
+    rings_ = std::make_unique<detail::RingRegistry>(capacity_, tuning::transport().ring_capacity);
+    mailboxes_.resize(static_cast<std::size_t>(capacity_));
+    counters_.resize(static_cast<std::size_t>(capacity_));
     for (int rank = 0; rank < size; ++rank) {
-        counters_.push_back(std::make_unique<profile::RankCounters>());
-        mailboxes_.push_back(std::make_unique<detail::Mailbox>(
-            this, &payload_pool_, counters_.back().get(), rank, size));
+        counters_[static_cast<std::size_t>(rank)] = std::make_unique<profile::RankCounters>();
+        mailboxes_[static_cast<std::size_t>(rank)] = std::make_unique<detail::Mailbox>(
+            this, &payload_pool_, counters_[static_cast<std::size_t>(rank)].get(), rank, size);
     }
-    failed_flags_ = std::make_unique<std::atomic<bool>[]>(static_cast<std::size_t>(size));
-    for (int rank = 0; rank < size; ++rank) {
+    failed_flags_ = std::make_unique<std::atomic<bool>[]>(static_cast<std::size_t>(capacity_));
+    for (int rank = 0; rank < capacity_; ++rank) {
         failed_flags_[static_cast<std::size_t>(rank)].store(false, std::memory_order_relaxed);
     }
     std::vector<int> members(static_cast<std::size_t>(size));
@@ -34,6 +41,25 @@ World::World(int size, NetworkModel model)
         members[static_cast<std::size_t>(rank)] = rank;
     }
     world_comm_ = new Comm(this, std::move(members));
+    if (capacity > 0) {
+        // Elastic world: the world comm is the epoch-0 membership comm. The
+        // elastic state holds its own reference (released with the retired
+        // epochs in ~World), so world_comm() stays valid for the world's
+        // whole lifetime even after it is superseded.
+        elastic_ = std::make_unique<detail::ElasticState>();
+        elastic_->members.assign(static_cast<std::size_t>(capacity_),
+                                 detail::MemberState::unused);
+        for (int rank = 0; rank < size; ++rank) {
+            elastic_->members[static_cast<std::size_t>(rank)] = detail::MemberState::active;
+        }
+        elastic_->next_slot = size;
+        world_comm_->set_epoch_gate(0);
+        register_context_epoch(world_comm_->pt2pt_context(), 0);
+        register_context_epoch(world_comm_->collective_context(), 0);
+        register_context_epoch(world_comm_->nbc_context(), 0);
+        world_comm_->retain();
+        elastic_->current = world_comm_;
+    }
     // A fault plan staged via chaos::arm_next_world() is armed here, before
     // any rank thread exists, so even a rank's first call is injectable.
     chaos::detail::adopt_pending_plan(*this);
@@ -53,6 +79,17 @@ World::~World() {
     // counters, the initiators' buffers): fail whatever is still queued and
     // wait out anything still executing before tearing the world down.
     progress::detail::abandon_world(this);
+    if (elastic_ != nullptr) {
+        // Superseded epoch comms are parked (not released) at each
+        // transition, because aborting operations may still be unwinding
+        // through them; with all rank threads gone, release them now.
+        for (Comm* comm: elastic_->retired) {
+            comm->release();
+        }
+        if (elastic_->current != nullptr) {
+            elastic_->current->release();
+        }
+    }
     world_comm_->release();
 }
 
@@ -84,21 +121,34 @@ void World::mark_failed(int world_rank) {
         // Engine tasks the dead rank queued but never started must not run:
         // they would act for a rank whose stack (and buffers) are gone.
         progress::detail::fail_queued_for_rank(this, world_rank, XMPI_ERR_PROC_FAILED);
+        if (elastic_ != nullptr) {
+            // A failure is a membership transition request like any other;
+            // epoch_sync folds it into the next epoch.
+            transition_pending_.store(true, std::memory_order_release);
+        }
     }
     wake_all();
 }
 
 void World::wake_all() {
-    for (auto& mailbox: mailboxes_) {
-        mailbox->wake();
+    int const slots = rank_slots();
+    for (int rank = 0; rank < slots; ++rank) {
+        mailboxes_[static_cast<std::size_t>(rank)]->wake();
     }
-    std::lock_guard lock(registered_comms_mutex_);
-    for (auto* comm: registered_comms_) {
-        comm->ibarrier_sync().cv.notify_all();
-        comm->ft_sync().cv.notify_all();
+    {
+        std::lock_guard lock(registered_comms_mutex_);
+        for (auto* comm: registered_comms_) {
+            comm->ibarrier_sync().cv.notify_all();
+            comm->ft_sync().cv.notify_all();
+        }
+        for (auto* win: registered_wins_) {
+            win->notify_waiters();
+        }
     }
-    for (auto* win: registered_wins_) {
-        win->notify_waiters();
+    if (elastic_ != nullptr) {
+        // Deliberately without the elastic mutex (wake_all may run under it);
+        // the elastic waits are bounded, so a lost wake only costs a timeout.
+        elastic_->cv.notify_all();
     }
 }
 
@@ -250,6 +300,8 @@ char const* error_string(int error_code) {
             return "RMA access outside the exposed window memory";
         case XMPI_ERR_IN_STATUS:
             return "error code in one or more of the returned statuses";
+        case XMPI_ERR_EPOCH:
+            return "communicator belongs to a superseded membership epoch";
         default:
             return "unknown error";
     }
