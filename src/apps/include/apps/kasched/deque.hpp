@@ -1,0 +1,201 @@
+/// @file deque.hpp
+/// @brief A Chase–Lev-style work-stealing deque living in an RMA window.
+///
+/// Memory layout of the shared window (one per rank, element type
+/// std::uint64_t, created collectively):
+///
+///   slot 0              top     — the steal index (cold end); grows
+///                                 monotonically, advanced only by CAS
+///   slot 1              bottom  — the owner index (hot end); written only
+///                                 by the owning rank
+///   slots 2..2+capacity ring    — task ids; index i lives at 2 + i%capacity
+///
+/// The owner pushes and pops at `bottom`; thieves steal at `top` with a
+/// compare-and-swap that both claims the element and validates the read
+/// (a lost CAS means another thief or the owner's last-element pop won).
+/// `bottom - top < capacity` is enforced at push, so the ring never wraps
+/// onto live elements and a stale slot read is always caught by the CAS.
+///
+/// Every access goes through the window's fetch_op / compare_swap atomics
+/// (xmpi applies them eagerly under the target's per-window apply mutex, so
+/// each one is individually linearizable — strictly stronger than the
+/// memory-order reasoning the classic SMP algorithm needs). Callers manage
+/// the passive-target epochs: the owner keeps a *shared* lock on its own
+/// rank for the whole work phase, thieves take a shared lock on the victim
+/// per attempt — shared throughout, so nobody ever blocks on a lock.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "apps/kasched/task.hpp"
+#include "kamping/named_parameters.hpp"
+#include "kamping/rma.hpp"
+#include "kassert/kassert.hpp"
+
+namespace apps::kasched {
+
+class RmaDeque {
+public:
+    using Window = kamping::Window<std::uint64_t>;
+
+    /// @brief Window slots one rank's deque needs (pass to comm.win_allocate;
+    /// the zeroed window, top = bottom = 0, is the empty deque).
+    [[nodiscard]] static std::size_t storage_slots(std::uint32_t capacity) {
+        return 2 + static_cast<std::size_t>(capacity);
+    }
+
+    /// @brief Zero-initialized backing storage for one rank's deque (pass to
+    /// comm.win_create; top = bottom = 0 is the empty deque). The scheduler
+    /// itself uses win_allocate instead — caller-scoped storage must not
+    /// outlive its scope, which failure unwinding violates (see kasched.cpp).
+    [[nodiscard]] static std::vector<std::uint64_t> make_storage(std::uint32_t capacity) {
+        return std::vector<std::uint64_t>(storage_slots(capacity), 0);
+    }
+
+    RmaDeque(Window& window, std::uint32_t capacity, int self)
+        : win_(&window),
+          capacity_(capacity),
+          self_(self) {
+        KASSERT(capacity_ > 0, "kasched deque: capacity must be positive");
+    }
+
+    /// @name Owner operations (calling rank == deque owner; the caller holds
+    /// a shared lock on its own rank)
+    /// @{
+
+    /// @brief Pushes a task at the hot end. @return false iff the ring is
+    /// full (the caller spills to its local overflow).
+    bool push(TaskId id) {
+        std::uint64_t const b = bottom_cache_;
+        std::uint64_t const t = read(self_, kTop);
+        if (b - t >= capacity_) {
+            return false;
+        }
+        // Slot first, then publish bottom: a thief can only target index b
+        // after it observes bottom > b, and the apply mutex orders the two.
+        write(self_, slot_of(b), id);
+        write(self_, kBottom, b + 1);
+        bottom_cache_ = b + 1;
+        return true;
+    }
+
+    /// @brief Pops from the hot end. @return no_task when empty or when a
+    /// thief won the race for the last element.
+    TaskId pop() {
+        std::uint64_t const b_old = bottom_cache_;
+        if (read(self_, kTop) >= b_old) {
+            return no_task; // empty
+        }
+        std::uint64_t const b = b_old - 1;
+        write(self_, kBottom, b); // publish the taken index
+        std::uint64_t const t = read(self_, kTop); // re-read *after* publishing
+        if (t < b) {
+            // More than one element: index b is unreachable for thieves now
+            // that bottom == b is visible (top is monotone, so any thief
+            // aiming at b would have pushed top to b before our re-read).
+            bottom_cache_ = b;
+            return static_cast<TaskId>(read(self_, slot_of(b)));
+        }
+        if (t == b) {
+            // Last element: the top CAS decides between us and a thief.
+            bool const won = cas(self_, kTop, t, t + 1);
+            TaskId const id = won ? static_cast<TaskId>(read(self_, slot_of(b))) : no_task;
+            write(self_, kBottom, t + 1);
+            bottom_cache_ = t + 1;
+            return id;
+        }
+        // t > b: a thief emptied the deque between our reads; resynchronize.
+        write(self_, kBottom, t);
+        bottom_cache_ = t;
+        return no_task;
+    }
+
+    /// @brief Owner-side size (one remote read; bottom is owner-local).
+    [[nodiscard]] std::uint64_t size() {
+        std::uint64_t const t = read(self_, kTop);
+        return bottom_cache_ > t ? bottom_cache_ - t : 0;
+    }
+    /// @}
+
+    /// @name Thief operations (the caller holds a shared lock on @c victim)
+    /// @{
+
+    /// @brief Size estimate of a victim's deque (two atomic reads; the
+    /// two-choice victim selection probes this).
+    [[nodiscard]] std::uint64_t size_of(int victim) {
+        std::uint64_t const t = read(victim, kTop);
+        std::uint64_t const b = read(victim, kBottom);
+        return b > t ? b - t : 0;
+    }
+
+    /// @brief One steal attempt at the cold end. @return the stolen task, or
+    /// no_task when the victim looked empty or the claiming CAS lost (another
+    /// thief, or the owner's last-element pop). A lost CAS also invalidates
+    /// the speculative slot read — the candidate is simply dropped.
+    TaskId steal_from(int victim) {
+        std::uint64_t const t = read(victim, kTop);
+        std::uint64_t const b = read(victim, kBottom);
+        if (t >= b) {
+            return no_task;
+        }
+        auto const candidate = static_cast<TaskId>(read(victim, slot_of(t)));
+        if (cas(victim, kTop, t, t + 1)) {
+            return candidate;
+        }
+        return no_task;
+    }
+    /// @}
+
+    [[nodiscard]] std::uint32_t capacity() const { return capacity_; }
+
+private:
+    static constexpr std::ptrdiff_t kTop = 0;
+    static constexpr std::ptrdiff_t kBottom = 1;
+
+    [[nodiscard]] std::ptrdiff_t slot_of(std::uint64_t index) const {
+        return 2 + static_cast<std::ptrdiff_t>(index % capacity_);
+    }
+
+    /// @brief Atomic read: fetch_op adding 0 (the in-process idiom for
+    /// MPI_Get_accumulate with MPI_NO_OP).
+    std::uint64_t read(int target, std::ptrdiff_t slot) {
+        win_->fetch_op(
+            kamping::send_buf(std::uint64_t{0}), kamping::target_rank(target),
+            kamping::target_disp(slot), kamping::op(std::plus<>{}),
+            kamping::recv_buf(fetched_));
+        return fetched_[0];
+    }
+
+    /// @brief Atomic overwrite: fetch_op with a replace operator, fetched
+    /// value discarded.
+    void write(int target, std::ptrdiff_t slot, std::uint64_t value) {
+        win_->fetch_op(
+            kamping::send_buf(value), kamping::target_rank(target), kamping::target_disp(slot),
+            kamping::op(
+                [](std::uint64_t in, std::uint64_t) { return in; }, kamping::ops::commutative));
+    }
+
+    /// @brief Atomic compare-and-swap. @return true iff the swap took place
+    /// (the fetched value equalled @c expected).
+    bool cas(int target, std::ptrdiff_t slot, std::uint64_t expected, std::uint64_t desired) {
+        win_->compare_swap(
+            kamping::send_buf(desired), kamping::compare_buf(expected),
+            kamping::target_rank(target), kamping::target_disp(slot),
+            kamping::recv_buf(fetched_));
+        return fetched_[0] == expected;
+    }
+
+    Window* win_;
+    std::uint32_t capacity_;
+    int self_;
+    /// Owner's cached bottom (the owner is its only writer). Starts at 0 ==
+    /// the freshly zeroed storage; a deque is rebuilt per membership epoch.
+    std::uint64_t bottom_cache_ = 0;
+    /// Scratch landing slot for fetched values (a deque is a per-rank
+    /// object; only its owning thread touches this).
+    std::array<std::uint64_t, 1> fetched_{};
+};
+
+} // namespace apps::kasched

@@ -1,0 +1,99 @@
+/// @file ledger.hpp
+/// @brief The replicated task ledger: every rank's record of which tasks
+/// have completed, and the reproducible checksum that proves the replicas
+/// agree.
+///
+/// The ledger is what makes rank death recoverable without a central
+/// server: completions are broadcast in batches (NBX rounds, see
+/// scheduler.hpp), so every rank holds a near-current replica. When a rank
+/// dies, the survivors OR-merge their replicas (an allreduce over the done
+/// bitmap) — any completion at least one survivor witnessed becomes global —
+/// and every task still pending afterwards is re-queued under the new
+/// membership. A task is therefore re-executed iff *no survivor* saw it
+/// complete; the ledger never records a completion twice (mark_done is
+/// idempotent and reports duplicates).
+///
+/// The checksum fixes the summation order with the fixed-binary-tree kernel
+/// shared with the ReproducibleReduce plugin (apps/repro_sum.hpp): each rank
+/// computes it purely locally over its replica, and agreement is checked
+/// with a MIN/MAX allreduce pair — bit-identical for every p and every
+/// completion arrival order.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/kasched/task.hpp"
+#include "apps/repro_sum.hpp"
+#include "kassert/kassert.hpp"
+
+namespace apps::kasched {
+
+class Ledger {
+public:
+    explicit Ledger(std::uint64_t n_tasks) : done_(n_tasks, 0) {}
+
+    [[nodiscard]] std::uint64_t size() const { return done_.size(); }
+    [[nodiscard]] std::uint64_t done_count() const { return done_count_; }
+    [[nodiscard]] bool is_done(TaskId id) const { return done_[id] != 0; }
+
+    /// @brief Records a completion. @return false iff it was already
+    /// recorded (a duplicate — only possible through failure recovery, and
+    /// counted by the caller as such).
+    bool mark_done(TaskId id) {
+        KASSERT(id < done_.size(), "ledger: task id out of range");
+        if (done_[id] != 0) {
+            return false;
+        }
+        done_[id] = 1;
+        ++done_count_;
+        return true;
+    }
+
+    /// @brief The replica's raw done bitmap (one byte per task), the payload
+    /// of the recovery OR-merge.
+    [[nodiscard]] std::vector<std::uint8_t> const& bitmap() const { return done_; }
+
+    /// @brief OR-merges another replica's bitmap into this one (recovery:
+    /// a completion any survivor witnessed becomes global).
+    void merge(std::vector<std::uint8_t> const& other) {
+        KASSERT(other.size() == done_.size(), "ledger: replica size mismatch");
+        std::uint64_t count = 0;
+        for (std::size_t i = 0; i < done_.size(); ++i) {
+            done_[i] = static_cast<std::uint8_t>(done_[i] | other[i]);
+            count += done_[i];
+        }
+        done_count_ = count;
+    }
+
+    /// @brief All task ids still pending in this replica, in id order (the
+    /// recovery scan that feeds re-queueing).
+    [[nodiscard]] std::vector<TaskId> pending() const {
+        std::vector<TaskId> ids;
+        ids.reserve(done_.size() - done_count_);
+        for (std::size_t i = 0; i < done_.size(); ++i) {
+            if (done_[i] == 0) {
+                ids.push_back(static_cast<TaskId>(i));
+            }
+        }
+        return ids;
+    }
+
+    /// @brief Reproducible replica checksum: the fixed-tree sum of the
+    /// contributions of all completed tasks. Purely local; bit-identical
+    /// across ranks iff the replicas agree, independent of p and of the
+    /// order completions arrived in.
+    [[nodiscard]] double checksum() const {
+        std::vector<double> values(done_.size());
+        for (std::size_t i = 0; i < done_.size(); ++i) {
+            values[i] = done_[i] != 0 ? contribution(static_cast<TaskId>(i)) : 0.0;
+        }
+        return repro::fixed_tree_sum(values.data(), values.size());
+    }
+
+private:
+    std::vector<std::uint8_t> done_;
+    std::uint64_t done_count_ = 0;
+};
+
+} // namespace apps::kasched

@@ -1,0 +1,60 @@
+/// @file scheduler.hpp
+/// @brief kasched: a Slurm-inspired distributed work-stealing task scheduler.
+///
+/// Each rank owns a Chase–Lev-style deque in an RMA window (deque.hpp);
+/// idle ranks steal from the cold end via passive-target shared locks with
+/// randomized two-choice victim selection and exponential backoff. Task
+/// submission and completion notifications flow through the sparse NBX
+/// alltoall plugin, and a replicated reproducible-checksummed ledger
+/// (ledger.hpp) makes rank death recoverable: the whole run lives inside
+/// `comm.with_elastic`, so a chaos-injected kill rides the membership-epoch
+/// shrink path and the survivors re-queue every task no survivor saw
+/// complete. See DESIGN.md ("kasched architecture") for the full protocol.
+#pragma once
+
+#include <cstdint>
+
+#include "apps/kasched/deque.hpp"
+#include "apps/kasched/ledger.hpp"
+#include "apps/kasched/task.hpp"
+#include "kamping/plugin/plugins.hpp"
+
+namespace apps::kasched {
+
+/// @brief Scheduler tuning knobs. Defaults suit tests; the bench scales
+/// n_tasks/deque_capacity up to the million-task headline run.
+struct Config {
+    std::uint64_t n_tasks = 1 << 16;        ///< total tasks (dense ids 0..n-1)
+    std::uint32_t deque_capacity = 1 << 14; ///< ring slots per rank's window
+    std::uint32_t tasks_per_round = 4096;   ///< executions between NBX rounds
+    std::uint32_t work_per_task = 16;       ///< synthetic work scale (task.hpp)
+    int skew_shares = 2;        ///< extra placement shares folded onto rank 0
+    std::uint32_t max_failed_steals = 8;    ///< starved-phase exit threshold
+    std::uint64_t seed = 1;     ///< victim-selection RNG seed (deterministic)
+};
+
+/// @brief Per-rank outcome of a scheduler run. Counter fields mirror the
+/// xmpi profile counters (profile::RankCounters::sched_*), which tests and
+/// the bench read via profile snapshots.
+struct Stats {
+    std::uint64_t submitted = 0;         ///< ids this rank generated
+    std::uint64_t tasks_executed = 0;    ///< tasks this rank ran
+    std::uint64_t steals_attempted = 0;  ///< two-choice probes issued
+    std::uint64_t steals_succeeded = 0;  ///< probes that claimed a task
+    std::uint64_t requeued_after_failure = 0; ///< pending tasks re-queued on resync
+    std::uint64_t duplicate_completions = 0;  ///< mark_done duplicates observed
+    std::uint64_t rounds = 0;            ///< NBX/allreduce rounds entered
+    std::uint64_t resyncs = 0;           ///< membership epochs ridden
+    std::uint64_t done_tasks = 0;        ///< final ledger completion count
+    double checksum = 0.0;               ///< final reproducible ledger checksum
+    bool checksum_converged = false;     ///< checksum bit-identical on all ranks
+};
+
+/// @brief Runs the scheduler over @c config.n_tasks tasks on @c comm until
+/// every task is completed (riding membership changes via with_elastic).
+/// Collective; every rank of the communicator must call it. @return this
+/// rank's statistics; Stats::done_tasks == n_tasks and checksum_converged on
+/// every rank iff the run (including any recovery) conserved the task set.
+Stats run_scheduler(kamping::FullCommunicator& comm, Config const& config);
+
+} // namespace apps::kasched

@@ -1,0 +1,61 @@
+/// @file task.hpp
+/// @brief The kasched task model: tasks are dense integer ids whose payload
+/// is derived deterministically from the id.
+///
+/// A task carries no serialized closure — everything a rank needs to execute
+/// task `id` (its synthetic work and its result contribution) is a pure
+/// function of `id`. That keeps the scheduler's data plane to 8-byte ids
+/// (what the RMA deques and NBX batches move) while still modelling a
+/// Slurm-like job mix: per-task work varies with the id, and the initial
+/// placement is deliberately skewed so idle ranks must steal.
+#pragma once
+
+#include <cstdint>
+
+namespace apps::kasched {
+
+/// @brief Tasks are dense ids 0..n-1; the sentinel marks "no task".
+using TaskId = std::uint64_t;
+inline constexpr TaskId no_task = ~TaskId{0};
+
+/// @brief splitmix64 finalizer: the one hash used for placement, work
+/// variation, and result contributions, so every rank agrees on all three.
+inline std::uint64_t task_hash(std::uint64_t x) {
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+}
+
+/// @brief Home rank of a task among @c n_ranks live ranks. @c skew_shares
+/// extra hash shares fold onto rank 0, giving it a deliberately oversized
+/// queue — the deterministic imbalance that guarantees work stealing has
+/// something to steal. Every rank evaluates this identically, which is what
+/// makes the assignment recoverable: after a membership change the survivors
+/// re-derive the full placement from (id, new size) alone.
+inline int owner_of(TaskId id, int n_ranks, int skew_shares) {
+    auto const share = static_cast<int>(task_hash(id) % static_cast<std::uint64_t>(n_ranks + skew_shares));
+    return share < n_ranks ? share : 0;
+}
+
+/// @brief The task's contribution to the global result, a double in [0, 1).
+/// Summing contributions through the fixed-tree kernel gives the ledger
+/// checksum every rank must agree on bit-wise.
+inline double contribution(TaskId id) {
+    return static_cast<double>(task_hash(id) >> 11) * 0x1.0p-53;
+}
+
+/// @brief Executes one task: @c work rounds of the hash as synthetic CPU
+/// work (per-task runtime varies with the id so queues drain unevenly).
+/// @return The task's contribution.
+inline double execute(TaskId id, std::uint32_t work) {
+    std::uint64_t state = id;
+    std::uint64_t const rounds = 1 + task_hash(id) % (2 * work + 1);
+    for (std::uint64_t i = 0; i < rounds; ++i) {
+        state = task_hash(state);
+    }
+    // The spin result feeds nothing, but must not be optimized away.
+    return state == 0 ? 0.0 : contribution(id);
+}
+
+} // namespace apps::kasched

@@ -127,6 +127,25 @@ public:
         });
         return Window<T>(win, comm_);
     }
+    /// @brief Collective: creates a window of @c count zero-initialized
+    /// elements per rank whose regions are allocated and *owned by the
+    /// window itself* (MPI_Win_allocate): the memory lives until the last
+    /// member drops its window reference, never with a caller scope. Use
+    /// this instead of win_create whenever ranks can fail mid-epoch — a
+    /// failed rank's stack unwind then cannot dangle a peer's in-flight
+    /// atomic. Displacements are in elements (disp_unit = sizeof(T)).
+    template <typename T>
+    [[nodiscard]] auto win_allocate(std::size_t count) const {
+        internal::CollectivePlan<internal::plan_ops::win_allocate> plan(comm_);
+        XMPI_Win win = XMPI_WIN_NULL;
+        void* base = nullptr;
+        plan.dispatch("XMPI_Win_allocate", [&] {
+            return XMPI_Win_allocate(
+                static_cast<XMPI_Aint>(count * sizeof(T)), static_cast<int>(sizeof(T)), comm_,
+                &base, &win);
+        });
+        return Window<T>(win, comm_);
+    }
     /// @}
 
     /// @name Collectives

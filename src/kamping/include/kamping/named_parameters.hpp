@@ -339,6 +339,13 @@ inline auto target_rank(int rank) {
 inline auto target_disp(std::ptrdiff_t disp) {
     return ValueParameter<ParameterType::target_disp, std::ptrdiff_t>{disp};
 }
+/// @brief Named parameter: the expected value of a one-sided
+/// compare-and-swap (the single element the target is compared against).
+/// Copied — one element, so the copy is the zero-overhead choice.
+template <typename T>
+auto compare_buf(T value) {
+    return ValueParameter<ParameterType::compare_buf, T>{std::move(value)};
+}
 
 /// @brief Named parameter: request the receive status as an out-value
 /// (owning: part of the result; referencing: written through).

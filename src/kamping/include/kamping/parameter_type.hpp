@@ -32,6 +32,7 @@ enum class ParameterType : std::uint8_t {
     status,        ///< receive status out-parameter
     target_rank,   ///< target rank of a one-sided (RMA) operation
     target_disp,   ///< displacement into the target's window (RMA)
+    compare_buf,   ///< expected value of an RMA compare-and-swap
 };
 
 /// @brief How a parameter's data flows between caller and library.

@@ -136,10 +136,13 @@ inline constexpr OpDescriptor sparse_alltoallv{"sparse_alltoallv"};
 inline constexpr OpDescriptor ulfm_recovery{"ulfm_recovery"};
 inline constexpr OpDescriptor elastic_sync{"elastic_sync"};
 inline constexpr OpDescriptor win_create{"win_create"};
+inline constexpr OpDescriptor win_allocate{"win_allocate"};
 inline constexpr OpDescriptor win_free{"win_free"};
 inline constexpr OpDescriptor put{"put"};
 inline constexpr OpDescriptor get{"get"};
 inline constexpr OpDescriptor accumulate{"accumulate"};
+inline constexpr OpDescriptor fetch_op{"fetch_op"};
+inline constexpr OpDescriptor compare_swap{"compare_swap"};
 inline constexpr OpDescriptor win_fence{"win_fence"};
 inline constexpr OpDescriptor win_lock{"win_lock"};
 inline constexpr OpDescriptor win_unlock{"win_unlock"};

@@ -19,11 +19,16 @@
 /// This is faster than gather + local reduce + bcast (it moves O(p log n)
 /// partials instead of n elements) while producing bit-identical results for
 /// every p — verified in tests/bench by sweeping p with fixed input.
+///
+/// The tree kernel itself (decompose / tree_reduce / stitch) lives in
+/// apps/repro_sum.hpp, shared with the kasched task-ledger checksum; this
+/// plugin contributes the distributed choreography around it.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "apps/repro_sum.hpp"
 #include "kamping/error.hpp"
 #include "kamping/mpi_datatype.hpp"
 #include "kamping/plugin/plugin_helpers.hpp"
@@ -59,23 +64,12 @@ public:
 
         // Decompose [offset, offset+local_size) into maximal aligned
         // power-of-two subtrees and reduce each one locally in tree order.
-        std::vector<Partial<T>> partials;
-        std::uint64_t lo = offset;
-        std::uint64_t const hi = offset + local_size;
-        while (lo < hi) {
-            std::uint64_t size = 1;
-            // Largest aligned block starting at lo that fits into [lo, hi).
-            while ((lo % (2 * size)) == 0 && lo + 2 * size <= hi) {
-                size *= 2;
-            }
-            partials.push_back(Partial<T>{
-                lo, size,
-                tree_reduce(local_block.data() + (lo - offset), lo, size, hi, combine)});
-            lo += size;
-        }
+        using Partial = apps::repro::Partial<T>;
+        std::vector<Partial> const partials =
+            apps::repro::decompose(local_block.data(), offset, local_size, combine);
 
         // Gather all partials to rank 0 (variable count of fixed-size PODs).
-        int const my_count = static_cast<int>(partials.size() * sizeof(Partial<T>));
+        int const my_count = static_cast<int>(partials.size() * sizeof(Partial));
         std::vector<int> counts(comm.size());
         XMPI_Gather(
             &my_count, 1, XMPI_INT, counts.data(), 1, XMPI_INT, 0, handle);
@@ -94,77 +88,17 @@ public:
             XMPI_BYTE, 0, handle);
 
         // Rank 0 stitches the subtree results together by evaluating the
-        // remaining top of the fixed tree, then broadcasts.
+        // remaining top of the fixed tree (the gathered stream is sorted by
+        // start index because ranks hold consecutive blocks and gather
+        // preserves rank order), then broadcasts.
         T result{};
         if (comm.rank() == 0) {
-            auto const* all = reinterpret_cast<Partial<T> const*>(gathered.data());
-            std::size_t const n_partials = gathered.size() / sizeof(Partial<T>);
-            std::uint64_t virtual_size = 1;
-            while (virtual_size < total) {
-                virtual_size *= 2;
-            }
-            std::size_t cursor = 0;
-            bool valid = false;
-            result = stitch(all, n_partials, cursor, 0, virtual_size, total, combine, valid);
-            KASSERT(cursor == n_partials, "reproducible reduce consumed a partial twice");
+            auto const* all = reinterpret_cast<Partial const*>(gathered.data());
+            std::size_t const n_partials = gathered.size() / sizeof(Partial);
+            result = apps::repro::stitch_all(all, n_partials, total, combine);
         }
         XMPI_Bcast(&result, 1, mpi_datatype<T>(), 0, handle);
         return result;
-    }
-
-private:
-    template <typename T>
-    struct Partial {
-        std::uint64_t start;
-        std::uint64_t size; // power of two (tree-aligned)
-        T value;
-    };
-
-    /// @brief Reduces an aligned block [start, start+size) in fixed tree
-    /// order; elements at global index >= n (the virtual padding) and beyond
-    /// `hi` do not exist and are skipped structurally, never computed.
-    template <typename T, typename Op>
-    static T tree_reduce(
-        T const* data, std::uint64_t start, std::uint64_t size, std::uint64_t hi, Op combine) {
-        if (size == 1) {
-            return data[0];
-        }
-        std::uint64_t const half = size / 2;
-        T const left = tree_reduce(data, start, half, hi, combine);
-        if (start + half >= hi) {
-            return left;
-        }
-        T const right = tree_reduce(data + half, start + half, half, hi, combine);
-        return combine(left, right);
-    }
-
-    /// @brief Evaluates the fixed tree node [lo, lo+size) on rank 0 from the
-    /// sorted stream of gathered partials (sorted by start index because
-    /// ranks hold consecutive blocks and gather preserves rank order).
-    template <typename T, typename Op>
-    static T stitch(
-        Partial<T> const* partials, std::size_t n_partials, std::size_t& cursor,
-        std::uint64_t lo, std::uint64_t size, std::uint64_t total, Op combine, bool& valid) {
-        if (cursor < n_partials && partials[cursor].start == lo && partials[cursor].size == size) {
-            valid = true;
-            return partials[cursor++].value;
-        }
-        if (lo >= total) {
-            valid = false;
-            return T{};
-        }
-        std::uint64_t const half = size / 2;
-        KASSERT(half >= 1, "stitch descended below a leaf; inconsistent partials");
-        bool left_valid = false;
-        bool right_valid = false;
-        T const left = stitch(partials, n_partials, cursor, lo, half, total, combine, left_valid);
-        T const right =
-            stitch(partials, n_partials, cursor, lo + half, half, total, combine, right_valid);
-        valid = left_valid || right_valid;
-        if (left_valid && right_valid) {
-            return combine(left, right);
-        }
-        return left_valid ? left : right;
     }
 };
 

@@ -12,6 +12,7 @@
 /// communication partners.
 #pragma once
 
+#include <cstdint>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -51,8 +52,24 @@ public:
         // NBX never pre-negotiates counts: receivers discover message sizes
         // by probing, which is this plan's count exchange.
         plan.note_count_exchange();
+        // The round counter only stays in lockstep across ranks while every
+        // exchange runs to completion. A rank failure can interrupt a round
+        // after some ranks entered it and others did not, leaving the
+        // counters divergent on the survivors — and any such interruption
+        // forces a membership-epoch change. Keying the counter by the epoch
+        // restarts every surviving rank from round 0 of the new epoch, so
+        // post-recovery exchanges agree on tags again.
+        std::uint64_t epoch = 0;
+        XMPI_Membership_epoch(handle, &epoch);
+        if (epoch != nbx_epoch_) {
+            nbx_epoch_ = epoch;
+            nbx_round_ = 0;
+        }
         int const round_tag =
-            internal::nbx_tag_base + (nbx_round_++ % internal::nbx_tag_rounds);
+            internal::nbx_tag_base
+            + static_cast<int>(
+                (epoch * 61 + static_cast<std::uint64_t>(nbx_round_++))
+                % internal::nbx_tag_rounds);
 
         // Phase 1: issue all sends in synchronous mode — an Issend completes
         // only when matched, which is what lets NBX detect global quiescence.
@@ -142,9 +159,11 @@ public:
     }
 
 private:
-    /// NBX round counter; advances identically on all ranks because the
-    /// exchange is collective.
+    /// NBX round counter within the current membership epoch. Within one
+    /// epoch every exchange completes collectively, so the counter advances
+    /// identically on all ranks; across epochs it is reset (see above).
     mutable int nbx_round_ = 0;
+    mutable std::uint64_t nbx_epoch_ = 0;
 };
 
 } // namespace kamping::plugin

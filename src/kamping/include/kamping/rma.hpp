@@ -153,6 +153,108 @@ void accumulate_impl(XMPI_Comm comm, XMPI_Win win, Args&&... args) {
     });
 }
 
+/// @brief win.fetch_op(send_buf(v), target_rank(r), op(...), [recv_buf(out)],
+/// [target_disp]). Atomic fetch-and-op on one element: fetches the target
+/// element (into recv_buf when given), then applies `target = op(v, target)`.
+/// Eager like accumulate, so send_buf may be owning (scalars welcome) and the
+/// fetched value is valid on return.
+template <typename T, typename... Args>
+void fetch_op_impl(XMPI_Comm comm, XMPI_Win win, Args&&... args) {
+    KAMPING_PLAN_REQUIRE(
+        (has_parameter_v<ParameterType::send_buf, Args...>), "fetch_op", "send_buf");
+    KAMPING_PLAN_REQUIRE(
+        (has_parameter_v<ParameterType::target_rank, Args...>), "fetch_op", "target_rank");
+    KAMPING_PLAN_REQUIRE((has_parameter_v<ParameterType::op, Args...>), "fetch_op", "op");
+    KAMPING_CHECK_PARAMETERS(
+        Args, "fetch_op", ParameterType::send_buf, ParameterType::target_rank,
+        ParameterType::target_disp, ParameterType::op, ParameterType::recv_buf);
+    CollectivePlan<plan_ops::fetch_op, Args...> plan(comm);
+    auto&& send = ResolveSend{}(plan, args...);
+    static_assert(
+        std::is_same_v<buffer_value_t<decltype(send)>, T>,
+        "the send buffer's element type must match the window's element type");
+    int const target = select_parameter<ParameterType::target_rank>(args...).value;
+    std::ptrdiff_t const disp = get_target_disp(args...);
+    auto&& operation = get_op_parameter(args...);
+    auto activation = operation.template activate<T>();
+    // The fetched element lands directly in caller storage — no result
+    // assembly. Without a recv_buf the fetch goes to a discarded local
+    // (pure atomic update, e.g. a counter bump).
+    T discarded{};
+    T* result = &discarded;
+    if constexpr (has_parameter_v<ParameterType::recv_buf, Args...>) {
+        auto&& recv = select_parameter<ParameterType::recv_buf>(args...);
+        using RecvBuffer = std::remove_cvref_t<decltype(recv)>;
+        static_assert(
+            std::is_same_v<buffer_value_t<RecvBuffer>, T>,
+            "the receive buffer's element type must match the window's element type");
+        static_assert(
+            RecvBuffer::ownership == BufferOwnership::referencing,
+            "fetch_op writes the fetched element straight into caller-owned storage: pass "
+            "recv_buf(lvalue) referencing a variable you keep (an owning or temporary recv_buf "
+            "would discard the fetched value with the wrapper's return)");
+        recv.resize_to(1);
+        result = recv.data();
+    }
+    plan.note_bytes_put(sizeof(T));
+    plan.note_bytes_got(sizeof(T));
+    Dispatch{}(plan, "XMPI_Fetch_and_op", [&] {
+        return XMPI_Fetch_and_op(
+            send.data(), result, mpi_datatype<T>(), target, disp, activation.handle(), win);
+    });
+}
+
+/// @brief win.compare_swap(send_buf(desired), compare_buf(expected),
+/// target_rank(r), [recv_buf(out)], [target_disp]). Atomic compare-and-swap
+/// on one element: fetches the target element (into recv_buf when given) and
+/// stores the desired value iff the fetched element equals the expected one.
+/// The swap succeeded iff the fetched value equals @c expected.
+template <typename T, typename... Args>
+void compare_swap_impl(XMPI_Comm comm, XMPI_Win win, Args&&... args) {
+    KAMPING_PLAN_REQUIRE(
+        (has_parameter_v<ParameterType::send_buf, Args...>), "compare_swap", "send_buf");
+    KAMPING_PLAN_REQUIRE(
+        (has_parameter_v<ParameterType::compare_buf, Args...>), "compare_swap", "compare_buf");
+    KAMPING_PLAN_REQUIRE(
+        (has_parameter_v<ParameterType::target_rank, Args...>), "compare_swap", "target_rank");
+    KAMPING_CHECK_PARAMETERS(
+        Args, "compare_swap", ParameterType::send_buf, ParameterType::compare_buf,
+        ParameterType::target_rank, ParameterType::target_disp, ParameterType::recv_buf);
+    CollectivePlan<plan_ops::compare_swap, Args...> plan(comm);
+    auto&& send = ResolveSend{}(plan, args...);
+    static_assert(
+        std::is_same_v<buffer_value_t<decltype(send)>, T>,
+        "the send buffer's element type must match the window's element type");
+    auto&& compare = select_parameter<ParameterType::compare_buf>(args...);
+    static_assert(
+        std::is_same_v<std::remove_cvref_t<decltype(compare.value)>, T>,
+        "the compare value's type must match the window's element type");
+    int const target = select_parameter<ParameterType::target_rank>(args...).value;
+    std::ptrdiff_t const disp = get_target_disp(args...);
+    T discarded{};
+    T* result = &discarded;
+    if constexpr (has_parameter_v<ParameterType::recv_buf, Args...>) {
+        auto&& recv = select_parameter<ParameterType::recv_buf>(args...);
+        using RecvBuffer = std::remove_cvref_t<decltype(recv)>;
+        static_assert(
+            std::is_same_v<buffer_value_t<RecvBuffer>, T>,
+            "the receive buffer's element type must match the window's element type");
+        static_assert(
+            RecvBuffer::ownership == BufferOwnership::referencing,
+            "compare_swap writes the fetched element straight into caller-owned storage: pass "
+            "recv_buf(lvalue) referencing a variable you keep (an owning or temporary recv_buf "
+            "would discard the fetched value with the wrapper's return)");
+        recv.resize_to(1);
+        result = recv.data();
+    }
+    plan.note_bytes_put(sizeof(T));
+    plan.note_bytes_got(sizeof(T));
+    Dispatch{}(plan, "XMPI_Compare_and_swap", [&] {
+        return XMPI_Compare_and_swap(
+            send.data(), &compare.value, result, mpi_datatype<T>(), target, disp, win);
+    });
+}
+
 } // namespace internal
 
 template <typename T>
@@ -279,6 +381,14 @@ public:
     template <typename... Args>
     void accumulate(Args&&... args) {
         internal::accumulate_impl<T>(comm_, win_, std::forward<Args>(args)...);
+    }
+    template <typename... Args>
+    void fetch_op(Args&&... args) {
+        internal::fetch_op_impl<T>(comm_, win_, std::forward<Args>(args)...);
+    }
+    template <typename... Args>
+    void compare_swap(Args&&... args) {
+        internal::compare_swap_impl<T>(comm_, win_, std::forward<Args>(args)...);
     }
     /// @}
 

@@ -385,6 +385,15 @@ inline constexpr int XMPI_LOCK_EXCLUSIVE = xmpi::LOCK_EXCLUSIVE;
 /// Displacements passed to the access functions are scaled by @c disp_unit.
 int XMPI_Win_create(
     void* base, XMPI_Aint size, int disp_unit, XMPI_Comm comm, XMPI_Win* win);
+/// @brief Collective: like XMPI_Win_create, but the library allocates each
+/// rank's zero-initialized region and owns it for the window's whole
+/// lifetime — the region is freed only when the *last* member (or survivor)
+/// drops its window reference. Prefer this over exposing scope-local storage
+/// whenever the communicator can lose members mid-epoch: a peer's in-flight
+/// atomic can never dangle on stack memory that unwound with a kill.
+/// @c baseptr receives this rank's region (as void*, MPI-style).
+int XMPI_Win_allocate(
+    XMPI_Aint size, int disp_unit, XMPI_Comm comm, void* baseptr, XMPI_Win* win);
 /// @brief Collective: destroys the window (barrier, then drop reference).
 int XMPI_Win_free(XMPI_Win* win);
 
@@ -405,6 +414,22 @@ int XMPI_Accumulate(
     void const* origin_addr, int origin_count, XMPI_Datatype origin_datatype, int target_rank,
     XMPI_Aint target_disp, int target_count, XMPI_Datatype target_datatype, XMPI_Op op,
     XMPI_Win win);
+/// @brief Atomic fetch-and-op of one element: fetches the target element
+/// into @c result_addr, then applies `target = op(origin, target)`. Applied
+/// eagerly — the fetched value is valid on return (MPI_Fetch_and_op plus the
+/// flush the standard requires, collapsed to the in-process essence).
+/// Requires a contiguous datatype. An epoch towards @c target_rank must be
+/// open (fence, or a lock on the target).
+int XMPI_Fetch_and_op(
+    void const* origin_addr, void* result_addr, XMPI_Datatype datatype, int target_rank,
+    XMPI_Aint target_disp, XMPI_Op op, XMPI_Win win);
+/// @brief Atomic compare-and-swap of one element: fetches the target element
+/// into @c result_addr and, iff it byte-wise equals @c compare_addr, stores
+/// @c origin_addr. Eager like XMPI_Fetch_and_op; the swap succeeded iff the
+/// fetched value equals the compare value. Requires a contiguous datatype.
+int XMPI_Compare_and_swap(
+    void const* origin_addr, void const* compare_addr, void* result_addr,
+    XMPI_Datatype datatype, int target_rank, XMPI_Aint target_disp, XMPI_Win win);
 
 /// @brief Active-target synchronization: drains the calling rank's pending
 /// ops and barriers over the window's communicator. With failed ranks the

@@ -58,10 +58,13 @@ enum class Call : int {
     comm_shrink,
     comm_agree,
     win_create,
+    win_allocate,
     win_free,
     put,
     get,
     accumulate,
+    fetch_and_op,
+    compare_and_swap,
     win_fence,
     win_lock,
     win_unlock,
@@ -131,8 +134,16 @@ struct RankCounters {
     std::atomic<std::uint64_t> rma_puts{0};         ///< puts initiated (excl. PROC_NULL no-ops)
     std::atomic<std::uint64_t> rma_gets{0};         ///< gets initiated (excl. PROC_NULL no-ops)
     std::atomic<std::uint64_t> rma_accumulates{0};  ///< accumulates applied
+    std::atomic<std::uint64_t> rma_atomics{0};      ///< fetch_and_op + compare_and_swap applied
     std::atomic<std::uint64_t> rma_bytes_zero_copied{0}; ///< RMA bytes moved without staging
     std::atomic<std::uint64_t> rma_epoch_waits{0};  ///< fences + blocking lock acquisitions
+    /// @}
+    /// @name Scheduler counters (see apps/kasched; bumped by the app layer)
+    /// @{
+    std::atomic<std::uint64_t> sched_steals_attempted{0}; ///< remote steal probes issued
+    std::atomic<std::uint64_t> sched_steals_succeeded{0}; ///< probes that claimed a task
+    std::atomic<std::uint64_t> sched_tasks_executed{0};   ///< tasks this rank ran to completion
+    std::atomic<std::uint64_t> sched_requeue_after_failure{0}; ///< tasks re-queued off a dead owner
     /// @}
     /// @name Elastic-world counters (see elastic.hpp)
     /// @{
@@ -164,8 +175,13 @@ struct RankCounters {
         rma_puts.store(0, std::memory_order_relaxed);
         rma_gets.store(0, std::memory_order_relaxed);
         rma_accumulates.store(0, std::memory_order_relaxed);
+        rma_atomics.store(0, std::memory_order_relaxed);
         rma_bytes_zero_copied.store(0, std::memory_order_relaxed);
         rma_epoch_waits.store(0, std::memory_order_relaxed);
+        sched_steals_attempted.store(0, std::memory_order_relaxed);
+        sched_steals_succeeded.store(0, std::memory_order_relaxed);
+        sched_tasks_executed.store(0, std::memory_order_relaxed);
+        sched_requeue_after_failure.store(0, std::memory_order_relaxed);
         stale_epoch_drops.store(0, std::memory_order_relaxed);
         epoch_transitions.store(0, std::memory_order_relaxed);
     }
@@ -194,8 +210,13 @@ struct Snapshot {
     std::uint64_t rma_puts = 0;
     std::uint64_t rma_gets = 0;
     std::uint64_t rma_accumulates = 0;
+    std::uint64_t rma_atomics = 0;
     std::uint64_t rma_bytes_zero_copied = 0;
     std::uint64_t rma_epoch_waits = 0;
+    std::uint64_t sched_steals_attempted = 0;
+    std::uint64_t sched_steals_succeeded = 0;
+    std::uint64_t sched_tasks_executed = 0;
+    std::uint64_t sched_requeue_after_failure = 0;
     std::uint64_t stale_epoch_drops = 0;
     std::uint64_t epoch_transitions = 0;
 
@@ -214,6 +235,9 @@ struct Snapshot {
 
 /// @name Current-world convenience accessors (see World for the storage)
 /// @{
+/// @brief Live counters of the calling rank in the current world. The
+/// scheduler (apps/kasched) bumps its sched_* counters through this.
+RankCounters& my_counters();
 /// @brief Snapshot of the calling rank's counters in the current world.
 Snapshot my_snapshot();
 /// @brief Snapshot of a given world rank's counters in the current world.

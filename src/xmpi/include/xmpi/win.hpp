@@ -90,6 +90,13 @@ public:
     /// @brief Publishes the calling rank's exposed region (win_create only;
     /// the creation barrier orders it before any remote access).
     void expose(int comm_rank, void* base, std::size_t bytes, int disp_unit);
+    /// @brief Allocates a zero-initialized *library-owned* region for
+    /// @c comm_rank and exposes it (win_allocate only). Owned regions live
+    /// exactly as long as this Win object — until the last member dropped
+    /// its reference — so a remote atomic can never dangle on storage that
+    /// unwound with a failed member's stack (the hazard of exposing
+    /// caller-scoped memory under ULFM kills).
+    void* allocate_region(int comm_rank, std::size_t bytes, int disp_unit);
     [[nodiscard]] RankMemory const& memory_of(int comm_rank) const {
         return ranks_[static_cast<std::size_t>(comm_rank)];
     }
@@ -108,6 +115,22 @@ public:
         void const* origin_addr, std::size_t origin_count, Datatype& origin_type, int target,
         std::ptrdiff_t target_disp, std::size_t target_count, Datatype& target_type,
         Op const& op);
+    /// @brief Atomic read-modify-write of one element: fetches the target
+    /// value into @c result_addr, then applies `target = op(origin, target)`,
+    /// all under the target's apply mutex. Eager like accumulate — the
+    /// fetched value is valid on return (MPI_Fetch_and_op + flush collapsed
+    /// to the in-process essence). Requires a contiguous datatype.
+    int fetch_and_op(
+        void const* origin_addr, void* result_addr, Datatype& datatype, int target,
+        std::ptrdiff_t target_disp, Op const& op);
+    /// @brief Atomic compare-and-swap of one element: fetches the target
+    /// value into @c result_addr and, iff it equals @c compare_addr
+    /// byte-wise, stores @c origin_addr — under the target's apply mutex,
+    /// valid on return. The CAS succeeded iff the fetched value equals the
+    /// compare value. Requires a contiguous datatype.
+    int compare_and_swap(
+        void const* origin_addr, void const* compare_addr, void* result_addr,
+        Datatype& datatype, int target, std::ptrdiff_t target_disp);
     /// @}
 
     /// @name Synchronization
@@ -181,6 +204,7 @@ private:
 
     Comm* comm_;                        ///< retained
     std::vector<RankMemory> ranks_;     ///< slot i written by rank i pre-barrier
+    std::vector<std::vector<std::byte>> owned_; ///< win_allocate regions, same slot discipline
     std::vector<char> fence_open_;      ///< per-rank, touched only by the owner
     std::vector<std::vector<PendingOp>> pending_; ///< per-origin, owner-only
     std::vector<TargetLock> locks_;     ///< under mutex_
@@ -195,6 +219,12 @@ namespace detail {
 /// @brief Collective window creation over @c comm (see Win). On success
 /// every member holds one reference to the same Win in @c *win.
 int win_create(void* base, std::size_t bytes, int disp_unit, Comm& comm, Win** win);
+
+/// @brief Collective window creation with library-owned regions: each
+/// member's zero-initialized region is allocated inside the Win and freed
+/// with it (see Win::allocate_region). @c *baseptr receives the caller's
+/// region.
+int win_allocate(std::size_t bytes, int disp_unit, Comm& comm, void** baseptr, Win** win);
 
 /// @brief Collective window destruction: barrier, then drop one reference.
 int win_free(Win& win);

@@ -1250,6 +1250,25 @@ int XMPI_Win_create(void* base, XMPI_Aint size, int disp_unit, XMPI_Comm comm, X
     return xmpi::detail::win_create(base, static_cast<std::size_t>(size), disp_unit, *comm, win);
 }
 
+int XMPI_Win_allocate(
+    XMPI_Aint size, int disp_unit, XMPI_Comm comm, void* baseptr, XMPI_Win* win) {
+    count_call(xmpi::profile::Call::win_allocate);
+    if (comm == XMPI_COMM_NULL) {
+        return XMPI_ERR_COMM;
+    }
+    if (size < 0) {
+        return XMPI_ERR_ARG;
+    }
+    if (disp_unit <= 0) {
+        return XMPI_ERR_DISP;
+    }
+    if (baseptr == nullptr || win == nullptr) {
+        return XMPI_ERR_ARG;
+    }
+    return xmpi::detail::win_allocate(
+        static_cast<std::size_t>(size), disp_unit, *comm, static_cast<void**>(baseptr), win);
+}
+
 int XMPI_Win_free(XMPI_Win* win) {
     count_call(xmpi::profile::Call::win_free);
     if (win == nullptr || *win == XMPI_WIN_NULL) {
@@ -1315,6 +1334,42 @@ int XMPI_Accumulate(
     return win->accumulate(
         origin_addr, static_cast<std::size_t>(origin_count), *origin_datatype, target_rank,
         target_disp, static_cast<std::size_t>(target_count), *target_datatype, *op);
+}
+
+int XMPI_Fetch_and_op(
+    void const* origin_addr, void* result_addr, XMPI_Datatype datatype, int target_rank,
+    XMPI_Aint target_disp, XMPI_Op op, XMPI_Win win) {
+    count_call(xmpi::profile::Call::fetch_and_op);
+    if (int const err = check_rma_args(datatype, datatype, 1, 1, win); err != XMPI_SUCCESS) {
+        return err;
+    }
+    if (op == XMPI_OP_NULL) {
+        return XMPI_ERR_OP;
+    }
+    if (result_addr == nullptr) {
+        return XMPI_ERR_BUFFER;
+    }
+    if (target_rank == XMPI_PROC_NULL) {
+        return XMPI_SUCCESS;
+    }
+    return win->fetch_and_op(origin_addr, result_addr, *datatype, target_rank, target_disp, *op);
+}
+
+int XMPI_Compare_and_swap(
+    void const* origin_addr, void const* compare_addr, void* result_addr, XMPI_Datatype datatype,
+    int target_rank, XMPI_Aint target_disp, XMPI_Win win) {
+    count_call(xmpi::profile::Call::compare_and_swap);
+    if (int const err = check_rma_args(datatype, datatype, 1, 1, win); err != XMPI_SUCCESS) {
+        return err;
+    }
+    if (origin_addr == nullptr || compare_addr == nullptr || result_addr == nullptr) {
+        return XMPI_ERR_BUFFER;
+    }
+    if (target_rank == XMPI_PROC_NULL) {
+        return XMPI_SUCCESS;
+    }
+    return win->compare_and_swap(
+        origin_addr, compare_addr, result_addr, *datatype, target_rank, target_disp);
 }
 
 int XMPI_Win_fence(int /*assertion*/, XMPI_Win win) {

@@ -40,15 +40,29 @@ Snapshot snapshot_counters(RankCounters const& counters) {
     snapshot.rma_puts = counters.rma_puts.load(std::memory_order_relaxed);
     snapshot.rma_gets = counters.rma_gets.load(std::memory_order_relaxed);
     snapshot.rma_accumulates = counters.rma_accumulates.load(std::memory_order_relaxed);
+    snapshot.rma_atomics = counters.rma_atomics.load(std::memory_order_relaxed);
     snapshot.rma_bytes_zero_copied =
         counters.rma_bytes_zero_copied.load(std::memory_order_relaxed);
     snapshot.rma_epoch_waits = counters.rma_epoch_waits.load(std::memory_order_relaxed);
+    snapshot.sched_steals_attempted =
+        counters.sched_steals_attempted.load(std::memory_order_relaxed);
+    snapshot.sched_steals_succeeded =
+        counters.sched_steals_succeeded.load(std::memory_order_relaxed);
+    snapshot.sched_tasks_executed =
+        counters.sched_tasks_executed.load(std::memory_order_relaxed);
+    snapshot.sched_requeue_after_failure =
+        counters.sched_requeue_after_failure.load(std::memory_order_relaxed);
     snapshot.stale_epoch_drops = counters.stale_epoch_drops.load(std::memory_order_relaxed);
     snapshot.epoch_transitions = counters.epoch_transitions.load(std::memory_order_relaxed);
     return snapshot;
 }
 
 } // namespace
+
+RankCounters& my_counters() {
+    auto& world = detail::current_world();
+    return world.counters(detail::current_world_rank());
+}
 
 Snapshot my_snapshot() {
     auto& world = detail::current_world();

@@ -28,6 +28,7 @@ std::size_t footprint_bytes(Datatype const& type, std::size_t count) {
 Win::Win(Comm* comm)
     : comm_(comm),
       ranks_(static_cast<std::size_t>(comm->size())),
+      owned_(static_cast<std::size_t>(comm->size())),
       fence_open_(static_cast<std::size_t>(comm->size()), 0),
       pending_(static_cast<std::size_t>(comm->size())),
       locks_(static_cast<std::size_t>(comm->size())),
@@ -61,6 +62,13 @@ World& Win::world() const {
 
 void Win::expose(int comm_rank, void* base, std::size_t bytes, int disp_unit) {
     ranks_[static_cast<std::size_t>(comm_rank)] = RankMemory{base, bytes, disp_unit};
+}
+
+void* Win::allocate_region(int comm_rank, std::size_t bytes, int disp_unit) {
+    auto& region = owned_[static_cast<std::size_t>(comm_rank)];
+    region.assign(bytes, std::byte{0});
+    expose(comm_rank, region.data(), bytes, disp_unit);
+    return region.data();
 }
 
 profile::RankCounters& Win::counters_of(int comm_rank) const {
@@ -257,6 +265,63 @@ int Win::accumulate(
         op.apply(origin_addr, dst, target_count, target_type);
     }
     counters_of(origin).rma_accumulates.fetch_add(1, std::memory_order_relaxed);
+    return XMPI_SUCCESS;
+}
+
+int Win::fetch_and_op(
+    void const* origin_addr, void* result_addr, Datatype& datatype, int target,
+    std::ptrdiff_t target_disp, Op const& op) {
+    int const origin = comm_->rank();
+    std::size_t offset = 0;
+    if (int const err =
+            check_op(origin, target, target_disp, 1, datatype, 1, datatype, offset);
+        err != XMPI_SUCCESS) {
+        return err;
+    }
+    // Eager like accumulate: the fetched value must be usable on return, and
+    // binding-layer user ops are only valid during the wrapper call.
+    if (!datatype.is_contiguous()) {
+        return XMPI_ERR_TYPE;
+    }
+    auto const& mem = ranks_[static_cast<std::size_t>(target)];
+    std::byte* const dst = static_cast<std::byte*>(mem.base) + offset;
+    std::size_t const bytes = datatype.packed_size(1);
+    {
+        // The per-target apply mutex makes the fetch + modify one atomic
+        // step with respect to every other accumulate/fetch_and_op/CAS
+        // aimed at this target.
+        std::lock_guard apply_lock(apply_mutex_[static_cast<std::size_t>(target)]);
+        std::memcpy(result_addr, dst, bytes);
+        op.apply(origin_addr, dst, 1, datatype);
+    }
+    counters_of(origin).rma_atomics.fetch_add(1, std::memory_order_relaxed);
+    return XMPI_SUCCESS;
+}
+
+int Win::compare_and_swap(
+    void const* origin_addr, void const* compare_addr, void* result_addr, Datatype& datatype,
+    int target, std::ptrdiff_t target_disp) {
+    int const origin = comm_->rank();
+    std::size_t offset = 0;
+    if (int const err =
+            check_op(origin, target, target_disp, 1, datatype, 1, datatype, offset);
+        err != XMPI_SUCCESS) {
+        return err;
+    }
+    if (!datatype.is_contiguous()) {
+        return XMPI_ERR_TYPE;
+    }
+    auto const& mem = ranks_[static_cast<std::size_t>(target)];
+    std::byte* const dst = static_cast<std::byte*>(mem.base) + offset;
+    std::size_t const bytes = datatype.packed_size(1);
+    {
+        std::lock_guard apply_lock(apply_mutex_[static_cast<std::size_t>(target)]);
+        std::memcpy(result_addr, dst, bytes);
+        if (std::memcmp(dst, compare_addr, bytes) == 0) {
+            std::memcpy(dst, origin_addr, bytes);
+        }
+    }
+    counters_of(origin).rma_atomics.fetch_add(1, std::memory_order_relaxed);
     return XMPI_SUCCESS;
 }
 
@@ -511,6 +576,43 @@ int win_create(void* base, std::size_t bytes, int disp_unit, Comm& comm, Win** w
     shared = reinterpret_cast<Win*>(handle);
     shared->expose(me, base, bytes, disp_unit);
     int const err = coll_barrier(comm);
+    *win = shared;
+    return err;
+}
+
+int win_allocate(std::size_t bytes, int disp_unit, Comm& comm, void** baseptr, Win** win) {
+    *baseptr = nullptr;
+    *win = nullptr;
+    if (int const err = check_collective(comm); err != XMPI_SUCCESS) {
+        return err;
+    }
+    int const me = comm.rank();
+    // Same leader-allocates idiom as win_create; the only difference is that
+    // each member's region is allocated *inside* the shared Win, so its
+    // lifetime is the window object's (not the caller's scope).
+    Win* shared = nullptr;
+    if (me == 0) {
+        shared = new Win(&comm);
+        for (int member = 1; member < comm.size(); ++member) {
+            shared->retain();
+        }
+    }
+    std::uintptr_t handle = reinterpret_cast<std::uintptr_t>(shared);
+    if (int const err = coll_bcast(
+            comm, &handle, sizeof(handle), *predefined_type(BuiltinType::byte_), 0);
+        err != XMPI_SUCCESS) {
+        if (me == 0) {
+            for (int member = 1; member < comm.size(); ++member) {
+                shared->release();
+            }
+            shared->release();
+        }
+        return err;
+    }
+    shared = reinterpret_cast<Win*>(handle);
+    void* base = shared->allocate_region(me, bytes, disp_unit);
+    int const err = coll_barrier(comm);
+    *baseptr = base;
     *win = shared;
     return err;
 }

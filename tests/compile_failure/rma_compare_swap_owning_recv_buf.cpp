@@ -1,0 +1,15 @@
+// EXPECT-ERROR: compare_swap writes the fetched element straight into caller-owned storage
+#include <array>
+#include <cstdint>
+
+#include "kamping/kamping.hpp"
+int main() {
+    kamping::Communicator comm;
+    std::vector<std::uint64_t> storage(4, 0);
+    auto win = comm.win_create(storage);
+    // The fetched element is how the caller learns whether the swap took
+    // place; an owning recv_buf would throw it away with the return.
+    win.compare_swap(
+        kamping::send_buf(std::uint64_t{1}), kamping::compare_buf(std::uint64_t{0}),
+        kamping::target_rank(0), kamping::recv_buf(std::array<std::uint64_t, 1>{}));
+}

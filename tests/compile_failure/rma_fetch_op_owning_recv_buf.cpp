@@ -1,0 +1,16 @@
+// EXPECT-ERROR: fetch_op writes the fetched element straight into caller-owned storage
+#include <array>
+#include <cstdint>
+#include <functional>
+
+#include "kamping/kamping.hpp"
+int main() {
+    kamping::Communicator comm;
+    std::vector<std::uint64_t> storage(4, 0);
+    auto win = comm.win_create(storage);
+    // A moved-in (owning) recv_buf would discard the fetched value with the
+    // wrapper's return — the whole point of fetch_op is reading it.
+    win.fetch_op(
+        kamping::send_buf(std::uint64_t{1}), kamping::target_rank(0),
+        kamping::op(std::plus<>{}), kamping::recv_buf(std::array<std::uint64_t, 1>{}));
+}
